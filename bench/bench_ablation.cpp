@@ -1,0 +1,201 @@
+/// Ablation studies of the design choices DESIGN.md calls out:
+///
+///  A. Zero-count clustering of the enhanced model (section 3: "cluster
+///     event classes within a certain range of the number of zeros"):
+///     coefficient count vs accuracy on the counter stream.
+///  B. Characterization budget: coefficient convergence vs the number of
+///     measured transitions (section 4.1: "finished after the coefficient
+///     values have converged").
+///  C. Glitch modelling in the reference simulator: transport delays vs
+///     inertial filtering vs zero-delay (no glitches) — how much of the
+///     coefficient curve's super-linearity comes from glitch propagation.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hdpm;
+
+namespace {
+
+void ablation_zero_clustering(const bench::Config& config)
+{
+    util::print_section(std::cout,
+                        "A. enhanced-model zero clustering (csa-multiplier 6x6, counter)");
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 6);
+    const core::Characterizer characterizer;
+
+    core::CharacterizationOptions options = bench::char_options(config, 81);
+    options.max_transitions = config.char_budget * 2;
+    options.min_transitions = config.char_budget;
+
+    const auto patterns = core::make_module_stream(module, streams::DataType::Counter,
+                                                   config.eval_patterns, config.seed + 4);
+    const auto reference = bench::run_reference(module, patterns);
+
+    util::TextTable table;
+    table.set_header({"zero clusters", "coefficients", "avg err [%]", "cycle err [%]"});
+    for (const int clusters : {1, 2, 4, 8, 0}) {
+        const core::EnhancedHdModel model =
+            characterizer.characterize_enhanced(module, clusters, options);
+        const auto est = model.estimate_cycles(patterns);
+        const core::AccuracyReport report =
+            core::compare_cycles(est, reference.cycle_charge_fc);
+        table.add_row({clusters == 0 ? "full (m-i+1)" : std::to_string(clusters),
+                       std::to_string(model.num_coefficients()),
+                       bench::num(std::abs(report.avg_error_pct), 1),
+                       bench::num(report.avg_abs_cycle_error_pct, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "(1 cluster = basic model granularity; accuracy should improve as\n"
+                 " clusters are refined, at the cost of more coefficients)\n";
+}
+
+void ablation_characterization_budget(const bench::Config& config)
+{
+    util::print_section(std::cout,
+                        "B. characterization budget vs accuracy (ripple adder 8)");
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 8);
+    const core::Characterizer characterizer;
+
+    // Ground truth: a very large characterization run.
+    core::CharacterizationOptions reference_options = bench::char_options(config, 82);
+    reference_options.max_transitions = 60000;
+    reference_options.min_transitions = 60000;
+    reference_options.tolerance = 0.0;
+    const core::HdModel truth = characterizer.characterize(module, reference_options);
+
+    const auto patterns = core::make_module_stream(module, streams::DataType::Random,
+                                                   config.eval_patterns, config.seed + 5);
+    const auto reference = bench::run_reference(module, patterns);
+
+    util::TextTable table;
+    table.set_header({"transitions", "max coeff drift vs truth [%]", "avg err [%]"});
+    for (const std::size_t budget : {500UL, 1000UL, 2000UL, 4000UL, 8000UL, 16000UL}) {
+        core::CharacterizationOptions options = bench::char_options(config, 83);
+        options.max_transitions = budget;
+        options.min_transitions = budget;
+        options.tolerance = 0.0;
+        const core::HdModel model = characterizer.characterize(module, options);
+        double worst = 0.0;
+        for (int i = 1; i <= model.input_bits(); ++i) {
+            worst = std::max(worst, std::abs(model.coefficient(i) - truth.coefficient(i)) /
+                                        truth.coefficient(i));
+        }
+        const double est = model.estimate_average(patterns);
+        const double err =
+            std::abs(est - reference.mean_charge_fc()) / reference.mean_charge_fc();
+        table.add_row({std::to_string(budget), bench::num(100.0 * worst, 2),
+                       bench::num(100.0 * err, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "(coefficients converge ~1/sqrt(n); a few thousand transitions are\n"
+                 " enough, matching the paper's 'characterization can be finished after\n"
+                 " the coefficient values have converged')\n";
+}
+
+void ablation_glitch_model(const bench::Config& config)
+{
+    util::print_section(std::cout,
+                        "C. glitch modelling in the reference simulator (csa-mult 6x6)");
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 6);
+    const int m = module.total_input_bits();
+
+    util::TextTable table;
+    table.set_header({"delay model", "p_1 [fC]", "p_m/2 [fC]", "p_m [fC]",
+                      "curvature p_m/p_(m/2)", "mean Q (random) [fC]"});
+    table.set_alignment({util::Align::Left});
+
+    for (const auto& [name, window] :
+         {std::pair<const char*, std::int64_t>{"transport (all glitches)", 0},
+          std::pair<const char*, std::int64_t>{"inertial 60 ps", 60},
+          std::pair<const char*, std::int64_t>{"inertial 100 ps (default)", 100},
+          std::pair<const char*, std::int64_t>{"inertial 250 ps", 250},
+          std::pair<const char*, std::int64_t>{"inertial 5000 ps (~zero-delay)", 5000}}) {
+        sim::EventSimOptions sim_options;
+        sim_options.inertial_window_ps = window;
+        const core::Characterizer characterizer{gate::TechLibrary::generic350(),
+                                                sim_options};
+        const core::HdModel model =
+            characterizer.characterize(module, bench::char_options(config, 84));
+
+        const auto patterns = core::make_module_stream(
+            module, streams::DataType::Random, config.eval_patterns / 2, config.seed + 6);
+        sim::PowerSimulator power{module.netlist(), gate::TechLibrary::generic350(),
+                                  sim_options};
+        const double mean_q = power.run(patterns).mean_charge_fc();
+
+        table.add_row({name, bench::num(model.coefficient(1), 1),
+                       bench::num(model.coefficient(m / 2), 1),
+                       bench::num(model.coefficient(m), 1),
+                       bench::num(model.coefficient(m) / model.coefficient(m / 2), 2),
+                       bench::num(mean_q, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "(filtering glitches lowers absolute charge and flattens the\n"
+                 " coefficient curve — the super-linearity the distribution-based\n"
+                 " estimator exploits comes largely from glitch propagation)\n";
+}
+
+void ablation_clock_gating(const bench::Config& config)
+{
+    util::print_section(std::cout,
+                        "D. pipeline clock gating (2-stage |a*b| unit, 8x8)");
+    const dp::DatapathModule mult = dp::make_module(dp::ModuleType::CsaMultiplier, 8);
+    const dp::DatapathModule abs = dp::make_module(dp::ModuleType::AbsVal, 16);
+
+    util::TextTable table;
+    table.set_header({"workload", "hold", "regs plain [fC/cy]", "regs gated [fC/cy]",
+                      "saving"});
+    table.set_alignment({util::Align::Left});
+    // "hold" = clock cycles per input sample: real datapaths are often
+    // clocked faster than their sample rate, and idle cycles are exactly
+    // where per-bank gating pays.
+    for (const auto& [type, hold] :
+         {std::pair{streams::DataType::Random, 1},
+          std::pair{streams::DataType::Speech, 1},
+          std::pair{streams::DataType::Speech, 4},
+          std::pair{streams::DataType::Counter, 4}}) {
+        auto samples = core::make_module_stream(mult, type,
+                                                config.eval_patterns / 2,
+                                                config.seed + 9);
+        std::vector<util::BitVec> inputs;
+        inputs.reserve(samples.size() * static_cast<std::size_t>(hold));
+        for (const auto& sample : samples) {
+            for (int h = 0; h < hold; ++h) {
+                inputs.push_back(sample);
+            }
+        }
+        sim::PipelineSimulator plain{{&mult.netlist(), &abs.netlist()},
+                                     gate::TechLibrary::generic350()};
+        sim::DffCosts gated_costs;
+        gated_costs.clock_gating = true;
+        sim::PipelineSimulator gated{{&mult.netlist(), &abs.netlist()},
+                                     gate::TechLibrary::generic350(), gated_costs};
+        const double cycles = static_cast<double>(inputs.size());
+        const double plain_fc = plain.run(inputs).register_fc / cycles;
+        const double gated_fc = gated.run(inputs).register_fc / cycles;
+        table.add_row({streams::data_type_name(type), std::to_string(hold),
+                       bench::num(plain_fc, 1), bench::num(gated_fc, 1),
+                       bench::num(100.0 * (1.0 - gated_fc / plain_fc), 1) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << "(with every-cycle new data the gating logic is pure overhead; with\n"
+                 " idle hold cycles it wins — the decision needs exactly the workload\n"
+                 " statistics this library models)\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const bench::Config config = bench::parse_config(argc, argv);
+    std::cout << "Ablation studies (not in the paper; design-choice validation).\n";
+    ablation_zero_clustering(config);
+    ablation_characterization_budget(config);
+    ablation_glitch_model(config);
+    ablation_clock_gating(config);
+    return 0;
+}

@@ -1,0 +1,117 @@
+/// Baseline comparison (deliverable beyond the paper's tables): the paper
+/// positions the Hd-model between exact 4^m transition models (intractable)
+/// and cruder macro-models. This bench pits four estimators with comparable
+/// parameter budgets against the reference simulation:
+///
+///   constant      1 parameter    Q = mean charge (activity-blind)
+///   Hd-model      m parameters   Q = p_Hd                (the paper)
+///   bitwise       m+1 parameters Q = b0 + Σ w_i·τ_i      (position-based
+///                                regression, Bogliolo/Macii-style)
+///   enhanced Hd   (m²+m)/2       Q = p_{Hd, zeros}       (paper §3)
+///
+/// Expected shape: the Hd-model beats the constant everywhere and the
+/// bitwise baseline on count-driven behaviour (random data, glitchy
+/// multipliers), while the bitwise model wins where *position* carries the
+/// information (counter streams); the enhanced model combines both signals
+/// and wins overall — which is exactly the paper's motivation for it.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hdpm;
+
+int main(int argc, char** argv)
+{
+    const bench::Config config = bench::parse_config(argc, argv);
+
+    std::cout << "Baseline comparison: cycle ε_a / |avg ε| in % against the reference\n"
+                 "simulation (operand width 8).\n";
+
+    const dp::ModuleType module_types[] = {dp::ModuleType::RippleAdder,
+                                           dp::ModuleType::CsaMultiplier};
+    const streams::DataType data_types[] = {streams::DataType::Random,
+                                            streams::DataType::Speech,
+                                            streams::DataType::Counter};
+
+    for (const dp::ModuleType type : module_types) {
+        const dp::DatapathModule module = dp::make_module(type, 8);
+        const int m = module.total_input_bits();
+        util::print_section(std::cout, module.display_name());
+
+        // One record set feeds every model (same characterization budget).
+        const core::Characterizer characterizer;
+        const auto records = characterizer.collect_records(
+            module, bench::char_options(config, 0xBA5E + static_cast<std::uint64_t>(type)));
+        const core::HdModel hd_model = core::fit_basic_model(m, records);
+        const core::BitwiseLinearModel bitwise =
+            core::BitwiseLinearModel::fit(m, records);
+
+        core::CharacterizationOptions enhanced_options =
+            bench::char_options(config, 0xE4A + static_cast<std::uint64_t>(type));
+        enhanced_options.max_transitions = config.char_budget * 3;
+        enhanced_options.min_transitions = config.char_budget * 2;
+        const core::EnhancedHdModel enhanced =
+            characterizer.characterize_enhanced(module, 0, enhanced_options);
+
+        double mean_charge = 0.0;
+        for (const auto& rec : records) {
+            mean_charge += rec.charge_fc;
+        }
+        mean_charge /= static_cast<double>(records.size());
+
+        util::TextTable table;
+        table.set_header({"data", "constant", "Hd-model", "bitwise", "enhanced Hd"});
+        table.set_alignment({util::Align::Left});
+        for (const streams::DataType data_type : data_types) {
+            const auto patterns = core::make_module_stream(
+                module, data_type, config.eval_patterns,
+                config.seed * 31 + static_cast<std::uint64_t>(data_type));
+            const auto reference = bench::run_reference(module, patterns);
+
+            auto score = [&](const std::vector<double>& estimate) {
+                const core::AccuracyReport report =
+                    core::compare_cycles(estimate, reference.cycle_charge_fc);
+                return bench::pct(report.avg_abs_cycle_error_pct) + " / " +
+                       bench::pct(std::abs(report.avg_error_pct));
+            };
+
+            const std::vector<double> constant(reference.cycle_charge_fc.size(),
+                                               mean_charge);
+            table.add_row({streams::data_type_label(data_type), score(constant),
+                           score(hd_model.estimate_cycles(patterns)),
+                           score(bitwise.estimate_cycles(patterns)),
+                           score(enhanced.estimate_cycles(patterns))});
+        }
+        table.print(std::cout);
+        std::cout << "parameters: constant 1, Hd " << m << ", bitwise " << m + 1
+                  << ", enhanced " << enhanced.num_coefficients() << '\n';
+
+        // Probabilistic zero-delay analysis (section 6's "probabilistic
+        // simulation" pointer): pattern-free, but glitch-blind — the gap to
+        // the reference is the module's glitch share.
+        sim::ProbabilisticAnalyzer probabilistic{module.netlist(),
+                                                 gate::TechLibrary::generic350()};
+        probabilistic.propagate_uniform();
+        const auto random_patterns = core::make_module_stream(
+            module, streams::DataType::Random, config.eval_patterns,
+            config.seed * 31);
+        const double reference_avg =
+            bench::run_reference(module, random_patterns).mean_charge_fc();
+        std::cout << "probabilistic zero-delay estimate (type I): "
+                  << bench::num(probabilistic.average_charge_fc(), 1) << " fC vs "
+                  << bench::num(reference_avg, 1)
+                  << " fC reference -> glitch+timing share ~"
+                  << bench::pct(100.0 *
+                                (1.0 - probabilistic.average_charge_fc() / reference_avg))
+                  << "%\n";
+    }
+
+    std::cout << "\nReading: cells are 'cycle ε_a / |avg ε|'. The Hd-model dominates\n"
+                 "the budget-equivalent baselines on random data; the bitwise model\n"
+                 "catches position effects (counter); the enhanced model subsumes\n"
+                 "both — the paper's accuracy/complexity trade-off in numbers.\n";
+    return 0;
+}

@@ -1,0 +1,146 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include <filesystem>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace hdpm::bench {
+
+Config parse_config(int argc, char** argv)
+{
+    Config config;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << flag << '\n';
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (flag == "--patterns") {
+            config.eval_patterns = std::stoul(next());
+        } else if (flag == "--budget") {
+            config.char_budget = std::stoul(next());
+        } else if (flag == "--seed") {
+            config.seed = std::stoull(next());
+        } else if (flag == "--csv") {
+            config.csv_dir = next();
+        } else if (flag == "--help" || flag == "-h") {
+            std::cout << "usage: " << argv[0]
+                      << " [--patterns N] [--budget N] [--seed N] [--csv DIR]\n";
+            std::exit(0);
+        } else {
+            std::cerr << "unknown flag '" << flag << "'\n";
+            std::exit(2);
+        }
+    }
+    return config;
+}
+
+core::CharacterizationOptions char_options(const Config& config, std::uint64_t salt)
+{
+    core::CharacterizationOptions options;
+    options.max_transitions = config.char_budget;
+    options.min_transitions = config.char_budget / 2;
+    options.batch = 2000;
+    options.tolerance = 0.01;
+    options.seed = config.seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+    options.mode = core::StimulusMode::StratifiedChain;
+    return options;
+}
+
+core::HdModel characterize_module(const dp::DatapathModule& module, const Config& config,
+                                  std::uint64_t salt)
+{
+    const core::Characterizer characterizer;
+    return characterizer.characterize(module, char_options(config, salt));
+}
+
+sim::StreamPowerResult run_reference(const dp::DatapathModule& module,
+                                     std::span<const util::BitVec> patterns)
+{
+    sim::PowerSimulator power{module.netlist(), gate::TechLibrary::generic350()};
+    return power.run(patterns);
+}
+
+core::AccuracyReport evaluate_model(const core::HdModel& model,
+                                    const dp::DatapathModule& module,
+                                    streams::DataType type, const Config& config)
+{
+    const auto patterns = core::make_module_stream(
+        module, type, config.eval_patterns,
+        config.seed * 31 + static_cast<std::uint64_t>(type));
+    const auto reference = run_reference(module, patterns);
+    const auto estimate = model.estimate_cycles(patterns);
+    return core::compare_cycles(estimate, reference.cycle_charge_fc);
+}
+
+std::vector<core::PrototypeModel> characterize_prototypes(dp::ModuleType type,
+                                                          std::span<const int> widths,
+                                                          const Config& config)
+{
+    std::vector<core::PrototypeModel> prototypes;
+    prototypes.reserve(widths.size());
+    for (const int w : widths) {
+        const dp::DatapathModule module = dp::make_module(type, w);
+        core::PrototypeModel proto;
+        proto.operand_widths = {w};
+        proto.model = characterize_module(
+            module, config,
+            static_cast<std::uint64_t>(type) * 1000 + static_cast<std::uint64_t>(w));
+        prototypes.push_back(std::move(proto));
+    }
+    return prototypes;
+}
+
+std::vector<core::PrototypeModel> thin_prototypes(
+    std::span<const core::PrototypeModel> prototypes, std::size_t stride)
+{
+    std::vector<core::PrototypeModel> subset;
+    for (std::size_t i = 0; i < prototypes.size(); i += stride) {
+        subset.push_back(prototypes[i]);
+    }
+    // Always keep the largest prototype so the fitted Hd range is full
+    // (the paper's THI set {4, 10, 16} also spans the full range).
+    if ((prototypes.size() - 1) % stride != 0) {
+        subset.push_back(prototypes.back());
+    }
+    return subset;
+}
+
+bool maybe_write_csv(const Config& config, const std::string& name,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<double>>& rows)
+{
+    if (config.csv_dir.empty()) {
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(config.csv_dir, ec);
+    if (ec) {
+        std::cerr << "cannot create '" << config.csv_dir << "': " << ec.message() << '\n';
+        std::exit(1);
+    }
+    const std::string path = config.csv_dir + "/" + name + ".csv";
+    util::write_csv(path, header, rows);
+    std::cout << "[csv] wrote " << path << '\n';
+    return true;
+}
+
+std::string pct(double value)
+{
+    return std::to_string(static_cast<long long>(std::llround(value)));
+}
+
+std::string num(double value, int precision)
+{
+    return util::TextTable::fmt(value, precision);
+}
+
+} // namespace hdpm::bench

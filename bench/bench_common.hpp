@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/hdpower.hpp"
+
+/// Shared plumbing of the paper-reproduction bench binaries.
+///
+/// Every binary accepts:
+///   --patterns N   evaluation stream length          (default 2000)
+///   --budget N     characterization transition budget (default 12000)
+///   --seed N       master seed                        (default 2026)
+/// so the experiments can be re-run at paper scale (5000–10000 patterns)
+/// or quickly smoke-tested.
+namespace hdpm::bench {
+
+struct Config {
+    std::size_t eval_patterns = 2000;
+    std::size_t char_budget = 12000;
+    std::uint64_t seed = 2026;
+    std::string csv_dir; ///< when set (--csv DIR), benches export their series
+};
+
+/// Parse the common CLI flags; unknown flags abort with a usage message.
+[[nodiscard]] Config parse_config(int argc, char** argv);
+
+/// Standard characterization options derived from a config.
+[[nodiscard]] core::CharacterizationOptions char_options(const Config& config,
+                                                         std::uint64_t salt);
+
+/// Characterize a module's basic model with the standard options.
+[[nodiscard]] core::HdModel characterize_module(const dp::DatapathModule& module,
+                                                const Config& config, std::uint64_t salt);
+
+/// Run the reference power simulation for a stream.
+[[nodiscard]] sim::StreamPowerResult run_reference(const dp::DatapathModule& module,
+                                                   std::span<const util::BitVec> patterns);
+
+/// Evaluate a basic model against the reference on a data type: returns
+/// the paper's (ε_a, ε) pair.
+[[nodiscard]] core::AccuracyReport evaluate_model(const core::HdModel& model,
+                                                  const dp::DatapathModule& module,
+                                                  streams::DataType type,
+                                                  const Config& config);
+
+/// Characterize one prototype per width (operand width list) of a module
+/// family — the paper's "complete set of prototypes" for section 5.
+[[nodiscard]] std::vector<core::PrototypeModel> characterize_prototypes(
+    dp::ModuleType type, std::span<const int> widths, const Config& config);
+
+/// Thin a prototype set by keeping every @p stride-th element starting at
+/// the first (stride 1 = ALL, 2 = SEC, 3 = THI in the paper's naming).
+[[nodiscard]] std::vector<core::PrototypeModel> thin_prototypes(
+    std::span<const core::PrototypeModel> prototypes, std::size_t stride);
+
+/// Export a data series to <csv_dir>/<name>.csv when --csv was given
+/// (no-op otherwise); returns true if a file was written.
+bool maybe_write_csv(const Config& config, const std::string& name,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<double>>& rows);
+
+/// Round to the nearest integer percent, paper-table style.
+[[nodiscard]] std::string pct(double value);
+
+/// Format a fixed-point number.
+[[nodiscard]] std::string num(double value, int precision = 2);
+
+} // namespace hdpm::bench

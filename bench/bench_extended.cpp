@@ -1,0 +1,122 @@
+/// Extension experiment (not a paper table): the paper claims the Hd-model
+/// "can be applied to a wide variety of typical datapath components" — this
+/// bench quantifies that claim over the full component zoo of this library
+/// (15 module families), reporting basic-model estimation errors for data
+/// types I, III and V at an 8-bit operand width.
+///
+/// Expected shape: every component shows small type-I errors (the model is
+/// exact for its characterization statistics), moderate type-III errors,
+/// and the counter remains the hardest stream — the table 1 story holds
+/// beyond the five module types the paper evaluated.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hdpm;
+
+int main(int argc, char** argv)
+{
+    const bench::Config config = bench::parse_config(argc, argv);
+
+    std::cout << "Extended component sweep: basic Hd-model average-charge errors [%]\n"
+              << "(operand width 8, " << config.eval_patterns << " patterns per type)\n";
+
+    util::TextTable table;
+    table.set_header({"module", "m", "cells", "ε (I)", "ε (III)", "ε (V)", "ε_a (I)",
+                      "deviation ε̄"});
+    table.set_alignment({util::Align::Left});
+
+    double worst_type1 = 0.0;
+    for (const dp::ModuleType type : dp::all_module_types()) {
+        const dp::DatapathModule module = dp::make_module(type, 8);
+        const core::HdModel model = bench::characterize_module(
+            module, config, 0xE0 + static_cast<std::uint64_t>(type));
+
+        double avg_err[3] = {};
+        double cycle_err_type1 = 0.0;
+        int column = 0;
+        for (const streams::DataType data_type :
+             {streams::DataType::Random, streams::DataType::Speech,
+              streams::DataType::Counter}) {
+            const core::AccuracyReport report =
+                bench::evaluate_model(model, module, data_type, config);
+            avg_err[column] = std::abs(report.avg_error_pct);
+            if (data_type == streams::DataType::Random) {
+                cycle_err_type1 = report.avg_abs_cycle_error_pct;
+            }
+            ++column;
+        }
+        worst_type1 = std::max(worst_type1, avg_err[0]);
+
+        table.add_row({module.display_name(), std::to_string(module.total_input_bits()),
+                       std::to_string(module.netlist().num_cells()),
+                       bench::num(avg_err[0], 1), bench::num(avg_err[1], 1),
+                       bench::num(avg_err[2], 1), bench::num(cycle_err_type1, 1),
+                       bench::num(100.0 * model.average_deviation(), 1) + "%"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape check — every component estimates its characterization-like\n"
+                 "stream (type I) to within a few percent: "
+              << (worst_type1 < 8.0 ? "yes" : "NO") << " (worst "
+              << bench::num(worst_type1, 1) << "%)\n";
+    std::cout << "The Hd-model generalizes across structures (ripple chains,\n"
+                 "lookahead/select/skip carries, arrays, trees, shifters, muxes)\n"
+                 "without any per-family tuning — the paper's flexibility claim.\n";
+
+    // ------------------------------------------------------------------
+    // Number-representation study (extension along ref [10]): the Hd-model
+    // + analytic distribution predict the switching saved by sign-magnitude
+    // encoding of correlated data — a typical low-power optimization the
+    // paper's introduction motivates, evaluated here without any
+    // simulation in the decision loop.
+    util::print_section(std::cout,
+                        "number-format study: two's complement vs sign-magnitude "
+                        "(16-bit word)");
+    // Concrete energy on a 16-bit, 200 fF/line bus (e.g. a memory bus).
+    const core::BusPowerModel bus{16, 200.0, 3.3};
+    util::TextTable formats;
+    formats.set_header({"stream", "rho", "Hd 2C (extr)", "Hd 2C (model)",
+                        "Hd SM (extr)", "Hd SM (model)", "SM saving",
+                        "bus 2C [fC]", "bus SM [fC]"});
+    formats.set_alignment({util::Align::Left});
+    for (const auto& [label, type, attenuation] :
+         {std::tuple{"random", streams::DataType::Random, 1},
+          std::tuple{"music", streams::DataType::Music, 1},
+          std::tuple{"speech", streams::DataType::Speech, 1},
+          std::tuple{"speech/32 (quiet)", streams::DataType::Speech, 32},
+          std::tuple{"video", streams::DataType::Video, 1}}) {
+        auto values = streams::generate_stream(type, 16, 6000, config.seed);
+        for (std::int64_t& v : values) {
+            v /= attenuation; // headroom: the word is wider than the signal
+        }
+        const streams::WordStats word_stats = streams::measure_word_stats(values, 16);
+
+        const auto patterns_2c = streams::to_patterns(values, 16);
+        const auto patterns_sm =
+            streams::to_patterns(values, 16, streams::NumberFormat::SignMagnitude);
+        const double extr_2c = streams::extract_average_hd(patterns_2c);
+        const double extr_sm = streams::extract_average_hd(patterns_sm);
+        const double model_2c = stats::analytic_average_hd(word_stats);
+        const double model_sm = stats::analytic_average_hd(
+            word_stats, streams::NumberFormat::SignMagnitude);
+
+        formats.add_row(
+            {label, bench::num(word_stats.rho, 2), bench::num(extr_2c, 2),
+             bench::num(model_2c, 2), bench::num(extr_sm, 2), bench::num(model_sm, 2),
+             bench::num(100.0 * (1.0 - extr_sm / extr_2c), 1) + "%",
+             bench::num(bus.estimate_from_stats(word_stats,
+                                                streams::NumberFormat::TwosComplement),
+                        0),
+             bench::num(bus.estimate_from_stats(word_stats,
+                                                streams::NumberFormat::SignMagnitude),
+                        0)});
+    }
+    formats.print(std::cout);
+    std::cout << "(sign-magnitude pays off only for strongly correlated signals —\n"
+                 " exactly what the analytic model predicts without simulation)\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/// Reproduces Figure 4 (plus the structural context of Figure 3):
+/// coefficients from instance characterization versus coefficients
+/// computed from the bit-width regression equations, for the
+/// csa-multiplier (quadratic complexity basis) and ripple adder (linear
+/// basis), prototypes with operand widths 4..16 in steps of 2.
+///
+/// Paper shape: the regression curves track the instance coefficients
+/// closely (differences below 5-10 %), because the complexity functions
+/// match the real structural scaling.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hdpm;
+
+namespace {
+
+void report_family(dp::ModuleType type, const bench::Config& config)
+{
+    const std::vector<int> widths{4, 6, 8, 10, 12, 14, 16};
+    const auto prototypes = bench::characterize_prototypes(type, widths, config);
+    const core::ParameterizableModel model =
+        core::ParameterizableModel::fit(type, prototypes);
+
+    util::print_section(std::cout, dp::module_type_display(type) +
+                                       " — instance vs regression coefficients [fC]");
+    util::TextTable table;
+    table.set_header({"w", "p_1 inst", "p_1 regr", "p_5 inst", "p_5 regr", "p_8 inst",
+                      "p_8 regr", "max |diff| %"});
+    for (std::size_t idx = 0; idx < prototypes.size(); ++idx) {
+        const core::PrototypeModel& proto = prototypes[idx];
+        const int w = proto.operand_widths[0];
+        std::vector<std::string> cells{std::to_string(w)};
+        double worst = 0.0;
+        for (const int i : {1, 5, 8}) {
+            if (i > proto.model.input_bits()) {
+                cells.push_back("-");
+                cells.push_back("-");
+                continue;
+            }
+            const double inst = proto.model.coefficient(i);
+            const double regr = model.coefficient(i, proto.operand_widths);
+            cells.push_back(bench::num(inst, 1));
+            cells.push_back(bench::num(regr, 1));
+            worst = std::max(worst, std::abs(regr - inst) / inst * 100.0);
+        }
+        cells.push_back(bench::num(worst, 1));
+        table.add_row(cells);
+    }
+    table.print(std::cout);
+
+    // Full-range summary: mean relative difference over all (w, i).
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const core::PrototypeModel& proto : prototypes) {
+        for (int i = 1; i <= proto.model.input_bits(); ++i) {
+            const double inst = proto.model.coefficient(i);
+            if (inst <= 0.0) {
+                continue;
+            }
+            const double regr = model.coefficient(i, proto.operand_widths);
+            sum += std::abs(regr - inst) / inst;
+            ++count;
+        }
+    }
+    std::cout << "mean |instance - regression| over all coefficients: "
+              << bench::num(100.0 * sum / static_cast<double>(count), 1)
+              << "% (paper: below 5-10% in most cases)\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const bench::Config config = bench::parse_config(argc, argv);
+
+    std::cout << "Figure 4 reproduction: regression vs instance coefficients.\n";
+
+    // Figure 3 context: the structural scaling the regression bases encode.
+    util::print_section(std::cout, "figure 3 context: csa-multiplier structure scaling");
+    util::TextTable structure;
+    structure.set_header({"multiplier", "cells", "nets", "adder cells / FA stages"});
+    for (const auto& [w1, w0] : {std::pair{4, 4}, std::pair{6, 4}, std::pair{8, 8}}) {
+        const std::array<int, 2> w{w1, w0};
+        const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, w);
+        const auto stats = module.netlist().stats();
+        structure.add_row({std::to_string(w1) + "x" + std::to_string(w0),
+                           std::to_string(stats.num_cells), std::to_string(stats.num_nets),
+                           std::to_string(w1 - 1)});
+    }
+    structure.print(std::cout);
+    std::cout << "(complexity of the array scales with m1*m0, the final adder with m —\n"
+                 " the terms of the regression basis, eq. 7/8)\n";
+
+    report_family(dp::ModuleType::CsaMultiplier, config);
+    report_family(dp::ModuleType::RippleAdder, config);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/// Reproduces Figure 6: the error caused by using only the average
+/// Hamming distance instead of the full Hd-distribution, for a multiplier
+/// stimulated by an audio signal.
+///
+/// Prints the figure's three fields:
+///   I    p(Hd = i)          — the Hd distribution of the stream
+///   II   p_i                — the model coefficients
+///   III  p(Hd = i)·p_i      — the per-class power contributions
+/// The average power is the sum over field III; collapsing the
+/// distribution to its mean (p(Hd = Hd_avg) = 1) loses the spread and,
+/// with super-linearly growing coefficients, under-estimates power — about
+/// 30 % in the paper's example.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hdpm;
+
+int main(int argc, char** argv)
+{
+    const bench::Config config = bench::parse_config(argc, argv);
+
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 8);
+    const int m = module.total_input_bits();
+    std::cout << "Figure 6 reproduction: distribution vs average-Hd estimation,\n"
+              << module.display_name() << " driven by an audio (speech) signal.\n";
+
+    const core::HdModel model = bench::characterize_module(module, config, 61);
+
+    // Audio stimulus; extract the empirical module-input Hd distribution.
+    const auto patterns = core::make_module_stream(module, streams::DataType::Speech,
+                                                   config.eval_patterns, config.seed);
+    const auto distribution = streams::extract_hd_distribution(patterns);
+    const double hd_avg = streams::extract_average_hd(patterns);
+
+    util::print_section(std::cout, "fields I-III");
+    util::TextTable table;
+    table.set_header({"Hd", "I: p(Hd=i)", "II: p_i [fC]", "III: p(Hd=i)*p_i"});
+    for (int i = 0; i <= m; ++i) {
+        const double p = distribution[static_cast<std::size_t>(i)];
+        const double coeff = i == 0 ? 0.0 : model.coefficient(i);
+        table.add_row({std::to_string(i), bench::num(p, 4), bench::num(coeff, 1),
+                       bench::num(p * coeff, 2)});
+    }
+    table.print(std::cout);
+
+    {
+        std::vector<std::vector<double>> csv_rows;
+        for (int i = 0; i <= m; ++i) {
+            const double p = distribution[static_cast<std::size_t>(i)];
+            const double coeff = i == 0 ? 0.0 : model.coefficient(i);
+            csv_rows.push_back({static_cast<double>(i), p, coeff, p * coeff});
+        }
+        bench::maybe_write_csv(config, "fig6_fields",
+                               {"hd", "p_hd", "coefficient", "product"}, csv_rows);
+    }
+
+    const double from_distribution = model.estimate_from_distribution(distribution);
+    const double from_average = model.estimate_from_average_hd(hd_avg);
+    const auto reference = bench::run_reference(module, patterns);
+    const double ref = reference.mean_charge_fc();
+
+    util::print_section(std::cout, "average power estimates [fC/cycle]");
+    util::TextTable summary;
+    summary.set_header({"estimator", "Q_avg", "error vs simulation"});
+    summary.set_alignment({util::Align::Left});
+    summary.add_row({"reference simulation", bench::num(ref, 2), "-"});
+    summary.add_row({"sum over field III (distribution)", bench::num(from_distribution, 2),
+                     bench::num(std::abs(from_distribution - ref) / ref * 100.0, 1) + "%"});
+    summary.add_row({"p(Hd=Hd_avg)=1 (average only)", bench::num(from_average, 2),
+                     bench::num(std::abs(from_average - ref) / ref * 100.0, 1) + "%"});
+    summary.print(std::cout);
+
+    const double penalty =
+        std::abs(from_distribution - from_average) / from_distribution * 100.0;
+    std::cout << "\naverage-only estimator deviates from the distribution estimator by "
+              << bench::num(penalty, 1) << "%.\n";
+    std::cout << "average Hd of the stream: " << bench::num(hd_avg, 2) << " of m = " << m
+              << "; coefficient curvature p_m/p_(m/2) = "
+              << bench::num(model.coefficient(m) / model.coefficient(m / 2), 2)
+              << " (2 = linear; our gate-level reference yields a saturating,\n"
+                 " slightly concave curve, so the gap is smaller than the paper's)\n";
+
+    // The paper's fig. 6 module has coefficients that "increase nearly
+    // quadratical"; our substitute simulator saturates instead. To isolate
+    // the estimator math from the substrate, repeat the comparison with
+    // paper-shaped synthetic coefficients p_i = c·i² on the *same* stream.
+    util::print_section(std::cout,
+                        "same distribution, paper-shaped quadratic coefficients");
+    std::vector<double> quad(static_cast<std::size_t>(m));
+    for (int i = 1; i <= m; ++i) {
+        quad[static_cast<std::size_t>(i - 1)] =
+            model.coefficient(m) * static_cast<double>(i * i) /
+            static_cast<double>(m * m);
+    }
+    const core::HdModel quadratic{m, std::move(quad)};
+    const double q_dist = quadratic.estimate_from_distribution(distribution);
+    const double q_avg = quadratic.estimate_from_average_hd(hd_avg);
+    std::cout << "  from distribution: " << bench::num(q_dist, 2)
+              << " fC   from average only: " << bench::num(q_avg, 2) << " fC\n";
+    std::cout << "  additional error of the average-only estimate: "
+              << bench::num(std::abs(q_avg - q_dist) / q_dist * 100.0, 1)
+              << "% (paper example: about 30%)\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/// Quantifies the paper's motivation: the macro-model trades a little
+/// accuracy for orders-of-magnitude faster power estimation than the
+/// reference (gate-level event) simulation, and the purely statistical
+/// estimator needs no per-cycle work at all.
+///
+/// google-benchmark microbenchmarks; run with --benchmark_* flags.
+
+#include <benchmark/benchmark.h>
+
+#include "core/hdpower.hpp"
+
+using namespace hdpm;
+
+namespace {
+
+struct Fixture {
+    dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 8);
+    core::HdModel model;
+    std::vector<util::BitVec> patterns;
+    std::vector<streams::WordStats> word_stats;
+
+    Fixture()
+    {
+        core::CharacterizationOptions options;
+        options.max_transitions = 6000;
+        options.min_transitions = 3000;
+        options.seed = 7;
+        const core::Characterizer characterizer;
+        model = characterizer.characterize(module, options);
+
+        const auto operands =
+            core::make_operand_streams(module, streams::DataType::Music, 4096, 11);
+        patterns = core::encode_module_stream(module, operands);
+        for (std::size_t op = 0; op < operands.size(); ++op) {
+            word_stats.push_back(streams::measure_word_stats(
+                operands[op], module.operand_widths()[op]));
+        }
+    }
+};
+
+Fixture& fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void BM_ReferenceEventSimulation(benchmark::State& state)
+{
+    Fixture& f = fixture();
+    sim::PowerSimulator power{f.module.netlist(), gate::TechLibrary::generic350()};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(power.run(f.patterns).total_charge_fc);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(f.patterns.size() - 1));
+}
+BENCHMARK(BM_ReferenceEventSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_HdModelStreamEstimate(benchmark::State& state)
+{
+    Fixture& f = fixture();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.model.estimate_average(f.patterns));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(f.patterns.size() - 1));
+}
+BENCHMARK(BM_HdModelStreamEstimate)->Unit(benchmark::kMicrosecond);
+
+void BM_StatisticalEstimate(benchmark::State& state)
+{
+    Fixture& f = fixture();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::estimate_from_word_stats(f.model, f.word_stats).from_distribution_fc);
+    }
+}
+BENCHMARK(BM_StatisticalEstimate)->Unit(benchmark::kMicrosecond);
+
+void BM_Characterization(benchmark::State& state)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 8);
+    const core::Characterizer characterizer;
+    core::CharacterizationOptions options;
+    options.max_transitions = static_cast<std::size_t>(state.range(0));
+    options.min_transitions = options.max_transitions;
+    options.seed = 3;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            characterizer.characterize(module, options).average_deviation());
+    }
+}
+BENCHMARK(BM_Characterization)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyticHdDistribution(benchmark::State& state)
+{
+    streams::WordStats stats;
+    stats.mean = 12.0;
+    stats.variance = 900.0;
+    stats.rho = 0.93;
+    stats.width = 16;
+    stats.count = 10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::compute_hd_distribution(stats).mean());
+    }
+}
+BENCHMARK(BM_AnalyticHdDistribution);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+/// Reproduces Table 1: estimation error of the basic Hd-model, in %,
+/// against the reference power simulation, for five module types at
+/// operand widths 8/12/16 and the five data types I..V.
+///
+/// Two error metrics per cell group (section 4.2):
+///   cycle charge:  ε_a = mean |Q_model - Q_ref| / Q_ref
+///   avg charge:    ε   = (ΣQ_model - ΣQ_ref) / ΣQ_ref     (magnitude shown)
+///
+/// Paper shape to reproduce: cycle errors are large everywhere (tens of
+/// percent) and grow from type I to type V; average errors are small for
+/// the characterization-like type I (1-4 %), moderate for real signals
+/// (II-IV) and largest for the binary counter (V).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hdpm;
+
+namespace {
+
+struct PaperRow {
+    const char* module;
+    int width;
+    int cycle[5];
+    int avg[5];
+};
+
+// Verbatim numbers from the paper's table 1.
+constexpr PaperRow kPaper[] = {
+    {"ripple adder", 8, {12, 33, 35, 32, 44}, {3, 3, 7, 2, 12}},
+    {"ripple adder", 12, {7, 29, 28, 36, 39}, {1, 3, 11, 7, 19}},
+    {"ripple adder", 16, {14, 30, 46, 31, 68}, {2, 1, 14, 5, 31}},
+    {"cla-adder", 8, {9, 25, 27, 22, 38}, {1, 6, 7, 14, 13}},
+    {"cla-adder", 12, {17, 22, 35, 24, 41}, {1, 3, 2, 10, 9}},
+    {"cla-adder", 16, {12, 19, 29, 35, 58}, {1, 2, 12, 9, 14}},
+    {"absval", 8, {10, 33, 21, 24, 41}, {2, 5, 4, 6, 13}},
+    {"absval", 12, {24, 27, 24, 31, 40}, {1, 3, 9, 6, 12}},
+    {"absval", 16, {23, 22, 28, 33, 44}, {1, 7, 13, 10, 15}},
+    {"csa-multiplier", 8, {28, 27, 25, 29, 43}, {1, 3, 10, 8, 23}},
+    {"csa-multiplier", 12, {18, 32, 23, 22, 52}, {1, 5, 8, 8, 23}},
+    {"csa-multiplier", 16, {14, 30, 34, 38, 62}, {2, 6, 14, 6, 34}},
+    {"booth-cod. wallace-tree mult.", 8, {18, 21, 45, 37, 34}, {4, 1, 6, 12, 19}},
+    {"booth-cod. wallace-tree mult.", 12, {12, 25, 23, 41, 37}, {1, 3, 11, 10, 21}},
+    {"booth-cod. wallace-tree mult.", 16, {34, 16, 29, 44, 58}, {3, 7, 13, 16, 24}},
+};
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const bench::Config config = bench::parse_config(argc, argv);
+
+    std::cout << "Table 1 reproduction: estimation error of the basic Hd-model [%].\n"
+              << "Streams: " << config.eval_patterns
+              << " patterns per data type; characterization budget "
+              << config.char_budget << ".\n";
+
+    util::TextTable table;
+    table.set_header({"module", "w", "metric", "I", "II", "III", "IV", "V", "source"});
+    table.set_alignment({util::Align::Left, util::Align::Right, util::Align::Left});
+
+    double measured_cycle_sum[5] = {};
+    double measured_avg_sum[5] = {};
+    double paper_cycle_sum[5] = {};
+    double paper_avg_sum[5] = {};
+    int row_count = 0;
+
+    std::size_t paper_index = 0;
+    for (const dp::ModuleType type : dp::paper_module_types()) {
+        for (const int width : {8, 12, 16}) {
+            const dp::DatapathModule module = dp::make_module(type, width);
+            const core::HdModel model = bench::characterize_module(
+                module, config,
+                static_cast<std::uint64_t>(type) * 100 + static_cast<std::uint64_t>(width));
+
+            double cycle_err[5];
+            double avg_err[5];
+            int column = 0;
+            for (const streams::DataType data_type : streams::all_data_types()) {
+                const core::AccuracyReport report =
+                    bench::evaluate_model(model, module, data_type, config);
+                cycle_err[column] = report.avg_abs_cycle_error_pct;
+                avg_err[column] = std::abs(report.avg_error_pct);
+                ++column;
+            }
+
+            const PaperRow& paper = kPaper[paper_index++];
+            table.add_row({dp::module_type_display(type), std::to_string(width), "cycle",
+                           bench::pct(cycle_err[0]), bench::pct(cycle_err[1]),
+                           bench::pct(cycle_err[2]), bench::pct(cycle_err[3]),
+                           bench::pct(cycle_err[4]), "measured"});
+            table.add_row({"", "", "cycle", std::to_string(paper.cycle[0]),
+                           std::to_string(paper.cycle[1]), std::to_string(paper.cycle[2]),
+                           std::to_string(paper.cycle[3]), std::to_string(paper.cycle[4]),
+                           "paper"});
+            table.add_row({"", "", "avg", bench::pct(avg_err[0]), bench::pct(avg_err[1]),
+                           bench::pct(avg_err[2]), bench::pct(avg_err[3]),
+                           bench::pct(avg_err[4]), "measured"});
+            table.add_row({"", "", "avg", std::to_string(paper.avg[0]),
+                           std::to_string(paper.avg[1]), std::to_string(paper.avg[2]),
+                           std::to_string(paper.avg[3]), std::to_string(paper.avg[4]),
+                           "paper"});
+            table.add_rule();
+
+            for (int c = 0; c < 5; ++c) {
+                measured_cycle_sum[c] += cycle_err[c];
+                measured_avg_sum[c] += avg_err[c];
+                paper_cycle_sum[c] += paper.cycle[c];
+                paper_avg_sum[c] += paper.avg[c];
+            }
+            ++row_count;
+        }
+    }
+
+    auto avg_row = [&](const char* metric, const double* sums, const char* source) {
+        std::vector<std::string> cells{"average", "/", metric};
+        for (int c = 0; c < 5; ++c) {
+            cells.push_back(bench::pct(sums[c] / row_count));
+        }
+        cells.push_back(source);
+        table.add_row(cells);
+    };
+    avg_row("cycle", measured_cycle_sum, "measured");
+    avg_row("cycle", paper_cycle_sum, "paper");
+    avg_row("avg", measured_avg_sum, "measured");
+    avg_row("avg", paper_avg_sum, "paper");
+    table.print(std::cout);
+
+    std::cout << "\nShape checks (paper column averages: cycle 17/26/30/32/47, avg "
+                 "2/4/9/9/18):\n";
+    const bool cycle_ordering =
+        measured_cycle_sum[0] < measured_cycle_sum[4];
+    const bool avg_type1_small = measured_avg_sum[0] / row_count < 6.0;
+    const bool avg_counter_largest =
+        measured_avg_sum[4] >= measured_avg_sum[0] &&
+        measured_avg_sum[4] >= measured_avg_sum[1];
+    std::cout << "  cycle errors grow from I to V:        "
+              << (cycle_ordering ? "yes" : "NO") << '\n';
+    std::cout << "  avg error small on type I (<6%):      "
+              << (avg_type1_small ? "yes" : "NO") << '\n';
+    std::cout << "  counter (V) worst for avg estimates:  "
+              << (avg_counter_largest ? "yes" : "NO") << '\n';
+    return 0;
+}

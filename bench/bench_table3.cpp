@@ -1,0 +1,156 @@
+/// Reproduces Table 3: effect of prototype-set thinning (ALL / SEC / THI)
+/// on coefficient accuracy and on the resulting average-power estimation
+/// errors, for an 8x8 csa-multiplier and an 8-bit ripple adder on data
+/// types I, III and V.
+///
+/// Paper shape: parameter errors stay in the low single digits even for
+/// the THI set (3 prototypes), and the estimation errors barely move
+/// relative to instance characterization.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace hdpm;
+
+namespace {
+
+struct SetResult {
+    std::string name;
+    double p_err[3];   // p1, p5, p8 relative error vs instance [%]
+    double p_avg_err;  // mean over all indices [%]
+    double est_err[3]; // avg-power estimation error for I, III, V [%]
+};
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const bench::Config config = bench::parse_config(argc, argv);
+
+    std::cout << "Table 3 reproduction: coefficient and estimation errors [%] for\n"
+                 "regression over ALL/SEC/THI prototype sets (widths 4..16 step 2).\n";
+
+    const streams::DataType data_types[] = {streams::DataType::Random,
+                                            streams::DataType::Speech,
+                                            streams::DataType::Counter};
+
+    struct Target {
+        dp::ModuleType type;
+        int width;
+        // Paper rows: {p1, p5, p8, avg} for ALL/SEC/THI and estimation
+        // errors {I, III, V} for inst/ALL/SEC/THI.
+        int paper_param[3][4];
+        int paper_est[4][3];
+    };
+    const Target targets[] = {
+        {dp::ModuleType::CsaMultiplier,
+         8,
+         {{1, 0, 2, 2}, {1, 1, 1, 4}, {5, 2, 4, 4}},
+         {{1, 10, 23}, {3, 10, 27}, {1, 15, 29}, {1, 7, 24}}},
+        {dp::ModuleType::RippleAdder,
+         8,
+         {{1, 2, 5, 5}, {5, 3, 5, 3}, {0, 7, 1, 5}},
+         {{1, 11, 19}, {5, 9, 22}, {3, 10, 24}, {3, 14, 24}}},
+    };
+
+    for (const Target& target : targets) {
+        const dp::DatapathModule module = dp::make_module(target.type, target.width);
+        util::print_section(std::cout, module.display_name());
+
+        // Instance characterization (the row every set is compared to).
+        const core::HdModel instance = bench::characterize_module(
+            module, config, static_cast<std::uint64_t>(target.type) * 7 + 1);
+
+        // Reference streams and simulations, shared by all rows.
+        std::vector<std::vector<util::BitVec>> patterns;
+        std::vector<double> reference_mean;
+        for (const streams::DataType type : data_types) {
+            patterns.push_back(core::make_module_stream(
+                module, type, config.eval_patterns,
+                config.seed * 31 + static_cast<std::uint64_t>(type)));
+            reference_mean.push_back(
+                bench::run_reference(module, patterns.back()).mean_charge_fc());
+        }
+
+        auto estimation_errors = [&](const core::HdModel& model, double out[3]) {
+            for (int t = 0; t < 3; ++t) {
+                const double est = model.estimate_average(patterns[static_cast<std::size_t>(t)]);
+                out[t] = std::abs(est - reference_mean[static_cast<std::size_t>(t)]) /
+                         reference_mean[static_cast<std::size_t>(t)] * 100.0;
+            }
+        };
+
+        const std::vector<int> widths{4, 6, 8, 10, 12, 14, 16};
+        const auto all_prototypes =
+            bench::characterize_prototypes(target.type, widths, config);
+
+        std::vector<SetResult> results;
+        const std::pair<const char*, std::size_t> sets[] = {
+            {"ALL", 1}, {"SEC", 2}, {"THI", 3}};
+        for (const auto& [name, stride] : sets) {
+            const auto subset = bench::thin_prototypes(all_prototypes, stride);
+            const core::ParameterizableModel regression =
+                core::ParameterizableModel::fit(target.type, subset);
+            const core::HdModel predicted = regression.model_for(target.width);
+
+            SetResult result;
+            result.name = name;
+            const int probes[3] = {1, 5, 8};
+            for (int k = 0; k < 3; ++k) {
+                result.p_err[k] = std::abs(predicted.coefficient(probes[k]) -
+                                           instance.coefficient(probes[k])) /
+                                  instance.coefficient(probes[k]) * 100.0;
+            }
+            double sum = 0.0;
+            for (int i = 1; i <= instance.input_bits(); ++i) {
+                sum += std::abs(predicted.coefficient(i) - instance.coefficient(i)) /
+                       instance.coefficient(i);
+            }
+            result.p_avg_err = 100.0 * sum / instance.input_bits();
+            estimation_errors(predicted, result.est_err);
+            results.push_back(std::move(result));
+        }
+
+        double inst_est[3];
+        estimation_errors(instance, inst_est);
+
+        util::TextTable table;
+        table.set_header({"parameters from", "p1", "p5", "p8", "avg(p_i)", "est I",
+                          "est III", "est V", "source"});
+        table.set_alignment({util::Align::Left});
+        table.add_row({"inst. charact.", "0", "0", "0", "0", bench::pct(inst_est[0]),
+                       bench::pct(inst_est[1]), bench::pct(inst_est[2]), "measured"});
+        table.add_row({"inst. charact.", "0", "0", "0", "0",
+                       std::to_string(target.paper_est[0][0]),
+                       std::to_string(target.paper_est[0][1]),
+                       std::to_string(target.paper_est[0][2]), "paper"});
+        table.add_rule();
+        for (std::size_t s = 0; s < results.size(); ++s) {
+            const SetResult& r = results[s];
+            table.add_row({"regression " + r.name, bench::pct(r.p_err[0]),
+                           bench::pct(r.p_err[1]), bench::pct(r.p_err[2]),
+                           bench::pct(r.p_avg_err), bench::pct(r.est_err[0]),
+                           bench::pct(r.est_err[1]), bench::pct(r.est_err[2]),
+                           "measured"});
+            table.add_row({"regression " + r.name,
+                           std::to_string(target.paper_param[s][0]),
+                           std::to_string(target.paper_param[s][1]),
+                           std::to_string(target.paper_param[s][2]),
+                           std::to_string(target.paper_param[s][3]),
+                           std::to_string(target.paper_est[s + 1][0]),
+                           std::to_string(target.paper_est[s + 1][1]),
+                           std::to_string(target.paper_est[s + 1][2]), "paper"});
+            table.add_rule();
+        }
+        table.print(std::cout);
+
+        const bool thinning_harmless = results[2].p_avg_err < 15.0;
+        std::cout << "shape check — THI thinning keeps parameter errors small "
+                     "(<15% avg): "
+                  << (thinning_harmless ? "yes" : "NO") << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,246 @@
+/// Power budgeting of a small DSP datapath — the paper's motivating use
+/// case: estimate the power of every component of a 4-tap FIR filter from
+/// word-level statistics only (no bit-level simulation in the estimation
+/// path), then validate against cycle-accurate reference simulations.
+///
+/// Filter:  y[n] = c0·x[n] + c1·x[n-1] + c2·x[n-2] + c3·x[n-3]
+/// Datapath: 4 × (12x12 csa-multiplier), 3 × (24-bit ripple adder).
+///
+/// The constant-coefficient multipliers also demonstrate the enhanced
+/// (Hd, stable-zeros) model: a coefficient like 512 = 2^9 has mostly-zero
+/// bits, which gates off most of the multiplier array. The basic Hd-model
+/// is blind to this (a constant contributes Hd = 0 whatever its value);
+/// the enhanced model sees the zero bits and recovers the difference.
+///
+///   $ ./dsp_filter_power
+
+#include <cmath>
+#include <iostream>
+
+#include "core/hdpower.hpp"
+#include "util/table.hpp"
+
+using namespace hdpm;
+
+namespace {
+
+constexpr int kInputWidth = 12;
+constexpr int kCoeffWidth = 12;
+constexpr int kProductWidth = kInputWidth + kCoeffWidth;
+constexpr std::int64_t kCoefficients[4] = {734, -1021, 512, 287}; // Q11-ish taps
+constexpr std::size_t kSamples = 3000;
+
+streams::WordStats constant_stats(std::int64_t value, int width)
+{
+    streams::WordStats stats;
+    stats.mean = static_cast<double>(value);
+    stats.variance = 0.0;
+    stats.rho = 1.0;
+    stats.width = width;
+    stats.count = kSamples;
+    return stats;
+}
+
+} // namespace
+
+int main()
+{
+    std::cout << "FIR-filter power budget from word-level statistics\n"
+                 "==================================================\n";
+
+    // --- Characterize the two component families once. -----------------
+    const dp::DatapathModule multiplier =
+        dp::make_module(dp::ModuleType::CsaMultiplier, kInputWidth);
+    const dp::DatapathModule adder =
+        dp::make_module(dp::ModuleType::RippleAdder, kProductWidth);
+
+    core::CharacterizationOptions options;
+    options.max_transitions = 12000;
+    options.seed = 99;
+    const core::Characterizer characterizer;
+    std::cout << "characterizing " << multiplier.display_name() << " and "
+              << adder.display_name() << "...\n";
+    const core::HdModel mult_model = characterizer.characterize(multiplier, options);
+    const core::HdModel add_model = characterizer.characterize(adder, options);
+
+    // Enhanced model for the multipliers (needs stratified (Hd, z) pairs).
+    core::CharacterizationOptions enhanced_options = options;
+    enhanced_options.max_transitions = 36000;
+    enhanced_options.min_transitions = 30000;
+    const core::EnhancedHdModel mult_enhanced =
+        characterizer.characterize_enhanced(multiplier, 0, enhanced_options);
+
+    // --- Word-level statistics of the input, propagated through the
+    //     dataflow graph (section 6 + refs [9, 10]). ---------------------
+    const auto x = streams::generate_stream(streams::DataType::Speech, kInputWidth,
+                                            kSamples, 2026);
+    const streams::WordStats x_stats = streams::measure_word_stats(x, kInputWidth);
+    std::cout << "input: speech, mu=" << x_stats.mean << " sigma=" << x_stats.stddev()
+              << " rho=" << x_stats.rho << "\n\n";
+
+    // Delays do not change statistics; each tap sees x_stats.
+    std::vector<streams::WordStats> product_stats;
+    for (const std::int64_t c : kCoefficients) {
+        product_stats.push_back(stats::propagate_const_mult(
+            x_stats, static_cast<double>(c), kProductWidth));
+    }
+    // Adder tree: s0 = p0 + p1, s1 = p2 + p3, y = s0 + s1.
+    const streams::WordStats s0 =
+        stats::propagate_add(product_stats[0], product_stats[1], kProductWidth);
+    const streams::WordStats s1 =
+        stats::propagate_add(product_stats[2], product_stats[3], kProductWidth);
+
+    // --- Statistical power estimates per component. ---------------------
+    struct Component {
+        std::string name;
+        const core::HdModel* model;
+        std::vector<streams::WordStats> operand_stats;
+        double enhanced_estimate = -1.0; ///< < 0 = not applicable
+    };
+    std::vector<Component> components;
+    for (int k = 0; k < 4; ++k) {
+        components.push_back({"mult c" + std::to_string(k), &mult_model,
+                              {x_stats, constant_stats(kCoefficients[k], kCoeffWidth)},
+                              -1.0});
+    }
+    components.push_back(
+        {"adder s0", &add_model, {product_stats[0], product_stats[1]}, -1.0});
+    components.push_back(
+        {"adder s1", &add_model, {product_stats[2], product_stats[3]}, -1.0});
+    components.push_back({"adder y", &add_model, {s0, s1}, -1.0});
+
+    // Enhanced statistical estimate for the constant-coefficient
+    // multipliers: the module-input Hd distribution equals the signal's
+    // (the constant never switches), and the expected stable-zero count per
+    // class is the constant's literal zero bits plus the expected zeros in
+    // the signal's stable bits (region model: random bits are 0 with
+    // probability 1/2; sign bits are 0 with probability P(x >= 0)).
+    {
+        const stats::WordRegions x_regions = stats::compute_regions(x_stats);
+        const double q0 = stats::normal_cdf(x_stats.mean / x_stats.stddev()); // P(x>=0)
+        const stats::HdDistribution x_dist = stats::compute_hd_distribution(x_stats);
+        const int m = mult_enhanced.input_bits();
+        std::vector<double> dist(static_cast<std::size_t>(m) + 1, 0.0);
+        for (std::size_t i = 0; i < x_dist.p.size(); ++i) {
+            dist[i] = x_dist.p[i];
+        }
+        for (int k = 0; k < 4; ++k) {
+            const int const_zeros =
+                kCoeffWidth -
+                util::BitVec{kCoeffWidth,
+                             static_cast<std::uint64_t>(kCoefficients[k])}
+                    .popcount();
+            std::vector<double> expected_zeros(static_cast<std::size_t>(m) + 1, 0.0);
+            for (int i = 0; i <= m; ++i) {
+                double zeros_x;
+                if (i <= x_regions.n_rand) {
+                    // Sign region intact: its bits are stable (zero iff the
+                    // signal is non-negative).
+                    zeros_x = 0.5 * (x_regions.n_rand - i) + x_regions.n_sign * q0;
+                } else {
+                    // Sign region toggled: only leftover random bits stable.
+                    zeros_x = 0.5 * std::max(0, x_regions.n_rand - (i - x_regions.n_sign));
+                }
+                expected_zeros[static_cast<std::size_t>(i)] = const_zeros + zeros_x;
+            }
+            components[static_cast<std::size_t>(k)].enhanced_estimate =
+                mult_enhanced.estimate_from_distribution(dist, expected_zeros);
+        }
+    }
+
+    // --- Reference: cycle-accurate simulation with the true node streams.
+    // Build the actual per-node integer streams.
+    auto delayed = [&](int k) {
+        std::vector<std::int64_t> d(kSamples, 0);
+        for (std::size_t n = static_cast<std::size_t>(k); n < kSamples; ++n) {
+            d[n] = x[n - static_cast<std::size_t>(k)];
+        }
+        return d;
+    };
+    const std::int64_t product_mask = (std::int64_t{1} << kProductWidth) - 1;
+    auto wrap = [&](std::int64_t v) { // two's complement wrap to product width
+        v &= product_mask;
+        if ((v >> (kProductWidth - 1)) & 1) {
+            v -= std::int64_t{1} << kProductWidth;
+        }
+        return v;
+    };
+    std::vector<std::vector<std::int64_t>> tap_inputs;
+    std::vector<std::vector<std::int64_t>> products;
+    for (int k = 0; k < 4; ++k) {
+        tap_inputs.push_back(delayed(k));
+        std::vector<std::int64_t> p(kSamples);
+        for (std::size_t n = 0; n < kSamples; ++n) {
+            p[n] = wrap(tap_inputs.back()[n] * kCoefficients[k]);
+        }
+        products.push_back(std::move(p));
+    }
+    std::vector<std::int64_t> sum0(kSamples);
+    std::vector<std::int64_t> sum1(kSamples);
+    for (std::size_t n = 0; n < kSamples; ++n) {
+        sum0[n] = wrap(products[0][n] + products[1][n]);
+        sum1[n] = wrap(products[2][n] + products[3][n]);
+    }
+
+    auto simulate = [&](const dp::DatapathModule& module,
+                        const std::vector<std::vector<std::int64_t>>& operands) {
+        const auto patterns = core::encode_module_stream(module, operands);
+        sim::PowerSimulator power{module.netlist(), gate::TechLibrary::generic350()};
+        return power.run(patterns).mean_charge_fc();
+    };
+
+    std::vector<double> reference;
+    for (int k = 0; k < 4; ++k) {
+        reference.push_back(simulate(
+            multiplier,
+            {tap_inputs[static_cast<std::size_t>(k)],
+             std::vector<std::int64_t>(kSamples, kCoefficients[k])}));
+    }
+    reference.push_back(simulate(adder, {products[0], products[1]}));
+    reference.push_back(simulate(adder, {products[2], products[3]}));
+    reference.push_back(simulate(adder, {sum0, sum1}));
+
+    // --- Report. ---------------------------------------------------------
+    util::TextTable table;
+    table.set_header({"component", "basic stat [fC]", "enhanced stat [fC]",
+                      "simulated [fC]", "err basic [%]", "err enh. [%]"});
+    table.set_alignment({util::Align::Left});
+    double total_basic = 0.0;
+    double total_best = 0.0;
+    double total_ref = 0.0;
+    for (std::size_t i = 0; i < components.size(); ++i) {
+        const core::StatisticalEstimate estimate = core::estimate_from_word_stats(
+            *components[i].model, components[i].operand_stats);
+        const double basic = estimate.from_distribution_fc;
+        const double enhanced = components[i].enhanced_estimate;
+        const double best = enhanced >= 0.0 ? enhanced : basic;
+        total_basic += basic;
+        total_best += best;
+        total_ref += reference[i];
+        table.add_row(
+            {components[i].name, util::TextTable::fmt(basic, 1),
+             enhanced >= 0.0 ? util::TextTable::fmt(enhanced, 1) : std::string{"-"},
+             util::TextTable::fmt(reference[i], 1),
+             util::TextTable::fmt((basic - reference[i]) / reference[i] * 100.0, 1),
+             enhanced >= 0.0
+                 ? util::TextTable::fmt((enhanced - reference[i]) / reference[i] * 100.0,
+                                        1)
+                 : std::string{"-"}});
+    }
+    table.add_rule();
+    table.add_row({"total", util::TextTable::fmt(total_basic, 1),
+                   util::TextTable::fmt(total_best, 1), util::TextTable::fmt(total_ref, 1),
+                   util::TextTable::fmt((total_basic - total_ref) / total_ref * 100.0, 1),
+                   util::TextTable::fmt((total_best - total_ref) / total_ref * 100.0, 1)});
+    table.print(std::cout);
+
+    std::cout
+        << "\nThe statistical path touched no bit-level data: component power came\n"
+           "from (mu, sigma, rho) propagated through the dataflow graph and each\n"
+           "model's analytic Hd-distribution. The basic model cannot tell the four\n"
+           "multipliers apart — a constant operand contributes Hd = 0 whatever its\n"
+           "value — so it misses that c2 = 512 = 2^9 (one set bit) gates off most\n"
+           "of the array. The enhanced model's stable-zero axis recovers exactly\n"
+           "that effect (enhanced column, 'mult c2' row).\n";
+    return 0;
+}

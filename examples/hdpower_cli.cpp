@@ -1,0 +1,357 @@
+/// hdpower_cli — command-line front end to the library, the shape of tool
+/// a downstream user would script against:
+///
+///   hdpower_cli list
+///   hdpower_cli info <module> <width...>
+///   hdpower_cli characterize <module> <width...> [--models DIR] [--budget N]
+///                                                [--enhanced [K]]
+///   hdpower_cli estimate <module> <width...> --data <I|II|III|IV|V>
+///                        [--patterns N] [--models DIR] [--verify]
+///   hdpower_cli report <module> <width...> --data <type> [--patterns N]
+///                        [--top K]
+///   hdpower_cli sweep <module> <wmin> <wmax> --data <type>
+///                        [--models DIR] [--budget N]
+///
+/// Characterized models are cached in the model library directory
+/// (default ./hdpm_models), so repeated estimates are instant.
+
+#include <array>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/hdpower.hpp"
+#include "util/table.hpp"
+
+using namespace hdpm;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0)
+{
+    std::cerr << "usage: " << argv0 << " <command> [args]\n"
+              << "commands:\n"
+              << "  list\n"
+              << "  info <module> <width...>\n"
+              << "  characterize <module> <width...> [--models DIR] [--budget N] "
+                 "[--enhanced [K]]\n"
+              << "  estimate <module> <width...> --data <I..V> [--patterns N] "
+                 "[--models DIR] [--verify]\n"
+              << "  report <module> <width...> --data <I..V> [--patterns N] [--top K]\n"
+              << "  sweep <module> <wmin> <wmax> --data <I..V> [--models DIR] "
+                 "[--budget N]\n";
+    std::exit(2);
+}
+
+streams::DataType parse_data_type(const std::string& label)
+{
+    for (const streams::DataType type : streams::all_data_types()) {
+        if (label == streams::data_type_label(type) ||
+            label == streams::data_type_name(type)) {
+            return type;
+        }
+    }
+    std::cerr << "unknown data type '" << label << "' (use I..V or a name)\n";
+    std::exit(2);
+}
+
+struct Cli {
+    dp::ModuleType module_type{};
+    std::vector<int> widths;
+    std::string models_dir = "hdpm_models";
+    std::size_t budget = 12000;
+    std::size_t patterns = 2000;
+    std::size_t top_k = 10;
+    bool enhanced = false;
+    int zero_clusters = 0;
+    bool verify = false;
+    bool has_data = false;
+    streams::DataType data{};
+};
+
+Cli parse_module_args(int argc, char** argv, int start)
+{
+    Cli cli;
+    if (start >= argc) {
+        usage(argv[0]);
+    }
+    cli.module_type = dp::module_type_from_id(argv[start]);
+    int i = start + 1;
+    while (i < argc && argv[i][0] != '-') {
+        cli.widths.push_back(std::stoi(argv[i]));
+        ++i;
+    }
+    if (cli.widths.empty()) {
+        std::cerr << "missing width(s)\n";
+        usage(argv[0]);
+    }
+    for (; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << flag << '\n';
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (flag == "--models") {
+            cli.models_dir = next();
+        } else if (flag == "--budget") {
+            cli.budget = std::stoul(next());
+        } else if (flag == "--patterns") {
+            cli.patterns = std::stoul(next());
+        } else if (flag == "--top") {
+            cli.top_k = std::stoul(next());
+        } else if (flag == "--data") {
+            cli.data = parse_data_type(next());
+            cli.has_data = true;
+        } else if (flag == "--verify") {
+            cli.verify = true;
+        } else if (flag == "--enhanced") {
+            cli.enhanced = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                cli.zero_clusters = std::stoi(argv[++i]);
+            }
+        } else {
+            std::cerr << "unknown flag '" << flag << "'\n";
+            usage(argv[0]);
+        }
+    }
+    return cli;
+}
+
+core::CharacterizationOptions char_options(const Cli& cli)
+{
+    core::CharacterizationOptions options;
+    options.max_transitions = cli.budget;
+    options.min_transitions = cli.budget / 2;
+    return options;
+}
+
+int cmd_list()
+{
+    util::TextTable modules;
+    modules.set_header({"module id", "display name", "operands", "complexity basis"});
+    modules.set_alignment({util::Align::Left, util::Align::Left});
+    for (const dp::ModuleType type : dp::all_module_types()) {
+        std::string basis;
+        for (const auto& term : dp::complexity_basis(type).term_names) {
+            basis += basis.empty() ? term : (", " + term);
+        }
+        modules.add_row({dp::module_type_id(type), dp::module_type_display(type),
+                         std::to_string(dp::module_num_operands(type)), basis});
+    }
+    modules.print(std::cout);
+
+    util::TextTable types;
+    types.set_header({"data type", "name"});
+    types.set_alignment({util::Align::Left, util::Align::Left});
+    for (const streams::DataType type : streams::all_data_types()) {
+        types.add_row({streams::data_type_label(type), streams::data_type_name(type)});
+    }
+    std::cout << '\n';
+    types.print(std::cout);
+    return 0;
+}
+
+int cmd_info(const Cli& cli)
+{
+    const dp::DatapathModule module = dp::make_module(cli.module_type, cli.widths);
+    const auto stats = module.netlist().stats();
+    const sim::ElectricalView view{module.netlist(), gate::TechLibrary::generic350()};
+
+    std::cout << module.display_name() << '\n';
+    std::cout << "  input bits (m):    " << module.total_input_bits() << '\n';
+    std::cout << "  cells:             " << stats.num_cells << '\n';
+    std::cout << "  nets:              " << stats.num_nets << '\n';
+    std::cout << "  outputs:           " << stats.num_outputs << '\n';
+    std::cout << "  total capacitance: " << view.total_cap_ff() << " fF\n";
+    std::cout << "  critical path:     " << view.critical_path_ps() << " ps\n";
+    std::cout << "  gate mix:\n";
+    for (int k = 0; k < gate::kNumGateKinds; ++k) {
+        if (stats.cells_per_kind[static_cast<std::size_t>(k)] > 0) {
+            std::cout << "    " << gate::gate_name(static_cast<gate::GateKind>(k)) << ": "
+                      << stats.cells_per_kind[static_cast<std::size_t>(k)] << '\n';
+        }
+    }
+    return 0;
+}
+
+int cmd_characterize(const Cli& cli)
+{
+    const core::ModelLibrary library{cli.models_dir};
+    if (cli.enhanced) {
+        const core::EnhancedHdModel model = library.get_or_characterize_enhanced(
+            cli.module_type, cli.widths, cli.zero_clusters, char_options(cli));
+        std::cout << "enhanced model ready: m = " << model.input_bits() << ", "
+                  << model.num_coefficients() << " coefficients, average deviation "
+                  << 100.0 * model.average_deviation() << "%\n";
+    } else {
+        const core::HdModel model =
+            library.get_or_characterize(cli.module_type, cli.widths, char_options(cli));
+        std::cout << "basic model ready: m = " << model.input_bits()
+                  << ", average deviation " << 100.0 * model.average_deviation() << "%\n";
+
+        // A fresh record set for the auditable quality report (the stored
+        // model only keeps the fitted figures).
+        const dp::DatapathModule module = dp::make_module(cli.module_type, cli.widths);
+        const core::Characterizer characterizer;
+        const auto records = characterizer.collect_records(module, char_options(cli));
+        core::print_characterization_report(
+            std::cout,
+            core::summarize_characterization(module.total_input_bits(), records));
+    }
+    std::cout << "stored under " << library.directory().string() << '/'
+              << library.model_key(cli.module_type, cli.widths) << ".*\n";
+    return 0;
+}
+
+int cmd_estimate(const Cli& cli)
+{
+    if (!cli.has_data) {
+        std::cerr << "estimate requires --data\n";
+        return 2;
+    }
+    const core::ModelLibrary library{cli.models_dir};
+    const core::HdModel model =
+        library.get_or_characterize(cli.module_type, cli.widths, char_options(cli));
+    const dp::DatapathModule module = dp::make_module(cli.module_type, cli.widths);
+
+    const auto patterns =
+        core::make_module_stream(module, cli.data, cli.patterns, 2026);
+    const double estimate = model.estimate_average(patterns);
+    std::cout << module.display_name() << ", data type "
+              << streams::data_type_label(cli.data) << " (" << cli.patterns
+              << " patterns):\n";
+    std::cout << "  macro-model estimate: " << estimate << " fC/cycle\n";
+
+    if (cli.verify) {
+        sim::PowerSimulator reference{module.netlist(), gate::TechLibrary::generic350()};
+        const double simulated = reference.run(patterns).mean_charge_fc();
+        std::cout << "  reference simulation: " << simulated << " fC/cycle\n";
+        std::cout << "  average error:        "
+                  << 100.0 * (estimate - simulated) / simulated << " %\n";
+    }
+    return 0;
+}
+
+int cmd_report(const Cli& cli)
+{
+    if (!cli.has_data) {
+        std::cerr << "report requires --data\n";
+        return 2;
+    }
+    const dp::DatapathModule module = dp::make_module(cli.module_type, cli.widths);
+    const auto patterns = core::make_module_stream(module, cli.data, cli.patterns, 2026);
+
+    sim::PowerSimulator power{module.netlist(), gate::TechLibrary::generic350()};
+    const auto result = power.run(patterns);
+    std::cout << module.display_name() << ": " << result.mean_charge_fc()
+              << " fC/cycle over " << result.cycle_charge_fc.size() << " cycles, "
+              << result.total_transitions << " net toggles\n\n";
+    sim::print_power_report(std::cout, module.netlist(), power.simulator(), cli.top_k);
+
+    std::cout << '\n';
+    const sim::GlitchReport glitches =
+        sim::analyze_glitches(module.netlist(), gate::TechLibrary::generic350(), patterns);
+    sim::print_glitch_report(std::cout, glitches, cli.top_k);
+    return 0;
+}
+
+int cmd_sweep(const Cli& cli)
+{
+    if (!cli.has_data) {
+        std::cerr << "sweep requires --data\n";
+        return 2;
+    }
+    if (cli.widths.size() != 2 || cli.widths[0] > cli.widths[1]) {
+        std::cerr << "sweep takes <wmin> <wmax>\n";
+        return 2;
+    }
+    const int wmin = cli.widths[0];
+    const int wmax = cli.widths[1];
+
+    // Characterize three prototype widths, fit the family regression, then
+    // predict the whole range statistically — the section-5 workflow.
+    const core::ModelLibrary library{cli.models_dir};
+    const std::vector<int> prototype_widths{wmin, (wmin + wmax) / 2, wmax};
+    std::vector<core::PrototypeModel> prototypes;
+    for (const int w : prototype_widths) {
+        const std::array<int, 1> widths = {w};
+        core::PrototypeModel proto;
+        proto.operand_widths = {w};
+        proto.model = library.get_or_characterize(cli.module_type, widths,
+                                                  char_options(cli));
+        prototypes.push_back(std::move(proto));
+        std::cout << "prototype " << w << " ready\n";
+    }
+    const core::ParameterizableModel family =
+        core::ParameterizableModel::fit(cli.module_type, prototypes);
+
+    util::TextTable table;
+    table.set_header({"width", "m", "power [fC/cycle]"});
+    for (int w = wmin; w <= wmax; ++w) {
+        const auto values = streams::generate_stream(cli.data, w, 4000, 2026);
+        const streams::WordStats stats = streams::measure_word_stats(values, w);
+        const core::HdModel model = family.model_for(w);
+
+        std::vector<streams::WordStats> operand_stats;
+        const int operands = dp::module_num_operands(cli.module_type);
+        // Statistical estimate needs per-operand stats matching the
+        // family's expanded operand widths.
+        const std::array<int, 1> width_arg = {w};
+        for (const int operand_width :
+             dp::expand_operand_widths(cli.module_type, width_arg)) {
+            streams::WordStats s = stats;
+            s.width = operand_width;
+            operand_stats.push_back(s);
+        }
+        (void)operands;
+        const double power =
+            core::estimate_from_word_stats(model, operand_stats).from_distribution_fc;
+        table.add_row({std::to_string(w),
+                       std::to_string(model.input_bits()),
+                       util::TextTable::fmt(power, 1)});
+    }
+    std::cout << dp::module_type_display(cli.module_type) << ", data type "
+              << streams::data_type_label(cli.data)
+              << " — predicted from 3 prototype characterizations:\n";
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc < 2) {
+        usage(argv[0]);
+    }
+    const std::string command = argv[1];
+    try {
+        if (command == "list") {
+            return cmd_list();
+        }
+        const Cli cli = parse_module_args(argc, argv, 2);
+        if (command == "info") {
+            return cmd_info(cli);
+        }
+        if (command == "characterize") {
+            return cmd_characterize(cli);
+        }
+        if (command == "estimate") {
+            return cmd_estimate(cli);
+        }
+        if (command == "report") {
+            return cmd_report(cli);
+        }
+        if (command == "sweep") {
+            return cmd_sweep(cli);
+        }
+        usage(argv[0]);
+    } catch (const std::exception& error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,67 @@
+/// Registered-datapath power: a two-stage pipelined magnitude unit
+/// y = |a·b| (8x8 csa-multiplier, then a 16-bit absval), simulated
+/// cycle-accurately with register banks between the stages.
+///
+/// Shows the step from the paper's isolated combinational modules to a
+/// clocked datapath: per-stage combinational charge, register (clock +
+/// data) charge, and how the workload statistics shift the breakdown.
+///
+///   $ ./pipeline_power
+
+#include <iostream>
+
+#include "core/hdpower.hpp"
+#include "util/table.hpp"
+
+using namespace hdpm;
+
+int main()
+{
+    constexpr int kWidth = 8;
+    constexpr std::size_t kCycles = 2000;
+
+    const dp::DatapathModule mult = dp::make_module(dp::ModuleType::CsaMultiplier, kWidth);
+    const dp::DatapathModule abs = dp::make_module(dp::ModuleType::AbsVal, 2 * kWidth);
+
+    std::cout << "Two-stage pipeline: " << mult.display_name() << " -> "
+              << abs.display_name() << "\n";
+    std::cout << "stage cells: " << mult.netlist().num_cells() << " + "
+              << abs.netlist().num_cells() << "; register banks: " << 2 * kWidth
+              << " + " << 2 * kWidth << " flops\n\n";
+
+    sim::PipelineSimulator pipeline{{&mult.netlist(), &abs.netlist()},
+                                    gate::TechLibrary::generic350()};
+
+    util::TextTable table;
+    table.set_header({"workload", "mult [fC/cy]", "abs [fC/cy]", "regs [fC/cy]",
+                      "total [fC/cy]", "reg share"});
+    table.set_alignment({util::Align::Left});
+
+    for (const streams::DataType type :
+         {streams::DataType::Random, streams::DataType::Music,
+          streams::DataType::Speech, streams::DataType::Counter}) {
+        const auto inputs = core::make_module_stream(mult, type, kCycles, 7);
+        const sim::PipelinePowerResult result = pipeline.run(inputs);
+        const double cycles = static_cast<double>(result.cycles.size());
+        const double reg = result.register_fc / cycles;
+        const double total = result.total_fc() / cycles;
+        table.add_row({streams::data_type_name(type),
+                       util::TextTable::fmt(result.per_stage_fc[0] / cycles, 1),
+                       util::TextTable::fmt(result.per_stage_fc[1] / cycles, 1),
+                       util::TextTable::fmt(reg, 1), util::TextTable::fmt(total, 1),
+                       util::TextTable::fmt(100.0 * reg / total, 1) + "%"});
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "\nReading the table:\n"
+        "  - the multiplier stage dominates on all workloads (array vs linear\n"
+        "    structure — the complexity story of paper section 5);\n"
+        "  - register power is data-dependent only through bank toggles: its\n"
+        "    clock component is constant, so its *share* grows on quiet\n"
+        "    (correlated or counter) workloads — the classic motivation for\n"
+        "    clock gating;\n"
+        "  - pipelining also isolates stages: the absval never sees the\n"
+        "    multiplier's glitches, only registered, settled product values.\n";
+    return 0;
+}

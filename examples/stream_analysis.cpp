@@ -1,0 +1,89 @@
+/// Data-stream analysis with the word-level data model (section 6):
+/// for each of the paper's five data types, measure the word-level
+/// statistics, derive the dual-bit-type regions, and compare the analytic
+/// Hamming-distance distribution against the one extracted from the bits.
+///
+///   $ ./stream_analysis
+
+#include <cmath>
+#include <iostream>
+
+#include "core/hdpower.hpp"
+#include "util/table.hpp"
+
+using namespace hdpm;
+
+int main()
+{
+    constexpr int kWidth = 16;
+    constexpr std::size_t kSamples = 8000;
+
+    std::cout << "Word-level stream analysis (width " << kWidth << ", " << kSamples
+              << " samples per type)\n";
+
+    util::TextTable table;
+    table.set_header({"type", "name", "mu", "sigma", "rho", "BP0", "BP1", "n_rand",
+                      "n_sign", "t_sign", "Hd_avg model", "Hd_avg extracted",
+                      "TV dist"});
+    table.set_alignment({util::Align::Left, util::Align::Left});
+
+    for (const streams::DataType type : streams::all_data_types()) {
+        const auto values = streams::generate_stream(type, kWidth, kSamples, 4711);
+        const streams::WordStats stats = streams::measure_word_stats(values, kWidth);
+        const stats::Breakpoints bp = stats::compute_breakpoints(stats);
+        const stats::WordRegions regions = stats::compute_regions(stats);
+        const stats::HdDistribution analytic = stats::compute_hd_distribution(stats);
+
+        const auto patterns = streams::to_patterns(values, kWidth);
+        const auto extracted = streams::extract_hd_distribution(patterns);
+        const double extracted_avg = streams::extract_average_hd(patterns);
+
+        double tv = 0.0;
+        for (std::size_t i = 0; i < extracted.size(); ++i) {
+            tv += std::abs(extracted[i] - analytic.p[i]);
+        }
+        tv *= 0.5;
+
+        table.add_row({streams::data_type_label(type), streams::data_type_name(type),
+                       util::TextTable::fmt(stats.mean, 0),
+                       util::TextTable::fmt(stats.stddev(), 0),
+                       util::TextTable::fmt(stats.rho, 3),
+                       util::TextTable::fmt(bp.bp0, 1), util::TextTable::fmt(bp.bp1, 1),
+                       std::to_string(regions.n_rand), std::to_string(regions.n_sign),
+                       util::TextTable::fmt(regions.t_sign, 3),
+                       util::TextTable::fmt(stats::analytic_average_hd(stats), 2),
+                       util::TextTable::fmt(extracted_avg, 2),
+                       util::TextTable::fmt(tv, 3)});
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "\nReading the table:\n"
+        "  - random (I): the whole word is in the random region (n_sign ~ 0),\n"
+        "    Hd_avg ~ m/2 — the binomial regime the model nails exactly.\n"
+        "  - music (II): moderate correlation, a few sign bits, t_sign noticeable.\n"
+        "  - speech (III) / video (IV): strong correlation -> wide sign region that\n"
+        "    toggles rarely but jointly; the distribution grows a second mode.\n"
+        "  - counter (V): deterministic, non-Gaussian, non-negative — the data model\n"
+        "    is least faithful here (largest TV distance), which is exactly why\n"
+        "    table 1's type-V errors are the largest and why the enhanced model or\n"
+        "    coefficient adaptation is recommended for such streams.\n";
+
+    // Detailed side-by-side distribution for the speech stream (fig. 9 style).
+    util::print_section(std::cout, "speech distribution, extracted vs analytic");
+    const auto values = streams::generate_stream(streams::DataType::Speech, kWidth,
+                                                 kSamples, 4711);
+    const streams::WordStats stats = streams::measure_word_stats(values, kWidth);
+    const stats::HdDistribution analytic = stats::compute_hd_distribution(stats);
+    const auto extracted =
+        streams::extract_hd_distribution(streams::to_patterns(values, kWidth));
+    util::TextTable dist;
+    dist.set_header({"Hd", "extracted", "analytic"});
+    for (int i = 0; i <= kWidth; ++i) {
+        dist.add_row({std::to_string(i),
+                      util::TextTable::fmt(extracted[static_cast<std::size_t>(i)], 4),
+                      util::TextTable::fmt(analytic.p[static_cast<std::size_t>(i)], 4)});
+    }
+    dist.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,45 @@
+#include "core/adaptive.hpp"
+
+#include "util/error.hpp"
+
+namespace hdpm::core {
+
+AdaptiveHdModel::AdaptiveHdModel(HdModel initial, double learning_rate)
+    : input_bits_(initial.input_bits()),
+      learning_rate_(learning_rate),
+      coefficients_(initial.coefficients().begin(), initial.coefficients().end())
+{
+    HDPM_REQUIRE(learning_rate > 0.0 && learning_rate <= 1.0, "learning rate ",
+                 learning_rate, " outside (0, 1]");
+}
+
+double AdaptiveHdModel::coefficient(int hd) const
+{
+    HDPM_REQUIRE(hd >= 1 && hd <= input_bits_, "Hd ", hd, " outside [1, ", input_bits_,
+                 "]");
+    return coefficients_[static_cast<std::size_t>(hd - 1)];
+}
+
+double AdaptiveHdModel::estimate_cycle(int hd) const
+{
+    return hd == 0 ? 0.0 : coefficient(hd);
+}
+
+double AdaptiveHdModel::observe(int hd, double reference_charge_fc)
+{
+    HDPM_REQUIRE(hd >= 0 && hd <= input_bits_, "Hd ", hd, " outside [0, ", input_bits_,
+                 "]");
+    const double estimate = estimate_cycle(hd);
+    if (hd > 0) {
+        double& p = coefficients_[static_cast<std::size_t>(hd - 1)];
+        p += learning_rate_ * (reference_charge_fc - p);
+    }
+    return estimate;
+}
+
+HdModel AdaptiveHdModel::snapshot() const
+{
+    return HdModel{input_bits_, coefficients_};
+}
+
+} // namespace hdpm::core

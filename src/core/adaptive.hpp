@@ -1,0 +1,44 @@
+#pragma once
+
+#include "core/hd_model.hpp"
+
+namespace hdpm::core {
+
+/// Online least-mean-square adaptation of Hd-model coefficients.
+///
+/// Section 4.2 of the paper proposes "coefficient adaptation techniques
+/// [4]" (Bogliolo/Benini/De Micheli, adaptive LMS behavioural power
+/// modelling) for input statistics that differ strongly from the
+/// characterization stream. This class implements that extension: whenever
+/// a reference charge measurement is available for a transition, the
+/// corresponding coefficient moves towards it:
+///     p_i ← p_i + λ·(Q_observed − p_i)
+class AdaptiveHdModel {
+public:
+    /// Wrap an initial model; @p learning_rate is the LMS step λ ∈ (0, 1].
+    explicit AdaptiveHdModel(HdModel initial, double learning_rate = 0.1);
+
+    [[nodiscard]] int input_bits() const noexcept { return input_bits_; }
+    [[nodiscard]] double learning_rate() const noexcept { return learning_rate_; }
+
+    /// Current coefficient p_i.
+    [[nodiscard]] double coefficient(int hd) const;
+
+    /// Estimate of a transition's charge under the current coefficients.
+    [[nodiscard]] double estimate_cycle(int hd) const;
+
+    /// Feed one observed (Hamming distance, reference charge) pair; returns
+    /// the estimate *before* adaptation (so callers can score tracking
+    /// error as they adapt).
+    double observe(int hd, double reference_charge_fc);
+
+    /// Snapshot the adapted coefficients as a plain HdModel.
+    [[nodiscard]] HdModel snapshot() const;
+
+private:
+    int input_bits_;
+    double learning_rate_;
+    std::vector<double> coefficients_;
+};
+
+} // namespace hdpm::core

@@ -1,0 +1,140 @@
+#include "core/bitwise_model.hpp"
+
+#include <bit>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/linalg.hpp"
+
+namespace hdpm::core {
+
+using util::BitVec;
+
+BitwiseLinearModel::BitwiseLinearModel(double intercept, std::vector<double> weights)
+    : intercept_(intercept), weights_(std::move(weights))
+{
+    HDPM_REQUIRE(!weights_.empty(), "model needs at least one input bit");
+}
+
+BitwiseLinearModel BitwiseLinearModel::fit(
+    int input_bits, std::span<const CharacterizationRecord> records)
+{
+    HDPM_REQUIRE(input_bits >= 1 && input_bits <= 64, "bad input width");
+    HDPM_REQUIRE(records.size() > static_cast<std::size_t>(input_bits),
+                 "need more records (", records.size(), ") than parameters (",
+                 input_bits + 1, ")");
+
+    // Least squares over the (m+1)-column design [τ_0 .. τ_{m-1}, 1].
+    const auto k = static_cast<std::size_t>(input_bits) + 1;
+    util::Matrix design{records.size(), k};
+    std::vector<double> rhs(records.size());
+    for (std::size_t r = 0; r < records.size(); ++r) {
+        for (int bit = 0; bit < input_bits; ++bit) {
+            design.at(r, static_cast<std::size_t>(bit)) =
+                static_cast<double>((records[r].toggle_mask >> bit) & 1U);
+        }
+        design.at(r, k - 1) = 1.0;
+        rhs[r] = records[r].charge_fc;
+    }
+    std::vector<double> solution = util::least_squares(design, rhs);
+
+    const double intercept = solution.back();
+    solution.pop_back();
+    return BitwiseLinearModel{intercept, std::move(solution)};
+}
+
+double BitwiseLinearModel::weight(int bit) const
+{
+    HDPM_REQUIRE(bit >= 0 && bit < input_bits(), "bit ", bit, " outside [0, ",
+                 input_bits(), ")");
+    return weights_[static_cast<std::size_t>(bit)];
+}
+
+double BitwiseLinearModel::estimate_cycle(std::uint64_t toggle_mask) const
+{
+    if (toggle_mask == 0) {
+        return 0.0; // no event, no charge (matches the Hd-model convention)
+    }
+    double q = intercept_;
+    std::uint64_t mask = toggle_mask;
+    while (mask != 0) {
+        const int bit = std::countr_zero(mask);
+        if (bit >= input_bits()) {
+            break;
+        }
+        q += weights_[static_cast<std::size_t>(bit)];
+        mask &= mask - 1;
+    }
+    return q > 0.0 ? q : 0.0;
+}
+
+std::vector<double> BitwiseLinearModel::estimate_cycles(
+    std::span<const BitVec> patterns) const
+{
+    HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns");
+    std::vector<double> q;
+    q.reserve(patterns.size() - 1);
+    for (std::size_t j = 1; j < patterns.size(); ++j) {
+        HDPM_REQUIRE(patterns[j].width() == input_bits(), "pattern width ",
+                     patterns[j].width(), " vs model m=", input_bits());
+        q.push_back(estimate_cycle((patterns[j - 1] ^ patterns[j]).raw()));
+    }
+    return q;
+}
+
+double BitwiseLinearModel::estimate_average(std::span<const BitVec> patterns) const
+{
+    const std::vector<double> q = estimate_cycles(patterns);
+    double total = 0.0;
+    for (const double v : q) {
+        total += v;
+    }
+    return total / static_cast<double>(q.size());
+}
+
+void BitwiseLinearModel::save(std::ostream& os) const
+{
+    const auto old_precision = os.precision(17);
+    os << "bitwise_linear_model 1\n";
+    os << "m " << input_bits() << " b0 " << intercept_ << '\n';
+    for (int bit = 0; bit < input_bits(); ++bit) {
+        os << bit << ' ' << weights_[static_cast<std::size_t>(bit)] << '\n';
+    }
+    os << "end\n";
+    os.precision(old_precision);
+}
+
+BitwiseLinearModel BitwiseLinearModel::load(std::istream& is)
+{
+    std::string tag;
+    int version = 0;
+    is >> tag >> version;
+    if (!is || tag != "bitwise_linear_model" || version != 1) {
+        HDPM_FAIL("not a version-1 bitwise_linear_model file");
+    }
+    int m = 0;
+    double intercept = 0.0;
+    std::string btag;
+    is >> tag >> m >> btag >> intercept;
+    if (!is || tag != "m" || btag != "b0" || m < 1) {
+        HDPM_FAIL("malformed bitwise_linear_model header");
+    }
+    std::vector<double> weights(static_cast<std::size_t>(m), 0.0);
+    for (int bit = 0; bit < m; ++bit) {
+        int idx = 0;
+        double w = 0.0;
+        is >> idx >> w;
+        if (!is || idx != bit) {
+            HDPM_FAIL("malformed bitwise_linear_model row ", bit);
+        }
+        weights[static_cast<std::size_t>(bit)] = w;
+    }
+    is >> tag;
+    if (!is || tag != "end") {
+        HDPM_FAIL("bitwise_linear_model file missing 'end'");
+    }
+    return BitwiseLinearModel{intercept, std::move(weights)};
+}
+
+} // namespace hdpm::core

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "core/characterize.hpp"
+#include "util/bitvec.hpp"
+
+namespace hdpm::core {
+
+/// Baseline comparator: a per-bit linear regression macro-model.
+///
+/// The classic alternative to Hamming-distance binning (regression-based
+/// behavioural macro-models in the tradition of [1, 4]): the cycle charge
+/// is modelled as an affine function of *which* input bits toggled,
+///     Q[j] ≈ b₀ + Σ_i w_i·τ_i[j],      τ_i[j] ∈ {0, 1},
+/// fitted by least squares over the characterization records. It has
+/// m + 1 parameters — the same order as the basic Hd-model — but spends
+/// them on bit position instead of transition count, so the two models
+/// bracket the design space the paper's model sits in:
+///  - position-sensitive streams (counters, constant operands) favour
+///    the bitwise model,
+///  - count-sensitive behaviour (glitch amplification with many
+///    simultaneous toggles) favours the Hd-model.
+/// bench_baselines quantifies this trade-off.
+class BitwiseLinearModel {
+public:
+    BitwiseLinearModel() = default;
+
+    /// Construct from explicit parameters; @p weights holds w_0..w_{m-1}.
+    BitwiseLinearModel(double intercept, std::vector<double> weights);
+
+    /// Fit by least squares from characterization records (uses the
+    /// toggle masks; charge is the regression target).
+    [[nodiscard]] static BitwiseLinearModel fit(
+        int input_bits, std::span<const CharacterizationRecord> records);
+
+    [[nodiscard]] int input_bits() const noexcept
+    {
+        return static_cast<int>(weights_.size());
+    }
+    [[nodiscard]] double intercept() const noexcept { return intercept_; }
+
+    /// Weight of input bit @p bit (0 = LSB of operand 0).
+    [[nodiscard]] double weight(int bit) const;
+
+    /// Charge estimate for a transition with the given toggle mask.
+    [[nodiscard]] double estimate_cycle(std::uint64_t toggle_mask) const;
+
+    /// Per-cycle charges for a pattern stream.
+    [[nodiscard]] std::vector<double> estimate_cycles(
+        std::span<const util::BitVec> patterns) const;
+
+    /// Average charge per cycle for a pattern stream.
+    [[nodiscard]] double estimate_average(std::span<const util::BitVec> patterns) const;
+
+    /// --- Serialization ----------------------------------------------
+    void save(std::ostream& os) const;
+    [[nodiscard]] static BitwiseLinearModel load(std::istream& is);
+
+private:
+    double intercept_ = 0.0;
+    std::vector<double> weights_;
+};
+
+} // namespace hdpm::core

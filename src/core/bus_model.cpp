@@ -1,0 +1,58 @@
+#include "core/bus_model.hpp"
+
+#include "util/error.hpp"
+
+namespace hdpm::core {
+
+using util::BitVec;
+
+BusPowerModel::BusPowerModel(int width, double line_cap_ff, double vdd_v,
+                             double clock_cap_ff)
+    : width_(width),
+      per_toggle_fc_(0.5 * line_cap_ff * vdd_v),
+      clock_fc_(0.5 * clock_cap_ff * vdd_v)
+{
+    HDPM_REQUIRE(width >= 1, "bus needs at least one line");
+    HDPM_REQUIRE(line_cap_ff > 0.0, "line capacitance must be positive");
+    HDPM_REQUIRE(vdd_v > 0.0, "Vdd must be positive");
+    HDPM_REQUIRE(clock_cap_ff >= 0.0, "negative clock capacitance");
+}
+
+double BusPowerModel::estimate_cycle(int hd) const
+{
+    HDPM_REQUIRE(hd >= 0 && hd <= width_, "Hd ", hd, " outside [0, ", width_, "]");
+    return clock_fc_ + per_toggle_fc_ * static_cast<double>(hd);
+}
+
+double BusPowerModel::estimate_average(std::span<const BitVec> patterns) const
+{
+    HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns");
+    for (const BitVec& pattern : patterns) {
+        HDPM_REQUIRE(pattern.width() == width_, "pattern width mismatch");
+    }
+    return clock_fc_ +
+           per_toggle_fc_ * streams::extract_average_hd(patterns);
+}
+
+double BusPowerModel::estimate_from_distribution(
+    std::span<const double> hd_distribution) const
+{
+    HDPM_REQUIRE(static_cast<int>(hd_distribution.size()) == width_ + 1,
+                 "distribution must have width+1 entries");
+    double mean_hd = 0.0;
+    for (std::size_t i = 0; i < hd_distribution.size(); ++i) {
+        mean_hd += static_cast<double>(i) * hd_distribution[i];
+    }
+    return clock_fc_ + per_toggle_fc_ * mean_hd;
+}
+
+double BusPowerModel::estimate_from_stats(const streams::WordStats& stats,
+                                          streams::NumberFormat format) const
+{
+    HDPM_REQUIRE(stats.width == width_, "word width ", stats.width, " vs bus width ",
+                 width_);
+    return clock_fc_ +
+           per_toggle_fc_ * stats::analytic_average_hd(stats, format);
+}
+
+} // namespace hdpm::core

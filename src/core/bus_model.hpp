@@ -1,0 +1,55 @@
+#pragma once
+
+#include <span>
+
+#include "stats/datamodel.hpp"
+#include "streams/bitstats.hpp"
+#include "streams/wordstats.hpp"
+#include "util/bitvec.hpp"
+
+namespace hdpm::core {
+
+/// Charge model of an N-bit interconnect segment (a bus, or the output
+/// bank of a register file): every line carries the same capacitance, so a
+/// cycle's switching charge is exactly proportional to the Hamming
+/// distance — the idealized setting in which Hd *is* the power, and the
+/// case the low-power encoding literature (and the paper's introduction)
+/// reasons about.
+///
+/// An optional per-cycle clock load models registered buses: it is drawn
+/// every cycle regardless of data activity.
+class BusPowerModel {
+public:
+    /// @p line_cap_ff per-line capacitance [fF]; @p clock_cap_ff total
+    /// clock-network capacitance switched every cycle (0 = plain wires).
+    BusPowerModel(int width, double line_cap_ff, double vdd_v = 3.3,
+                  double clock_cap_ff = 0.0);
+
+    [[nodiscard]] int width() const noexcept { return width_; }
+
+    /// Charge drawn per toggling line [fC].
+    [[nodiscard]] double charge_per_toggle_fc() const noexcept { return per_toggle_fc_; }
+
+    /// Charge of one cycle with Hamming distance @p hd.
+    [[nodiscard]] double estimate_cycle(int hd) const;
+
+    /// Average charge per cycle over a pattern stream.
+    [[nodiscard]] double estimate_average(std::span<const util::BitVec> patterns) const;
+
+    /// Average charge from an Hd distribution (index 0..width).
+    [[nodiscard]] double estimate_from_distribution(
+        std::span<const double> hd_distribution) const;
+
+    /// Fully analytic estimate from word-level statistics under a number
+    /// representation — e.g. to size the win of sign-magnitude encoding on
+    /// a long bus without any simulation.
+    [[nodiscard]] double estimate_from_stats(const streams::WordStats& stats,
+                                             streams::NumberFormat format) const;
+
+private:
+    int width_;
+    double per_toggle_fc_;
+    double clock_fc_;
+};
+
+} // namespace hdpm::core

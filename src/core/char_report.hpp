@@ -1,0 +1,55 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "core/characterize.hpp"
+
+namespace hdpm::core {
+
+/// Quality statistics of one Hamming-distance class of a characterization
+/// run.
+struct ClassQuality {
+    int hd = 0;
+    std::size_t samples = 0;
+    double mean_fc = 0.0;            ///< p_i
+    double stddev_fc = 0.0;          ///< intra-class charge spread
+    double standard_error_fc = 0.0;  ///< σ/√n — coefficient confidence
+    double deviation = 0.0;          ///< ε_i (paper eq. 5)
+
+    /// Relative half-width of an approximate 95 % confidence interval.
+    [[nodiscard]] double relative_ci95() const noexcept
+    {
+        return mean_fc > 0.0 ? 1.96 * standard_error_fc / mean_fc : 0.0;
+    }
+};
+
+/// Characterization-run quality summary: per-class occupancy, confidence,
+/// and the run's overall spread. The paper stops at "characterization can
+/// be finished after the coefficient values have converged"; this report
+/// makes that call auditable — thin classes and wide intervals show up
+/// immediately.
+struct CharacterizationReport {
+    int input_bits = 0;
+    std::size_t total_records = 0;
+    std::vector<ClassQuality> classes; ///< index 0 = Hd 1
+    double min_charge_fc = 0.0;
+    double max_charge_fc = 0.0;
+
+    /// Worst relative 95 % CI half-width over populated classes.
+    [[nodiscard]] double worst_relative_ci95() const noexcept;
+
+    /// Smallest per-class sample count (0 if any class is empty).
+    [[nodiscard]] std::size_t min_class_samples() const noexcept;
+};
+
+/// Summarize raw characterization records.
+[[nodiscard]] CharacterizationReport summarize_characterization(
+    int input_bits, std::span<const CharacterizationRecord> records);
+
+/// Print the report as an aligned table.
+void print_characterization_report(std::ostream& os,
+                                   const CharacterizationReport& report);
+
+} // namespace hdpm::core

@@ -1,0 +1,325 @@
+#include "core/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm::core {
+
+using util::BitVec;
+using util::Rng;
+
+namespace {
+
+/// A uniformly random mask of exactly @p bits set bits out of @p m
+/// (partial Fisher–Yates over bit positions).
+BitVec random_mask(int m, int bits, Rng& rng, std::vector<int>& scratch)
+{
+    scratch.resize(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+        scratch[static_cast<std::size_t>(i)] = i;
+    }
+    BitVec mask{m};
+    for (int i = 0; i < bits; ++i) {
+        const auto j = static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(m - 1)));
+        std::swap(scratch[static_cast<std::size_t>(i)], scratch[j]);
+        mask.set(scratch[static_cast<std::size_t>(i)], true);
+    }
+    return mask;
+}
+
+BitVec random_vector(int m, Rng& rng)
+{
+    return BitVec{m, rng.next_u64()};
+}
+
+/// Zero-cluster geometry shared by fitting and the EnhancedHdModel itself.
+int clusters_for(int m, int hd, int zero_clusters)
+{
+    const int levels = m - hd + 1;
+    return zero_clusters == 0 ? levels : std::min(zero_clusters, levels);
+}
+
+int cluster_index(int m, int hd, int zeros, int zero_clusters)
+{
+    const int levels = m - hd + 1;
+    const int clusters = clusters_for(m, hd, zero_clusters);
+    if (clusters == levels) {
+        return zeros;
+    }
+    return std::min(clusters - 1, zeros * clusters / levels);
+}
+
+/// Convergence monitor over per-class running means.
+class ConvergenceMonitor {
+public:
+    explicit ConvergenceMonitor(std::size_t num_classes)
+        : sum_(num_classes, 0.0), count_(num_classes, 0), snapshot_(num_classes, 0.0)
+    {
+    }
+
+    void add(std::size_t cls, double q)
+    {
+        sum_[cls] += q;
+        ++count_[cls];
+    }
+
+    /// Max relative drift of populated class means since the last call;
+    /// takes a new snapshot.
+    double drift_and_snapshot()
+    {
+        double max_drift = 0.0;
+        for (std::size_t i = 0; i < sum_.size(); ++i) {
+            if (count_[i] == 0) {
+                continue;
+            }
+            const double mean = sum_[i] / static_cast<double>(count_[i]);
+            if (snapshot_[i] > 0.0) {
+                max_drift = std::max(max_drift,
+                                     std::abs(mean - snapshot_[i]) / snapshot_[i]);
+            } else {
+                max_drift = 1.0; // newly populated class: not converged yet
+            }
+            snapshot_[i] = mean;
+        }
+        return max_drift;
+    }
+
+private:
+    std::vector<double> sum_;
+    std::vector<std::size_t> count_;
+    std::vector<double> snapshot_;
+};
+
+} // namespace
+
+Characterizer::Characterizer(const gate::TechLibrary& library,
+                             sim::EventSimOptions sim_options)
+    : library_(&library), sim_options_(sim_options)
+{
+}
+
+std::vector<CharacterizationRecord> Characterizer::collect_records(
+    const dp::DatapathModule& module, const CharacterizationOptions& options) const
+{
+    const int m = module.total_input_bits();
+    HDPM_REQUIRE(m >= 1 && m <= BitVec::kMaxWidth, "module input width out of range");
+    HDPM_REQUIRE(options.batch >= 1, "batch must be positive");
+
+    sim::EventSimulator simulator{module.netlist(), *library_, sim_options_};
+    Rng rng{options.seed};
+    std::vector<int> scratch;
+
+    // Class geometry for convergence monitoring: basic classes suffice for
+    // chain modes; pairs mode monitors (hd, zeros) jointly via basic bins
+    // as well (a conservative criterion).
+    ConvergenceMonitor monitor{static_cast<std::size_t>(m)};
+
+    std::vector<CharacterizationRecord> records;
+    records.reserve(std::min(options.max_transitions, std::size_t{1} << 20));
+
+    // Stratification state.
+    std::vector<int> hd_cycle(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+        hd_cycle[static_cast<std::size_t>(i)] = i + 1;
+    }
+    rng.shuffle(hd_cycle);
+    std::size_t hd_cursor = 0;
+
+    // (hd, zeros) enumeration for StratifiedPairs.
+    std::vector<std::pair<int, int>> class_cycle;
+    if (options.mode == StimulusMode::StratifiedPairs) {
+        for (int hd = 1; hd <= m; ++hd) {
+            for (int z = 0; z <= m - hd; ++z) {
+                class_cycle.emplace_back(hd, z);
+            }
+        }
+        rng.shuffle(class_cycle);
+    }
+    std::size_t class_cursor = 0;
+
+    BitVec current = random_vector(m, rng);
+    if (options.mode != StimulusMode::StratifiedPairs) {
+        simulator.initialize(current);
+    }
+
+    std::size_t since_check = 0;
+    while (records.size() < options.max_transitions) {
+        CharacterizationRecord rec;
+        if (options.mode == StimulusMode::StratifiedPairs) {
+            const auto [hd, zeros] = class_cycle[class_cursor];
+            class_cursor = (class_cursor + 1) % class_cycle.size();
+
+            // Build u with the prescribed stable-zero layout, v = u ^ mask.
+            const BitVec mask = random_mask(m, hd, rng, scratch);
+            BitVec u{m};
+            // Positions outside the mask: exactly `zeros` of them are 0.
+            std::vector<int> stable;
+            stable.reserve(static_cast<std::size_t>(m - hd));
+            for (int i = 0; i < m; ++i) {
+                if (!mask.get(i)) {
+                    stable.push_back(i);
+                }
+            }
+            rng.shuffle(stable);
+            for (std::size_t s = 0; s < stable.size(); ++s) {
+                u.set(stable[s], s >= static_cast<std::size_t>(zeros));
+            }
+            for (int i = 0; i < m; ++i) {
+                if (mask.get(i)) {
+                    u.set(i, rng.bernoulli(0.5));
+                }
+            }
+            const BitVec v = u ^ mask;
+
+            simulator.initialize(u);
+            const sim::CycleResult cycle = simulator.apply(v);
+            rec.hd = hd;
+            rec.stable_zeros = zeros;
+            rec.charge_fc = cycle.charge_fc;
+            rec.toggle_mask = mask.raw();
+        } else {
+            BitVec next{m};
+            if (options.mode == StimulusMode::RandomChain) {
+                next = random_vector(m, rng);
+            } else {
+                const int hd = hd_cycle[hd_cursor];
+                hd_cursor = (hd_cursor + 1) % hd_cycle.size();
+                if (hd_cursor == 0) {
+                    rng.shuffle(hd_cycle);
+                }
+                next = current ^ random_mask(m, hd, rng, scratch);
+            }
+            const int hd = BitVec::hamming_distance(current, next);
+            if (hd == 0) {
+                current = next;
+                continue; // Hd = 0 transitions carry no class information
+            }
+            const sim::CycleResult cycle = simulator.apply(next);
+            rec.hd = hd;
+            rec.stable_zeros = BitVec::stable_zeros(current, next);
+            rec.charge_fc = cycle.charge_fc;
+            rec.toggle_mask = (current ^ next).raw();
+            current = next;
+        }
+
+        monitor.add(static_cast<std::size_t>(rec.hd - 1), rec.charge_fc);
+        records.push_back(rec);
+
+        if (++since_check >= options.batch) {
+            since_check = 0;
+            const double drift = monitor.drift_and_snapshot();
+            if (records.size() >= options.min_transitions && drift < options.tolerance) {
+                break;
+            }
+        }
+    }
+    return records;
+}
+
+HdModel fit_basic_model(int input_bits, std::span<const CharacterizationRecord> records)
+{
+    HDPM_REQUIRE(input_bits >= 1, "bad input width");
+    const auto m = static_cast<std::size_t>(input_bits);
+    std::vector<double> sum(m, 0.0);
+    std::vector<std::size_t> count(m, 0);
+    for (const auto& rec : records) {
+        HDPM_REQUIRE(rec.hd >= 1 && rec.hd <= input_bits, "record Hd out of range");
+        sum[static_cast<std::size_t>(rec.hd - 1)] += rec.charge_fc;
+        ++count[static_cast<std::size_t>(rec.hd - 1)];
+    }
+    std::vector<double> p(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+        if (count[i] > 0) {
+            p[i] = sum[i] / static_cast<double>(count[i]);
+        }
+    }
+    // Second pass: ε_i = mean |Q - p_i| / p_i (eq. 5).
+    std::vector<double> dev(m, 0.0);
+    for (const auto& rec : records) {
+        const auto i = static_cast<std::size_t>(rec.hd - 1);
+        if (p[i] > 0.0) {
+            dev[i] += std::abs(rec.charge_fc - p[i]) / p[i];
+        }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        if (count[i] > 0) {
+            dev[i] /= static_cast<double>(count[i]);
+        }
+    }
+    return HdModel{input_bits, std::move(p), std::move(dev), std::move(count)};
+}
+
+EnhancedHdModel fit_enhanced_model(int input_bits, int zero_clusters,
+                                   std::span<const CharacterizationRecord> records)
+{
+    HDPM_REQUIRE(input_bits >= 1, "bad input width");
+    HdModel fallback = fit_basic_model(input_bits, records);
+
+    std::vector<std::vector<double>> sum(static_cast<std::size_t>(input_bits));
+    std::vector<std::vector<std::size_t>> count(static_cast<std::size_t>(input_bits));
+    for (int hd = 1; hd <= input_bits; ++hd) {
+        const auto clusters =
+            static_cast<std::size_t>(clusters_for(input_bits, hd, zero_clusters));
+        sum[static_cast<std::size_t>(hd - 1)].assign(clusters, 0.0);
+        count[static_cast<std::size_t>(hd - 1)].assign(clusters, 0);
+    }
+    for (const auto& rec : records) {
+        const auto row = static_cast<std::size_t>(rec.hd - 1);
+        const auto c = static_cast<std::size_t>(
+            cluster_index(input_bits, rec.hd, rec.stable_zeros, zero_clusters));
+        sum[row][c] += rec.charge_fc;
+        ++count[row][c];
+    }
+
+    std::vector<std::vector<double>> p(sum.size());
+    std::vector<std::vector<double>> dev(sum.size());
+    for (std::size_t row = 0; row < sum.size(); ++row) {
+        p[row].assign(sum[row].size(), 0.0);
+        dev[row].assign(sum[row].size(), 0.0);
+        for (std::size_t c = 0; c < sum[row].size(); ++c) {
+            if (count[row][c] > 0) {
+                p[row][c] = sum[row][c] / static_cast<double>(count[row][c]);
+            }
+        }
+    }
+    for (const auto& rec : records) {
+        const auto row = static_cast<std::size_t>(rec.hd - 1);
+        const auto c = static_cast<std::size_t>(
+            cluster_index(input_bits, rec.hd, rec.stable_zeros, zero_clusters));
+        if (p[row][c] > 0.0) {
+            dev[row][c] += std::abs(rec.charge_fc - p[row][c]) / p[row][c];
+        }
+    }
+    for (std::size_t row = 0; row < dev.size(); ++row) {
+        for (std::size_t c = 0; c < dev[row].size(); ++c) {
+            if (count[row][c] > 0) {
+                dev[row][c] /= static_cast<double>(count[row][c]);
+            }
+        }
+    }
+
+    return EnhancedHdModel{input_bits, zero_clusters,    std::move(p),
+                           std::move(dev), std::move(count), std::move(fallback)};
+}
+
+HdModel Characterizer::characterize(const dp::DatapathModule& module,
+                                    const CharacterizationOptions& options) const
+{
+    const auto records = collect_records(module, options);
+    return fit_basic_model(module.total_input_bits(), records);
+}
+
+EnhancedHdModel Characterizer::characterize_enhanced(
+    const dp::DatapathModule& module, int zero_clusters,
+    CharacterizationOptions options) const
+{
+    options.mode = StimulusMode::StratifiedPairs;
+    const auto records = collect_records(module, options);
+    return fit_enhanced_model(module.total_input_bits(), zero_clusters, records);
+}
+
+} // namespace hdpm::core

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/enhanced_model.hpp"
+#include "core/hd_model.hpp"
+#include "dpgen/module.hpp"
+#include "gatelib/techlib.hpp"
+#include "sim/event_sim.hpp"
+
+namespace hdpm::core {
+
+/// How characterization stimuli are generated.
+enum class StimulusMode {
+    /// Consecutive uniform random vectors — the paper's characterization
+    /// stream. Hd concentrates binomially around m/2, so extreme classes
+    /// converge slowly.
+    RandomChain,
+
+    /// A chain whose per-transition Hamming distance cycles uniformly over
+    /// 1..m (switching bit subsets uniform within each class). The
+    /// conditional distribution within each class matches RandomChain, so
+    /// coefficients are unbiased while every class is populated equally.
+    /// Default for the basic model.
+    StratifiedChain,
+
+    /// Independent (settle, step) pairs stratified over both Hamming
+    /// distance and stable-zero count; required to populate the enhanced
+    /// model's (i, z) classes, whose extremes random streams never reach.
+    StratifiedPairs,
+};
+
+/// Characterization options.
+struct CharacterizationOptions {
+    std::size_t max_transitions = 20000; ///< hard budget of measured transitions
+    std::size_t min_transitions = 4000;  ///< measure at least this many
+    std::size_t batch = 2000;            ///< convergence check cadence
+    double tolerance = 0.01; ///< stop when max relative coefficient drift per batch < this
+    std::uint64_t seed = 1;
+    StimulusMode mode = StimulusMode::StratifiedChain;
+};
+
+/// One measured transition.
+struct CharacterizationRecord {
+    int hd = 0;          ///< Hamming distance of the input transition
+    int stable_zeros = 0; ///< stable-zero bit count of the transition
+    double charge_fc = 0.0; ///< reference cycle charge from the event simulator
+    std::uint64_t toggle_mask = 0; ///< which input bits switched (u XOR v)
+};
+
+/// Runs reference power simulations on a module prototype and fits the
+/// macro-model coefficients (paper section 4.1): p_i is the mean charge of
+/// class E_i (eq. 4), ε_i its mean relative deviation (eq. 5).
+/// Characterization stops when the coefficients have converged or the
+/// transition budget is exhausted.
+class Characterizer {
+public:
+    explicit Characterizer(const gate::TechLibrary& library = gate::TechLibrary::generic350(),
+                           sim::EventSimOptions sim_options = {});
+
+    /// Characterize the basic Hd-model of a module.
+    [[nodiscard]] HdModel characterize(const dp::DatapathModule& module,
+                                       const CharacterizationOptions& options = {}) const;
+
+    /// Characterize the enhanced (Hd, stable-zeros) model; @p zero_clusters
+    /// = 0 keeps one class per zero count. Options default to
+    /// StratifiedPairs mode regardless of options.mode.
+    [[nodiscard]] EnhancedHdModel characterize_enhanced(
+        const dp::DatapathModule& module, int zero_clusters = 0,
+        CharacterizationOptions options = {}) const;
+
+    /// Raw measured transitions (for ablations and convergence studies).
+    [[nodiscard]] std::vector<CharacterizationRecord> collect_records(
+        const dp::DatapathModule& module, const CharacterizationOptions& options) const;
+
+private:
+    const gate::TechLibrary* library_;
+    sim::EventSimOptions sim_options_;
+};
+
+/// Build a basic HdModel from raw records (mean + deviation per class).
+[[nodiscard]] HdModel fit_basic_model(int input_bits,
+                                      std::span<const CharacterizationRecord> records);
+
+/// Build an enhanced model (and its embedded basic fallback) from records.
+[[nodiscard]] EnhancedHdModel fit_enhanced_model(
+    int input_bits, int zero_clusters,
+    std::span<const CharacterizationRecord> records);
+
+} // namespace hdpm::core

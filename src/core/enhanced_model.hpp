@@ -1,0 +1,102 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "core/hd_model.hpp"
+
+namespace hdpm::core {
+
+/// The enhanced Hd-model (paper section 3, eq. 3): each Hamming-distance
+/// class E_i is further split by the number of *stable zero* bits z of the
+/// transition — bits that are 0 in both consecutive vectors — giving
+/// classes E_{i,z} with z ∈ [0, m−i] and up to M = (m²+m)/2 coefficients.
+///
+/// For wide modules the z axis can be clustered into a fixed number of
+/// buckets ("it is also possible to cluster event classes within a certain
+/// range of the number of zeros"); zero_clusters = 0 keeps full resolution.
+///
+/// A basic HdModel is kept as fallback for classes that received no
+/// characterization samples.
+class EnhancedHdModel {
+public:
+    EnhancedHdModel() = default;
+
+    /// Construct from a coefficient table. table[i-1][c] is the coefficient
+    /// of Hd class i, zero-cluster c; cluster counts follow num_clusters().
+    EnhancedHdModel(int input_bits, int zero_clusters,
+                    std::vector<std::vector<double>> coefficients,
+                    std::vector<std::vector<double>> deviations,
+                    std::vector<std::vector<std::size_t>> sample_counts,
+                    HdModel fallback);
+
+    [[nodiscard]] int input_bits() const noexcept { return input_bits_; }
+
+    /// Configured clustering (0 = one class per zero count).
+    [[nodiscard]] int zero_clusters() const noexcept { return zero_clusters_; }
+
+    /// Number of zero-clusters of Hd class @p hd.
+    [[nodiscard]] int num_clusters(int hd) const;
+
+    /// Cluster index of a (hd, stable-zero-count) pair.
+    [[nodiscard]] int cluster_of(int hd, int zeros) const;
+
+    /// Coefficient p_{i,z}; falls back to the basic p_i for unpopulated
+    /// classes.
+    [[nodiscard]] double coefficient(int hd, int zeros) const;
+
+    /// Deviation ε_{i,z} (0 if unknown; falls back like coefficient()).
+    [[nodiscard]] double deviation(int hd, int zeros) const;
+
+    /// Sample count of class (hd, zeros) after clustering.
+    [[nodiscard]] std::size_t sample_count(int hd, int zeros) const;
+
+    /// The embedded basic model.
+    [[nodiscard]] const HdModel& fallback() const noexcept { return fallback_; }
+
+    /// Total average deviation over populated classes.
+    [[nodiscard]] double average_deviation() const;
+
+    /// Total number of stored (populated or not) coefficients — the
+    /// paper's M = (m²+m)/2 for unclustered models.
+    [[nodiscard]] std::size_t num_coefficients() const;
+
+    /// --- Estimation -------------------------------------------------
+
+    /// Charge of a transition with Hamming distance @p hd and @p zeros
+    /// stable zero bits.
+    [[nodiscard]] double estimate_cycle(int hd, int zeros) const;
+
+    /// Per-cycle charges for a pattern stream.
+    [[nodiscard]] std::vector<double> estimate_cycles(
+        std::span<const util::BitVec> patterns) const;
+
+    /// Average charge per cycle for a pattern stream.
+    [[nodiscard]] double estimate_average(std::span<const util::BitVec> patterns) const;
+
+    /// Statistical estimate: average charge from a Hamming-distance
+    /// distribution p(Hd = i), i = 0..m, plus a per-class *expected*
+    /// stable-zero count (clamped into [0, m-i]). This lets the enhanced
+    /// model be driven by word-level statistics alone — e.g. a constant
+    /// operand contributes its literal zero bits — at the cost of
+    /// collapsing the zero-count distribution to its mean.
+    [[nodiscard]] double estimate_from_distribution(
+        std::span<const double> hd_distribution,
+        std::span<const double> expected_zeros) const;
+
+    /// --- Serialization ----------------------------------------------
+
+    void save(std::ostream& os) const;
+    [[nodiscard]] static EnhancedHdModel load(std::istream& is);
+
+private:
+    int input_bits_ = 0;
+    int zero_clusters_ = 0;
+    std::vector<std::vector<double>> coefficients_;
+    std::vector<std::vector<double>> deviations_;
+    std::vector<std::vector<std::size_t>> samples_;
+    HdModel fallback_;
+};
+
+} // namespace hdpm::core

@@ -1,0 +1,40 @@
+#include "core/error_metrics.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hdpm::core {
+
+AccuracyReport compare_cycles(std::span<const double> estimate,
+                              std::span<const double> reference)
+{
+    HDPM_REQUIRE(estimate.size() == reference.size(), "cycle count mismatch: ",
+                 estimate.size(), " vs ", reference.size());
+    HDPM_REQUIRE(!estimate.empty(), "no cycles to compare");
+
+    AccuracyReport report;
+    report.cycles = estimate.size();
+
+    double abs_sum = 0.0;
+    std::size_t abs_count = 0;
+    double est_total = 0.0;
+    double ref_total = 0.0;
+    for (std::size_t j = 0; j < estimate.size(); ++j) {
+        est_total += estimate[j];
+        ref_total += reference[j];
+        if (reference[j] > 0.0) {
+            abs_sum += std::abs(estimate[j] - reference[j]) / reference[j];
+            ++abs_count;
+        } else {
+            ++report.skipped_zero_reference;
+        }
+    }
+    report.avg_abs_cycle_error_pct =
+        abs_count > 0 ? 100.0 * abs_sum / static_cast<double>(abs_count) : 0.0;
+    HDPM_REQUIRE(ref_total > 0.0, "reference stream has zero total charge");
+    report.avg_error_pct = 100.0 * (est_total - ref_total) / ref_total;
+    return report;
+}
+
+} // namespace hdpm::core

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace hdpm::core {
+
+/// Accuracy of a model's per-cycle estimates against the reference
+/// simulation, using the paper's two error metrics (section 4.2):
+///   ε_a = (1/n)·Σ |(Q_model[j] − Q_ref[j]) / Q_ref[j]| · 100 %
+///   ε   = (ΣQ_model − ΣQ_ref) / ΣQ_ref · 100 %        (signed)
+struct AccuracyReport {
+    double avg_abs_cycle_error_pct = 0.0; ///< ε_a
+    double avg_error_pct = 0.0;           ///< ε (signed average-power error)
+    std::size_t cycles = 0;               ///< cycles compared
+    std::size_t skipped_zero_reference = 0; ///< cycles with Q_ref = 0 excluded from ε_a
+};
+
+/// Compare per-cycle estimates against reference values of equal length.
+/// Cycles whose reference charge is zero are excluded from ε_a (the
+/// paper's relative metric is undefined there) but still enter ε.
+[[nodiscard]] AccuracyReport compare_cycles(std::span<const double> estimate,
+                                            std::span<const double> reference);
+
+} // namespace hdpm::core

@@ -1,0 +1,34 @@
+#include "core/estimator.hpp"
+
+#include "util/error.hpp"
+
+namespace hdpm::core {
+
+StatisticalEstimate estimate_from_word_stats(
+    const HdModel& model, std::span<const streams::WordStats> operand_stats)
+{
+    HDPM_REQUIRE(!operand_stats.empty(), "no operand statistics");
+    int total_bits = 0;
+    for (const auto& stats : operand_stats) {
+        total_bits += stats.width;
+    }
+    HDPM_REQUIRE(total_bits == model.input_bits(), "operand widths sum to ", total_bits,
+                 " but the model has m=", model.input_bits());
+
+    stats::HdDistribution combined = stats::compute_hd_distribution(operand_stats[0]);
+    double avg_hd = stats::analytic_average_hd(operand_stats[0]);
+    for (std::size_t i = 1; i < operand_stats.size(); ++i) {
+        combined =
+            stats::combine_independent(combined, stats::compute_hd_distribution(operand_stats[i]));
+        avg_hd += stats::analytic_average_hd(operand_stats[i]);
+    }
+
+    StatisticalEstimate estimate;
+    estimate.from_distribution_fc = model.estimate_from_distribution(combined.p);
+    estimate.from_average_hd_fc = model.estimate_from_average_hd(avg_hd);
+    estimate.distribution = std::move(combined);
+    estimate.average_hd = avg_hd;
+    return estimate;
+}
+
+} // namespace hdpm::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+
+#include "core/hd_model.hpp"
+#include "stats/datamodel.hpp"
+#include "streams/wordstats.hpp"
+
+namespace hdpm::core {
+
+/// Result of a purely statistical (simulation-free) power estimate.
+struct StatisticalEstimate {
+    /// Average cycle charge using the full analytic Hd-distribution
+    /// (section 6.3) [fC].
+    double from_distribution_fc = 0.0;
+
+    /// Average cycle charge using only the analytic average Hamming
+    /// distance with coefficient interpolation (section 6.2) [fC].
+    double from_average_hd_fc = 0.0;
+
+    /// The combined module-input Hd distribution the estimate used.
+    stats::HdDistribution distribution;
+
+    /// The analytic average Hd.
+    double average_hd = 0.0;
+};
+
+/// Estimate a module's average cycle charge from the word-level statistics
+/// of its operand streams alone — the paper's headline use case: no
+/// bit-level simulation anywhere in the loop. Operand streams are treated
+/// as mutually independent; their Hd distributions are convolved into the
+/// module-input distribution (end of section 6.3).
+///
+/// The model's input width must equal the summed operand widths.
+[[nodiscard]] StatisticalEstimate estimate_from_word_stats(
+    const HdModel& model, std::span<const streams::WordStats> operand_stats);
+
+} // namespace hdpm::core

@@ -1,0 +1,174 @@
+#include "core/hd_model.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/interp.hpp"
+
+namespace hdpm::core {
+
+using util::BitVec;
+
+HdModel::HdModel(int input_bits, std::vector<double> coefficients,
+                 std::vector<double> deviations, std::vector<std::size_t> sample_counts)
+    : input_bits_(input_bits),
+      coefficients_(std::move(coefficients)),
+      deviations_(std::move(deviations)),
+      samples_(std::move(sample_counts))
+{
+    HDPM_REQUIRE(input_bits_ >= 1, "model needs at least one input bit");
+    HDPM_REQUIRE(static_cast<int>(coefficients_.size()) == input_bits_,
+                 "expected ", input_bits_, " coefficients, got ", coefficients_.size());
+    HDPM_REQUIRE(deviations_.empty() ||
+                     deviations_.size() == coefficients_.size(),
+                 "deviation vector size mismatch");
+    HDPM_REQUIRE(samples_.empty() || samples_.size() == coefficients_.size(),
+                 "sample count vector size mismatch");
+}
+
+double HdModel::coefficient(int hd) const
+{
+    HDPM_REQUIRE(hd >= 1 && hd <= input_bits_, "Hd ", hd, " outside [1, ", input_bits_,
+                 "]");
+    return coefficients_[static_cast<std::size_t>(hd - 1)];
+}
+
+double HdModel::deviation(int hd) const
+{
+    HDPM_REQUIRE(hd >= 1 && hd <= input_bits_, "Hd ", hd, " outside [1, ", input_bits_,
+                 "]");
+    return deviations_.empty() ? 0.0 : deviations_[static_cast<std::size_t>(hd - 1)];
+}
+
+std::size_t HdModel::sample_count(int hd) const
+{
+    HDPM_REQUIRE(hd >= 1 && hd <= input_bits_, "Hd ", hd, " outside [1, ", input_bits_,
+                 "]");
+    return samples_.empty() ? 0 : samples_[static_cast<std::size_t>(hd - 1)];
+}
+
+double HdModel::average_deviation() const
+{
+    if (deviations_.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    int populated = 0;
+    for (std::size_t i = 0; i < deviations_.size(); ++i) {
+        const bool has_samples = samples_.empty() || samples_[i] > 0;
+        if (has_samples) {
+            sum += deviations_[i];
+            ++populated;
+        }
+    }
+    return populated > 0 ? sum / populated : 0.0;
+}
+
+double HdModel::estimate_cycle(int hd) const
+{
+    if (hd == 0) {
+        return 0.0;
+    }
+    return coefficient(hd);
+}
+
+std::vector<double> HdModel::estimate_cycles(std::span<const BitVec> patterns) const
+{
+    HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns");
+    std::vector<double> q;
+    q.reserve(patterns.size() - 1);
+    for (std::size_t j = 1; j < patterns.size(); ++j) {
+        HDPM_REQUIRE(patterns[j].width() == input_bits_, "pattern width ",
+                     patterns[j].width(), " vs model m=", input_bits_);
+        const int hd = BitVec::hamming_distance(patterns[j - 1], patterns[j]);
+        q.push_back(estimate_cycle(hd));
+    }
+    return q;
+}
+
+double HdModel::estimate_average(std::span<const BitVec> patterns) const
+{
+    const std::vector<double> q = estimate_cycles(patterns);
+    double total = 0.0;
+    for (const double v : q) {
+        total += v;
+    }
+    return total / static_cast<double>(q.size());
+}
+
+double HdModel::estimate_from_distribution(std::span<const double> hd_distribution) const
+{
+    HDPM_REQUIRE(static_cast<int>(hd_distribution.size()) == input_bits_ + 1,
+                 "distribution must have m+1 entries (Hd = 0..m), got ",
+                 hd_distribution.size());
+    double q = 0.0;
+    for (int i = 1; i <= input_bits_; ++i) {
+        q += hd_distribution[static_cast<std::size_t>(i)] * coefficient(i);
+    }
+    return q;
+}
+
+double HdModel::estimate_from_average_hd(double hd_avg) const
+{
+    HDPM_REQUIRE(hd_avg >= 0.0, "negative average Hd");
+    if (hd_avg <= 0.0) {
+        return 0.0;
+    }
+    // Below Hd = 1, interpolate towards Q(0) = 0.
+    if (hd_avg < 1.0) {
+        return hd_avg * coefficients_.front();
+    }
+    return util::interp_on_unit_grid(coefficients_, hd_avg);
+}
+
+void HdModel::save(std::ostream& os) const
+{
+    const auto old_precision = os.precision(17); // lossless double round trip
+    os << "hdmodel 1\n";
+    os << "m " << input_bits_ << '\n';
+    for (int i = 1; i <= input_bits_; ++i) {
+        os << i << ' ' << coefficient(i) << ' ' << deviation(i) << ' ' << sample_count(i)
+           << '\n';
+    }
+    os << "end\n";
+    os.precision(old_precision);
+}
+
+HdModel HdModel::load(std::istream& is)
+{
+    std::string tag;
+    int version = 0;
+    is >> tag >> version;
+    if (!is || tag != "hdmodel" || version != 1) {
+        HDPM_FAIL("not a version-1 hdmodel file");
+    }
+    int m = 0;
+    is >> tag >> m;
+    if (!is || tag != "m" || m < 1) {
+        HDPM_FAIL("malformed hdmodel header");
+    }
+    std::vector<double> coeffs(static_cast<std::size_t>(m), 0.0);
+    std::vector<double> devs(static_cast<std::size_t>(m), 0.0);
+    std::vector<std::size_t> counts(static_cast<std::size_t>(m), 0);
+    for (int i = 1; i <= m; ++i) {
+        int idx = 0;
+        double p = 0.0;
+        double eps = 0.0;
+        std::size_t n = 0;
+        is >> idx >> p >> eps >> n;
+        if (!is || idx != i) {
+            HDPM_FAIL("malformed hdmodel row ", i);
+        }
+        coeffs[static_cast<std::size_t>(i - 1)] = p;
+        devs[static_cast<std::size_t>(i - 1)] = eps;
+        counts[static_cast<std::size_t>(i - 1)] = n;
+    }
+    is >> tag;
+    if (!is || tag != "end") {
+        HDPM_FAIL("hdmodel file missing 'end'");
+    }
+    return HdModel{m, std::move(coeffs), std::move(devs), std::move(counts)};
+}
+
+} // namespace hdpm::core

@@ -1,0 +1,46 @@
+#pragma once
+
+/// Umbrella header of the hdpower library: the Hamming-distance power
+/// macro-modelling toolkit (DATE 1999 reproduction).
+///
+/// Typical flow:
+///   1. Build a component:            dp::make_module(...)
+///   2. Characterize it:              core::Characterizer::characterize(...)
+///   3. (Optionally) fit a family:    core::ParameterizableModel::fit(...)
+///   4. Estimate power of a stream:   model.estimate_average(patterns), or
+///      statistically from word-level stats via core::estimate_from_word_stats.
+/// The reference simulator behind all of it is sim::PowerSimulator.
+
+#include "core/adaptive.hpp"
+#include "core/bitwise_model.hpp"
+#include "core/bus_model.hpp"
+#include "core/char_report.hpp"
+#include "core/characterize.hpp"
+#include "core/enhanced_model.hpp"
+#include "core/error_metrics.hpp"
+#include "core/estimator.hpp"
+#include "core/hd_model.hpp"
+#include "core/model_library.hpp"
+#include "core/regression.hpp"
+#include "core/workloads.hpp"
+#include "dpgen/arith.hpp"
+#include "dpgen/module.hpp"
+#include "gatelib/techlib.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/transform.hpp"
+#include "sim/functional.hpp"
+#include "sim/glitch.hpp"
+#include "sim/power.hpp"
+#include "sim/probabilistic.hpp"
+#include "sim/report.hpp"
+#include "sim/sequential.hpp"
+#include "sim/vcd.hpp"
+#include "stats/datamodel.hpp"
+#include "stats/dfg.hpp"
+#include "stats/gaussian.hpp"
+#include "stats/propagation.hpp"
+#include "streams/bitstats.hpp"
+#include "streams/io.hpp"
+#include "streams/stream.hpp"
+#include "streams/wordstats.hpp"

@@ -1,0 +1,119 @@
+#include "core/model_library.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace hdpm::core {
+
+ModelLibrary::ModelLibrary(std::filesystem::path directory,
+                           const gate::TechLibrary& library,
+                           sim::EventSimOptions sim_options)
+    : directory_(std::move(directory)), library_(&library), sim_options_(sim_options)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+    if (ec) {
+        HDPM_FAIL("cannot create model library directory '", directory_.string(), "': ",
+                  ec.message());
+    }
+}
+
+std::string ModelLibrary::model_key(dp::ModuleType type,
+                                    std::span<const int> widths) const
+{
+    std::string key = library_->name();
+    key += '_';
+    key += dp::module_type_id(type);
+    key += '_';
+    const std::vector<int> expanded = dp::expand_operand_widths(type, widths);
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+        if (i > 0) {
+            key += 'x';
+        }
+        key += std::to_string(expanded[i]);
+    }
+    return key;
+}
+
+std::filesystem::path ModelLibrary::basic_path(dp::ModuleType type,
+                                               std::span<const int> widths) const
+{
+    return directory_ / (model_key(type, widths) + ".hdm");
+}
+
+std::filesystem::path ModelLibrary::enhanced_path(dp::ModuleType type,
+                                                  std::span<const int> widths,
+                                                  int zero_clusters) const
+{
+    return directory_ /
+           (model_key(type, widths) + ".z" + std::to_string(zero_clusters) + ".ehdm");
+}
+
+bool ModelLibrary::contains(dp::ModuleType type, std::span<const int> widths) const
+{
+    return std::filesystem::exists(basic_path(type, widths));
+}
+
+HdModel ModelLibrary::get_or_characterize(dp::ModuleType type,
+                                          std::span<const int> widths,
+                                          const CharacterizationOptions& options) const
+{
+    const std::filesystem::path path = basic_path(type, widths);
+    if (std::filesystem::exists(path)) {
+        std::ifstream in{path};
+        if (!in) {
+            HDPM_FAIL("cannot read model file '", path.string(), "'");
+        }
+        return HdModel::load(in);
+    }
+
+    const dp::DatapathModule module = dp::make_module(type, widths);
+    const Characterizer characterizer{*library_, sim_options_};
+    const HdModel model = characterizer.characterize(module, options);
+
+    std::ofstream out{path};
+    if (!out) {
+        HDPM_FAIL("cannot write model file '", path.string(), "'");
+    }
+    model.save(out);
+    return model;
+}
+
+EnhancedHdModel ModelLibrary::get_or_characterize_enhanced(
+    dp::ModuleType type, std::span<const int> widths, int zero_clusters,
+    const CharacterizationOptions& options) const
+{
+    const std::filesystem::path path = enhanced_path(type, widths, zero_clusters);
+    if (std::filesystem::exists(path)) {
+        std::ifstream in{path};
+        if (!in) {
+            HDPM_FAIL("cannot read model file '", path.string(), "'");
+        }
+        return EnhancedHdModel::load(in);
+    }
+
+    const dp::DatapathModule module = dp::make_module(type, widths);
+    const Characterizer characterizer{*library_, sim_options_};
+    const EnhancedHdModel model =
+        characterizer.characterize_enhanced(module, zero_clusters, options);
+
+    std::ofstream out{path};
+    if (!out) {
+        HDPM_FAIL("cannot write model file '", path.string(), "'");
+    }
+    model.save(out);
+    return model;
+}
+
+void ModelLibrary::clear() const
+{
+    for (const auto& entry : std::filesystem::directory_iterator{directory_}) {
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".hdm" || ext == ".ehdm") {
+            std::filesystem::remove(entry.path());
+        }
+    }
+}
+
+} // namespace hdpm::core

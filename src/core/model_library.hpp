@@ -1,0 +1,65 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/characterize.hpp"
+
+namespace hdpm::core {
+
+/// A directory-backed store of characterized macro-models.
+///
+/// Characterization is the expensive step of the flow (it runs reference
+/// power simulations), and its results are reusable across runs — exactly
+/// like the cell-library characterization data the paper's flow assumes.
+/// The library keys models by (technology, module family, operand widths)
+/// and transparently characterizes on a miss.
+///
+/// File layout: <directory>/<tech>_<module>_<w1>x<w0>.hdm      (basic)
+///              <directory>/<tech>_<module>_<w1>x<w0>.z<K>.ehdm (enhanced)
+class ModelLibrary {
+public:
+    /// Open (creating if needed) a model library directory.
+    explicit ModelLibrary(std::filesystem::path directory,
+                          const gate::TechLibrary& library = gate::TechLibrary::generic350(),
+                          sim::EventSimOptions sim_options = {});
+
+    /// The deterministic file-name key of a model.
+    [[nodiscard]] std::string model_key(dp::ModuleType type,
+                                        std::span<const int> widths) const;
+
+    /// True if a basic model for the instance is stored.
+    [[nodiscard]] bool contains(dp::ModuleType type, std::span<const int> widths) const;
+
+    /// Load the basic model for a module instance, characterizing and
+    /// storing it first if absent.
+    [[nodiscard]] HdModel get_or_characterize(
+        dp::ModuleType type, std::span<const int> widths,
+        const CharacterizationOptions& options = {}) const;
+
+    /// Enhanced-model variant; @p zero_clusters as in Characterizer.
+    [[nodiscard]] EnhancedHdModel get_or_characterize_enhanced(
+        dp::ModuleType type, std::span<const int> widths, int zero_clusters = 0,
+        const CharacterizationOptions& options = {}) const;
+
+    /// Remove every stored model (e.g. after a technology change).
+    void clear() const;
+
+    [[nodiscard]] const std::filesystem::path& directory() const noexcept
+    {
+        return directory_;
+    }
+
+private:
+    [[nodiscard]] std::filesystem::path basic_path(dp::ModuleType type,
+                                                   std::span<const int> widths) const;
+    [[nodiscard]] std::filesystem::path enhanced_path(dp::ModuleType type,
+                                                      std::span<const int> widths,
+                                                      int zero_clusters) const;
+
+    std::filesystem::path directory_;
+    const gate::TechLibrary* library_;
+    sim::EventSimOptions sim_options_;
+};
+
+} // namespace hdpm::core

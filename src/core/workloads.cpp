@@ -1,0 +1,55 @@
+#include "core/workloads.hpp"
+
+#include "util/error.hpp"
+
+namespace hdpm::core {
+
+using util::BitVec;
+
+std::vector<std::vector<std::int64_t>> make_operand_streams(
+    const dp::DatapathModule& module, streams::DataType type, std::size_t n,
+    std::uint64_t seed)
+{
+    std::vector<std::vector<std::int64_t>> result;
+    result.reserve(module.operand_widths().size());
+    for (std::size_t op = 0; op < module.operand_widths().size(); ++op) {
+        // Distinct, decorrelated seeds per operand.
+        const std::uint64_t op_seed = seed + 7919 * (op + 1);
+        result.push_back(
+            streams::generate_stream(type, module.operand_widths()[op], n, op_seed));
+    }
+    return result;
+}
+
+std::vector<BitVec> encode_module_stream(
+    const dp::DatapathModule& module,
+    std::span<const std::vector<std::int64_t>> operand_values)
+{
+    HDPM_REQUIRE(operand_values.size() == module.operand_widths().size(),
+                 "operand stream count mismatch");
+    const std::size_t n = operand_values.front().size();
+    for (const auto& stream : operand_values) {
+        HDPM_REQUIRE(stream.size() == n, "operand streams must have equal length");
+    }
+
+    std::vector<BitVec> patterns;
+    patterns.reserve(n);
+    std::vector<std::int64_t> row(operand_values.size());
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t op = 0; op < operand_values.size(); ++op) {
+            row[op] = operand_values[op][j];
+        }
+        patterns.push_back(module.encode(row));
+    }
+    return patterns;
+}
+
+std::vector<BitVec> make_module_stream(const dp::DatapathModule& module,
+                                       streams::DataType type, std::size_t n,
+                                       std::uint64_t seed)
+{
+    const auto operands = make_operand_streams(module, type, n, seed);
+    return encode_module_stream(module, operands);
+}
+
+} // namespace hdpm::core

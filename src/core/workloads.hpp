@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dpgen/module.hpp"
+#include "streams/stream.hpp"
+#include "util/bitvec.hpp"
+
+namespace hdpm::core {
+
+/// Generate a module-input pattern stream of @p n vectors for one of the
+/// paper's data types: each operand gets an independent stream of the same
+/// type (distinct seeds), encoded two's complement and concatenated in
+/// operand order — the workload form used throughout tables 1–3.
+[[nodiscard]] std::vector<util::BitVec> make_module_stream(
+    const dp::DatapathModule& module, streams::DataType type, std::size_t n,
+    std::uint64_t seed);
+
+/// The per-operand integer streams behind make_module_stream (exposed for
+/// analyses that need word-level statistics of the same data).
+[[nodiscard]] std::vector<std::vector<std::int64_t>> make_operand_streams(
+    const dp::DatapathModule& module, streams::DataType type, std::size_t n,
+    std::uint64_t seed);
+
+/// Encode explicit per-operand value streams into module input patterns.
+[[nodiscard]] std::vector<util::BitVec> encode_module_stream(
+    const dp::DatapathModule& module,
+    std::span<const std::vector<std::int64_t>> operand_values);
+
+} // namespace hdpm::core

@@ -1,0 +1,523 @@
+#include "dpgen/arith.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hdpm::dp {
+
+using netlist::kInvalidId;
+
+namespace {
+
+/// Lookahead carry c_k = g_{k-1} + p_{k-1}g_{k-2} + ... + (p_{k-1}..p_0)c0
+/// built as a two-level and/or structure from per-bit propagate/generate.
+NetId lookahead_carry(NetlistBuilder& b, const Bus& p, const Bus& g, NetId c0, int k)
+{
+    Bus terms;
+    for (int j = k - 1; j >= 0; --j) {
+        Bus factors;
+        for (int t = k - 1; t > j; --t) {
+            factors.push_back(p[static_cast<std::size_t>(t)]);
+        }
+        factors.push_back(g[static_cast<std::size_t>(j)]);
+        terms.push_back(b.and_tree(factors));
+    }
+    {
+        Bus factors;
+        for (int t = k - 1; t >= 0; --t) {
+            factors.push_back(p[static_cast<std::size_t>(t)]);
+        }
+        factors.push_back(c0);
+        terms.push_back(b.and_tree(factors));
+    }
+    return b.or_tree(terms);
+}
+
+} // namespace
+
+Bus ripple_add(NetlistBuilder& b, const Bus& a, const Bus& bb, NetId cin)
+{
+    HDPM_REQUIRE(!a.empty() && a.size() == bb.size(), "ripple_add: width mismatch");
+    Bus out;
+    out.reserve(a.size() + 1);
+    NetId carry = cin;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (carry == kInvalidId) {
+            const auto bit = b.half_adder(a[i], bb[i]);
+            out.push_back(bit.sum);
+            carry = bit.carry;
+        } else {
+            const auto bit = b.full_adder(a[i], bb[i], carry);
+            out.push_back(bit.sum);
+            carry = bit.carry;
+        }
+    }
+    out.push_back(carry);
+    return out;
+}
+
+Bus cla_add(NetlistBuilder& b, const Bus& a, const Bus& bb, NetId cin)
+{
+    HDPM_REQUIRE(!a.empty() && a.size() == bb.size(), "cla_add: width mismatch");
+    constexpr std::size_t kBlock = 4;
+
+    const std::size_t w = a.size();
+    Bus p(w);
+    Bus g(w);
+    for (std::size_t i = 0; i < w; ++i) {
+        p[i] = b.xor2(a[i], bb[i]);
+        g[i] = b.and2(a[i], bb[i]);
+    }
+
+    Bus out;
+    out.reserve(w + 1);
+    NetId carry = cin == kInvalidId ? b.const0() : cin;
+    for (std::size_t base = 0; base < w; base += kBlock) {
+        const std::size_t n = std::min(kBlock, w - base);
+        const Bus bp{p.begin() + static_cast<std::ptrdiff_t>(base),
+                     p.begin() + static_cast<std::ptrdiff_t>(base + n)};
+        const Bus bg{g.begin() + static_cast<std::ptrdiff_t>(base),
+                     g.begin() + static_cast<std::ptrdiff_t>(base + n)};
+        // Sum bit k uses the lookahead carry into position k.
+        out.push_back(b.xor2(bp[0], carry));
+        for (std::size_t k = 1; k < n; ++k) {
+            const NetId ck = lookahead_carry(b, bp, bg, carry, static_cast<int>(k));
+            out.push_back(b.xor2(bp[k], ck));
+        }
+        carry = lookahead_carry(b, bp, bg, carry, static_cast<int>(n));
+    }
+    out.push_back(carry);
+    return out;
+}
+
+Bus absolute_value(NetlistBuilder& b, const Bus& x)
+{
+    HDPM_REQUIRE(!x.empty(), "absolute_value: empty bus");
+    const NetId sign = x.back();
+    // Conditional one's complement, then conditionally add one: ripple
+    // increment with carry-in = sign.
+    Bus out;
+    out.reserve(x.size());
+    NetId carry = sign;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const NetId t = b.xor2(x[i], sign);
+        out.push_back(b.xor2(t, carry));
+        if (i + 1 < x.size()) {
+            carry = b.and2(t, carry);
+        }
+    }
+    return out;
+}
+
+Bus ripple_sub(NetlistBuilder& b, const Bus& a, const Bus& bb)
+{
+    HDPM_REQUIRE(!a.empty() && a.size() == bb.size(), "ripple_sub: width mismatch");
+    Bus nb;
+    nb.reserve(bb.size());
+    for (const NetId bit : bb) {
+        nb.push_back(b.inv(bit));
+    }
+    return ripple_add(b, a, nb, b.const1());
+}
+
+Bus increment(NetlistBuilder& b, const Bus& a)
+{
+    HDPM_REQUIRE(!a.empty(), "increment: empty bus");
+    Bus out;
+    out.reserve(a.size() + 1);
+    NetId carry = b.const1();
+    for (const NetId bit : a) {
+        const auto ha = b.half_adder(bit, carry);
+        out.push_back(ha.sum);
+        carry = ha.carry;
+    }
+    out.push_back(carry);
+    return out;
+}
+
+CompareResult compare_unsigned(NetlistBuilder& b, const Bus& a, const Bus& bb)
+{
+    HDPM_REQUIRE(!a.empty() && a.size() == bb.size(), "compare_unsigned: width mismatch");
+    const std::size_t w = a.size();
+
+    Bus bit_eq(w);
+    for (std::size_t i = 0; i < w; ++i) {
+        bit_eq[i] = b.xnor2(a[i], bb[i]);
+    }
+
+    // lt = OR_i (¬a_i · b_i · all bits above i equal), scanning from MSB.
+    Bus lt_terms;
+    NetId prefix_eq = kInvalidId; // equality of all bits above the current one
+    for (std::size_t ri = w; ri-- > 0;) {
+        const NetId a_lt_b = b.and2(b.inv(a[ri]), bb[ri]);
+        lt_terms.push_back(prefix_eq == kInvalidId ? a_lt_b : b.and2(a_lt_b, prefix_eq));
+        prefix_eq = prefix_eq == kInvalidId ? bit_eq[ri] : b.and2(prefix_eq, bit_eq[ri]);
+    }
+
+    CompareResult r;
+    r.eq = prefix_eq;
+    r.lt = b.or_tree(lt_terms);
+    r.gt = b.nor2(r.lt, r.eq);
+    return r;
+}
+
+Bus carry_select_add(NetlistBuilder& b, const Bus& a, const Bus& bb)
+{
+    HDPM_REQUIRE(!a.empty() && a.size() == bb.size(), "carry_select_add: width mismatch");
+    constexpr std::size_t kBlock = 4;
+    const std::size_t w = a.size();
+
+    Bus out;
+    out.reserve(w + 1);
+    NetId carry = kInvalidId;
+    for (std::size_t base = 0; base < w; base += kBlock) {
+        const std::size_t n = std::min(kBlock, w - base);
+        const Bus block_a{a.begin() + static_cast<std::ptrdiff_t>(base),
+                          a.begin() + static_cast<std::ptrdiff_t>(base + n)};
+        const Bus block_b{bb.begin() + static_cast<std::ptrdiff_t>(base),
+                          bb.begin() + static_cast<std::ptrdiff_t>(base + n)};
+        if (base == 0) {
+            // First block: a plain ripple block (carry-in is 0).
+            Bus sum = ripple_add(b, block_a, block_b);
+            carry = sum.back();
+            sum.pop_back();
+            out.insert(out.end(), sum.begin(), sum.end());
+            continue;
+        }
+        // Speculative blocks: compute with carry-in 0 and carry-in 1, then
+        // select with the true carry.
+        Bus sum0 = ripple_add(b, block_a, block_b, b.const0());
+        Bus sum1 = ripple_add(b, block_a, block_b, b.const1());
+        const NetId carry0 = sum0.back();
+        const NetId carry1 = sum1.back();
+        sum0.pop_back();
+        sum1.pop_back();
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(b.mux2(sum0[i], sum1[i], carry));
+        }
+        carry = b.mux2(carry0, carry1, carry);
+    }
+    out.push_back(carry);
+    return out;
+}
+
+Bus carry_skip_add(NetlistBuilder& b, const Bus& a, const Bus& bb)
+{
+    HDPM_REQUIRE(!a.empty() && a.size() == bb.size(), "carry_skip_add: width mismatch");
+    constexpr std::size_t kBlock = 4;
+    const std::size_t w = a.size();
+
+    Bus out;
+    out.reserve(w + 1);
+    NetId carry = b.const0();
+    for (std::size_t base = 0; base < w; base += kBlock) {
+        const std::size_t n = std::min(kBlock, w - base);
+        // Ripple through the block while collecting block propagate.
+        Bus propagates;
+        NetId ripple_carry = carry;
+        for (std::size_t i = 0; i < n; ++i) {
+            const NetId ai = a[base + i];
+            const NetId bi = bb[base + i];
+            propagates.push_back(b.xor2(ai, bi));
+            const auto fa = b.full_adder(ai, bi, ripple_carry);
+            out.push_back(fa.sum);
+            ripple_carry = fa.carry;
+        }
+        // If every bit propagates, the incoming carry skips the block.
+        const NetId block_propagate = b.and_tree(propagates);
+        carry = b.mux2(ripple_carry, carry, block_propagate);
+    }
+    out.push_back(carry);
+    return out;
+}
+
+Bus barrel_shift_left(NetlistBuilder& b, const Bus& x, const Bus& shift)
+{
+    HDPM_REQUIRE(!x.empty() && !shift.empty(), "barrel_shift_left: empty operand");
+    Bus current = x;
+    for (std::size_t stage = 0; stage < shift.size(); ++stage) {
+        const std::size_t distance = std::size_t{1} << stage;
+        Bus next(current.size());
+        for (std::size_t i = 0; i < current.size(); ++i) {
+            const NetId unshifted = current[i];
+            const NetId shifted =
+                i >= distance ? current[i - distance] : b.const0();
+            next[i] = b.mux2(unshifted, shifted, shift[stage]);
+        }
+        current = std::move(next);
+    }
+    return current;
+}
+
+MinMaxResult min_max_unsigned(NetlistBuilder& b, const Bus& a, const Bus& bb)
+{
+    HDPM_REQUIRE(!a.empty() && a.size() == bb.size(), "min_max_unsigned: width mismatch");
+    const CompareResult cmp = compare_unsigned(b, a, bb);
+    MinMaxResult result;
+    result.min.reserve(a.size());
+    result.max.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // cmp.lt = (a < b): min = lt ? a : b, max = lt ? b : a.
+        result.min.push_back(b.mux2(bb[i], a[i], cmp.lt));
+        result.max.push_back(b.mux2(a[i], bb[i], cmp.lt));
+    }
+    return result;
+}
+
+Bus saturating_add(NetlistBuilder& b, const Bus& a, const Bus& bb)
+{
+    HDPM_REQUIRE(!a.empty() && a.size() == bb.size(), "saturating_add: width mismatch");
+    const std::size_t w = a.size();
+    Bus sum = ripple_add(b, a, bb);
+    sum.pop_back(); // the two's complement sum ignores the carry-out
+
+    // Overflow iff both operands share a sign that the sum does not.
+    const NetId sign_a = a.back();
+    const NetId sign_b = bb.back();
+    const NetId sign_s = sum.back();
+    const NetId same_sign = b.xnor2(sign_a, sign_b);
+    const NetId flipped = b.xor2(sign_a, sign_s);
+    const NetId overflow = b.and2(same_sign, flipped);
+
+    // Saturation value: sign_a ? MIN (10..0) : MAX (01..1).
+    Bus out;
+    out.reserve(w);
+    const NetId not_sign_a = b.inv(sign_a);
+    for (std::size_t i = 0; i < w; ++i) {
+        const NetId sat_bit = (i == w - 1) ? sign_a : not_sign_a;
+        out.push_back(b.mux2(sum[i], sat_bit, overflow));
+    }
+    return out;
+}
+
+NetId parity_tree(NetlistBuilder& b, const Bus& x)
+{
+    HDPM_REQUIRE(!x.empty(), "parity_tree: empty bus");
+    Bus level = x;
+    while (level.size() > 1) {
+        Bus next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            next.push_back(b.xor2(level[i], level[i + 1]));
+        }
+        if (level.size() % 2 == 1) {
+            next.push_back(level.back());
+        }
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+void wallace_reduce(NetlistBuilder& b, Columns& columns)
+{
+    const std::size_t width = columns.size();
+    for (;;) {
+        std::size_t max_height = 0;
+        for (const auto& col : columns) {
+            max_height = std::max(max_height, col.size());
+        }
+        if (max_height <= 2) {
+            return;
+        }
+        Columns next(width);
+        for (std::size_t pos = 0; pos < width; ++pos) {
+            const auto& col = columns[pos];
+            std::size_t i = 0;
+            while (col.size() - i >= 3) {
+                const auto fa = b.full_adder(col[i], col[i + 1], col[i + 2]);
+                next[pos].push_back(fa.sum);
+                if (pos + 1 < width) {
+                    next[pos + 1].push_back(fa.carry); // beyond width: mod 2^width
+                }
+                i += 3;
+            }
+            if (col.size() - i == 2) {
+                const auto ha = b.half_adder(col[i], col[i + 1]);
+                next[pos].push_back(ha.sum);
+                if (pos + 1 < width) {
+                    next[pos + 1].push_back(ha.carry);
+                }
+                i += 2;
+            }
+            if (col.size() - i == 1) {
+                next[pos].push_back(col[i]);
+            }
+        }
+        columns = std::move(next);
+    }
+}
+
+Bus carry_propagate_sum(NetlistBuilder& b, const Columns& columns, std::size_t width)
+{
+    Bus out;
+    out.reserve(width);
+    NetId carry = kInvalidId;
+    for (std::size_t pos = 0; pos < width; ++pos) {
+        Bus bits = pos < columns.size() ? Bus{columns[pos]} : Bus{};
+        HDPM_REQUIRE(bits.size() <= 2, "column ", pos, " not reduced (", bits.size(),
+                     " bits)");
+        if (carry != kInvalidId) {
+            bits.push_back(carry);
+        }
+        switch (bits.size()) {
+        case 0:
+            out.push_back(b.const0());
+            carry = kInvalidId;
+            break;
+        case 1:
+            out.push_back(bits[0]);
+            carry = kInvalidId;
+            break;
+        case 2: {
+            const auto ha = b.half_adder(bits[0], bits[1]);
+            out.push_back(ha.sum);
+            carry = ha.carry;
+            break;
+        }
+        default: {
+            const auto fa = b.full_adder(bits[0], bits[1], bits[2]);
+            out.push_back(fa.sum);
+            carry = fa.carry;
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+Bus csa_multiply(NetlistBuilder& b, const Bus& a, const Bus& bb)
+{
+    HDPM_REQUIRE(!a.empty() && !bb.empty(), "csa_multiply: empty operand");
+    const std::size_t wa = a.size();
+    const std::size_t wb = bb.size();
+    const std::size_t width = wa + wb;
+
+    auto pp = [&](std::size_t r, std::size_t j) { return b.and2(a[r], bb[j]); };
+
+    // Row 0 seeds the running carry-save sum.
+    std::vector<NetId> sum(width, kInvalidId);
+    std::vector<NetId> carry(width, kInvalidId);
+    for (std::size_t j = 0; j < wb; ++j) {
+        sum[j] = pp(0, j);
+    }
+
+    // Accumulate each further row through a carry-save adder row.
+    for (std::size_t r = 1; r < wa; ++r) {
+        std::vector<NetId> row(width, kInvalidId);
+        for (std::size_t j = 0; j < wb; ++j) {
+            row[r + j] = pp(r, j);
+        }
+        std::vector<NetId> new_sum(width, kInvalidId);
+        std::vector<NetId> new_carry(width, kInvalidId);
+        for (std::size_t pos = 0; pos < width; ++pos) {
+            Bus bits;
+            for (const NetId n : {sum[pos], carry[pos], row[pos]}) {
+                if (n != kInvalidId) {
+                    bits.push_back(n);
+                }
+            }
+            switch (bits.size()) {
+            case 0:
+                break;
+            case 1:
+                new_sum[pos] = bits[0];
+                break;
+            case 2: {
+                const auto ha = b.half_adder(bits[0], bits[1]);
+                new_sum[pos] = ha.sum;
+                if (pos + 1 < width) {
+                    new_carry[pos + 1] = ha.carry;
+                }
+                break;
+            }
+            default: {
+                const auto fa = b.full_adder(bits[0], bits[1], bits[2]);
+                new_sum[pos] = fa.sum;
+                if (pos + 1 < width) {
+                    new_carry[pos + 1] = fa.carry;
+                }
+                break;
+            }
+            }
+        }
+        sum = std::move(new_sum);
+        carry = std::move(new_carry);
+    }
+
+    // Final carry-propagate addition of the sum and carry vectors.
+    Columns columns(width);
+    for (std::size_t pos = 0; pos < width; ++pos) {
+        if (sum[pos] != kInvalidId) {
+            columns[pos].push_back(sum[pos]);
+        }
+        if (carry[pos] != kInvalidId) {
+            columns[pos].push_back(carry[pos]);
+        }
+    }
+    return carry_propagate_sum(b, columns, width);
+}
+
+Bus booth_wallace_multiply(NetlistBuilder& b, const Bus& a, const Bus& bb)
+{
+    HDPM_REQUIRE(!a.empty() && !bb.empty(), "booth_wallace_multiply: empty operand");
+    const int wa = static_cast<int>(a.size());
+    const int wb = static_cast<int>(bb.size());
+    const int width = wa + wb;
+
+    // Sign-extended operand accessors (two's complement).
+    auto aext = [&](int j) -> NetId {
+        if (j < 0) {
+            return b.const0();
+        }
+        return a[static_cast<std::size_t>(std::min(j, wa - 1))];
+    };
+    auto bext = [&](int j) -> NetId {
+        if (j < 0) {
+            return b.const0();
+        }
+        return bb[static_cast<std::size_t>(std::min(j, wb - 1))];
+    };
+
+    const int num_digits = (wb + 1) / 2;
+    Columns columns(static_cast<std::size_t>(width));
+
+    for (int k = 0; k < num_digits; ++k) {
+        const NetId b_hi = bext(2 * k + 1);
+        const NetId b_mid = bext(2 * k);
+        const NetId b_lo = bext(2 * k - 1);
+
+        // Radix-4 Booth digit d = -2·b_hi + b_mid + b_lo ∈ {-2,-1,0,1,2}.
+        const NetId one = b.xor2(b_mid, b_lo);              // |d| = 1
+        const NetId two = b.and2(b.xor2(b_hi, b_mid), b.inv(one)); // |d| = 2
+        const NetId neg = b.and2(b_hi, b.inv(b.and2(b_mid, b_lo))); // d < 0
+
+        // Partial product row: (±1·A or ±2·A) << 2k, one's complemented for
+        // negative digits; the +1 correction enters the matrix at column 2k.
+        for (int pos = 2 * k; pos < width; ++pos) {
+            const int j = pos - 2 * k;
+            const NetId pick1 = b.and2(aext(j), one);
+            const NetId pick2 = b.and2(aext(j - 1), two);
+            const NetId raw = b.or2(pick1, pick2);
+            columns[static_cast<std::size_t>(pos)].push_back(b.xor2(raw, neg));
+        }
+        columns[static_cast<std::size_t>(2 * k)].push_back(neg);
+    }
+
+    wallace_reduce(b, columns);
+
+    // Final fast (carry-lookahead) addition of the two remaining rows.
+    Bus row_a;
+    Bus row_b;
+    row_a.reserve(static_cast<std::size_t>(width));
+    row_b.reserve(static_cast<std::size_t>(width));
+    for (std::size_t pos = 0; pos < static_cast<std::size_t>(width); ++pos) {
+        const auto& col = columns[pos];
+        row_a.push_back(!col.empty() ? col[0] : b.const0());
+        row_b.push_back(col.size() > 1 ? col[1] : b.const0());
+    }
+    Bus sum = cla_add(b, row_a, row_b);
+    sum.resize(static_cast<std::size_t>(width)); // product is mod 2^width
+    return sum;
+}
+
+} // namespace hdpm::dp

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace hdpm::dp {
+
+using netlist::Bus;
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+/// Bit-matrix of partial sums: columns[p] holds the nets that still have to
+/// be added at bit position p. Used by the carry-save reduction helpers.
+using Columns = std::vector<std::vector<NetId>>;
+
+/// Ripple-carry addition of two equal-width buses; returns w+1 bits
+/// (sum LSB-first, carry-out last). @p cin is optional (kInvalidId = 0).
+[[nodiscard]] Bus ripple_add(NetlistBuilder& b, const Bus& a, const Bus& bb,
+                             NetId cin = netlist::kInvalidId);
+
+/// Carry-lookahead addition (4-bit lookahead blocks, block carries rippled),
+/// the structure of a DesignWare-style cla adder; returns w+1 bits.
+[[nodiscard]] Bus cla_add(NetlistBuilder& b, const Bus& a, const Bus& bb,
+                          NetId cin = netlist::kInvalidId);
+
+/// Two's-complement absolute value of a signed bus (w bits; the most
+/// negative value wraps onto itself, as in hardware).
+[[nodiscard]] Bus absolute_value(NetlistBuilder& b, const Bus& x);
+
+/// a - b with ripple borrow; returns w bits of difference plus a final
+/// carry-out bit (1 = no borrow).
+[[nodiscard]] Bus ripple_sub(NetlistBuilder& b, const Bus& a, const Bus& bb);
+
+/// a + 1; returns w+1 bits.
+[[nodiscard]] Bus increment(NetlistBuilder& b, const Bus& a);
+
+/// Unsigned comparison; returns {eq, lt, gt} nets.
+struct CompareResult {
+    NetId eq;
+    NetId lt;
+    NetId gt;
+};
+[[nodiscard]] CompareResult compare_unsigned(NetlistBuilder& b, const Bus& a, const Bus& bb);
+
+/// Carry-select addition: 4-bit blocks computed twice (carry-in 0 and 1)
+/// with the real block carry selecting sums and carry-out through muxes;
+/// returns w+1 bits.
+[[nodiscard]] Bus carry_select_add(NetlistBuilder& b, const Bus& a, const Bus& bb);
+
+/// Carry-skip addition: 4-bit ripple blocks with a block-propagate AND
+/// that lets the incoming carry skip a fully-propagating block; returns
+/// w+1 bits.
+[[nodiscard]] Bus carry_skip_add(NetlistBuilder& b, const Bus& a, const Bus& bb);
+
+/// Logarithmic barrel shifter (logical left shift, zero fill): stage k
+/// shifts by 2^k when shift-amount bit k is set. Returns w bits.
+[[nodiscard]] Bus barrel_shift_left(NetlistBuilder& b, const Bus& x, const Bus& shift);
+
+/// Unsigned min/max unit; returns {min bus, max bus} of width w each.
+struct MinMaxResult {
+    Bus min;
+    Bus max;
+};
+[[nodiscard]] MinMaxResult min_max_unsigned(NetlistBuilder& b, const Bus& a, const Bus& bb);
+
+/// Signed saturating addition: w-bit result clamped to
+/// [-2^(w-1), 2^(w-1)-1] on overflow.
+[[nodiscard]] Bus saturating_add(NetlistBuilder& b, const Bus& a, const Bus& bb);
+
+/// Parity (XOR reduction) of a bus, as a balanced tree; returns one net.
+[[nodiscard]] NetId parity_tree(NetlistBuilder& b, const Bus& x);
+
+/// Unsigned carry-save *array* multiplier: partial-product rows are
+/// accumulated one after another through carry-save adder rows and finished
+/// with a ripple carry-propagate adder — the linear-array structure of the
+/// paper's csa-multiplier (fig. 3). Returns wa+wb product bits.
+[[nodiscard]] Bus csa_multiply(NetlistBuilder& b, const Bus& a, const Bus& bb);
+
+/// Signed (two's complement) radix-4 Booth-recoded multiplier with
+/// Wallace-tree reduction and a CLA final adder — the paper's
+/// "booth-cod. wallace-tree mult.". Returns wa+wb product bits.
+[[nodiscard]] Bus booth_wallace_multiply(NetlistBuilder& b, const Bus& a, const Bus& bb);
+
+/// Reduce a column matrix with full/half adders until every column holds at
+/// most two bits (Wallace reduction). The matrix is modified in place.
+void wallace_reduce(NetlistBuilder& b, Columns& columns);
+
+/// Sum a column matrix that has at most two bits per column with a
+/// carry-propagate chain; returns one bit per column (plus a final carry
+/// bit if it is generated). @p width limits the result (extra carries
+/// beyond the last column are dropped, i.e. arithmetic is mod 2^width).
+[[nodiscard]] Bus carry_propagate_sum(NetlistBuilder& b, const Columns& columns,
+                                      std::size_t width);
+
+} // namespace hdpm::dp

@@ -1,0 +1,438 @@
+#include "dpgen/module.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "dpgen/arith.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::dp {
+
+using netlist::Bus;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+using util::BitVec;
+
+namespace {
+
+constexpr std::array<ModuleType, 15> kAllTypes = {
+    ModuleType::RippleAdder,   ModuleType::ClaAdder,
+    ModuleType::AbsVal,        ModuleType::CsaMultiplier,
+    ModuleType::BoothWallaceMultiplier,
+    ModuleType::RippleSubtractor, ModuleType::Incrementer,
+    ModuleType::Comparator,    ModuleType::Mac,
+    ModuleType::CarrySelectAdder, ModuleType::CarrySkipAdder,
+    ModuleType::BarrelShifter, ModuleType::MinMax,
+    ModuleType::SaturatingAdder, ModuleType::ParityTree,
+};
+
+constexpr std::array<ModuleType, 5> kPaperTypes = {
+    ModuleType::RippleAdder, ModuleType::ClaAdder, ModuleType::AbsVal,
+    ModuleType::CsaMultiplier, ModuleType::BoothWallaceMultiplier,
+};
+
+struct TypeInfo {
+    const char* id;
+    const char* display;
+    int num_operands;
+};
+
+const TypeInfo& type_info(ModuleType type)
+{
+    static const std::array<TypeInfo, 15> kInfo = {{
+        {"ripple_adder", "ripple adder", 2},
+        {"cla_adder", "cla-adder", 2},
+        {"absval", "absval", 1},
+        {"csa_multiplier", "csa-multiplier", 2},
+        {"booth_wallace_mult", "booth-cod. wallace-tree mult.", 2},
+        {"ripple_subtractor", "ripple subtractor", 2},
+        {"incrementer", "incrementer", 1},
+        {"comparator", "comparator", 2},
+        {"mac", "multiply-accumulate", 3},
+        {"carry_select_adder", "carry-select adder", 2},
+        {"carry_skip_adder", "carry-skip adder", 2},
+        {"barrel_shifter", "barrel shifter", 2},
+        {"min_max", "min/max unit", 2},
+        {"saturating_adder", "saturating adder", 2},
+        {"parity_tree", "parity tree", 1},
+    }};
+    return kInfo[static_cast<std::size_t>(type)];
+}
+
+int ceil_log2(int n)
+{
+    int bits = 0;
+    while ((1 << bits) < n) {
+        ++bits;
+    }
+    return bits;
+}
+
+std::uint64_t width_mask(int w)
+{
+    return w >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << w) - 1;
+}
+
+/// Sign-extend the low @p w bits of @p pattern to 64 bits.
+std::uint64_t sign_extend(std::uint64_t pattern, int w)
+{
+    if (w < 64 && ((pattern >> (w - 1)) & 1U) != 0) {
+        return pattern | ~width_mask(w);
+    }
+    return pattern & width_mask(w);
+}
+
+} // namespace
+
+std::span<const ModuleType> all_module_types() noexcept
+{
+    return kAllTypes;
+}
+
+std::span<const ModuleType> paper_module_types() noexcept
+{
+    return kPaperTypes;
+}
+
+std::string module_type_id(ModuleType type)
+{
+    return type_info(type).id;
+}
+
+std::string module_type_display(ModuleType type)
+{
+    return type_info(type).display;
+}
+
+ModuleType module_type_from_id(const std::string& id)
+{
+    for (const ModuleType type : kAllTypes) {
+        if (id == type_info(type).id) {
+            return type;
+        }
+    }
+    throw util::PreconditionError("unknown module id: " + id);
+}
+
+int module_num_operands(ModuleType type) noexcept
+{
+    return type_info(type).num_operands;
+}
+
+DatapathModule::DatapathModule(ModuleType type, std::vector<int> operand_widths,
+                               Netlist netlist)
+    : type_(type), operand_widths_(std::move(operand_widths)), netlist_(std::move(netlist))
+{
+    total_input_bits_ = 0;
+    for (const int w : operand_widths_) {
+        total_input_bits_ += w;
+    }
+    HDPM_ASSERT(total_input_bits_ ==
+                    static_cast<int>(netlist_.primary_inputs().size()),
+                "operand widths disagree with netlist inputs");
+}
+
+BitVec DatapathModule::encode(std::span<const std::int64_t> operands) const
+{
+    HDPM_REQUIRE(operands.size() == operand_widths_.size(), "module ", display_name(),
+                 " takes ", operand_widths_.size(), " operands, got ", operands.size());
+    BitVec packed{0};
+    for (std::size_t i = 0; i < operands.size(); ++i) {
+        const int w = operand_widths_[i];
+        const std::int64_t lo = w >= 64 ? INT64_MIN : -(std::int64_t{1} << (w - 1));
+        const std::int64_t hi =
+            w >= 64 ? INT64_MAX : static_cast<std::int64_t>(width_mask(w));
+        HDPM_REQUIRE(operands[i] >= lo && operands[i] <= hi, "operand ", i, " value ",
+                     operands[i], " does not fit ", w, " bits");
+        const BitVec field{w, static_cast<std::uint64_t>(operands[i])};
+        packed = packed.concat_high(field);
+    }
+    return packed;
+}
+
+std::string DatapathModule::display_name() const
+{
+    std::string name = module_type_display(type_);
+    name += ' ';
+    for (std::size_t i = 0; i < operand_widths_.size(); ++i) {
+        if (i > 0) {
+            name += 'x';
+        }
+        name += std::to_string(operand_widths_[i]);
+    }
+    return name;
+}
+
+std::vector<int> expand_operand_widths(ModuleType type, std::span<const int> widths)
+{
+    const int ops = module_num_operands(type);
+    std::vector<int> w;
+    w.reserve(static_cast<std::size_t>(ops));
+    w.assign(widths.begin(), widths.end());
+    HDPM_REQUIRE(!w.empty(), "no widths given");
+    for (const int width : w) {
+        HDPM_REQUIRE(width >= 1 && width <= 32, "operand width ", width, " out of range");
+    }
+    if (type == ModuleType::Mac) {
+        if (w.size() == 1) {
+            const int square = w[0];
+            w.push_back(square);
+        }
+        HDPM_REQUIRE(w.size() == 2, "mac takes {w1, w0} or a single square width");
+        const int acc_width = w[0] + w[1]; // accumulate operand spans the product
+        w.push_back(acc_width);
+    } else if (type == ModuleType::BarrelShifter) {
+        HDPM_REQUIRE(w.size() == 1, "barrel shifter takes the data width only");
+        HDPM_REQUIRE(w[0] >= 2, "barrel shifter needs at least 2 data bits");
+        w.push_back(ceil_log2(w[0]));
+    } else if (ops == 2 && w.size() == 1) {
+        const int square = w[0];
+        w.push_back(square);
+    }
+    HDPM_REQUIRE(static_cast<int>(w.size()) == ops, module_type_id(type), " takes ", ops,
+                 " widths, got ", w.size());
+    return w;
+}
+
+DatapathModule make_module(ModuleType type, std::span<const int> widths)
+{
+    std::vector<int> w = expand_operand_widths(type, widths);
+
+    NetlistBuilder b{module_type_id(type)};
+    switch (type) {
+    case ModuleType::RippleAdder: {
+        const Bus a = b.input_bus("a", w[0]);
+        const Bus bb = b.input_bus("b", w[1]);
+        b.output_bus(ripple_add(b, a, bb), "s");
+        break;
+    }
+    case ModuleType::ClaAdder: {
+        const Bus a = b.input_bus("a", w[0]);
+        const Bus bb = b.input_bus("b", w[1]);
+        b.output_bus(cla_add(b, a, bb), "s");
+        break;
+    }
+    case ModuleType::AbsVal: {
+        const Bus x = b.input_bus("x", w[0]);
+        b.output_bus(absolute_value(b, x), "y");
+        break;
+    }
+    case ModuleType::CsaMultiplier: {
+        const Bus a = b.input_bus("a", w[0]);
+        const Bus bb = b.input_bus("b", w[1]);
+        b.output_bus(csa_multiply(b, a, bb), "p");
+        break;
+    }
+    case ModuleType::BoothWallaceMultiplier: {
+        const Bus a = b.input_bus("a", w[0]);
+        const Bus bb = b.input_bus("b", w[1]);
+        b.output_bus(booth_wallace_multiply(b, a, bb), "p");
+        break;
+    }
+    case ModuleType::RippleSubtractor: {
+        const Bus a = b.input_bus("a", w[0]);
+        const Bus bb = b.input_bus("b", w[1]);
+        b.output_bus(ripple_sub(b, a, bb), "d");
+        break;
+    }
+    case ModuleType::Incrementer: {
+        const Bus x = b.input_bus("x", w[0]);
+        b.output_bus(increment(b, x), "y");
+        break;
+    }
+    case ModuleType::Comparator: {
+        const Bus a = b.input_bus("a", w[0]);
+        const Bus bb = b.input_bus("b", w[1]);
+        const CompareResult r = compare_unsigned(b, a, bb);
+        b.output(r.eq, "eq");
+        b.output(r.lt, "lt");
+        b.output(r.gt, "gt");
+        break;
+    }
+    case ModuleType::Mac: {
+        const Bus a = b.input_bus("a", w[0]);
+        const Bus bb = b.input_bus("b", w[1]);
+        const Bus c = b.input_bus("c", w[2]);
+        const Bus product = csa_multiply(b, a, bb);
+        b.output_bus(ripple_add(b, product, c), "y");
+        break;
+    }
+    case ModuleType::CarrySelectAdder: {
+        const Bus a = b.input_bus("a", w[0]);
+        const Bus bb = b.input_bus("b", w[1]);
+        b.output_bus(carry_select_add(b, a, bb), "s");
+        break;
+    }
+    case ModuleType::CarrySkipAdder: {
+        const Bus a = b.input_bus("a", w[0]);
+        const Bus bb = b.input_bus("b", w[1]);
+        b.output_bus(carry_skip_add(b, a, bb), "s");
+        break;
+    }
+    case ModuleType::BarrelShifter: {
+        const Bus x = b.input_bus("x", w[0]);
+        const Bus shift = b.input_bus("s", w[1]);
+        b.output_bus(barrel_shift_left(b, x, shift), "y");
+        break;
+    }
+    case ModuleType::MinMax: {
+        const Bus a = b.input_bus("a", w[0]);
+        const Bus bb = b.input_bus("b", w[1]);
+        const MinMaxResult r = min_max_unsigned(b, a, bb);
+        b.output_bus(r.min, "min");
+        b.output_bus(r.max, "max");
+        break;
+    }
+    case ModuleType::SaturatingAdder: {
+        const Bus a = b.input_bus("a", w[0]);
+        const Bus bb = b.input_bus("b", w[1]);
+        b.output_bus(saturating_add(b, a, bb), "s");
+        break;
+    }
+    case ModuleType::ParityTree: {
+        const Bus x = b.input_bus("x", w[0]);
+        b.output(parity_tree(b, x), "p");
+        break;
+    }
+    }
+
+    Netlist netlist = b.take();
+    netlist.set_name(module_type_id(type));
+    return DatapathModule{type, std::move(w), std::move(netlist)};
+}
+
+DatapathModule make_module(ModuleType type, int width)
+{
+    const std::array<int, 1> w = {width};
+    return make_module(type, w);
+}
+
+std::uint64_t golden_output(ModuleType type, std::span<const int> widths,
+                            std::span<const std::int64_t> operands)
+{
+    const std::vector<int> w = expand_operand_widths(type, widths);
+    HDPM_REQUIRE(operands.size() == w.size(), "operand count mismatch");
+    auto u = [&](std::size_t i) {
+        return static_cast<std::uint64_t>(operands[i]) & width_mask(w[i]);
+    };
+
+    switch (type) {
+    case ModuleType::RippleAdder:
+    case ModuleType::ClaAdder:
+        return (u(0) + u(1)) & width_mask(w[0] + 1);
+    case ModuleType::AbsVal: {
+        const auto x = static_cast<std::int64_t>(sign_extend(u(0), w[0]));
+        const auto mag = static_cast<std::uint64_t>(x < 0 ? -x : x);
+        return mag & width_mask(w[0]);
+    }
+    case ModuleType::CsaMultiplier:
+        return (u(0) * u(1)) & width_mask(w[0] + w[1]);
+    case ModuleType::BoothWallaceMultiplier:
+        // Signed product mod 2^(w1+w0) equals the wrapped product of the
+        // sign-extended patterns.
+        return (sign_extend(u(0), w[0]) * sign_extend(u(1), w[1])) &
+               width_mask(w[0] + w[1]);
+    case ModuleType::RippleSubtractor:
+        return (u(0) + (~u(1) & width_mask(w[1])) + 1) & width_mask(w[0] + 1);
+    case ModuleType::Incrementer:
+        return (u(0) + 1) & width_mask(w[0] + 1);
+    case ModuleType::Comparator: {
+        const std::uint64_t a = u(0);
+        const std::uint64_t bb = u(1);
+        std::uint64_t out = 0;
+        if (a == bb) {
+            out |= 1U;
+        }
+        if (a < bb) {
+            out |= 2U;
+        }
+        if (a > bb) {
+            out |= 4U;
+        }
+        return out;
+    }
+    case ModuleType::Mac:
+        return (u(0) * u(1) + u(2)) & width_mask(w[0] + w[1] + 1);
+    case ModuleType::CarrySelectAdder:
+    case ModuleType::CarrySkipAdder:
+        return (u(0) + u(1)) & width_mask(w[0] + 1);
+    case ModuleType::BarrelShifter: {
+        const std::uint64_t shift = u(1);
+        if (shift >= static_cast<std::uint64_t>(w[0])) {
+            return 0; // everything shifted out (zero fill)
+        }
+        return (u(0) << shift) & width_mask(w[0]);
+    }
+    case ModuleType::MinMax: {
+        const std::uint64_t lo = std::min(u(0), u(1));
+        const std::uint64_t hi = std::max(u(0), u(1));
+        return lo | (hi << w[0]); // min in the low bits, max above
+    }
+    case ModuleType::SaturatingAdder: {
+        const auto a = static_cast<std::int64_t>(sign_extend(u(0), w[0]));
+        const auto bb = static_cast<std::int64_t>(sign_extend(u(1), w[1]));
+        const std::int64_t lo = -(std::int64_t{1} << (w[0] - 1));
+        const std::int64_t hi = (std::int64_t{1} << (w[0] - 1)) - 1;
+        const std::int64_t sum = std::clamp(a + bb, lo, hi);
+        return static_cast<std::uint64_t>(sum) & width_mask(w[0]);
+    }
+    case ModuleType::ParityTree:
+        return static_cast<std::uint64_t>(std::popcount(u(0)) & 1);
+    }
+    HDPM_FAIL("unreachable module type");
+}
+
+namespace {
+
+std::vector<double> eval_linear(std::span<const int> widths)
+{
+    return {static_cast<double>(widths[0]), 1.0};
+}
+
+std::vector<double> eval_quadratic(std::span<const int> widths)
+{
+    const double m1 = static_cast<double>(widths[0]);
+    const double m0 = static_cast<double>(widths.size() > 1 ? widths[1] : widths[0]);
+    return {m1 * m0, m1, 1.0};
+}
+
+std::vector<double> eval_log_linear(std::span<const int> widths)
+{
+    const double m = static_cast<double>(widths[0]);
+    const double stages = static_cast<double>(ceil_log2(widths[0]));
+    return {m * stages, m, 1.0};
+}
+
+const ComplexityBasis kLinearBasis{{"m", "1"}, &eval_linear};
+const ComplexityBasis kQuadraticBasis{{"m1*m0", "m1", "1"}, &eval_quadratic};
+const ComplexityBasis kLogLinearBasis{{"m*log2(m)", "m", "1"}, &eval_log_linear};
+
+} // namespace
+
+const ComplexityBasis& complexity_basis(ModuleType type)
+{
+    switch (type) {
+    case ModuleType::CsaMultiplier:
+    case ModuleType::BoothWallaceMultiplier:
+    case ModuleType::Mac:
+        return kQuadraticBasis;
+    case ModuleType::BarrelShifter:
+        return kLogLinearBasis;
+    case ModuleType::RippleAdder:
+    case ModuleType::ClaAdder:
+    case ModuleType::AbsVal:
+    case ModuleType::RippleSubtractor:
+    case ModuleType::Incrementer:
+    case ModuleType::Comparator:
+    case ModuleType::CarrySelectAdder:
+    case ModuleType::CarrySkipAdder:
+    case ModuleType::MinMax:
+    case ModuleType::SaturatingAdder:
+    case ModuleType::ParityTree:
+        return kLinearBasis;
+    }
+    HDPM_FAIL("unreachable module type");
+}
+
+} // namespace hdpm::dp

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/bitvec.hpp"
+
+namespace hdpm::dp {
+
+/// The datapath component families provided by the library.
+///
+/// The first five are the module types evaluated in the paper (table 1);
+/// the remaining ones are additional components built on the same substrate
+/// and used by the examples and extension experiments.
+enum class ModuleType {
+    RippleAdder,            ///< w+w ripple-carry adder ("ripple adder")
+    ClaAdder,               ///< w+w carry-lookahead adder ("cla-adder")
+    AbsVal,                 ///< w-bit two's complement absolute value ("absval")
+    CsaMultiplier,          ///< w1×w0 carry-save array multiplier ("csa-multiplier")
+    BoothWallaceMultiplier, ///< w1×w0 Booth-coded Wallace-tree mult.
+    RippleSubtractor,       ///< w−w subtractor with borrow
+    Incrementer,            ///< w-bit +1
+    Comparator,             ///< unsigned eq/lt/gt comparator
+    Mac,                    ///< w1×w0 multiply + (w1+w0)-bit accumulate
+    CarrySelectAdder,       ///< w+w carry-select adder (4-bit blocks)
+    CarrySkipAdder,         ///< w+w carry-skip adder (4-bit blocks)
+    BarrelShifter,          ///< w-bit logical left shifter, ceil(log2 w) shift bits
+    MinMax,                 ///< unsigned min/max unit
+    SaturatingAdder,        ///< w+w signed adder with saturation
+    ParityTree,             ///< w-bit XOR-reduction parity
+};
+
+/// All module types, in declaration order (for sweeps).
+[[nodiscard]] std::span<const ModuleType> all_module_types() noexcept;
+
+/// The five module types evaluated in the paper's table 1.
+[[nodiscard]] std::span<const ModuleType> paper_module_types() noexcept;
+
+/// Short identifier ("ripple_adder", ...), usable in file names.
+[[nodiscard]] std::string module_type_id(ModuleType type);
+
+/// Paper-style display name ("ripple adder", "csa-multiplier", ...).
+[[nodiscard]] std::string module_type_display(ModuleType type);
+
+/// Parse a module id back to its type.
+[[nodiscard]] ModuleType module_type_from_id(const std::string& id);
+
+/// Number of operands the module type takes.
+[[nodiscard]] int module_num_operands(ModuleType type) noexcept;
+
+/// Expand a user-facing width list into one width per operand: a single
+/// width for a two-operand module means square (w, w); Mac appends its
+/// (w1+w0)-bit accumulate operand; BarrelShifter appends its
+/// ceil(log2 w)-bit shift-amount operand. Validates counts and ranges.
+[[nodiscard]] std::vector<int> expand_operand_widths(ModuleType type,
+                                                     std::span<const int> widths);
+
+/// A generated datapath component: netlist plus operand metadata.
+///
+/// The Hd macro-model operates on the concatenated primary input vector:
+/// operand 0 occupies the low bits, operand 1 the next bits, and so on
+/// (each operand LSB-first). encode() produces such vectors from integers.
+class DatapathModule {
+public:
+    DatapathModule(ModuleType type, std::vector<int> operand_widths,
+                   netlist::Netlist netlist);
+
+    [[nodiscard]] ModuleType type() const noexcept { return type_; }
+    [[nodiscard]] const std::vector<int>& operand_widths() const noexcept
+    {
+        return operand_widths_;
+    }
+    [[nodiscard]] const netlist::Netlist& netlist() const noexcept { return netlist_; }
+
+    /// Total number of primary input bits m — the length of the vectors the
+    /// Hd model classifies (the paper's "m input bits").
+    [[nodiscard]] int total_input_bits() const noexcept { return total_input_bits_; }
+
+    /// Pack operand values (two's complement per operand) into one input
+    /// vector. Each value must fit its operand width when interpreted as
+    /// either a signed or an unsigned pattern.
+    [[nodiscard]] util::BitVec encode(std::span<const std::int64_t> operands) const;
+
+    /// Display name like "csa-multiplier 8x8" / "ripple adder 12".
+    [[nodiscard]] std::string display_name() const;
+
+private:
+    ModuleType type_;
+    std::vector<int> operand_widths_;
+    netlist::Netlist netlist_;
+    int total_input_bits_;
+};
+
+/// Build a module of the given type. @p widths must provide one width per
+/// operand, except that multiplier-like 2-operand modules also accept a
+/// single width (meaning square w×w), and Mac takes {w1, w0} with the
+/// accumulate operand implicitly w1+w0 wide.
+[[nodiscard]] DatapathModule make_module(ModuleType type, std::span<const int> widths);
+
+/// Convenience overload for square/uniform widths.
+[[nodiscard]] DatapathModule make_module(ModuleType type, int width);
+
+/// Golden functional model: the integer the module's output bus must show
+/// (packed LSB-first, as an unsigned pattern) for the given operand values.
+/// Used by the test suite to validate every generator against arithmetic.
+[[nodiscard]] std::uint64_t golden_output(ModuleType type, std::span<const int> widths,
+                                          std::span<const std::int64_t> operands);
+
+/// The complexity basis of a module family (section 5 of the paper):
+/// the terms M(widths) the coefficients p_i are regressed against.
+/// RippleAdder-style components use {m, 1}; array multipliers use
+/// {m1·m0, m1, 1} (paper eq. 6–8).
+struct ComplexityBasis {
+    std::vector<std::string> term_names;
+
+    /// Evaluate the basis terms for a module's operand widths.
+    std::vector<double> (*eval)(std::span<const int> widths);
+
+    [[nodiscard]] std::size_t size() const noexcept { return term_names.size(); }
+};
+
+/// Complexity basis for a module type.
+[[nodiscard]] const ComplexityBasis& complexity_basis(ModuleType type);
+
+} // namespace hdpm::dp

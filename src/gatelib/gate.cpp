@@ -1,0 +1,109 @@
+#include "gatelib/gate.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace hdpm::gate {
+
+namespace {
+
+struct KindInfo {
+    std::string_view name;
+    int num_inputs;
+};
+
+constexpr std::array<KindInfo, kNumGateKinds> kKindInfo = {{
+    {"CONST0", 0},
+    {"CONST1", 0},
+    {"BUF", 1},
+    {"INV", 1},
+    {"AND2", 2},
+    {"NAND2", 2},
+    {"OR2", 2},
+    {"NOR2", 2},
+    {"XOR2", 2},
+    {"XNOR2", 2},
+    {"AND3", 3},
+    {"NAND3", 3},
+    {"OR3", 3},
+    {"NOR3", 3},
+    {"XOR3", 3},
+    {"MUX2", 3},
+    {"AOI21", 3},
+    {"OAI21", 3},
+    {"MAJ3", 3},
+}};
+
+} // namespace
+
+int gate_num_inputs(GateKind kind) noexcept
+{
+    return kKindInfo[static_cast<std::size_t>(kind)].num_inputs;
+}
+
+std::string_view gate_name(GateKind kind) noexcept
+{
+    return kKindInfo[static_cast<std::size_t>(kind)].name;
+}
+
+GateKind gate_from_name(std::string_view name)
+{
+    for (int k = 0; k < kNumGateKinds; ++k) {
+        if (kKindInfo[static_cast<std::size_t>(k)].name == name) {
+            return static_cast<GateKind>(k);
+        }
+    }
+    throw util::PreconditionError("unknown gate name: " + std::string{name});
+}
+
+bool gate_eval(GateKind kind, std::span<const std::uint8_t> inputs)
+{
+    HDPM_REQUIRE(static_cast<int>(inputs.size()) == gate_num_inputs(kind),
+                 "gate ", gate_name(kind), " expects ", gate_num_inputs(kind),
+                 " inputs, got ", inputs.size());
+    const auto in = [&](std::size_t i) { return inputs[i] != 0; };
+    switch (kind) {
+    case GateKind::Const0:
+        return false;
+    case GateKind::Const1:
+        return true;
+    case GateKind::Buf:
+        return in(0);
+    case GateKind::Inv:
+        return !in(0);
+    case GateKind::And2:
+        return in(0) && in(1);
+    case GateKind::Nand2:
+        return !(in(0) && in(1));
+    case GateKind::Or2:
+        return in(0) || in(1);
+    case GateKind::Nor2:
+        return !(in(0) || in(1));
+    case GateKind::Xor2:
+        return in(0) != in(1);
+    case GateKind::Xnor2:
+        return in(0) == in(1);
+    case GateKind::And3:
+        return in(0) && in(1) && in(2);
+    case GateKind::Nand3:
+        return !(in(0) && in(1) && in(2));
+    case GateKind::Or3:
+        return in(0) || in(1) || in(2);
+    case GateKind::Nor3:
+        return !(in(0) || in(1) || in(2));
+    case GateKind::Xor3:
+        return (in(0) != in(1)) != in(2);
+    case GateKind::Mux2:
+        return in(2) ? in(1) : in(0);
+    case GateKind::Aoi21:
+        return !((in(0) && in(1)) || in(2));
+    case GateKind::Oai21:
+        return !((in(0) || in(1)) && in(2));
+    case GateKind::Maj3:
+        return (in(0) && in(1)) || (in(0) && in(2)) || (in(1) && in(2));
+    }
+    HDPM_FAIL("unreachable gate kind");
+}
+
+} // namespace hdpm::gate

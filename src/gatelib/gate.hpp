@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace hdpm::gate {
+
+/// The primitive cell kinds of the gate library.
+///
+/// The datapath generators (dpgen) map every component onto these
+/// primitives, mirroring how the paper's DesignWare modules map onto a
+/// standard-cell library. Multi-level cells (full adders, ...) are built
+/// structurally from these so that internal glitching is visible to the
+/// power simulator.
+enum class GateKind : std::uint8_t {
+    Const0, ///< constant logic 0 (no inputs)
+    Const1, ///< constant logic 1 (no inputs)
+    Buf,    ///< buffer
+    Inv,    ///< inverter
+    And2,
+    Nand2,
+    Or2,
+    Nor2,
+    Xor2,
+    Xnor2,
+    And3,
+    Nand3,
+    Or3,
+    Nor3,
+    Xor3,
+    Mux2,  ///< inputs (d0, d1, sel): out = sel ? d1 : d0
+    Aoi21, ///< inputs (a, b, c): out = !((a & b) | c)
+    Oai21, ///< inputs (a, b, c): out = !((a | b) & c)
+    Maj3,  ///< 3-input majority (the carry function)
+};
+
+/// Number of distinct gate kinds (for table sizing).
+inline constexpr int kNumGateKinds = static_cast<int>(GateKind::Maj3) + 1;
+
+/// Number of input pins of a gate kind.
+[[nodiscard]] int gate_num_inputs(GateKind kind) noexcept;
+
+/// Human-readable cell name ("NAND2", ...).
+[[nodiscard]] std::string_view gate_name(GateKind kind) noexcept;
+
+/// Parse a cell name back to its kind; throws PreconditionError on an
+/// unknown name. Inverse of gate_name, used by the netlist text format.
+[[nodiscard]] GateKind gate_from_name(std::string_view name);
+
+/// Evaluate the boolean function of a gate. @p inputs must provide exactly
+/// gate_num_inputs(kind) values.
+[[nodiscard]] bool gate_eval(GateKind kind, std::span<const std::uint8_t> inputs);
+
+} // namespace hdpm::gate

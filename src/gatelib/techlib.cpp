@@ -1,0 +1,76 @@
+#include "gatelib/techlib.hpp"
+
+#include <utility>
+
+namespace hdpm::gate {
+
+TechLibrary::TechLibrary(std::string name, double vdd_v, double wire_cap_base_ff,
+                         double wire_cap_per_fanout_ff,
+                         std::array<GateElectrical, kNumGateKinds> cells)
+    : name_(std::move(name)),
+      vdd_v_(vdd_v),
+      wire_cap_base_ff_(wire_cap_base_ff),
+      wire_cap_per_fanout_ff_(wire_cap_per_fanout_ff),
+      cells_(cells)
+{
+}
+
+namespace {
+
+std::array<GateElectrical, kNumGateKinds> generic350_cells()
+{
+    std::array<GateElectrical, kNumGateKinds> c{};
+    auto set = [&](GateKind k, GateElectrical e) { c[static_cast<std::size_t>(k)] = e; };
+    //                 in-cap out-cap  E-int  t0     slope
+    set(GateKind::Const0, {0.0, 0.5, 0.0, 0.0, 0.0});
+    set(GateKind::Const1, {0.0, 0.5, 0.0, 0.0, 0.0});
+    set(GateKind::Buf, {4.0, 3.0, 5.0, 70.0, 2.5});
+    set(GateKind::Inv, {4.0, 3.0, 4.0, 40.0, 3.0});
+    set(GateKind::And2, {5.0, 3.5, 9.0, 90.0, 3.0});
+    set(GateKind::Nand2, {5.0, 4.0, 6.0, 60.0, 3.2});
+    set(GateKind::Or2, {5.0, 3.5, 9.5, 95.0, 3.0});
+    set(GateKind::Nor2, {5.0, 4.5, 7.0, 70.0, 3.5});
+    set(GateKind::Xor2, {7.0, 5.0, 14.0, 120.0, 3.4});
+    set(GateKind::Xnor2, {7.0, 5.0, 14.5, 125.0, 3.4});
+    set(GateKind::And3, {5.5, 4.0, 12.0, 110.0, 3.1});
+    set(GateKind::Nand3, {5.5, 4.5, 8.0, 80.0, 3.3});
+    set(GateKind::Or3, {5.5, 4.0, 12.5, 115.0, 3.1});
+    set(GateKind::Nor3, {5.5, 5.0, 9.0, 90.0, 3.7});
+    set(GateKind::Xor3, {7.5, 5.5, 22.0, 180.0, 3.5});
+    set(GateKind::Mux2, {6.0, 4.5, 11.0, 100.0, 3.2});
+    set(GateKind::Aoi21, {5.5, 4.5, 8.0, 75.0, 3.4});
+    set(GateKind::Oai21, {5.5, 4.5, 8.0, 75.0, 3.4});
+    set(GateKind::Maj3, {6.0, 5.0, 13.0, 110.0, 3.3});
+    return c;
+}
+
+std::array<GateElectrical, kNumGateKinds> generic180_cells()
+{
+    // Capacitances ~0.45×, delays ~0.4×, internal energies ~0.2× of the
+    // 350 nm library — a coarse constant-field scaling.
+    auto c = generic350_cells();
+    for (auto& e : c) {
+        e.input_cap_ff *= 0.45;
+        e.output_cap_ff *= 0.45;
+        e.internal_energy_fj *= 0.20;
+        e.intrinsic_delay_ps *= 0.40;
+        e.delay_per_ff_ps *= 0.90; // slope in ps/fF shrinks less (thinner wires)
+    }
+    return c;
+}
+
+} // namespace
+
+const TechLibrary& TechLibrary::generic350()
+{
+    static const TechLibrary lib{"generic350", 3.3, 2.0, 1.5, generic350_cells()};
+    return lib;
+}
+
+const TechLibrary& TechLibrary::generic180()
+{
+    static const TechLibrary lib{"generic180", 1.8, 1.0, 0.8, generic180_cells()};
+    return lib;
+}
+
+} // namespace hdpm::gate

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "gatelib/gate.hpp"
+
+namespace hdpm::gate {
+
+/// Electrical characterization data of one cell kind.
+///
+/// These are the per-cell numbers the reference power simulator consumes:
+/// switched capacitance plus a lumped internal (short-circuit + internal
+/// node) energy per output transition, and a linear delay model
+/// delay = intrinsic + slope · C_load.
+struct GateElectrical {
+    double input_cap_ff = 0.0;       ///< capacitance presented by each input pin [fF]
+    double output_cap_ff = 0.0;      ///< intrinsic drain capacitance on the output [fF]
+    double internal_energy_fj = 0.0; ///< internal energy per output transition [fJ]
+    double intrinsic_delay_ps = 0.0; ///< unloaded propagation delay [ps]
+    double delay_per_ff_ps = 0.0;    ///< delay slope versus load capacitance [ps/fF]
+};
+
+/// A synthetic technology library.
+///
+/// Substitute for the 0.35 µm standard-cell data behind the paper's
+/// DesignWare + PowerMill flow. Absolute values are plausible-scale
+/// fabrications; what matters for the macro-model experiments is the
+/// *relative* sizing between cells and the presence of load-dependent delay
+/// (which creates arrival-time skew and therefore glitching).
+class TechLibrary {
+public:
+    /// Build a library from explicit per-kind data.
+    TechLibrary(std::string name, double vdd_v, double wire_cap_base_ff,
+                double wire_cap_per_fanout_ff,
+                std::array<GateElectrical, kNumGateKinds> cells);
+
+    /// Library name (for reports).
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Supply voltage [V].
+    [[nodiscard]] double vdd() const noexcept { return vdd_v_; }
+
+    /// Fixed wire capacitance added to every driven net [fF].
+    [[nodiscard]] double wire_cap_base_ff() const noexcept { return wire_cap_base_ff_; }
+
+    /// Additional wire capacitance per fanout pin [fF].
+    [[nodiscard]] double wire_cap_per_fanout_ff() const noexcept
+    {
+        return wire_cap_per_fanout_ff_;
+    }
+
+    /// Electrical data of a cell kind.
+    [[nodiscard]] const GateElectrical& spec(GateKind kind) const noexcept
+    {
+        return cells_[static_cast<std::size_t>(kind)];
+    }
+
+    /// The default generic 350 nm-class library (Vdd = 3.3 V).
+    [[nodiscard]] static const TechLibrary& generic350();
+
+    /// A scaled 180 nm-class variant (Vdd = 1.8 V) used to check that model
+    /// conclusions are technology-independent.
+    [[nodiscard]] static const TechLibrary& generic180();
+
+private:
+    std::string name_;
+    double vdd_v_;
+    double wire_cap_base_ff_;
+    double wire_cap_per_fanout_ff_;
+    std::array<GateElectrical, kNumGateKinds> cells_;
+};
+
+} // namespace hdpm::gate

@@ -1,0 +1,172 @@
+#include "netlist/builder.hpp"
+
+#include "util/error.hpp"
+
+namespace hdpm::netlist {
+
+NetlistBuilder::NetlistBuilder(std::string name) : netlist_(std::move(name)) {}
+
+NetId NetlistBuilder::input(std::string label)
+{
+    const NetId net = netlist_.add_net(std::move(label));
+    netlist_.mark_input(net);
+    return net;
+}
+
+Bus NetlistBuilder::input_bus(const std::string& label, int width)
+{
+    HDPM_REQUIRE(width > 0, "bus width must be positive");
+    Bus bus;
+    bus.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+        bus.push_back(input(label + '[' + std::to_string(i) + ']'));
+    }
+    return bus;
+}
+
+void NetlistBuilder::output(NetId net, std::string label)
+{
+    (void)label; // labels on output nets would overwrite driver labels; ignore
+    netlist_.mark_output(net);
+}
+
+void NetlistBuilder::output_bus(const Bus& bus, const std::string& label)
+{
+    for (std::size_t i = 0; i < bus.size(); ++i) {
+        output(bus[i], label + '[' + std::to_string(i) + ']');
+    }
+}
+
+NetId NetlistBuilder::emit(gate::GateKind kind, std::initializer_list<NetId> inputs)
+{
+    const NetId out = netlist_.add_net();
+    netlist_.add_cell(kind, std::span<const NetId>{inputs.begin(), inputs.size()}, out);
+    return out;
+}
+
+NetId NetlistBuilder::const0()
+{
+    if (const0_ == kInvalidId) {
+        const0_ = emit(gate::GateKind::Const0, {});
+    }
+    return const0_;
+}
+
+NetId NetlistBuilder::const1()
+{
+    if (const1_ == kInvalidId) {
+        const1_ = emit(gate::GateKind::Const1, {});
+    }
+    return const1_;
+}
+
+NetId NetlistBuilder::buf(NetId a) { return emit(gate::GateKind::Buf, {a}); }
+NetId NetlistBuilder::inv(NetId a) { return emit(gate::GateKind::Inv, {a}); }
+NetId NetlistBuilder::and2(NetId a, NetId b) { return emit(gate::GateKind::And2, {a, b}); }
+NetId NetlistBuilder::nand2(NetId a, NetId b) { return emit(gate::GateKind::Nand2, {a, b}); }
+NetId NetlistBuilder::or2(NetId a, NetId b) { return emit(gate::GateKind::Or2, {a, b}); }
+NetId NetlistBuilder::nor2(NetId a, NetId b) { return emit(gate::GateKind::Nor2, {a, b}); }
+NetId NetlistBuilder::xor2(NetId a, NetId b) { return emit(gate::GateKind::Xor2, {a, b}); }
+NetId NetlistBuilder::xnor2(NetId a, NetId b) { return emit(gate::GateKind::Xnor2, {a, b}); }
+NetId NetlistBuilder::and3(NetId a, NetId b, NetId c)
+{
+    return emit(gate::GateKind::And3, {a, b, c});
+}
+NetId NetlistBuilder::nand3(NetId a, NetId b, NetId c)
+{
+    return emit(gate::GateKind::Nand3, {a, b, c});
+}
+NetId NetlistBuilder::or3(NetId a, NetId b, NetId c)
+{
+    return emit(gate::GateKind::Or3, {a, b, c});
+}
+NetId NetlistBuilder::nor3(NetId a, NetId b, NetId c)
+{
+    return emit(gate::GateKind::Nor3, {a, b, c});
+}
+NetId NetlistBuilder::xor3(NetId a, NetId b, NetId c)
+{
+    return emit(gate::GateKind::Xor3, {a, b, c});
+}
+NetId NetlistBuilder::mux2(NetId d0, NetId d1, NetId sel)
+{
+    return emit(gate::GateKind::Mux2, {d0, d1, sel});
+}
+NetId NetlistBuilder::aoi21(NetId a, NetId b, NetId c)
+{
+    return emit(gate::GateKind::Aoi21, {a, b, c});
+}
+NetId NetlistBuilder::oai21(NetId a, NetId b, NetId c)
+{
+    return emit(gate::GateKind::Oai21, {a, b, c});
+}
+NetId NetlistBuilder::maj3(NetId a, NetId b, NetId c)
+{
+    return emit(gate::GateKind::Maj3, {a, b, c});
+}
+
+NetlistBuilder::AdderBit NetlistBuilder::half_adder(NetId a, NetId b)
+{
+    return {xor2(a, b), and2(a, b)};
+}
+
+NetlistBuilder::AdderBit NetlistBuilder::full_adder(NetId a, NetId b, NetId cin)
+{
+    const NetId axb = xor2(a, b);
+    const NetId sum = xor2(axb, cin);
+    const NetId g = and2(a, b);
+    const NetId p = and2(axb, cin);
+    const NetId carry = or2(g, p);
+    return {sum, carry};
+}
+
+NetlistBuilder::AdderBit NetlistBuilder::full_adder_compact(NetId a, NetId b, NetId cin)
+{
+    return {xor3(a, b, cin), maj3(a, b, cin)};
+}
+
+NetId NetlistBuilder::or_tree(const Bus& bus)
+{
+    HDPM_REQUIRE(!bus.empty(), "or_tree over empty bus");
+    Bus level = bus;
+    while (level.size() > 1) {
+        Bus next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            next.push_back(or2(level[i], level[i + 1]));
+        }
+        if (level.size() % 2 == 1) {
+            next.push_back(level.back());
+        }
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+NetId NetlistBuilder::and_tree(const Bus& bus)
+{
+    HDPM_REQUIRE(!bus.empty(), "and_tree over empty bus");
+    Bus level = bus;
+    while (level.size() > 1) {
+        Bus next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            next.push_back(and2(level[i], level[i + 1]));
+        }
+        if (level.size() % 2 == 1) {
+            next.push_back(level.back());
+        }
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+Netlist NetlistBuilder::take()
+{
+    netlist_.validate();
+    Netlist out = std::move(netlist_);
+    netlist_ = Netlist{out.name()};
+    const0_ = kInvalidId;
+    const1_ = kInvalidId;
+    return out;
+}
+
+} // namespace hdpm::netlist

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace hdpm::netlist {
+
+/// A bus is an LSB-first vector of nets.
+using Bus = std::vector<NetId>;
+
+/// Convenience layer for constructing netlists gate by gate.
+///
+/// Every logic helper creates the output net, instantiates the gate and
+/// returns the new net, so generator code reads like structural RTL:
+///
+///     auto sum = b.xor2(b.xor2(a, c), cin);
+///
+/// Constants are deduplicated (a single CONST0/CONST1 cell per netlist).
+class NetlistBuilder {
+public:
+    explicit NetlistBuilder(std::string name = "netlist");
+
+    /// Create a primary input net.
+    NetId input(std::string label = {});
+
+    /// Create a primary input bus of @p width bits (LSB first). Labels are
+    /// "<label>[i]".
+    Bus input_bus(const std::string& label, int width);
+
+    /// Declare @p net as a primary output.
+    void output(NetId net, std::string label = {});
+
+    /// Declare all bits of a bus as primary outputs (LSB first).
+    void output_bus(const Bus& bus, const std::string& label);
+
+    NetId const0();
+    NetId const1();
+    NetId buf(NetId a);
+    NetId inv(NetId a);
+    NetId and2(NetId a, NetId b);
+    NetId nand2(NetId a, NetId b);
+    NetId or2(NetId a, NetId b);
+    NetId nor2(NetId a, NetId b);
+    NetId xor2(NetId a, NetId b);
+    NetId xnor2(NetId a, NetId b);
+    NetId and3(NetId a, NetId b, NetId c);
+    NetId nand3(NetId a, NetId b, NetId c);
+    NetId or3(NetId a, NetId b, NetId c);
+    NetId nor3(NetId a, NetId b, NetId c);
+    NetId xor3(NetId a, NetId b, NetId c);
+    NetId mux2(NetId d0, NetId d1, NetId sel);
+    NetId aoi21(NetId a, NetId b, NetId c);
+    NetId oai21(NetId a, NetId b, NetId c);
+    NetId maj3(NetId a, NetId b, NetId c);
+
+    /// Result of a full/half adder bit slice.
+    struct AdderBit {
+        NetId sum;
+        NetId carry;
+    };
+
+    /// Structural half adder (XOR2 + AND2).
+    AdderBit half_adder(NetId a, NetId b);
+
+    /// Structural full adder decomposed into five 2-input gates
+    /// (2×XOR2, 2×AND2, OR2) so internal glitching is visible to the
+    /// power simulator.
+    AdderBit full_adder(NetId a, NetId b, NetId cin);
+
+    /// Compact full adder (XOR3 + MAJ3), used where the paper's modules
+    /// would use a dedicated FA cell.
+    AdderBit full_adder_compact(NetId a, NetId b, NetId cin);
+
+    /// Reduction OR over a bus (balanced tree). Bus must be non-empty.
+    NetId or_tree(const Bus& bus);
+
+    /// Reduction AND over a bus (balanced tree). Bus must be non-empty.
+    NetId and_tree(const Bus& bus);
+
+    /// Access the netlist under construction.
+    [[nodiscard]] const Netlist& peek() const noexcept { return netlist_; }
+
+    /// Validate and return the finished netlist; the builder is left empty.
+    [[nodiscard]] Netlist take();
+
+private:
+    NetId emit(gate::GateKind kind, std::initializer_list<NetId> inputs);
+
+    Netlist netlist_;
+    NetId const0_ = kInvalidId;
+    NetId const1_ = kInvalidId;
+};
+
+} // namespace hdpm::netlist

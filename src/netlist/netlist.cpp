@@ -1,0 +1,246 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hdpm::netlist {
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+NetId Netlist::add_net(std::string label)
+{
+    const auto id = static_cast<NetId>(net_labels_.size());
+    net_labels_.push_back(std::move(label));
+    drivers_.push_back(kInvalidId);
+    is_input_.push_back(0);
+    return id;
+}
+
+CellId Netlist::add_cell(gate::GateKind kind, std::span<const NetId> inputs, NetId output)
+{
+    const int arity = gate::gate_num_inputs(kind);
+    HDPM_REQUIRE(static_cast<int>(inputs.size()) == arity, "gate ", gate::gate_name(kind),
+                 " takes ", arity, " inputs, got ", inputs.size());
+    HDPM_REQUIRE(output < num_nets(), "output net ", output, " does not exist");
+    HDPM_REQUIRE(drivers_[output] == kInvalidId, "net ", output, " already driven");
+    HDPM_REQUIRE(!is_input_[output], "net ", output, " is a primary input");
+    for (const NetId in : inputs) {
+        HDPM_REQUIRE(in < num_nets(), "input net ", in, " does not exist");
+    }
+
+    Cell cell;
+    cell.kind = kind;
+    cell.output = output;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        cell.inputs[i] = inputs[i];
+    }
+    const auto id = static_cast<CellId>(cells_.size());
+    cells_.push_back(cell);
+    drivers_[output] = id;
+    return id;
+}
+
+void Netlist::mark_input(NetId net)
+{
+    HDPM_REQUIRE(net < num_nets(), "net ", net, " does not exist");
+    HDPM_REQUIRE(drivers_[net] == kInvalidId, "net ", net, " is driven by a cell");
+    if (!is_input_[net]) {
+        is_input_[net] = 1;
+        primary_inputs_.push_back(net);
+    }
+}
+
+void Netlist::mark_output(NetId net)
+{
+    HDPM_REQUIRE(net < num_nets(), "net ", net, " does not exist");
+    primary_outputs_.push_back(net);
+}
+
+void Netlist::validate() const
+{
+    for (NetId net = 0; net < num_nets(); ++net) {
+        const bool driven = drivers_[net] != kInvalidId;
+        const bool input = is_input_[net] != 0;
+        HDPM_ASSERT(driven || input, "net ", net, " ('", net_labels_[net],
+                    "') is neither driven nor a primary input");
+        HDPM_ASSERT(!(driven && input), "net ", net, " is both driven and a primary input");
+    }
+    for (CellId id = 0; id < cells_.size(); ++id) {
+        const Cell& cell = cells_[id];
+        HDPM_ASSERT(cell.output < num_nets(), "cell ", id, " output out of range");
+        for (const NetId in : cell.input_span()) {
+            HDPM_ASSERT(in < num_nets(), "cell ", id, " input out of range");
+        }
+    }
+    // Acyclicity is established by topological_order throwing otherwise.
+    (void)topological_order();
+}
+
+std::vector<CellId> Netlist::topological_order() const
+{
+    // Kahn's algorithm on the cell graph.
+    std::vector<int> pending(cells_.size(), 0);
+    const auto fanout = fanout_table();
+
+    std::vector<CellId> ready;
+    for (CellId id = 0; id < cells_.size(); ++id) {
+        int deps = 0;
+        for (const NetId in : cells_[id].input_span()) {
+            if (drivers_[in] != kInvalidId) {
+                ++deps;
+            }
+        }
+        pending[id] = deps;
+        if (deps == 0) {
+            ready.push_back(id);
+        }
+    }
+
+    std::vector<CellId> order;
+    order.reserve(cells_.size());
+    while (!ready.empty()) {
+        const CellId id = ready.back();
+        ready.pop_back();
+        order.push_back(id);
+        for (const CellId consumer : fanout[cells_[id].output]) {
+            if (--pending[consumer] == 0) {
+                ready.push_back(consumer);
+            }
+        }
+    }
+    if (order.size() != cells_.size()) {
+        throw util::InvariantError("netlist '" + name_ + "' contains a combinational cycle");
+    }
+    return order;
+}
+
+std::vector<std::vector<CellId>> Netlist::fanout_table() const
+{
+    std::vector<std::vector<CellId>> fanout(num_nets());
+    for (CellId id = 0; id < cells_.size(); ++id) {
+        for (const NetId in : cells_[id].input_span()) {
+            fanout[in].push_back(id);
+        }
+    }
+    // A cell reading the same net on two pins must appear twice (it loads
+    // the net twice) — keep duplicates, they are intentional.
+    return fanout;
+}
+
+NetlistStats Netlist::stats() const
+{
+    NetlistStats s;
+    s.num_cells = cells_.size();
+    s.num_nets = num_nets();
+    s.num_inputs = primary_inputs_.size();
+    s.num_outputs = primary_outputs_.size();
+    for (const Cell& cell : cells_) {
+        ++s.cells_per_kind[static_cast<std::size_t>(cell.kind)];
+    }
+    return s;
+}
+
+void write_netlist(std::ostream& os, const Netlist& netlist)
+{
+    os << "netlist " << netlist.name() << '\n';
+    os << "nets " << netlist.num_nets() << '\n';
+    for (const NetId net : netlist.primary_inputs()) {
+        os << "input " << net;
+        if (!netlist.net_label(net).empty()) {
+            os << ' ' << netlist.net_label(net);
+        }
+        os << '\n';
+    }
+    for (const NetId net : netlist.primary_outputs()) {
+        os << "output " << net;
+        if (!netlist.net_label(net).empty()) {
+            os << ' ' << netlist.net_label(net);
+        }
+        os << '\n';
+    }
+    for (const Cell& cell : netlist.cells()) {
+        os << "cell " << gate::gate_name(cell.kind) << ' ' << cell.output;
+        for (const NetId in : cell.input_span()) {
+            os << ' ' << in;
+        }
+        os << '\n';
+    }
+    os << "end\n";
+}
+
+Netlist read_netlist(std::istream& is)
+{
+    std::string line;
+    if (!std::getline(is, line)) {
+        HDPM_FAIL("empty netlist stream");
+    }
+    std::istringstream first{line};
+    std::string keyword;
+    std::string name;
+    first >> keyword >> name;
+    if (keyword != "netlist") {
+        HDPM_FAIL("expected 'netlist <name>', got '", line, "'");
+    }
+
+    Netlist netlist{name};
+    bool have_nets = false;
+    while (std::getline(is, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        std::istringstream ls{line};
+        ls >> keyword;
+        if (keyword == "end") {
+            netlist.validate();
+            return netlist;
+        }
+        if (keyword == "nets") {
+            std::size_t count = 0;
+            ls >> count;
+            for (std::size_t i = 0; i < count; ++i) {
+                netlist.add_net();
+            }
+            have_nets = true;
+        } else if (keyword == "input" || keyword == "output") {
+            if (!have_nets) {
+                HDPM_FAIL("'", keyword, "' before 'nets' line");
+            }
+            NetId net = kInvalidId;
+            ls >> net;
+            if (!ls) {
+                HDPM_FAIL("malformed line '", line, "'");
+            }
+            if (keyword == "input") {
+                netlist.mark_input(net);
+            } else {
+                netlist.mark_output(net);
+            }
+        } else if (keyword == "cell") {
+            if (!have_nets) {
+                HDPM_FAIL("'cell' before 'nets' line");
+            }
+            std::string kind_name;
+            NetId out = kInvalidId;
+            ls >> kind_name >> out;
+            if (!ls) {
+                HDPM_FAIL("malformed line '", line, "'");
+            }
+            const gate::GateKind kind = gate::gate_from_name(kind_name);
+            std::vector<NetId> inputs;
+            NetId in = kInvalidId;
+            while (ls >> in) {
+                inputs.push_back(in);
+            }
+            netlist.add_cell(kind, inputs, out);
+        } else {
+            HDPM_FAIL("unknown netlist directive '", keyword, "'");
+        }
+    }
+    HDPM_FAIL("netlist stream ended without 'end'");
+}
+
+} // namespace hdpm::netlist

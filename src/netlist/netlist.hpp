@@ -1,0 +1,126 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gatelib/gate.hpp"
+
+namespace hdpm::netlist {
+
+/// Identifier of a net (wire). Nets are dense indices 0..num_nets()-1.
+using NetId = std::uint32_t;
+
+/// Identifier of a cell (gate instance). Dense indices 0..num_cells()-1.
+using CellId = std::uint32_t;
+
+/// Sentinel for "no net" / "no cell".
+inline constexpr std::uint32_t kInvalidId = ~std::uint32_t{0};
+
+/// One gate instance: kind, input nets (only the first
+/// gate_num_inputs(kind) entries are meaningful) and the driven output net.
+struct Cell {
+    gate::GateKind kind{};
+    std::array<NetId, 3> inputs{kInvalidId, kInvalidId, kInvalidId};
+    NetId output = kInvalidId;
+
+    /// The used portion of the input array.
+    [[nodiscard]] std::span<const NetId> input_span() const noexcept
+    {
+        return {inputs.data(), static_cast<std::size_t>(gate::gate_num_inputs(kind))};
+    }
+};
+
+/// Aggregate statistics of a netlist (used by the complexity/regression
+/// experiments and the bench reports).
+struct NetlistStats {
+    std::size_t num_cells = 0;
+    std::size_t num_nets = 0;
+    std::size_t num_inputs = 0;
+    std::size_t num_outputs = 0;
+    std::array<std::size_t, gate::kNumGateKinds> cells_per_kind{};
+};
+
+/// A flat, purely combinational gate-level netlist.
+///
+/// Invariants (checked by validate()): every net is driven by exactly one
+/// cell or is a primary input; all cell pins reference existing nets; the
+/// cell graph is acyclic. Primary outputs may be any driven net.
+class Netlist {
+public:
+    /// Create an empty netlist with the given name.
+    explicit Netlist(std::string name = "netlist");
+
+    /// Module name (for reports and serialization).
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    /// Create a new, yet-undriven net. @p label is optional and used only
+    /// for diagnostics / serialization.
+    NetId add_net(std::string label = {});
+
+    /// Instantiate a gate driving @p output from @p inputs.
+    /// The output net must not already have a driver.
+    CellId add_cell(gate::GateKind kind, std::span<const NetId> inputs, NetId output);
+
+    /// Declare a net as primary input (must not be driven by a cell).
+    void mark_input(NetId net);
+
+    /// Declare a net as primary output (any net).
+    void mark_output(NetId net);
+
+    [[nodiscard]] std::size_t num_nets() const noexcept { return net_labels_.size(); }
+    [[nodiscard]] std::size_t num_cells() const noexcept { return cells_.size(); }
+    [[nodiscard]] const Cell& cell(CellId id) const { return cells_.at(id); }
+    [[nodiscard]] const std::vector<Cell>& cells() const noexcept { return cells_; }
+    [[nodiscard]] const std::vector<NetId>& primary_inputs() const noexcept
+    {
+        return primary_inputs_;
+    }
+    [[nodiscard]] const std::vector<NetId>& primary_outputs() const noexcept
+    {
+        return primary_outputs_;
+    }
+    [[nodiscard]] const std::string& net_label(NetId net) const
+    {
+        return net_labels_.at(net);
+    }
+
+    /// Cell driving @p net, or kInvalidId for primary inputs / floating nets.
+    [[nodiscard]] CellId driver(NetId net) const { return drivers_.at(net); }
+
+    /// Check all structural invariants; throws InvariantError on violation.
+    void validate() const;
+
+    /// Cells in topological order (inputs before consumers).
+    /// Throws InvariantError if the netlist is cyclic.
+    [[nodiscard]] std::vector<CellId> topological_order() const;
+
+    /// Consumers of every net: fanout[net] lists the cells with an input
+    /// pin attached to the net.
+    [[nodiscard]] std::vector<std::vector<CellId>> fanout_table() const;
+
+    /// Aggregate statistics.
+    [[nodiscard]] NetlistStats stats() const;
+
+private:
+    std::string name_;
+    std::vector<Cell> cells_;
+    std::vector<std::string> net_labels_;
+    std::vector<CellId> drivers_; // per net; kInvalidId if undriven
+    std::vector<NetId> primary_inputs_;
+    std::vector<NetId> primary_outputs_;
+    std::vector<std::uint8_t> is_input_; // per net
+};
+
+/// Write the netlist in the library's plain-text structural format.
+void write_netlist(std::ostream& os, const Netlist& netlist);
+
+/// Parse a netlist from the plain-text structural format.
+/// Throws RuntimeError on malformed input.
+[[nodiscard]] Netlist read_netlist(std::istream& is);
+
+} // namespace hdpm::netlist

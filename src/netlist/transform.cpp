@@ -1,0 +1,333 @@
+#include "netlist/transform.hpp"
+
+#include <array>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace hdpm::netlist {
+
+namespace {
+
+enum class NetState : std::uint8_t { Unknown, Const0, Const1 };
+
+/// Incremental construction state of the folded netlist.
+struct FoldContext {
+    Netlist out;
+    std::vector<NetState> state;    // per old net
+    std::vector<NetId> mapped;      // per old net: new net (kInvalidId = not yet)
+    NetId const0 = kInvalidId;
+    NetId const1 = kInvalidId;
+
+    explicit FoldContext(const Netlist& input)
+        : out(input.name()),
+          state(input.num_nets(), NetState::Unknown),
+          mapped(input.num_nets(), kInvalidId)
+    {
+    }
+
+    NetId shared_const(bool value)
+    {
+        NetId& net = value ? const1 : const0;
+        if (net == kInvalidId) {
+            net = out.add_net(value ? "const1" : "const0");
+            const std::array<NetId, 0> no_inputs{};
+            out.add_cell(value ? gate::GateKind::Const1 : gate::GateKind::Const0,
+                         no_inputs, net);
+        }
+        return net;
+    }
+
+    /// New-netlist net carrying the value of @p old_net.
+    NetId resolve(NetId old_net)
+    {
+        if (state[old_net] == NetState::Const0) {
+            return shared_const(false);
+        }
+        if (state[old_net] == NetState::Const1) {
+            return shared_const(true);
+        }
+        HDPM_ASSERT(mapped[old_net] != kInvalidId, "unresolved net ", old_net);
+        return mapped[old_net];
+    }
+};
+
+} // namespace
+
+Netlist fold_constants(const Netlist& input, TransformStats* stats)
+{
+    FoldContext ctx{input};
+
+    for (const NetId pi : input.primary_inputs()) {
+        const NetId net = ctx.out.add_net(input.net_label(pi));
+        ctx.out.mark_input(net);
+        ctx.mapped[pi] = net;
+    }
+
+    std::size_t folded = 0;
+    for (const CellId id : input.topological_order()) {
+        const Cell& cell = input.cell(id);
+        const auto ins = cell.input_span();
+
+        // Distinct non-constant input nets become the boolean variables;
+        // a net wired to several pins is a single variable (so e.g.
+        // XOR2(x, x) folds to 0 and MUX2(a, a, s) aliases to a).
+        std::vector<NetId> variables; // distinct unknown nets
+        std::array<std::size_t, 3> pin_variable{};
+        for (std::size_t i = 0; i < ins.size(); ++i) {
+            if (ctx.state[ins[i]] != NetState::Unknown) {
+                continue;
+            }
+            std::size_t var = variables.size();
+            for (std::size_t v = 0; v < variables.size(); ++v) {
+                if (variables[v] == ins[i]) {
+                    var = v;
+                    break;
+                }
+            }
+            if (var == variables.size()) {
+                variables.push_back(ins[i]);
+            }
+            pin_variable[i] = var;
+        }
+
+        // Evaluate the cell over every assignment of the variables.
+        const std::size_t combos = std::size_t{1} << variables.size();
+        std::vector<std::uint8_t> outputs(combos, 0);
+        std::uint8_t in_vals[3] = {0, 0, 0};
+        for (std::size_t combo = 0; combo < combos; ++combo) {
+            for (std::size_t i = 0; i < ins.size(); ++i) {
+                if (ctx.state[ins[i]] == NetState::Unknown) {
+                    in_vals[i] =
+                        static_cast<std::uint8_t>((combo >> pin_variable[i]) & 1);
+                } else {
+                    in_vals[i] = ctx.state[ins[i]] == NetState::Const1 ? 1 : 0;
+                }
+            }
+            outputs[combo] =
+                gate::gate_eval(cell.kind, {in_vals, ins.size()}) ? 1 : 0;
+        }
+
+        // Constant output?
+        bool all0 = true;
+        bool all1 = true;
+        for (const std::uint8_t v : outputs) {
+            all0 = all0 && v == 0;
+            all1 = all1 && v != 0;
+        }
+        if (all0 || all1) {
+            ctx.state[cell.output] = all1 ? NetState::Const1 : NetState::Const0;
+            ++folded;
+            continue;
+        }
+
+        // Identity or complement of a single variable?
+        std::optional<NetId> identity;
+        std::optional<NetId> complement;
+        for (std::size_t u = 0; u < variables.size(); ++u) {
+            bool is_identity = true;
+            bool is_complement = true;
+            for (std::size_t combo = 0; combo < combos; ++combo) {
+                const auto bit = static_cast<std::uint8_t>((combo >> u) & 1);
+                is_identity = is_identity && outputs[combo] == bit;
+                is_complement = is_complement && outputs[combo] == (bit ^ 1);
+            }
+            if (is_identity) {
+                identity = variables[u];
+            }
+            if (is_complement) {
+                complement = variables[u];
+            }
+        }
+        if (identity) {
+            // The output is a wire: alias it to the (new) input net.
+            ctx.mapped[cell.output] = ctx.resolve(*identity);
+            ++folded;
+            continue;
+        }
+        if (complement) {
+            const NetId out_net = ctx.out.add_net(input.net_label(cell.output));
+            const std::array<NetId, 1> inv_in = {ctx.resolve(*complement)};
+            ctx.out.add_cell(gate::GateKind::Inv, inv_in, out_net);
+            ctx.mapped[cell.output] = out_net;
+            continue; // replaced, not folded away entirely
+        }
+
+        // Keep the cell, rewiring constant inputs to the shared constants.
+        const NetId out_net = ctx.out.add_net(input.net_label(cell.output));
+        std::vector<NetId> new_ins;
+        new_ins.reserve(ins.size());
+        for (const NetId in : ins) {
+            new_ins.push_back(ctx.resolve(in));
+        }
+        ctx.out.add_cell(cell.kind, new_ins, out_net);
+        ctx.mapped[cell.output] = out_net;
+    }
+
+    for (const NetId po : input.primary_outputs()) {
+        ctx.out.mark_output(ctx.resolve(po));
+    }
+    ctx.out.validate();
+
+    if (stats != nullptr) {
+        stats->folded_cells += folded;
+        stats->removed_cells += input.num_cells() - ctx.out.num_cells();
+        stats->removed_nets += input.num_nets() - ctx.out.num_nets();
+    }
+    return ctx.out;
+}
+
+Netlist eliminate_dead_gates(const Netlist& input, TransformStats* stats)
+{
+    // Reverse reachability from the primary outputs.
+    std::vector<std::uint8_t> live_cell(input.num_cells(), 0);
+    std::vector<CellId> stack;
+    for (const NetId po : input.primary_outputs()) {
+        const CellId driver = input.driver(po);
+        if (driver != kInvalidId && !live_cell[driver]) {
+            live_cell[driver] = 1;
+            stack.push_back(driver);
+        }
+    }
+    while (!stack.empty()) {
+        const CellId id = stack.back();
+        stack.pop_back();
+        for (const NetId in : input.cell(id).input_span()) {
+            const CellId driver = input.driver(in);
+            if (driver != kInvalidId && !live_cell[driver]) {
+                live_cell[driver] = 1;
+                stack.push_back(driver);
+            }
+        }
+    }
+
+    Netlist out{input.name()};
+    std::vector<NetId> mapped(input.num_nets(), kInvalidId);
+    for (const NetId pi : input.primary_inputs()) {
+        mapped[pi] = out.add_net(input.net_label(pi));
+        out.mark_input(mapped[pi]);
+    }
+    for (const CellId id : input.topological_order()) {
+        if (!live_cell[id]) {
+            continue;
+        }
+        const Cell& cell = input.cell(id);
+        const NetId out_net = out.add_net(input.net_label(cell.output));
+        std::vector<NetId> new_ins;
+        for (const NetId in : cell.input_span()) {
+            HDPM_ASSERT(mapped[in] != kInvalidId, "live cell reads dead net");
+            new_ins.push_back(mapped[in]);
+        }
+        out.add_cell(cell.kind, new_ins, out_net);
+        mapped[cell.output] = out_net;
+    }
+    for (const NetId po : input.primary_outputs()) {
+        HDPM_ASSERT(mapped[po] != kInvalidId, "primary output lost");
+        out.mark_output(mapped[po]);
+    }
+    out.validate();
+
+    if (stats != nullptr) {
+        stats->removed_cells += input.num_cells() - out.num_cells();
+        stats->removed_nets += input.num_nets() - out.num_nets();
+    }
+    return out;
+}
+
+Netlist cleanup(const Netlist& input, TransformStats* stats)
+{
+    return eliminate_dead_gates(fold_constants(input, stats), stats);
+}
+
+namespace {
+
+/// One buffering sweep; returns true if any buffer was inserted.
+bool buffer_pass(const Netlist& input, std::size_t max_fanout, Netlist& out)
+{
+    const auto fanout = input.fanout_table();
+
+    // Recreate every net (same order → same ids) and mark the IO.
+    for (NetId net = 0; net < input.num_nets(); ++net) {
+        (void)out.add_net(input.net_label(net));
+    }
+    for (const NetId pi : input.primary_inputs()) {
+        out.mark_input(pi);
+    }
+
+    // Plan the consumer-pin regrouping for overloaded nets.
+    bool changed = false;
+    // For each (cell, pin) the net it should read in the new netlist.
+    std::vector<std::array<NetId, 3>> pin_net(input.num_cells());
+    for (CellId id = 0; id < input.num_cells(); ++id) {
+        const auto ins = input.cell(id).input_span();
+        for (std::size_t p = 0; p < ins.size(); ++p) {
+            pin_net[id][p] = ins[p];
+        }
+    }
+    std::vector<std::pair<NetId, NetId>> buffers; // (source net, buffer output)
+    for (NetId net = 0; net < input.num_nets(); ++net) {
+        const std::size_t pins = fanout[net].size();
+        if (pins <= max_fanout) {
+            continue;
+        }
+        changed = true;
+        // Split consumers into ceil(pins / max_fanout) groups, each behind
+        // its own buffer. Walk consumer pins in deterministic order.
+        std::size_t index = 0;
+        NetId buffer_net = kInvalidId;
+        for (const CellId consumer : fanout[net]) {
+            const auto ins = input.cell(consumer).input_span();
+            for (std::size_t p = 0; p < ins.size(); ++p) {
+                if (ins[p] != net || pin_net[consumer][p] != net) {
+                    continue;
+                }
+                if (index % max_fanout == 0) {
+                    buffer_net = out.add_net(input.net_label(net) + "_buf");
+                    buffers.emplace_back(net, buffer_net);
+                }
+                pin_net[consumer][p] = buffer_net;
+                ++index;
+                break; // a cell with the net on two pins is handled pin by pin
+            }
+        }
+    }
+
+    // Emit original cells with remapped pins, then the buffers.
+    for (CellId id = 0; id < input.num_cells(); ++id) {
+        const Cell& cell = input.cell(id);
+        std::vector<NetId> ins;
+        for (std::size_t p = 0; p < cell.input_span().size(); ++p) {
+            ins.push_back(pin_net[id][p]);
+        }
+        out.add_cell(cell.kind, ins, cell.output);
+    }
+    for (const auto& [source, buffer_net] : buffers) {
+        const std::array<NetId, 1> ins = {source};
+        out.add_cell(gate::GateKind::Buf, ins, buffer_net);
+    }
+    for (const NetId po : input.primary_outputs()) {
+        out.mark_output(po);
+    }
+    out.validate();
+    return changed;
+}
+
+} // namespace
+
+Netlist buffer_high_fanout(const Netlist& input, std::size_t max_fanout)
+{
+    HDPM_REQUIRE(max_fanout >= 2, "max_fanout must be at least 2");
+    Netlist current = input;
+    // Iterate until fixpoint: buffer outputs can themselves exceed the cap
+    // when a net needs more groups than max_fanout (buffer trees).
+    for (int round = 0; round < 16; ++round) {
+        Netlist next{current.name()};
+        if (!buffer_pass(current, max_fanout, next)) {
+            break;
+        }
+        current = std::move(next);
+    }
+    return current;
+}
+
+} // namespace hdpm::netlist

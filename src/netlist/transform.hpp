@@ -1,0 +1,48 @@
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace hdpm::netlist {
+
+/// Statistics of a netlist transformation pass.
+struct TransformStats {
+    std::size_t removed_cells = 0;  ///< cells deleted by the pass
+    std::size_t folded_cells = 0;   ///< cells replaced by constants/aliases/inverters
+    std::size_t removed_nets = 0;   ///< nets deleted by the pass
+};
+
+/// Constant folding / logic simplification.
+///
+/// Evaluates every cell against the constants reaching its inputs:
+///  - a cell whose output is constant collapses onto a shared CONST cell,
+///  - a cell whose output equals one input becomes a wire (alias, no cell),
+///  - a cell whose output is the complement of one input becomes an INV.
+/// The decision is semantic (all combinations of the unknown inputs are
+/// enumerated), so it covers every gate kind uniformly — e.g. AND2(x, 1)
+/// aliases to x, XOR2(x, 1) becomes INV(x), MUX2(a, a, s) aliases to a.
+///
+/// Primary inputs and outputs are preserved (outputs may end up driven by
+/// a different — aliased — net internally, but the output order and count
+/// are unchanged and the module function is identical).
+[[nodiscard]] Netlist fold_constants(const Netlist& input,
+                                     TransformStats* stats = nullptr);
+
+/// Dead-gate elimination: removes every cell (and net) that cannot reach a
+/// primary output. Primary inputs are kept even when unused, so the module
+/// interface — and therefore the Hd-model input width m — is unchanged.
+[[nodiscard]] Netlist eliminate_dead_gates(const Netlist& input,
+                                           TransformStats* stats = nullptr);
+
+/// fold_constants followed by eliminate_dead_gates.
+[[nodiscard]] Netlist cleanup(const Netlist& input, TransformStats* stats = nullptr);
+
+/// Buffer insertion on high-fanout nets: consumers of any net with more
+/// than @p max_fanout sink pins are split into groups behind BUF cells
+/// (applied repeatedly, so buffer trees form when needed). Primary outputs
+/// keep observing the original net. Reduces per-net load — the classic
+/// delay/power trade-off knob; the per-net capacitance (and with it the
+/// power profile) changes, which is exactly what a power ablation wants to
+/// measure. (Only adds cells; compare stats() before/after for the cost.)
+[[nodiscard]] Netlist buffer_high_fanout(const Netlist& input, std::size_t max_fanout);
+
+} // namespace hdpm::netlist

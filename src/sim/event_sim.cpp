@@ -1,0 +1,200 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+
+#include "sim/functional.hpp"
+#include "sim/vcd.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::sim {
+
+using netlist::Cell;
+using netlist::CellId;
+using netlist::kInvalidId;
+using netlist::NetId;
+using util::BitVec;
+
+EventSimulator::EventSimulator(const netlist::Netlist& netlist,
+                               const gate::TechLibrary& library, EventSimOptions options)
+    : netlist_(&netlist),
+      electrical_(netlist, library),
+      options_(options),
+      values_(netlist.num_nets(), 0),
+      scheduled_value_(netlist.num_nets(), 0),
+      generation_(netlist.num_nets(), 0),
+      pending_count_(netlist.num_nets(), 0),
+      pending_time_(netlist.num_nets(), 0),
+      cell_stamp_(netlist.num_cells(), 0),
+      transition_count_(netlist.num_nets(), 0),
+      charge_per_net_(netlist.num_nets(), 0.0)
+{
+    // Flatten the fanout table into CSR form for the hot loop.
+    const auto fanout = netlist.fanout_table();
+    fanout_offset_.assign(netlist.num_nets() + 1, 0);
+    std::size_t total = 0;
+    for (NetId net = 0; net < netlist.num_nets(); ++net) {
+        fanout_offset_[net] = static_cast<std::uint32_t>(total);
+        total += fanout[net].size();
+    }
+    fanout_offset_[netlist.num_nets()] = static_cast<std::uint32_t>(total);
+    fanout_cell_.reserve(total);
+    for (NetId net = 0; net < netlist.num_nets(); ++net) {
+        fanout_cell_.insert(fanout_cell_.end(), fanout[net].begin(), fanout[net].end());
+    }
+}
+
+void EventSimulator::initialize(const BitVec& inputs)
+{
+    FunctionalEvaluator eval{*netlist_};
+    (void)eval.eval(inputs);
+    values_ = eval.values();
+    scheduled_value_ = values_;
+    std::fill(pending_count_.begin(), pending_count_.end(), 0);
+    while (!queue_.empty()) {
+        queue_.pop();
+    }
+    initialized_ = true;
+    if (tracer_ != nullptr) {
+        tracer_->dump_all(cycle_start_time_, values_);
+    }
+}
+
+void EventSimulator::toggle_net(NetId net, std::uint8_t value, std::int64_t time,
+                                bool count_charge, CycleResult& result)
+{
+    values_[net] = value;
+    ++transition_count_[net];
+    ++result.transitions;
+    result.settle_time_ps = std::max(result.settle_time_ps, time);
+    if (count_charge) {
+        const double q = electrical_.edge_charge_fc(net);
+        result.charge_fc += q;
+        charge_per_net_[net] += q;
+    }
+    if (tracer_ != nullptr) {
+        tracer_->change(cycle_start_time_ + time, net, value != 0);
+    }
+}
+
+void EventSimulator::schedule(NetId net, std::uint8_t value, std::int64_t time)
+{
+    if (pending_count_[net] == 0) {
+        scheduled_value_[net] = values_[net];
+    }
+    if (value == scheduled_value_[net]) {
+        return; // the net already heads to this value
+    }
+    if (options_.inertial_window_ps > 0 && pending_count_[net] > 0 &&
+        time - pending_time_[net] <= options_.inertial_window_ps) {
+        // Inertial approximation: the new change supersedes pending ones.
+        ++generation_[net];
+        pending_count_[net] = 0;
+        if (value == values_[net]) {
+            scheduled_value_[net] = value;
+            return; // pulse fully swallowed
+        }
+    }
+    queue_.push(Event{time, seq_counter_++, net, value, generation_[net]});
+    scheduled_value_[net] = value;
+    pending_time_[net] = time;
+    ++pending_count_[net];
+}
+
+CycleResult EventSimulator::apply(const BitVec& inputs)
+{
+    HDPM_REQUIRE(initialized_, "EventSimulator::apply before initialize");
+    const auto& pis = netlist_->primary_inputs();
+    HDPM_REQUIRE(inputs.width() == static_cast<int>(pis.size()), "netlist '",
+                 netlist_->name(), "' has ", pis.size(), " inputs, pattern has ",
+                 inputs.width(), " bits");
+
+    CycleResult result;
+    std::uint64_t processed = 0;
+    ++stamp_epoch_;
+    std::vector<CellId> touched;
+
+    // Apply primary-input changes at t = 0.
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+        const NetId net = pis[i];
+        const std::uint8_t v = inputs.get(static_cast<int>(i)) ? 1 : 0;
+        if (v == values_[net]) {
+            continue;
+        }
+        toggle_net(net, v, 0, options_.count_input_charge, result);
+        for (std::uint32_t f = fanout_offset_[net]; f < fanout_offset_[net + 1]; ++f) {
+            const CellId consumer = fanout_cell_[f];
+            if (cell_stamp_[consumer] != stamp_epoch_) {
+                cell_stamp_[consumer] = stamp_epoch_;
+                touched.push_back(consumer);
+            }
+        }
+    }
+
+    std::uint8_t in_vals[3];
+    auto evaluate_and_schedule = [&](CellId id, std::int64_t now) {
+        const Cell& cell = netlist_->cell(id);
+        const auto ins = cell.input_span();
+        for (std::size_t i = 0; i < ins.size(); ++i) {
+            in_vals[i] = values_[ins[i]];
+        }
+        const std::uint8_t out =
+            gate::gate_eval(cell.kind, {in_vals, ins.size()}) ? 1 : 0;
+        schedule(cell.output, out, now + electrical_.cell_delay_ps(id));
+    };
+
+    for (const CellId id : touched) {
+        evaluate_and_schedule(id, 0);
+    }
+
+    // Main event loop: drain the queue, grouping events per timestamp so
+    // each cell evaluates at most once per time step.
+    while (!queue_.empty()) {
+        const std::int64_t now = queue_.top().time;
+        touched.clear();
+        ++stamp_epoch_;
+        while (!queue_.empty() && queue_.top().time == now) {
+            const Event ev = queue_.top();
+            queue_.pop();
+            if (++processed > options_.max_events_per_cycle) {
+                HDPM_FAIL("event budget exceeded in '", netlist_->name(),
+                          "' — runaway simulation?");
+            }
+            if (ev.generation != generation_[ev.net]) {
+                continue; // superseded by an inertial cancellation
+            }
+            --pending_count_[ev.net];
+            // Per-net event times are monotone and scheduled values
+            // alternate, so a valid event always toggles its net.
+            HDPM_ASSERT(ev.value != values_[ev.net], "no-op event on net ", ev.net);
+            toggle_net(ev.net, ev.value, now, true, result);
+            for (std::uint32_t f = fanout_offset_[ev.net]; f < fanout_offset_[ev.net + 1];
+                 ++f) {
+                const CellId consumer = fanout_cell_[f];
+                if (cell_stamp_[consumer] != stamp_epoch_) {
+                    cell_stamp_[consumer] = stamp_epoch_;
+                    touched.push_back(consumer);
+                }
+            }
+        }
+        for (const CellId id : touched) {
+            evaluate_and_schedule(id, now);
+        }
+    }
+
+    if (tracer_ != nullptr) {
+        cycle_start_time_ += tracer_->cycle_period_ps();
+    }
+    return result;
+}
+
+BitVec EventSimulator::outputs() const
+{
+    const auto& pos = netlist_->primary_outputs();
+    BitVec out{static_cast<int>(pos.size())};
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+        out.set(static_cast<int>(i), values_[pos[i]] != 0);
+    }
+    return out;
+}
+
+} // namespace hdpm::sim

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/electrical.hpp"
+#include "util/bitvec.hpp"
+
+namespace hdpm::sim {
+
+class VcdWriter;
+
+/// Options of the event-driven simulator.
+struct EventSimOptions {
+    /// Include the charge absorbed by the module's input pin capacitance
+    /// when a primary input toggles (PowerMill-style module accounting).
+    bool count_input_charge = true;
+
+    /// 0 = pure transport delays: every scheduled output change propagates,
+    /// so all glitches are kept.
+    /// > 0 = a scheduled change cancels a pending change on the same net if
+    /// they are closer than this window — an inertial-delay approximation
+    /// that filters narrow glitches, as transistor-level simulation (the
+    /// paper's PowerMill reference) inherently does. The default of 100 ps
+    /// is on the order of one gate delay in the generic350 library; the
+    /// glitch-model ablation sweeps this knob.
+    std::int64_t inertial_window_ps = 100;
+
+    /// Safety valve against runaway simulations.
+    std::uint64_t max_events_per_cycle = 50'000'000;
+};
+
+/// Per-cycle simulation result.
+struct CycleResult {
+    double charge_fc = 0.0;          ///< supply charge drawn this cycle [fC]
+    std::uint64_t transitions = 0;   ///< actual net toggles (including glitches)
+    std::int64_t settle_time_ps = 0; ///< time of the last toggle
+};
+
+/// Event-driven gate-level logic and power simulator.
+///
+/// This is the library's reference power estimator — the substitute for the
+/// transistor-level PowerMill runs in the paper. It propagates input vector
+/// changes through the netlist with per-cell load-dependent delays
+/// (transport semantics by default), so unequal path delays produce
+/// glitches whose charge is fully accounted. Charge per net toggle comes
+/// from the ElectricalView.
+///
+/// Typical use: initialize(u) to settle on the first vector, then apply(v)
+/// once per subsequent vector; each apply returns the cycle charge Q[j].
+class EventSimulator {
+public:
+    EventSimulator(const netlist::Netlist& netlist, const gate::TechLibrary& library,
+                   EventSimOptions options = {});
+
+    /// Establish the steady state for @p inputs (zero-delay evaluation, no
+    /// charge is accounted). Resets cumulative counters' baseline state.
+    void initialize(const util::BitVec& inputs);
+
+    /// Apply the next input vector and simulate until quiescence.
+    CycleResult apply(const util::BitVec& inputs);
+
+    /// Value of a net in the current steady state.
+    [[nodiscard]] bool value(netlist::NetId net) const { return values_.at(net) != 0; }
+
+    /// Primary outputs packed LSB-first.
+    [[nodiscard]] util::BitVec outputs() const;
+
+    /// Electrical annotation in use.
+    [[nodiscard]] const ElectricalView& electrical() const noexcept { return electrical_; }
+
+    /// Total toggles per net since construction (glitch analysis).
+    [[nodiscard]] const std::vector<std::uint64_t>& cumulative_transitions() const noexcept
+    {
+        return transition_count_;
+    }
+
+    /// Total charge drawn per net since construction [fC] (power hot-spot
+    /// reports; see sim/report.hpp).
+    [[nodiscard]] const std::vector<double>& cumulative_charge_per_net() const noexcept
+    {
+        return charge_per_net_;
+    }
+
+    /// Attach a VCD tracer (may be nullptr to detach). The tracer must
+    /// outlive the simulator or be detached before destruction.
+    void set_tracer(VcdWriter* tracer) noexcept { tracer_ = tracer; }
+
+private:
+    struct Event {
+        std::int64_t time;
+        std::uint64_t seq;
+        netlist::NetId net;
+        std::uint8_t value;
+        std::uint32_t generation;
+    };
+    struct EventLater {
+        bool operator()(const Event& a, const Event& b) const noexcept
+        {
+            return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+        }
+    };
+
+    void toggle_net(netlist::NetId net, std::uint8_t value, std::int64_t time,
+                    bool count_charge, CycleResult& result);
+    void schedule(netlist::NetId net, std::uint8_t value, std::int64_t time);
+
+    const netlist::Netlist* netlist_;
+    ElectricalView electrical_;
+    EventSimOptions options_;
+
+    std::vector<std::uint8_t> values_;
+    std::vector<std::uint8_t> scheduled_value_; // value after all pending events
+    std::vector<std::uint32_t> generation_;     // current valid generation per net
+    std::vector<std::uint32_t> pending_count_;  // pending valid events per net
+    std::vector<std::int64_t> pending_time_;    // time of last scheduled event
+
+    // CSR fanout: cells consuming each net.
+    std::vector<std::uint32_t> fanout_offset_;
+    std::vector<netlist::CellId> fanout_cell_;
+
+    // Per-timestamp cell evaluation dedup.
+    std::vector<std::uint64_t> cell_stamp_;
+    std::uint64_t stamp_epoch_ = 0;
+
+    std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+    std::uint64_t seq_counter_ = 0;
+    std::vector<std::uint64_t> transition_count_;
+    std::vector<double> charge_per_net_;
+
+    std::int64_t cycle_start_time_ = 0; ///< global time of the current cycle (for VCD)
+    VcdWriter* tracer_ = nullptr;
+    bool initialized_ = false;
+};
+
+} // namespace hdpm::sim

@@ -1,0 +1,47 @@
+#include "sim/functional.hpp"
+
+#include "util/error.hpp"
+
+namespace hdpm::sim {
+
+using netlist::Cell;
+using netlist::NetId;
+using util::BitVec;
+
+FunctionalEvaluator::FunctionalEvaluator(const netlist::Netlist& netlist)
+    : netlist_(&netlist), topo_(netlist.topological_order()), values_(netlist.num_nets(), 0)
+{
+}
+
+BitVec FunctionalEvaluator::eval(const BitVec& inputs)
+{
+    const auto& pis = netlist_->primary_inputs();
+    HDPM_REQUIRE(inputs.width() == static_cast<int>(pis.size()), "netlist '",
+                 netlist_->name(), "' has ", pis.size(), " inputs, pattern has ",
+                 inputs.width(), " bits");
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+        values_[pis[i]] = inputs.get(static_cast<int>(i)) ? 1 : 0;
+    }
+
+    std::uint8_t in_vals[3];
+    for (const netlist::CellId id : topo_) {
+        const Cell& cell = netlist_->cell(id);
+        const auto ins = cell.input_span();
+        for (std::size_t i = 0; i < ins.size(); ++i) {
+            in_vals[i] = values_[ins[i]];
+        }
+        values_[cell.output] =
+            gate::gate_eval(cell.kind, {in_vals, ins.size()}) ? 1 : 0;
+    }
+
+    const auto& pos = netlist_->primary_outputs();
+    HDPM_REQUIRE(static_cast<int>(pos.size()) <= BitVec::kMaxWidth,
+                 "too many outputs to pack");
+    BitVec out{static_cast<int>(pos.size())};
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+        out.set(static_cast<int>(i), values_[pos[i]] != 0);
+    }
+    return out;
+}
+
+} // namespace hdpm::sim

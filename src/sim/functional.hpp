@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/bitvec.hpp"
+
+namespace hdpm::sim {
+
+/// Zero-delay functional evaluator.
+///
+/// Evaluates the netlist once in topological order. This is the golden
+/// logic reference used by tests (datapath generators are checked against
+/// integer arithmetic through it) and by the event simulator to establish
+/// the initial steady state. It models no timing and therefore no glitches.
+class FunctionalEvaluator {
+public:
+    /// Prepare an evaluator for @p netlist. The netlist must outlive the
+    /// evaluator and must be valid (acyclic).
+    explicit FunctionalEvaluator(const netlist::Netlist& netlist);
+
+    /// Evaluate with the primary inputs taken LSB-first from @p inputs
+    /// (inputs.width() must equal the number of primary input nets);
+    /// returns the primary outputs packed LSB-first.
+    util::BitVec eval(const util::BitVec& inputs);
+
+    /// Value of an arbitrary net after the last eval().
+    [[nodiscard]] bool value(netlist::NetId net) const { return values_.at(net) != 0; }
+
+    /// All net values after the last eval() (indexed by NetId).
+    [[nodiscard]] const std::vector<std::uint8_t>& values() const noexcept { return values_; }
+
+private:
+    const netlist::Netlist* netlist_;
+    std::vector<netlist::CellId> topo_;
+    std::vector<std::uint8_t> values_;
+};
+
+} // namespace hdpm::sim

@@ -1,0 +1,94 @@
+#include "sim/glitch.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "sim/functional.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace hdpm::sim {
+
+using netlist::NetId;
+using util::BitVec;
+
+GlitchReport analyze_glitches(const netlist::Netlist& netlist,
+                              const gate::TechLibrary& library,
+                              std::span<const BitVec> patterns, EventSimOptions options)
+{
+    HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns");
+
+    EventSimulator timed{netlist, library, options};
+    FunctionalEvaluator functional{netlist};
+    const ElectricalView electrical{netlist, library};
+
+    timed.initialize(patterns[0]);
+    (void)functional.eval(patterns[0]);
+    std::vector<std::uint8_t> previous = functional.values();
+
+    std::vector<std::uint64_t> functional_toggles(netlist.num_nets(), 0);
+    for (std::size_t j = 1; j < patterns.size(); ++j) {
+        (void)timed.apply(patterns[j]);
+        (void)functional.eval(patterns[j]);
+        for (NetId net = 0; net < netlist.num_nets(); ++net) {
+            if (previous[net] != functional.values()[net]) {
+                ++functional_toggles[net];
+            }
+        }
+        previous = functional.values();
+    }
+
+    GlitchReport report;
+    report.nets.reserve(netlist.num_nets());
+    const auto& timed_toggles = timed.cumulative_transitions();
+    for (NetId net = 0; net < netlist.num_nets(); ++net) {
+        NetGlitch entry;
+        entry.net = net;
+        entry.label = netlist.net_label(net).empty() ? "n" + std::to_string(net)
+                                                     : netlist.net_label(net);
+        entry.functional_toggles = functional_toggles[net];
+        entry.timed_toggles = timed_toggles[net];
+        report.functional_toggles += entry.functional_toggles;
+        report.timed_toggles += entry.timed_toggles;
+        report.functional_charge_fc +=
+            static_cast<double>(entry.functional_toggles) *
+            electrical.edge_charge_fc(net);
+        report.timed_charge_fc += static_cast<double>(entry.timed_toggles) *
+                                  electrical.edge_charge_fc(net);
+        report.nets.push_back(std::move(entry));
+    }
+    return report;
+}
+
+std::vector<NetGlitch> top_glitchy_nets(const GlitchReport& report, std::size_t k)
+{
+    std::vector<NetGlitch> sorted = report.nets;
+    std::sort(sorted.begin(), sorted.end(), [](const NetGlitch& a, const NetGlitch& b) {
+        return (a.timed_toggles - std::min(a.timed_toggles, a.functional_toggles)) >
+               (b.timed_toggles - std::min(b.timed_toggles, b.functional_toggles));
+    });
+    if (sorted.size() > k) {
+        sorted.resize(k);
+    }
+    return sorted;
+}
+
+void print_glitch_report(std::ostream& os, const GlitchReport& report, std::size_t top_k)
+{
+    os << "glitch report: " << report.timed_toggles << " timed vs "
+       << report.functional_toggles << " functional toggles (factor "
+       << util::TextTable::fmt(report.glitch_factor(), 2) << "), glitch charge share "
+       << util::TextTable::fmt(100.0 * report.glitch_charge_share(), 1) << "%\n";
+
+    util::TextTable table;
+    table.set_header({"net", "functional", "timed", "factor"});
+    table.set_alignment({util::Align::Left});
+    for (const NetGlitch& entry : top_glitchy_nets(report, top_k)) {
+        table.add_row({entry.label, std::to_string(entry.functional_toggles),
+                       std::to_string(entry.timed_toggles),
+                       util::TextTable::fmt(entry.glitch_factor(), 2)});
+    }
+    table.print(os);
+}
+
+} // namespace hdpm::sim

@@ -1,0 +1,35 @@
+#include "sim/power.hpp"
+
+#include "util/error.hpp"
+
+namespace hdpm::sim {
+
+PowerSimulator::PowerSimulator(const netlist::Netlist& netlist,
+                               const gate::TechLibrary& library, EventSimOptions options)
+    : sim_(netlist, library, options)
+{
+}
+
+StreamPowerResult PowerSimulator::run(std::span<const util::BitVec> patterns)
+{
+    HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns (got ", patterns.size(),
+                 ")");
+    StreamPowerResult result;
+    result.cycle_charge_fc.reserve(patterns.size() - 1);
+    sim_.initialize(patterns[0]);
+    for (std::size_t j = 1; j < patterns.size(); ++j) {
+        const CycleResult cycle = sim_.apply(patterns[j]);
+        result.cycle_charge_fc.push_back(cycle.charge_fc);
+        result.total_charge_fc += cycle.charge_fc;
+        result.total_transitions += cycle.transitions;
+    }
+    return result;
+}
+
+CycleResult PowerSimulator::measure_pair(const util::BitVec& u, const util::BitVec& v)
+{
+    sim_.initialize(u);
+    return sim_.apply(v);
+}
+
+} // namespace hdpm::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/event_sim.hpp"
+
+namespace hdpm::sim {
+
+/// Result of simulating a pattern stream.
+struct StreamPowerResult {
+    /// Charge per measured cycle Q[j], j = 0..n-2 for an n-pattern stream
+    /// (the first pattern only establishes the initial state) [fC].
+    std::vector<double> cycle_charge_fc;
+
+    /// Sum of cycle_charge_fc [fC].
+    double total_charge_fc = 0.0;
+
+    /// Total net toggles over all measured cycles (glitches included).
+    std::uint64_t total_transitions = 0;
+
+    /// Mean charge per cycle [fC]; 0 if no cycle was measured.
+    [[nodiscard]] double mean_charge_fc() const noexcept
+    {
+        return cycle_charge_fc.empty()
+                   ? 0.0
+                   : total_charge_fc / static_cast<double>(cycle_charge_fc.size());
+    }
+};
+
+/// Stream-level harness around the EventSimulator: the reference "power
+/// simulation" used both for macro-model characterization and for accuracy
+/// evaluation (stands in for the paper's PowerMill runs).
+class PowerSimulator {
+public:
+    PowerSimulator(const netlist::Netlist& netlist, const gate::TechLibrary& library,
+                   EventSimOptions options = {});
+
+    /// Simulate a whole pattern stream. patterns[0] initializes the state;
+    /// each later pattern contributes one measured cycle.
+    [[nodiscard]] StreamPowerResult run(std::span<const util::BitVec> patterns);
+
+    /// Charge of the single transition u → v from a cold settled state.
+    [[nodiscard]] CycleResult measure_pair(const util::BitVec& u, const util::BitVec& v);
+
+    /// Underlying event simulator (for tracing or incremental use).
+    [[nodiscard]] EventSimulator& simulator() noexcept { return sim_; }
+
+private:
+    EventSimulator sim_;
+};
+
+} // namespace hdpm::sim

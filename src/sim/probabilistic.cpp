@@ -1,0 +1,145 @@
+#include "sim/probabilistic.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace hdpm::sim {
+
+using netlist::Cell;
+using netlist::CellId;
+using netlist::NetId;
+
+namespace {
+
+/// Pair-state probabilities of one net across two consecutive cycles:
+/// index 2·v_t + v_{t+1}.
+using PairProbs = std::array<double, 4>;
+
+PairProbs pair_probs(const NetActivity& a)
+{
+    const double half_t = 0.5 * a.transition_prob;
+    PairProbs p{};
+    p[0b00] = 1.0 - a.signal_prob - half_t; // stays 0
+    p[0b01] = half_t;                       // rises
+    p[0b10] = half_t;                       // falls
+    p[0b11] = a.signal_prob - half_t;       // stays 1
+    // Guard against inconsistent (p, t) combinations near the boundary.
+    for (double& v : p) {
+        if (v < 0.0) {
+            v = 0.0;
+        }
+    }
+    double total = p[0] + p[1] + p[2] + p[3];
+    if (total <= 0.0) {
+        p = {1.0, 0.0, 0.0, 0.0};
+        total = 1.0;
+    }
+    for (double& v : p) {
+        v /= total;
+    }
+    return p;
+}
+
+} // namespace
+
+ProbabilisticAnalyzer::ProbabilisticAnalyzer(const netlist::Netlist& netlist,
+                                             const gate::TechLibrary& library)
+    : netlist_(&netlist),
+      electrical_(netlist, library),
+      activity_(netlist.num_nets())
+{
+}
+
+void ProbabilisticAnalyzer::propagate(std::span<const NetActivity> input_activity)
+{
+    const auto& pis = netlist_->primary_inputs();
+    HDPM_REQUIRE(input_activity.size() == pis.size(), "netlist has ", pis.size(),
+                 " inputs, got ", input_activity.size(), " activities");
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+        HDPM_REQUIRE(input_activity[i].signal_prob >= 0.0 &&
+                         input_activity[i].signal_prob <= 1.0,
+                     "signal probability out of range at input ", i);
+        HDPM_REQUIRE(input_activity[i].transition_prob >= 0.0 &&
+                         input_activity[i].transition_prob <= 1.0,
+                     "transition probability out of range at input ", i);
+        activity_[pis[i]] = input_activity[i];
+    }
+
+    for (const CellId id : netlist_->topological_order()) {
+        const Cell& cell = netlist_->cell(id);
+        const auto ins = cell.input_span();
+        const auto k = ins.size();
+
+        // Pair-state distributions of the (assumed independent) inputs.
+        std::array<PairProbs, 3> in_pairs{};
+        for (std::size_t i = 0; i < k; ++i) {
+            in_pairs[i] = pair_probs(activity_[ins[i]]);
+        }
+
+        // Enumerate all joint pair-states: 4^k ≤ 64 combinations.
+        double p_one = 0.0;      // P(out_{t+1} = 1)
+        double p_toggle = 0.0;   // P(out_t ≠ out_{t+1})
+        const std::size_t combos = std::size_t{1} << (2 * k);
+        std::uint8_t now[3];
+        std::uint8_t next[3];
+        for (std::size_t combo = 0; combo < combos; ++combo) {
+            double prob = 1.0;
+            for (std::size_t i = 0; i < k; ++i) {
+                const auto state = (combo >> (2 * i)) & 0b11U;
+                prob *= in_pairs[i][state];
+                now[i] = static_cast<std::uint8_t>((state >> 1) & 1U);
+                next[i] = static_cast<std::uint8_t>(state & 1U);
+            }
+            if (prob == 0.0) {
+                continue;
+            }
+            const bool out_now = gate::gate_eval(cell.kind, {now, k});
+            const bool out_next = gate::gate_eval(cell.kind, {next, k});
+            if (out_next) {
+                p_one += prob;
+            }
+            if (out_now != out_next) {
+                p_toggle += prob;
+            }
+        }
+        activity_[cell.output].signal_prob = p_one;
+        activity_[cell.output].transition_prob = p_toggle;
+    }
+    propagated_ = true;
+}
+
+void ProbabilisticAnalyzer::propagate_uniform(double transition_prob)
+{
+    std::vector<NetActivity> inputs(netlist_->primary_inputs().size(),
+                                    NetActivity{0.5, transition_prob});
+    propagate(inputs);
+}
+
+const NetActivity& ProbabilisticAnalyzer::activity(NetId net) const
+{
+    HDPM_REQUIRE(propagated_, "call propagate() first");
+    return activity_.at(net);
+}
+
+double ProbabilisticAnalyzer::average_charge_fc() const
+{
+    HDPM_REQUIRE(propagated_, "call propagate() first");
+    double q = 0.0;
+    for (NetId net = 0; net < activity_.size(); ++net) {
+        q += activity_[net].transition_prob * electrical_.edge_charge_fc(net);
+    }
+    return q;
+}
+
+double ProbabilisticAnalyzer::total_activity() const
+{
+    HDPM_REQUIRE(propagated_, "call propagate() first");
+    double t = 0.0;
+    for (const NetActivity& a : activity_) {
+        t += a.transition_prob;
+    }
+    return t;
+}
+
+} // namespace hdpm::sim

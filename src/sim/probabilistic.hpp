@@ -1,0 +1,63 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/electrical.hpp"
+
+namespace hdpm::sim {
+
+/// Per-net activity figures of a probabilistic analysis.
+struct NetActivity {
+    double signal_prob = 0.0;     ///< P(net = 1)
+    double transition_prob = 0.0; ///< P(net toggles between consecutive cycles)
+};
+
+/// Probabilistic (pattern-free) switching-activity and power analysis.
+///
+/// Section 6 of the paper points to "probabilistic simulation" as the fast
+/// alternative to bit-level pattern simulation. This engine implements the
+/// classic zero-delay propagation: every primary input carries a signal
+/// probability p and a transition probability t; gates combine them by
+/// exact enumeration of the (independent) input pair-states
+///   P(0→0) = 1 − p − t/2,  P(0→1) = P(1→0) = t/2,  P(1→1) = p − t/2,
+/// yielding each internal net's signal and transition probability in one
+/// topological pass — no patterns, no event queue.
+///
+/// Accuracy caveats (inherent to the method, documented for honesty):
+///  - spatial independence is assumed — reconvergent fanout correlations
+///    are ignored (the classic source of error in probabilistic power
+///    estimation);
+///  - zero-delay semantics count no glitches, so estimates are a *lower*
+///    bound relative to the event-driven reference.
+class ProbabilisticAnalyzer {
+public:
+    ProbabilisticAnalyzer(const netlist::Netlist& netlist,
+                          const gate::TechLibrary& library);
+
+    /// Propagate input activities (one entry per primary input, in
+    /// primary_inputs() order) through the netlist.
+    void propagate(std::span<const NetActivity> input_activity);
+
+    /// Convenience: every input gets signal probability 1/2 and the given
+    /// transition probability (uniform random inputs ↔ t = 1/2).
+    void propagate_uniform(double transition_prob = 0.5);
+
+    /// Activity of a net after propagate().
+    [[nodiscard]] const NetActivity& activity(netlist::NetId net) const;
+
+    /// Zero-delay average charge per cycle [fC]:
+    /// Σ_nets t(net)·q_edge(net).
+    [[nodiscard]] double average_charge_fc() const;
+
+    /// Total switching activity Σ t over all nets (toggles per cycle).
+    [[nodiscard]] double total_activity() const;
+
+private:
+    const netlist::Netlist* netlist_;
+    ElectricalView electrical_;
+    std::vector<NetActivity> activity_;
+    bool propagated_ = false;
+};
+
+} // namespace hdpm::sim

@@ -1,0 +1,115 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace hdpm::sim {
+
+using netlist::NetId;
+
+std::vector<NetPowerEntry> top_power_nets(const netlist::Netlist& netlist,
+                                          const EventSimulator& simulator, std::size_t k)
+{
+    const auto& charge = simulator.cumulative_charge_per_net();
+    const auto& transitions = simulator.cumulative_transitions();
+    double total = 0.0;
+    for (const double q : charge) {
+        total += q;
+    }
+
+    std::vector<NetPowerEntry> entries;
+    entries.reserve(charge.size());
+    for (NetId net = 0; net < charge.size(); ++net) {
+        if (charge[net] <= 0.0) {
+            continue;
+        }
+        NetPowerEntry entry;
+        entry.net = net;
+        entry.label = netlist.net_label(net).empty() ? "n" + std::to_string(net)
+                                                     : netlist.net_label(net);
+        entry.transitions = transitions[net];
+        entry.charge_fc = charge[net];
+        entry.share = total > 0.0 ? charge[net] / total : 0.0;
+        entries.push_back(std::move(entry));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const NetPowerEntry& a, const NetPowerEntry& b) {
+                  return a.charge_fc > b.charge_fc;
+              });
+    if (entries.size() > k) {
+        entries.resize(k);
+    }
+    return entries;
+}
+
+std::vector<KindPowerEntry> power_by_gate_kind(const netlist::Netlist& netlist,
+                                               const EventSimulator& simulator)
+{
+    const auto& charge = simulator.cumulative_charge_per_net();
+    double total = 0.0;
+    std::array<double, gate::kNumGateKinds> by_kind{};
+    std::array<std::size_t, gate::kNumGateKinds> cells{};
+    for (NetId net = 0; net < charge.size(); ++net) {
+        total += charge[net];
+        const netlist::CellId driver = netlist.driver(net);
+        const gate::GateKind kind = driver == netlist::kInvalidId
+                                        ? gate::GateKind::Const0
+                                        : netlist.cell(driver).kind;
+        by_kind[static_cast<std::size_t>(kind)] += charge[net];
+    }
+    for (const netlist::Cell& cell : netlist.cells()) {
+        ++cells[static_cast<std::size_t>(cell.kind)];
+    }
+
+    std::vector<KindPowerEntry> entries;
+    for (int k = 0; k < gate::kNumGateKinds; ++k) {
+        if (by_kind[static_cast<std::size_t>(k)] <= 0.0) {
+            continue;
+        }
+        KindPowerEntry entry;
+        entry.kind = static_cast<gate::GateKind>(k);
+        entry.cells = cells[static_cast<std::size_t>(k)];
+        entry.charge_fc = by_kind[static_cast<std::size_t>(k)];
+        entry.share = total > 0.0 ? entry.charge_fc / total : 0.0;
+        entries.push_back(entry);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const KindPowerEntry& a, const KindPowerEntry& b) {
+                  return a.charge_fc > b.charge_fc;
+              });
+    return entries;
+}
+
+void print_power_report(std::ostream& os, const netlist::Netlist& netlist,
+                        const EventSimulator& simulator, std::size_t top_k)
+{
+    os << "power report for '" << netlist.name() << "'\n";
+
+    util::TextTable nets;
+    nets.set_header({"net", "toggles", "charge [fC]", "share [%]"});
+    nets.set_alignment({util::Align::Left});
+    for (const NetPowerEntry& entry : top_power_nets(netlist, simulator, top_k)) {
+        nets.add_row({entry.label, std::to_string(entry.transitions),
+                      util::TextTable::fmt(entry.charge_fc, 1),
+                      util::TextTable::fmt(100.0 * entry.share, 1)});
+    }
+    os << "top nets:\n";
+    nets.print(os);
+
+    util::TextTable kinds;
+    kinds.set_header({"gate kind", "cells", "charge [fC]", "share [%]"});
+    kinds.set_alignment({util::Align::Left});
+    for (const KindPowerEntry& entry : power_by_gate_kind(netlist, simulator)) {
+        kinds.add_row({std::string{gate::gate_name(entry.kind)},
+                       std::to_string(entry.cells),
+                       util::TextTable::fmt(entry.charge_fc, 1),
+                       util::TextTable::fmt(100.0 * entry.share, 1)});
+    }
+    os << "by driving gate kind (CONST0 row = primary-input pin charge):\n";
+    kinds.print(os);
+}
+
+} // namespace hdpm::sim

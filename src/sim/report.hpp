@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/event_sim.hpp"
+
+namespace hdpm::sim {
+
+/// One net in a power hot-spot report.
+struct NetPowerEntry {
+    netlist::NetId net = netlist::kInvalidId;
+    std::string label;              ///< net label (or "n<id>")
+    std::uint64_t transitions = 0;  ///< cumulative toggles
+    double charge_fc = 0.0;         ///< cumulative charge [fC]
+    double share = 0.0;             ///< fraction of the total charge
+};
+
+/// Per-gate-kind aggregation of a simulation's charge.
+struct KindPowerEntry {
+    gate::GateKind kind{};
+    std::size_t cells = 0;
+    double charge_fc = 0.0;
+    double share = 0.0;
+};
+
+/// The @p k nets that drew the most charge in @p simulator's lifetime,
+/// most expensive first.
+[[nodiscard]] std::vector<NetPowerEntry> top_power_nets(
+    const netlist::Netlist& netlist, const EventSimulator& simulator, std::size_t k);
+
+/// Charge grouped by the *driving* gate kind (primary-input charge is
+/// reported under Const0 — no driver). Sorted by charge, descending.
+[[nodiscard]] std::vector<KindPowerEntry> power_by_gate_kind(
+    const netlist::Netlist& netlist, const EventSimulator& simulator);
+
+/// Print a human-readable hot-spot report (top nets + per-kind breakdown).
+void print_power_report(std::ostream& os, const netlist::Netlist& netlist,
+                        const EventSimulator& simulator, std::size_t top_k = 10);
+
+} // namespace hdpm::sim

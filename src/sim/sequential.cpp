@@ -1,0 +1,104 @@
+#include "sim/sequential.hpp"
+
+#include "util/error.hpp"
+
+namespace hdpm::sim {
+
+using util::BitVec;
+
+PipelineSimulator::PipelineSimulator(std::vector<const netlist::Netlist*> stages,
+                                     const gate::TechLibrary& library,
+                                     DffCosts dff_costs, EventSimOptions sim_options)
+    : stages_(std::move(stages)), dff_costs_(dff_costs)
+{
+    HDPM_REQUIRE(!stages_.empty(), "pipeline needs at least one stage");
+    HDPM_REQUIRE(dff_costs_.clock_charge_fc >= 0.0 &&
+                     dff_costs_.data_toggle_charge_fc >= 0.0,
+                 "negative flop costs");
+    for (std::size_t k = 0; k < stages_.size(); ++k) {
+        HDPM_REQUIRE(stages_[k] != nullptr, "null stage ", k);
+        if (k > 0) {
+            HDPM_REQUIRE(stages_[k]->primary_inputs().size() ==
+                             stages_[k - 1]->primary_outputs().size(),
+                         "stage ", k, " takes ", stages_[k]->primary_inputs().size(),
+                         " bits but stage ", k - 1, " produces ",
+                         stages_[k - 1]->primary_outputs().size());
+        }
+        sims_.push_back(
+            std::make_unique<EventSimulator>(*stages_[k], library, sim_options));
+    }
+    per_stage_fc_.assign(stages_.size(), 0.0);
+    reset();
+}
+
+void PipelineSimulator::reset()
+{
+    banks_.clear();
+    for (std::size_t k = 0; k < stages_.size(); ++k) {
+        const BitVec zero{static_cast<int>(stages_[k]->primary_inputs().size())};
+        banks_.push_back(zero);
+        sims_[k]->initialize(zero);
+    }
+    per_stage_fc_.assign(stages_.size(), 0.0);
+}
+
+PipelineCycleResult PipelineSimulator::step(const BitVec& input)
+{
+    HDPM_REQUIRE(input.width() == banks_.front().width(), "input has ", input.width(),
+                 " bits, pipeline takes ", banks_.front().width());
+
+    // All banks capture on the same edge: bank 0 takes the new primary
+    // input, bank k takes stage k-1's current (settled) outputs.
+    std::vector<BitVec> next_banks;
+    next_banks.reserve(banks_.size());
+    next_banks.push_back(input);
+    for (std::size_t k = 1; k < stages_.size(); ++k) {
+        next_banks.push_back(sims_[k - 1]->outputs());
+    }
+
+    PipelineCycleResult result;
+    for (std::size_t k = 0; k < banks_.size(); ++k) {
+        const int toggles = BitVec::hamming_distance(banks_[k], next_banks[k]);
+        if (dff_costs_.clock_gating) {
+            result.register_fc += dff_costs_.gating_overhead_fc;
+            if (toggles == 0) {
+                continue; // the bank's clock is gated off this cycle
+            }
+        }
+        result.register_fc +=
+            dff_costs_.clock_charge_fc * static_cast<double>(banks_[k].width()) +
+            dff_costs_.data_toggle_charge_fc * static_cast<double>(toggles);
+    }
+
+    // Stages then evaluate the newly captured values.
+    for (std::size_t k = 0; k < stages_.size(); ++k) {
+        const CycleResult stage = sims_[k]->apply(next_banks[k]);
+        result.combinational_fc += stage.charge_fc;
+        per_stage_fc_[k] += stage.charge_fc;
+    }
+    banks_ = std::move(next_banks);
+    return result;
+}
+
+BitVec PipelineSimulator::outputs() const
+{
+    return sims_.back()->outputs();
+}
+
+PipelinePowerResult PipelineSimulator::run(std::span<const BitVec> inputs)
+{
+    HDPM_REQUIRE(!inputs.empty(), "empty input stream");
+    reset();
+    PipelinePowerResult result;
+    result.cycles.reserve(inputs.size());
+    for (const BitVec& input : inputs) {
+        const PipelineCycleResult cycle = step(input);
+        result.combinational_fc += cycle.combinational_fc;
+        result.register_fc += cycle.register_fc;
+        result.cycles.push_back(cycle);
+    }
+    result.per_stage_fc = per_stage_fc_;
+    return result;
+}
+
+} // namespace hdpm::sim

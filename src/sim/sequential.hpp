@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/event_sim.hpp"
+
+namespace hdpm::sim {
+
+/// Electrical cost of one D-flip-flop in a pipeline register bank.
+struct DffCosts {
+    /// Charge drawn by the clock network per flop per cycle [fC]
+    /// (always paid unless the bank is clock-gated this cycle).
+    double clock_charge_fc = 8.0;
+
+    /// Additional charge when the stored value toggles [fC].
+    double data_toggle_charge_fc = 20.0;
+
+    /// Per-bank clock gating: when enabled, a bank whose captured value is
+    /// unchanged pays only the gating overhead instead of the full clock
+    /// load — the optimization the data-dependent register share motivates.
+    bool clock_gating = false;
+
+    /// Charge of the gating logic itself, per bank per cycle [fC].
+    double gating_overhead_fc = 12.0;
+};
+
+/// Per-cycle result of a pipeline simulation.
+struct PipelineCycleResult {
+    double combinational_fc = 0.0;
+    double register_fc = 0.0;
+    [[nodiscard]] double total_fc() const noexcept
+    {
+        return combinational_fc + register_fc;
+    }
+};
+
+/// Aggregate result of a pipeline stream simulation.
+struct PipelinePowerResult {
+    std::vector<PipelineCycleResult> cycles;
+    std::vector<double> per_stage_fc;  ///< combinational charge per stage
+    double combinational_fc = 0.0;
+    double register_fc = 0.0;
+
+    [[nodiscard]] double total_fc() const noexcept
+    {
+        return combinational_fc + register_fc;
+    }
+    [[nodiscard]] double mean_total_fc() const noexcept
+    {
+        return cycles.empty() ? 0.0 : total_fc() / static_cast<double>(cycles.size());
+    }
+};
+
+/// Cycle-accurate simulation of a linear pipeline of combinational stages
+/// separated by register banks — the step from the paper's isolated
+/// combinational modules to a registered datapath:
+///
+///   in ─[bank0]─ stage0 ─[bank1]─ stage1 ─ ... ─[bankN-1]─ stageN-1 → out
+///
+/// Every bank captures on the same clock edge; stage k therefore processes
+/// the value that entered bank k on the previous edge (latency = number of
+/// stages). Power per cycle = Σ stage combinational charge (event-driven,
+/// glitch-aware) + Σ register charge (clock load + data toggles).
+///
+/// Stage k's input width must equal stage k-1's output width; the netlists
+/// must outlive the simulator.
+class PipelineSimulator {
+public:
+    PipelineSimulator(std::vector<const netlist::Netlist*> stages,
+                      const gate::TechLibrary& library, DffCosts dff_costs = {},
+                      EventSimOptions sim_options = {});
+
+    /// Number of pipeline stages (= latency in cycles).
+    [[nodiscard]] std::size_t depth() const noexcept { return stages_.size(); }
+
+    /// Reset all register banks to zero and settle every stage.
+    void reset();
+
+    /// Advance one clock cycle with the given new primary input vector;
+    /// returns this cycle's charge breakdown.
+    PipelineCycleResult step(const util::BitVec& input);
+
+    /// Pipeline output after the last step (stage N-1's registered-stage
+    /// combinational outputs).
+    [[nodiscard]] util::BitVec outputs() const;
+
+    /// Simulate a whole stream (reset + one step per pattern).
+    [[nodiscard]] PipelinePowerResult run(std::span<const util::BitVec> inputs);
+
+private:
+    std::vector<const netlist::Netlist*> stages_;
+    std::vector<std::unique_ptr<EventSimulator>> sims_;
+    std::vector<util::BitVec> banks_; ///< register bank contents, banks_[k] feeds stage k
+    DffCosts dff_costs_;
+    std::vector<double> per_stage_fc_;
+};
+
+} // namespace hdpm::sim

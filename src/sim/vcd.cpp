@@ -1,0 +1,76 @@
+#include "sim/vcd.hpp"
+
+#include "util/error.hpp"
+
+namespace hdpm::sim {
+
+using netlist::NetId;
+
+namespace {
+
+/// VCD identifier codes: base-94 strings over the printable ASCII range.
+std::string vcd_identifier(NetId net)
+{
+    std::string id;
+    std::uint32_t n = net;
+    do {
+        id.push_back(static_cast<char>('!' + n % 94));
+        n /= 94;
+    } while (n != 0);
+    return id;
+}
+
+} // namespace
+
+VcdWriter::VcdWriter(std::ostream& os, const netlist::Netlist& netlist,
+                     std::int64_t cycle_period_ps)
+    : os_(&os), cycle_period_ps_(cycle_period_ps)
+{
+    HDPM_REQUIRE(cycle_period_ps > 0, "cycle period must be positive");
+    *os_ << "$timescale 1ps $end\n";
+    *os_ << "$scope module " << netlist.name() << " $end\n";
+    for (NetId net = 0; net < netlist.num_nets(); ++net) {
+        std::string label = netlist.net_label(net);
+        if (label.empty()) {
+            label = "n" + std::to_string(net);
+        }
+        for (char& c : label) {
+            if (c == ' ') {
+                c = '_';
+            }
+        }
+        *os_ << "$var wire 1 " << vcd_identifier(net) << ' ' << label << " $end\n";
+    }
+    *os_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+std::string VcdWriter::id_of(NetId net) const
+{
+    return vcd_identifier(net);
+}
+
+void VcdWriter::emit_time(std::int64_t time_ps)
+{
+    if (time_ps != last_time_) {
+        *os_ << '#' << time_ps << '\n';
+        last_time_ = time_ps;
+    }
+}
+
+void VcdWriter::change(std::int64_t time_ps, NetId net, bool value)
+{
+    emit_time(time_ps);
+    *os_ << (value ? '1' : '0') << id_of(net) << '\n';
+}
+
+void VcdWriter::dump_all(std::int64_t time_ps, const std::vector<std::uint8_t>& values)
+{
+    emit_time(time_ps);
+    *os_ << "$dumpvars\n";
+    for (NetId net = 0; net < values.size(); ++net) {
+        *os_ << (values[net] != 0 ? '1' : '0') << id_of(net) << '\n';
+    }
+    *os_ << "$end\n";
+}
+
+} // namespace hdpm::sim

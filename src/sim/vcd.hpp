@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace hdpm::sim {
+
+/// Minimal VCD (value change dump) writer for debugging simulations in a
+/// standard waveform viewer.
+///
+/// Attach to an EventSimulator with set_tracer(); each simulated cycle is
+/// laid out on the global time axis at multiples of cycle_period_ps.
+class VcdWriter {
+public:
+    /// Write the VCD header for @p netlist to @p os. The stream must
+    /// outlive the writer. @p cycle_period_ps spaces consecutive cycles.
+    VcdWriter(std::ostream& os, const netlist::Netlist& netlist,
+              std::int64_t cycle_period_ps);
+
+    /// Record a value change at absolute time @p time_ps.
+    void change(std::int64_t time_ps, netlist::NetId net, bool value);
+
+    /// Dump the full state of all nets at @p time_ps (used at initialize).
+    void dump_all(std::int64_t time_ps, const std::vector<std::uint8_t>& values);
+
+    /// Spacing between cycles on the global time axis.
+    [[nodiscard]] std::int64_t cycle_period_ps() const noexcept { return cycle_period_ps_; }
+
+private:
+    void emit_time(std::int64_t time_ps);
+    [[nodiscard]] std::string id_of(netlist::NetId net) const;
+
+    std::ostream* os_;
+    std::int64_t cycle_period_ps_;
+    std::int64_t last_time_ = -1;
+};
+
+} // namespace hdpm::sim

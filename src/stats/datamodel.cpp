@@ -1,0 +1,220 @@
+#include "stats/datamodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/gaussian.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::stats {
+
+using streams::WordStats;
+
+Breakpoints compute_breakpoints(const WordStats& stats)
+{
+    HDPM_REQUIRE(stats.width >= 1, "word stats carry no width");
+    const double m = static_cast<double>(stats.width);
+    const double sigma = stats.stddev();
+
+    Breakpoints bp;
+    if (sigma < 1e-12) {
+        // A (near-)constant stream has no random region and never toggles:
+        // the whole word behaves like a quiet sign region (t_sign = 0).
+        return bp; // bp0 = bp1 = 0
+    }
+    bp.bp0 = sigma > 1.0 ? std::log2(sigma) : 0.0;
+    const double magnitude = std::abs(stats.mean) + 3.0 * sigma;
+    bp.bp1 = magnitude > 1.0 ? std::log2(magnitude) + 1.0 : 1.0;
+
+    bp.bp0 = std::clamp(bp.bp0, 0.0, m);
+    bp.bp1 = std::clamp(bp.bp1, bp.bp0, m);
+    return bp;
+}
+
+WordRegions compute_regions(const WordStats& stats)
+{
+    const Breakpoints bp = compute_breakpoints(stats);
+    const int m = stats.width;
+
+    // Shift the break points together by half the intermediate region
+    // (section 6.3): the average activity is preserved and only two
+    // regions remain.
+    const double n_rand_real = bp.bp0 + 0.5 * (bp.bp1 - bp.bp0);
+    WordRegions regions;
+    regions.n_sign = std::clamp(
+        static_cast<int>(std::lround(static_cast<double>(m) - n_rand_real)), 0, m);
+    regions.n_rand = m - regions.n_sign;
+    regions.t_sign = sign_flip_probability(stats.mean, stats.stddev(), stats.rho);
+    return regions;
+}
+
+double analytic_average_hd(const WordStats& stats)
+{
+    const Breakpoints bp = compute_breakpoints(stats);
+    const double m = static_cast<double>(stats.width);
+    const double t_sign = sign_flip_probability(stats.mean, stats.stddev(), stats.rho);
+    const double t_corr = 0.5 * (0.5 + t_sign); // linear interpolation midpoint
+    const double n_rand0 = bp.bp0;
+    const double n_corr = bp.bp1 - bp.bp0;
+    const double n_sign0 = m - bp.bp1;
+    return 0.5 * n_rand0 + t_corr * n_corr + t_sign * n_sign0;
+}
+
+double HdDistribution::mean() const noexcept
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        acc += static_cast<double>(i) * p[i];
+    }
+    return acc;
+}
+
+namespace {
+
+/// Binomial(n, 1/2) pmf as a dense vector (n ≤ 64 here, doubles suffice).
+std::vector<double> binomial_half(int n)
+{
+    std::vector<double> pmf(static_cast<std::size_t>(n) + 1);
+    // C(n, i)·2^-n computed multiplicatively to stay in range.
+    double c = std::pow(0.5, n);
+    for (int i = 0; i <= n; ++i) {
+        pmf[static_cast<std::size_t>(i)] = c;
+        c = c * static_cast<double>(n - i) / static_cast<double>(i + 1);
+    }
+    return pmf;
+}
+
+} // namespace
+
+HdDistribution compute_hd_distribution(const WordStats& stats)
+{
+    const WordRegions regions = compute_regions(stats);
+    const int m = stats.width;
+
+    const std::vector<double> p_rand = binomial_half(regions.n_rand);
+    auto rand_at = [&](int i) {
+        return (i >= 0 && i <= regions.n_rand) ? p_rand[static_cast<std::size_t>(i)] : 0.0;
+    };
+
+    HdDistribution dist;
+    dist.regions = regions;
+    dist.p.assign(static_cast<std::size_t>(m) + 1, 0.0);
+    const double p_sign_quiet = 1.0 - regions.t_sign;
+    for (int i = 0; i <= m; ++i) {
+        double p = 0.0;
+        if (i <= regions.n_rand) { // δ_SS̄: no sign-region event (eq. 15/18)
+            p += rand_at(i) * p_sign_quiet;
+        }
+        if (i >= regions.n_sign) { // δ_SS: the whole sign region toggled (eq. 17/18)
+            p += rand_at(i - regions.n_sign) * regions.t_sign;
+        }
+        dist.p[static_cast<std::size_t>(i)] = p;
+    }
+    return dist;
+}
+
+HdDistribution compute_hd_distribution(const WordStats& stats,
+                                       streams::NumberFormat format)
+{
+    if (format == streams::NumberFormat::TwosComplement) {
+        return compute_hd_distribution(stats);
+    }
+
+    // Sign-magnitude: one sign bit toggling with t_sign; magnitude bits
+    // follow the folded-|X| statistics — a random LSB region plus quiet
+    // (constant-zero) MSBs. Quiet bits never switch, so the distribution
+    // is a binomial over the random region, shifted by one when the sign
+    // flips.
+    const int m = stats.width;
+    HDPM_REQUIRE(m >= 2, "sign-magnitude needs at least two bits");
+    const double sigma = stats.stddev();
+    const double t_sign = sign_flip_probability(stats.mean, sigma, stats.rho);
+
+    const double mag_mean = folded_normal_mean(stats.mean, sigma);
+    const double mag_sigma = std::sqrt(folded_normal_variance(stats.mean, sigma));
+
+    const double magnitude_bits = static_cast<double>(m - 1);
+    double bp0 = mag_sigma > 1.0 ? std::log2(mag_sigma) : 0.0;
+    const double reach = mag_mean + 3.0 * mag_sigma;
+    double bp1 = reach > 1.0 ? std::log2(reach) + 1.0 : 1.0;
+    bp0 = std::clamp(bp0, 0.0, magnitude_bits);
+    bp1 = std::clamp(bp1, bp0, magnitude_bits);
+    const int n_rand = std::clamp(
+        static_cast<int>(std::lround(bp0 + 0.5 * (bp1 - bp0))), 0, m - 1);
+
+    const std::vector<double> p_rand = binomial_half(n_rand);
+    auto rand_at = [&](int i) {
+        return (i >= 0 && i <= n_rand) ? p_rand[static_cast<std::size_t>(i)] : 0.0;
+    };
+
+    HdDistribution dist;
+    dist.regions.n_rand = n_rand;
+    dist.regions.n_sign = 1;
+    dist.regions.t_sign = t_sign;
+    dist.p.assign(static_cast<std::size_t>(m) + 1, 0.0);
+    for (int i = 0; i <= m; ++i) {
+        dist.p[static_cast<std::size_t>(i)] =
+            (1.0 - t_sign) * rand_at(i) + t_sign * rand_at(i - 1);
+    }
+    return dist;
+}
+
+double analytic_average_hd(const WordStats& stats, streams::NumberFormat format)
+{
+    if (format == streams::NumberFormat::TwosComplement) {
+        return analytic_average_hd(stats);
+    }
+    return compute_hd_distribution(stats, format).mean();
+}
+
+std::vector<BitActivityModel> analytic_bit_activities(const WordStats& stats)
+{
+    const Breakpoints bp = compute_breakpoints(stats);
+    const int m = stats.width;
+    const double sigma = stats.stddev();
+    const double t_sign = sign_flip_probability(stats.mean, sigma, stats.rho);
+    const double p_sign = sigma > 0.0 ? normal_cdf(-stats.mean / sigma)
+                                      : (stats.mean < 0.0 ? 1.0 : 0.0);
+
+    std::vector<BitActivityModel> bits(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+        const double position = static_cast<double>(i);
+        BitActivityModel bit;
+        if (position < bp.bp0) {
+            bit.signal_prob = 0.5;
+            bit.transition_prob = 0.5;
+        } else if (position >= bp.bp1) {
+            bit.signal_prob = p_sign;
+            bit.transition_prob = t_sign;
+        } else {
+            // Linear interpolation across the intermediate region
+            // (Landman's approximation, section 6.1).
+            const double span = bp.bp1 - bp.bp0;
+            const double f = span > 0.0 ? (position - bp.bp0) / span : 1.0;
+            bit.signal_prob = 0.5 + f * (p_sign - 0.5);
+            bit.transition_prob = 0.5 + f * (t_sign - 0.5);
+        }
+        bits[static_cast<std::size_t>(i)] = bit;
+    }
+    return bits;
+}
+
+HdDistribution combine_independent(const HdDistribution& a, const HdDistribution& b)
+{
+    HdDistribution out;
+    out.regions.n_rand = a.regions.n_rand + b.regions.n_rand;
+    out.regions.n_sign = a.regions.n_sign + b.regions.n_sign;
+    out.regions.t_sign = 0.5 * (a.regions.t_sign + b.regions.t_sign);
+    out.p.assign(a.p.size() + b.p.size() - 1, 0.0);
+    for (std::size_t i = 0; i < a.p.size(); ++i) {
+        if (a.p[i] == 0.0) {
+            continue;
+        }
+        for (std::size_t j = 0; j < b.p.size(); ++j) {
+            out.p[i + j] += a.p[i] * b.p[j];
+        }
+    }
+    return out;
+}
+
+} // namespace hdpm::stats

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <vector>
+
+#include "streams/bitstats.hpp"
+#include "streams/wordstats.hpp"
+
+namespace hdpm::stats {
+
+/// Dual-bit-type break points of a data word (section 6.1, fig. 5):
+/// bits below bp0 behave like uncorrelated random bits (t = 0.5), bits
+/// above bp1 are sign bits that toggle together, bits in between are
+/// linearly interpolated. Real-valued; positions are 0-indexed from the LSB.
+struct Breakpoints {
+    double bp0 = 0.0;
+    double bp1 = 0.0;
+};
+
+/// Landman-style empirical break points from word-level statistics:
+///   bp0 ≈ log2 σ,   bp1 ≈ log2(|µ| + 3σ) + 1,
+/// both clamped into [0, m]. For near-constant streams bp0 collapses to 0.
+[[nodiscard]] Breakpoints compute_breakpoints(const streams::WordStats& stats);
+
+/// The reduced two-region view of a word (section 6.3): the intermediate
+/// region is split evenly between the random and sign regions, so
+/// n_rand + n_sign = m. t_sign is the joint toggle probability of the sign
+/// region under the Gaussian AR model.
+struct WordRegions {
+    int n_rand = 0;
+    int n_sign = 0;
+    double t_sign = 0.0;
+};
+
+/// Reduce a word to its two-region form.
+[[nodiscard]] WordRegions compute_regions(const streams::WordStats& stats);
+
+/// Average Hamming distance of consecutive words predicted by the
+/// three-region data model (paper eq. 11):
+///   Hd_avg = 0.5·n_rand0 + t_corr·n_corr + t_sign·n_sign0
+/// with t_corr linearly interpolated between 0.5 and t_sign.
+[[nodiscard]] double analytic_average_hd(const streams::WordStats& stats);
+
+/// Analytic Hamming-distance distribution of a word-level data stream.
+struct HdDistribution {
+    /// p[i] = P(Hd = i), i = 0..m; sums to 1.
+    std::vector<double> p;
+
+    /// The regions the distribution was assembled from.
+    WordRegions regions;
+
+    /// Expected Hamming distance Σ i·p[i].
+    [[nodiscard]] double mean() const noexcept;
+};
+
+/// Compute the Hd distribution from word-level statistics via the region
+/// convolution of paper eqs. 12–18: a binomial(n_rand, 0.5) part combined
+/// with the two-point all-or-nothing sign part.
+[[nodiscard]] HdDistribution compute_hd_distribution(const streams::WordStats& stats);
+
+/// Hd distribution of the concatenation of independent words (e.g. the two
+/// operands of an adder): the convolution of the per-operand distributions
+/// (the paper's closing remark of section 6.3).
+[[nodiscard]] HdDistribution combine_independent(const HdDistribution& a,
+                                                 const HdDistribution& b);
+
+/// Hd distribution for a chosen number representation (extension along
+/// ref [10]: "handling of different number representations").
+///
+/// Sign-magnitude differs structurally from two's complement: there is a
+/// single sign bit (toggling with t_sign), the magnitude LSBs stay random,
+/// and the magnitude MSBs above the |X|-range are *quiet zeros* rather
+/// than a jointly-toggling sign region — which is exactly why
+/// sign-magnitude encoding lowers switching activity for strongly
+/// correlated zero-mean signals.
+[[nodiscard]] HdDistribution compute_hd_distribution(const streams::WordStats& stats,
+                                                     streams::NumberFormat format);
+
+/// Analytic average Hd under a number representation.
+[[nodiscard]] double analytic_average_hd(const streams::WordStats& stats,
+                                         streams::NumberFormat format);
+
+/// Per-bit signal/transition probabilities predicted by the three-region
+/// data model (fig. 5): bits below BP0 are uniform random (p = t = 1/2),
+/// bits above BP1 behave like sign bits (p = P(x < 0), t = t_sign), bits
+/// in between interpolate linearly — the exact per-bit figures Landman's
+/// flow feeds into probabilistic gate-level analysis
+/// (sim::ProbabilisticAnalyzer accepts them directly).
+struct BitActivityModel {
+    double signal_prob = 0.0;
+    double transition_prob = 0.0;
+};
+[[nodiscard]] std::vector<BitActivityModel> analytic_bit_activities(
+    const streams::WordStats& stats);
+
+} // namespace hdpm::stats

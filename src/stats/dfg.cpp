@@ -1,0 +1,98 @@
+#include "stats/dfg.hpp"
+
+#include "util/error.hpp"
+
+namespace hdpm::stats {
+
+using streams::WordStats;
+
+DataflowGraph::NodeId DataflowGraph::push(WordStats stats, std::string name)
+{
+    nodes_.push_back(Node{stats, std::move(name)});
+    return nodes_.size() - 1;
+}
+
+void DataflowGraph::check(NodeId node) const
+{
+    HDPM_REQUIRE(node < nodes_.size(), "node ", node, " does not exist");
+}
+
+DataflowGraph::NodeId DataflowGraph::input(WordStats stats, std::string name)
+{
+    HDPM_REQUIRE(stats.width >= 1, "input stats need a width");
+    return push(stats, std::move(name));
+}
+
+DataflowGraph::NodeId DataflowGraph::constant(double value, int width, std::string name)
+{
+    HDPM_REQUIRE(width >= 1, "bad constant width");
+    WordStats stats;
+    stats.mean = value;
+    stats.variance = 0.0;
+    stats.rho = 1.0;
+    stats.width = width;
+    return push(stats, std::move(name));
+}
+
+DataflowGraph::NodeId DataflowGraph::add(NodeId a, NodeId b, int out_width,
+                                         std::string name)
+{
+    check(a);
+    check(b);
+    return push(propagate_add(nodes_[a].stats, nodes_[b].stats, out_width),
+                std::move(name));
+}
+
+DataflowGraph::NodeId DataflowGraph::sub(NodeId a, NodeId b, int out_width,
+                                         std::string name)
+{
+    check(a);
+    check(b);
+    return push(propagate_sub(nodes_[a].stats, nodes_[b].stats, out_width),
+                std::move(name));
+}
+
+DataflowGraph::NodeId DataflowGraph::mult(NodeId a, NodeId b, int out_width,
+                                          std::string name)
+{
+    check(a);
+    check(b);
+    return push(propagate_mult(nodes_[a].stats, nodes_[b].stats, out_width),
+                std::move(name));
+}
+
+DataflowGraph::NodeId DataflowGraph::const_mult(NodeId a, double c, int out_width,
+                                                std::string name)
+{
+    check(a);
+    return push(propagate_const_mult(nodes_[a].stats, c, out_width), std::move(name));
+}
+
+DataflowGraph::NodeId DataflowGraph::delay(NodeId a, std::string name)
+{
+    check(a);
+    return push(propagate_delay(nodes_[a].stats), std::move(name));
+}
+
+DataflowGraph::NodeId DataflowGraph::mux(NodeId a, NodeId b, double sel_prob_a,
+                                         int out_width, std::string name)
+{
+    check(a);
+    check(b);
+    return push(propagate_mux(nodes_[a].stats, nodes_[b].stats, sel_prob_a, out_width),
+                std::move(name));
+}
+
+const WordStats& DataflowGraph::stats_of(NodeId node) const
+{
+    check(node);
+    return nodes_[node].stats;
+}
+
+std::string DataflowGraph::name_of(NodeId node) const
+{
+    check(node);
+    return nodes_[node].name.empty() ? "#" + std::to_string(node) : nodes_[node].name;
+}
+
+} // namespace hdpm::stats

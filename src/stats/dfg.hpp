@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/propagation.hpp"
+
+namespace hdpm::stats {
+
+/// A small dataflow graph that propagates word-level statistics from the
+/// primary inputs through datapath operators — the design-level use of the
+/// propagation rules (refs [9, 10] of the paper): annotate every node of an
+/// architecture with (µ, σ², ρ) so each component's power can be estimated
+/// from its input statistics without any simulation.
+///
+/// Statistics are computed eagerly as nodes are created, so the graph is
+/// always fully annotated; queries are O(1).
+class DataflowGraph {
+public:
+    using NodeId = std::size_t;
+
+    /// A primary input with measured or assumed statistics.
+    NodeId input(streams::WordStats stats, std::string name = {});
+
+    /// A constant word (σ = 0, never toggles).
+    NodeId constant(double value, int width, std::string name = {});
+
+    /// a + b.
+    NodeId add(NodeId a, NodeId b, int out_width, std::string name = {});
+
+    /// a - b.
+    NodeId sub(NodeId a, NodeId b, int out_width, std::string name = {});
+
+    /// a · b (independent streams).
+    NodeId mult(NodeId a, NodeId b, int out_width, std::string name = {});
+
+    /// a · c for a compile-time constant c.
+    NodeId const_mult(NodeId a, double c, int out_width, std::string name = {});
+
+    /// A register (statistics unchanged).
+    NodeId delay(NodeId a, std::string name = {});
+
+    /// 2:1 multiplexer selecting a with probability @p sel_prob_a.
+    NodeId mux(NodeId a, NodeId b, double sel_prob_a, int out_width,
+               std::string name = {});
+
+    /// Word-level statistics of a node.
+    [[nodiscard]] const streams::WordStats& stats_of(NodeId node) const;
+
+    /// Node name ("#<id>" if unnamed).
+    [[nodiscard]] std::string name_of(NodeId node) const;
+
+    /// Number of nodes.
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+private:
+    struct Node {
+        streams::WordStats stats;
+        std::string name;
+    };
+
+    NodeId push(streams::WordStats stats, std::string name);
+    void check(NodeId node) const;
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace hdpm::stats

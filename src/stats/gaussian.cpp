@@ -1,0 +1,143 @@
+#include "stats/gaussian.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace hdpm::stats {
+
+namespace {
+
+constexpr int kQuadraturePoints = 32;
+
+struct Quadrature {
+    std::array<double, kQuadraturePoints> nodes{};
+    std::array<double, kQuadraturePoints> weights{};
+};
+
+/// Gauss–Legendre nodes/weights on [-1, 1] via Newton iteration on the
+/// Legendre polynomial (standard Golub-free construction; n is small and
+/// this runs once).
+Quadrature make_gauss_legendre()
+{
+    Quadrature q;
+    const int n = kQuadraturePoints;
+    for (int i = 0; i < (n + 1) / 2; ++i) {
+        // Chebyshev-like initial guess for the i-th positive root.
+        double x = std::cos(std::numbers::pi * (static_cast<double>(i) + 0.75) /
+                            (static_cast<double>(n) + 0.5));
+        double dp = 0.0;
+        for (int iter = 0; iter < 100; ++iter) {
+            // Evaluate P_n(x) and P'_n(x) by the three-term recurrence.
+            double p0 = 1.0;
+            double p1 = x;
+            for (int k = 2; k <= n; ++k) {
+                const double pk = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) /
+                                  static_cast<double>(k);
+                p0 = p1;
+                p1 = pk;
+            }
+            dp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+            const double dx = p1 / dp;
+            x -= dx;
+            if (std::abs(dx) < 1e-15) {
+                break;
+            }
+        }
+        const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+        q.nodes[static_cast<std::size_t>(i)] = -x;
+        q.weights[static_cast<std::size_t>(i)] = w;
+        q.nodes[static_cast<std::size_t>(n - 1 - i)] = x;
+        q.weights[static_cast<std::size_t>(n - 1 - i)] = w;
+    }
+    return q;
+}
+
+const Quadrature& quadrature()
+{
+    static const Quadrature q = make_gauss_legendre();
+    return q;
+}
+
+} // namespace
+
+double normal_pdf(double x)
+{
+    return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+double bivariate_normal_cdf(double h, double k, double rho)
+{
+    HDPM_REQUIRE(rho >= -1.0 && rho <= 1.0, "correlation out of range: ", rho);
+
+    // Plackett's identity integrated over theta in [0, asin(rho)]; the
+    // substitution r = sin θ removes the 1/sqrt(1-r²) singularity.
+    const double upper = std::asin(rho);
+    const double half = 0.5 * upper;
+    const Quadrature& q = quadrature();
+    double integral = 0.0;
+    for (std::size_t i = 0; i < q.nodes.size(); ++i) {
+        const double theta = half * (1.0 + q.nodes[i]);
+        const double s = std::sin(theta);
+        const double c2 = std::max(1.0 - s * s, 1e-300);
+        const double expo = -(h * h + k * k - 2.0 * h * k * s) / (2.0 * c2);
+        integral += q.weights[i] * std::exp(expo);
+    }
+    integral *= half; // scale from [-1,1] to [0, upper]
+
+    double p = normal_cdf(h) * normal_cdf(k) + integral / (2.0 * std::numbers::pi);
+    if (p < 0.0) {
+        p = 0.0;
+    }
+    if (p > 1.0) {
+        p = 1.0;
+    }
+    return p;
+}
+
+double folded_normal_mean(double mu, double sigma)
+{
+    HDPM_REQUIRE(sigma >= 0.0, "negative sigma");
+    if (sigma == 0.0) {
+        return std::abs(mu);
+    }
+    const double h = mu / sigma;
+    return sigma * std::sqrt(2.0 / std::numbers::pi) * std::exp(-0.5 * h * h) +
+           mu * (1.0 - 2.0 * normal_cdf(-h));
+}
+
+double folded_normal_variance(double mu, double sigma)
+{
+    // E[|X|²] = E[X²] = µ² + σ².
+    const double mean = folded_normal_mean(mu, sigma);
+    const double var = mu * mu + sigma * sigma - mean * mean;
+    return var > 0.0 ? var : 0.0;
+}
+
+double sign_flip_probability(double mu, double sigma, double rho)
+{
+    HDPM_REQUIRE(sigma >= 0.0, "negative sigma");
+    if (sigma == 0.0) {
+        return 0.0; // a constant never changes sign
+    }
+    const double h = -mu / sigma; // P(X < 0) = Φ(h)
+    const double p_neg = normal_cdf(h);
+    const double p_both_neg = bivariate_normal_cdf(h, h, rho);
+    double flip = 2.0 * (p_neg - p_both_neg);
+    if (flip < 0.0) {
+        flip = 0.0;
+    }
+    if (flip > 1.0) {
+        flip = 1.0;
+    }
+    return flip;
+}
+
+} // namespace hdpm::stats

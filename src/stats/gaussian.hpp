@@ -1,0 +1,33 @@
+#pragma once
+
+namespace hdpm::stats {
+
+/// Standard normal density φ(x).
+[[nodiscard]] double normal_pdf(double x);
+
+/// Standard normal CDF Φ(x).
+[[nodiscard]] double normal_cdf(double x);
+
+/// Bivariate standard normal CDF P(X ≤ h, Y ≤ k) for correlation rho,
+/// computed from the classic single-integral (Plackett) representation
+///   Φ₂(h,k,ρ) = Φ(h)Φ(k) + (1/2π) ∫₀^{asin ρ} exp(−(h²+k²−2hk·sinθ)/(2cos²θ)) dθ
+/// with Gauss–Legendre quadrature. Accurate to ~1e-10 for |rho| ≤ 1.
+[[nodiscard]] double bivariate_normal_cdf(double h, double k, double rho);
+
+/// Mean of |X| for X ~ N(mu, sigma²) (folded normal).
+[[nodiscard]] double folded_normal_mean(double mu, double sigma);
+
+/// Variance of |X| for X ~ N(mu, sigma²).
+[[nodiscard]] double folded_normal_variance(double mu, double sigma);
+
+/// Probability that a stationary Gaussian process with mean mu, standard
+/// deviation sigma and lag-1 autocorrelation rho changes sign between two
+/// consecutive samples: P(X_t ≥ 0, X_{t+1} < 0) + P(X_t < 0, X_{t+1} ≥ 0).
+/// For mu = 0 this reduces to the classic arccos(rho)/π.
+///
+/// This is the sign-region transition activity t_sign of the data model
+/// (section 6 of the paper): in two's complement all sign bits of a word
+/// toggle together exactly when the value changes sign.
+[[nodiscard]] double sign_flip_probability(double mu, double sigma, double rho);
+
+} // namespace hdpm::stats

@@ -1,0 +1,132 @@
+#include "streams/bitstats.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hdpm::streams {
+
+using util::BitVec;
+
+double BitStats::average_hd() const noexcept
+{
+    double sum = 0.0;
+    for (const double t : transition_prob) {
+        sum += t;
+    }
+    return sum;
+}
+
+BitStats measure_bit_stats(std::span<const BitVec> patterns)
+{
+    HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns");
+    const int m = patterns.front().width();
+
+    std::vector<std::uint64_t> ones(static_cast<std::size_t>(m), 0);
+    std::vector<std::uint64_t> toggles(static_cast<std::size_t>(m), 0);
+    for (std::size_t j = 0; j < patterns.size(); ++j) {
+        HDPM_REQUIRE(patterns[j].width() == m, "pattern width mismatch at index ", j);
+        for (int i = 0; i < m; ++i) {
+            if (patterns[j].get(i)) {
+                ++ones[static_cast<std::size_t>(i)];
+            }
+        }
+        if (j > 0) {
+            const BitVec diff = patterns[j] ^ patterns[j - 1];
+            for (int i = 0; i < m; ++i) {
+                if (diff.get(i)) {
+                    ++toggles[static_cast<std::size_t>(i)];
+                }
+            }
+        }
+    }
+
+    BitStats stats;
+    stats.pattern_count = patterns.size();
+    stats.signal_prob.resize(static_cast<std::size_t>(m));
+    stats.transition_prob.resize(static_cast<std::size_t>(m));
+    const double n = static_cast<double>(patterns.size());
+    const double pairs = static_cast<double>(patterns.size() - 1);
+    for (int i = 0; i < m; ++i) {
+        stats.signal_prob[static_cast<std::size_t>(i)] =
+            static_cast<double>(ones[static_cast<std::size_t>(i)]) / n;
+        stats.transition_prob[static_cast<std::size_t>(i)] =
+            static_cast<double>(toggles[static_cast<std::size_t>(i)]) / pairs;
+    }
+    return stats;
+}
+
+BitStats measure_bit_stats(std::span<const std::int64_t> values, int width)
+{
+    const std::vector<BitVec> patterns = to_patterns(values, width);
+    return measure_bit_stats(patterns);
+}
+
+std::vector<double> extract_hd_distribution(std::span<const BitVec> patterns)
+{
+    HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns");
+    const int m = patterns.front().width();
+    std::vector<double> dist(static_cast<std::size_t>(m) + 1, 0.0);
+    for (std::size_t j = 1; j < patterns.size(); ++j) {
+        const int hd = BitVec::hamming_distance(patterns[j - 1], patterns[j]);
+        dist[static_cast<std::size_t>(hd)] += 1.0;
+    }
+    const double pairs = static_cast<double>(patterns.size() - 1);
+    for (double& p : dist) {
+        p /= pairs;
+    }
+    return dist;
+}
+
+double extract_average_hd(std::span<const BitVec> patterns)
+{
+    HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns");
+    std::uint64_t total = 0;
+    for (std::size_t j = 1; j < patterns.size(); ++j) {
+        total += static_cast<std::uint64_t>(
+            BitVec::hamming_distance(patterns[j - 1], patterns[j]));
+    }
+    return static_cast<double>(total) / static_cast<double>(patterns.size() - 1);
+}
+
+std::vector<BitVec> to_patterns(std::span<const std::int64_t> values, int width)
+{
+    std::vector<BitVec> patterns;
+    patterns.reserve(values.size());
+    for (const std::int64_t v : values) {
+        patterns.emplace_back(width, static_cast<std::uint64_t>(v));
+    }
+    return patterns;
+}
+
+std::vector<BitVec> to_patterns(std::span<const std::int64_t> values, int width,
+                                NumberFormat format)
+{
+    if (format == NumberFormat::TwosComplement) {
+        return to_patterns(values, width);
+    }
+    HDPM_REQUIRE(width >= 2, "sign-magnitude needs at least two bits");
+    const std::int64_t max_mag = (std::int64_t{1} << (width - 1)) - 1;
+    std::vector<BitVec> patterns;
+    patterns.reserve(values.size());
+    for (const std::int64_t v : values) {
+        const std::int64_t mag = std::min(v < 0 ? -v : v, max_mag);
+        BitVec pattern{width, static_cast<std::uint64_t>(mag)};
+        pattern.set(width - 1, v < 0);
+        patterns.push_back(pattern);
+    }
+    return patterns;
+}
+
+std::int64_t decode_pattern(const BitVec& pattern, NumberFormat format)
+{
+    if (format == NumberFormat::TwosComplement) {
+        return util::decode_twos_complement(pattern);
+    }
+    HDPM_REQUIRE(pattern.width() >= 2, "sign-magnitude needs at least two bits");
+    const auto mag =
+        static_cast<std::int64_t>(pattern.slice(0, pattern.width() - 1).raw());
+    return pattern.get(pattern.width() - 1) ? -mag : mag;
+}
+
+} // namespace hdpm::streams

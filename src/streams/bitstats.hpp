@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace hdpm::streams {
+
+/// Per-bit statistics of a pattern stream: signal probability p_i
+/// (fraction of cycles bit i is 1) and transition probability t_i
+/// (fraction of consecutive pattern pairs in which bit i toggles).
+struct BitStats {
+    std::vector<double> signal_prob;
+    std::vector<double> transition_prob;
+    std::size_t pattern_count = 0;
+
+    [[nodiscard]] int width() const noexcept
+    {
+        return static_cast<int>(signal_prob.size());
+    }
+
+    /// Average Hamming distance of consecutive patterns = Σ t_i.
+    [[nodiscard]] double average_hd() const noexcept;
+};
+
+/// Measure bit statistics of a BitVec pattern stream (all patterns must
+/// share one width).
+[[nodiscard]] BitStats measure_bit_stats(std::span<const util::BitVec> patterns);
+
+/// Measure bit statistics of an integer stream encoded as @p width-bit
+/// two's complement words.
+[[nodiscard]] BitStats measure_bit_stats(std::span<const std::int64_t> values, int width);
+
+/// Empirical Hamming-distance distribution of consecutive patterns:
+/// result[i] = p(Hd = i) for i = 0..m. Sums to 1.
+[[nodiscard]] std::vector<double> extract_hd_distribution(
+    std::span<const util::BitVec> patterns);
+
+/// Empirical average Hamming distance of consecutive patterns.
+[[nodiscard]] double extract_average_hd(std::span<const util::BitVec> patterns);
+
+/// Binary number representations supported by the pattern encoders and the
+/// data model (ref [10] of the paper extends the dual-bit-type model to
+/// "different number representations"; we implement the classic pair).
+enum class NumberFormat {
+    TwosComplement, ///< sign bits replicate; a sign change toggles them all
+    SignMagnitude,  ///< one sign bit; a sign change toggles exactly one bit
+};
+
+/// Encode an integer stream as two's-complement BitVec patterns.
+[[nodiscard]] std::vector<util::BitVec> to_patterns(std::span<const std::int64_t> values,
+                                                    int width);
+
+/// Encode an integer stream in the given number format. Sign-magnitude
+/// packs |value| into bits 0..width-2 (clamped to the representable
+/// maximum) and the sign into the MSB.
+[[nodiscard]] std::vector<util::BitVec> to_patterns(std::span<const std::int64_t> values,
+                                                    int width, NumberFormat format);
+
+/// Decode a single pattern of the given format back to its integer value.
+[[nodiscard]] std::int64_t decode_pattern(const util::BitVec& pattern,
+                                          NumberFormat format);
+
+} // namespace hdpm::streams

@@ -1,0 +1,33 @@
+#include "streams/io.hpp"
+
+#include <cmath>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::streams {
+
+void save_stream(const std::string& path, std::span<const std::int64_t> values,
+                 const std::string& column_name)
+{
+    std::vector<std::vector<double>> rows;
+    rows.reserve(values.size());
+    for (const std::int64_t v : values) {
+        rows.push_back({static_cast<double>(v)});
+    }
+    util::write_csv(path, {column_name}, rows);
+}
+
+std::vector<std::int64_t> load_stream(const std::string& path)
+{
+    const util::CsvTable table = util::read_csv(path);
+    HDPM_REQUIRE(table.header.size() == 1, "'", path, "' must have exactly one column");
+    std::vector<std::int64_t> values;
+    values.reserve(table.rows.size());
+    for (const auto& row : table.rows) {
+        values.push_back(static_cast<std::int64_t>(std::llround(row[0])));
+    }
+    return values;
+}
+
+} // namespace hdpm::streams

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hdpm::streams {
+
+/// Save an integer sample stream as a single-column CSV file.
+void save_stream(const std::string& path, std::span<const std::int64_t> values,
+                 const std::string& column_name = "value");
+
+/// Load a stream saved by save_stream (or any single-column numeric CSV,
+/// e.g. an exported audio trace). Values are rounded to integers.
+/// Throws RuntimeError on malformed input.
+[[nodiscard]] std::vector<std::int64_t> load_stream(const std::string& path);
+
+} // namespace hdpm::streams

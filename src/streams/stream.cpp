@@ -1,0 +1,200 @@
+#include "streams/stream.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm::streams {
+
+using util::Rng;
+
+namespace {
+
+constexpr std::array<DataType, 5> kAllTypes = {
+    DataType::Random, DataType::Music, DataType::Speech, DataType::Video,
+    DataType::Counter,
+};
+
+/// Quantize a normalized sample s (nominally in [-1, 1]) to a signed
+/// width-bit integer with clamping — the "linear quantization" of the
+/// paper's music/speech signals.
+std::int64_t quantize(double s, int width)
+{
+    const double full_scale = static_cast<double>((std::int64_t{1} << (width - 1)) - 1);
+    const double lo = -full_scale - 1.0;
+    double v = std::round(s * full_scale);
+    if (v < lo) {
+        v = lo;
+    }
+    if (v > full_scale) {
+        v = full_scale;
+    }
+    return static_cast<std::int64_t>(v);
+}
+
+std::vector<std::int64_t> gen_random(int width, std::size_t n, Rng& rng)
+{
+    std::vector<std::int64_t> out;
+    out.reserve(n);
+    const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+    const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(rng.uniform_int(lo, hi));
+    }
+    return out;
+}
+
+std::vector<std::int64_t> gen_music(int width, std::size_t n, Rng& rng)
+{
+    // Sum of three partials with incommensurate frequencies plus a lightly
+    // filtered noise floor: lag-1 autocorrelation lands around 0.5–0.7
+    // ("weak correlation").
+    const double f1 = rng.uniform(0.055, 0.085);
+    const double f2 = f1 * rng.uniform(2.2, 2.6);
+    const double f3 = f1 * rng.uniform(3.5, 4.1);
+    const double p1 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double p2 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double p3 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+    std::vector<std::int64_t> out;
+    out.reserve(n);
+    double noise = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+        const double tt = static_cast<double>(t);
+        noise = 0.45 * noise + rng.gaussian(0.0, 0.16);
+        const double s = 0.42 * std::sin(2.0 * std::numbers::pi * f1 * tt + p1) +
+                         0.22 * std::sin(2.0 * std::numbers::pi * f2 * tt + p2) +
+                         0.12 * std::sin(2.0 * std::numbers::pi * f3 * tt + p3) + noise;
+        out.push_back(quantize(0.62 * s, width));
+    }
+    return out;
+}
+
+std::vector<std::int64_t> gen_speech(int width, std::size_t n, Rng& rng)
+{
+    // Bursty AR(2) process: resonant poles give strong short-term
+    // correlation (ρ ≈ 0.95); a slow positive envelope modulates amplitude
+    // like syllables do.
+    const double r = 0.96;
+    const double theta = rng.uniform(0.12, 0.22);
+    const double a1 = 2.0 * r * std::cos(theta);
+    const double a2 = -r * r;
+    // Stationary variance of a unit-innovation AR(2).
+    const double var =
+        (1.0 - a2) / ((1.0 + a2) * ((1.0 - a2) * (1.0 - a2) - a1 * a1));
+    const double inv_sigma = 1.0 / std::sqrt(var);
+
+    std::vector<std::int64_t> out;
+    out.reserve(n);
+    double x1 = 0.0;
+    double x2 = 0.0;
+    double env = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+        const double x = a1 * x1 + a2 * x2 + rng.gaussian();
+        x2 = x1;
+        x1 = x;
+        env = 0.995 * env + rng.gaussian(0.0, 0.05);
+        const double envelope = 0.25 + 0.75 * std::min(1.0, std::abs(env));
+        out.push_back(quantize(0.40 * envelope * x * inv_sigma, width));
+    }
+    return out;
+}
+
+std::vector<std::int64_t> gen_video(int width, std::size_t n, Rng& rng)
+{
+    // Scanline model: piecewise-constant regions (objects) with occasional
+    // luminance edges, small sensor noise, and a hard cut at each line
+    // start. Centered around zero (luma minus mid-grey).
+    constexpr std::size_t kLineLength = 64;
+    std::vector<std::int64_t> out;
+    out.reserve(n);
+    double level = rng.uniform(-0.7, 0.7);
+    for (std::size_t t = 0; t < n; ++t) {
+        if (t % kLineLength == 0 || rng.bernoulli(1.0 / 14.0)) {
+            level = rng.uniform(-0.7, 0.7); // new object / new line
+        }
+        const double s = level + rng.gaussian(0.0, 0.02);
+        out.push_back(quantize(s, width));
+    }
+    return out;
+}
+
+std::vector<std::int64_t> gen_counter(int width, std::size_t n, Rng& rng)
+{
+    // A binary up-counter confined to non-negative values: the paper notes
+    // the type V stream keeps every sign bit at zero.
+    const std::uint64_t period = std::uint64_t{1} << (width - 1);
+    const std::uint64_t start = rng.next_u64() % period;
+    std::vector<std::int64_t> out;
+    out.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        out.push_back(static_cast<std::int64_t>((start + t) % period));
+    }
+    return out;
+}
+
+} // namespace
+
+std::span<const DataType> all_data_types() noexcept
+{
+    return kAllTypes;
+}
+
+std::string data_type_label(DataType type)
+{
+    switch (type) {
+    case DataType::Random:
+        return "I";
+    case DataType::Music:
+        return "II";
+    case DataType::Speech:
+        return "III";
+    case DataType::Video:
+        return "IV";
+    case DataType::Counter:
+        return "V";
+    }
+    HDPM_FAIL("unreachable data type");
+}
+
+std::string data_type_name(DataType type)
+{
+    switch (type) {
+    case DataType::Random:
+        return "random";
+    case DataType::Music:
+        return "music";
+    case DataType::Speech:
+        return "speech";
+    case DataType::Video:
+        return "video";
+    case DataType::Counter:
+        return "counter";
+    }
+    HDPM_FAIL("unreachable data type");
+}
+
+std::vector<std::int64_t> generate_stream(DataType type, int width, std::size_t n,
+                                          std::uint64_t seed)
+{
+    HDPM_REQUIRE(width >= 2 && width <= 32, "stream width ", width, " out of range");
+    Rng rng{seed ^ (static_cast<std::uint64_t>(type) * 0x9e3779b97f4a7c15ULL)};
+    switch (type) {
+    case DataType::Random:
+        return gen_random(width, n, rng);
+    case DataType::Music:
+        return gen_music(width, n, rng);
+    case DataType::Speech:
+        return gen_speech(width, n, rng);
+    case DataType::Video:
+        return gen_video(width, n, rng);
+    case DataType::Counter:
+        return gen_counter(width, n, rng);
+    }
+    HDPM_FAIL("unreachable data type");
+}
+
+} // namespace hdpm::streams

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hdpm::streams {
+
+/// The input data-stream classes of the paper's robustness evaluation
+/// (section 4.2):
+///   I   random patterns (same statistics as the characterization stream)
+///   II  linear quantized music signals (weak correlation)
+///   III linear quantized speech signals (strong correlation)
+///   IV  video signals (strong correlation)
+///   V   outputs of a binary counter
+///
+/// The paper's recorded signals are proprietary; these generators are
+/// synthetic processes engineered to match the *word-level statistics* the
+/// paper classifies each type by (zero/non-zero mean, variance scale,
+/// lag-1 autocorrelation, sign activity) — the quantities the data model of
+/// section 6 consumes.
+enum class DataType {
+    Random,  ///< I: uniform random patterns
+    Music,   ///< II: sinusoid mix + noise, ρ ≈ 0.5–0.7
+    Speech,  ///< III: bursty AR(2), ρ ≈ 0.9–0.97
+    Video,   ///< IV: scanline model with region plateaus, ρ ≈ 0.85–0.95
+    Counter, ///< V: binary up-counter (non-negative values only)
+};
+
+/// All data types in paper order I..V.
+[[nodiscard]] std::span<const DataType> all_data_types() noexcept;
+
+/// Roman-numeral label used in the paper's tables ("I".."V").
+[[nodiscard]] std::string data_type_label(DataType type);
+
+/// Descriptive name ("random", "music", ...).
+[[nodiscard]] std::string data_type_name(DataType type);
+
+/// Generate @p n samples of a data stream for a @p width-bit signed word.
+/// Values lie in [-2^(width-1), 2^(width-1)-1] (Counter stays non-negative).
+/// The same (type, width, n, seed) always yields the same stream.
+[[nodiscard]] std::vector<std::int64_t> generate_stream(DataType type, int width,
+                                                        std::size_t n,
+                                                        std::uint64_t seed);
+
+} // namespace hdpm::streams

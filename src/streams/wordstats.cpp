@@ -1,0 +1,43 @@
+#include "streams/wordstats.hpp"
+
+#include <cmath>
+
+#include "util/accumulators.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::streams {
+
+double WordStats::stddev() const noexcept
+{
+    return std::sqrt(variance);
+}
+
+std::vector<WordStats> windowed_word_stats(std::span<const std::int64_t> values,
+                                           int width, std::size_t window)
+{
+    HDPM_REQUIRE(window >= 2, "window must hold at least two samples");
+    std::vector<WordStats> result;
+    result.reserve(values.size() / window);
+    for (std::size_t start = 0; start + window <= values.size(); start += window) {
+        result.push_back(measure_word_stats(values.subspan(start, window), width));
+    }
+    return result;
+}
+
+WordStats measure_word_stats(std::span<const std::int64_t> values, int width)
+{
+    HDPM_REQUIRE(!values.empty(), "empty stream");
+    util::AutocorrAccumulator acc;
+    for (const std::int64_t v : values) {
+        acc.add(static_cast<double>(v));
+    }
+    WordStats stats;
+    stats.mean = acc.mean();
+    stats.variance = acc.variance();
+    stats.rho = acc.rho();
+    stats.width = width;
+    stats.count = values.size();
+    return stats;
+}
+
+} // namespace hdpm::streams

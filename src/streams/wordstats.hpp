@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hdpm::streams {
+
+/// Word-level statistics of a scalar data stream — the parameters the
+/// Landman-style data model (section 6.1 of the paper) is driven by.
+struct WordStats {
+    double mean = 0.0;     ///< µ
+    double variance = 0.0; ///< σ²
+    double rho = 0.0;      ///< lag-1 autocorrelation ρ
+    int width = 0;         ///< word length m in bits
+    std::size_t count = 0; ///< number of samples measured
+
+    [[nodiscard]] double stddev() const noexcept;
+};
+
+/// Measure µ, σ², ρ of a sample stream of @p width-bit words.
+[[nodiscard]] WordStats measure_word_stats(std::span<const std::int64_t> values, int width);
+
+/// Word statistics over consecutive non-overlapping windows of @p window
+/// samples (the final partial window is dropped). Real signals are rarely
+/// stationary — bursty speech, scene cuts in video — and per-window
+/// statistics are what drives coefficient-adaptation decisions
+/// (AdaptiveHdModel) and block-wise statistical estimation.
+[[nodiscard]] std::vector<WordStats> windowed_word_stats(
+    std::span<const std::int64_t> values, int width, std::size_t window);
+
+} // namespace hdpm::streams

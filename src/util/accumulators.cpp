@@ -1,0 +1,68 @@
+#include "util/accumulators.hpp"
+
+#include <cmath>
+
+namespace hdpm::util {
+
+void RunningStats::merge(const RunningStats& other) noexcept
+{
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    sum_ += other.sum_;
+    sum_abs_ += other.sum_abs_;
+    min_ = other.min_ < min_ ? other.min_ : min_;
+    max_ = other.max_ > max_ ? other.max_ : max_;
+    count_ += other.count_;
+}
+
+double RunningStats::stddev() const noexcept
+{
+    return std::sqrt(variance());
+}
+
+void AutocorrAccumulator::add(double x) noexcept
+{
+    stats_.add(x);
+    if (has_prev_) {
+        cross_sum_ += prev_ * x;
+        lag_sum_ += prev_;
+        lead_sum_ += x;
+        ++pairs_;
+    }
+    prev_ = x;
+    has_prev_ = true;
+}
+
+double AutocorrAccumulator::rho() const noexcept
+{
+    if (pairs_ == 0) {
+        return 0.0;
+    }
+    const double n = static_cast<double>(pairs_);
+    const double cov = cross_sum_ / n - (lag_sum_ / n) * (lead_sum_ / n);
+    const double var = stats_.variance();
+    if (var <= 0.0) {
+        return 0.0;
+    }
+    double rho = cov / var;
+    if (rho > 1.0) {
+        rho = 1.0;
+    }
+    if (rho < -1.0) {
+        rho = -1.0;
+    }
+    return rho;
+}
+
+} // namespace hdpm::util

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hdpm::util {
+
+/// Numerically stable running mean/variance accumulator (Welford).
+class RunningStats {
+public:
+    /// Fold one sample into the accumulator.
+    void add(double x) noexcept
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        sum_ += x;
+        sum_abs_ += x < 0.0 ? -x : x;
+        if (count_ == 1 || x < min_) {
+            min_ = x;
+        }
+        if (count_ == 1 || x > max_) {
+            max_ = x;
+        }
+    }
+
+    /// Merge another accumulator's samples into this one.
+    void merge(const RunningStats& other) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+    [[nodiscard]] double sum_abs() const noexcept { return sum_abs_; }
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+    /// Population variance (0 for fewer than two samples).
+    [[nodiscard]] double variance() const noexcept
+    {
+        return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+    }
+
+    /// Population standard deviation.
+    [[nodiscard]] double stddev() const noexcept;
+
+private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double sum_abs_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Lag-1 autocorrelation accumulator for a scalar time series.
+///
+/// Feeds pairs (x[t-1], x[t]) incrementally; rho() returns the sample
+/// lag-1 autocorrelation coefficient used as the word-level statistic ρ of
+/// the Landman data model (section 6.1 of the paper).
+class AutocorrAccumulator {
+public:
+    /// Append the next sample of the series.
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return stats_.count(); }
+    [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+    [[nodiscard]] double variance() const noexcept { return stats_.variance(); }
+
+    /// Sample lag-1 autocorrelation; 0 if fewer than two samples or the
+    /// series is constant.
+    [[nodiscard]] double rho() const noexcept;
+
+private:
+    RunningStats stats_;
+    double prev_ = 0.0;
+    bool has_prev_ = false;
+    double cross_sum_ = 0.0; // Σ x[t-1]·x[t]
+    double lag_sum_ = 0.0;   // Σ x[t-1] over lagged pairs
+    double lead_sum_ = 0.0;  // Σ x[t]   over lagged pairs
+    std::uint64_t pairs_ = 0;
+};
+
+} // namespace hdpm::util

@@ -1,0 +1,42 @@
+#include "util/bitvec.hpp"
+
+namespace hdpm::util {
+
+std::string BitVec::to_string() const
+{
+    std::string s;
+    s.reserve(static_cast<std::size_t>(width_));
+    for (int i = width_ - 1; i >= 0; --i) {
+        s.push_back(get(i) ? '1' : '0');
+    }
+    return s;
+}
+
+BitVec encode_twos_complement(std::int64_t value, int width)
+{
+    HDPM_REQUIRE(width >= 1 && width <= BitVec::kMaxWidth, "width=", width);
+    if (width < 64) {
+        const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+        const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+        HDPM_REQUIRE(value >= lo && value <= hi, "value ", value,
+                     " not representable in ", width, " bits");
+    }
+    return BitVec{width, static_cast<std::uint64_t>(value)};
+}
+
+std::int64_t decode_twos_complement(const BitVec& v)
+{
+    HDPM_REQUIRE(v.width() >= 1, "empty BitVec");
+    std::uint64_t bits = v.raw();
+    if (v.width() < 64 && v.get(v.width() - 1)) {
+        bits |= ~((std::uint64_t{1} << v.width()) - 1); // sign-extend
+    }
+    return static_cast<std::int64_t>(bits);
+}
+
+std::uint64_t decode_unsigned(const BitVec& v)
+{
+    return v.raw();
+}
+
+} // namespace hdpm::util

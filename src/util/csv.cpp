@@ -1,0 +1,74 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hdpm::util {
+
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows)
+{
+    std::ofstream out{path};
+    if (!out) {
+        HDPM_FAIL("cannot open '", path, "' for writing");
+    }
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        out << (i == 0 ? "" : ",") << header[i];
+    }
+    out << '\n';
+    for (const auto& row : rows) {
+        HDPM_REQUIRE(row.size() == header.size(), "row width mismatch in '", path, "'");
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out << (i == 0 ? "" : ",") << row[i];
+        }
+        out << '\n';
+    }
+    if (!out) {
+        HDPM_FAIL("write to '", path, "' failed");
+    }
+}
+
+CsvTable read_csv(const std::string& path)
+{
+    std::ifstream in{path};
+    if (!in) {
+        HDPM_FAIL("cannot open '", path, "' for reading");
+    }
+    CsvTable table;
+    std::string line;
+    if (!std::getline(in, line)) {
+        HDPM_FAIL("'", path, "' is empty");
+    }
+    {
+        std::istringstream ls{line};
+        std::string cell;
+        while (std::getline(ls, cell, ',')) {
+            table.header.push_back(cell);
+        }
+    }
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        std::istringstream ls{line};
+        std::string cell;
+        std::vector<double> row;
+        while (std::getline(ls, cell, ',')) {
+            try {
+                row.push_back(std::stod(cell));
+            } catch (const std::exception&) {
+                HDPM_FAIL("'", path, "': non-numeric cell '", cell, "'");
+            }
+        }
+        if (row.size() != table.header.size()) {
+            HDPM_FAIL("'", path, "': row width ", row.size(), " vs header ",
+                      table.header.size());
+        }
+        table.rows.push_back(std::move(row));
+    }
+    return table;
+}
+
+} // namespace hdpm::util

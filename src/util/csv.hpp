@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hdpm::util {
+
+/// Write a numeric CSV file with the given header and rows.
+/// Each row must have exactly header.size() values.
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows);
+
+/// A numeric CSV table read from disk.
+struct CsvTable {
+    std::vector<std::string> header;
+    std::vector<std::vector<double>> rows;
+};
+
+/// Read a numeric CSV file written by write_csv (first line is the header,
+/// remaining lines are comma-separated doubles). Throws RuntimeError on
+/// malformed input or I/O failure.
+[[nodiscard]] CsvTable read_csv(const std::string& path);
+
+} // namespace hdpm::util

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hdpm::util {
+
+/// Exception thrown when an API precondition is violated.
+class PreconditionError : public std::invalid_argument {
+public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/// Exception thrown when an internal invariant is violated (a library bug
+/// or an inconsistent object state reached through misuse).
+class InvariantError : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+/// Exception thrown for runtime failures (I/O, non-convergence, ...).
+class RuntimeError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+template <typename Error, typename... Parts>
+[[noreturn]] void throw_error(const char* file, int line, Parts&&... parts)
+{
+    std::ostringstream os;
+    os << file << ':' << line << ": ";
+    (os << ... << parts);
+    throw Error(os.str());
+}
+
+} // namespace detail
+
+} // namespace hdpm::util
+
+/// Check a caller-facing precondition; throws PreconditionError on failure.
+#define HDPM_REQUIRE(cond, ...)                                                          \
+    do {                                                                                 \
+        if (!(cond)) {                                                                   \
+            ::hdpm::util::detail::throw_error<::hdpm::util::PreconditionError>(          \
+                __FILE__, __LINE__, "precondition failed: " #cond " — ", __VA_ARGS__);   \
+        }                                                                                \
+    } while (false)
+
+/// Check an internal invariant; throws InvariantError on failure.
+#define HDPM_ASSERT(cond, ...)                                                           \
+    do {                                                                                 \
+        if (!(cond)) {                                                                   \
+            ::hdpm::util::detail::throw_error<::hdpm::util::InvariantError>(             \
+                __FILE__, __LINE__, "invariant failed: " #cond " — ", __VA_ARGS__);      \
+        }                                                                                \
+    } while (false)
+
+/// Signal a runtime failure with a formatted message.
+#define HDPM_FAIL(...)                                                                   \
+    ::hdpm::util::detail::throw_error<::hdpm::util::RuntimeError>(__FILE__, __LINE__,    \
+                                                                  __VA_ARGS__)

@@ -1,0 +1,47 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hdpm::util {
+
+double interp_linear(std::span<const double> xs, std::span<const double> ys, double x)
+{
+    HDPM_REQUIRE(xs.size() == ys.size(), "interp_linear: length mismatch");
+    HDPM_REQUIRE(!xs.empty(), "interp_linear: empty table");
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+        HDPM_REQUIRE(xs[i] > xs[i - 1], "interp_linear: xs not strictly increasing");
+    }
+
+    if (x <= xs.front()) {
+        return ys.front();
+    }
+    if (x >= xs.back()) {
+        return ys.back();
+    }
+    const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+    const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+    const std::size_t lo = hi - 1;
+    const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+    return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+double interp_on_unit_grid(std::span<const double> ys, double x)
+{
+    HDPM_REQUIRE(!ys.empty(), "interp_on_unit_grid: empty table");
+    if (x <= 1.0) {
+        return ys.front();
+    }
+    const double last = static_cast<double>(ys.size());
+    if (x >= last) {
+        return ys.back();
+    }
+    const double fidx = x - 1.0;
+    const auto lo = static_cast<std::size_t>(std::floor(fidx));
+    const double t = fidx - static_cast<double>(lo);
+    return ys[lo] + t * (ys[lo + 1] - ys[lo]);
+}
+
+} // namespace hdpm::util

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+
+namespace hdpm::util {
+
+/// Piecewise-linear interpolation of (xs, ys) samples at @p x.
+///
+/// xs must be strictly increasing; values outside [xs.front(), xs.back()]
+/// are clamped to the end samples (the macro-model never extrapolates
+/// coefficients beyond Hd = m). Used to evaluate the Hd-model at the real
+/// valued average Hamming distance Hd_avg (section 6.2 of the paper).
+[[nodiscard]] double interp_linear(std::span<const double> xs, std::span<const double> ys,
+                                   double x);
+
+/// Interpolate a table sampled on the integer grid 1..n (y[0] is the sample
+/// at x = 1). Equivalent to interp_linear with xs = {1, 2, ..., n}.
+[[nodiscard]] double interp_on_unit_grid(std::span<const double> ys, double x);
+
+} // namespace hdpm::util

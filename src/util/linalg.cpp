@@ -1,0 +1,142 @@
+#include "util/linalg.hpp"
+
+#include <cmath>
+
+namespace hdpm::util {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.size() > 0 ? rows.begin()->size() : 0)
+{
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+        HDPM_REQUIRE(row.size() == cols_, "ragged initializer");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix Matrix::transposed() const
+{
+    Matrix t{cols_, rows_};
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            t.at(c, r) = at(r, c);
+        }
+    }
+    return t;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b)
+{
+    HDPM_REQUIRE(a.cols() == b.rows(), "dimension mismatch: ", a.cols(), " vs ", b.rows());
+    Matrix out{a.rows(), b.cols()};
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double av = a.at(r, k);
+            if (av == 0.0) {
+                continue;
+            }
+            for (std::size_t c = 0; c < b.cols(); ++c) {
+                out.at(r, c) += av * b.at(k, c);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const
+{
+    HDPM_REQUIRE(x.size() == cols_, "dimension mismatch");
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            acc += at(r, c) * x[c];
+        }
+        y[r] = acc;
+    }
+    return y;
+}
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b)
+{
+    const std::size_t n = a.rows();
+    HDPM_REQUIRE(a.cols() == n && b.size() == n, "solve_linear needs a square system");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) {
+                pivot = r;
+            }
+        }
+        if (std::abs(a.at(pivot, col)) < 1e-300) {
+            HDPM_FAIL("solve_linear: singular matrix at column ", col);
+        }
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(a.at(col, c), a.at(pivot, c));
+            }
+            std::swap(b[col], b[pivot]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a.at(r, col) / a.at(col, col);
+            if (f == 0.0) {
+                continue;
+            }
+            for (std::size_t c = col; c < n; ++c) {
+                a.at(r, c) -= f * a.at(col, c);
+            }
+            b[r] -= f * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c) {
+            acc -= a.at(ri, c) * x[c];
+        }
+        x[ri] = acc / a.at(ri, ri);
+    }
+    return x;
+}
+
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b)
+{
+    HDPM_REQUIRE(a.rows() == b.size(), "least_squares: row count vs rhs mismatch");
+    HDPM_REQUIRE(a.rows() >= 1 && a.cols() >= 1, "least_squares: empty system");
+
+    const std::size_t k = a.cols();
+    // Normal equations: (AᵀA + λI)·x = Aᵀb. λ scales with the trace so the
+    // regularization is unit-independent and negligible for well-posed fits.
+    Matrix ata = a.transposed() * a;
+    double trace = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        trace += ata.at(i, i);
+    }
+    const double lambda = 1e-12 * (trace > 0.0 ? trace : 1.0);
+    for (std::size_t i = 0; i < k; ++i) {
+        ata.at(i, i) += lambda;
+    }
+
+    std::vector<double> atb(k, 0.0);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t c = 0; c < k; ++c) {
+            atb[c] += a.at(r, c) * b[r];
+        }
+    }
+    return solve_linear(std::move(ata), std::move(atb));
+}
+
+double dot(std::span<const double> a, std::span<const double> b)
+{
+    HDPM_REQUIRE(a.size() == b.size(), "dot: length mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        acc += a[i] * b[i];
+    }
+    return acc;
+}
+
+} // namespace hdpm::util

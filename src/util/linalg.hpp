@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hdpm::util {
+
+/// A small dense row-major matrix of doubles.
+///
+/// Sized for the regression problems in this library (complexity bases have
+/// 2–3 terms, prototype sets ≤ a dozen rows); not a general-purpose BLAS.
+class Matrix {
+public:
+    Matrix() = default;
+
+    /// A rows×cols matrix of zeros.
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {
+    }
+
+    /// Construct from nested initializer lists: Matrix{{1,2},{3,4}}.
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+    [[nodiscard]] double& at(std::size_t r, std::size_t c)
+    {
+        check(r, c);
+        return data_[r * cols_ + c];
+    }
+
+    [[nodiscard]] double at(std::size_t r, std::size_t c) const
+    {
+        check(r, c);
+        return data_[r * cols_ + c];
+    }
+
+    /// Matrix transpose.
+    [[nodiscard]] Matrix transposed() const;
+
+    /// Matrix product; inner dimensions must agree.
+    friend Matrix operator*(const Matrix& a, const Matrix& b);
+
+    /// Matrix–vector product.
+    [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+
+private:
+    void check(std::size_t r, std::size_t c) const
+    {
+        if (r >= rows_ || c >= cols_) {
+            throw PreconditionError("Matrix index out of range");
+        }
+    }
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Solve the square system A·x = b by Gaussian elimination with partial
+/// pivoting. Throws RuntimeError if A is (numerically) singular.
+[[nodiscard]] std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Least-squares solution of the overdetermined system A·x ≈ b via the
+/// normal equations, with a tiny ridge term for numerical robustness when
+/// the design matrix is rank-deficient (e.g. a degenerate prototype set).
+[[nodiscard]] std::vector<double> least_squares(const Matrix& a, std::span<const double> b);
+
+/// Dot product of equal-length vectors.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+} // namespace hdpm::util

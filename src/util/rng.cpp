@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hdpm::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+        word = splitmix64(s);
+    }
+}
+
+std::uint64_t Rng::next_u64() noexcept
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept
+{
+    // 53 high-quality mantissa bits.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n)
+{
+    HDPM_REQUIRE(n > 0, "uniform_int(0) is undefined");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t x = next_u64();
+    while (x >= limit) {
+        x = next_u64();
+    }
+    return x % n;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    HDPM_REQUIRE(lo <= hi, "empty range [", lo, ", ", hi, "]");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next_u64() : uniform_int(span));
+}
+
+bool Rng::bernoulli(double p) noexcept
+{
+    return uniform() < p;
+}
+
+double Rng::gaussian() noexcept
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) {
+        u1 = uniform();
+    }
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double Rng::gaussian(double mean, double stddev) noexcept
+{
+    return mean + stddev * gaussian();
+}
+
+Rng Rng::split() noexcept
+{
+    return Rng{next_u64() ^ 0xa5a5a5a5a5a5a5a5ULL};
+}
+
+} // namespace hdpm::util

@@ -1,0 +1,111 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hdpm::util {
+
+void TextTable::set_header(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void TextTable::set_alignment(std::vector<Align> alignment)
+{
+    alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> row)
+{
+    if (!header_.empty()) {
+        HDPM_REQUIRE(row.size() == header_.size(), "row has ", row.size(),
+                     " cells, header has ", header_.size());
+    }
+    rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_rule()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string TextTable::str() const
+{
+    std::size_t cols = header_.size();
+    for (const auto& row : rows_) {
+        cols = std::max(cols, row.cells.size());
+    }
+    std::vector<std::size_t> widths(cols, 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            widths[i] = std::max(widths[i], cells[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto& row : rows_) {
+        widen(row.cells);
+    }
+
+    std::size_t total = 0;
+    for (const std::size_t w : widths) {
+        total += w + 3;
+    }
+
+    auto align_of = [&](std::size_t col) {
+        return col < alignment_.size() ? alignment_[col] : Align::Right;
+    };
+    auto emit_cells = [&](std::ostringstream& os, const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << (i == 0 ? "" : " | ");
+            if (align_of(i) == Align::Left) {
+                os << std::left;
+            } else {
+                os << std::right;
+            }
+            os << std::setw(static_cast<int>(widths[i])) << cells[i];
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    if (!header_.empty()) {
+        emit_cells(os, header_);
+        os << std::string(total > 3 ? total - 3 : total, '-') << '\n';
+    }
+    for (const auto& row : rows_) {
+        if (row.rule) {
+            os << std::string(total > 3 ? total - 3 : total, '-') << '\n';
+        } else {
+            emit_cells(os, row.cells);
+        }
+    }
+    return os.str();
+}
+
+void TextTable::print(std::ostream& os) const
+{
+    os << str();
+}
+
+std::string TextTable::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string TextTable::fmt(long long value)
+{
+    return std::to_string(value);
+}
+
+void print_section(std::ostream& os, const std::string& title)
+{
+    os << '\n' << "== " << title << " ==" << '\n';
+}
+
+} // namespace hdpm::util

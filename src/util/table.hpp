@@ -1,0 +1,55 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hdpm::util {
+
+/// Column alignment for TextTable.
+enum class Align { Left, Right };
+
+/// A plain-text table formatter used by the benchmark harnesses to print
+/// paper-style tables with aligned columns.
+class TextTable {
+public:
+    /// Set the header row; defines the number of columns.
+    void set_header(std::vector<std::string> header);
+
+    /// Per-column alignment (defaults to Right for every column).
+    void set_alignment(std::vector<Align> alignment);
+
+    /// Append a data row; must match the header width if one was set.
+    void add_row(std::vector<std::string> row);
+
+    /// Append a horizontal rule.
+    void add_rule();
+
+    /// Render the table.
+    [[nodiscard]] std::string str() const;
+
+    /// Render the table to a stream.
+    void print(std::ostream& os) const;
+
+    /// Format a double with fixed precision (helper for row building).
+    [[nodiscard]] static std::string fmt(double value, int precision = 2);
+
+    /// Format an integer.
+    [[nodiscard]] static std::string fmt(long long value);
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool rule = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Align> alignment_;
+    std::vector<Row> rows_;
+};
+
+/// Print a titled section header ("== title ==") to the stream; keeps the
+/// bench binaries' output uniform.
+void print_section(std::ostream& os, const std::string& title);
+
+} // namespace hdpm::util

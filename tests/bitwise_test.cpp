@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/bitwise_model.hpp"
+#include "core/workloads.hpp"
+#include "sim/power.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm::core {
+namespace {
+
+using util::BitVec;
+using util::Rng;
+
+/// Records generated from a known affine law Q = b0 + Σ w_i·τ_i.
+std::vector<CharacterizationRecord> synthetic_records(int m, double b0,
+                                                      std::span<const double> weights,
+                                                      std::size_t n, Rng& rng)
+{
+    std::vector<CharacterizationRecord> records;
+    records.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        const BitVec mask{m, rng.next_u64()};
+        if (mask.raw() == 0) {
+            continue;
+        }
+        double q = b0;
+        for (int bit = 0; bit < m; ++bit) {
+            if (mask.get(bit)) {
+                q += weights[static_cast<std::size_t>(bit)];
+            }
+        }
+        CharacterizationRecord rec;
+        rec.hd = mask.popcount();
+        rec.toggle_mask = mask.raw();
+        rec.charge_fc = q;
+        records.push_back(rec);
+    }
+    return records;
+}
+
+TEST(BitwiseModel, RecoversAffineLawExactly)
+{
+    Rng rng{1};
+    const int m = 10;
+    std::vector<double> weights(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+        weights[static_cast<std::size_t>(i)] = 10.0 + 7.0 * i;
+    }
+    const auto records = synthetic_records(m, 42.0, weights, 500, rng);
+    const BitwiseLinearModel model = BitwiseLinearModel::fit(m, records);
+
+    EXPECT_NEAR(model.intercept(), 42.0, 1e-6);
+    for (int bit = 0; bit < m; ++bit) {
+        EXPECT_NEAR(model.weight(bit), weights[static_cast<std::size_t>(bit)], 1e-6)
+            << bit;
+    }
+}
+
+TEST(BitwiseModel, EstimateCycleSumsToggledWeights)
+{
+    const BitwiseLinearModel model{5.0, {1.0, 2.0, 4.0}};
+    EXPECT_DOUBLE_EQ(model.estimate_cycle(0b000), 0.0); // no event
+    EXPECT_DOUBLE_EQ(model.estimate_cycle(0b001), 6.0);
+    EXPECT_DOUBLE_EQ(model.estimate_cycle(0b110), 11.0);
+    EXPECT_DOUBLE_EQ(model.estimate_cycle(0b111), 12.0);
+}
+
+TEST(BitwiseModel, NegativePredictionsClampToZero)
+{
+    const BitwiseLinearModel model{-10.0, {1.0, 1.0}};
+    EXPECT_DOUBLE_EQ(model.estimate_cycle(0b01), 0.0);
+}
+
+TEST(BitwiseModel, EstimateCyclesFromPatterns)
+{
+    const BitwiseLinearModel model{0.0, {1.0, 10.0, 100.0}};
+    const std::vector<BitVec> patterns{BitVec{3, 0b000}, BitVec{3, 0b001},
+                                       BitVec{3, 0b101}};
+    const auto q = model.estimate_cycles(patterns);
+    ASSERT_EQ(q.size(), 2U);
+    EXPECT_DOUBLE_EQ(q[0], 1.0);
+    EXPECT_DOUBLE_EQ(q[1], 100.0);
+}
+
+TEST(BitwiseModel, FitRequiresEnoughRecords)
+{
+    std::vector<CharacterizationRecord> few(3);
+    EXPECT_THROW((void)BitwiseLinearModel::fit(8, few), util::PreconditionError);
+}
+
+TEST(BitwiseModel, SaveLoadRoundTrip)
+{
+    const BitwiseLinearModel model{3.25, {1.5, -0.25, 7.0}};
+    std::stringstream ss;
+    model.save(ss);
+    const BitwiseLinearModel restored = BitwiseLinearModel::load(ss);
+    EXPECT_DOUBLE_EQ(restored.intercept(), 3.25);
+    for (int bit = 0; bit < 3; ++bit) {
+        EXPECT_DOUBLE_EQ(restored.weight(bit), model.weight(bit));
+    }
+}
+
+TEST(BitwiseModel, LoadRejectsGarbage)
+{
+    std::stringstream ss{"bogus\n"};
+    EXPECT_THROW((void)BitwiseLinearModel::load(ss), util::RuntimeError);
+}
+
+TEST(BitwiseModel, CharacterizedModelTracksRandomStream)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 6);
+    const Characterizer characterizer;
+    CharacterizationOptions options;
+    options.max_transitions = 8000;
+    options.min_transitions = 8000;
+    options.seed = 2;
+    const auto records = characterizer.collect_records(module, options);
+    const BitwiseLinearModel model =
+        BitwiseLinearModel::fit(module.total_input_bits(), records);
+
+    const auto patterns = make_module_stream(module, streams::DataType::Random, 2000, 77);
+    sim::PowerSimulator power{module.netlist(), gate::TechLibrary::generic350()};
+    const double ref = power.run(patterns).mean_charge_fc();
+    EXPECT_NEAR(model.estimate_average(patterns), ref, 0.10 * ref);
+}
+
+TEST(BitwiseModel, HigherBitsOfAdderWeighMore)
+{
+    // In a ripple adder flipping a low operand bit can ripple the whole
+    // carry chain, but on average mid/high operand bits still drive more
+    // downstream logic than the very top bit and less than... sanity: the
+    // fitted weights must be positive and not all equal.
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 6);
+    const Characterizer characterizer;
+    CharacterizationOptions options;
+    options.max_transitions = 8000;
+    options.min_transitions = 8000;
+    options.seed = 3;
+    const auto records = characterizer.collect_records(module, options);
+    const BitwiseLinearModel model =
+        BitwiseLinearModel::fit(module.total_input_bits(), records);
+
+    double min_w = 1e30;
+    double max_w = -1e30;
+    for (int bit = 0; bit < model.input_bits(); ++bit) {
+        min_w = std::min(min_w, model.weight(bit));
+        max_w = std::max(max_w, model.weight(bit));
+    }
+    EXPECT_GT(min_w, 0.0) << "every toggling input adds charge";
+    EXPECT_GT(max_w, 1.5 * min_w) << "bit position must matter";
+    // LSBs of the operands feed longer carry chains than the MSBs.
+    EXPECT_GT(model.weight(0), model.weight(5));
+}
+
+TEST(BitwiseModel, BeatsHdModelOnCounterStream)
+{
+    // Position information is exactly what the counter stream carries.
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 6);
+    const Characterizer characterizer;
+    CharacterizationOptions options;
+    options.max_transitions = 10000;
+    options.min_transitions = 10000;
+    options.seed = 4;
+    const auto records = characterizer.collect_records(module, options);
+    const int m = module.total_input_bits();
+    const BitwiseLinearModel bitwise = BitwiseLinearModel::fit(m, records);
+    const HdModel hd_model = fit_basic_model(m, records);
+
+    const auto patterns = make_module_stream(module, streams::DataType::Counter, 2000, 9);
+    sim::PowerSimulator power{module.netlist(), gate::TechLibrary::generic350()};
+    const double ref = power.run(patterns).mean_charge_fc();
+
+    const double err_bitwise = std::abs(bitwise.estimate_average(patterns) - ref) / ref;
+    const double err_hd = std::abs(hd_model.estimate_average(patterns) - ref) / ref;
+    EXPECT_LT(err_bitwise, err_hd);
+}
+
+} // namespace
+} // namespace hdpm::core

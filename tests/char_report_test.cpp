@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/char_report.hpp"
+#include "dpgen/module.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::core {
+namespace {
+
+TEST(CharReport, KnownRecords)
+{
+    std::vector<CharacterizationRecord> records{
+        {1, 0, 10.0}, {1, 0, 20.0}, {2, 0, 40.0}, {2, 0, 40.0},
+    };
+    const CharacterizationReport report = summarize_characterization(3, records);
+    ASSERT_EQ(report.classes.size(), 3U);
+    EXPECT_EQ(report.total_records, 4U);
+    EXPECT_DOUBLE_EQ(report.min_charge_fc, 10.0);
+    EXPECT_DOUBLE_EQ(report.max_charge_fc, 40.0);
+
+    const ClassQuality& c1 = report.classes[0];
+    EXPECT_EQ(c1.samples, 2U);
+    EXPECT_DOUBLE_EQ(c1.mean_fc, 15.0);
+    EXPECT_DOUBLE_EQ(c1.stddev_fc, 5.0);
+    EXPECT_NEAR(c1.standard_error_fc, 5.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(c1.deviation, 1.0 / 3.0, 1e-12); // eq. 5
+
+    const ClassQuality& c2 = report.classes[1];
+    EXPECT_DOUBLE_EQ(c2.stddev_fc, 0.0);
+    EXPECT_DOUBLE_EQ(c2.deviation, 0.0);
+
+    const ClassQuality& c3 = report.classes[2];
+    EXPECT_EQ(c3.samples, 0U);
+    EXPECT_EQ(report.min_class_samples(), 0U);
+}
+
+TEST(CharReport, DeviationMatchesFittedModel)
+{
+    // ε_i reported here must equal the ε_i of fit_basic_model.
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 4);
+    const Characterizer characterizer;
+    CharacterizationOptions options;
+    options.max_transitions = 3000;
+    options.min_transitions = 3000;
+    options.seed = 1;
+    const auto records = characterizer.collect_records(module, options);
+    const int m = module.total_input_bits();
+
+    const CharacterizationReport report = summarize_characterization(m, records);
+    const HdModel model = fit_basic_model(m, records);
+    for (int hd = 1; hd <= m; ++hd) {
+        EXPECT_NEAR(report.classes[static_cast<std::size_t>(hd - 1)].deviation,
+                    model.deviation(hd), 1e-9)
+            << hd;
+        EXPECT_NEAR(report.classes[static_cast<std::size_t>(hd - 1)].mean_fc,
+                    model.coefficient(hd), 1e-9)
+            << hd;
+    }
+}
+
+TEST(CharReport, ConfidenceShrinksWithBudget)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::AbsVal, 6);
+    const Characterizer characterizer;
+
+    auto worst_ci = [&](std::size_t budget) {
+        CharacterizationOptions options;
+        options.max_transitions = budget;
+        options.min_transitions = budget;
+        options.seed = 5;
+        const auto records = characterizer.collect_records(module, options);
+        return summarize_characterization(module.total_input_bits(), records)
+            .worst_relative_ci95();
+    };
+    EXPECT_LT(worst_ci(8000), worst_ci(1000));
+}
+
+TEST(CharReport, PrintedFormIsTabular)
+{
+    std::vector<CharacterizationRecord> records{{1, 0, 10.0}, {2, 0, 40.0}};
+    const CharacterizationReport report = summarize_characterization(2, records);
+    std::ostringstream os;
+    print_characterization_report(os, report);
+    EXPECT_NE(os.str().find("characterization quality"), std::string::npos);
+    EXPECT_NE(os.str().find("CI95"), std::string::npos);
+}
+
+TEST(CharReport, RejectsBadInput)
+{
+    EXPECT_THROW((void)summarize_characterization(0, {}), util::PreconditionError);
+    std::vector<CharacterizationRecord> records{{9, 0, 1.0}};
+    EXPECT_THROW((void)summarize_characterization(4, records), util::PreconditionError);
+}
+
+} // namespace
+} // namespace hdpm::core

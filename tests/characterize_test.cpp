@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "core/characterize.hpp"
+#include "core/workloads.hpp"
+#include "sim/power.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::core {
+namespace {
+
+using dp::DatapathModule;
+using dp::ModuleType;
+
+CharacterizationOptions quick_options(StimulusMode mode)
+{
+    CharacterizationOptions options;
+    options.max_transitions = 4000;
+    options.min_transitions = 2000;
+    options.batch = 1000;
+    options.seed = 17;
+    options.mode = mode;
+    return options;
+}
+
+TEST(Characterize, StratifiedChainPopulatesAllClasses)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+    const Characterizer characterizer;
+    const HdModel model =
+        characterizer.characterize(module, quick_options(StimulusMode::StratifiedChain));
+
+    EXPECT_EQ(model.input_bits(), 8);
+    for (int hd = 1; hd <= 8; ++hd) {
+        EXPECT_GT(model.sample_count(hd), 0U) << "class " << hd << " empty";
+        EXPECT_GT(model.coefficient(hd), 0.0) << "class " << hd;
+    }
+}
+
+TEST(Characterize, RandomChainLeavesExtremesThin)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 8);
+    const Characterizer characterizer;
+    const HdModel model =
+        characterizer.characterize(module, quick_options(StimulusMode::RandomChain));
+
+    // m = 16: random streams hit Hd ≈ 8 heavily, Hd = 16 almost never —
+    // the motivation for the stratified characterization stream.
+    EXPECT_GT(model.sample_count(8), 50U);
+    EXPECT_LT(model.sample_count(16), model.sample_count(8) / 4);
+}
+
+TEST(Characterize, CoefficientsIncreaseWithHd)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 6);
+    const Characterizer characterizer;
+    const HdModel model =
+        characterizer.characterize(module, quick_options(StimulusMode::StratifiedChain));
+
+    // More switching inputs draw more charge: the coefficient curve must
+    // rise substantially from Hd = 1 to Hd = m. (Near Hd = m the curve may
+    // dip slightly — flipping *every* input produces coherent, low-glitch
+    // transitions — so monotonicity is only asserted over the lower 3/4.)
+    EXPECT_GT(model.coefficient(model.input_bits()), 2.0 * model.coefficient(1));
+    for (int hd = 3; hd <= 3 * model.input_bits() / 4; ++hd) {
+        EXPECT_GT(model.coefficient(hd), model.coefficient(hd - 2))
+            << "non-monotone at " << hd;
+    }
+}
+
+TEST(Characterize, DeviationsReportedAndModest)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 6);
+    const Characterizer characterizer;
+    const HdModel model =
+        characterizer.characterize(module, quick_options(StimulusMode::StratifiedChain));
+    for (int hd = 1; hd <= model.input_bits(); ++hd) {
+        EXPECT_GE(model.deviation(hd), 0.0);
+        EXPECT_LT(model.deviation(hd), 1.0) << "deviation implausible at " << hd;
+    }
+    EXPECT_GT(model.average_deviation(), 0.0);
+}
+
+TEST(Characterize, DeviationDecreasesWithHd)
+{
+    // Paper: "relative coefficient deviations are decreasing for larger
+    // values of the Hamming-distance".
+    const DatapathModule module = dp::make_module(ModuleType::CsaMultiplier, 4);
+    const Characterizer characterizer;
+    CharacterizationOptions options = quick_options(StimulusMode::StratifiedChain);
+    options.max_transitions = 6000;
+    const HdModel model = characterizer.characterize(module, options);
+    const int m = model.input_bits();
+    EXPECT_LT(model.deviation(m), model.deviation(1));
+}
+
+TEST(Characterize, RecordsAreConsistent)
+{
+    const DatapathModule module = dp::make_module(ModuleType::AbsVal, 6);
+    const Characterizer characterizer;
+    const auto records = characterizer.collect_records(
+        module, quick_options(StimulusMode::StratifiedChain));
+    ASSERT_FALSE(records.empty());
+    for (const auto& rec : records) {
+        EXPECT_GE(rec.hd, 1);
+        EXPECT_LE(rec.hd, 6);
+        EXPECT_GE(rec.stable_zeros, 0);
+        EXPECT_LE(rec.stable_zeros, 6 - rec.hd);
+        EXPECT_GE(rec.charge_fc, 0.0);
+    }
+}
+
+TEST(Characterize, Reproducible)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+    const Characterizer characterizer;
+    const auto options = quick_options(StimulusMode::StratifiedChain);
+    const HdModel a = characterizer.characterize(module, options);
+    const HdModel b = characterizer.characterize(module, options);
+    for (int hd = 1; hd <= a.input_bits(); ++hd) {
+        EXPECT_DOUBLE_EQ(a.coefficient(hd), b.coefficient(hd));
+    }
+}
+
+TEST(Characterize, EnhancedPopulatesZeroClasses)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+    const Characterizer characterizer;
+    CharacterizationOptions options = quick_options(StimulusMode::StratifiedPairs);
+    options.max_transitions = 3000;
+    options.min_transitions = 2500;
+    const EnhancedHdModel model = characterizer.characterize_enhanced(module, 0, options);
+
+    const int m = model.input_bits();
+    EXPECT_EQ(m, 8);
+    EXPECT_EQ(model.num_coefficients(), static_cast<std::size_t>(m * (m + 1) / 2));
+    std::size_t populated = 0;
+    std::size_t total = 0;
+    for (int hd = 1; hd <= m; ++hd) {
+        for (int z = 0; z <= m - hd; ++z) {
+            ++total;
+            if (model.sample_count(hd, z) > 0) {
+                ++populated;
+            }
+        }
+    }
+    EXPECT_EQ(populated, total) << "stratified pairs must populate every class";
+}
+
+TEST(Characterize, EnhancedAllZeroCostsLessThanAllOnes)
+{
+    // For a multiplier, transitions whose idle bits are all zero gate off
+    // most of the array: the all-zero coefficient must be well below the
+    // all-ones coefficient at small Hd (fig. 2's spread).
+    const DatapathModule module = dp::make_module(ModuleType::CsaMultiplier, 4);
+    const Characterizer characterizer;
+    CharacterizationOptions options = quick_options(StimulusMode::StratifiedPairs);
+    options.max_transitions = 8000;
+    options.min_transitions = 6000;
+    const EnhancedHdModel model = characterizer.characterize_enhanced(module, 0, options);
+
+    const int m = model.input_bits();
+    const int hd = 2;
+    const double all_zero = model.coefficient(hd, m - hd);
+    const double all_one = model.coefficient(hd, 0);
+    EXPECT_LT(all_zero, all_one);
+}
+
+TEST(Characterize, ClusteredModelHasFewerCoefficients)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 6);
+    const Characterizer characterizer;
+    CharacterizationOptions options = quick_options(StimulusMode::StratifiedPairs);
+    options.max_transitions = 2000;
+    options.min_transitions = 1000;
+    const EnhancedHdModel full = characterizer.characterize_enhanced(module, 0, options);
+    const EnhancedHdModel clustered =
+        characterizer.characterize_enhanced(module, 3, options);
+    EXPECT_LT(clustered.num_coefficients(), full.num_coefficients());
+}
+
+TEST(FitBasicModel, ExactMeans)
+{
+    std::vector<CharacterizationRecord> records{
+        {1, 0, 10.0}, {1, 1, 20.0}, {2, 0, 40.0},
+    };
+    const HdModel model = fit_basic_model(3, records);
+    EXPECT_DOUBLE_EQ(model.coefficient(1), 15.0);
+    EXPECT_DOUBLE_EQ(model.coefficient(2), 40.0);
+    EXPECT_DOUBLE_EQ(model.coefficient(3), 0.0);
+    EXPECT_EQ(model.sample_count(1), 2U);
+    EXPECT_EQ(model.sample_count(3), 0U);
+    // ε_1 = mean(|10-15|/15, |20-15|/15) = 1/3.
+    EXPECT_NEAR(model.deviation(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(FitEnhancedModel, BinsByZeros)
+{
+    std::vector<CharacterizationRecord> records{
+        {1, 0, 10.0}, {1, 1, 30.0}, {1, 1, 50.0},
+    };
+    const EnhancedHdModel model = fit_enhanced_model(2, 0, records);
+    EXPECT_DOUBLE_EQ(model.coefficient(1, 0), 10.0);
+    EXPECT_DOUBLE_EQ(model.coefficient(1, 1), 40.0);
+    // Basic fallback is the global mean of class 1.
+    EXPECT_DOUBLE_EQ(model.fallback().coefficient(1), 30.0);
+}
+
+TEST(Characterize, ModelPredictsRandomStreamAverage)
+{
+    // Closing the loop: a characterized model must estimate the average
+    // power of an independent random stream to within a few percent
+    // (table 1, data type I, "avg. charge" column).
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 6);
+    const Characterizer characterizer;
+    CharacterizationOptions options = quick_options(StimulusMode::StratifiedChain);
+    options.max_transitions = 8000;
+    const HdModel model = characterizer.characterize(module, options);
+
+    const auto patterns =
+        make_module_stream(module, streams::DataType::Random, 2000, 999);
+    sim::PowerSimulator reference{module.netlist(), gate::TechLibrary::generic350()};
+    const auto ref = reference.run(patterns);
+    const double estimated = model.estimate_average(patterns);
+    EXPECT_NEAR(estimated, ref.mean_charge_fc(), 0.08 * ref.mean_charge_fc());
+}
+
+} // namespace
+} // namespace hdpm::core

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "stats/datamodel.hpp"
+#include "stats/dfg.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::stats {
+namespace {
+
+streams::WordStats make_stats(double mean, double sigma, double rho, int width)
+{
+    streams::WordStats s;
+    s.mean = mean;
+    s.variance = sigma * sigma;
+    s.rho = rho;
+    s.width = width;
+    s.count = 1000;
+    return s;
+}
+
+TEST(Dfg, InputsKeepTheirStats)
+{
+    DataflowGraph g;
+    const auto x = g.input(make_stats(3.0, 2.0, 0.5, 12), "x");
+    EXPECT_DOUBLE_EQ(g.stats_of(x).mean, 3.0);
+    EXPECT_EQ(g.stats_of(x).width, 12);
+    EXPECT_EQ(g.name_of(x), "x");
+}
+
+TEST(Dfg, ConstantHasNoVariance)
+{
+    DataflowGraph g;
+    const auto c = g.constant(42.0, 8);
+    EXPECT_DOUBLE_EQ(g.stats_of(c).mean, 42.0);
+    EXPECT_DOUBLE_EQ(g.stats_of(c).variance, 0.0);
+    // The data model treats it as a quiet word.
+    const HdDistribution d = compute_hd_distribution(g.stats_of(c));
+    EXPECT_DOUBLE_EQ(d.p[0], 1.0);
+}
+
+TEST(Dfg, MatchesDirectPropagation)
+{
+    const streams::WordStats xs = make_stats(1.0, 4.0, 0.8, 12);
+    const streams::WordStats ys = make_stats(-2.0, 3.0, 0.4, 12);
+
+    DataflowGraph g;
+    const auto x = g.input(xs, "x");
+    const auto y = g.input(ys, "y");
+    const auto s = g.add(x, y, 13, "s");
+    const auto p = g.mult(x, y, 24, "p");
+    const auto d = g.delay(s, "s_reg");
+    const auto m = g.mux(x, y, 0.25, 12, "m");
+    const auto k = g.const_mult(x, -3.0, 14, "k");
+    const auto diff = g.sub(x, y, 13, "d");
+
+    const auto direct_add = propagate_add(xs, ys, 13);
+    EXPECT_DOUBLE_EQ(g.stats_of(s).mean, direct_add.mean);
+    EXPECT_DOUBLE_EQ(g.stats_of(s).variance, direct_add.variance);
+    EXPECT_DOUBLE_EQ(g.stats_of(s).rho, direct_add.rho);
+
+    const auto direct_mult = propagate_mult(xs, ys, 24);
+    EXPECT_DOUBLE_EQ(g.stats_of(p).variance, direct_mult.variance);
+
+    EXPECT_DOUBLE_EQ(g.stats_of(d).mean, g.stats_of(s).mean);
+
+    const auto direct_mux = propagate_mux(xs, ys, 0.25, 12);
+    EXPECT_DOUBLE_EQ(g.stats_of(m).variance, direct_mux.variance);
+
+    const auto direct_cm = propagate_const_mult(xs, -3.0, 14);
+    EXPECT_DOUBLE_EQ(g.stats_of(k).mean, direct_cm.mean);
+
+    const auto direct_sub = propagate_sub(xs, ys, 13);
+    EXPECT_DOUBLE_EQ(g.stats_of(diff).mean, direct_sub.mean);
+}
+
+TEST(Dfg, FirFilterGraph)
+{
+    // y = c0·x + c1·x@1 + c2·x@2 — statistics of a linear filter.
+    DataflowGraph g;
+    const auto x = g.input(make_stats(0.0, 100.0, 0.9, 12), "x");
+    const auto x1 = g.delay(x, "x@1");
+    const auto x2 = g.delay(x1, "x@2");
+    const auto p0 = g.const_mult(x, 2.0, 24, "p0");
+    const auto p1 = g.const_mult(x1, -1.0, 24, "p1");
+    const auto p2 = g.const_mult(x2, 0.5, 24, "p2");
+    const auto s0 = g.add(p0, p1, 24, "s0");
+    const auto y = g.add(s0, p2, 24, "y");
+
+    EXPECT_EQ(g.size(), 8U);
+    EXPECT_DOUBLE_EQ(g.stats_of(y).mean, 0.0);
+    // Variance (independence approximation): (4 + 1 + 0.25)·100².
+    EXPECT_DOUBLE_EQ(g.stats_of(y).variance, 5.25 * 10000.0);
+    EXPECT_EQ(g.stats_of(y).width, 24);
+    EXPECT_EQ(g.name_of(y), "y");
+}
+
+TEST(Dfg, UnknownNodeThrows)
+{
+    DataflowGraph g;
+    EXPECT_THROW((void)g.stats_of(0), util::PreconditionError);
+    const auto x = g.input(make_stats(0.0, 1.0, 0.0, 8));
+    EXPECT_THROW((void)g.add(x, 99, 8), util::PreconditionError);
+    EXPECT_EQ(g.name_of(x), "#0");
+}
+
+} // namespace
+} // namespace hdpm::stats

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "dpgen/module.hpp"
+#include "sim/functional.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm::dp {
+namespace {
+
+using util::BitVec;
+using util::Rng;
+
+/// Draw a random operand value covering the full two's complement range of
+/// the width (so sign handling is exercised).
+std::int64_t random_operand(int width, Rng& rng)
+{
+    const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+    const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+    return rng.uniform_int(lo, hi);
+}
+
+/// Check a module's outputs against the golden model over random operands.
+void check_module(ModuleType type, std::span<const int> widths, int trials,
+                  std::uint64_t seed)
+{
+    const DatapathModule module = make_module(type, widths);
+    sim::FunctionalEvaluator eval{module.netlist()};
+    Rng rng{seed};
+
+    std::vector<std::int64_t> operands(module.operand_widths().size());
+    for (int trial = 0; trial < trials; ++trial) {
+        for (std::size_t op = 0; op < operands.size(); ++op) {
+            operands[op] = random_operand(module.operand_widths()[op], rng);
+        }
+        const BitVec in = module.encode(operands);
+        const BitVec out = eval.eval(in);
+        const std::uint64_t expected = golden_output(type, widths, operands);
+        EXPECT_EQ(out.raw(), expected)
+            << module.display_name() << " operands=" << operands[0]
+            << (operands.size() > 1 ? "," + std::to_string(operands[1]) : "");
+        if (out.raw() != expected) {
+            return; // one detailed failure is enough
+        }
+    }
+}
+
+class SingleWidthModule
+    : public ::testing::TestWithParam<std::tuple<ModuleType, int>> {};
+
+TEST_P(SingleWidthModule, MatchesGoldenArithmetic)
+{
+    const auto [type, width] = GetParam();
+    const std::array<int, 1> w = {width};
+    check_module(type, w, 200, 0xC0FFEE + static_cast<std::uint64_t>(width));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypesAndWidths, SingleWidthModule,
+    ::testing::Combine(::testing::Values(ModuleType::RippleAdder, ModuleType::ClaAdder,
+                                         ModuleType::AbsVal, ModuleType::CsaMultiplier,
+                                         ModuleType::BoothWallaceMultiplier,
+                                         ModuleType::RippleSubtractor,
+                                         ModuleType::Incrementer, ModuleType::Comparator,
+                                         ModuleType::Mac, ModuleType::CarrySelectAdder,
+                                         ModuleType::CarrySkipAdder,
+                                         ModuleType::BarrelShifter, ModuleType::MinMax,
+                                         ModuleType::SaturatingAdder,
+                                         ModuleType::ParityTree),
+                       ::testing::Values(2, 3, 4, 5, 8, 12, 16)),
+    [](const ::testing::TestParamInfo<std::tuple<ModuleType, int>>& info) {
+        return module_type_id(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+class RectangularMultiplier
+    : public ::testing::TestWithParam<std::tuple<ModuleType, int, int>> {};
+
+TEST_P(RectangularMultiplier, MatchesGoldenArithmetic)
+{
+    const auto [type, w1, w0] = GetParam();
+    const std::array<int, 2> w = {w1, w0};
+    check_module(type, w, 150, 0xBEEF);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UnequalWidths, RectangularMultiplier,
+    ::testing::Combine(::testing::Values(ModuleType::CsaMultiplier,
+                                         ModuleType::BoothWallaceMultiplier),
+                       ::testing::Values(3, 6, 9), ::testing::Values(4, 7)),
+    [](const ::testing::TestParamInfo<std::tuple<ModuleType, int, int>>& info) {
+        return module_type_id(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param)) + "x" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Module, ExhaustiveSmallMultipliers)
+{
+    // 4x4 multipliers, every input combination, both architectures.
+    for (const ModuleType type :
+         {ModuleType::CsaMultiplier, ModuleType::BoothWallaceMultiplier}) {
+        const DatapathModule module = make_module(type, 4);
+        sim::FunctionalEvaluator eval{module.netlist()};
+        const std::array<int, 1> w = {4};
+        for (std::int64_t a = -8; a <= 7; ++a) {
+            for (std::int64_t b = -8; b <= 7; ++b) {
+                const std::array<std::int64_t, 2> ops = {a, b};
+                const BitVec out = eval.eval(module.encode(ops));
+                EXPECT_EQ(out.raw(), golden_output(type, w, ops))
+                    << module_type_id(type) << ' ' << a << '*' << b;
+            }
+        }
+    }
+}
+
+TEST(Module, ExhaustiveSmallAbsval)
+{
+    const DatapathModule module = make_module(ModuleType::AbsVal, 5);
+    sim::FunctionalEvaluator eval{module.netlist()};
+    const std::array<int, 1> w = {5};
+    for (std::int64_t x = -16; x <= 15; ++x) {
+        const std::array<std::int64_t, 1> ops = {x};
+        const BitVec out = eval.eval(module.encode(ops));
+        EXPECT_EQ(out.raw(), golden_output(ModuleType::AbsVal, w, ops)) << x;
+    }
+}
+
+TEST(Module, EncodePacksOperandsLowFirst)
+{
+    const DatapathModule module = make_module(ModuleType::RippleAdder, 4);
+    const std::array<std::int64_t, 2> ops = {0b0110, 0b1001};
+    const BitVec in = module.encode(ops);
+    EXPECT_EQ(in.width(), 8);
+    EXPECT_EQ(in.slice(0, 4).raw(), 0b0110ULL);
+    EXPECT_EQ(in.slice(4, 4).raw(), 0b1001ULL);
+}
+
+TEST(Module, EncodeRejectsOutOfRange)
+{
+    const DatapathModule module = make_module(ModuleType::RippleAdder, 4);
+    const std::array<std::int64_t, 2> too_big = {16, 0};
+    EXPECT_THROW((void)module.encode(too_big), util::PreconditionError);
+    const std::array<std::int64_t, 2> too_small = {-9, 0};
+    EXPECT_THROW((void)module.encode(too_small), util::PreconditionError);
+    const std::array<std::int64_t, 1> wrong_count = {0};
+    EXPECT_THROW((void)module.encode(wrong_count), util::PreconditionError);
+}
+
+TEST(Module, EncodeAcceptsUnsignedPatterns)
+{
+    // Values up to 2^w - 1 are accepted as raw bit patterns.
+    const DatapathModule module = make_module(ModuleType::CsaMultiplier, 4);
+    const std::array<std::int64_t, 2> ops = {15, 15};
+    const BitVec in = module.encode(ops);
+    EXPECT_EQ(in.raw(), 0xFFULL);
+}
+
+TEST(Module, TotalInputBits)
+{
+    EXPECT_EQ(make_module(ModuleType::RippleAdder, 8).total_input_bits(), 16);
+    EXPECT_EQ(make_module(ModuleType::AbsVal, 8).total_input_bits(), 8);
+    const std::array<int, 2> w = {6, 4};
+    EXPECT_EQ(make_module(ModuleType::CsaMultiplier, w).total_input_bits(), 10);
+    EXPECT_EQ(make_module(ModuleType::Mac, w).total_input_bits(), 20);
+}
+
+TEST(Module, DisplayNames)
+{
+    EXPECT_EQ(make_module(ModuleType::CsaMultiplier, 8).display_name(),
+              "csa-multiplier 8x8");
+    EXPECT_EQ(make_module(ModuleType::RippleAdder, 12).display_name(),
+              "ripple adder 12x12");
+}
+
+TEST(Module, TypeIdRoundTrip)
+{
+    for (const ModuleType type : all_module_types()) {
+        EXPECT_EQ(module_type_from_id(module_type_id(type)), type);
+    }
+    EXPECT_THROW((void)module_type_from_id("warp_core"), util::PreconditionError);
+}
+
+TEST(Module, PaperTypesAreTheTableOneRows)
+{
+    const auto types = paper_module_types();
+    ASSERT_EQ(types.size(), 5U);
+    EXPECT_EQ(types[0], ModuleType::RippleAdder);
+    EXPECT_EQ(types[4], ModuleType::BoothWallaceMultiplier);
+}
+
+TEST(Complexity, RippleAdderScalesLinearly)
+{
+    // Cell count of a ripple adder grows linearly with width: the second
+    // difference of counts over an arithmetic width progression vanishes.
+    const auto cells = [](int w) {
+        return static_cast<double>(
+            make_module(ModuleType::RippleAdder, w).netlist().num_cells());
+    };
+    const double d1 = cells(8) - cells(4);
+    const double d2 = cells(12) - cells(8);
+    EXPECT_NEAR(d1, d2, 1e-9);
+}
+
+TEST(Complexity, CsaMultiplierScalesQuadratically)
+{
+    const auto cells = [](int w) {
+        return static_cast<double>(
+            make_module(ModuleType::CsaMultiplier, w).netlist().num_cells());
+    };
+    // Quadratic growth: second difference constant and positive, third
+    // difference zero.
+    const double c4 = cells(4);
+    const double c8 = cells(8);
+    const double c12 = cells(12);
+    const double c16 = cells(16);
+    const double dd1 = (c12 - c8) - (c8 - c4);
+    const double dd2 = (c16 - c12) - (c12 - c8);
+    EXPECT_GT(dd1, 0.0);
+    EXPECT_NEAR(dd1, dd2, 1e-9);
+}
+
+TEST(Complexity, BasisShapes)
+{
+    const ComplexityBasis& linear = complexity_basis(ModuleType::RippleAdder);
+    EXPECT_EQ(linear.size(), 2U);
+    const std::array<int, 1> w8 = {8};
+    const auto lt = linear.eval(w8);
+    EXPECT_DOUBLE_EQ(lt[0], 8.0);
+    EXPECT_DOUBLE_EQ(lt[1], 1.0);
+
+    const ComplexityBasis& quad = complexity_basis(ModuleType::CsaMultiplier);
+    EXPECT_EQ(quad.size(), 3U);
+    const std::array<int, 2> w64 = {6, 4};
+    const auto qt = quad.eval(w64);
+    EXPECT_DOUBLE_EQ(qt[0], 24.0);
+    EXPECT_DOUBLE_EQ(qt[1], 6.0);
+    EXPECT_DOUBLE_EQ(qt[2], 1.0);
+}
+
+TEST(Module, ExhaustiveBarrelShifter)
+{
+    const DatapathModule module = make_module(ModuleType::BarrelShifter, 8);
+    sim::FunctionalEvaluator eval{module.netlist()};
+    const std::array<int, 1> w = {8};
+    for (std::int64_t x = 0; x < 256; x += 7) {
+        for (std::int64_t s = 0; s < 8; ++s) {
+            const std::array<std::int64_t, 2> ops = {x, s};
+            const BitVec out = eval.eval(module.encode(ops));
+            EXPECT_EQ(out.raw(), golden_output(ModuleType::BarrelShifter, w, ops))
+                << x << " << " << s;
+        }
+    }
+}
+
+TEST(Module, ExhaustiveSaturatingAdder)
+{
+    const DatapathModule module = make_module(ModuleType::SaturatingAdder, 4);
+    sim::FunctionalEvaluator eval{module.netlist()};
+    const std::array<int, 1> w = {4};
+    for (std::int64_t a = -8; a <= 7; ++a) {
+        for (std::int64_t b = -8; b <= 7; ++b) {
+            const std::array<std::int64_t, 2> ops = {a, b};
+            const BitVec out = eval.eval(module.encode(ops));
+            EXPECT_EQ(out.raw(), golden_output(ModuleType::SaturatingAdder, w, ops))
+                << a << " +sat " << b;
+        }
+    }
+}
+
+TEST(Module, CarrySelectMatchesRipple)
+{
+    // Both adder architectures compute the same function; only their
+    // structure (and therefore power profile) differs.
+    const DatapathModule select = make_module(ModuleType::CarrySelectAdder, 10);
+    const DatapathModule skip = make_module(ModuleType::CarrySkipAdder, 10);
+    const DatapathModule ripple = make_module(ModuleType::RippleAdder, 10);
+    sim::FunctionalEvaluator es{select.netlist()};
+    sim::FunctionalEvaluator ek{skip.netlist()};
+    sim::FunctionalEvaluator er{ripple.netlist()};
+    Rng rng{5150};
+    for (int trial = 0; trial < 200; ++trial) {
+        const BitVec in{20, rng.next_u64()};
+        const BitVec expected = er.eval(in);
+        EXPECT_EQ(es.eval(in), expected);
+        EXPECT_EQ(ek.eval(in), expected);
+    }
+}
+
+TEST(Module, BarrelShifterOperandWidths)
+{
+    const DatapathModule module = make_module(ModuleType::BarrelShifter, 12);
+    ASSERT_EQ(module.operand_widths().size(), 2U);
+    EXPECT_EQ(module.operand_widths()[0], 12);
+    EXPECT_EQ(module.operand_widths()[1], 4); // ceil(log2(12))
+    EXPECT_EQ(module.total_input_bits(), 16);
+}
+
+TEST(Module, ExpandOperandWidths)
+{
+    const std::array<int, 1> w8 = {8};
+    EXPECT_EQ(expand_operand_widths(ModuleType::RippleAdder, w8),
+              (std::vector<int>{8, 8}));
+    EXPECT_EQ(expand_operand_widths(ModuleType::AbsVal, w8), (std::vector<int>{8}));
+    EXPECT_EQ(expand_operand_widths(ModuleType::Mac, w8), (std::vector<int>{8, 8, 16}));
+    EXPECT_EQ(expand_operand_widths(ModuleType::BarrelShifter, w8),
+              (std::vector<int>{8, 3}));
+    const std::array<int, 2> w64 = {6, 4};
+    EXPECT_EQ(expand_operand_widths(ModuleType::CsaMultiplier, w64),
+              (std::vector<int>{6, 4}));
+    EXPECT_THROW((void)expand_operand_widths(ModuleType::AbsVal, std::array<int, 2>{4, 4}),
+                 util::PreconditionError);
+}
+
+TEST(Module, WidthRangeChecked)
+{
+    EXPECT_THROW((void)make_module(ModuleType::RippleAdder, 0), util::PreconditionError);
+    EXPECT_THROW((void)make_module(ModuleType::RippleAdder, 33), util::PreconditionError);
+}
+
+TEST(Module, NetlistsValidate)
+{
+    for (const ModuleType type : all_module_types()) {
+        const DatapathModule module = make_module(type, 6);
+        EXPECT_NO_THROW(module.netlist().validate()) << module_type_id(type);
+    }
+}
+
+} // namespace
+} // namespace hdpm::dp

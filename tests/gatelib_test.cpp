@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "gatelib/gate.hpp"
+#include "gatelib/techlib.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::gate {
+namespace {
+
+/// Reference boolean functions, independent of the production switch.
+bool reference_eval(GateKind kind, bool a, bool b, bool c)
+{
+    switch (kind) {
+    case GateKind::Const0:
+        return false;
+    case GateKind::Const1:
+        return true;
+    case GateKind::Buf:
+        return a;
+    case GateKind::Inv:
+        return !a;
+    case GateKind::And2:
+        return a && b;
+    case GateKind::Nand2:
+        return !(a && b);
+    case GateKind::Or2:
+        return a || b;
+    case GateKind::Nor2:
+        return !(a || b);
+    case GateKind::Xor2:
+        return a ^ b;
+    case GateKind::Xnor2:
+        return !(a ^ b);
+    case GateKind::And3:
+        return a && b && c;
+    case GateKind::Nand3:
+        return !(a && b && c);
+    case GateKind::Or3:
+        return a || b || c;
+    case GateKind::Nor3:
+        return !(a || b || c);
+    case GateKind::Xor3:
+        return a ^ b ^ c;
+    case GateKind::Mux2:
+        return c ? b : a;
+    case GateKind::Aoi21:
+        return !((a && b) || c);
+    case GateKind::Oai21:
+        return !((a || b) && c);
+    case GateKind::Maj3:
+        return (a && b) || (a && c) || (b && c);
+    }
+    return false;
+}
+
+class GateTruthTable : public ::testing::TestWithParam<int> {};
+
+TEST_P(GateTruthTable, MatchesReferenceExhaustively)
+{
+    const auto kind = static_cast<GateKind>(GetParam());
+    const int arity = gate_num_inputs(kind);
+    const int combos = 1 << arity;
+    for (int bits = 0; bits < combos; ++bits) {
+        std::array<std::uint8_t, 3> in{};
+        for (int i = 0; i < arity; ++i) {
+            in[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((bits >> i) & 1);
+        }
+        const bool expected =
+            reference_eval(kind, in[0] != 0, in[1] != 0, in[2] != 0);
+        const bool actual =
+            gate_eval(kind, {in.data(), static_cast<std::size_t>(arity)});
+        EXPECT_EQ(actual, expected)
+            << gate_name(kind) << " inputs=" << bits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, GateTruthTable,
+                         ::testing::Range(0, kNumGateKinds),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                             return std::string{
+                                 gate_name(static_cast<GateKind>(info.param))};
+                         });
+
+TEST(Gate, NameRoundTrip)
+{
+    for (int k = 0; k < kNumGateKinds; ++k) {
+        const auto kind = static_cast<GateKind>(k);
+        EXPECT_EQ(gate_from_name(gate_name(kind)), kind);
+    }
+}
+
+TEST(Gate, UnknownNameThrows)
+{
+    EXPECT_THROW((void)gate_from_name("FLUXCAP"), util::PreconditionError);
+}
+
+TEST(Gate, ArityChecked)
+{
+    const std::array<std::uint8_t, 1> one = {1};
+    EXPECT_THROW((void)gate_eval(GateKind::And2, one), util::PreconditionError);
+}
+
+TEST(Gate, ArityValues)
+{
+    EXPECT_EQ(gate_num_inputs(GateKind::Const0), 0);
+    EXPECT_EQ(gate_num_inputs(GateKind::Inv), 1);
+    EXPECT_EQ(gate_num_inputs(GateKind::Xor2), 2);
+    EXPECT_EQ(gate_num_inputs(GateKind::Maj3), 3);
+}
+
+TEST(TechLibrary, Generic350HasPlausibleValues)
+{
+    const TechLibrary& lib = TechLibrary::generic350();
+    EXPECT_EQ(lib.name(), "generic350");
+    EXPECT_DOUBLE_EQ(lib.vdd(), 3.3);
+    EXPECT_GT(lib.wire_cap_base_ff(), 0.0);
+    for (int k = 0; k < kNumGateKinds; ++k) {
+        const auto kind = static_cast<GateKind>(k);
+        const GateElectrical& e = lib.spec(kind);
+        if (gate_num_inputs(kind) > 0) {
+            EXPECT_GT(e.input_cap_ff, 0.0) << gate_name(kind);
+            EXPECT_GT(e.intrinsic_delay_ps, 0.0) << gate_name(kind);
+            EXPECT_GT(e.internal_energy_fj, 0.0) << gate_name(kind);
+        }
+        EXPECT_GE(e.output_cap_ff, 0.0) << gate_name(kind);
+    }
+}
+
+TEST(TechLibrary, XorCostsMoreThanNand)
+{
+    const TechLibrary& lib = TechLibrary::generic350();
+    EXPECT_GT(lib.spec(GateKind::Xor2).internal_energy_fj,
+              lib.spec(GateKind::Nand2).internal_energy_fj);
+    EXPECT_GT(lib.spec(GateKind::Xor2).intrinsic_delay_ps,
+              lib.spec(GateKind::Nand2).intrinsic_delay_ps);
+}
+
+TEST(TechLibrary, Generic180IsScaledDown)
+{
+    const TechLibrary& big = TechLibrary::generic350();
+    const TechLibrary& small = TechLibrary::generic180();
+    EXPECT_LT(small.vdd(), big.vdd());
+    for (int k = 0; k < kNumGateKinds; ++k) {
+        const auto kind = static_cast<GateKind>(k);
+        EXPECT_LE(small.spec(kind).input_cap_ff, big.spec(kind).input_cap_ff)
+            << gate_name(kind);
+        EXPECT_LE(small.spec(kind).internal_energy_fj, big.spec(kind).internal_energy_fj)
+            << gate_name(kind);
+        EXPECT_LE(small.spec(kind).intrinsic_delay_ps, big.spec(kind).intrinsic_delay_ps)
+            << gate_name(kind);
+    }
+}
+
+} // namespace
+} // namespace hdpm::gate

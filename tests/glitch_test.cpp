@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/workloads.hpp"
+#include "dpgen/module.hpp"
+#include "netlist/builder.hpp"
+#include "sim/glitch.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm::sim {
+namespace {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+using util::BitVec;
+using util::Rng;
+
+std::vector<BitVec> random_patterns(int width, std::size_t n, std::uint64_t seed)
+{
+    Rng rng{seed};
+    std::vector<BitVec> patterns;
+    for (std::size_t i = 0; i < n; ++i) {
+        patterns.emplace_back(width, rng.next_u64());
+    }
+    return patterns;
+}
+
+TEST(Glitch, BalancedXorTreeIsNearlyGlitchFree)
+{
+    // A balanced XOR tree has matched path depths: little glitching.
+    const dp::DatapathModule parity = dp::make_module(dp::ModuleType::ParityTree, 8);
+    const auto patterns = random_patterns(8, 600, 5);
+    const GlitchReport report = analyze_glitches(
+        parity.netlist(), gate::TechLibrary::generic350(), patterns);
+    EXPECT_LT(report.glitch_factor(), 1.25);
+    EXPECT_GE(report.glitch_factor(), 1.0 - 1e-9);
+}
+
+TEST(Glitch, ArrayMultiplierIsGlitchDominated)
+{
+    const dp::DatapathModule mult = dp::make_module(dp::ModuleType::CsaMultiplier, 8);
+    const auto patterns = random_patterns(16, 400, 5);
+    const GlitchReport report =
+        analyze_glitches(mult.netlist(), gate::TechLibrary::generic350(), patterns);
+    EXPECT_GT(report.glitch_factor(), 1.5);
+    EXPECT_GT(report.glitch_charge_share(), 0.25);
+}
+
+TEST(Glitch, MultiplierGlitchesMoreThanAdder)
+{
+    const dp::DatapathModule adder = dp::make_module(dp::ModuleType::RippleAdder, 8);
+    const dp::DatapathModule mult = dp::make_module(dp::ModuleType::CsaMultiplier, 8);
+    const auto patterns = random_patterns(16, 400, 7);
+    const GlitchReport adder_report =
+        analyze_glitches(adder.netlist(), gate::TechLibrary::generic350(), patterns);
+    const GlitchReport mult_report =
+        analyze_glitches(mult.netlist(), gate::TechLibrary::generic350(), patterns);
+    EXPECT_GT(mult_report.glitch_factor(), adder_report.glitch_factor());
+}
+
+TEST(Glitch, InertialFilteringReducesGlitchShare)
+{
+    const dp::DatapathModule mult = dp::make_module(dp::ModuleType::CsaMultiplier, 6);
+    const auto patterns = random_patterns(12, 400, 9);
+    EventSimOptions transport;
+    transport.inertial_window_ps = 0;
+    EventSimOptions filtered;
+    filtered.inertial_window_ps = 250;
+    const GlitchReport raw = analyze_glitches(
+        mult.netlist(), gate::TechLibrary::generic350(), patterns, transport);
+    const GlitchReport calm = analyze_glitches(
+        mult.netlist(), gate::TechLibrary::generic350(), patterns, filtered);
+    EXPECT_LT(calm.glitch_factor(), raw.glitch_factor());
+}
+
+TEST(Glitch, PerNetCountsSumToTotals)
+{
+    const dp::DatapathModule abs = dp::make_module(dp::ModuleType::AbsVal, 8);
+    const auto patterns = random_patterns(8, 300, 11);
+    const GlitchReport report =
+        analyze_glitches(abs.netlist(), gate::TechLibrary::generic350(), patterns);
+    std::uint64_t functional = 0;
+    std::uint64_t timed = 0;
+    for (const NetGlitch& entry : report.nets) {
+        functional += entry.functional_toggles;
+        timed += entry.timed_toggles;
+        EXPECT_GE(entry.timed_toggles, 0U);
+    }
+    EXPECT_EQ(functional, report.functional_toggles);
+    EXPECT_EQ(timed, report.timed_toggles);
+}
+
+TEST(Glitch, TopGlitchyNetsSortedBySurplus)
+{
+    const dp::DatapathModule mult = dp::make_module(dp::ModuleType::CsaMultiplier, 5);
+    const auto patterns = random_patterns(10, 300, 13);
+    const GlitchReport report =
+        analyze_glitches(mult.netlist(), gate::TechLibrary::generic350(), patterns);
+    const auto top = top_glitchy_nets(report, 5);
+    ASSERT_EQ(top.size(), 5U);
+    auto surplus = [](const NetGlitch& g) {
+        return g.timed_toggles - std::min(g.timed_toggles, g.functional_toggles);
+    };
+    for (std::size_t i = 1; i < top.size(); ++i) {
+        EXPECT_GE(surplus(top[i - 1]), surplus(top[i]));
+    }
+    EXPECT_GT(surplus(top[0]), 0U);
+}
+
+TEST(Glitch, PrintedReportContainsHeadline)
+{
+    const dp::DatapathModule adder = dp::make_module(dp::ModuleType::RippleAdder, 4);
+    const auto patterns = random_patterns(8, 200, 15);
+    const GlitchReport report =
+        analyze_glitches(adder.netlist(), gate::TechLibrary::generic350(), patterns);
+    std::ostringstream os;
+    print_glitch_report(os, report, 3);
+    EXPECT_NE(os.str().find("glitch report"), std::string::npos);
+    EXPECT_NE(os.str().find("factor"), std::string::npos);
+}
+
+TEST(Glitch, NeedsTwoPatterns)
+{
+    const dp::DatapathModule adder = dp::make_module(dp::ModuleType::RippleAdder, 4);
+    const std::vector<BitVec> one{BitVec{8, 0}};
+    EXPECT_THROW((void)analyze_glitches(adder.netlist(),
+                                        gate::TechLibrary::generic350(), one),
+                 util::PreconditionError);
+}
+
+} // namespace
+} // namespace hdpm::sim

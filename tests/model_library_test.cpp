@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/model_library.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ModelLibraryTest : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("hdpm_modellib_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    CharacterizationOptions quick() const
+    {
+        CharacterizationOptions options;
+        options.max_transitions = 1500;
+        options.min_transitions = 1500;
+        options.seed = 7;
+        return options;
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(ModelLibraryTest, CreatesDirectory)
+{
+    const ModelLibrary library{dir_};
+    EXPECT_TRUE(fs::exists(dir_));
+}
+
+TEST_F(ModelLibraryTest, ModelKeyIsDeterministic)
+{
+    const ModelLibrary library{dir_};
+    const std::array<int, 1> w = {6};
+    EXPECT_EQ(library.model_key(dp::ModuleType::RippleAdder, w),
+              "generic350_ripple_adder_6x6");
+    const std::array<int, 2> w2 = {6, 4};
+    EXPECT_EQ(library.model_key(dp::ModuleType::CsaMultiplier, w2),
+              "generic350_csa_multiplier_6x4");
+}
+
+TEST_F(ModelLibraryTest, CharacterizesOnMissThenLoads)
+{
+    const ModelLibrary library{dir_};
+    const std::array<int, 1> w = {4};
+    EXPECT_FALSE(library.contains(dp::ModuleType::RippleAdder, w));
+
+    const HdModel first = library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
+    EXPECT_TRUE(library.contains(dp::ModuleType::RippleAdder, w));
+
+    // Second call must load the stored file — even with different options
+    // the coefficients are identical because no characterization runs.
+    CharacterizationOptions different = quick();
+    different.seed = 12345;
+    const HdModel second =
+        library.get_or_characterize(dp::ModuleType::RippleAdder, w, different);
+    ASSERT_EQ(second.input_bits(), first.input_bits());
+    for (int i = 1; i <= first.input_bits(); ++i) {
+        EXPECT_DOUBLE_EQ(second.coefficient(i), first.coefficient(i));
+        EXPECT_EQ(second.sample_count(i), first.sample_count(i));
+    }
+}
+
+TEST_F(ModelLibraryTest, EnhancedModelsStoredSeparately)
+{
+    const ModelLibrary library{dir_};
+    const std::array<int, 1> w = {3};
+    const EnhancedHdModel enhanced =
+        library.get_or_characterize_enhanced(dp::ModuleType::AbsVal, w, 0, quick());
+    EXPECT_EQ(enhanced.input_bits(), 3);
+
+    const EnhancedHdModel reloaded =
+        library.get_or_characterize_enhanced(dp::ModuleType::AbsVal, w, 0, quick());
+    EXPECT_DOUBLE_EQ(reloaded.coefficient(1, 0), enhanced.coefficient(1, 0));
+
+    // Different clustering is a different artifact.
+    const EnhancedHdModel clustered =
+        library.get_or_characterize_enhanced(dp::ModuleType::AbsVal, w, 2, quick());
+    EXPECT_LE(clustered.num_coefficients(), enhanced.num_coefficients());
+}
+
+TEST_F(ModelLibraryTest, TechnologyNamespacesModels)
+{
+    const ModelLibrary lib350{dir_, gate::TechLibrary::generic350()};
+    const ModelLibrary lib180{dir_, gate::TechLibrary::generic180()};
+    const std::array<int, 1> w = {4};
+    const HdModel m350 = lib350.get_or_characterize(dp::ModuleType::Incrementer, w, quick());
+    EXPECT_FALSE(lib180.contains(dp::ModuleType::Incrementer, w))
+        << "a 350nm model must not satisfy a 180nm lookup";
+    const HdModel m180 = lib180.get_or_characterize(dp::ModuleType::Incrementer, w, quick());
+    EXPECT_LT(m180.coefficient(4), m350.coefficient(4));
+}
+
+TEST_F(ModelLibraryTest, CorruptModelFileReportsCleanError)
+{
+    const ModelLibrary library{dir_};
+    const std::array<int, 1> w = {4};
+    (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
+
+    // Truncate the stored file; the next load must fail loudly, not return
+    // a half-initialized model.
+    const fs::path path = dir_ / (library.model_key(dp::ModuleType::RippleAdder, w) +
+                                  ".hdm");
+    ASSERT_TRUE(fs::exists(path));
+    {
+        std::ofstream out{path, std::ios::trunc};
+        out << "hdmodel 1\nm 8\n1 123.0"; // cut mid-row
+    }
+    EXPECT_THROW(
+        (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick()),
+        util::RuntimeError);
+}
+
+TEST_F(ModelLibraryTest, ClearRemovesModels)
+{
+    const ModelLibrary library{dir_};
+    const std::array<int, 1> w = {4};
+    (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
+    EXPECT_TRUE(library.contains(dp::ModuleType::RippleAdder, w));
+    library.clear();
+    EXPECT_FALSE(library.contains(dp::ModuleType::RippleAdder, w));
+}
+
+} // namespace
+} // namespace hdpm::core

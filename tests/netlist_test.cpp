@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/builder.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/functional.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm::netlist {
+namespace {
+
+using gate::GateKind;
+using util::BitVec;
+
+Netlist tiny_xor()
+{
+    NetlistBuilder b{"tiny_xor"};
+    const NetId a = b.input("a");
+    const NetId c = b.input("b");
+    b.output(b.xor2(a, c), "y");
+    return b.take();
+}
+
+TEST(Netlist, BuildAndQuery)
+{
+    const Netlist nl = tiny_xor();
+    EXPECT_EQ(nl.num_cells(), 1U);
+    EXPECT_EQ(nl.num_nets(), 3U);
+    EXPECT_EQ(nl.primary_inputs().size(), 2U);
+    EXPECT_EQ(nl.primary_outputs().size(), 1U);
+    const NetId out = nl.primary_outputs()[0];
+    EXPECT_NE(nl.driver(out), kInvalidId);
+    EXPECT_EQ(nl.cell(nl.driver(out)).kind, GateKind::Xor2);
+}
+
+TEST(Netlist, DoubleDriveThrows)
+{
+    Netlist nl{"bad"};
+    const NetId a = nl.add_net("a");
+    nl.mark_input(a);
+    const NetId y = nl.add_net("y");
+    const std::vector<NetId> ins{a};
+    nl.add_cell(GateKind::Inv, ins, y);
+    EXPECT_THROW(nl.add_cell(GateKind::Buf, ins, y), util::PreconditionError);
+}
+
+TEST(Netlist, DrivingAnInputThrows)
+{
+    Netlist nl{"bad"};
+    const NetId a = nl.add_net("a");
+    nl.mark_input(a);
+    const std::vector<NetId> ins{a};
+    EXPECT_THROW(nl.add_cell(GateKind::Inv, ins, a), util::PreconditionError);
+}
+
+TEST(Netlist, MarkingDrivenNetAsInputThrows)
+{
+    Netlist nl{"bad"};
+    const NetId a = nl.add_net("a");
+    nl.mark_input(a);
+    const NetId y = nl.add_net("y");
+    const std::vector<NetId> ins{a};
+    nl.add_cell(GateKind::Inv, ins, y);
+    EXPECT_THROW(nl.mark_input(y), util::PreconditionError);
+}
+
+TEST(Netlist, FloatingNetFailsValidation)
+{
+    Netlist nl{"bad"};
+    (void)nl.add_net("floating");
+    EXPECT_THROW(nl.validate(), util::InvariantError);
+}
+
+TEST(Netlist, ArityCheckedOnAddCell)
+{
+    Netlist nl{"bad"};
+    const NetId a = nl.add_net("a");
+    nl.mark_input(a);
+    const NetId y = nl.add_net("y");
+    const std::vector<NetId> ins{a};
+    EXPECT_THROW(nl.add_cell(GateKind::And2, ins, y), util::PreconditionError);
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies)
+{
+    NetlistBuilder b{"chain"};
+    const NetId a = b.input("a");
+    NetId n = a;
+    for (int i = 0; i < 10; ++i) {
+        n = b.inv(n);
+    }
+    b.output(n, "y");
+    const Netlist nl = b.take();
+
+    const auto order = nl.topological_order();
+    ASSERT_EQ(order.size(), nl.num_cells());
+    std::vector<int> position(nl.num_cells());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        position[order[i]] = static_cast<int>(i);
+    }
+    for (CellId id = 0; id < nl.num_cells(); ++id) {
+        for (const NetId in : nl.cell(id).input_span()) {
+            const CellId drv = nl.driver(in);
+            if (drv != kInvalidId) {
+                EXPECT_LT(position[drv], position[id]);
+            }
+        }
+    }
+}
+
+TEST(Netlist, FanoutTableListsConsumers)
+{
+    NetlistBuilder b{"fan"};
+    const NetId a = b.input("a");
+    const NetId x = b.inv(a);
+    const NetId y = b.inv(a);
+    b.output(x, "x");
+    b.output(y, "y");
+    const Netlist nl = b.take();
+    const auto fanout = nl.fanout_table();
+    EXPECT_EQ(fanout[a].size(), 2U);
+}
+
+TEST(Netlist, StatsCountsKinds)
+{
+    NetlistBuilder b{"stats"};
+    const NetId a = b.input("a");
+    const NetId c = b.input("b");
+    b.output(b.xor2(a, c), "s");
+    b.output(b.and2(a, c), "c");
+    const Netlist nl = b.take();
+    const NetlistStats s = nl.stats();
+    EXPECT_EQ(s.num_cells, 2U);
+    EXPECT_EQ(s.num_inputs, 2U);
+    EXPECT_EQ(s.num_outputs, 2U);
+    EXPECT_EQ(s.cells_per_kind[static_cast<std::size_t>(GateKind::Xor2)], 1U);
+    EXPECT_EQ(s.cells_per_kind[static_cast<std::size_t>(GateKind::And2)], 1U);
+}
+
+TEST(Netlist, SerializationRoundTrip)
+{
+    NetlistBuilder b{"roundtrip"};
+    const auto bus = b.input_bus("a", 4);
+    const NetId folded = b.and_tree(bus);
+    const NetId other = b.or_tree(bus);
+    b.output(folded, "and");
+    b.output(other, "or");
+    const Netlist original = b.take();
+
+    std::stringstream ss;
+    write_netlist(ss, original);
+    const Netlist restored = read_netlist(ss);
+
+    EXPECT_EQ(restored.name(), original.name());
+    EXPECT_EQ(restored.num_nets(), original.num_nets());
+    EXPECT_EQ(restored.num_cells(), original.num_cells());
+    EXPECT_EQ(restored.primary_inputs(), original.primary_inputs());
+    EXPECT_EQ(restored.primary_outputs(), original.primary_outputs());
+    for (CellId id = 0; id < original.num_cells(); ++id) {
+        EXPECT_EQ(restored.cell(id).kind, original.cell(id).kind);
+        EXPECT_EQ(restored.cell(id).output, original.cell(id).output);
+    }
+
+    // Functional equivalence over all 16 input combinations.
+    sim::FunctionalEvaluator eval_a{original};
+    sim::FunctionalEvaluator eval_b{restored};
+    for (std::uint64_t v = 0; v < 16; ++v) {
+        EXPECT_EQ(eval_a.eval(BitVec{4, v}), eval_b.eval(BitVec{4, v}));
+    }
+}
+
+TEST(Netlist, ReadRejectsGarbage)
+{
+    std::stringstream ss{"not a netlist\n"};
+    EXPECT_THROW((void)read_netlist(ss), util::RuntimeError);
+}
+
+TEST(Netlist, ReadRejectsTruncated)
+{
+    std::stringstream ss{"netlist t\nnets 1\ninput 0\n"};
+    EXPECT_THROW((void)read_netlist(ss), util::RuntimeError);
+}
+
+TEST(Builder, ConstantsAreDeduplicated)
+{
+    NetlistBuilder b{"consts"};
+    const NetId a = b.input("a");
+    const NetId c0 = b.const0();
+    const NetId c0_again = b.const0();
+    EXPECT_EQ(c0, c0_again);
+    b.output(b.or2(a, c0), "y");
+    const Netlist nl = b.take();
+    EXPECT_EQ(nl.stats().cells_per_kind[static_cast<std::size_t>(GateKind::Const0)], 1U);
+}
+
+TEST(Builder, FullAdderTruthTable)
+{
+    NetlistBuilder b{"fa"};
+    const NetId a = b.input("a");
+    const NetId bb = b.input("b");
+    const NetId cin = b.input("cin");
+    const auto fa = b.full_adder(a, bb, cin);
+    b.output(fa.sum, "s");
+    b.output(fa.carry, "c");
+    const Netlist nl = b.take();
+
+    sim::FunctionalEvaluator eval{nl};
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        const BitVec out = eval.eval(BitVec{3, v});
+        const int total = static_cast<int>((v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1));
+        EXPECT_EQ(out.get(0), (total & 1) != 0) << v;
+        EXPECT_EQ(out.get(1), total >= 2) << v;
+    }
+}
+
+TEST(Builder, CompactFullAdderMatchesDecomposed)
+{
+    NetlistBuilder b{"fa2"};
+    const NetId a = b.input("a");
+    const NetId bb = b.input("b");
+    const NetId cin = b.input("cin");
+    const auto fa = b.full_adder_compact(a, bb, cin);
+    b.output(fa.sum, "s");
+    b.output(fa.carry, "c");
+    const Netlist nl = b.take();
+
+    sim::FunctionalEvaluator eval{nl};
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        const BitVec out = eval.eval(BitVec{3, v});
+        const int total = static_cast<int>((v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1));
+        EXPECT_EQ(out.get(0), (total & 1) != 0) << v;
+        EXPECT_EQ(out.get(1), total >= 2) << v;
+    }
+}
+
+class TreeWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeWidth, OrAndTreesReduceCorrectly)
+{
+    const int w = GetParam();
+    NetlistBuilder b{"trees"};
+    const auto bus = b.input_bus("a", w);
+    b.output(b.or_tree(bus), "or");
+    b.output(b.and_tree(bus), "and");
+    const Netlist nl = b.take();
+
+    sim::FunctionalEvaluator eval{nl};
+    util::Rng rng{99};
+    for (int trial = 0; trial < 64; ++trial) {
+        const BitVec in{w, rng.next_u64()};
+        const BitVec out = eval.eval(in);
+        EXPECT_EQ(out.get(0), in.raw() != 0);
+        EXPECT_EQ(out.get(1), in.popcount() == w);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TreeWidth, ::testing::Values(1, 2, 3, 5, 8, 13, 16));
+
+} // namespace
+} // namespace hdpm::netlist

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/workloads.hpp"
+#include "dpgen/module.hpp"
+#include "netlist/builder.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/functional.hpp"
+#include "sim/power.hpp"
+#include "sim/probabilistic.hpp"
+#include "stats/datamodel.hpp"
+#include "streams/bitstats.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm::sim {
+namespace {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+using util::BitVec;
+using util::Rng;
+
+TEST(Probabilistic, InverterFlipsSignalKeepsActivity)
+{
+    NetlistBuilder b{"inv"};
+    const NetId a = b.input("a");
+    const NetId y = b.inv(a);
+    b.output(y, "y");
+    const Netlist nl = b.take();
+
+    ProbabilisticAnalyzer analyzer{nl, gate::TechLibrary::generic350()};
+    const std::vector<NetActivity> in{{0.3, 0.2}};
+    analyzer.propagate(in);
+    EXPECT_NEAR(analyzer.activity(y).signal_prob, 0.7, 1e-12);
+    EXPECT_NEAR(analyzer.activity(y).transition_prob, 0.2, 1e-12);
+}
+
+TEST(Probabilistic, AndGateClosedForm)
+{
+    // Independent uniform inputs (p = t = 1/2): P(and = 1) = 1/4;
+    // P(toggle) = 2·P(11)·(1 − P(11)) = 2·(1/4)(3/4) = 3/8.
+    NetlistBuilder b{"and"};
+    const NetId a = b.input("a");
+    const NetId c = b.input("b");
+    const NetId y = b.and2(a, c);
+    b.output(y, "y");
+    const Netlist nl = b.take();
+
+    ProbabilisticAnalyzer analyzer{nl, gate::TechLibrary::generic350()};
+    analyzer.propagate_uniform();
+    EXPECT_NEAR(analyzer.activity(y).signal_prob, 0.25, 1e-12);
+    EXPECT_NEAR(analyzer.activity(y).transition_prob, 0.375, 1e-12);
+}
+
+TEST(Probabilistic, XorGateClosedForm)
+{
+    // Uniform inputs: P(xor = 1) = 1/2, toggle = 1/2 (xor of independent
+    // toggles: t = t1(1-t2) + t2(1-t1) = 1/2).
+    NetlistBuilder b{"xor"};
+    const NetId a = b.input("a");
+    const NetId c = b.input("b");
+    const NetId y = b.xor2(a, c);
+    b.output(y, "y");
+    const Netlist nl = b.take();
+
+    ProbabilisticAnalyzer analyzer{nl, gate::TechLibrary::generic350()};
+    analyzer.propagate_uniform();
+    EXPECT_NEAR(analyzer.activity(y).signal_prob, 0.5, 1e-12);
+    EXPECT_NEAR(analyzer.activity(y).transition_prob, 0.5, 1e-12);
+}
+
+TEST(Probabilistic, QuietInputsPropagateQuietly)
+{
+    NetlistBuilder b{"quiet"};
+    const NetId a = b.input("a");
+    const NetId c = b.input("b");
+    b.output(b.nand2(a, c), "y");
+    const Netlist nl = b.take();
+
+    ProbabilisticAnalyzer analyzer{nl, gate::TechLibrary::generic350()};
+    const std::vector<NetActivity> inputs{{1.0, 0.0}, {0.0, 0.0}};
+    analyzer.propagate(inputs);
+    EXPECT_DOUBLE_EQ(analyzer.total_activity(), 0.0);
+    EXPECT_DOUBLE_EQ(analyzer.average_charge_fc(), 0.0);
+}
+
+TEST(Probabilistic, RequiresPropagation)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::AbsVal, 4);
+    ProbabilisticAnalyzer analyzer{module.netlist(), gate::TechLibrary::generic350()};
+    EXPECT_THROW((void)analyzer.average_charge_fc(), util::PreconditionError);
+}
+
+TEST(Probabilistic, InputCountAndRangesChecked)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::AbsVal, 4);
+    ProbabilisticAnalyzer analyzer{module.netlist(), gate::TechLibrary::generic350()};
+    const std::vector<NetActivity> wrong_count{{0.5, 0.5}};
+    EXPECT_THROW(analyzer.propagate(wrong_count), util::PreconditionError);
+    std::vector<NetActivity> bad(4, NetActivity{1.5, 0.5});
+    EXPECT_THROW(analyzer.propagate(bad), util::PreconditionError);
+}
+
+class ProbabilisticVsMeasured : public ::testing::TestWithParam<dp::ModuleType> {};
+
+TEST_P(ProbabilisticVsMeasured, TracksMeasuredZeroDelayActivity)
+{
+    // Against exact zero-delay activity (steady-state value changes from
+    // the functional evaluator — no glitches by construction): the
+    // propagated activity must track within the error budget of the
+    // spatial-independence assumption.
+    const dp::DatapathModule module = dp::make_module(GetParam(), 6);
+    const int m = module.total_input_bits();
+
+    ProbabilisticAnalyzer analyzer{module.netlist(), gate::TechLibrary::generic350()};
+    analyzer.propagate_uniform();
+
+    FunctionalEvaluator eval{module.netlist()};
+    Rng rng{77};
+    (void)eval.eval(BitVec{m, rng.next_u64()});
+    std::vector<std::uint8_t> previous = eval.values();
+    const int cycles = 3000;
+    std::uint64_t toggles = 0;
+    for (int i = 0; i < cycles; ++i) {
+        (void)eval.eval(BitVec{m, rng.next_u64()});
+        for (std::size_t net = 0; net < previous.size(); ++net) {
+            toggles += previous[net] != eval.values()[net] ? 1U : 0U;
+        }
+        previous = eval.values();
+    }
+
+    const double measured = static_cast<double>(toggles) / cycles;
+    const double predicted = analyzer.total_activity();
+    EXPECT_NEAR(predicted, measured, 0.15 * measured)
+        << dp::module_type_id(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modules, ProbabilisticVsMeasured,
+                         ::testing::Values(dp::ModuleType::RippleAdder,
+                                           dp::ModuleType::ClaAdder,
+                                           dp::ModuleType::CsaMultiplier,
+                                           dp::ModuleType::ParityTree,
+                                           dp::ModuleType::Comparator),
+                         [](const ::testing::TestParamInfo<dp::ModuleType>& info) {
+                             return dp::module_type_id(info.param);
+                         });
+
+TEST(Probabilistic, ChargeIsLowerBoundOfGlitchyReference)
+{
+    // Zero-delay probabilistic charge must not exceed the glitch-aware
+    // event simulation's measured average.
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 6);
+    ProbabilisticAnalyzer analyzer{module.netlist(), gate::TechLibrary::generic350()};
+    analyzer.propagate_uniform();
+
+    const auto patterns =
+        core::make_module_stream(module, streams::DataType::Random, 1500, 5);
+    PowerSimulator power{module.netlist(), gate::TechLibrary::generic350()};
+    const double reference = power.run(patterns).mean_charge_fc();
+    EXPECT_LT(analyzer.average_charge_fc(), reference);
+    EXPECT_GT(analyzer.average_charge_fc(), 0.3 * reference)
+        << "should still be the right order of magnitude";
+}
+
+TEST(Probabilistic, DataModelActivitiesForCorrelatedStream)
+{
+    // Feed measured per-bit (p, t) from a speech stream: the predicted
+    // charge must land well below the uniform-random prediction.
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 8);
+    const auto patterns =
+        core::make_module_stream(module, streams::DataType::Speech, 4000, 11);
+    const streams::BitStats bit_stats = streams::measure_bit_stats(patterns);
+
+    ProbabilisticAnalyzer analyzer{module.netlist(), gate::TechLibrary::generic350()};
+    std::vector<NetActivity> inputs;
+    for (int i = 0; i < module.total_input_bits(); ++i) {
+        inputs.push_back({bit_stats.signal_prob[static_cast<std::size_t>(i)],
+                          bit_stats.transition_prob[static_cast<std::size_t>(i)]});
+    }
+    analyzer.propagate(inputs);
+    const double speech_charge = analyzer.average_charge_fc();
+
+    analyzer.propagate_uniform();
+    const double random_charge = analyzer.average_charge_fc();
+    EXPECT_LT(speech_charge, random_charge);
+}
+
+TEST(Probabilistic, FullyAnalyticFlowFromWordStats)
+{
+    // The complete Landman flow with zero bit-level data: word statistics
+    // → per-bit (p, t) via the region model → gate-level probabilistic
+    // propagation → power. Must land in the same ballpark as feeding the
+    // *measured* per-bit activities.
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::ClaAdder, 8);
+    const auto operand_values =
+        core::make_operand_streams(module, streams::DataType::Speech, 6000, 13);
+
+    ProbabilisticAnalyzer analyzer{module.netlist(), gate::TechLibrary::generic350()};
+
+    // Analytic inputs from (µ, σ², ρ) only.
+    std::vector<NetActivity> analytic_inputs;
+    for (std::size_t op = 0; op < operand_values.size(); ++op) {
+        const streams::WordStats word_stats = streams::measure_word_stats(
+            operand_values[op], module.operand_widths()[op]);
+        for (const auto& bit : stats::analytic_bit_activities(word_stats)) {
+            analytic_inputs.push_back({bit.signal_prob, bit.transition_prob});
+        }
+    }
+    analyzer.propagate(analytic_inputs);
+    const double analytic_charge = analyzer.average_charge_fc();
+
+    // Measured inputs from the actual bit patterns.
+    const auto patterns = core::encode_module_stream(module, operand_values);
+    const streams::BitStats measured = streams::measure_bit_stats(patterns);
+    std::vector<NetActivity> measured_inputs;
+    for (int i = 0; i < module.total_input_bits(); ++i) {
+        measured_inputs.push_back({measured.signal_prob[static_cast<std::size_t>(i)],
+                                   measured.transition_prob[static_cast<std::size_t>(i)]});
+    }
+    analyzer.propagate(measured_inputs);
+    const double measured_charge = analyzer.average_charge_fc();
+
+    // The region model's linear interpolation over-estimates mid-bit
+    // activity for strongly correlated data, so the budget is loose — the
+    // point is the order of magnitude with zero bit-level data.
+    EXPECT_NEAR(analytic_charge, measured_charge, 0.35 * measured_charge);
+}
+
+} // namespace
+} // namespace hdpm::sim

@@ -1,0 +1,278 @@
+/// Cross-cutting randomized properties: a small netlist fuzzer checks that
+/// every pipeline stage (validation, serialization, optimization, event
+/// simulation) preserves functional behaviour on arbitrary gate graphs,
+/// not just on the structured datapath generators.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/characterize.hpp"
+#include "core/hd_model.hpp"
+#include "dpgen/module.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/transform.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/functional.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm {
+namespace {
+
+using netlist::Netlist;
+using netlist::NetId;
+using util::BitVec;
+using util::Rng;
+
+/// Generate a random combinational netlist over @p num_inputs inputs by
+/// stacking random gates onto randomly chosen existing nets (a DAG by
+/// construction).
+Netlist random_netlist(int num_inputs, int num_gates, Rng& rng)
+{
+    netlist::NetlistBuilder b{"fuzz"};
+    std::vector<NetId> pool;
+    for (int i = 0; i < num_inputs; ++i) {
+        pool.push_back(b.input("in" + std::to_string(i)));
+    }
+    // Sprinkle constants so folding paths are exercised.
+    pool.push_back(b.const0());
+    pool.push_back(b.const1());
+
+    auto pick = [&]() { return pool[rng.uniform_int(pool.size())]; };
+    for (int g = 0; g < num_gates; ++g) {
+        NetId out;
+        switch (rng.uniform_int(std::uint64_t{9})) {
+        case 0:
+            out = b.inv(pick());
+            break;
+        case 1:
+            out = b.and2(pick(), pick());
+            break;
+        case 2:
+            out = b.or2(pick(), pick());
+            break;
+        case 3:
+            out = b.xor2(pick(), pick());
+            break;
+        case 4:
+            out = b.nand2(pick(), pick());
+            break;
+        case 5:
+            out = b.nor2(pick(), pick());
+            break;
+        case 6:
+            out = b.mux2(pick(), pick(), pick());
+            break;
+        case 7:
+            out = b.xor3(pick(), pick(), pick());
+            break;
+        default:
+            out = b.maj3(pick(), pick(), pick());
+            break;
+        }
+        pool.push_back(out);
+    }
+    // Expose a handful of the most recent nets as outputs.
+    for (int o = 0; o < 6; ++o) {
+        b.output(pool[pool.size() - 1 - static_cast<std::size_t>(o)],
+                 "out" + std::to_string(o));
+    }
+    return b.take();
+}
+
+class NetlistFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetlistFuzz, ValidatesAndEvaluates)
+{
+    Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919 + 3};
+    const Netlist nl = random_netlist(8, 60, rng);
+    EXPECT_NO_THROW(nl.validate());
+    sim::FunctionalEvaluator eval{nl};
+    (void)eval.eval(BitVec{8, rng.next_u64()});
+}
+
+TEST_P(NetlistFuzz, SerializationRoundTripEquivalence)
+{
+    Rng rng{static_cast<std::uint64_t>(GetParam()) * 104729 + 1};
+    const Netlist nl = random_netlist(8, 60, rng);
+
+    std::stringstream ss;
+    netlist::write_netlist(ss, nl);
+    const Netlist restored = netlist::read_netlist(ss);
+
+    sim::FunctionalEvaluator ea{nl};
+    sim::FunctionalEvaluator eb{restored};
+    for (int t = 0; t < 50; ++t) {
+        const BitVec in{8, rng.next_u64()};
+        ASSERT_EQ(ea.eval(in), eb.eval(in));
+    }
+}
+
+TEST_P(NetlistFuzz, CleanupPreservesFunction)
+{
+    Rng rng{static_cast<std::uint64_t>(GetParam()) * 65537 + 11};
+    const Netlist nl = random_netlist(8, 60, rng);
+    const Netlist cleaned = netlist::cleanup(nl);
+    EXPECT_LE(cleaned.num_cells(), nl.num_cells());
+
+    sim::FunctionalEvaluator ea{nl};
+    sim::FunctionalEvaluator eb{cleaned};
+    for (int t = 0; t < 50; ++t) {
+        const BitVec in{8, rng.next_u64()};
+        ASSERT_EQ(ea.eval(in), eb.eval(in));
+    }
+}
+
+TEST_P(NetlistFuzz, EventSimulatorMatchesFunctional)
+{
+    Rng rng{static_cast<std::uint64_t>(GetParam()) * 31337 + 5};
+    const Netlist nl = random_netlist(8, 60, rng);
+
+    sim::EventSimulator sim{nl, gate::TechLibrary::generic350()};
+    sim::FunctionalEvaluator eval{nl};
+    sim.initialize(BitVec{8, rng.next_u64()});
+    for (int t = 0; t < 30; ++t) {
+        const BitVec in{8, rng.next_u64()};
+        const sim::CycleResult cycle = sim.apply(in);
+        ASSERT_EQ(sim.outputs(), eval.eval(in));
+        ASSERT_GE(cycle.charge_fc, 0.0);
+    }
+}
+
+TEST_P(NetlistFuzz, TransportNeverCheaperThanInertial)
+{
+    // Filtering glitches can only remove transitions, never add them.
+    Rng rng{static_cast<std::uint64_t>(GetParam()) * 1299709 + 7};
+    const Netlist nl = random_netlist(8, 60, rng);
+
+    sim::EventSimOptions transport;
+    transport.inertial_window_ps = 0;
+    sim::EventSimOptions inertial;
+    inertial.inertial_window_ps = 300;
+    sim::EventSimulator st{nl, gate::TechLibrary::generic350(), transport};
+    sim::EventSimulator si{nl, gate::TechLibrary::generic350(), inertial};
+
+    Rng stim{static_cast<std::uint64_t>(GetParam())};
+    BitVec in{8, stim.next_u64()};
+    st.initialize(in);
+    si.initialize(in);
+    std::uint64_t transitions_t = 0;
+    std::uint64_t transitions_i = 0;
+    for (int t = 0; t < 40; ++t) {
+        in = BitVec{8, stim.next_u64()};
+        transitions_t += st.apply(in).transitions;
+        transitions_i += si.apply(in).transitions;
+    }
+    EXPECT_GE(transitions_t, transitions_i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetlistFuzz, ::testing::Range(0, 12));
+
+// --------------------------------------------------------------- models
+
+class ModelProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelProperties, DistributionDeltaRecoversCoefficient)
+{
+    Rng rng{static_cast<std::uint64_t>(GetParam()) + 1};
+    const int m = 4 + static_cast<int>(rng.uniform_int(std::uint64_t{12}));
+    std::vector<double> p(static_cast<std::size_t>(m));
+    for (double& v : p) {
+        v = rng.uniform(1.0, 1000.0);
+    }
+    const core::HdModel model{m, p};
+    for (int i = 1; i <= m; ++i) {
+        std::vector<double> delta(static_cast<std::size_t>(m) + 1, 0.0);
+        delta[static_cast<std::size_t>(i)] = 1.0;
+        EXPECT_DOUBLE_EQ(model.estimate_from_distribution(delta), model.coefficient(i));
+        EXPECT_DOUBLE_EQ(model.estimate_from_average_hd(static_cast<double>(i)),
+                         model.coefficient(i));
+    }
+}
+
+TEST_P(ModelProperties, DistributionEstimateIsLinear)
+{
+    Rng rng{static_cast<std::uint64_t>(GetParam()) + 100};
+    const int m = 6;
+    std::vector<double> p(static_cast<std::size_t>(m));
+    for (double& v : p) {
+        v = rng.uniform(1.0, 100.0);
+    }
+    const core::HdModel model{m, p};
+
+    auto random_dist = [&] {
+        std::vector<double> d(static_cast<std::size_t>(m) + 1);
+        double total = 0.0;
+        for (double& v : d) {
+            v = rng.uniform(0.0, 1.0);
+            total += v;
+        }
+        for (double& v : d) {
+            v /= total;
+        }
+        return d;
+    };
+    const auto d1 = random_dist();
+    const auto d2 = random_dist();
+    const double lambda = rng.uniform(0.0, 1.0);
+    std::vector<double> mix(d1.size());
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        mix[i] = lambda * d1[i] + (1.0 - lambda) * d2[i];
+    }
+    EXPECT_NEAR(model.estimate_from_distribution(mix),
+                lambda * model.estimate_from_distribution(d1) +
+                    (1.0 - lambda) * model.estimate_from_distribution(d2),
+                1e-9);
+}
+
+TEST_P(ModelProperties, SaveLoadIsIdentityOnRandomModels)
+{
+    Rng rng{static_cast<std::uint64_t>(GetParam()) + 200};
+    const int m = 3 + static_cast<int>(rng.uniform_int(std::uint64_t{20}));
+    std::vector<double> p(static_cast<std::size_t>(m));
+    std::vector<double> dev(static_cast<std::size_t>(m));
+    std::vector<std::size_t> count(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+        p[static_cast<std::size_t>(i)] = rng.uniform(0.001, 12345.0);
+        dev[static_cast<std::size_t>(i)] = rng.uniform(0.0, 1.0);
+        count[static_cast<std::size_t>(i)] = rng.uniform_int(std::uint64_t{1000});
+    }
+    const core::HdModel model{m, p, dev, count};
+    std::stringstream ss;
+    model.save(ss);
+    const core::HdModel restored = core::HdModel::load(ss);
+    for (int i = 1; i <= m; ++i) {
+        ASSERT_DOUBLE_EQ(restored.coefficient(i), model.coefficient(i));
+        ASSERT_DOUBLE_EQ(restored.deviation(i), model.deviation(i));
+        ASSERT_EQ(restored.sample_count(i), model.sample_count(i));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperties, ::testing::Range(0, 8));
+
+TEST(CharacterizationProperty, ChainAndPairsAgree)
+{
+    // Two very different stimulus schemes must converge to compatible
+    // coefficients (they estimate the same class means).
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 4);
+    const core::Characterizer characterizer;
+
+    core::CharacterizationOptions chain;
+    chain.max_transitions = 12000;
+    chain.min_transitions = 12000;
+    chain.seed = 1;
+    chain.mode = core::StimulusMode::StratifiedChain;
+
+    core::CharacterizationOptions pairs = chain;
+    pairs.mode = core::StimulusMode::StratifiedPairs;
+
+    const core::HdModel a = characterizer.characterize(module, chain);
+    const core::HdModel b = characterizer.characterize(module, pairs);
+    for (int i = 1; i <= a.input_bits(); ++i) {
+        EXPECT_NEAR(b.coefficient(i), a.coefficient(i), 0.12 * a.coefficient(i))
+            << "class " << i;
+    }
+}
+
+} // namespace
+} // namespace hdpm

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "dpgen/module.hpp"
+#include "sim/report.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm::sim {
+namespace {
+
+using util::BitVec;
+using util::Rng;
+
+struct SimulatedModule {
+    SimulatedModule()
+        : module(dp::make_module(dp::ModuleType::RippleAdder, 6)),
+          simulator(module.netlist(), gate::TechLibrary::generic350())
+    {
+        Rng rng{17};
+        const int m = module.total_input_bits();
+        simulator.initialize(BitVec{m, rng.next_u64()});
+        for (int i = 0; i < 200; ++i) {
+            total_charge += simulator.apply(BitVec{m, rng.next_u64()}).charge_fc;
+        }
+    }
+
+    dp::DatapathModule module;
+    EventSimulator simulator;
+    double total_charge = 0.0;
+};
+
+TEST(Report, TopNetsSortedAndBounded)
+{
+    SimulatedModule sm;
+    const auto top = top_power_nets(sm.module.netlist(), sm.simulator, 5);
+    ASSERT_EQ(top.size(), 5U);
+    for (std::size_t i = 1; i < top.size(); ++i) {
+        EXPECT_GE(top[i - 1].charge_fc, top[i].charge_fc);
+    }
+    for (const auto& entry : top) {
+        EXPECT_GT(entry.transitions, 0U);
+        EXPECT_GT(entry.share, 0.0);
+        EXPECT_LE(entry.share, 1.0);
+        EXPECT_FALSE(entry.label.empty());
+    }
+}
+
+TEST(Report, SharesSumToOneOverAllNets)
+{
+    SimulatedModule sm;
+    const auto all = top_power_nets(sm.module.netlist(), sm.simulator,
+                                    sm.module.netlist().num_nets());
+    double share_sum = 0.0;
+    double charge_sum = 0.0;
+    for (const auto& entry : all) {
+        share_sum += entry.share;
+        charge_sum += entry.charge_fc;
+    }
+    EXPECT_NEAR(share_sum, 1.0, 1e-9);
+    EXPECT_NEAR(charge_sum, sm.total_charge, 1e-6 * sm.total_charge);
+}
+
+TEST(Report, GateKindBreakdownCoversTotal)
+{
+    SimulatedModule sm;
+    const auto kinds = power_by_gate_kind(sm.module.netlist(), sm.simulator);
+    ASSERT_FALSE(kinds.empty());
+    double total = 0.0;
+    double share = 0.0;
+    for (const auto& entry : kinds) {
+        total += entry.charge_fc;
+        share += entry.share;
+        EXPECT_GT(entry.charge_fc, 0.0);
+    }
+    EXPECT_NEAR(total, sm.total_charge, 1e-6 * sm.total_charge);
+    EXPECT_NEAR(share, 1.0, 1e-9);
+    for (std::size_t i = 1; i < kinds.size(); ++i) {
+        EXPECT_GE(kinds[i - 1].charge_fc, kinds[i].charge_fc);
+    }
+}
+
+TEST(Report, RippleAdderSpendsMostChargeInXors)
+{
+    // The decomposed full adders put two XOR2 per bit on the busiest nets.
+    SimulatedModule sm;
+    const auto kinds = power_by_gate_kind(sm.module.netlist(), sm.simulator);
+    // Find XOR2's share.
+    double xor_share = 0.0;
+    for (const auto& entry : kinds) {
+        if (entry.kind == gate::GateKind::Xor2) {
+            xor_share = entry.share;
+        }
+    }
+    EXPECT_GT(xor_share, 0.2);
+}
+
+TEST(Report, PrintedReportMentionsEverything)
+{
+    SimulatedModule sm;
+    std::ostringstream os;
+    print_power_report(os, sm.module.netlist(), sm.simulator, 3);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("power report"), std::string::npos);
+    EXPECT_NE(text.find("top nets"), std::string::npos);
+    EXPECT_NE(text.find("XOR2"), std::string::npos);
+    EXPECT_NE(text.find("share"), std::string::npos);
+}
+
+TEST(Report, UntouchedSimulatorReportsNothing)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::AbsVal, 4);
+    EventSimulator simulator{module.netlist(), gate::TechLibrary::generic350()};
+    const auto top = top_power_nets(module.netlist(), simulator, 10);
+    EXPECT_TRUE(top.empty());
+}
+
+} // namespace
+} // namespace hdpm::sim

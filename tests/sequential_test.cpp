@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dpgen/module.hpp"
+#include "sim/functional.hpp"
+#include "sim/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm::sim {
+namespace {
+
+using util::BitVec;
+using util::Rng;
+
+/// A 2-stage pipeline: multiply (w×w), then absolute value of the product.
+struct MultAbsPipeline {
+    dp::DatapathModule mult;
+    dp::DatapathModule abs;
+    PipelineSimulator pipeline;
+
+    explicit MultAbsPipeline(int w, DffCosts costs = {})
+        : mult(dp::make_module(dp::ModuleType::CsaMultiplier, w)),
+          abs(dp::make_module(dp::ModuleType::AbsVal, 2 * w)),
+          pipeline({&mult.netlist(), &abs.netlist()}, gate::TechLibrary::generic350(),
+                   costs)
+    {
+    }
+};
+
+TEST(Pipeline, DepthAndWidthChecks)
+{
+    MultAbsPipeline p{4};
+    EXPECT_EQ(p.pipeline.depth(), 2U);
+    EXPECT_THROW((void)p.pipeline.step(BitVec{5, 0}), util::PreconditionError);
+}
+
+TEST(Pipeline, MismatchedStageWidthsRejected)
+{
+    const dp::DatapathModule a = dp::make_module(dp::ModuleType::CsaMultiplier, 4);
+    const dp::DatapathModule b = dp::make_module(dp::ModuleType::AbsVal, 5); // wrong
+    EXPECT_THROW((PipelineSimulator{{&a.netlist(), &b.netlist()},
+                                    gate::TechLibrary::generic350()}),
+                 util::PreconditionError);
+}
+
+TEST(Pipeline, ComputesComposedFunctionWithLatency)
+{
+    const int w = 4;
+    MultAbsPipeline p{w};
+    FunctionalEvaluator mult_eval{p.mult.netlist()};
+    FunctionalEvaluator abs_eval{p.abs.netlist()};
+
+    Rng rng{9};
+    std::vector<BitVec> inputs;
+    for (int i = 0; i < 30; ++i) {
+        inputs.emplace_back(2 * w, rng.next_u64());
+    }
+
+    p.pipeline.reset();
+    for (std::size_t j = 0; j < inputs.size(); ++j) {
+        (void)p.pipeline.step(inputs[j]);
+        if (j >= 1) {
+            // Latency 2: after feeding inputs[j], the pipeline output
+            // corresponds to inputs[j-1] (captured one edge earlier and now
+            // visible at stage 1's outputs... stage timing check below).
+            const BitVec expected = abs_eval.eval(mult_eval.eval(inputs[j - 1]));
+            EXPECT_EQ(p.pipeline.outputs(), expected) << "cycle " << j;
+        }
+    }
+}
+
+TEST(Pipeline, ResetClearsState)
+{
+    MultAbsPipeline p{4};
+    Rng rng{3};
+    (void)p.pipeline.step(BitVec{8, rng.next_u64()});
+    (void)p.pipeline.step(BitVec{8, rng.next_u64()});
+    p.pipeline.reset();
+
+    // After reset the pipeline behaves as if freshly constructed.
+    FunctionalEvaluator mult_eval{p.mult.netlist()};
+    FunctionalEvaluator abs_eval{p.abs.netlist()};
+    const BitVec x{8, 0b0110'0011};
+    (void)p.pipeline.step(x);
+    (void)p.pipeline.step(BitVec{8, 0});
+    EXPECT_EQ(p.pipeline.outputs(), abs_eval.eval(mult_eval.eval(x)));
+}
+
+TEST(Pipeline, RegisterChargeAccountsClockAndToggles)
+{
+    DffCosts costs;
+    costs.clock_charge_fc = 10.0;
+    costs.data_toggle_charge_fc = 100.0;
+    MultAbsPipeline p{4, costs};
+
+    // First step from all-zero banks with an all-zero input: only clock
+    // charge, no data toggles anywhere (stage outputs of zero inputs are
+    // zero for the multiplier; |0| = 0 too).
+    p.pipeline.reset();
+    const PipelineCycleResult quiet = p.pipeline.step(BitVec{8, 0});
+    const double clock_only =
+        10.0 * (8 + 8); // bank0: 8 bits, bank1: 8 bits (product width)
+    EXPECT_DOUBLE_EQ(quiet.register_fc, clock_only);
+    EXPECT_DOUBLE_EQ(quiet.combinational_fc, 0.0);
+
+    // A non-zero input toggles exactly its set bits in bank 0.
+    const PipelineCycleResult active = p.pipeline.step(BitVec{8, 0b0000'0101});
+    EXPECT_DOUBLE_EQ(active.register_fc, clock_only + 2 * 100.0);
+    EXPECT_GT(active.combinational_fc, 0.0);
+}
+
+TEST(Pipeline, RunAggregatesCycles)
+{
+    MultAbsPipeline p{4};
+    Rng rng{21};
+    std::vector<BitVec> inputs;
+    for (int i = 0; i < 50; ++i) {
+        inputs.emplace_back(8, rng.next_u64());
+    }
+    const PipelinePowerResult result = p.pipeline.run(inputs);
+    ASSERT_EQ(result.cycles.size(), 50U);
+    ASSERT_EQ(result.per_stage_fc.size(), 2U);
+
+    double comb = 0.0;
+    double reg = 0.0;
+    for (const auto& cycle : result.cycles) {
+        comb += cycle.combinational_fc;
+        reg += cycle.register_fc;
+    }
+    EXPECT_NEAR(comb, result.combinational_fc, 1e-9);
+    EXPECT_NEAR(reg, result.register_fc, 1e-9);
+    EXPECT_NEAR(result.per_stage_fc[0] + result.per_stage_fc[1],
+                result.combinational_fc, 1e-9);
+    EXPECT_GT(result.per_stage_fc[0], result.per_stage_fc[1])
+        << "the multiplier stage dominates";
+    EXPECT_GT(result.mean_total_fc(), 0.0);
+}
+
+TEST(Pipeline, RegisteringIsolatesStageActivity)
+{
+    // With registers between multiplier and absval, the absval stage sees
+    // only settled product values — its combinational charge per cycle must
+    // be below what it draws when fed the raw (glitch-free but
+    // full-swing) random patterns of the same width... sanity: both stages
+    // draw plausible nonzero power and the register share is nonzero.
+    MultAbsPipeline p{5};
+    Rng rng{33};
+    std::vector<BitVec> inputs;
+    for (int i = 0; i < 100; ++i) {
+        inputs.emplace_back(10, rng.next_u64());
+    }
+    const PipelinePowerResult result = p.pipeline.run(inputs);
+    EXPECT_GT(result.register_fc, 0.0);
+    EXPECT_GT(result.combinational_fc, result.register_fc)
+        << "logic should dominate flops for these stage sizes";
+}
+
+TEST(Pipeline, ClockGatingSavesOnIdleBanks)
+{
+    // A constant input stream: after the pipeline fills, no bank toggles —
+    // a gated pipeline pays only the gating overhead.
+    DffCosts gated;
+    gated.clock_gating = true;
+    MultAbsPipeline plain{4};
+    MultAbsPipeline with_gating{4, gated};
+
+    std::vector<BitVec> constant_stream(50, BitVec{8, 0b0101'0011});
+    const double plain_reg = plain.pipeline.run(constant_stream).register_fc;
+    const double gated_reg = with_gating.pipeline.run(constant_stream).register_fc;
+    EXPECT_LT(gated_reg, 0.25 * plain_reg);
+}
+
+TEST(Pipeline, ClockGatingOverheadVisibleOnBusyData)
+{
+    // On fully random data every bank toggles almost every cycle: gating
+    // saves nothing and costs its overhead.
+    DffCosts gated;
+    gated.clock_gating = true;
+    MultAbsPipeline plain{4};
+    MultAbsPipeline with_gating{4, gated};
+
+    Rng rng{3};
+    std::vector<BitVec> busy;
+    for (int i = 0; i < 100; ++i) {
+        busy.emplace_back(8, rng.next_u64());
+    }
+    const double plain_reg = plain.pipeline.run(busy).register_fc;
+    const double gated_reg = with_gating.pipeline.run(busy).register_fc;
+    EXPECT_GT(gated_reg, plain_reg);
+}
+
+TEST(Pipeline, ClockGatingPreservesFunction)
+{
+    DffCosts gated;
+    gated.clock_gating = true;
+    MultAbsPipeline plain{4};
+    MultAbsPipeline with_gating{4, gated};
+
+    Rng rng{17};
+    plain.pipeline.reset();
+    with_gating.pipeline.reset();
+    for (int i = 0; i < 30; ++i) {
+        const BitVec x{8, rng.next_u64()};
+        (void)plain.pipeline.step(x);
+        (void)with_gating.pipeline.step(x);
+        EXPECT_EQ(plain.pipeline.outputs(), with_gating.pipeline.outputs());
+    }
+}
+
+TEST(Pipeline, SingleStageDegeneratesToRegisteredModule)
+{
+    const dp::DatapathModule adder = dp::make_module(dp::ModuleType::RippleAdder, 6);
+    PipelineSimulator pipeline{{&adder.netlist()}, gate::TechLibrary::generic350()};
+    FunctionalEvaluator eval{adder.netlist()};
+
+    Rng rng{5};
+    const BitVec x{12, rng.next_u64()};
+    (void)pipeline.step(x);
+    EXPECT_EQ(pipeline.outputs(), eval.eval(x));
+}
+
+} // namespace
+} // namespace hdpm::sim

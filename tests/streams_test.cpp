@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "streams/bitstats.hpp"
+#include "streams/io.hpp"
+#include "streams/stream.hpp"
+#include "streams/wordstats.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::streams {
+namespace {
+
+using util::BitVec;
+
+constexpr std::size_t kSamples = 6000;
+
+TEST(Stream, Deterministic)
+{
+    for (const DataType type : all_data_types()) {
+        const auto a = generate_stream(type, 12, 500, 7);
+        const auto b = generate_stream(type, 12, 500, 7);
+        EXPECT_EQ(a, b) << data_type_name(type);
+    }
+}
+
+TEST(Stream, SeedsDiffer)
+{
+    const auto a = generate_stream(DataType::Random, 12, 500, 1);
+    const auto b = generate_stream(DataType::Random, 12, 500, 2);
+    EXPECT_NE(a, b);
+}
+
+class StreamRange : public ::testing::TestWithParam<std::tuple<DataType, int>> {};
+
+TEST_P(StreamRange, ValuesFitWidth)
+{
+    const auto [type, width] = GetParam();
+    const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+    const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+    for (const std::int64_t v : generate_stream(type, width, 2000, 3)) {
+        ASSERT_GE(v, lo);
+        ASSERT_LE(v, hi);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypesAndWidths, StreamRange,
+    ::testing::Combine(::testing::Values(DataType::Random, DataType::Music,
+                                         DataType::Speech, DataType::Video,
+                                         DataType::Counter),
+                       ::testing::Values(4, 8, 12, 16)),
+    [](const ::testing::TestParamInfo<std::tuple<DataType, int>>& info) {
+        return data_type_name(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Stream, LabelsMatchPaper)
+{
+    EXPECT_EQ(data_type_label(DataType::Random), "I");
+    EXPECT_EQ(data_type_label(DataType::Music), "II");
+    EXPECT_EQ(data_type_label(DataType::Speech), "III");
+    EXPECT_EQ(data_type_label(DataType::Video), "IV");
+    EXPECT_EQ(data_type_label(DataType::Counter), "V");
+}
+
+TEST(Stream, RandomIsWeaklyCorrelatedZeroMean)
+{
+    const auto v = generate_stream(DataType::Random, 16, kSamples, 11);
+    const WordStats s = measure_word_stats(v, 16);
+    EXPECT_NEAR(s.rho, 0.0, 0.05);
+    EXPECT_LT(std::abs(s.mean), 0.05 * 32768.0);
+    EXPECT_GT(s.stddev(), 0.2 * 32768.0); // uniform stddev = range/sqrt(12)
+}
+
+TEST(Stream, MusicIsWeaklyCorrelated)
+{
+    const auto v = generate_stream(DataType::Music, 16, kSamples, 11);
+    const WordStats s = measure_word_stats(v, 16);
+    EXPECT_GT(s.rho, 0.25) << "music should have some correlation";
+    EXPECT_LT(s.rho, 0.92) << "music should be weakly correlated";
+}
+
+TEST(Stream, SpeechIsStronglyCorrelated)
+{
+    const auto v = generate_stream(DataType::Speech, 16, kSamples, 11);
+    const WordStats s = measure_word_stats(v, 16);
+    EXPECT_GT(s.rho, 0.88);
+}
+
+TEST(Stream, VideoIsStronglyCorrelated)
+{
+    const auto v = generate_stream(DataType::Video, 16, kSamples, 11);
+    const WordStats s = measure_word_stats(v, 16);
+    EXPECT_GT(s.rho, 0.80);
+}
+
+TEST(Stream, CounterIsNonNegativeAndIncrements)
+{
+    const auto v = generate_stream(DataType::Counter, 8, 400, 11);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        ASSERT_GE(v[i], 0);
+        if (i > 0 && v[i] != 0) {
+            ASSERT_EQ(v[i], v[i - 1] + 1);
+        }
+    }
+}
+
+TEST(Stream, CounterSignBitsNeverSet)
+{
+    const auto v = generate_stream(DataType::Counter, 12, 5000, 3);
+    for (const std::int64_t x : v) {
+        ASSERT_LT(x, 1LL << 11);
+        ASSERT_GE(x, 0);
+    }
+}
+
+TEST(Stream, WidthRangeChecked)
+{
+    EXPECT_THROW((void)generate_stream(DataType::Random, 1, 10, 0),
+                 util::PreconditionError);
+    EXPECT_THROW((void)generate_stream(DataType::Random, 33, 10, 0),
+                 util::PreconditionError);
+}
+
+// ------------------------------------------------------------- wordstats
+
+TEST(WordStats, KnownSeries)
+{
+    const std::vector<std::int64_t> v{1, 2, 3, 4, 5};
+    const WordStats s = measure_word_stats(v, 8);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.variance, 2.0);
+    EXPECT_EQ(s.width, 8);
+    EXPECT_EQ(s.count, 5U);
+}
+
+TEST(WordStats, EmptyThrows)
+{
+    EXPECT_THROW((void)measure_word_stats({}, 8), util::PreconditionError);
+}
+
+// -------------------------------------------------------------- bitstats
+
+TEST(BitStats, RandomBitsHalfActive)
+{
+    const auto v = generate_stream(DataType::Random, 10, kSamples, 5);
+    const BitStats stats = measure_bit_stats(v, 10);
+    ASSERT_EQ(stats.width(), 10);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_NEAR(stats.signal_prob[static_cast<std::size_t>(i)], 0.5, 0.05) << i;
+        EXPECT_NEAR(stats.transition_prob[static_cast<std::size_t>(i)], 0.5, 0.05) << i;
+    }
+    EXPECT_NEAR(stats.average_hd(), 5.0, 0.3);
+}
+
+TEST(BitStats, CounterSignBitsQuiet)
+{
+    const auto v = generate_stream(DataType::Counter, 12, 4000, 5);
+    const BitStats stats = measure_bit_stats(v, 12);
+    // MSB (sign bit) never toggles; LSB toggles every cycle.
+    EXPECT_DOUBLE_EQ(stats.transition_prob[11], 0.0);
+    EXPECT_DOUBLE_EQ(stats.signal_prob[11], 0.0);
+    EXPECT_GT(stats.transition_prob[0], 0.95);
+}
+
+TEST(BitStats, SpeechSignBitsCorrelated)
+{
+    const auto v = generate_stream(DataType::Speech, 16, kSamples, 5);
+    const BitStats stats = measure_bit_stats(v, 16);
+    // Sign bits of a strongly correlated zero-mean signal toggle rarely.
+    EXPECT_LT(stats.transition_prob[15], 0.25);
+    // LSB region behaves randomly.
+    EXPECT_NEAR(stats.transition_prob[0], 0.5, 0.07);
+}
+
+TEST(HdExtraction, DistributionSumsToOne)
+{
+    const auto v = generate_stream(DataType::Music, 12, 3000, 9);
+    const auto patterns = to_patterns(v, 12);
+    const auto dist = extract_hd_distribution(patterns);
+    ASSERT_EQ(dist.size(), 13U);
+    double total = 0.0;
+    for (const double p : dist) {
+        EXPECT_GE(p, 0.0);
+        total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HdExtraction, AverageMatchesDistributionMean)
+{
+    const auto v = generate_stream(DataType::Speech, 12, 3000, 9);
+    const auto patterns = to_patterns(v, 12);
+    const auto dist = extract_hd_distribution(patterns);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+        mean += static_cast<double>(i) * dist[i];
+    }
+    EXPECT_NEAR(extract_average_hd(patterns), mean, 1e-9);
+}
+
+TEST(HdExtraction, KnownSequence)
+{
+    const std::vector<BitVec> patterns{BitVec{4, 0b0000}, BitVec{4, 0b0001},
+                                       BitVec{4, 0b0011}, BitVec{4, 0b0011}};
+    const auto dist = extract_hd_distribution(patterns);
+    EXPECT_DOUBLE_EQ(dist[0], 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(dist[1], 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(extract_average_hd(patterns), 2.0 / 3.0);
+}
+
+TEST(BitStats, AverageHdIsSumOfTransitionProbs)
+{
+    const auto v = generate_stream(DataType::Video, 10, 2000, 21);
+    const auto patterns = to_patterns(v, 10);
+    const BitStats stats = measure_bit_stats(patterns);
+    EXPECT_NEAR(stats.average_hd(), extract_average_hd(patterns), 1e-9);
+}
+
+TEST(WordStats, WindowedSplitsStream)
+{
+    const auto v = generate_stream(DataType::Speech, 12, 1000, 3);
+    const auto windows = windowed_word_stats(v, 12, 250);
+    ASSERT_EQ(windows.size(), 4U);
+    for (const auto& w : windows) {
+        EXPECT_EQ(w.count, 250U);
+        EXPECT_EQ(w.width, 12);
+    }
+    // Windowed means average to the global mean.
+    double mean = 0.0;
+    for (const auto& w : windows) {
+        mean += w.mean;
+    }
+    mean /= 4.0;
+    const WordStats global = measure_word_stats(v, 12);
+    EXPECT_NEAR(mean, global.mean, 1e-9);
+}
+
+TEST(WordStats, WindowedDropsPartialTail)
+{
+    const auto v = generate_stream(DataType::Random, 8, 1001, 3);
+    EXPECT_EQ(windowed_word_stats(v, 8, 250).size(), 4U);
+    EXPECT_THROW((void)windowed_word_stats(v, 8, 1), util::PreconditionError);
+}
+
+TEST(WordStats, SpeechIsNonstationary)
+{
+    // The bursty envelope makes per-window variance swing — the situation
+    // the adaptive model extension addresses.
+    const auto v = generate_stream(DataType::Speech, 16, 16000, 9);
+    const auto windows = windowed_word_stats(v, 16, 2000);
+    double min_var = windows[0].variance;
+    double max_var = windows[0].variance;
+    for (const auto& w : windows) {
+        min_var = std::min(min_var, w.variance);
+        max_var = std::max(max_var, w.variance);
+    }
+    EXPECT_GT(max_var, 1.5 * min_var);
+}
+
+TEST(StreamIo, SaveLoadRoundTrip)
+{
+    const auto original = generate_stream(DataType::Music, 12, 300, 5);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "hdpm_stream_test.csv").string();
+    save_stream(path, original, "sample");
+    const auto loaded = load_stream(path);
+    EXPECT_EQ(loaded, original);
+    std::remove(path.c_str());
+}
+
+TEST(StreamIo, LoadRejectsMultiColumn)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "hdpm_stream_bad.csv").string();
+    {
+        std::ofstream out{path};
+        out << "a,b\n1,2\n";
+    }
+    EXPECT_THROW((void)load_stream(path), util::PreconditionError);
+    std::remove(path.c_str());
+}
+
+TEST(NumberFormat, SignMagnitudeEncodeDecodeRoundTrip)
+{
+    for (const std::int64_t v : {-127LL, -64LL, -1LL, 0LL, 1LL, 90LL, 127LL}) {
+        const std::vector<std::int64_t> one{v};
+        const auto patterns = to_patterns(one, 8, NumberFormat::SignMagnitude);
+        EXPECT_EQ(decode_pattern(patterns[0], NumberFormat::SignMagnitude), v) << v;
+    }
+}
+
+TEST(NumberFormat, SignMagnitudeClampsOverflow)
+{
+    const std::vector<std::int64_t> v{-128};
+    const auto patterns = to_patterns(v, 8, NumberFormat::SignMagnitude);
+    EXPECT_EQ(decode_pattern(patterns[0], NumberFormat::SignMagnitude), -127);
+}
+
+TEST(NumberFormat, TwosComplementDelegates)
+{
+    const auto v = generate_stream(DataType::Music, 10, 100, 8);
+    const auto a = to_patterns(v, 10);
+    const auto b = to_patterns(v, 10, NumberFormat::TwosComplement);
+    EXPECT_EQ(a, b);
+}
+
+TEST(NumberFormat, SignFlipTogglesOneBit)
+{
+    const std::vector<std::int64_t> v{5, -5};
+    const auto sm = to_patterns(v, 8, NumberFormat::SignMagnitude);
+    EXPECT_EQ(util::BitVec::hamming_distance(sm[0], sm[1]), 1);
+    const auto tc = to_patterns(v, 8, NumberFormat::TwosComplement);
+    EXPECT_GT(util::BitVec::hamming_distance(tc[0], tc[1]), 1);
+}
+
+TEST(BitStats, NeedsTwoPatterns)
+{
+    const std::vector<BitVec> one{BitVec{4, 0}};
+    EXPECT_THROW((void)measure_bit_stats(one), util::PreconditionError);
+    EXPECT_THROW((void)extract_hd_distribution(one), util::PreconditionError);
+}
+
+} // namespace
+} // namespace hdpm::streams

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dpgen/module.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/transform.hpp"
+#include "sim/electrical.hpp"
+#include "sim/functional.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm::netlist {
+namespace {
+
+using gate::GateKind;
+using util::BitVec;
+using util::Rng;
+
+/// Check that two netlists with identical interfaces compute the same
+/// function on random inputs.
+void expect_equivalent(const Netlist& a, const Netlist& b, int trials = 200,
+                       std::uint64_t seed = 99)
+{
+    ASSERT_EQ(a.primary_inputs().size(), b.primary_inputs().size());
+    ASSERT_EQ(a.primary_outputs().size(), b.primary_outputs().size());
+    sim::FunctionalEvaluator ea{a};
+    sim::FunctionalEvaluator eb{b};
+    Rng rng{seed};
+    const int m = static_cast<int>(a.primary_inputs().size());
+    for (int t = 0; t < trials; ++t) {
+        const BitVec in{m, rng.next_u64()};
+        ASSERT_EQ(ea.eval(in), eb.eval(in)) << "mismatch at trial " << t;
+    }
+}
+
+TEST(FoldConstants, AndWithOneAliases)
+{
+    NetlistBuilder b{"and1"};
+    const NetId x = b.input("x");
+    b.output(b.and2(x, b.const1()), "y");
+    const Netlist original = b.take();
+
+    TransformStats stats;
+    const Netlist folded = fold_constants(original, &stats);
+    EXPECT_EQ(folded.num_cells(), 0U) << "AND2(x,1) and the constant must vanish";
+    EXPECT_GE(stats.folded_cells, 1U);
+    expect_equivalent(original, folded);
+}
+
+TEST(FoldConstants, AndWithZeroBecomesConstant)
+{
+    NetlistBuilder b{"and0"};
+    const NetId x = b.input("x");
+    b.output(b.and2(x, b.const0()), "y");
+    const Netlist original = b.take();
+
+    const Netlist folded = fold_constants(original);
+    // One CONST0 cell remains to drive the output.
+    EXPECT_EQ(folded.num_cells(), 1U);
+    EXPECT_EQ(folded.cell(0).kind, GateKind::Const0);
+    expect_equivalent(original, folded);
+}
+
+TEST(FoldConstants, XorWithOneBecomesInverter)
+{
+    NetlistBuilder b{"xor1"};
+    const NetId x = b.input("x");
+    b.output(b.xor2(x, b.const1()), "y");
+    const Netlist original = b.take();
+
+    const Netlist folded = fold_constants(original);
+    ASSERT_EQ(folded.num_cells(), 1U);
+    EXPECT_EQ(folded.cell(0).kind, GateKind::Inv);
+    expect_equivalent(original, folded);
+}
+
+TEST(FoldConstants, MuxWithEqualDataAliases)
+{
+    NetlistBuilder b{"mux_same"};
+    const NetId a = b.input("a");
+    const NetId sel = b.input("s");
+    b.output(b.mux2(a, a, sel), "y");
+    const Netlist original = b.take();
+
+    const Netlist folded = fold_constants(original);
+    EXPECT_EQ(folded.num_cells(), 0U);
+    expect_equivalent(original, folded);
+}
+
+TEST(FoldConstants, MuxWithConstantSelect)
+{
+    NetlistBuilder b{"mux_const_sel"};
+    const NetId a = b.input("a");
+    const NetId c = b.input("b");
+    b.output(b.mux2(a, c, b.const1()), "y");
+    const Netlist original = b.take();
+
+    const Netlist folded = fold_constants(original);
+    EXPECT_EQ(folded.num_cells(), 0U) << "select=1 wires input b through";
+    expect_equivalent(original, folded);
+}
+
+TEST(FoldConstants, ConstantChainsPropagate)
+{
+    NetlistBuilder b{"chain"};
+    const NetId x = b.input("x");
+    // inv(const0) = 1; and2(x, 1) = x; or2(x, x) = x... keep one live gate.
+    const NetId one = b.inv(b.const0());
+    const NetId anded = b.and2(x, one);
+    b.output(b.inv(anded), "y");
+    const Netlist original = b.take();
+
+    const Netlist folded = fold_constants(original);
+    EXPECT_EQ(folded.num_cells(), 1U); // only the final inverter
+    expect_equivalent(original, folded);
+}
+
+TEST(FoldConstants, XorOfSameNetIsZero)
+{
+    NetlistBuilder b{"xx"};
+    const NetId x = b.input("x");
+    b.output(b.xor2(x, x), "y");
+    const Netlist original = b.take();
+
+    const Netlist folded = fold_constants(original);
+    ASSERT_EQ(folded.num_cells(), 1U);
+    EXPECT_EQ(folded.cell(0).kind, GateKind::Const0);
+    expect_equivalent(original, folded);
+}
+
+TEST(FoldConstants, IncrementerShrinks)
+{
+    // The incrementer's half-adder chain starts from a constant 1 and folds
+    // substantially (the first stage becomes an inverter + wire).
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::Incrementer, 8);
+    TransformStats stats;
+    const Netlist folded = fold_constants(module.netlist(), &stats);
+    EXPECT_LT(folded.num_cells(), module.netlist().num_cells());
+    EXPECT_GE(stats.folded_cells, 2U);
+    expect_equivalent(module.netlist(), folded);
+}
+
+class FoldModules : public ::testing::TestWithParam<dp::ModuleType> {};
+
+TEST_P(FoldModules, FoldingPreservesFunction)
+{
+    const dp::DatapathModule module = dp::make_module(GetParam(), 6);
+    const Netlist folded = fold_constants(module.netlist());
+    expect_equivalent(module.netlist(), folded, 150,
+                      0xF01D + static_cast<std::uint64_t>(GetParam()));
+    EXPECT_LE(folded.num_cells(), module.netlist().num_cells());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, FoldModules,
+    ::testing::ValuesIn(dp::all_module_types().begin(), dp::all_module_types().end()),
+    [](const ::testing::TestParamInfo<dp::ModuleType>& info) {
+        return dp::module_type_id(info.param);
+    });
+
+TEST(DeadGates, RemovesUnreachableLogic)
+{
+    NetlistBuilder b{"dead"};
+    const NetId x = b.input("x");
+    const NetId y = b.input("y");
+    b.output(b.and2(x, y), "live");
+    (void)b.xor2(x, y); // never reaches an output
+    (void)b.or2(x, y);
+    const Netlist original = b.take();
+
+    TransformStats stats;
+    const Netlist cleaned = eliminate_dead_gates(original, &stats);
+    EXPECT_EQ(cleaned.num_cells(), 1U);
+    EXPECT_EQ(stats.removed_cells, 2U);
+    EXPECT_EQ(stats.removed_nets, 2U);
+    expect_equivalent(original, cleaned);
+}
+
+TEST(DeadGates, KeepsUnusedPrimaryInputs)
+{
+    NetlistBuilder b{"unused_pi"};
+    const NetId x = b.input("x");
+    (void)b.input("unused");
+    b.output(b.inv(x), "y");
+    const Netlist original = b.take();
+
+    const Netlist cleaned = eliminate_dead_gates(original);
+    EXPECT_EQ(cleaned.primary_inputs().size(), 2U)
+        << "the module interface must not change";
+    expect_equivalent(original, cleaned);
+}
+
+TEST(DeadGates, ModulesAreAlreadyFullyLive)
+{
+    // The generators emit no dead logic: elimination is a no-op.
+    for (const dp::ModuleType type :
+         {dp::ModuleType::RippleAdder, dp::ModuleType::CsaMultiplier}) {
+        const dp::DatapathModule module = dp::make_module(type, 6);
+        const Netlist cleaned = eliminate_dead_gates(module.netlist());
+        EXPECT_EQ(cleaned.num_cells(), module.netlist().num_cells())
+            << dp::module_type_id(type);
+    }
+}
+
+TEST(Cleanup, FoldThenEliminate)
+{
+    NetlistBuilder b{"combined"};
+    const NetId x = b.input("x");
+    const NetId y = b.input("y");
+    // and2(x, 0) = 0 feeds a dead xor; the live path is or2(x, y).
+    const NetId zero = b.and2(x, b.const0());
+    (void)b.xor2(zero, y);
+    b.output(b.or2(x, y), "live");
+    const Netlist original = b.take();
+
+    TransformStats stats;
+    const Netlist cleaned = cleanup(original, &stats);
+    EXPECT_EQ(cleaned.num_cells(), 1U);
+    expect_equivalent(original, cleaned);
+}
+
+std::size_t max_fanout_pins(const Netlist& nl)
+{
+    std::size_t worst = 0;
+    for (const auto& consumers : nl.fanout_table()) {
+        worst = std::max(worst, consumers.size());
+    }
+    return worst;
+}
+
+TEST(Buffering, SplitsHighFanoutNet)
+{
+    NetlistBuilder b{"fan16"};
+    const NetId x = b.input("x");
+    const NetId y = b.input("y");
+    Bus outs;
+    for (int i = 0; i < 16; ++i) {
+        outs.push_back(b.and2(x, y)); // x and y each drive 16 pins
+    }
+    b.output_bus(outs, "o");
+    const Netlist original = b.take();
+    ASSERT_EQ(max_fanout_pins(original), 16U);
+
+    const Netlist buffered = buffer_high_fanout(original, 4);
+    EXPECT_LE(max_fanout_pins(buffered), 4U);
+    EXPECT_GT(buffered.num_cells(), original.num_cells());
+    expect_equivalent(original, buffered);
+}
+
+TEST(Buffering, BuildsTreesForVeryWideNets)
+{
+    NetlistBuilder b{"fan64"};
+    const NetId x = b.input("x");
+    Bus outs;
+    for (int i = 0; i < 64; ++i) {
+        outs.push_back(b.inv(x));
+    }
+    b.output_bus(outs, "o");
+    const Netlist original = b.take();
+
+    const Netlist buffered = buffer_high_fanout(original, 4);
+    // 64 sinks behind max-4 groups needs a multi-level tree.
+    EXPECT_LE(max_fanout_pins(buffered), 4U);
+    expect_equivalent(original, buffered);
+}
+
+TEST(Buffering, NoopWhenWithinBudget)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 4);
+    const Netlist buffered = buffer_high_fanout(module.netlist(), 64);
+    EXPECT_EQ(buffered.num_cells(), module.netlist().num_cells());
+}
+
+TEST(Buffering, SameNetOnTwoPinsHandled)
+{
+    NetlistBuilder b{"dup"};
+    const NetId x = b.input("x");
+    Bus outs;
+    for (int i = 0; i < 6; ++i) {
+        outs.push_back(b.xor3(x, x, x)); // 18 pins on one net
+    }
+    b.output_bus(outs, "o");
+    const Netlist original = b.take();
+
+    const Netlist buffered = buffer_high_fanout(original, 3);
+    EXPECT_LE(max_fanout_pins(buffered), 3U);
+    expect_equivalent(original, buffered);
+}
+
+TEST(Buffering, ReducesCriticalPathOfWideFanout)
+{
+    // Splitting a heavily loaded net lowers its load-dependent delay.
+    NetlistBuilder b{"loaded"};
+    const NetId x = b.input("x");
+    const NetId y = b.input("y");
+    const NetId hot = b.xor2(x, y);
+    Bus outs;
+    for (int i = 0; i < 40; ++i) {
+        outs.push_back(b.inv(hot));
+    }
+    b.output_bus(outs, "o");
+    const Netlist original = b.take();
+
+    const Netlist buffered = buffer_high_fanout(original, 8);
+    const sim::ElectricalView before{original, gate::TechLibrary::generic350()};
+    const sim::ElectricalView after{buffered, gate::TechLibrary::generic350()};
+    EXPECT_LT(after.critical_path_ps(), before.critical_path_ps());
+    expect_equivalent(original, buffered);
+}
+
+TEST(Buffering, RejectsTinyBudget)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::AbsVal, 4);
+    EXPECT_THROW((void)buffer_high_fanout(module.netlist(), 1), util::PreconditionError);
+}
+
+TEST(Cleanup, SaturatingAdderKeepsFunctionUnderCleanup)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::SaturatingAdder, 8);
+    TransformStats stats;
+    const Netlist cleaned = cleanup(module.netlist(), &stats);
+    expect_equivalent(module.netlist(), cleaned, 300, 0xBEEF);
+}
+
+} // namespace
+} // namespace hdpm::netlist

@@ -1,0 +1,579 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <sstream>
+
+#include "util/accumulators.hpp"
+#include "util/bitvec.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/interp.hpp"
+#include "util/linalg.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace hdpm::util {
+namespace {
+
+// ---------------------------------------------------------------- BitVec
+
+TEST(BitVec, DefaultIsEmpty)
+{
+    const BitVec v;
+    EXPECT_EQ(v.width(), 0);
+    EXPECT_EQ(v.raw(), 0U);
+}
+
+TEST(BitVec, ConstructionMasksHighBits)
+{
+    const BitVec v{4, 0xFFULL};
+    EXPECT_EQ(v.raw(), 0xFULL);
+    EXPECT_EQ(v.popcount(), 4);
+}
+
+TEST(BitVec, GetSetFlip)
+{
+    BitVec v{8};
+    v.set(3, true);
+    EXPECT_TRUE(v.get(3));
+    EXPECT_FALSE(v.get(2));
+    v.flip(3);
+    EXPECT_FALSE(v.get(3));
+    v.flip(7);
+    EXPECT_EQ(v.raw(), 0x80ULL);
+}
+
+TEST(BitVec, IndexOutOfRangeThrows)
+{
+    BitVec v{4};
+    EXPECT_THROW((void)v.get(4), PreconditionError);
+    EXPECT_THROW(v.set(-1, true), PreconditionError);
+    EXPECT_THROW(v.flip(4), PreconditionError);
+}
+
+TEST(BitVec, WidthOutOfRangeThrows)
+{
+    EXPECT_THROW(BitVec(-1, 0), PreconditionError);
+    EXPECT_THROW(BitVec(65, 0), PreconditionError);
+}
+
+TEST(BitVec, HammingDistance)
+{
+    const BitVec u{8, 0b1010'1010};
+    const BitVec v{8, 0b0101'0101};
+    EXPECT_EQ(BitVec::hamming_distance(u, v), 8);
+    EXPECT_EQ(BitVec::hamming_distance(u, u), 0);
+    const BitVec w{8, 0b1010'1011};
+    EXPECT_EQ(BitVec::hamming_distance(u, w), 1);
+}
+
+TEST(BitVec, HammingDistanceWidthMismatchThrows)
+{
+    EXPECT_THROW((void)BitVec::hamming_distance(BitVec{4}, BitVec{5}), PreconditionError);
+}
+
+TEST(BitVec, StableZerosAndOnes)
+{
+    const BitVec u{6, 0b110010};
+    const BitVec v{6, 0b100011};
+    // Positions: 0: 0/1 switch; 1: 1/1 stable one; 2: 0/0 stable zero;
+    // 3: 0/0 stable zero; 4: 1/0 switch; 5: 1/1 stable one.
+    EXPECT_EQ(BitVec::hamming_distance(u, v), 2);
+    EXPECT_EQ(BitVec::stable_zeros(u, v), 2);
+    EXPECT_EQ(BitVec::stable_ones(u, v), 2);
+}
+
+TEST(BitVec, StableCountsPartitionWord)
+{
+    Rng rng{7};
+    for (int trial = 0; trial < 200; ++trial) {
+        const int m = 1 + static_cast<int>(rng.uniform_int(63));
+        const BitVec u{m, rng.next_u64()};
+        const BitVec v{m, rng.next_u64()};
+        const int parts = BitVec::hamming_distance(u, v) + BitVec::stable_zeros(u, v) +
+                          BitVec::stable_ones(u, v);
+        EXPECT_EQ(parts, m);
+    }
+}
+
+TEST(BitVec, ConcatAndSlice)
+{
+    const BitVec lo{4, 0b1010};
+    const BitVec hi{3, 0b011};
+    const BitVec cat = lo.concat_high(hi);
+    EXPECT_EQ(cat.width(), 7);
+    EXPECT_EQ(cat.raw(), 0b011'1010ULL);
+    EXPECT_EQ(cat.slice(0, 4), lo);
+    EXPECT_EQ(cat.slice(4, 3), hi);
+    EXPECT_THROW((void)cat.slice(5, 3), PreconditionError);
+}
+
+TEST(BitVec, XorOperator)
+{
+    const BitVec a{5, 0b10110};
+    const BitVec b{5, 0b01110};
+    EXPECT_EQ((a ^ b).raw(), 0b11000ULL);
+    EXPECT_THROW((void)(a ^ BitVec{4}), PreconditionError);
+}
+
+TEST(BitVec, ToStringMsbFirst)
+{
+    const BitVec v{5, 0b00101};
+    EXPECT_EQ(v.to_string(), "00101");
+}
+
+TEST(TwosComplement, EncodeDecodeRoundTrip)
+{
+    for (const std::int64_t value : {-128LL, -1LL, 0LL, 1LL, 127LL}) {
+        const BitVec v = encode_twos_complement(value, 8);
+        EXPECT_EQ(decode_twos_complement(v), value) << "value " << value;
+    }
+}
+
+TEST(TwosComplement, NegativeOneIsAllOnes)
+{
+    const BitVec v = encode_twos_complement(-1, 6);
+    EXPECT_EQ(v.raw(), 0b111111ULL);
+}
+
+TEST(TwosComplement, RangeChecked)
+{
+    EXPECT_THROW((void)encode_twos_complement(128, 8), PreconditionError);
+    EXPECT_THROW((void)encode_twos_complement(-129, 8), PreconditionError);
+    EXPECT_NO_THROW((void)encode_twos_complement(-128, 8));
+}
+
+TEST(TwosComplement, DecodeUnsigned)
+{
+    const BitVec v{8, 0xF0};
+    EXPECT_EQ(decode_unsigned(v), 0xF0U);
+    EXPECT_EQ(decode_twos_complement(v), -16);
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(Rng, Deterministic)
+{
+    Rng a{42};
+    Rng b{42};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DistinctSeedsDiffer)
+{
+    Rng a{1};
+    Rng b{2};
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng{3};
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        stats.add(u);
+    }
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+    EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntRange)
+{
+    Rng rng{4};
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniform_int(-5, 5);
+        ASSERT_GE(v, -5);
+        ASSERT_LE(v, 5);
+    }
+    EXPECT_THROW((void)rng.uniform_int(std::uint64_t{0}), PreconditionError);
+    EXPECT_THROW((void)rng.uniform_int(3, 2), PreconditionError);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng{5};
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i) {
+        stats.add(rng.gaussian());
+    }
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng{6};
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i) {
+        stats.add(rng.gaussian(10.0, 2.0));
+    }
+    EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng{7};
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    rng.shuffle(v);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(Rng, SplitDecorrelates)
+{
+    Rng parent{8};
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent.next_u64() == child.next_u64()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 2);
+}
+
+// --------------------------------------------------------------- linalg
+
+TEST(Linalg, SolveIdentity)
+{
+    const Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+    const auto x = solve_linear(a, {3.0, -4.0});
+    EXPECT_DOUBLE_EQ(x[0], 3.0);
+    EXPECT_DOUBLE_EQ(x[1], -4.0);
+}
+
+TEST(Linalg, SolveKnownSystem)
+{
+    // 2x + y = 5; x - y = 1  → x = 2, y = 1
+    const Matrix a{{2.0, 1.0}, {1.0, -1.0}};
+    const auto x = solve_linear(a, {5.0, 1.0});
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Linalg, SolveNeedsPivoting)
+{
+    const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+    const auto x = solve_linear(a, {2.0, 7.0});
+    EXPECT_NEAR(x[0], 7.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Linalg, SingularThrows)
+{
+    const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_THROW((void)solve_linear(a, {1.0, 2.0}), RuntimeError);
+}
+
+TEST(Linalg, LeastSquaresExactFit)
+{
+    // y = 3x + 2 sampled at x = 1..4.
+    Matrix a{4, 2};
+    std::vector<double> b(4);
+    for (int i = 0; i < 4; ++i) {
+        const double x = i + 1.0;
+        a.at(static_cast<std::size_t>(i), 0) = x;
+        a.at(static_cast<std::size_t>(i), 1) = 1.0;
+        b[static_cast<std::size_t>(i)] = 3.0 * x + 2.0;
+    }
+    const auto r = least_squares(a, b);
+    EXPECT_NEAR(r[0], 3.0, 1e-6);
+    EXPECT_NEAR(r[1], 2.0, 1e-6);
+}
+
+TEST(Linalg, LeastSquaresOverdeterminedResidual)
+{
+    // Points (0,0), (1,1), (2,1): best line y = 0.5x + 1/6.
+    const Matrix a{{0.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}};
+    const std::vector<double> b{0.0, 1.0, 1.0};
+    const auto r = least_squares(a, b);
+    EXPECT_NEAR(r[0], 0.5, 1e-9);
+    EXPECT_NEAR(r[1], 1.0 / 6.0, 1e-9);
+}
+
+TEST(Linalg, MatrixMultiply)
+{
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    const Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Linalg, TransposeAndMatVec)
+{
+    const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    const Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3U);
+    EXPECT_EQ(t.cols(), 2U);
+    EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+    const std::vector<double> x{1.0, 1.0, 1.0};
+    const auto y = a.multiply(x);
+    EXPECT_DOUBLE_EQ(y[0], 6.0);
+    EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Linalg, DotProduct)
+{
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> b{4.0, 5.0, 6.0};
+    EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+    const std::vector<double> c{1.0};
+    EXPECT_THROW((void)dot(a, c), PreconditionError);
+}
+
+// --------------------------------------------------------------- interp
+
+TEST(Interp, ExactAtNodes)
+{
+    const std::vector<double> xs{1.0, 2.0, 4.0};
+    const std::vector<double> ys{10.0, 20.0, 40.0};
+    EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 2.0), 20.0);
+    EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 4.0), 40.0);
+}
+
+TEST(Interp, Midpoints)
+{
+    const std::vector<double> xs{0.0, 1.0};
+    const std::vector<double> ys{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.25), 2.5);
+}
+
+TEST(Interp, ClampsOutside)
+{
+    const std::vector<double> xs{1.0, 2.0};
+    const std::vector<double> ys{5.0, 7.0};
+    EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.0), 5.0);
+    EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 9.0), 7.0);
+}
+
+TEST(Interp, RejectsBadInput)
+{
+    const std::vector<double> xs{2.0, 1.0};
+    const std::vector<double> ys{0.0, 0.0};
+    EXPECT_THROW((void)interp_linear(xs, ys, 1.5), PreconditionError);
+    EXPECT_THROW((void)interp_linear({}, {}, 0.0), PreconditionError);
+}
+
+TEST(Interp, UnitGridMatchesGeneral)
+{
+    const std::vector<double> ys{1.0, 4.0, 9.0, 16.0};
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    for (const double x : {0.5, 1.0, 1.5, 2.75, 4.0, 5.0}) {
+        EXPECT_DOUBLE_EQ(interp_on_unit_grid(ys, x), interp_linear(xs, ys, x)) << x;
+    }
+}
+
+// --------------------------------------------------------- accumulators
+
+TEST(RunningStats, MeanVarianceMinMax)
+{
+    RunningStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.add(x);
+    }
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.count(), 8U);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    Rng rng{11};
+    RunningStats whole;
+    RunningStats a;
+    RunningStats b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.gaussian(3.0, 2.0);
+        whole.add(x);
+        (i % 2 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_EQ(a.count(), whole.count());
+}
+
+TEST(Autocorr, Ar1RecoversRho)
+{
+    Rng rng{12};
+    AutocorrAccumulator acc;
+    double x = 0.0;
+    const double rho = 0.8;
+    for (int i = 0; i < 100000; ++i) {
+        x = rho * x + rng.gaussian() * std::sqrt(1 - rho * rho);
+        acc.add(x);
+    }
+    EXPECT_NEAR(acc.rho(), rho, 0.02);
+    EXPECT_NEAR(acc.mean(), 0.0, 0.05);
+}
+
+TEST(Autocorr, WhiteNoiseNearZero)
+{
+    Rng rng{13};
+    AutocorrAccumulator acc;
+    for (int i = 0; i < 50000; ++i) {
+        acc.add(rng.gaussian());
+    }
+    EXPECT_NEAR(acc.rho(), 0.0, 0.02);
+}
+
+TEST(Autocorr, ConstantSeriesIsZero)
+{
+    AutocorrAccumulator acc;
+    for (int i = 0; i < 10; ++i) {
+        acc.add(5.0);
+    }
+    EXPECT_DOUBLE_EQ(acc.rho(), 0.0);
+}
+
+TEST(BitVec, ConcatOverflowThrows)
+{
+    const BitVec a{40};
+    const BitVec b{30};
+    EXPECT_THROW((void)a.concat_high(b), PreconditionError);
+}
+
+TEST(BitVec, FullWidthRoundTrip)
+{
+    const BitVec v{64, ~std::uint64_t{0}};
+    EXPECT_EQ(v.popcount(), 64);
+    EXPECT_EQ(v.zerocount(), 0);
+    EXPECT_EQ(BitVec::hamming_distance(v, BitVec{64, 0}), 64);
+    EXPECT_EQ(BitVec::stable_zeros(BitVec{64, 0}, BitVec{64, 0}), 64);
+}
+
+TEST(RunningStats, SumAndAbsSum)
+{
+    RunningStats s;
+    for (const double x : {-3.0, 1.0, 2.0}) {
+        s.add(x);
+    }
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum_abs(), 6.0);
+}
+
+TEST(RunningStats, MergeEmptySides)
+{
+    RunningStats a;
+    RunningStats b;
+    b.add(5.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    RunningStats c;
+    a.merge(c); // merging empty is a no-op
+    EXPECT_EQ(a.count(), 1U);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(std::uniform_random_bit_generator<Rng>);
+    Rng rng{1};
+    EXPECT_LE(Rng::min(), Rng::max());
+    (void)rng();
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.set_header({"name", "value"});
+    t.add_row({"a", "1"});
+    t.add_row({"long-name", "12345"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    // Both data rows end aligned at the same width.
+    EXPECT_NE(s.find("    1\n"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthChecked)
+{
+    TextTable t;
+    t.set_header({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TextTable, RulesSeparateSections)
+{
+    TextTable t;
+    t.set_header({"a"});
+    t.add_row({"1"});
+    t.add_rule();
+    t.add_row({"2"});
+    const std::string s = t.str();
+    // header rule + explicit rule = at least two dashed lines.
+    std::size_t dashes = 0;
+    std::istringstream is{s};
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.find_first_not_of('-') == std::string::npos) {
+            ++dashes;
+        }
+    }
+    EXPECT_GE(dashes, 2U);
+}
+
+TEST(TextTable, LeftAlignment)
+{
+    TextTable t;
+    t.set_header({"name", "v"});
+    t.set_alignment({Align::Left, Align::Right});
+    t.add_row({"ab", "1"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("ab  "), std::string::npos) << s;
+}
+
+TEST(TextTable, FormatHelpers)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::fmt(42LL), "42");
+}
+
+// ------------------------------------------------------------------ csv
+
+TEST(Csv, RoundTrip)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "hdpm_csv_test.csv").string();
+    write_csv(path, {"x", "y"}, {{1.0, 2.5}, {3.0, -4.0}});
+    const CsvTable table = read_csv(path);
+    ASSERT_EQ(table.header.size(), 2U);
+    EXPECT_EQ(table.header[0], "x");
+    ASSERT_EQ(table.rows.size(), 2U);
+    EXPECT_DOUBLE_EQ(table.rows[1][1], -4.0);
+    std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows)
+{
+    EXPECT_THROW((void)read_csv("/nonexistent/path.csv"), RuntimeError);
+}
+
+} // namespace
+} // namespace hdpm::util
