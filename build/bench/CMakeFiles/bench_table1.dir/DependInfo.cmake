@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1.cpp" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o" "gcc" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/hdpm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hdpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpgen/CMakeFiles/hdpm_dpgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hdpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/hdpm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatelib/CMakeFiles/hdpm_gatelib.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hdpm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/hdpm_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpm_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/hdpm_bench_common.dir/bench_common.cpp.o.d"
+  "libhdpm_bench_common.a"
+  "libhdpm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitwidth_explorer.dir/bitwidth_explorer.cpp.o"
+  "CMakeFiles/bitwidth_explorer.dir/bitwidth_explorer.cpp.o.d"
+  "bitwidth_explorer"
+  "bitwidth_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitwidth_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

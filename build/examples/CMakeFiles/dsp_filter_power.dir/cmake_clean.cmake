@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_filter_power.dir/dsp_filter_power.cpp.o"
+  "CMakeFiles/dsp_filter_power.dir/dsp_filter_power.cpp.o.d"
+  "dsp_filter_power"
+  "dsp_filter_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_filter_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

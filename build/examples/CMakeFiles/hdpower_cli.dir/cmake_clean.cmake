@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpower_cli.dir/hdpower_cli.cpp.o"
+  "CMakeFiles/hdpower_cli.dir/hdpower_cli.cpp.o.d"
+  "hdpower_cli"
+  "hdpower_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpower_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_analysis.dir/stream_analysis.cpp.o"
+  "CMakeFiles/stream_analysis.dir/stream_analysis.cpp.o.d"
+  "stream_analysis"
+  "stream_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

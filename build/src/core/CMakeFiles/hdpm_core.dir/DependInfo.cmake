@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/hdpm_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/bitwise_model.cpp" "src/core/CMakeFiles/hdpm_core.dir/bitwise_model.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/bitwise_model.cpp.o.d"
+  "/root/repo/src/core/bus_model.cpp" "src/core/CMakeFiles/hdpm_core.dir/bus_model.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/bus_model.cpp.o.d"
+  "/root/repo/src/core/char_report.cpp" "src/core/CMakeFiles/hdpm_core.dir/char_report.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/char_report.cpp.o.d"
+  "/root/repo/src/core/characterize.cpp" "src/core/CMakeFiles/hdpm_core.dir/characterize.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/characterize.cpp.o.d"
+  "/root/repo/src/core/enhanced_model.cpp" "src/core/CMakeFiles/hdpm_core.dir/enhanced_model.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/enhanced_model.cpp.o.d"
+  "/root/repo/src/core/error_metrics.cpp" "src/core/CMakeFiles/hdpm_core.dir/error_metrics.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/error_metrics.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/hdpm_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/hd_model.cpp" "src/core/CMakeFiles/hdpm_core.dir/hd_model.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/hd_model.cpp.o.d"
+  "/root/repo/src/core/model_library.cpp" "src/core/CMakeFiles/hdpm_core.dir/model_library.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/model_library.cpp.o.d"
+  "/root/repo/src/core/regression.cpp" "src/core/CMakeFiles/hdpm_core.dir/regression.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/regression.cpp.o.d"
+  "/root/repo/src/core/workloads.cpp" "src/core/CMakeFiles/hdpm_core.dir/workloads.cpp.o" "gcc" "src/core/CMakeFiles/hdpm_core.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpgen/CMakeFiles/hdpm_dpgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hdpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hdpm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/hdpm_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/hdpm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatelib/CMakeFiles/hdpm_gatelib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpm_core.dir/adaptive.cpp.o"
+  "CMakeFiles/hdpm_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/hdpm_core.dir/bitwise_model.cpp.o"
+  "CMakeFiles/hdpm_core.dir/bitwise_model.cpp.o.d"
+  "CMakeFiles/hdpm_core.dir/bus_model.cpp.o"
+  "CMakeFiles/hdpm_core.dir/bus_model.cpp.o.d"
+  "CMakeFiles/hdpm_core.dir/char_report.cpp.o"
+  "CMakeFiles/hdpm_core.dir/char_report.cpp.o.d"
+  "CMakeFiles/hdpm_core.dir/characterize.cpp.o"
+  "CMakeFiles/hdpm_core.dir/characterize.cpp.o.d"
+  "CMakeFiles/hdpm_core.dir/enhanced_model.cpp.o"
+  "CMakeFiles/hdpm_core.dir/enhanced_model.cpp.o.d"
+  "CMakeFiles/hdpm_core.dir/error_metrics.cpp.o"
+  "CMakeFiles/hdpm_core.dir/error_metrics.cpp.o.d"
+  "CMakeFiles/hdpm_core.dir/estimator.cpp.o"
+  "CMakeFiles/hdpm_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/hdpm_core.dir/hd_model.cpp.o"
+  "CMakeFiles/hdpm_core.dir/hd_model.cpp.o.d"
+  "CMakeFiles/hdpm_core.dir/model_library.cpp.o"
+  "CMakeFiles/hdpm_core.dir/model_library.cpp.o.d"
+  "CMakeFiles/hdpm_core.dir/regression.cpp.o"
+  "CMakeFiles/hdpm_core.dir/regression.cpp.o.d"
+  "CMakeFiles/hdpm_core.dir/workloads.cpp.o"
+  "CMakeFiles/hdpm_core.dir/workloads.cpp.o.d"
+  "libhdpm_core.a"
+  "libhdpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpgen/arith.cpp" "src/dpgen/CMakeFiles/hdpm_dpgen.dir/arith.cpp.o" "gcc" "src/dpgen/CMakeFiles/hdpm_dpgen.dir/arith.cpp.o.d"
+  "/root/repo/src/dpgen/module.cpp" "src/dpgen/CMakeFiles/hdpm_dpgen.dir/module.cpp.o" "gcc" "src/dpgen/CMakeFiles/hdpm_dpgen.dir/module.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/hdpm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatelib/CMakeFiles/hdpm_gatelib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

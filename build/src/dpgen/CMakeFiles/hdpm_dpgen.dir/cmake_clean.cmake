@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpm_dpgen.dir/arith.cpp.o"
+  "CMakeFiles/hdpm_dpgen.dir/arith.cpp.o.d"
+  "CMakeFiles/hdpm_dpgen.dir/module.cpp.o"
+  "CMakeFiles/hdpm_dpgen.dir/module.cpp.o.d"
+  "libhdpm_dpgen.a"
+  "libhdpm_dpgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpm_dpgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

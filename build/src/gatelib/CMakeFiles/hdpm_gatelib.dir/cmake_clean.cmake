@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpm_gatelib.dir/gate.cpp.o"
+  "CMakeFiles/hdpm_gatelib.dir/gate.cpp.o.d"
+  "CMakeFiles/hdpm_gatelib.dir/techlib.cpp.o"
+  "CMakeFiles/hdpm_gatelib.dir/techlib.cpp.o.d"
+  "libhdpm_gatelib.a"
+  "libhdpm_gatelib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpm_gatelib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

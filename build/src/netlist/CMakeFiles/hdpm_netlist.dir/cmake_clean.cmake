@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpm_netlist.dir/builder.cpp.o"
+  "CMakeFiles/hdpm_netlist.dir/builder.cpp.o.d"
+  "CMakeFiles/hdpm_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/hdpm_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/hdpm_netlist.dir/transform.cpp.o"
+  "CMakeFiles/hdpm_netlist.dir/transform.cpp.o.d"
+  "libhdpm_netlist.a"
+  "libhdpm_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpm_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/electrical.cpp" "src/sim/CMakeFiles/hdpm_sim.dir/electrical.cpp.o" "gcc" "src/sim/CMakeFiles/hdpm_sim.dir/electrical.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/hdpm_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/hdpm_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/functional.cpp" "src/sim/CMakeFiles/hdpm_sim.dir/functional.cpp.o" "gcc" "src/sim/CMakeFiles/hdpm_sim.dir/functional.cpp.o.d"
+  "/root/repo/src/sim/glitch.cpp" "src/sim/CMakeFiles/hdpm_sim.dir/glitch.cpp.o" "gcc" "src/sim/CMakeFiles/hdpm_sim.dir/glitch.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "src/sim/CMakeFiles/hdpm_sim.dir/power.cpp.o" "gcc" "src/sim/CMakeFiles/hdpm_sim.dir/power.cpp.o.d"
+  "/root/repo/src/sim/probabilistic.cpp" "src/sim/CMakeFiles/hdpm_sim.dir/probabilistic.cpp.o" "gcc" "src/sim/CMakeFiles/hdpm_sim.dir/probabilistic.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/hdpm_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/hdpm_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/sequential.cpp" "src/sim/CMakeFiles/hdpm_sim.dir/sequential.cpp.o" "gcc" "src/sim/CMakeFiles/hdpm_sim.dir/sequential.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/hdpm_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/hdpm_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/hdpm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatelib/CMakeFiles/hdpm_gatelib.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpm_sim.dir/electrical.cpp.o"
+  "CMakeFiles/hdpm_sim.dir/electrical.cpp.o.d"
+  "CMakeFiles/hdpm_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/hdpm_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/hdpm_sim.dir/functional.cpp.o"
+  "CMakeFiles/hdpm_sim.dir/functional.cpp.o.d"
+  "CMakeFiles/hdpm_sim.dir/glitch.cpp.o"
+  "CMakeFiles/hdpm_sim.dir/glitch.cpp.o.d"
+  "CMakeFiles/hdpm_sim.dir/power.cpp.o"
+  "CMakeFiles/hdpm_sim.dir/power.cpp.o.d"
+  "CMakeFiles/hdpm_sim.dir/probabilistic.cpp.o"
+  "CMakeFiles/hdpm_sim.dir/probabilistic.cpp.o.d"
+  "CMakeFiles/hdpm_sim.dir/report.cpp.o"
+  "CMakeFiles/hdpm_sim.dir/report.cpp.o.d"
+  "CMakeFiles/hdpm_sim.dir/sequential.cpp.o"
+  "CMakeFiles/hdpm_sim.dir/sequential.cpp.o.d"
+  "CMakeFiles/hdpm_sim.dir/vcd.cpp.o"
+  "CMakeFiles/hdpm_sim.dir/vcd.cpp.o.d"
+  "libhdpm_sim.a"
+  "libhdpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/datamodel.cpp" "src/stats/CMakeFiles/hdpm_stats.dir/datamodel.cpp.o" "gcc" "src/stats/CMakeFiles/hdpm_stats.dir/datamodel.cpp.o.d"
+  "/root/repo/src/stats/dfg.cpp" "src/stats/CMakeFiles/hdpm_stats.dir/dfg.cpp.o" "gcc" "src/stats/CMakeFiles/hdpm_stats.dir/dfg.cpp.o.d"
+  "/root/repo/src/stats/gaussian.cpp" "src/stats/CMakeFiles/hdpm_stats.dir/gaussian.cpp.o" "gcc" "src/stats/CMakeFiles/hdpm_stats.dir/gaussian.cpp.o.d"
+  "/root/repo/src/stats/propagation.cpp" "src/stats/CMakeFiles/hdpm_stats.dir/propagation.cpp.o" "gcc" "src/stats/CMakeFiles/hdpm_stats.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/streams/CMakeFiles/hdpm_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

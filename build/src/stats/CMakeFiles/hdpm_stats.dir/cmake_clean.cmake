@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpm_stats.dir/datamodel.cpp.o"
+  "CMakeFiles/hdpm_stats.dir/datamodel.cpp.o.d"
+  "CMakeFiles/hdpm_stats.dir/dfg.cpp.o"
+  "CMakeFiles/hdpm_stats.dir/dfg.cpp.o.d"
+  "CMakeFiles/hdpm_stats.dir/gaussian.cpp.o"
+  "CMakeFiles/hdpm_stats.dir/gaussian.cpp.o.d"
+  "CMakeFiles/hdpm_stats.dir/propagation.cpp.o"
+  "CMakeFiles/hdpm_stats.dir/propagation.cpp.o.d"
+  "libhdpm_stats.a"
+  "libhdpm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streams/bitstats.cpp" "src/streams/CMakeFiles/hdpm_streams.dir/bitstats.cpp.o" "gcc" "src/streams/CMakeFiles/hdpm_streams.dir/bitstats.cpp.o.d"
+  "/root/repo/src/streams/io.cpp" "src/streams/CMakeFiles/hdpm_streams.dir/io.cpp.o" "gcc" "src/streams/CMakeFiles/hdpm_streams.dir/io.cpp.o.d"
+  "/root/repo/src/streams/stream.cpp" "src/streams/CMakeFiles/hdpm_streams.dir/stream.cpp.o" "gcc" "src/streams/CMakeFiles/hdpm_streams.dir/stream.cpp.o.d"
+  "/root/repo/src/streams/wordstats.cpp" "src/streams/CMakeFiles/hdpm_streams.dir/wordstats.cpp.o" "gcc" "src/streams/CMakeFiles/hdpm_streams.dir/wordstats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hdpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpm_streams.dir/bitstats.cpp.o"
+  "CMakeFiles/hdpm_streams.dir/bitstats.cpp.o.d"
+  "CMakeFiles/hdpm_streams.dir/io.cpp.o"
+  "CMakeFiles/hdpm_streams.dir/io.cpp.o.d"
+  "CMakeFiles/hdpm_streams.dir/stream.cpp.o"
+  "CMakeFiles/hdpm_streams.dir/stream.cpp.o.d"
+  "CMakeFiles/hdpm_streams.dir/wordstats.cpp.o"
+  "CMakeFiles/hdpm_streams.dir/wordstats.cpp.o.d"
+  "libhdpm_streams.a"
+  "libhdpm_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpm_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdpm_streams.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpm_util.dir/accumulators.cpp.o"
+  "CMakeFiles/hdpm_util.dir/accumulators.cpp.o.d"
+  "CMakeFiles/hdpm_util.dir/bitvec.cpp.o"
+  "CMakeFiles/hdpm_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/hdpm_util.dir/csv.cpp.o"
+  "CMakeFiles/hdpm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hdpm_util.dir/interp.cpp.o"
+  "CMakeFiles/hdpm_util.dir/interp.cpp.o.d"
+  "CMakeFiles/hdpm_util.dir/linalg.cpp.o"
+  "CMakeFiles/hdpm_util.dir/linalg.cpp.o.d"
+  "CMakeFiles/hdpm_util.dir/rng.cpp.o"
+  "CMakeFiles/hdpm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hdpm_util.dir/table.cpp.o"
+  "CMakeFiles/hdpm_util.dir/table.cpp.o.d"
+  "libhdpm_util.a"
+  "libhdpm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitwise_test.dir/bitwise_test.cpp.o"
+  "CMakeFiles/bitwise_test.dir/bitwise_test.cpp.o.d"
+  "bitwise_test"
+  "bitwise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/char_report_test.dir/char_report_test.cpp.o"
+  "CMakeFiles/char_report_test.dir/char_report_test.cpp.o.d"
+  "char_report_test"
+  "char_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/char_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

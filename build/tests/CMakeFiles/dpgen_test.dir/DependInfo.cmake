@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dpgen_test.cpp" "tests/CMakeFiles/dpgen_test.dir/dpgen_test.cpp.o" "gcc" "tests/CMakeFiles/dpgen_test.dir/dpgen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hdpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpgen/CMakeFiles/hdpm_dpgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hdpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/hdpm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatelib/CMakeFiles/hdpm_gatelib.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hdpm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/hdpm_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

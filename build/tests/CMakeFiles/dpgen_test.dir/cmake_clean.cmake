@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgen_test.dir/dpgen_test.cpp.o"
+  "CMakeFiles/dpgen_test.dir/dpgen_test.cpp.o.d"
+  "dpgen_test"
+  "dpgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

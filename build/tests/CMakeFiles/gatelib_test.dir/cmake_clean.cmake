@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gatelib_test.dir/gatelib_test.cpp.o"
+  "CMakeFiles/gatelib_test.dir/gatelib_test.cpp.o.d"
+  "gatelib_test"
+  "gatelib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gatelib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glitch_test.dir/glitch_test.cpp.o"
+  "CMakeFiles/glitch_test.dir/glitch_test.cpp.o.d"
+  "glitch_test"
+  "glitch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

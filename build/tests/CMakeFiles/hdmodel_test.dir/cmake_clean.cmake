@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmodel_test.dir/hdmodel_test.cpp.o"
+  "CMakeFiles/hdmodel_test.dir/hdmodel_test.cpp.o.d"
+  "hdmodel_test"
+  "hdmodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

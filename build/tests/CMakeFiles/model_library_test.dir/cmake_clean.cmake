@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_library_test.dir/model_library_test.cpp.o"
+  "CMakeFiles/model_library_test.dir/model_library_test.cpp.o.d"
+  "model_library_test"
+  "model_library_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
