@@ -4,10 +4,20 @@
 /// estimator needs no per-cycle work at all.
 ///
 /// google-benchmark microbenchmarks; run with --benchmark_* flags.
+/// After the microbenchmarks a thread-scaling sweep of the sharded
+/// characterization engine runs and writes BENCH_speed.json (skip it with
+/// --no-scaling).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
 #include "core/hdpower.hpp"
+#include "util/table.hpp"
 
 using namespace hdpm;
 
@@ -106,6 +116,117 @@ void BM_AnalyticHdDistribution(benchmark::State& state)
 }
 BENCHMARK(BM_AnalyticHdDistribution);
 
+/// Thread-scaling sweep of Characterizer::collect_records on an 8-bit CSA
+/// multiplier: fixed 20k-transition budget, 1k-transition shards, threads
+/// 1/2/4. Verifies the bit-identical-across-thread-counts guarantee on the
+/// way and emits a machine-readable BENCH_speed.json summary.
+void run_thread_scaling()
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 8);
+    const core::Characterizer characterizer;
+
+    core::CharacterizationOptions options;
+    options.max_transitions = 20000;
+    options.min_transitions = 20000; // fixed workload: no early convergence stop
+    options.batch = 2000;
+    options.shard_size = 1000;
+    options.seed = 42;
+
+    struct Run {
+        unsigned threads = 1;
+        double wall_ms = 0.0;
+        std::uint64_t sim_transitions = 0;
+    };
+    std::vector<Run> runs;
+    std::vector<core::CharacterizationRecord> baseline;
+    bool deterministic = true;
+
+    std::cout << "\ncollect_records thread scaling (csa_multiplier 8x8, "
+              << options.max_transitions << " transitions, shard size "
+              << options.shard_size << "):\n";
+    for (const unsigned threads : {1U, 2U, 4U}) {
+        options.threads = threads;
+        core::CharRunStats stats;
+        options.stats = &stats;
+        const auto start = std::chrono::steady_clock::now();
+        const auto records = characterizer.collect_records(module, options);
+        const double wall_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        runs.push_back(Run{threads, wall_ms, stats.sim_transitions});
+
+        if (threads == 1) {
+            baseline = records;
+        } else if (records.size() != baseline.size()) {
+            deterministic = false;
+        } else {
+            for (std::size_t i = 0; i < records.size(); ++i) {
+                if (records[i].hd != baseline[i].hd ||
+                    records[i].stable_zeros != baseline[i].stable_zeros ||
+                    records[i].charge_fc != baseline[i].charge_fc ||
+                    records[i].toggle_mask != baseline[i].toggle_mask) {
+                    deterministic = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    util::TextTable table;
+    table.set_header({"threads", "wall [ms]", "speedup", "toggles/s"});
+    for (const Run& run : runs) {
+        table.add_row({std::to_string(run.threads),
+                       util::TextTable::fmt(run.wall_ms, 1),
+                       util::TextTable::fmt(runs.front().wall_ms / run.wall_ms, 2),
+                       util::TextTable::fmt(static_cast<double>(run.sim_transitions) /
+                                                (run.wall_ms / 1000.0),
+                                            0)});
+    }
+    table.print(std::cout);
+    std::cout << "records bit-identical across thread counts: "
+              << (deterministic ? "yes" : "NO — DETERMINISM BUG") << '\n';
+
+    std::ofstream json{"BENCH_speed.json"};
+    json << "{\n  \"bench\": \"speed\",\n  \"collect_records_thread_scaling\": {\n"
+         << "    \"module\": \"csa_multiplier\",\n    \"width\": 8,\n"
+         << "    \"transitions\": " << options.max_transitions << ",\n"
+         << "    \"shard_size\": " << options.shard_size << ",\n"
+         << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
+         << ",\n    \"deterministic\": " << (deterministic ? "true" : "false")
+         << ",\n    \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        json << (i == 0 ? "" : ",") << "\n      {\"threads\": " << runs[i].threads
+             << ", \"wall_ms\": " << runs[i].wall_ms
+             << ", \"speedup\": " << runs.front().wall_ms / runs[i].wall_ms
+             << ", \"sim_transitions\": " << runs[i].sim_transitions << "}";
+    }
+    json << "\n    ]\n  }\n}\n";
+    std::cout << "[json] wrote BENCH_speed.json\n";
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    bool scaling = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-scaling") == 0) {
+            scaling = false;
+            for (int j = i; j + 1 < argc; ++j) {
+                argv[j] = argv[j + 1];
+            }
+            --argc;
+            break;
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (scaling) {
+        run_thread_scaling();
+    }
+    return 0;
+}

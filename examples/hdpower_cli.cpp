@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/hdpower.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace hdpm;
@@ -35,12 +36,14 @@ namespace {
               << "  list\n"
               << "  info <module> <width...>\n"
               << "  characterize <module> <width...> [--models DIR] [--budget N] "
-                 "[--enhanced [K]]\n"
+                 "[--enhanced [K]] [--threads N]\n"
               << "  estimate <module> <width...> --data <I..V> [--patterns N] "
-                 "[--models DIR] [--verify]\n"
+                 "[--models DIR] [--verify] [--threads N]\n"
               << "  report <module> <width...> --data <I..V> [--patterns N] [--top K]\n"
               << "  sweep <module> <wmin> <wmax> --data <I..V> [--models DIR] "
-                 "[--budget N]\n";
+                 "[--budget N] [--threads N]\n"
+              << "--threads 0 uses every hardware thread; characterization results\n"
+              << "are bit-identical for any thread count.\n";
     std::exit(2);
 }
 
@@ -63,6 +66,7 @@ struct Cli {
     std::size_t budget = 12000;
     std::size_t patterns = 2000;
     std::size_t top_k = 10;
+    unsigned threads = 1;
     bool enhanced = false;
     int zero_clusters = 0;
     bool verify = false;
@@ -103,6 +107,8 @@ Cli parse_module_args(int argc, char** argv, int start)
             cli.patterns = std::stoul(next());
         } else if (flag == "--top") {
             cli.top_k = std::stoul(next());
+        } else if (flag == "--threads") {
+            cli.threads = static_cast<unsigned>(std::stoul(next()));
         } else if (flag == "--data") {
             cli.data = parse_data_type(next());
             cli.has_data = true;
@@ -126,7 +132,19 @@ core::CharacterizationOptions char_options(const Cli& cli)
     core::CharacterizationOptions options;
     options.max_transitions = cli.budget;
     options.min_transitions = cli.budget / 2;
+    options.threads = cli.threads;
     return options;
+}
+
+/// Progress ticker on stderr: one carriage-return-updated line (callers
+/// print the terminating newline once the run finished).
+core::ProgressFn stderr_progress()
+{
+    return [](const core::CharProgress& p) {
+        std::cerr << "\r  characterizing: " << p.records << '/' << p.max_records
+                  << " transitions (shard " << p.shards_merged << '/'
+                  << p.shards_planned << ")   " << std::flush;
+    };
 }
 
 int cmd_list()
@@ -181,15 +199,32 @@ int cmd_info(const Cli& cli)
 int cmd_characterize(const Cli& cli)
 {
     const core::ModelLibrary library{cli.models_dir};
+    core::CharRunStats stats;
+    core::CharacterizationOptions options = char_options(cli);
+    options.progress = stderr_progress();
+    options.stats = &stats;
+
     if (cli.enhanced) {
         const core::EnhancedHdModel model = library.get_or_characterize_enhanced(
-            cli.module_type, cli.widths, cli.zero_clusters, char_options(cli));
+            cli.module_type, cli.widths, cli.zero_clusters, options);
+        if (stats.records > 0) {
+            std::cerr << '\n';
+        }
         std::cout << "enhanced model ready: m = " << model.input_bits() << ", "
                   << model.num_coefficients() << " coefficients, average deviation "
                   << 100.0 * model.average_deviation() << "%\n";
+        if (stats.records > 0) {
+            std::cout << "collected " << stats.records << " transitions ("
+                      << stats.sim_transitions << " net toggles) in "
+                      << util::TextTable::fmt(stats.collect_wall_ms, 1) << " ms on "
+                      << stats.threads << " thread(s), " << stats.shards << " shards\n";
+        }
     } else {
         const core::HdModel model =
-            library.get_or_characterize(cli.module_type, cli.widths, char_options(cli));
+            library.get_or_characterize(cli.module_type, cli.widths, options);
+        if (stats.records > 0) {
+            std::cerr << '\n';
+        }
         std::cout << "basic model ready: m = " << model.input_bits()
                   << ", average deviation " << 100.0 * model.average_deviation() << "%\n";
 
@@ -197,10 +232,13 @@ int cmd_characterize(const Cli& cli)
         // model only keeps the fitted figures).
         const dp::DatapathModule module = dp::make_module(cli.module_type, cli.widths);
         const core::Characterizer characterizer;
-        const auto records = characterizer.collect_records(module, char_options(cli));
+        core::CharacterizationOptions report_options = char_options(cli);
+        core::CharRunStats report_stats;
+        report_options.stats = &report_stats;
+        const auto records = characterizer.collect_records(module, report_options);
         core::print_characterization_report(
-            std::cout,
-            core::summarize_characterization(module.total_input_bits(), records));
+            std::cout, core::summarize_characterization(module.total_input_bits(),
+                                                        records, report_stats));
     }
     std::cout << "stored under " << library.directory().string() << '/'
               << library.model_key(cli.module_type, cli.widths) << ".*\n";
@@ -272,22 +310,29 @@ int cmd_sweep(const Cli& cli)
     const int wmin = cli.widths[0];
     const int wmax = cli.widths[1];
 
-    // Characterize three prototype widths, fit the family regression, then
-    // predict the whole range statistically — the section-5 workflow.
+    // Characterize three prototype widths (fanned out over --threads
+    // workers; the model library is thread-safe and single-flight), fit
+    // the family regression, then predict the whole range statistically —
+    // the section-5 workflow.
     const core::ModelLibrary library{cli.models_dir};
     const std::vector<int> prototype_widths{wmin, (wmin + wmax) / 2, wmax};
-    std::vector<core::PrototypeModel> prototypes;
+    const util::ThreadPool pool{cli.threads};
+    core::CharacterizationOptions proto_options = char_options(cli);
+    proto_options.threads = 1; // the budget is spent across prototypes here
+    std::vector<core::PrototypeModel> prototypes =
+        pool.parallel_map(prototype_widths.size(), [&](std::size_t i) {
+            const std::array<int, 1> widths = {prototype_widths[i]};
+            core::PrototypeModel proto;
+            proto.operand_widths = {prototype_widths[i]};
+            proto.model =
+                library.get_or_characterize(cli.module_type, widths, proto_options);
+            return proto;
+        });
     for (const int w : prototype_widths) {
-        const std::array<int, 1> widths = {w};
-        core::PrototypeModel proto;
-        proto.operand_widths = {w};
-        proto.model = library.get_or_characterize(cli.module_type, widths,
-                                                  char_options(cli));
-        prototypes.push_back(std::move(proto));
         std::cout << "prototype " << w << " ready\n";
     }
     const core::ParameterizableModel family =
-        core::ParameterizableModel::fit(cli.module_type, prototypes);
+        core::ParameterizableModel::fit(cli.module_type, prototypes, cli.threads);
 
     util::TextTable table;
     table.set_header({"width", "m", "power [fC/cycle]"});

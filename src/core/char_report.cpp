@@ -80,6 +80,15 @@ CharacterizationReport summarize_characterization(
     return report;
 }
 
+CharacterizationReport summarize_characterization(
+    int input_bits, std::span<const CharacterizationRecord> records,
+    const CharRunStats& run)
+{
+    CharacterizationReport report = summarize_characterization(input_bits, records);
+    report.run = run;
+    return report;
+}
+
 void print_characterization_report(std::ostream& os,
                                    const CharacterizationReport& report)
 {
@@ -87,6 +96,13 @@ void print_characterization_report(std::ostream& os,
        << report.input_bits << ", charge range ["
        << util::TextTable::fmt(report.min_charge_fc, 1) << ", "
        << util::TextTable::fmt(report.max_charge_fc, 1) << "] fC\n";
+    if (report.run.records > 0) {
+        os << "run: " << util::TextTable::fmt(report.run.collect_wall_ms, 1)
+           << " ms collect + " << util::TextTable::fmt(report.run.fit_wall_ms, 1)
+           << " ms fit, " << report.run.sim_transitions << " net toggles, "
+           << report.run.shards << " shards on " << report.run.threads
+           << (report.run.threads == 1 ? " thread\n" : " threads\n");
+    }
 
     util::TextTable table;
     table.set_header({"Hd", "n", "p_i [fC]", "stddev", "stderr", "±CI95 [%]",

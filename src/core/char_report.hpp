@@ -37,6 +37,11 @@ struct CharacterizationReport {
     double min_charge_fc = 0.0;
     double max_charge_fc = 0.0;
 
+    /// Run counters (wall clock, simulated transitions, shards, threads);
+    /// populated by the summarize overload that receives CharRunStats —
+    /// run.records == 0 means "not measured".
+    CharRunStats run;
+
     /// Worst relative 95 % CI half-width over populated classes.
     [[nodiscard]] double worst_relative_ci95() const noexcept;
 
@@ -47,6 +52,12 @@ struct CharacterizationReport {
 /// Summarize raw characterization records.
 [[nodiscard]] CharacterizationReport summarize_characterization(
     int input_bits, std::span<const CharacterizationRecord> records);
+
+/// Summarize records and attach the run counters collected through
+/// CharacterizationOptions::stats.
+[[nodiscard]] CharacterizationReport summarize_characterization(
+    int input_bits, std::span<const CharacterizationRecord> records,
+    const CharRunStats& run);
 
 /// Print the report as an aligned table.
 void print_characterization_report(std::ostream& os,

@@ -1,9 +1,12 @@
 #include "core/characterize.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "sim/sim_context.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace hdpm::core {
@@ -102,24 +105,31 @@ Characterizer::Characterizer(const gate::TechLibrary& library,
 {
 }
 
-std::vector<CharacterizationRecord> Characterizer::collect_records(
-    const dp::DatapathModule& module, const CharacterizationOptions& options) const
-{
-    const int m = module.total_input_bits();
-    HDPM_REQUIRE(m >= 1 && m <= BitVec::kMaxWidth, "module input width out of range");
-    HDPM_REQUIRE(options.batch >= 1, "batch must be positive");
+namespace {
 
-    sim::EventSimulator simulator{module.netlist(), *library_, sim_options_};
-    Rng rng{options.seed};
-    std::vector<int> scratch;
-
-    // Class geometry for convergence monitoring: basic classes suffice for
-    // chain modes; pairs mode monitors (hd, zeros) jointly via basic bins
-    // as well (a conservative criterion).
-    ConvergenceMonitor monitor{static_cast<std::size_t>(m)};
-
+/// Result of one independently simulated stimulus shard.
+struct ShardResult {
     std::vector<CharacterizationRecord> records;
-    records.reserve(std::min(options.max_transitions, std::size_t{1} << 20));
+    std::uint64_t sim_transitions = 0; ///< net toggles incl. glitches
+};
+
+/// Simulate exactly @p count transitions of shard @p shard. Each shard is a
+/// self-contained stimulus stream: its own Rng (seeded seed^splitmix64(shard)
+/// so shard streams are decorrelated), its own stratification cycles, its
+/// own start vector, and its own EventSimulator over the shared immutable
+/// context. Nothing here depends on which thread runs the shard or on how
+/// many shards run concurrently — that is the whole determinism argument.
+ShardResult run_shard(const sim::SimContext& context, int m, StimulusMode mode,
+                      const CharacterizationOptions& options,
+                      const sim::EventSimOptions& sim_options, std::size_t shard,
+                      std::size_t count)
+{
+    ShardResult out;
+    out.records.reserve(count);
+
+    Rng rng{options.seed ^ util::splitmix64(shard)};
+    std::vector<int> scratch;
+    sim::EventSimulator simulator{context, sim_options};
 
     // Stratification state.
     std::vector<int> hd_cycle(static_cast<std::size_t>(m));
@@ -131,7 +141,7 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
 
     // (hd, zeros) enumeration for StratifiedPairs.
     std::vector<std::pair<int, int>> class_cycle;
-    if (options.mode == StimulusMode::StratifiedPairs) {
+    if (mode == StimulusMode::StratifiedPairs) {
         for (int hd = 1; hd <= m; ++hd) {
             for (int z = 0; z <= m - hd; ++z) {
                 class_cycle.emplace_back(hd, z);
@@ -142,14 +152,13 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
     std::size_t class_cursor = 0;
 
     BitVec current = random_vector(m, rng);
-    if (options.mode != StimulusMode::StratifiedPairs) {
+    if (mode != StimulusMode::StratifiedPairs) {
         simulator.initialize(current);
     }
 
-    std::size_t since_check = 0;
-    while (records.size() < options.max_transitions) {
+    while (out.records.size() < count) {
         CharacterizationRecord rec;
-        if (options.mode == StimulusMode::StratifiedPairs) {
+        if (mode == StimulusMode::StratifiedPairs) {
             const auto [hd, zeros] = class_cycle[class_cursor];
             class_cursor = (class_cursor + 1) % class_cycle.size();
 
@@ -181,9 +190,10 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
             rec.stable_zeros = zeros;
             rec.charge_fc = cycle.charge_fc;
             rec.toggle_mask = mask.raw();
+            out.sim_transitions += cycle.transitions;
         } else {
             BitVec next{m};
-            if (options.mode == StimulusMode::RandomChain) {
+            if (mode == StimulusMode::RandomChain) {
                 next = random_vector(m, rng);
             } else {
                 const int hd = hd_cycle[hd_cursor];
@@ -203,19 +213,103 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
             rec.stable_zeros = BitVec::stable_zeros(current, next);
             rec.charge_fc = cycle.charge_fc;
             rec.toggle_mask = (current ^ next).raw();
+            out.sim_transitions += cycle.transitions;
             current = next;
         }
+        out.records.push_back(rec);
+    }
+    return out;
+}
 
-        monitor.add(static_cast<std::size_t>(rec.hd - 1), rec.charge_fc);
-        records.push_back(rec);
+} // namespace
 
-        if (++since_check >= options.batch) {
-            since_check = 0;
-            const double drift = monitor.drift_and_snapshot();
-            if (records.size() >= options.min_transitions && drift < options.tolerance) {
+std::vector<CharacterizationRecord> Characterizer::collect_records(
+    const dp::DatapathModule& module, const CharacterizationOptions& options) const
+{
+    const int m = module.total_input_bits();
+    HDPM_REQUIRE(m >= 1 && m <= BitVec::kMaxWidth, "module input width out of range");
+    HDPM_REQUIRE(options.batch >= 1, "batch must be positive");
+
+    const auto start = std::chrono::steady_clock::now();
+    const StimulusMode mode = options.mode.value_or(StimulusMode::StratifiedChain);
+
+    // One immutable context (electrical view, fanout CSR, topo order) shared
+    // read-only by every shard's private EventSimulator.
+    const sim::SimContext context{module.netlist(), *library_};
+
+    // Fixed shard geometry: the stimulus plan depends on (seed, shard_size,
+    // max_transitions) only — never on the thread count.
+    const std::size_t shard_size =
+        options.shard_size != 0 ? options.shard_size : options.batch;
+    const std::size_t num_shards =
+        (options.max_transitions + shard_size - 1) / shard_size;
+
+    const util::ThreadPool pool{options.threads};
+
+    // Class geometry for convergence monitoring: basic classes suffice for
+    // chain modes; pairs mode monitors (hd, zeros) jointly via basic bins
+    // as well (a conservative criterion).
+    ConvergenceMonitor monitor{static_cast<std::size_t>(m)};
+
+    std::vector<CharacterizationRecord> records;
+    records.reserve(std::min(options.max_transitions, std::size_t{1} << 20));
+
+    std::size_t since_check = 0;
+    std::size_t shards_merged = 0;
+    std::uint64_t sim_transitions = 0;
+    bool stop = false;
+
+    // Run shards in waves of pool.size() and merge each wave in shard
+    // order. Convergence is evaluated over the merged stream at batch
+    // boundaries, so the stopping point — like every record before it — is
+    // a pure function of the stimulus plan.
+    for (std::size_t wave_start = 0; wave_start < num_shards && !stop;
+         wave_start += pool.size()) {
+        const std::size_t wave =
+            std::min<std::size_t>(pool.size(), num_shards - wave_start);
+        auto results = pool.parallel_map(wave, [&](std::size_t i) {
+            const std::size_t shard = wave_start + i;
+            const std::size_t planned =
+                std::min(shard_size, options.max_transitions - shard * shard_size);
+            return run_shard(context, m, mode, options, sim_options_, shard, planned);
+        });
+
+        for (auto& result : results) {
+            for (const CharacterizationRecord& rec : result.records) {
+                monitor.add(static_cast<std::size_t>(rec.hd - 1), rec.charge_fc);
+                records.push_back(rec);
+                if (++since_check >= options.batch) {
+                    since_check = 0;
+                    const double drift = monitor.drift_and_snapshot();
+                    if (records.size() >= options.min_transitions &&
+                        drift < options.tolerance) {
+                        stop = true;
+                        break;
+                    }
+                }
+            }
+            sim_transitions += result.sim_transitions;
+            ++shards_merged;
+            if (options.progress) {
+                options.progress(CharProgress{shards_merged, num_shards,
+                                              records.size(),
+                                              options.max_transitions});
+            }
+            if (stop) {
                 break;
             }
         }
+    }
+
+    if (options.stats != nullptr) {
+        options.stats->collect_wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        options.stats->sim_transitions = sim_transitions;
+        options.stats->records = records.size();
+        options.stats->shards = shards_merged;
+        options.stats->threads = pool.size();
     }
     return records;
 }
@@ -306,20 +400,46 @@ EnhancedHdModel fit_enhanced_model(int input_bits, int zero_clusters,
                            std::move(dev), std::move(count), std::move(fallback)};
 }
 
+namespace {
+
+/// Time a fitting call into options.stats->fit_wall_ms (when present).
+template <typename Fn>
+auto timed_fit(const CharacterizationOptions& options, Fn&& fit)
+{
+    const auto start = std::chrono::steady_clock::now();
+    auto model = fit();
+    if (options.stats != nullptr) {
+        options.stats->fit_wall_ms = std::chrono::duration<double, std::milli>(
+                                         std::chrono::steady_clock::now() - start)
+                                         .count();
+    }
+    return model;
+}
+
+} // namespace
+
 HdModel Characterizer::characterize(const dp::DatapathModule& module,
                                     const CharacterizationOptions& options) const
 {
     const auto records = collect_records(module, options);
-    return fit_basic_model(module.total_input_bits(), records);
+    return timed_fit(options, [&] {
+        return fit_basic_model(module.total_input_bits(), records);
+    });
 }
 
 EnhancedHdModel Characterizer::characterize_enhanced(
     const dp::DatapathModule& module, int zero_clusters,
     CharacterizationOptions options) const
 {
-    options.mode = StimulusMode::StratifiedPairs;
+    // Default (not override): only an unset mode falls back to
+    // StratifiedPairs, the one mode that populates every (i, z) class.
+    if (!options.mode.has_value()) {
+        options.mode = StimulusMode::StratifiedPairs;
+    }
     const auto records = collect_records(module, options);
-    return fit_enhanced_model(module.total_input_bits(), zero_clusters, records);
+    return timed_fit(options, [&] {
+        return fit_enhanced_model(module.total_input_bits(), zero_clusters, records);
+    });
 }
 
 } // namespace hdpm::core

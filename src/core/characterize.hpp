@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/enhanced_model.hpp"
@@ -31,6 +33,32 @@ enum class StimulusMode {
     StratifiedPairs,
 };
 
+/// Wall-clock and volume counters of one characterization run, filled when
+/// CharacterizationOptions::stats points at an instance. Only counters of
+/// work that contributed to the result are reported (shards simulated ahead
+/// of a convergence stop and then discarded are not).
+struct CharRunStats {
+    double collect_wall_ms = 0.0; ///< record-collection (simulation) wall time
+    double fit_wall_ms = 0.0;     ///< coefficient-fitting wall time
+    std::uint64_t sim_transitions = 0; ///< net toggles simulated, incl. glitches
+    std::size_t records = 0;      ///< measured transitions kept
+    std::size_t shards = 0;       ///< stimulus shards merged into the result
+    unsigned threads = 1;         ///< worker threads used
+};
+
+/// Progress of a characterization run, reported once per merged shard.
+struct CharProgress {
+    std::size_t shards_merged = 0;  ///< shards merged so far
+    std::size_t shards_planned = 0; ///< upper bound (budget / shard size)
+    std::size_t records = 0;        ///< records merged so far
+    std::size_t max_records = 0;    ///< the transition budget
+};
+
+/// Progress callback. Always invoked on the thread that called into the
+/// Characterizer (never from a worker), so it may touch non-thread-safe
+/// state such as std::cout.
+using ProgressFn = std::function<void(const CharProgress&)>;
+
 /// Characterization options.
 struct CharacterizationOptions {
     std::size_t max_transitions = 20000; ///< hard budget of measured transitions
@@ -38,7 +66,27 @@ struct CharacterizationOptions {
     std::size_t batch = 2000;            ///< convergence check cadence
     double tolerance = 0.01; ///< stop when max relative coefficient drift per batch < this
     std::uint64_t seed = 1;
-    StimulusMode mode = StimulusMode::StratifiedChain;
+
+    /// Stimulus mode. Unset picks the entry point's natural default —
+    /// StratifiedChain for basic characterization and collect_records,
+    /// StratifiedPairs for the enhanced model. An explicitly set mode is
+    /// always respected.
+    std::optional<StimulusMode> mode;
+
+    /// Worker threads for sharded stimulus collection (0 = one per
+    /// hardware thread). Results are bit-identical for every thread
+    /// count, including 1: the stimulus plan is split into fixed-size,
+    /// independently seeded shards and merged in shard order, so the
+    /// thread count only changes how shards are scheduled.
+    unsigned threads = 1;
+
+    /// Transitions per stimulus shard (0 = batch). Unlike threads, the
+    /// shard size is part of the stimulus plan: changing it changes the
+    /// generated stream (and therefore the fitted coefficients).
+    std::size_t shard_size = 0;
+
+    ProgressFn progress;           ///< per-merged-shard progress callback
+    CharRunStats* stats = nullptr; ///< filled with run counters when non-null
 };
 
 /// One measured transition.
@@ -64,13 +112,21 @@ public:
                                        const CharacterizationOptions& options = {}) const;
 
     /// Characterize the enhanced (Hd, stable-zeros) model; @p zero_clusters
-    /// = 0 keeps one class per zero count. Options default to
-    /// StratifiedPairs mode regardless of options.mode.
+    /// = 0 keeps one class per zero count. When options.mode is unset this
+    /// defaults to StratifiedPairs (the only mode that populates every
+    /// (i, z) class); an explicitly set mode is respected as-is.
     [[nodiscard]] EnhancedHdModel characterize_enhanced(
         const dp::DatapathModule& module, int zero_clusters = 0,
         CharacterizationOptions options = {}) const;
 
     /// Raw measured transitions (for ablations and convergence studies).
+    ///
+    /// The stimulus plan is split into fixed-size shards, each seeded
+    /// `seed ^ splitmix64(shard)` and simulated independently (its own
+    /// EventSimulator over one shared immutable SimContext), then merged
+    /// in shard order; convergence is evaluated over the merged stream at
+    /// batch boundaries. The returned records are therefore bit-identical
+    /// for any options.threads value.
     [[nodiscard]] std::vector<CharacterizationRecord> collect_records(
         const dp::DatapathModule& module, const CharacterizationOptions& options) const;
 

@@ -55,29 +55,74 @@ bool ModelLibrary::contains(dp::ModuleType type, std::span<const int> widths) co
     return std::filesystem::exists(basic_path(type, widths));
 }
 
+template <typename Model, typename BuildFn>
+Model ModelLibrary::load_or_build(const std::filesystem::path& path,
+                                  BuildFn&& build) const
+{
+    const std::string key = path.string();
+    std::promise<void> promise;
+    for (;;) {
+        std::shared_future<void> flight;
+        {
+            std::unique_lock<std::mutex> lock{mutex_};
+            // The in-flight check must precede the existence check: a
+            // leader creates the file before it is fully written, and the
+            // flight entry is only erased once the contents are complete.
+            const auto it = in_flight_.find(key);
+            if (it != in_flight_.end()) {
+                flight = it->second;
+            } else if (std::filesystem::exists(path)) {
+                lock.unlock(); // the file is complete: reading needs no lock
+                std::ifstream in{path};
+                if (!in) {
+                    HDPM_FAIL("cannot read model file '", key, "'");
+                }
+                return Model::load(in);
+            } else {
+                // No file, no flight: this caller becomes the leader.
+                in_flight_.emplace(key, promise.get_future().share());
+                break;
+            }
+        }
+        // Wait out the leader's characterization, then re-check the file.
+        // get() rethrows a leader failure to every waiter.
+        flight.get();
+    }
+    try {
+        Model model = build();
+        std::ofstream out{path};
+        if (!out) {
+            HDPM_FAIL("cannot write model file '", key, "'");
+        }
+        model.save(out);
+        out.flush();
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            in_flight_.erase(key);
+        }
+        promise.set_value();
+        return model;
+    } catch (...) {
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            in_flight_.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
 HdModel ModelLibrary::get_or_characterize(dp::ModuleType type,
                                           std::span<const int> widths,
                                           const CharacterizationOptions& options) const
 {
     const std::filesystem::path path = basic_path(type, widths);
-    if (std::filesystem::exists(path)) {
-        std::ifstream in{path};
-        if (!in) {
-            HDPM_FAIL("cannot read model file '", path.string(), "'");
-        }
-        return HdModel::load(in);
-    }
-
-    const dp::DatapathModule module = dp::make_module(type, widths);
-    const Characterizer characterizer{*library_, sim_options_};
-    const HdModel model = characterizer.characterize(module, options);
-
-    std::ofstream out{path};
-    if (!out) {
-        HDPM_FAIL("cannot write model file '", path.string(), "'");
-    }
-    model.save(out);
-    return model;
+    return load_or_build<HdModel>(
+        path, [&] {
+            const dp::DatapathModule module = dp::make_module(type, widths);
+            const Characterizer characterizer{*library_, sim_options_};
+            return characterizer.characterize(module, options);
+        });
 }
 
 EnhancedHdModel ModelLibrary::get_or_characterize_enhanced(
@@ -85,25 +130,12 @@ EnhancedHdModel ModelLibrary::get_or_characterize_enhanced(
     const CharacterizationOptions& options) const
 {
     const std::filesystem::path path = enhanced_path(type, widths, zero_clusters);
-    if (std::filesystem::exists(path)) {
-        std::ifstream in{path};
-        if (!in) {
-            HDPM_FAIL("cannot read model file '", path.string(), "'");
-        }
-        return EnhancedHdModel::load(in);
-    }
-
-    const dp::DatapathModule module = dp::make_module(type, widths);
-    const Characterizer characterizer{*library_, sim_options_};
-    const EnhancedHdModel model =
-        characterizer.characterize_enhanced(module, zero_clusters, options);
-
-    std::ofstream out{path};
-    if (!out) {
-        HDPM_FAIL("cannot write model file '", path.string(), "'");
-    }
-    model.save(out);
-    return model;
+    return load_or_build<EnhancedHdModel>(
+        path, [&] {
+            const dp::DatapathModule module = dp::make_module(type, widths);
+            const Characterizer characterizer{*library_, sim_options_};
+            return characterizer.characterize_enhanced(module, zero_clusters, options);
+        });
 }
 
 void ModelLibrary::clear() const

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <filesystem>
+#include <future>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "core/characterize.hpp"
 
@@ -14,6 +17,14 @@ namespace hdpm::core {
 /// like the cell-library characterization data the paper's flow assumes.
 /// The library keys models by (technology, module family, operand widths)
 /// and transparently characterizes on a miss.
+///
+/// Thread safety: all methods may be called concurrently. A miss is
+/// resolved with single-flight semantics — the first caller of a key
+/// becomes the leader and characterizes; concurrent callers of the same
+/// key block on the leader's flight and then load the stored file, so one
+/// characterization never runs twice however many threads race on it. A
+/// leader failure is rethrown to every waiter of that flight; the key is
+/// released so a later call can retry.
 ///
 /// File layout: <directory>/<tech>_<module>_<w1>x<w0>.hdm      (basic)
 ///              <directory>/<tech>_<module>_<w1>x<w0>.z<K>.ehdm (enhanced)
@@ -57,9 +68,19 @@ private:
                                                       std::span<const int> widths,
                                                       int zero_clusters) const;
 
+    /// Load @p path if it exists, else run @p build (single-flight per
+    /// path) and store its result before returning it.
+    template <typename Model, typename BuildFn>
+    [[nodiscard]] Model load_or_build(const std::filesystem::path& path,
+                                      BuildFn&& build) const;
+
     std::filesystem::path directory_;
     const gate::TechLibrary* library_;
     sim::EventSimOptions sim_options_;
+
+    mutable std::mutex mutex_; ///< guards in_flight_
+    /// Single-flight table: one pending characterization per model file.
+    mutable std::unordered_map<std::string, std::shared_future<void>> in_flight_;
 };
 
 } // namespace hdpm::core

@@ -5,6 +5,7 @@
 
 #include "util/error.hpp"
 #include "util/linalg.hpp"
+#include "util/parallel.hpp"
 
 namespace hdpm::core {
 
@@ -18,7 +19,8 @@ int total_input_bits(dp::ModuleType type, std::span<const int> operand_widths)
 }
 
 ParameterizableModel ParameterizableModel::fit(dp::ModuleType type,
-                                               std::span<const PrototypeModel> prototypes)
+                                               std::span<const PrototypeModel> prototypes,
+                                               unsigned threads)
 {
     HDPM_REQUIRE(!prototypes.empty(), "empty prototype set");
     const dp::ComplexityBasis& basis = dp::complexity_basis(type);
@@ -34,7 +36,12 @@ ParameterizableModel ParameterizableModel::fit(dp::ModuleType type,
     out.r_.resize(static_cast<std::size_t>(max_hd));
     out.samples_.resize(static_cast<std::size_t>(max_hd), 0);
 
-    for (int hd = 1; hd <= max_hd; ++hd) {
+    // Each coefficient index is an independent least-squares problem
+    // writing to its own slot, so the loop parallelizes without any
+    // cross-index state (and therefore thread-count independently).
+    const util::ThreadPool pool{threads == 0 ? 0 : threads};
+    pool.parallel_for(static_cast<std::size_t>(max_hd), [&](std::size_t index) {
+        const int hd = static_cast<int>(index) + 1;
         // Gather every prototype that has this coefficient index.
         std::vector<std::vector<double>> rows;
         std::vector<double> rhs;
@@ -66,8 +73,31 @@ ParameterizableModel ParameterizableModel::fit(dp::ModuleType type,
             full[c] = fitted[c];
         }
         out.r_[static_cast<std::size_t>(hd - 1)] = std::move(full);
-    }
+    });
     return out;
+}
+
+std::vector<PrototypeModel> characterize_prototype_set(
+    dp::ModuleType type, std::span<const int> widths,
+    const Characterizer& characterizer, const CharacterizationOptions& options,
+    unsigned threads)
+{
+    HDPM_REQUIRE(!widths.empty(), "empty prototype width set");
+    const util::ThreadPool pool{threads};
+    return pool.parallel_map(widths.size(), [&](std::size_t index) {
+        CharacterizationOptions proto_options = options;
+        proto_options.seed =
+            util::splitmix64(options.seed ^ static_cast<std::uint64_t>(index + 1));
+        proto_options.threads = 1;
+        proto_options.progress = nullptr; // workers must not call user code
+        proto_options.stats = nullptr;    // one stats sink cannot serve N writers
+
+        const dp::DatapathModule module = dp::make_module(type, widths[index]);
+        PrototypeModel proto;
+        proto.operand_widths = {widths[index]};
+        proto.model = characterizer.characterize(module, proto_options);
+        return proto;
+    });
 }
 
 std::size_t ParameterizableModel::samples_for(int hd) const

@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "core/characterize.hpp"
 #include "core/hd_model.hpp"
 #include "dpgen/module.hpp"
 
@@ -33,9 +34,12 @@ public:
     ParameterizableModel() = default;
 
     /// Fit regression vectors from characterized prototypes of one module
-    /// family (the "prototype set").
+    /// family (the "prototype set"). The per-index least-squares problems
+    /// are independent; @p threads > 1 (0 = hardware) fans them out on a
+    /// pool, with results identical for every thread count.
     [[nodiscard]] static ParameterizableModel fit(
-        dp::ModuleType type, std::span<const PrototypeModel> prototypes);
+        dp::ModuleType type, std::span<const PrototypeModel> prototypes,
+        unsigned threads = 1);
 
     [[nodiscard]] dp::ModuleType module_type() const noexcept { return type_; }
 
@@ -70,5 +74,19 @@ private:
 /// Total primary-input bit count of a module family instance (the m the
 /// Hd-model runs over) without building the netlist.
 [[nodiscard]] int total_input_bits(dp::ModuleType type, std::span<const int> operand_widths);
+
+/// Characterize one prototype per width of a module family, fanning the
+/// (mutually independent) characterizations out over @p threads workers
+/// (0 = one per hardware thread), and return the prototypes in input order.
+///
+/// Each prototype keeps @p options except for the seed, which is derived
+/// as splitmix64(seed ^ (index + 1)) so prototype streams are decorrelated,
+/// and options.threads, which is forced to 1 inside each characterization —
+/// the parallelism budget is spent across prototypes here, not within one.
+/// The prototype set is bit-identical for every thread count.
+[[nodiscard]] std::vector<PrototypeModel> characterize_prototype_set(
+    dp::ModuleType type, std::span<const int> widths,
+    const Characterizer& characterizer, const CharacterizationOptions& options,
+    unsigned threads = 0);
 
 } // namespace hdpm::core

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "sim/functional.hpp"
 #include "sim/vcd.hpp"
 #include "util/error.hpp"
 
@@ -14,40 +13,55 @@ using netlist::kInvalidId;
 using netlist::NetId;
 using util::BitVec;
 
+EventSimulator::EventSimulator(const SimContext& context, EventSimOptions options)
+    : context_(&context),
+      netlist_(&context.netlist()),
+      options_(options),
+      values_(netlist_->num_nets(), 0),
+      scheduled_value_(netlist_->num_nets(), 0),
+      generation_(netlist_->num_nets(), 0),
+      pending_count_(netlist_->num_nets(), 0),
+      pending_time_(netlist_->num_nets(), 0),
+      cell_stamp_(netlist_->num_cells(), 0),
+      transition_count_(netlist_->num_nets(), 0),
+      charge_per_net_(netlist_->num_nets(), 0.0)
+{
+}
+
+EventSimulator::EventSimulator(std::shared_ptr<const SimContext> context,
+                               EventSimOptions options)
+    : EventSimulator(*context, options)
+{
+    owned_context_ = std::move(context);
+}
+
 EventSimulator::EventSimulator(const netlist::Netlist& netlist,
                                const gate::TechLibrary& library, EventSimOptions options)
-    : netlist_(&netlist),
-      electrical_(netlist, library),
-      options_(options),
-      values_(netlist.num_nets(), 0),
-      scheduled_value_(netlist.num_nets(), 0),
-      generation_(netlist.num_nets(), 0),
-      pending_count_(netlist.num_nets(), 0),
-      pending_time_(netlist.num_nets(), 0),
-      cell_stamp_(netlist.num_cells(), 0),
-      transition_count_(netlist.num_nets(), 0),
-      charge_per_net_(netlist.num_nets(), 0.0)
+    : EventSimulator(std::make_shared<const SimContext>(netlist, library), options)
 {
-    // Flatten the fanout table into CSR form for the hot loop.
-    const auto fanout = netlist.fanout_table();
-    fanout_offset_.assign(netlist.num_nets() + 1, 0);
-    std::size_t total = 0;
-    for (NetId net = 0; net < netlist.num_nets(); ++net) {
-        fanout_offset_[net] = static_cast<std::uint32_t>(total);
-        total += fanout[net].size();
-    }
-    fanout_offset_[netlist.num_nets()] = static_cast<std::uint32_t>(total);
-    fanout_cell_.reserve(total);
-    for (NetId net = 0; net < netlist.num_nets(); ++net) {
-        fanout_cell_.insert(fanout_cell_.end(), fanout[net].begin(), fanout[net].end());
-    }
 }
 
 void EventSimulator::initialize(const BitVec& inputs)
 {
-    FunctionalEvaluator eval{*netlist_};
-    (void)eval.eval(inputs);
-    values_ = eval.values();
+    const auto& pis = netlist_->primary_inputs();
+    HDPM_REQUIRE(inputs.width() == static_cast<int>(pis.size()), "netlist '",
+                 netlist_->name(), "' has ", pis.size(), " inputs, pattern has ",
+                 inputs.width(), " bits");
+
+    // Zero-delay settle over the shared topological order (no charge
+    // accounting) — the steady state the next apply() diffs against.
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+        values_[pis[i]] = inputs.get(static_cast<int>(i)) ? 1 : 0;
+    }
+    std::uint8_t in_vals[3];
+    for (const CellId id : context_->topological_order()) {
+        const Cell& cell = netlist_->cell(id);
+        const auto ins = cell.input_span();
+        for (std::size_t i = 0; i < ins.size(); ++i) {
+            in_vals[i] = values_[ins[i]];
+        }
+        values_[cell.output] = gate::gate_eval(cell.kind, {in_vals, ins.size()}) ? 1 : 0;
+    }
     scheduled_value_ = values_;
     std::fill(pending_count_.begin(), pending_count_.end(), 0);
     while (!queue_.empty()) {
@@ -67,7 +81,7 @@ void EventSimulator::toggle_net(NetId net, std::uint8_t value, std::int64_t time
     ++result.transitions;
     result.settle_time_ps = std::max(result.settle_time_ps, time);
     if (count_charge) {
-        const double q = electrical_.edge_charge_fc(net);
+        const double q = context_->electrical().edge_charge_fc(net);
         result.charge_fc += q;
         charge_per_net_[net] += q;
     }
@@ -121,8 +135,7 @@ CycleResult EventSimulator::apply(const BitVec& inputs)
             continue;
         }
         toggle_net(net, v, 0, options_.count_input_charge, result);
-        for (std::uint32_t f = fanout_offset_[net]; f < fanout_offset_[net + 1]; ++f) {
-            const CellId consumer = fanout_cell_[f];
+        for (const CellId consumer : context_->fanout(net)) {
             if (cell_stamp_[consumer] != stamp_epoch_) {
                 cell_stamp_[consumer] = stamp_epoch_;
                 touched.push_back(consumer);
@@ -139,7 +152,7 @@ CycleResult EventSimulator::apply(const BitVec& inputs)
         }
         const std::uint8_t out =
             gate::gate_eval(cell.kind, {in_vals, ins.size()}) ? 1 : 0;
-        schedule(cell.output, out, now + electrical_.cell_delay_ps(id));
+        schedule(cell.output, out, now + context_->electrical().cell_delay_ps(id));
     };
 
     for (const CellId id : touched) {
@@ -167,9 +180,7 @@ CycleResult EventSimulator::apply(const BitVec& inputs)
             // alternate, so a valid event always toggles its net.
             HDPM_ASSERT(ev.value != values_[ev.net], "no-op event on net ", ev.net);
             toggle_net(ev.net, ev.value, now, true, result);
-            for (std::uint32_t f = fanout_offset_[ev.net]; f < fanout_offset_[ev.net + 1];
-                 ++f) {
-                const CellId consumer = fanout_cell_[f];
+            for (const CellId consumer : context_->fanout(ev.net)) {
                 if (cell_stamp_[consumer] != stamp_epoch_) {
                     cell_stamp_[consumer] = stamp_epoch_;
                     touched.push_back(consumer);

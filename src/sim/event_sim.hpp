@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "sim/electrical.hpp"
+#include "sim/sim_context.hpp"
 #include "util/bitvec.hpp"
 
 namespace hdpm::sim {
@@ -49,8 +51,23 @@ struct CycleResult {
 ///
 /// Typical use: initialize(u) to settle on the first vector, then apply(v)
 /// once per subsequent vector; each apply returns the cycle charge Q[j].
+///
+/// Threading: a simulator instance is not thread-safe, but all shared data
+/// lives in the (immutable) SimContext — N instances over one context may
+/// run concurrently on N threads. The context-borrowing constructor is the
+/// cheap one (per-instance state only); the (netlist, library) convenience
+/// constructor builds and owns a private context.
 class EventSimulator {
 public:
+    /// Borrow a shared immutable context; it must outlive the simulator.
+    explicit EventSimulator(const SimContext& context, EventSimOptions options = {});
+
+    /// Share ownership of a context (for simulators that outlive the scope
+    /// that built it).
+    explicit EventSimulator(std::shared_ptr<const SimContext> context,
+                            EventSimOptions options = {});
+
+    /// Convenience: build (and own) a context for @p netlist.
     EventSimulator(const netlist::Netlist& netlist, const gate::TechLibrary& library,
                    EventSimOptions options = {});
 
@@ -68,7 +85,13 @@ public:
     [[nodiscard]] util::BitVec outputs() const;
 
     /// Electrical annotation in use.
-    [[nodiscard]] const ElectricalView& electrical() const noexcept { return electrical_; }
+    [[nodiscard]] const ElectricalView& electrical() const noexcept
+    {
+        return context_->electrical();
+    }
+
+    /// The (possibly shared) immutable context this simulator reads.
+    [[nodiscard]] const SimContext& context() const noexcept { return *context_; }
 
     /// Total toggles per net since construction (glitch analysis).
     [[nodiscard]] const std::vector<std::uint64_t>& cumulative_transitions() const noexcept
@@ -106,8 +129,9 @@ private:
                     bool count_charge, CycleResult& result);
     void schedule(netlist::NetId net, std::uint8_t value, std::int64_t time);
 
+    std::shared_ptr<const SimContext> owned_context_; // set by the convenience ctor
+    const SimContext* context_;
     const netlist::Netlist* netlist_;
-    ElectricalView electrical_;
     EventSimOptions options_;
 
     std::vector<std::uint8_t> values_;
@@ -115,10 +139,6 @@ private:
     std::vector<std::uint32_t> generation_;     // current valid generation per net
     std::vector<std::uint32_t> pending_count_;  // pending valid events per net
     std::vector<std::int64_t> pending_time_;    // time of last scheduled event
-
-    // CSR fanout: cells consuming each net.
-    std::vector<std::uint32_t> fanout_offset_;
-    std::vector<netlist::CellId> fanout_cell_;
 
     // Per-timestamp cell evaluation dedup.
     std::vector<std::uint64_t> cell_stamp_;

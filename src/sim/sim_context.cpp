@@ -1,0 +1,27 @@
+#include "sim/sim_context.hpp"
+
+namespace hdpm::sim {
+
+using netlist::NetId;
+
+SimContext::SimContext(const netlist::Netlist& netlist,
+                       const gate::TechLibrary& library)
+    : netlist_(&netlist),
+      electrical_(netlist, library),
+      topo_(netlist.topological_order())
+{
+    const auto fanout = netlist.fanout_table();
+    fanout_offset_.assign(netlist.num_nets() + 1, 0);
+    std::size_t total = 0;
+    for (NetId net = 0; net < netlist.num_nets(); ++net) {
+        fanout_offset_[net] = static_cast<std::uint32_t>(total);
+        total += fanout[net].size();
+    }
+    fanout_offset_[netlist.num_nets()] = static_cast<std::uint32_t>(total);
+    fanout_cell_.reserve(total);
+    for (NetId net = 0; net < netlist.num_nets(); ++net) {
+        fanout_cell_.insert(fanout_cell_.end(), fanout[net].begin(), fanout[net].end());
+    }
+}
+
+} // namespace hdpm::sim

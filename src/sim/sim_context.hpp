@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/electrical.hpp"
+
+namespace hdpm::sim {
+
+/// Immutable simulation context for one (netlist, technology) pair: the
+/// electrical annotation, the flattened CSR fanout table, and the cells in
+/// topological order.
+///
+/// Everything here is derived data that used to be rebuilt by every
+/// EventSimulator (and, for the topological order, on every initialize()).
+/// It is written only during construction and read-only afterwards, so one
+/// context can be shared const across any number of simulator instances on
+/// any number of threads with no synchronization — the basis of the sharded
+/// characterization engine.
+///
+/// Lifetime: the netlist must outlive the context. The technology library
+/// is fully consumed during construction (the ElectricalView copies what it
+/// needs) and may be destroyed afterwards.
+class SimContext {
+public:
+    SimContext(const netlist::Netlist& netlist, const gate::TechLibrary& library);
+
+    [[nodiscard]] const netlist::Netlist& netlist() const noexcept { return *netlist_; }
+
+    [[nodiscard]] const ElectricalView& electrical() const noexcept
+    {
+        return electrical_;
+    }
+
+    /// Cells consuming @p net (CSR row of the fanout table).
+    [[nodiscard]] std::span<const netlist::CellId> fanout(netlist::NetId net) const
+    {
+        return {fanout_cell_.data() + fanout_offset_[net],
+                fanout_cell_.data() + fanout_offset_[net + 1]};
+    }
+
+    /// Cells in topological order (inputs before consumers).
+    [[nodiscard]] std::span<const netlist::CellId> topological_order() const noexcept
+    {
+        return topo_;
+    }
+
+private:
+    const netlist::Netlist* netlist_;
+    ElectricalView electrical_;
+    std::vector<std::uint32_t> fanout_offset_;
+    std::vector<netlist::CellId> fanout_cell_;
+    std::vector<netlist::CellId> topo_;
+};
+
+} // namespace hdpm::sim

@@ -1,0 +1,83 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace hdpm::util {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+    }
+    if (threads_ == 0) {
+        threads_ = 1; // hardware_concurrency may be unknown
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) const
+{
+    if (n == 0) {
+        return;
+    }
+    const auto workers =
+        static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            fn(i);
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+
+    auto body = [&]() noexcept {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || failed.load(std::memory_order_relaxed)) {
+                return;
+            }
+            try {
+                fn(i);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                const std::lock_guard<std::mutex> lock{error_mutex};
+                if (i < first_error_index) {
+                    first_error_index = i;
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned t = 0; t + 1 < workers; ++t) {
+        pool.emplace_back(body);
+    }
+    body(); // the calling thread works too
+    for (auto& thread : pool) {
+        thread.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+} // namespace hdpm::util

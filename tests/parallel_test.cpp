@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/characterize.hpp"
+#include "dpgen/module.hpp"
+#include "util/parallel.hpp"
+
+namespace hdpm {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceSequence)
+{
+    // Reference values of Steele/Lea/Flood splitmix64 for seed state 1, 2.
+    EXPECT_EQ(util::splitmix64(0), 0xe220a8397b1dcdafULL);
+    EXPECT_NE(util::splitmix64(1), util::splitmix64(2));
+    // Stateless: same input, same output.
+    EXPECT_EQ(util::splitmix64(42), util::splitmix64(42));
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    const util::ThreadPool pool{4};
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    const util::ThreadPool pool{1};
+    EXPECT_EQ(pool.size(), 1U);
+    std::size_t sum = 0; // deliberately unsynchronized: must run inline
+    pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum, 4950U);
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrdering)
+{
+    const util::ThreadPool pool{4};
+    const std::vector<int> squares =
+        pool.parallel_map(64, [](std::size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(squares.size(), 64U);
+    for (std::size_t i = 0; i < squares.size(); ++i) {
+        EXPECT_EQ(squares[i], static_cast<int>(i * i));
+    }
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException)
+{
+    const util::ThreadPool pool{4};
+    try {
+        pool.parallel_for(100, [](std::size_t i) {
+            if (i == 17 || i == 63) {
+                throw std::runtime_error("boom " + std::to_string(i));
+            }
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& error) {
+        EXPECT_STREQ(error.what(), "boom 17");
+    }
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp)
+{
+    const util::ThreadPool pool{4};
+    bool called = false;
+    pool.parallel_for(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+/// The tentpole guarantee: the sharded characterization engine produces
+/// bit-identical records — and therefore bit-identical coefficients — for
+/// every thread count.
+class ShardedDeterminismTest : public ::testing::Test {
+protected:
+    static core::CharacterizationOptions base_options()
+    {
+        core::CharacterizationOptions options;
+        options.max_transitions = 4000;
+        options.min_transitions = 4000;
+        options.batch = 1000;
+        options.shard_size = 500;
+        options.seed = 99;
+        return options;
+    }
+};
+
+TEST_F(ShardedDeterminismTest, RecordsIdenticalAcrossThreadCounts)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 8);
+    const core::Characterizer characterizer;
+
+    core::CharacterizationOptions options = base_options();
+    options.threads = 1;
+    const auto serial = characterizer.collect_records(module, options);
+    options.threads = 4;
+    const auto parallel = characterizer.collect_records(module, options);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].hd, serial[i].hd) << "record " << i;
+        EXPECT_EQ(parallel[i].stable_zeros, serial[i].stable_zeros) << "record " << i;
+        EXPECT_EQ(parallel[i].toggle_mask, serial[i].toggle_mask) << "record " << i;
+        // Exact equality on purpose: shards are merged in shard order, so
+        // the summed charges see the same operand order on every run.
+        EXPECT_EQ(parallel[i].charge_fc, serial[i].charge_fc) << "record " << i;
+    }
+}
+
+TEST_F(ShardedDeterminismTest, FittedModelIdenticalAcrossThreadCounts)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 8);
+    const core::Characterizer characterizer;
+
+    core::CharacterizationOptions options = base_options();
+    options.threads = 1;
+    const core::HdModel serial = characterizer.characterize(module, options);
+    options.threads = 4;
+    const core::HdModel parallel = characterizer.characterize(module, options);
+
+    ASSERT_EQ(parallel.input_bits(), serial.input_bits());
+    for (int hd = 1; hd <= serial.input_bits(); ++hd) {
+        EXPECT_EQ(parallel.coefficient(hd), serial.coefficient(hd)) << "p_" << hd;
+        EXPECT_EQ(parallel.deviation(hd), serial.deviation(hd)) << "eps_" << hd;
+        EXPECT_EQ(parallel.sample_count(hd), serial.sample_count(hd)) << "n_" << hd;
+    }
+}
+
+TEST_F(ShardedDeterminismTest, ConvergenceStopIsThreadCountInvariant)
+{
+    // With a loose tolerance the run stops early; the stop point is decided
+    // on the merged deterministic stream, so it must not move with threads.
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 6);
+    const core::Characterizer characterizer;
+
+    core::CharacterizationOptions options = base_options();
+    options.max_transitions = 8000;
+    options.min_transitions = 1000;
+    options.tolerance = 0.05;
+
+    options.threads = 1;
+    core::CharRunStats serial_stats;
+    options.stats = &serial_stats;
+    const auto serial = characterizer.collect_records(module, options);
+
+    options.threads = 4;
+    core::CharRunStats parallel_stats;
+    options.stats = &parallel_stats;
+    const auto parallel = characterizer.collect_records(module, options);
+
+    EXPECT_EQ(parallel.size(), serial.size());
+    EXPECT_EQ(parallel_stats.records, serial_stats.records);
+    EXPECT_EQ(parallel_stats.shards, serial_stats.shards);
+    EXPECT_EQ(parallel_stats.sim_transitions, serial_stats.sim_transitions);
+}
+
+TEST_F(ShardedDeterminismTest, ProgressReportsMergedShardsInOrder)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 4);
+    const core::Characterizer characterizer;
+
+    core::CharacterizationOptions options = base_options();
+    options.threads = 4;
+    std::vector<core::CharProgress> events;
+    options.progress = [&](const core::CharProgress& p) { events.push_back(p); };
+    const auto records = characterizer.collect_records(module, options);
+
+    ASSERT_FALSE(events.empty());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].shards_merged, i + 1);
+        EXPECT_EQ(events[i].max_records, options.max_transitions);
+        if (i > 0) {
+            EXPECT_GE(events[i].records, events[i - 1].records);
+        }
+    }
+    EXPECT_EQ(events.back().records, records.size());
+}
+
+} // namespace
+} // namespace hdpm
