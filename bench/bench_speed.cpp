@@ -4,9 +4,11 @@
 /// estimator needs no per-cycle work at all.
 ///
 /// google-benchmark microbenchmarks; run with --benchmark_* flags.
-/// After the microbenchmarks a thread-scaling sweep of the sharded
-/// characterization engine runs and writes BENCH_speed.json (skip it with
-/// --no-scaling).
+/// After the microbenchmarks an event-kernel comparison (binary-heap
+/// baseline vs timing-wheel, events/sec and end-to-end characterization;
+/// skip with --no-kernel) and a thread-scaling sweep of the sharded
+/// characterization engine (skip with --no-scaling) run and write their
+/// sections into BENCH_speed.json.
 
 #include <benchmark/benchmark.h>
 
@@ -14,9 +16,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/hdpower.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace hdpm;
@@ -116,11 +123,138 @@ void BM_AnalyticHdDistribution(benchmark::State& state)
 }
 BENCHMARK(BM_AnalyticHdDistribution);
 
+/// Event-kernel comparison on the 16-bit CSA multiplier: the same random
+/// stimulus stream through the binary-heap baseline and the timing-wheel
+/// kernel (events/sec), plus a single-thread end-to-end collect_records
+/// run per kernel. Verifies bit-identical charges / transitions / records
+/// on the way; returns a JSON fragment for BENCH_speed.json.
+std::string run_kernel_bench()
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 16);
+    const int m = module.total_input_bits();
+    const sim::SimContext context{module.netlist(), gate::TechLibrary::generic350()};
+
+    util::Rng rng{4242};
+    std::vector<util::BitVec> patterns;
+    for (int i = 0; i < 1500; ++i) {
+        patterns.emplace_back(m, rng.next_u64());
+    }
+
+    struct KernelRun {
+        const char* name = "";
+        double apply_wall_ms = 0.0;
+        std::uint64_t events = 0;
+        double events_per_sec = 0.0;
+        std::size_t max_queue_depth = 0;
+        double total_charge_fc = 0.0;
+        std::uint64_t transitions = 0;
+        double char_wall_ms = 0.0;
+    };
+    std::vector<KernelRun> runs;
+    std::vector<core::CharacterizationRecord> baseline_records;
+    bool identical = true;
+
+    for (const auto& [kind, name] :
+         {std::pair{sim::SchedulerKind::BinaryHeap, "heap"},
+          std::pair{sim::SchedulerKind::TimingWheel, "wheel"}}) {
+        KernelRun run;
+        run.name = name;
+
+        sim::EventSimOptions sim_options;
+        sim_options.scheduler = kind;
+        sim::EventSimulator simulator{context, sim_options};
+        simulator.initialize(patterns.front());
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = 1; i < patterns.size(); ++i) {
+            const sim::CycleResult cycle = simulator.apply(patterns[i]);
+            run.total_charge_fc += cycle.charge_fc;
+            run.transitions += cycle.transitions;
+        }
+        run.apply_wall_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+        run.events = simulator.kernel_stats().events_processed;
+        run.max_queue_depth = simulator.kernel_stats().max_queue_depth;
+        run.events_per_sec =
+            static_cast<double>(run.events) / (run.apply_wall_ms / 1000.0);
+
+        // End-to-end single-thread characterization with the same kernel.
+        core::CharacterizationOptions options;
+        options.max_transitions = 3000;
+        options.min_transitions = 3000;
+        options.shard_size = 1000;
+        options.seed = 9;
+        const core::Characterizer characterizer{gate::TechLibrary::generic350(),
+                                                sim_options};
+        const auto char_start = std::chrono::steady_clock::now();
+        const auto records = characterizer.collect_records(module, options);
+        run.char_wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - char_start)
+                               .count();
+        if (baseline_records.empty()) {
+            baseline_records = records;
+        } else if (records.size() != baseline_records.size()) {
+            identical = false;
+        } else {
+            for (std::size_t i = 0; i < records.size(); ++i) {
+                if (records[i].charge_fc != baseline_records[i].charge_fc ||
+                    records[i].hd != baseline_records[i].hd) {
+                    identical = false;
+                    break;
+                }
+            }
+        }
+        runs.push_back(run);
+    }
+    identical = identical &&
+                runs[0].total_charge_fc == runs[1].total_charge_fc &&
+                runs[0].transitions == runs[1].transitions;
+
+    std::cout << "\nevent kernel comparison (csa_multiplier 16x16, "
+              << patterns.size() - 1 << " vectors + 3000-transition characterization):\n";
+    util::TextTable table;
+    table.set_header({"kernel", "apply [ms]", "Mevents/s", "peak queue",
+                      "char [ms]", "speedup"});
+    for (const KernelRun& run : runs) {
+        table.add_row({run.name, util::TextTable::fmt(run.apply_wall_ms, 1),
+                       util::TextTable::fmt(run.events_per_sec / 1e6, 2),
+                       std::to_string(run.max_queue_depth),
+                       util::TextTable::fmt(run.char_wall_ms, 1),
+                       util::TextTable::fmt(runs.front().apply_wall_ms /
+                                                run.apply_wall_ms,
+                                            2)});
+    }
+    table.print(std::cout);
+    std::cout << "heap and wheel bit-identical: "
+              << (identical ? "yes" : "NO — KERNEL MISMATCH") << '\n';
+
+    std::ostringstream json;
+    json << "  \"event_kernel\": {\n"
+         << "    \"module\": \"csa_multiplier\",\n    \"width\": 16,\n"
+         << "    \"vectors\": " << patterns.size() - 1 << ",\n"
+         << "    \"identical\": " << (identical ? "true" : "false")
+         << ",\n    \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        json << (i == 0 ? "" : ",") << "\n      {\"kernel\": \"" << runs[i].name
+             << "\", \"apply_wall_ms\": " << runs[i].apply_wall_ms
+             << ", \"events\": " << runs[i].events
+             << ", \"events_per_sec\": " << runs[i].events_per_sec
+             << ", \"max_queue_depth\": " << runs[i].max_queue_depth
+             << ", \"char_wall_ms\": " << runs[i].char_wall_ms
+             << ", \"apply_speedup\": "
+             << runs.front().apply_wall_ms / runs[i].apply_wall_ms
+             << ", \"char_speedup\": "
+             << runs.front().char_wall_ms / runs[i].char_wall_ms << "}";
+    }
+    json << "\n    ]\n  }";
+    return json.str();
+}
+
 /// Thread-scaling sweep of Characterizer::collect_records on an 8-bit CSA
 /// multiplier: fixed 20k-transition budget, 1k-transition shards, threads
 /// 1/2/4. Verifies the bit-identical-across-thread-counts guarantee on the
-/// way and emits a machine-readable BENCH_speed.json summary.
-void run_thread_scaling()
+/// way and returns a JSON fragment for BENCH_speed.json.
+std::string run_thread_scaling()
 {
     const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 8);
     const core::Characterizer characterizer;
@@ -186,8 +320,8 @@ void run_thread_scaling()
     std::cout << "records bit-identical across thread counts: "
               << (deterministic ? "yes" : "NO — DETERMINISM BUG") << '\n';
 
-    std::ofstream json{"BENCH_speed.json"};
-    json << "{\n  \"bench\": \"speed\",\n  \"collect_records_thread_scaling\": {\n"
+    std::ostringstream json;
+    json << "  \"collect_records_thread_scaling\": {\n"
          << "    \"module\": \"csa_multiplier\",\n    \"width\": 8,\n"
          << "    \"transitions\": " << options.max_transitions << ",\n"
          << "    \"shard_size\": " << options.shard_size << ",\n"
@@ -200,33 +334,53 @@ void run_thread_scaling()
              << ", \"speedup\": " << runs.front().wall_ms / runs[i].wall_ms
              << ", \"sim_transitions\": " << runs[i].sim_transitions << "}";
     }
-    json << "\n    ]\n  }\n}\n";
-    std::cout << "[json] wrote BENCH_speed.json\n";
+    json << "\n    ]\n  }";
+    return json.str();
+}
+
+/// Strip @p flag from argv (google-benchmark rejects unknown flags).
+bool take_flag(int& argc, char** argv, const char* flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            for (int j = i; j + 1 < argc; ++j) {
+                argv[j] = argv[j + 1];
+            }
+            --argc;
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace
 
 int main(int argc, char** argv)
 {
-    bool scaling = true;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--no-scaling") == 0) {
-            scaling = false;
-            for (int j = i; j + 1 < argc; ++j) {
-                argv[j] = argv[j + 1];
-            }
-            --argc;
-            break;
-        }
-    }
+    const bool kernel = !take_flag(argc, argv, "--no-kernel");
+    const bool scaling = !take_flag(argc, argv, "--no-scaling");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
         return 1;
     }
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    std::vector<std::string> sections;
+    if (kernel) {
+        sections.push_back(run_kernel_bench());
+    }
     if (scaling) {
-        run_thread_scaling();
+        sections.push_back(run_thread_scaling());
+    }
+    if (!sections.empty()) {
+        std::ofstream json{"BENCH_speed.json"};
+        json << "{\n  \"bench\": \"speed\",\n";
+        for (std::size_t i = 0; i < sections.size(); ++i) {
+            json << sections[i] << (i + 1 < sections.size() ? ",\n" : "\n");
+        }
+        json << "}\n";
+        std::cout << "[json] wrote BENCH_speed.json\n";
     }
     return 0;
 }

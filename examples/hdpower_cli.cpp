@@ -215,7 +215,9 @@ int cmd_characterize(const Cli& cli)
                   << 100.0 * model.average_deviation() << "%\n";
         if (stats.records > 0) {
             std::cout << "collected " << stats.records << " transitions ("
-                      << stats.sim_transitions << " net toggles) in "
+                      << stats.sim_transitions << " net toggles, "
+                      << util::TextTable::fmt(stats.events_per_sec / 1e6, 2)
+                      << " M events/s) in "
                       << util::TextTable::fmt(stats.collect_wall_ms, 1) << " ms on "
                       << stats.threads << " thread(s), " << stats.shards << " shards\n";
         }

@@ -101,7 +101,13 @@ void print_characterization_report(std::ostream& os,
            << " ms collect + " << util::TextTable::fmt(report.run.fit_wall_ms, 1)
            << " ms fit, " << report.run.sim_transitions << " net toggles, "
            << report.run.shards << " shards on " << report.run.threads
-           << (report.run.threads == 1 ? " thread\n" : " threads\n");
+           << (report.run.threads == 1 ? " thread" : " threads");
+        if (report.run.sim_events > 0) {
+            os << ", "
+               << util::TextTable::fmt(report.run.events_per_sec / 1e6, 2)
+               << " M events/s (peak queue " << report.run.max_queue_depth << ")";
+        }
+        os << '\n';
     }
 
     util::TextTable table;

@@ -111,6 +111,7 @@ namespace {
 struct ShardResult {
     std::vector<CharacterizationRecord> records;
     std::uint64_t sim_transitions = 0; ///< net toggles incl. glitches
+    sim::KernelStats kernel;           ///< scheduler counters of the shard's simulator
 };
 
 /// Simulate exactly @p count transitions of shard @p shard. Each shard is a
@@ -218,6 +219,7 @@ ShardResult run_shard(const sim::SimContext& context, int m, StimulusMode mode,
         }
         out.records.push_back(rec);
     }
+    out.kernel = simulator.kernel_stats();
     return out;
 }
 
@@ -257,6 +259,8 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
     std::size_t since_check = 0;
     std::size_t shards_merged = 0;
     std::uint64_t sim_transitions = 0;
+    std::uint64_t sim_events = 0;
+    std::size_t max_queue_depth = 0;
     bool stop = false;
 
     // Run shards in waves of pool.size() and merge each wave in shard
@@ -289,6 +293,8 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
                 }
             }
             sim_transitions += result.sim_transitions;
+            sim_events += result.kernel.events_processed;
+            max_queue_depth = std::max(max_queue_depth, result.kernel.max_queue_depth);
             ++shards_merged;
             if (options.progress) {
                 options.progress(CharProgress{shards_merged, num_shards,
@@ -307,6 +313,13 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
                 std::chrono::steady_clock::now() - start)
                 .count();
         options.stats->sim_transitions = sim_transitions;
+        options.stats->sim_events = sim_events;
+        options.stats->events_per_sec =
+            options.stats->collect_wall_ms > 0.0
+                ? static_cast<double>(sim_events) /
+                      (options.stats->collect_wall_ms / 1000.0)
+                : 0.0;
+        options.stats->max_queue_depth = max_queue_depth;
         options.stats->records = records.size();
         options.stats->shards = shards_merged;
         options.stats->threads = pool.size();

@@ -41,6 +41,9 @@ struct CharRunStats {
     double collect_wall_ms = 0.0; ///< record-collection (simulation) wall time
     double fit_wall_ms = 0.0;     ///< coefficient-fitting wall time
     std::uint64_t sim_transitions = 0; ///< net toggles simulated, incl. glitches
+    std::uint64_t sim_events = 0; ///< scheduler events processed (queue pops)
+    double events_per_sec = 0.0;  ///< sim_events over the collect wall time
+    std::size_t max_queue_depth = 0; ///< peak pending events in any shard's queue
     std::size_t records = 0;      ///< measured transitions kept
     std::size_t shards = 0;       ///< stimulus shards merged into the result
     unsigned threads = 1;         ///< worker threads used

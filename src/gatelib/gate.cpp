@@ -35,6 +35,18 @@ constexpr std::array<KindInfo, kNumGateKinds> kKindInfo = {{
     {"MAJ3", 3},
 }};
 
+static_assert(
+    [] {
+        for (const KindInfo& info : kKindInfo) {
+            if (info.num_inputs > kMaxGateInputs) {
+                return false;
+            }
+        }
+        return true;
+    }(),
+    "a gate kind exceeds kMaxGateInputs — grow Cell::inputs, the simulator "
+    "scratch buffers, and the truth-table byte before adding it");
+
 } // namespace
 
 int gate_num_inputs(GateKind kind) noexcept
@@ -104,6 +116,31 @@ bool gate_eval(GateKind kind, std::span<const std::uint8_t> inputs)
         return (in(0) && in(1)) || (in(0) && in(2)) || (in(1) && in(2));
     }
     HDPM_FAIL("unreachable gate kind");
+}
+
+std::uint8_t gate_truth_table(GateKind kind) noexcept
+{
+    // Derived once from gate_eval so the packed tables can never diverge
+    // from the reference switch.
+    static const std::array<std::uint8_t, kNumGateKinds> tables = [] {
+        std::array<std::uint8_t, kNumGateKinds> t{};
+        for (int k = 0; k < kNumGateKinds; ++k) {
+            const auto kk = static_cast<GateKind>(k);
+            const int n = gate_num_inputs(kk);
+            for (std::uint32_t idx = 0; idx < (1U << n); ++idx) {
+                std::uint8_t in[kMaxGateInputs] = {};
+                for (int b = 0; b < n; ++b) {
+                    in[b] = static_cast<std::uint8_t>((idx >> b) & 1U);
+                }
+                if (gate_eval(kk, {in, static_cast<std::size_t>(n)})) {
+                    t[static_cast<std::size_t>(k)] |=
+                        static_cast<std::uint8_t>(1U << idx);
+                }
+            }
+        }
+        return t;
+    }();
+    return tables[static_cast<std::size_t>(kind)];
 }
 
 } // namespace hdpm::gate

@@ -38,6 +38,13 @@ enum class GateKind : std::uint8_t {
 /// Number of distinct gate kinds (for table sizing).
 inline constexpr int kNumGateKinds = static_cast<int>(GateKind::Maj3) + 1;
 
+/// Maximum number of input pins any gate kind may have. Fixed-size input
+/// buffers throughout the library (netlist::Cell::inputs, simulator
+/// scratch, truth-table packing) are sized to this; gate.cpp statically
+/// asserts every kind fits, and Netlist::add_cell re-checks at runtime so
+/// a future wider kind cannot silently overflow them.
+inline constexpr int kMaxGateInputs = 3;
+
 /// Number of input pins of a gate kind.
 [[nodiscard]] int gate_num_inputs(GateKind kind) noexcept;
 
@@ -51,5 +58,12 @@ inline constexpr int kNumGateKinds = static_cast<int>(GateKind::Maj3) + 1;
 /// Evaluate the boolean function of a gate. @p inputs must provide exactly
 /// gate_num_inputs(kind) values.
 [[nodiscard]] bool gate_eval(GateKind kind, std::span<const std::uint8_t> inputs);
+
+/// The complete truth table of a gate packed into one byte: bit i is the
+/// output for the input combination with packed value i, where input pin k
+/// contributes bit k (i = in0 | in1<<1 | in2<<2). Bits at or above
+/// 1 << gate_num_inputs(kind) are zero. This is what the compiled
+/// simulation hot loops index instead of calling gate_eval.
+[[nodiscard]] std::uint8_t gate_truth_table(GateKind kind) noexcept;
 
 } // namespace hdpm::gate

@@ -25,6 +25,9 @@ CellId Netlist::add_cell(gate::GateKind kind, std::span<const NetId> inputs, Net
     const int arity = gate::gate_num_inputs(kind);
     HDPM_REQUIRE(static_cast<int>(inputs.size()) == arity, "gate ", gate::gate_name(kind),
                  " takes ", arity, " inputs, got ", inputs.size());
+    HDPM_REQUIRE(arity <= gate::kMaxGateInputs, "gate ", gate::gate_name(kind),
+                 " has ", arity, " inputs but Cell::inputs holds at most ",
+                 gate::kMaxGateInputs);
     HDPM_REQUIRE(output < num_nets(), "output net ", output, " does not exist");
     HDPM_REQUIRE(drivers_[output] == kInvalidId, "net ", output, " already driven");
     HDPM_REQUIRE(!is_input_[output], "net ", output, " is a primary input");

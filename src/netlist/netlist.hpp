@@ -24,7 +24,7 @@ inline constexpr std::uint32_t kInvalidId = ~std::uint32_t{0};
 /// gate_num_inputs(kind) entries are meaningful) and the driven output net.
 struct Cell {
     gate::GateKind kind{};
-    std::array<NetId, 3> inputs{kInvalidId, kInvalidId, kInvalidId};
+    std::array<NetId, gate::kMaxGateInputs> inputs{kInvalidId, kInvalidId, kInvalidId};
     NetId output = kInvalidId;
 
     /// The used portion of the input array.

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
+#include "util/bitvec.hpp"
+
+namespace hdpm::sim {
+
+class SimContext;
+
+/// 64-lane bit-parallel zero-delay evaluator.
+///
+/// Packs up to 64 stimulus vectors into one std::uint64_t word per net
+/// (bit j = the net's value under vector j) and settles the whole batch in
+/// a single pass over the compiled topological order using word-level
+/// bitwise gate formulas — one AND evaluates an AND2 for 64 vectors at
+/// once. Like FunctionalEvaluator it models no timing and no glitches; it
+/// exists for workloads where per-vector event timing is not needed:
+/// zero-delay toggle counting over stimulus streams, functional
+/// cross-checks in tests, and cheap warm-up / screening passes before the
+/// event kernel runs.
+///
+/// An instance is not thread-safe, but — as with EventSimulator — all
+/// shared data lives in the immutable compiled view, so any number of
+/// instances over one SimContext may run concurrently.
+class BatchedEvaluator {
+public:
+    /// Lanes per batch (one bit of every net word per stimulus vector).
+    static constexpr int kLanes = 64;
+
+    /// Compile a private view of @p netlist (must outlive the evaluator).
+    explicit BatchedEvaluator(const netlist::Netlist& netlist);
+
+    /// Borrow the compiled view of an existing SimContext.
+    explicit BatchedEvaluator(const SimContext& context);
+
+    /// Evaluate 1..kLanes input vectors in one pass; returns one output
+    /// BitVec per input vector, in order.
+    std::vector<util::BitVec> eval(std::span<const util::BitVec> inputs);
+
+    /// Zero-delay toggle counts of a stimulus stream: element j is the
+    /// number of nets whose settled value differs between stream[j] and
+    /// stream[j+1] (length N stream → N-1 counts). The stream is processed
+    /// in kLanes-vector windows with one vector of overlap, so arbitrary
+    /// lengths cost ~N/63 settle passes.
+    std::vector<std::uint64_t> toggle_counts(std::span<const util::BitVec> stream);
+
+    /// Lane word of a net after the last eval(): bit j is the net's value
+    /// under input vector j (bits at or above the batch size are zero).
+    [[nodiscard]] std::uint64_t lanes(netlist::NetId net) const
+    {
+        return lanes_.at(net);
+    }
+
+private:
+    /// Load the primary-input lanes and settle all nets; @p count = number
+    /// of active lanes (inactive high lanes are zeroed afterwards).
+    void settle(std::span<const util::BitVec> inputs);
+
+    const netlist::Netlist* netlist_;
+    std::unique_ptr<const CompiledNetlist> owned_; // null when borrowing
+    const CompiledNetlist* compiled_;
+    std::vector<std::uint64_t> lanes_;
+};
+
+} // namespace hdpm::sim

@@ -1,0 +1,53 @@
+#include "sim/compiled.hpp"
+
+#include "util/error.hpp"
+
+namespace hdpm::sim {
+
+using netlist::CellId;
+using netlist::NetId;
+
+CompiledNetlist::CompiledNetlist(const netlist::Netlist& netlist)
+    : num_nets_(netlist.num_nets()), topo_(netlist.topological_order())
+{
+    const std::size_t num_cells = netlist.num_cells();
+    in_offset_.reserve(num_cells + 1);
+    out_net_.reserve(num_cells);
+    kind_.reserve(num_cells);
+    truth_.reserve(num_cells);
+
+    std::size_t total_inputs = 0;
+    for (CellId id = 0; id < num_cells; ++id) {
+        const netlist::Cell& cell = netlist.cell(id);
+        const auto ins = cell.input_span();
+        HDPM_REQUIRE(ins.size() <= static_cast<std::size_t>(gate::kMaxGateInputs),
+                     "cell ", id, " has ", ins.size(), " inputs; the compiled "
+                     "truth-table byte holds at most ", gate::kMaxGateInputs);
+        in_offset_.push_back(static_cast<std::uint32_t>(total_inputs));
+        total_inputs += ins.size();
+        out_net_.push_back(cell.output);
+        kind_.push_back(cell.kind);
+        truth_.push_back(gate::gate_truth_table(cell.kind));
+    }
+    in_offset_.push_back(static_cast<std::uint32_t>(total_inputs));
+    in_net_.reserve(total_inputs);
+    for (CellId id = 0; id < num_cells; ++id) {
+        const auto ins = netlist.cell(id).input_span();
+        in_net_.insert(in_net_.end(), ins.begin(), ins.end());
+    }
+
+    const auto fanout = netlist.fanout_table();
+    fanout_offset_.assign(num_nets_ + 1, 0);
+    std::size_t total_fanout = 0;
+    for (NetId net = 0; net < num_nets_; ++net) {
+        fanout_offset_[net] = static_cast<std::uint32_t>(total_fanout);
+        total_fanout += fanout[net].size();
+    }
+    fanout_offset_[num_nets_] = static_cast<std::uint32_t>(total_fanout);
+    fanout_cell_.reserve(total_fanout);
+    for (NetId net = 0; net < num_nets_; ++net) {
+        fanout_cell_.insert(fanout_cell_.end(), fanout[net].begin(), fanout[net].end());
+    }
+}
+
+} // namespace hdpm::sim

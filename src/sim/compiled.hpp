@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gatelib/gate.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hdpm::sim {
+
+/// Cache-friendly compiled form of a netlist's logic: everything the
+/// simulation hot loops touch, flattened into structure-of-arrays form.
+///
+/// Per cell: the input nets (flat CSR, at most gate::kMaxGateInputs wide),
+/// the driven output net, the gate kind, and the boolean function packed
+/// into a truth-table byte — bit i of truth(c) is the output for the packed
+/// input value i, where input pin k contributes bit k. Per net: the
+/// consuming cells (flat CSR fanout). Evaluating a cell is therefore a
+/// handful of contiguous loads plus one shift, with no Cell struct, no
+/// nested vectors, and no gate_eval switch on the hot path.
+///
+/// All simulators share one compiled view: EventSimulator and
+/// FunctionalEvaluator walk it scalar (one value byte per net), and
+/// BatchedEvaluator walks it 64 stimulus vectors at a time.
+///
+/// Immutable after construction — share it const across threads freely.
+/// The netlist must outlive the compiled view.
+class CompiledNetlist {
+public:
+    explicit CompiledNetlist(const netlist::Netlist& netlist);
+
+    [[nodiscard]] std::size_t num_nets() const noexcept { return num_nets_; }
+    [[nodiscard]] std::size_t num_cells() const noexcept { return out_net_.size(); }
+
+    /// Cells in topological order (inputs before consumers).
+    [[nodiscard]] std::span<const netlist::CellId> topological_order() const noexcept
+    {
+        return topo_;
+    }
+
+    /// Cells consuming @p net (CSR row of the fanout table).
+    [[nodiscard]] std::span<const netlist::CellId> fanout(netlist::NetId net) const
+    {
+        return {fanout_cell_.data() + fanout_offset_[net],
+                fanout_cell_.data() + fanout_offset_[net + 1]};
+    }
+
+    /// Input nets of cell @p c (CSR row of the input table).
+    [[nodiscard]] std::span<const netlist::NetId> inputs(netlist::CellId c) const
+    {
+        return {in_net_.data() + in_offset_[c], in_net_.data() + in_offset_[c + 1]};
+    }
+
+    /// Net driven by cell @p c.
+    [[nodiscard]] netlist::NetId output(netlist::CellId c) const { return out_net_[c]; }
+
+    /// Gate kind of cell @p c (cold paths and lane-parallel evaluation).
+    [[nodiscard]] gate::GateKind kind(netlist::CellId c) const { return kind_[c]; }
+
+    /// Packed truth table of cell @p c (see gate::gate_truth_table).
+    [[nodiscard]] std::uint8_t truth(netlist::CellId c) const { return truth_[c]; }
+
+    /// Evaluate cell @p c against @p values (one 0/1 byte per net).
+    [[nodiscard]] std::uint8_t eval(netlist::CellId c,
+                                    const std::uint8_t* values) const
+    {
+        const std::uint32_t begin = in_offset_[c];
+        const std::uint32_t end = in_offset_[c + 1];
+        std::uint32_t idx = 0;
+        for (std::uint32_t k = begin; k < end; ++k) {
+            idx |= static_cast<std::uint32_t>(values[in_net_[k]]) << (k - begin);
+        }
+        return (truth_[c] >> idx) & 1U;
+    }
+
+private:
+    std::size_t num_nets_ = 0;
+    std::vector<netlist::CellId> topo_;
+    std::vector<std::uint32_t> in_offset_;   // num_cells + 1
+    std::vector<netlist::NetId> in_net_;     // flat input pins
+    std::vector<netlist::NetId> out_net_;    // per cell
+    std::vector<gate::GateKind> kind_;       // per cell
+    std::vector<std::uint8_t> truth_;        // per cell
+    std::vector<std::uint32_t> fanout_offset_; // num_nets + 1
+    std::vector<netlist::CellId> fanout_cell_; // flat consumers
+};
+
+} // namespace hdpm::sim

@@ -1,6 +1,7 @@
 #include "sim/event_sim.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/vcd.hpp"
 #include "util/error.hpp"
@@ -12,6 +13,91 @@ using netlist::CellId;
 using netlist::kInvalidId;
 using netlist::NetId;
 using util::BitVec;
+
+// ---------------------------------------------------------------------------
+// TimingWheel
+
+void EventSimulator::TimingWheel::configure(std::int64_t max_delay)
+{
+    horizon_ = std::max<std::int64_t>(1, max_delay);
+    const auto slots = std::bit_ceil(static_cast<std::size_t>(horizon_) + 1);
+    slots_.assign(slots, {});
+    occupied_.assign((slots + 63) / 64, 0);
+    mask_ = slots - 1;
+    now_ = 0;
+    current_slot_ = 0;
+    pending_ = 0;
+}
+
+void EventSimulator::TimingWheel::reset()
+{
+    if (pending_ != 0) {
+        for (std::size_t w = 0; w < occupied_.size(); ++w) {
+            std::uint64_t word = occupied_[w];
+            while (word != 0) {
+                const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+                slots_[(w << 6) + bit].clear();
+                word &= word - 1;
+            }
+            occupied_[w] = 0;
+        }
+        pending_ = 0;
+    }
+    now_ = 0;
+    current_slot_ = 0;
+}
+
+void EventSimulator::TimingWheel::push(std::int64_t time, WheelEvent ev)
+{
+    HDPM_ASSERT(time > now_ && time - now_ <= horizon_,
+                "wheel push outside horizon at t=", time, " now=", now_);
+    const auto slot = static_cast<std::size_t>(time) & mask_;
+    if (slots_[slot].empty()) {
+        occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    }
+    slots_[slot].push_back(ev);
+    ++pending_;
+}
+
+std::size_t EventSimulator::TimingWheel::find_next_occupied(std::size_t start) const
+{
+    const std::size_t words = occupied_.size();
+    std::size_t w = start >> 6;
+    std::uint64_t word = occupied_[w] & (~std::uint64_t{0} << (start & 63));
+    // Scan at most every word plus the (unmasked) starting word again so a
+    // lone bit below `start` in the starting word is still found after the
+    // wrap-around.
+    for (std::size_t n = 0; n <= words; ++n) {
+        if (word != 0) {
+            return (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        }
+        w = w + 1 == words ? 0 : w + 1;
+        word = occupied_[w];
+    }
+    HDPM_FAIL("timing wheel occupancy bitmap inconsistent with pending count");
+}
+
+std::int64_t EventSimulator::TimingWheel::advance()
+{
+    HDPM_ASSERT(pending_ > 0, "advance on an empty wheel");
+    const std::size_t start = (static_cast<std::size_t>(now_) + 1) & mask_;
+    const std::size_t slot = find_next_occupied(start);
+    const std::size_t delta = ((slot - start) & mask_) + 1;
+    now_ += static_cast<std::int64_t>(delta);
+    current_slot_ = slot;
+    return now_;
+}
+
+void EventSimulator::TimingWheel::pop_bucket()
+{
+    std::vector<WheelEvent>& bucket = slots_[current_slot_];
+    pending_ -= bucket.size();
+    bucket.clear(); // keeps capacity: the slot arena never shrinks
+    occupied_[current_slot_ >> 6] &= ~(std::uint64_t{1} << (current_slot_ & 63));
+}
+
+// ---------------------------------------------------------------------------
+// EventSimulator
 
 EventSimulator::EventSimulator(const SimContext& context, EventSimOptions options)
     : context_(&context),
@@ -26,6 +112,7 @@ EventSimulator::EventSimulator(const SimContext& context, EventSimOptions option
       transition_count_(netlist_->num_nets(), 0),
       charge_per_net_(netlist_->num_nets(), 0.0)
 {
+    wheel_.configure(context.max_cell_delay_ps());
 }
 
 EventSimulator::EventSimulator(std::shared_ptr<const SimContext> context,
@@ -48,25 +135,30 @@ void EventSimulator::initialize(const BitVec& inputs)
                  netlist_->name(), "' has ", pis.size(), " inputs, pattern has ",
                  inputs.width(), " bits");
 
-    // Zero-delay settle over the shared topological order (no charge
+    // Zero-delay settle over the shared compiled view (no charge
     // accounting) — the steady state the next apply() diffs against.
     for (std::size_t i = 0; i < pis.size(); ++i) {
         values_[pis[i]] = inputs.get(static_cast<int>(i)) ? 1 : 0;
     }
-    std::uint8_t in_vals[3];
-    for (const CellId id : context_->topological_order()) {
-        const Cell& cell = netlist_->cell(id);
-        const auto ins = cell.input_span();
-        for (std::size_t i = 0; i < ins.size(); ++i) {
-            in_vals[i] = values_[ins[i]];
-        }
-        values_[cell.output] = gate::gate_eval(cell.kind, {in_vals, ins.size()}) ? 1 : 0;
+    const CompiledNetlist& cn = context_->compiled();
+    for (const CellId id : cn.topological_order()) {
+        values_[cn.output(id)] = cn.eval(id, values_.data());
     }
+
+    // Reset every piece of per-cycle scheduler state so repeated
+    // initialize calls start from one identical state: swap-against-empty
+    // instead of a pop loop for the heap, bucket-clearing rewind for the
+    // wheel, and zeroed sequence / generation / stamp counters.
     scheduled_value_ = values_;
     std::fill(pending_count_.begin(), pending_count_.end(), 0);
-    while (!queue_.empty()) {
-        queue_.pop();
-    }
+    std::fill(pending_time_.begin(), pending_time_.end(), 0);
+    std::fill(generation_.begin(), generation_.end(), 0);
+    std::fill(cell_stamp_.begin(), cell_stamp_.end(), 0);
+    stamp_epoch_ = 0;
+    seq_counter_ = 0;
+    HeapQueue{}.swap(queue_);
+    wheel_.reset();
+
     initialized_ = true;
     if (tracer_ != nullptr) {
         tracer_->dump_all(cycle_start_time_, values_);
@@ -81,7 +173,7 @@ void EventSimulator::toggle_net(NetId net, std::uint8_t value, std::int64_t time
     ++result.transitions;
     result.settle_time_ps = std::max(result.settle_time_ps, time);
     if (count_charge) {
-        const double q = context_->electrical().edge_charge_fc(net);
+        const double q = context_->edge_charge_fc(net);
         result.charge_fc += q;
         charge_per_net_[net] += q;
     }
@@ -90,13 +182,13 @@ void EventSimulator::toggle_net(NetId net, std::uint8_t value, std::int64_t time
     }
 }
 
-void EventSimulator::schedule(NetId net, std::uint8_t value, std::int64_t time)
+bool EventSimulator::prepare_schedule(NetId net, std::uint8_t value, std::int64_t time)
 {
     if (pending_count_[net] == 0) {
         scheduled_value_[net] = values_[net];
     }
     if (value == scheduled_value_[net]) {
-        return; // the net already heads to this value
+        return false; // the net already heads to this value
     }
     if (options_.inertial_window_ps > 0 && pending_count_[net] > 0 &&
         time - pending_time_[net] <= options_.inertial_window_ps) {
@@ -105,13 +197,13 @@ void EventSimulator::schedule(NetId net, std::uint8_t value, std::int64_t time)
         pending_count_[net] = 0;
         if (value == values_[net]) {
             scheduled_value_[net] = value;
-            return; // pulse fully swallowed
+            return false; // pulse fully swallowed
         }
     }
-    queue_.push(Event{time, seq_counter_++, net, value, generation_[net]});
     scheduled_value_[net] = value;
     pending_time_[net] = time;
     ++pending_count_[net];
+    return true;
 }
 
 CycleResult EventSimulator::apply(const BitVec& inputs)
@@ -121,11 +213,97 @@ CycleResult EventSimulator::apply(const BitVec& inputs)
     HDPM_REQUIRE(inputs.width() == static_cast<int>(pis.size()), "netlist '",
                  netlist_->name(), "' has ", pis.size(), " inputs, pattern has ",
                  inputs.width(), " bits");
+    return options_.scheduler == SchedulerKind::BinaryHeap ? apply_heap(inputs)
+                                                           : apply_wheel(inputs);
+}
 
+CycleResult EventSimulator::apply_wheel(const BitVec& inputs)
+{
+    const CompiledNetlist& cn = context_->compiled();
+    const auto& pis = netlist_->primary_inputs();
     CycleResult result;
     std::uint64_t processed = 0;
     ++stamp_epoch_;
-    std::vector<CellId> touched;
+    touched_.clear();
+
+    // Apply primary-input changes at t = 0.
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+        const NetId net = pis[i];
+        const std::uint8_t v = inputs.get(static_cast<int>(i)) ? 1 : 0;
+        if (v == values_[net]) {
+            continue;
+        }
+        toggle_net(net, v, 0, options_.count_input_charge, result);
+        for (const CellId consumer : cn.fanout(net)) {
+            if (cell_stamp_[consumer] != stamp_epoch_) {
+                cell_stamp_[consumer] = stamp_epoch_;
+                touched_.push_back(consumer);
+            }
+        }
+    }
+
+    auto evaluate_and_schedule = [&](CellId id, std::int64_t now) {
+        const std::uint8_t out = cn.eval(id, values_.data());
+        const NetId net = cn.output(id);
+        const std::int64_t t = now + context_->cell_delay_ps(id);
+        if (prepare_schedule(net, out, t)) {
+            wheel_.push(t, WheelEvent{net, out, generation_[net]});
+            stats_.max_queue_depth = std::max(stats_.max_queue_depth, wheel_.pending());
+        }
+    };
+
+    for (const CellId id : touched_) {
+        evaluate_and_schedule(id, 0);
+    }
+
+    // Main event loop: drain the wheel one timestamp bucket at a time so
+    // each cell evaluates at most once per time step. Bucket order is push
+    // order, which is schedule-sequence order — the heap's tie-break.
+    while (!wheel_.empty()) {
+        const std::int64_t now = wheel_.advance();
+        touched_.clear();
+        ++stamp_epoch_;
+        for (const WheelEvent& ev : wheel_.bucket()) {
+            if (++processed > options_.max_events_per_cycle) {
+                HDPM_FAIL("event budget exceeded in '", netlist_->name(),
+                          "' — runaway simulation?");
+            }
+            if (ev.generation != generation_[ev.net]) {
+                continue; // superseded by an inertial cancellation
+            }
+            --pending_count_[ev.net];
+            // Per-net event times are monotone and scheduled values
+            // alternate, so a valid event always toggles its net.
+            HDPM_ASSERT(ev.value != values_[ev.net], "no-op event on net ", ev.net);
+            toggle_net(ev.net, ev.value, now, true, result);
+            for (const CellId consumer : cn.fanout(ev.net)) {
+                if (cell_stamp_[consumer] != stamp_epoch_) {
+                    cell_stamp_[consumer] = stamp_epoch_;
+                    touched_.push_back(consumer);
+                }
+            }
+        }
+        wheel_.pop_bucket();
+        for (const CellId id : touched_) {
+            evaluate_and_schedule(id, now);
+        }
+    }
+    wheel_.reset(); // rewind to t = 0 for the next cycle (wheel is empty)
+
+    stats_.events_processed += processed;
+    if (tracer_ != nullptr) {
+        cycle_start_time_ += tracer_->cycle_period_ps();
+    }
+    return result;
+}
+
+CycleResult EventSimulator::apply_heap(const BitVec& inputs)
+{
+    const auto& pis = netlist_->primary_inputs();
+    CycleResult result;
+    std::uint64_t processed = 0;
+    ++stamp_epoch_;
+    touched_.clear();
 
     // Apply primary-input changes at t = 0.
     for (std::size_t i = 0; i < pis.size(); ++i) {
@@ -138,12 +316,12 @@ CycleResult EventSimulator::apply(const BitVec& inputs)
         for (const CellId consumer : context_->fanout(net)) {
             if (cell_stamp_[consumer] != stamp_epoch_) {
                 cell_stamp_[consumer] = stamp_epoch_;
-                touched.push_back(consumer);
+                touched_.push_back(consumer);
             }
         }
     }
 
-    std::uint8_t in_vals[3];
+    std::uint8_t in_vals[gate::kMaxGateInputs];
     auto evaluate_and_schedule = [&](CellId id, std::int64_t now) {
         const Cell& cell = netlist_->cell(id);
         const auto ins = cell.input_span();
@@ -152,10 +330,15 @@ CycleResult EventSimulator::apply(const BitVec& inputs)
         }
         const std::uint8_t out =
             gate::gate_eval(cell.kind, {in_vals, ins.size()}) ? 1 : 0;
-        schedule(cell.output, out, now + context_->electrical().cell_delay_ps(id));
+        const std::int64_t t = now + context_->electrical().cell_delay_ps(id);
+        if (prepare_schedule(cell.output, out, t)) {
+            queue_.push(HeapEvent{t, seq_counter_++, cell.output, out,
+                                  generation_[cell.output]});
+            stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+        }
     };
 
-    for (const CellId id : touched) {
+    for (const CellId id : touched_) {
         evaluate_and_schedule(id, 0);
     }
 
@@ -163,10 +346,10 @@ CycleResult EventSimulator::apply(const BitVec& inputs)
     // each cell evaluates at most once per time step.
     while (!queue_.empty()) {
         const std::int64_t now = queue_.top().time;
-        touched.clear();
+        touched_.clear();
         ++stamp_epoch_;
         while (!queue_.empty() && queue_.top().time == now) {
-            const Event ev = queue_.top();
+            const HeapEvent ev = queue_.top();
             queue_.pop();
             if (++processed > options_.max_events_per_cycle) {
                 HDPM_FAIL("event budget exceeded in '", netlist_->name(),
@@ -183,15 +366,16 @@ CycleResult EventSimulator::apply(const BitVec& inputs)
             for (const CellId consumer : context_->fanout(ev.net)) {
                 if (cell_stamp_[consumer] != stamp_epoch_) {
                     cell_stamp_[consumer] = stamp_epoch_;
-                    touched.push_back(consumer);
+                    touched_.push_back(consumer);
                 }
             }
         }
-        for (const CellId id : touched) {
+        for (const CellId id : touched_) {
             evaluate_and_schedule(id, now);
         }
     }
 
+    stats_.events_processed += processed;
     if (tracer_ != nullptr) {
         cycle_start_time_ += tracer_->cycle_period_ps();
     }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "sim/electrical.hpp"
@@ -12,6 +13,21 @@
 namespace hdpm::sim {
 
 class VcdWriter;
+
+/// Which event-queue implementation the simulator runs on. Both produce
+/// bit-identical results — events are ordered by (time, schedule sequence)
+/// either way; see docs/simulator.md for the argument.
+enum class SchedulerKind : std::uint8_t {
+    /// Calendar / timing-wheel queue: O(1) push and pop, arena-backed slot
+    /// buckets with no per-event allocation, LUT-compiled cell evaluation
+    /// over the SimContext SoA view. The production kernel.
+    TimingWheel,
+
+    /// The original std::priority_queue kernel with switch-based gate
+    /// evaluation through Netlist::cell. Retained as the differential-
+    /// testing and benchmarking baseline; not optimized further.
+    BinaryHeap,
+};
 
 /// Options of the event-driven simulator.
 struct EventSimOptions {
@@ -31,6 +47,9 @@ struct EventSimOptions {
 
     /// Safety valve against runaway simulations.
     std::uint64_t max_events_per_cycle = 50'000'000;
+
+    /// Event-queue implementation (results are identical; see above).
+    SchedulerKind scheduler = SchedulerKind::TimingWheel;
 };
 
 /// Per-cycle simulation result.
@@ -38,6 +57,13 @@ struct CycleResult {
     double charge_fc = 0.0;          ///< supply charge drawn this cycle [fC]
     std::uint64_t transitions = 0;   ///< actual net toggles (including glitches)
     std::int64_t settle_time_ps = 0; ///< time of the last toggle
+};
+
+/// Cumulative scheduler counters since construction (throughput
+/// observability; folded into core::CharRunStats by the characterizer).
+struct KernelStats {
+    std::uint64_t events_processed = 0; ///< queue pops, incl. superseded events
+    std::size_t max_queue_depth = 0;    ///< peak simultaneously pending events
 };
 
 /// Event-driven gate-level logic and power simulator.
@@ -72,7 +98,10 @@ public:
                    EventSimOptions options = {});
 
     /// Establish the steady state for @p inputs (zero-delay evaluation, no
-    /// charge is accounted). Resets cumulative counters' baseline state.
+    /// charge is accounted) and reset all per-cycle scheduler state —
+    /// repeated initialize calls start from an identical state regardless
+    /// of what ran before. Cumulative counters (transition/charge per net,
+    /// kernel stats) are not cleared.
     void initialize(const util::BitVec& inputs);
 
     /// Apply the next input vector and simulate until quiescence.
@@ -106,28 +135,81 @@ public:
         return charge_per_net_;
     }
 
+    /// Cumulative scheduler counters since construction.
+    [[nodiscard]] const KernelStats& kernel_stats() const noexcept { return stats_; }
+
     /// Attach a VCD tracer (may be nullptr to detach). The tracer must
     /// outlive the simulator or be detached before destruction.
     void set_tracer(VcdWriter* tracer) noexcept { tracer_ = tracer; }
 
 private:
-    struct Event {
+    struct HeapEvent {
         std::int64_t time;
         std::uint64_t seq;
         netlist::NetId net;
         std::uint8_t value;
         std::uint32_t generation;
     };
-    struct EventLater {
-        bool operator()(const Event& a, const Event& b) const noexcept
+    struct HeapLater {
+        bool operator()(const HeapEvent& a, const HeapEvent& b) const noexcept
         {
             return a.time != b.time ? a.time > b.time : a.seq > b.seq;
         }
     };
+    using HeapQueue = std::priority_queue<HeapEvent, std::vector<HeapEvent>, HeapLater>;
 
+    /// A pending net change in the timing wheel. No time or sequence field:
+    /// the slot encodes the time, and the bucket's push order is the
+    /// schedule sequence order (the wheel only ever appends), which
+    /// reproduces the heap's (time, seq) tie-break exactly.
+    struct WheelEvent {
+        netlist::NetId net;
+        std::uint8_t value;
+        std::uint32_t generation;
+    };
+
+    /// Calendar queue over slots [0, W) with W = bit_ceil(max delay + 1).
+    /// All pending times lie in (now, now + max delay], a window shorter
+    /// than W, so "time mod W" maps every pending timestamp to a distinct
+    /// slot. Slot buckets are arena-style vectors that are cleared but
+    /// never deallocated, and a bitmap tracks occupied slots so advancing
+    /// to the next timestamp is a word scan + countr_zero, not a slot walk.
+    class TimingWheel {
+    public:
+        void configure(std::int64_t max_delay);
+        void reset(); ///< drop pending events, rewind to t = 0 (keeps capacity)
+        [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
+        [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+        void push(std::int64_t time, WheelEvent ev);
+        /// Advance to the next non-empty timestamp; requires !empty().
+        std::int64_t advance();
+        /// Events at the timestamp advance() returned, in schedule order.
+        [[nodiscard]] std::span<const WheelEvent> bucket() const
+        {
+            return slots_[current_slot_];
+        }
+        /// Discard the current bucket after processing (keeps capacity).
+        void pop_bucket();
+
+    private:
+        [[nodiscard]] std::size_t find_next_occupied(std::size_t start) const;
+
+        std::vector<std::vector<WheelEvent>> slots_;
+        std::vector<std::uint64_t> occupied_; // bitmap, one bit per slot
+        std::size_t mask_ = 0;                // slot count - 1 (power of two)
+        std::int64_t horizon_ = 1;            // max schedulable delay
+        std::int64_t now_ = 0;
+        std::size_t current_slot_ = 0;
+        std::size_t pending_ = 0;
+    };
+
+    CycleResult apply_heap(const util::BitVec& inputs);
+    CycleResult apply_wheel(const util::BitVec& inputs);
     void toggle_net(netlist::NetId net, std::uint8_t value, std::int64_t time,
                     bool count_charge, CycleResult& result);
-    void schedule(netlist::NetId net, std::uint8_t value, std::int64_t time);
+    /// Shared inertial-window/cancellation bookkeeping; returns true when
+    /// the caller must enqueue an event for (net, value, time).
+    bool prepare_schedule(netlist::NetId net, std::uint8_t value, std::int64_t time);
 
     std::shared_ptr<const SimContext> owned_context_; // set by the convenience ctor
     const SimContext* context_;
@@ -144,8 +226,12 @@ private:
     std::vector<std::uint64_t> cell_stamp_;
     std::uint64_t stamp_epoch_ = 0;
 
-    std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-    std::uint64_t seq_counter_ = 0;
+    HeapQueue queue_;               // BinaryHeap scheduler
+    std::uint64_t seq_counter_ = 0; // BinaryHeap tie-break sequence
+    TimingWheel wheel_;             // TimingWheel scheduler
+
+    std::vector<netlist::CellId> touched_; // per-timestamp scratch
+    KernelStats stats_;
     std::vector<std::uint64_t> transition_count_;
     std::vector<double> charge_per_net_;
 

@@ -1,15 +1,26 @@
 #include "sim/functional.hpp"
 
+#include "sim/sim_context.hpp"
 #include "util/error.hpp"
 
 namespace hdpm::sim {
 
-using netlist::Cell;
+using netlist::CellId;
 using netlist::NetId;
 using util::BitVec;
 
 FunctionalEvaluator::FunctionalEvaluator(const netlist::Netlist& netlist)
-    : netlist_(&netlist), topo_(netlist.topological_order()), values_(netlist.num_nets(), 0)
+    : netlist_(&netlist),
+      owned_(std::make_unique<const CompiledNetlist>(netlist)),
+      compiled_(owned_.get()),
+      values_(netlist.num_nets(), 0)
+{
+}
+
+FunctionalEvaluator::FunctionalEvaluator(const SimContext& context)
+    : netlist_(&context.netlist()),
+      compiled_(&context.compiled()),
+      values_(context.netlist().num_nets(), 0)
 {
 }
 
@@ -23,15 +34,8 @@ BitVec FunctionalEvaluator::eval(const BitVec& inputs)
         values_[pis[i]] = inputs.get(static_cast<int>(i)) ? 1 : 0;
     }
 
-    std::uint8_t in_vals[3];
-    for (const netlist::CellId id : topo_) {
-        const Cell& cell = netlist_->cell(id);
-        const auto ins = cell.input_span();
-        for (std::size_t i = 0; i < ins.size(); ++i) {
-            in_vals[i] = values_[ins[i]];
-        }
-        values_[cell.output] =
-            gate::gate_eval(cell.kind, {in_vals, ins.size()}) ? 1 : 0;
+    for (const CellId id : compiled_->topological_order()) {
+        values_[compiled_->output(id)] = compiled_->eval(id, values_.data());
     }
 
     const auto& pos = netlist_->primary_outputs();

@@ -1,23 +1,32 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
 #include "util/bitvec.hpp"
 
 namespace hdpm::sim {
 
+class SimContext;
+
 /// Zero-delay functional evaluator.
 ///
-/// Evaluates the netlist once in topological order. This is the golden
+/// Evaluates the netlist once in topological order over the compiled SoA
+/// view (truth-table lookups, no gate_eval switch). This is the golden
 /// logic reference used by tests (datapath generators are checked against
 /// integer arithmetic through it) and by the event simulator to establish
 /// the initial steady state. It models no timing and therefore no glitches.
 class FunctionalEvaluator {
 public:
-    /// Prepare an evaluator for @p netlist. The netlist must outlive the
-    /// evaluator and must be valid (acyclic).
+    /// Prepare an evaluator for @p netlist, compiling a private view. The
+    /// netlist must outlive the evaluator and must be valid (acyclic).
     explicit FunctionalEvaluator(const netlist::Netlist& netlist);
+
+    /// Borrow the compiled view of an existing SimContext instead of
+    /// compiling a second one; the context must outlive the evaluator.
+    explicit FunctionalEvaluator(const SimContext& context);
 
     /// Evaluate with the primary inputs taken LSB-first from @p inputs
     /// (inputs.width() must equal the number of primary input nets);
@@ -32,7 +41,8 @@ public:
 
 private:
     const netlist::Netlist* netlist_;
-    std::vector<netlist::CellId> topo_;
+    std::unique_ptr<const CompiledNetlist> owned_; // null when borrowing
+    const CompiledNetlist* compiled_;
     std::vector<std::uint8_t> values_;
 };
 

@@ -1,26 +1,32 @@
 #include "sim/sim_context.hpp"
 
+#include <algorithm>
+
+#include "util/error.hpp"
+
 namespace hdpm::sim {
 
+using netlist::CellId;
 using netlist::NetId;
 
 SimContext::SimContext(const netlist::Netlist& netlist,
                        const gate::TechLibrary& library)
-    : netlist_(&netlist),
-      electrical_(netlist, library),
-      topo_(netlist.topological_order())
+    : netlist_(&netlist), electrical_(netlist, library), compiled_(netlist)
 {
-    const auto fanout = netlist.fanout_table();
-    fanout_offset_.assign(netlist.num_nets() + 1, 0);
-    std::size_t total = 0;
-    for (NetId net = 0; net < netlist.num_nets(); ++net) {
-        fanout_offset_[net] = static_cast<std::uint32_t>(total);
-        total += fanout[net].size();
+    delay_ps_.reserve(netlist.num_cells());
+    for (CellId id = 0; id < netlist.num_cells(); ++id) {
+        const std::int64_t d = electrical_.cell_delay_ps(id);
+        // The timing wheel allocates O(max delay) slots; a delay this large
+        // means the electrical annotation is corrupt, not that the design
+        // is slow (generic350 delays are tens of ps).
+        HDPM_REQUIRE(d >= 1 && d <= (std::int64_t{1} << 20),
+                     "cell ", id, " delay ", d, " ps out of range");
+        delay_ps_.push_back(static_cast<std::int32_t>(d));
+        max_cell_delay_ps_ = std::max(max_cell_delay_ps_, d);
     }
-    fanout_offset_[netlist.num_nets()] = static_cast<std::uint32_t>(total);
-    fanout_cell_.reserve(total);
+    edge_charge_fc_.reserve(netlist.num_nets());
     for (NetId net = 0; net < netlist.num_nets(); ++net) {
-        fanout_cell_.insert(fanout_cell_.end(), fanout[net].begin(), fanout[net].end());
+        edge_charge_fc_.push_back(electrical_.edge_charge_fc(net));
     }
 }
 

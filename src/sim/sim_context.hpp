@@ -5,13 +5,16 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
 #include "sim/electrical.hpp"
 
 namespace hdpm::sim {
 
 /// Immutable simulation context for one (netlist, technology) pair: the
-/// electrical annotation, the flattened CSR fanout table, and the cells in
-/// topological order.
+/// electrical annotation, the compiled structure-of-arrays logic view
+/// (input/fanout CSR, topological order, per-cell truth tables), and flat
+/// per-cell delay / per-net edge-charge arrays for the event-kernel hot
+/// loop.
 ///
 /// Everything here is derived data that used to be rebuilt by every
 /// EventSimulator (and, for the topological order, on every initialize()).
@@ -34,25 +37,50 @@ public:
         return electrical_;
     }
 
+    /// The compiled logic view shared by all simulator kinds.
+    [[nodiscard]] const CompiledNetlist& compiled() const noexcept { return compiled_; }
+
     /// Cells consuming @p net (CSR row of the fanout table).
     [[nodiscard]] std::span<const netlist::CellId> fanout(netlist::NetId net) const
     {
-        return {fanout_cell_.data() + fanout_offset_[net],
-                fanout_cell_.data() + fanout_offset_[net + 1]};
+        return compiled_.fanout(net);
     }
 
     /// Cells in topological order (inputs before consumers).
     [[nodiscard]] std::span<const netlist::CellId> topological_order() const noexcept
     {
-        return topo_;
+        return compiled_.topological_order();
+    }
+
+    /// Propagation delay of a cell [ps] — same values as
+    /// electrical().cell_delay_ps but unchecked flat-array access for the
+    /// event hot loop.
+    [[nodiscard]] std::int64_t cell_delay_ps(netlist::CellId cell) const
+    {
+        return delay_ps_[cell];
+    }
+
+    /// Charge per edge on a net [fC] — unchecked mirror of
+    /// electrical().edge_charge_fc.
+    [[nodiscard]] double edge_charge_fc(netlist::NetId net) const
+    {
+        return edge_charge_fc_[net];
+    }
+
+    /// Largest per-cell delay [ps]; bounds the timing-wheel horizon (every
+    /// scheduled event lies at most this far ahead of the current time).
+    [[nodiscard]] std::int64_t max_cell_delay_ps() const noexcept
+    {
+        return max_cell_delay_ps_;
     }
 
 private:
     const netlist::Netlist* netlist_;
     ElectricalView electrical_;
-    std::vector<std::uint32_t> fanout_offset_;
-    std::vector<netlist::CellId> fanout_cell_;
-    std::vector<netlist::CellId> topo_;
+    CompiledNetlist compiled_;
+    std::vector<std::int32_t> delay_ps_;    // per cell
+    std::vector<double> edge_charge_fc_;    // per net
+    std::int64_t max_cell_delay_ps_ = 1;
 };
 
 } // namespace hdpm::sim

@@ -1,0 +1,283 @@
+// Differential tests of the event-kernel overhaul: the timing-wheel
+// scheduler against the retained binary-heap baseline, the compiled
+// truth-table evaluation against gate_eval, and the 64-lane
+// BatchedEvaluator against the scalar FunctionalEvaluator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dpgen/module.hpp"
+#include "gatelib/gate.hpp"
+#include "sim/batched.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/functional.hpp"
+#include "sim/sim_context.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hdpm::sim {
+namespace {
+
+using gate::TechLibrary;
+using netlist::NetId;
+using util::BitVec;
+using util::Rng;
+
+void expect_same_cycle(const CycleResult& a, const CycleResult& b, int trial)
+{
+    EXPECT_EQ(a.charge_fc, b.charge_fc) << "trial " << trial;
+    EXPECT_EQ(a.transitions, b.transitions) << "trial " << trial;
+    EXPECT_EQ(a.settle_time_ps, b.settle_time_ps) << "trial " << trial;
+}
+
+TEST(TruthTables, MatchGateEval)
+{
+    for (int k = 0; k < gate::kNumGateKinds; ++k) {
+        const auto kind = static_cast<gate::GateKind>(k);
+        const int n = gate::gate_num_inputs(kind);
+        ASSERT_LE(n, gate::kMaxGateInputs) << gate::gate_name(kind);
+        const std::uint8_t table = gate::gate_truth_table(kind);
+        for (std::uint32_t idx = 0; idx < (1U << n); ++idx) {
+            std::uint8_t in[gate::kMaxGateInputs] = {};
+            for (int b = 0; b < n; ++b) {
+                in[b] = static_cast<std::uint8_t>((idx >> b) & 1U);
+            }
+            const bool expected =
+                gate::gate_eval(kind, {in, static_cast<std::size_t>(n)});
+            EXPECT_EQ(((table >> idx) & 1U) != 0, expected)
+                << gate::gate_name(kind) << " idx " << idx;
+        }
+        // Unused table bits stay zero (the compiled view relies on it).
+        EXPECT_EQ(table >> (1U << n), 0) << gate::gate_name(kind);
+    }
+}
+
+class HeapVsWheel
+    : public ::testing::TestWithParam<std::tuple<dp::ModuleType, std::int64_t>> {};
+
+/// Same random stimulus chain through both kernels over one shared
+/// context: every CycleResult, every output vector, and the cumulative
+/// per-net counters must be bit-identical.
+TEST_P(HeapVsWheel, IdenticalCycleStreams)
+{
+    const auto [type, window] = GetParam();
+    const dp::DatapathModule module = dp::make_module(type, 6);
+    const int m = module.total_input_bits();
+    const SimContext context{module.netlist(), TechLibrary::generic350()};
+
+    EventSimOptions wheel_options;
+    wheel_options.inertial_window_ps = window;
+    wheel_options.scheduler = SchedulerKind::TimingWheel;
+    EventSimOptions heap_options = wheel_options;
+    heap_options.scheduler = SchedulerKind::BinaryHeap;
+
+    EventSimulator wheel{context, wheel_options};
+    EventSimulator heap{context, heap_options};
+
+    Rng rng{901};
+    const BitVec first{m, rng.next_u64()};
+    wheel.initialize(first);
+    heap.initialize(first);
+    for (int trial = 0; trial < 120; ++trial) {
+        const BitVec v{m, rng.next_u64()};
+        expect_same_cycle(wheel.apply(v), heap.apply(v), trial);
+        EXPECT_EQ(wheel.outputs(), heap.outputs()) << "trial " << trial;
+    }
+    EXPECT_EQ(wheel.cumulative_transitions(), heap.cumulative_transitions());
+    EXPECT_EQ(wheel.cumulative_charge_per_net(), heap.cumulative_charge_per_net());
+    EXPECT_EQ(wheel.kernel_stats().events_processed,
+              heap.kernel_stats().events_processed);
+}
+
+/// The characterizer's StratifiedPairs mode re-initializes before every
+/// measured pair; both kernels must agree through repeated resets too.
+TEST_P(HeapVsWheel, IdenticalAcrossReinitialize)
+{
+    const auto [type, window] = GetParam();
+    const dp::DatapathModule module = dp::make_module(type, 6);
+    const int m = module.total_input_bits();
+    const SimContext context{module.netlist(), TechLibrary::generic350()};
+
+    EventSimOptions wheel_options;
+    wheel_options.inertial_window_ps = window;
+    EventSimOptions heap_options = wheel_options;
+    heap_options.scheduler = SchedulerKind::BinaryHeap;
+
+    EventSimulator wheel{context, wheel_options};
+    EventSimulator heap{context, heap_options};
+
+    Rng rng{407};
+    for (int trial = 0; trial < 60; ++trial) {
+        const BitVec u{m, rng.next_u64()};
+        const BitVec v{m, rng.next_u64()};
+        wheel.initialize(u);
+        heap.initialize(u);
+        expect_same_cycle(wheel.apply(v), heap.apply(v), trial);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, HeapVsWheel,
+    ::testing::Combine(::testing::Values(dp::ModuleType::RippleAdder,
+                                         dp::ModuleType::ClaAdder,
+                                         dp::ModuleType::CsaMultiplier,
+                                         dp::ModuleType::BoothWallaceMultiplier,
+                                         dp::ModuleType::BarrelShifter),
+                       ::testing::Values(std::int64_t{0}, std::int64_t{100},
+                                         std::int64_t{500})),
+    [](const ::testing::TestParamInfo<std::tuple<dp::ModuleType, std::int64_t>>&
+           info) {
+        return dp::module_type_id(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param)) + "ps";
+    });
+
+TEST(EventSim, RepeatedInitializeIsStateless)
+{
+    // A fresh simulator and one that already simulated arbitrary history
+    // must produce identical cycles after initialize() on the same vector.
+    const dp::DatapathModule module =
+        dp::make_module(dp::ModuleType::CsaMultiplier, 6);
+    const int m = module.total_input_bits();
+    const SimContext context{module.netlist(), TechLibrary::generic350()};
+
+    for (const SchedulerKind kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap}) {
+        EventSimOptions options;
+        options.scheduler = kind;
+        EventSimulator fresh{context, options};
+        EventSimulator used{context, options};
+
+        Rng warmup{11};
+        used.initialize(BitVec{m, warmup.next_u64()});
+        for (int i = 0; i < 25; ++i) {
+            (void)used.apply(BitVec{m, warmup.next_u64()});
+        }
+
+        Rng rng{88};
+        const BitVec u{m, rng.next_u64()};
+        fresh.initialize(u);
+        used.initialize(u);
+        for (int i = 0; i < 25; ++i) {
+            const BitVec v{m, rng.next_u64()};
+            expect_same_cycle(fresh.apply(v), used.apply(v), i);
+        }
+    }
+}
+
+TEST(EventSim, WheelHandlesSingleCellNetlist)
+{
+    // Degenerate wheel geometry: one cell, minimal horizon.
+    netlist::Netlist nl{"inv"};
+    const NetId a = nl.add_net("a");
+    const NetId y = nl.add_net("y");
+    nl.mark_input(a);
+    const NetId ins[] = {a};
+    nl.add_cell(gate::GateKind::Inv, ins, y);
+    nl.mark_output(y);
+
+    EventSimulator sim{nl, TechLibrary::generic350()};
+    sim.initialize(BitVec{1, 0});
+    EXPECT_EQ(sim.outputs().raw(), 1U);
+    const CycleResult r = sim.apply(BitVec{1, 1});
+    EXPECT_EQ(r.transitions, 2U); // input edge + inverter output edge
+    EXPECT_EQ(sim.outputs().raw(), 0U);
+}
+
+/// BatchedEvaluator against FunctionalEvaluator: 10k random vectors per
+/// dpgen module type, both sharing one compiled view.
+TEST(BatchedEvaluator, MatchesFunctionalOnAllModules)
+{
+    Rng rng{5150};
+    for (const dp::ModuleType type : dp::all_module_types()) {
+        const dp::DatapathModule module = dp::make_module(type, 6);
+        const int m = module.total_input_bits();
+        const SimContext context{module.netlist(), TechLibrary::generic350()};
+        BatchedEvaluator batched{context};
+        FunctionalEvaluator functional{context};
+
+        constexpr int kVectors = 10'000;
+        std::vector<BitVec> batch;
+        batch.reserve(BatchedEvaluator::kLanes);
+        int done = 0;
+        while (done < kVectors) {
+            batch.clear();
+            const int n = std::min<int>(BatchedEvaluator::kLanes, kVectors - done);
+            for (int j = 0; j < n; ++j) {
+                batch.emplace_back(m, rng.next_u64());
+            }
+            const std::vector<BitVec> outs = batched.eval(batch);
+            ASSERT_EQ(outs.size(), batch.size());
+            for (int j = 0; j < n; ++j) {
+                ASSERT_EQ(outs[static_cast<std::size_t>(j)],
+                          functional.eval(batch[static_cast<std::size_t>(j)]))
+                    << dp::module_type_id(type) << " vector " << done + j;
+            }
+            done += n;
+        }
+    }
+}
+
+TEST(BatchedEvaluator, LanesMaskedAboveBatchSize)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 4);
+    const int m = module.total_input_bits();
+    BatchedEvaluator batched{module.netlist()};
+    const std::vector<BitVec> batch{BitVec{m, 0}, BitVec{m, 0x3}};
+    (void)batched.eval(batch);
+    for (NetId net = 0; net < module.netlist().num_nets(); ++net) {
+        EXPECT_EQ(batched.lanes(net) >> batch.size(), 0U) << "net " << net;
+    }
+}
+
+TEST(BatchedEvaluator, ToggleCountsMatchFunctionalDiff)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::ClaAdder, 8);
+    const int m = module.total_input_bits();
+    BatchedEvaluator batched{module.netlist()};
+    FunctionalEvaluator before{module.netlist()};
+    FunctionalEvaluator after{module.netlist()};
+
+    Rng rng{303};
+    std::vector<BitVec> stream;
+    for (int i = 0; i < 200; ++i) { // > 3 lane windows, exercises the overlap
+        stream.emplace_back(m, rng.next_u64());
+    }
+    const std::vector<std::uint64_t> counts = batched.toggle_counts(stream);
+    ASSERT_EQ(counts.size(), stream.size() - 1);
+    for (std::size_t j = 0; j + 1 < stream.size(); ++j) {
+        (void)before.eval(stream[j]);
+        (void)after.eval(stream[j + 1]);
+        std::uint64_t expected = 0;
+        for (NetId net = 0; net < module.netlist().num_nets(); ++net) {
+            expected += before.value(net) != after.value(net) ? 1 : 0;
+        }
+        EXPECT_EQ(counts[j], expected) << "transition " << j;
+    }
+}
+
+TEST(BatchedEvaluator, RejectsOversizedBatch)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 4);
+    const int m = module.total_input_bits();
+    BatchedEvaluator batched{module.netlist()};
+    const std::vector<BitVec> batch(BatchedEvaluator::kLanes + 1, BitVec{m, 0});
+    EXPECT_THROW((void)batched.eval(batch), util::PreconditionError);
+}
+
+TEST(KernelStats, CountersAdvance)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 8);
+    const int m = module.total_input_bits();
+    EventSimulator sim{module.netlist(), TechLibrary::generic350()};
+    Rng rng{64};
+    sim.initialize(BitVec{m, rng.next_u64()});
+    for (int i = 0; i < 10; ++i) {
+        (void)sim.apply(BitVec{m, rng.next_u64()});
+    }
+    EXPECT_GT(sim.kernel_stats().events_processed, 0U);
+    EXPECT_GT(sim.kernel_stats().max_queue_depth, 0U);
+}
+
+} // namespace
+} // namespace hdpm::sim
