@@ -6,9 +6,10 @@
 /// google-benchmark microbenchmarks; run with --benchmark_* flags.
 /// After the microbenchmarks an event-kernel comparison (binary-heap
 /// baseline vs timing-wheel, events/sec and end-to-end characterization;
-/// skip with --no-kernel) and a thread-scaling sweep of the sharded
-/// characterization engine (skip with --no-scaling) run and write their
-/// sections into BENCH_speed.json.
+/// skip with --no-kernel), a thread-scaling sweep of the sharded
+/// characterization engine (skip with --no-scaling) and a pairs-mode
+/// warm-up comparison (per-record vs batched vs all-core default; skip
+/// with --no-pairs) run and write their sections into BENCH_speed.json.
 
 #include <benchmark/benchmark.h>
 
@@ -338,6 +339,150 @@ std::string run_thread_scaling()
     return json.str();
 }
 
+/// Pairs-mode (enhanced-model) characterization of the 16-bit CSA
+/// multiplier: the original pipeline (binary-heap kernel, per-record
+/// warm-up, one thread) against the optimized wheel kernel, the batched
+/// warm-up fast path and the current default (batched warm-up, all
+/// cores). Verifies bit-identical records and fitted enhanced-model
+/// coefficients across every configuration and returns a JSON fragment
+/// for BENCH_speed.json.
+std::string run_pairs_bench()
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 16);
+    const int m = module.total_input_bits();
+
+    core::CharacterizationOptions options;
+    options.max_transitions = 6000;
+    options.min_transitions = 6000; // fixed workload: no early convergence stop
+    options.batch = 6000;
+    options.shard_size = 1000;
+    options.seed = 77;
+    options.mode = core::StimulusMode::StratifiedPairs;
+
+    struct Config {
+        const char* name = "";
+        sim::SchedulerKind scheduler = sim::SchedulerKind::TimingWheel;
+        core::WarmupMode warmup = core::WarmupMode::Batched;
+        unsigned threads = 1;
+    };
+    const Config configs[] = {
+        // The original pipeline: binary-heap kernel, a full initialize()
+        // per record, one thread. The heap kernel is the retained
+        // differential baseline, so this row tracks the whole event-kernel
+        // line of work, not just this round's changes.
+        {"heap kernel, per-record, 1 thread", sim::SchedulerKind::BinaryHeap,
+         core::WarmupMode::PerRecord, 1},
+        {"wheel kernel, per-record, 1 thread", sim::SchedulerKind::TimingWheel,
+         core::WarmupMode::PerRecord, 1},
+        {"wheel kernel, batched, 1 thread", sim::SchedulerKind::TimingWheel,
+         core::WarmupMode::Batched, 1},
+        {"wheel kernel, batched, all cores (default)",
+         sim::SchedulerKind::TimingWheel, core::WarmupMode::Batched, 0},
+    };
+
+    struct Run {
+        const Config* config = nullptr;
+        double wall_ms = 0.0;
+        core::CharRunStats stats;
+    };
+    std::vector<Run> runs;
+    std::vector<core::CharacterizationRecord> baseline;
+    core::EnhancedHdModel baseline_model;
+    bool identical = true;
+
+    std::cout << "\npairs-mode characterization (csa_multiplier 16x16, "
+              << options.max_transitions << " records, shard size "
+              << options.shard_size << "):\n";
+    for (const Config& config : configs) {
+        sim::EventSimOptions sim_options;
+        sim_options.scheduler = config.scheduler;
+        const core::Characterizer characterizer{gate::TechLibrary::generic350(),
+                                                sim_options};
+        options.warmup = config.warmup;
+        options.threads = config.threads;
+        Run run;
+        run.config = &config;
+        options.stats = &run.stats;
+        const auto start = std::chrono::steady_clock::now();
+        const auto records = characterizer.collect_records(module, options);
+        run.wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+        const core::EnhancedHdModel model = core::fit_enhanced_model(m, 0, records);
+        if (baseline.empty()) {
+            baseline = records;
+            baseline_model = model;
+        } else {
+            if (records.size() != baseline.size()) {
+                identical = false;
+            } else {
+                for (std::size_t i = 0; i < records.size(); ++i) {
+                    if (records[i].hd != baseline[i].hd ||
+                        records[i].stable_zeros != baseline[i].stable_zeros ||
+                        records[i].charge_fc != baseline[i].charge_fc ||
+                        records[i].toggle_mask != baseline[i].toggle_mask) {
+                        identical = false;
+                        break;
+                    }
+                }
+            }
+            for (int hd = 1; identical && hd <= m; ++hd) {
+                for (int z = 0; z <= m - hd; ++z) {
+                    if (model.coefficient(hd, z) != baseline_model.coefficient(hd, z)) {
+                        identical = false;
+                        break;
+                    }
+                }
+            }
+        }
+        runs.push_back(run);
+    }
+
+    util::TextTable table;
+    table.set_header({"configuration", "threads", "wall [ms]", "speedup",
+                      "warm-up batches"});
+    for (const Run& run : runs) {
+        table.add_row({run.config->name, std::to_string(run.stats.threads),
+                       util::TextTable::fmt(run.wall_ms, 1),
+                       util::TextTable::fmt(runs.front().wall_ms / run.wall_ms, 2),
+                       std::to_string(run.stats.warmup_batches)});
+    }
+    table.print(std::cout);
+    std::cout << "records and fitted coefficients bit-identical: "
+              << (identical ? "yes" : "NO — WARM-UP/THREADING BUG")
+              << "\nend-to-end speedup (pre-overhaul -> default): "
+              << util::TextTable::fmt(runs.front().wall_ms / runs.back().wall_ms, 2)
+              << "x\n";
+
+    std::ostringstream json;
+    json << "  \"pairs_warmup\": {\n"
+         << "    \"module\": \"csa_multiplier\",\n    \"width\": 16,\n"
+         << "    \"records\": " << options.max_transitions << ",\n"
+         << "    \"shard_size\": " << options.shard_size << ",\n"
+         << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
+         << ",\n    \"identical\": " << (identical ? "true" : "false")
+         << ",\n    \"end_to_end_speedup\": "
+         << runs.front().wall_ms / runs.back().wall_ms << ",\n    \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Run& run = runs[i];
+        json << (i == 0 ? "" : ",") << "\n      {\"config\": \"" << run.config->name
+             << "\", \"scheduler\": \""
+             << (run.config->scheduler == sim::SchedulerKind::TimingWheel ? "wheel"
+                                                                          : "heap")
+             << "\", \"warmup\": \""
+             << (run.config->warmup == core::WarmupMode::Batched ? "batched"
+                                                                 : "per-record")
+             << "\", \"threads\": " << run.stats.threads
+             << ", \"wall_ms\": " << run.wall_ms
+             << ", \"speedup\": " << runs.front().wall_ms / run.wall_ms
+             << ", \"warmup_vectors\": " << run.stats.warmup_vectors
+             << ", \"warmup_batches\": " << run.stats.warmup_batches << "}";
+    }
+    json << "\n    ]\n  }";
+    return json.str();
+}
+
 /// Strip @p flag from argv (google-benchmark rejects unknown flags).
 bool take_flag(int& argc, char** argv, const char* flag)
 {
@@ -359,6 +504,7 @@ int main(int argc, char** argv)
 {
     const bool kernel = !take_flag(argc, argv, "--no-kernel");
     const bool scaling = !take_flag(argc, argv, "--no-scaling");
+    const bool pairs = !take_flag(argc, argv, "--no-pairs");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
         return 1;
@@ -372,6 +518,9 @@ int main(int argc, char** argv)
     }
     if (scaling) {
         sections.push_back(run_thread_scaling());
+    }
+    if (pairs) {
+        sections.push_back(run_pairs_bench());
     }
     if (!sections.empty()) {
         std::ofstream json{"BENCH_speed.json"};

@@ -36,14 +36,15 @@ namespace {
               << "  list\n"
               << "  info <module> <width...>\n"
               << "  characterize <module> <width...> [--models DIR] [--budget N] "
-                 "[--enhanced [K]] [--threads N]\n"
+                 "[--enhanced [K]] [--threads N] [--warmup batched|per-record]\n"
               << "  estimate <module> <width...> --data <I..V> [--patterns N] "
                  "[--models DIR] [--verify] [--threads N]\n"
               << "  report <module> <width...> --data <I..V> [--patterns N] [--top K]\n"
               << "  sweep <module> <wmin> <wmax> --data <I..V> [--models DIR] "
                  "[--budget N] [--threads N]\n"
-              << "--threads 0 uses every hardware thread; characterization results\n"
-              << "are bit-identical for any thread count.\n";
+              << "--threads 0 (the default) uses every hardware thread;\n"
+              << "characterization results are bit-identical for any thread count\n"
+              << "and either warm-up mode.\n";
     std::exit(2);
 }
 
@@ -66,7 +67,8 @@ struct Cli {
     std::size_t budget = 12000;
     std::size_t patterns = 2000;
     std::size_t top_k = 10;
-    unsigned threads = 1;
+    unsigned threads = 0;
+    core::WarmupMode warmup = core::WarmupMode::Batched;
     bool enhanced = false;
     int zero_clusters = 0;
     bool verify = false;
@@ -109,6 +111,17 @@ Cli parse_module_args(int argc, char** argv, int start)
             cli.top_k = std::stoul(next());
         } else if (flag == "--threads") {
             cli.threads = static_cast<unsigned>(std::stoul(next()));
+        } else if (flag == "--warmup") {
+            const std::string mode = next();
+            if (mode == "batched") {
+                cli.warmup = core::WarmupMode::Batched;
+            } else if (mode == "per-record") {
+                cli.warmup = core::WarmupMode::PerRecord;
+            } else {
+                std::cerr << "unknown warm-up mode '" << mode
+                          << "' (use batched or per-record)\n";
+                std::exit(2);
+            }
         } else if (flag == "--data") {
             cli.data = parse_data_type(next());
             cli.has_data = true;
@@ -133,6 +146,7 @@ core::CharacterizationOptions char_options(const Cli& cli)
     options.max_transitions = cli.budget;
     options.min_transitions = cli.budget / 2;
     options.threads = cli.threads;
+    options.warmup = cli.warmup;
     return options;
 }
 
@@ -220,6 +234,14 @@ int cmd_characterize(const Cli& cli)
                       << " M events/s) in "
                       << util::TextTable::fmt(stats.collect_wall_ms, 1) << " ms on "
                       << stats.threads << " thread(s), " << stats.shards << " shards\n";
+            if (stats.warmup_batches > 0) {
+                std::cout << "warm-up: " << stats.warmup_vectors
+                          << " vectors settled word-parallel in "
+                          << stats.warmup_batches << " 64-lane batches\n";
+            } else if (stats.warmup_vectors > 0) {
+                std::cout << "warm-up: " << stats.warmup_vectors
+                          << " vectors settled per record\n";
+            }
         }
     } else {
         const core::HdModel model =

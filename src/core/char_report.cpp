@@ -107,6 +107,14 @@ void print_characterization_report(std::ostream& os,
                << util::TextTable::fmt(report.run.events_per_sec / 1e6, 2)
                << " M events/s (peak queue " << report.run.max_queue_depth << ")";
         }
+        if (report.run.warmup_vectors > 0) {
+            os << "\nwarm-up: " << report.run.warmup_vectors << " vectors, ";
+            if (report.run.warmup_batches > 0) {
+                os << report.run.warmup_batches << " word-parallel 64-lane batches";
+            } else {
+                os << "settled per record";
+            }
+        }
         os << '\n';
     }
 

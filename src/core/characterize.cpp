@@ -1,9 +1,13 @@
 #include "core/characterize.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
+#include <optional>
+#include <utility>
 
+#include "sim/batched.hpp"
 #include "sim/sim_context.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -111,6 +115,8 @@ namespace {
 struct ShardResult {
     std::vector<CharacterizationRecord> records;
     std::uint64_t sim_transitions = 0; ///< net toggles incl. glitches
+    std::uint64_t warmup_vectors = 0;  ///< pairs-mode warm-up vectors settled
+    std::uint64_t warmup_batches = 0;  ///< 64-lane batched settle passes
     sim::KernelStats kernel;           ///< scheduler counters of the shard's simulator
 };
 
@@ -157,66 +163,115 @@ ShardResult run_shard(const sim::SimContext& context, int m, StimulusMode mode,
         simulator.initialize(current);
     }
 
+    if (mode == StimulusMode::StratifiedPairs) {
+        // Stimulus is generated in blocks of up to kLanes (u, v) pairs into
+        // flat reusable arenas, then all warm-up vectors of a block settle
+        // in one word-parallel BatchedEvaluator pass (borrowing the shard's
+        // compiled view) and each lane is scattered into the event
+        // simulator via load_state before the timed apply. RNG consumption
+        // order is identical to per-record generation, and the zero-delay
+        // fixpoint of u is unique, so records are bit-identical to the
+        // WarmupMode::PerRecord baseline. The loop body performs no heap
+        // allocation in steady state (tests/steady_alloc_test.cpp).
+        constexpr std::size_t kLanes =
+            static_cast<std::size_t>(sim::BatchedEvaluator::kLanes);
+        const bool batched = options.warmup == WarmupMode::Batched;
+        std::optional<sim::BatchedEvaluator> evaluator;
+        std::vector<std::uint8_t> lane_values;
+        if (batched) {
+            evaluator.emplace(context);
+            lane_values.resize(context.netlist().num_nets());
+        }
+
+        std::array<BitVec, kLanes> u_block;
+        std::array<BitVec, kLanes> v_block;
+        std::array<std::pair<int, int>, kLanes> cls_block; // (hd, zeros)
+        std::vector<int> stable; // stable-position pool, reused per pair
+        stable.reserve(static_cast<std::size_t>(m));
+
+        while (out.records.size() < count) {
+            const std::size_t block =
+                std::min<std::size_t>(kLanes, count - out.records.size());
+            for (std::size_t j = 0; j < block; ++j) {
+                const auto [hd, zeros] = class_cycle[class_cursor];
+                class_cursor = (class_cursor + 1) % class_cycle.size();
+
+                // Build u with the prescribed stable-zero layout, v = u ^ mask.
+                const BitVec mask = random_mask(m, hd, rng, scratch);
+                BitVec u{m};
+                // Positions outside the mask: exactly `zeros` of them are 0.
+                stable.clear();
+                for (int i = 0; i < m; ++i) {
+                    if (!mask.get(i)) {
+                        stable.push_back(i);
+                    }
+                }
+                rng.shuffle(stable);
+                for (std::size_t s = 0; s < stable.size(); ++s) {
+                    u.set(stable[s], s >= static_cast<std::size_t>(zeros));
+                }
+                for (int i = 0; i < m; ++i) {
+                    if (mask.get(i)) {
+                        u.set(i, rng.bernoulli(0.5));
+                    }
+                }
+                u_block[j] = u;
+                v_block[j] = u ^ mask;
+                cls_block[j] = {hd, zeros};
+            }
+
+            if (batched) {
+                evaluator->settle({u_block.data(), block});
+                ++out.warmup_batches;
+            }
+            out.warmup_vectors += block;
+
+            for (std::size_t j = 0; j < block; ++j) {
+                if (batched) {
+                    evaluator->export_lane(static_cast<int>(j), lane_values);
+                    simulator.load_state(u_block[j], lane_values);
+                } else {
+                    simulator.initialize(u_block[j]);
+                }
+                const sim::CycleResult cycle = simulator.apply(v_block[j]);
+                CharacterizationRecord rec;
+                rec.hd = cls_block[j].first;
+                rec.stable_zeros = cls_block[j].second;
+                rec.charge_fc = cycle.charge_fc;
+                rec.toggle_mask = (u_block[j] ^ v_block[j]).raw();
+                out.sim_transitions += cycle.transitions;
+                out.records.push_back(rec);
+            }
+        }
+        out.kernel = simulator.kernel_stats();
+        return out;
+    }
+
     while (out.records.size() < count) {
         CharacterizationRecord rec;
-        if (mode == StimulusMode::StratifiedPairs) {
-            const auto [hd, zeros] = class_cycle[class_cursor];
-            class_cursor = (class_cursor + 1) % class_cycle.size();
-
-            // Build u with the prescribed stable-zero layout, v = u ^ mask.
-            const BitVec mask = random_mask(m, hd, rng, scratch);
-            BitVec u{m};
-            // Positions outside the mask: exactly `zeros` of them are 0.
-            std::vector<int> stable;
-            stable.reserve(static_cast<std::size_t>(m - hd));
-            for (int i = 0; i < m; ++i) {
-                if (!mask.get(i)) {
-                    stable.push_back(i);
-                }
-            }
-            rng.shuffle(stable);
-            for (std::size_t s = 0; s < stable.size(); ++s) {
-                u.set(stable[s], s >= static_cast<std::size_t>(zeros));
-            }
-            for (int i = 0; i < m; ++i) {
-                if (mask.get(i)) {
-                    u.set(i, rng.bernoulli(0.5));
-                }
-            }
-            const BitVec v = u ^ mask;
-
-            simulator.initialize(u);
-            const sim::CycleResult cycle = simulator.apply(v);
-            rec.hd = hd;
-            rec.stable_zeros = zeros;
-            rec.charge_fc = cycle.charge_fc;
-            rec.toggle_mask = mask.raw();
-            out.sim_transitions += cycle.transitions;
+        BitVec next{m};
+        if (mode == StimulusMode::RandomChain) {
+            next = random_vector(m, rng);
         } else {
-            BitVec next{m};
-            if (mode == StimulusMode::RandomChain) {
-                next = random_vector(m, rng);
-            } else {
-                const int hd = hd_cycle[hd_cursor];
-                hd_cursor = (hd_cursor + 1) % hd_cycle.size();
-                if (hd_cursor == 0) {
-                    rng.shuffle(hd_cycle);
-                }
-                next = current ^ random_mask(m, hd, rng, scratch);
+            const int hd = hd_cycle[hd_cursor];
+            hd_cursor = (hd_cursor + 1) % hd_cycle.size();
+            if (hd_cursor == 0) {
+                rng.shuffle(hd_cycle);
             }
-            const int hd = BitVec::hamming_distance(current, next);
-            if (hd == 0) {
-                current = next;
-                continue; // Hd = 0 transitions carry no class information
-            }
-            const sim::CycleResult cycle = simulator.apply(next);
-            rec.hd = hd;
-            rec.stable_zeros = BitVec::stable_zeros(current, next);
-            rec.charge_fc = cycle.charge_fc;
-            rec.toggle_mask = (current ^ next).raw();
-            out.sim_transitions += cycle.transitions;
-            current = next;
+            next = current ^ random_mask(m, hd, rng, scratch);
         }
+        const int hd = BitVec::hamming_distance(current, next);
+        if (hd == 0) {
+            current = next;
+            continue; // Hd = 0 transitions carry no class information
+        }
+        const sim::CycleResult cycle = simulator.apply(next);
+        rec.hd = hd;
+        rec.stable_zeros = BitVec::stable_zeros(current, next);
+        rec.charge_fc = cycle.charge_fc;
+        rec.toggle_mask = (current ^ next).raw();
+        out.sim_transitions += cycle.transitions;
+        current = next;
         out.records.push_back(rec);
     }
     out.kernel = simulator.kernel_stats();
@@ -260,6 +315,8 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
     std::size_t shards_merged = 0;
     std::uint64_t sim_transitions = 0;
     std::uint64_t sim_events = 0;
+    std::uint64_t warmup_vectors = 0;
+    std::uint64_t warmup_batches = 0;
     std::size_t max_queue_depth = 0;
     bool stop = false;
 
@@ -294,6 +351,8 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
             }
             sim_transitions += result.sim_transitions;
             sim_events += result.kernel.events_processed;
+            warmup_vectors += result.warmup_vectors;
+            warmup_batches += result.warmup_batches;
             max_queue_depth = std::max(max_queue_depth, result.kernel.max_queue_depth);
             ++shards_merged;
             if (options.progress) {
@@ -323,6 +382,8 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
         options.stats->records = records.size();
         options.stats->shards = shards_merged;
         options.stats->threads = pool.size();
+        options.stats->warmup_vectors = warmup_vectors;
+        options.stats->warmup_batches = warmup_batches;
     }
     return records;
 }

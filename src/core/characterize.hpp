@@ -33,6 +33,23 @@ enum class StimulusMode {
     StratifiedPairs,
 };
 
+/// How StratifiedPairs records establish their pre-transition steady state
+/// (the warm-up settle of u before the timed apply of v). Both modes
+/// produce bit-identical records: a combinational netlist has a unique
+/// zero-delay fixpoint, so settling u word-parallel and scattering the
+/// result into the event simulator reaches exactly the post-initialize(u)
+/// state. Chain modes never warm up and ignore this knob.
+enum class WarmupMode {
+    /// Settle warm-up vectors 64 at a time with sim::BatchedEvaluator and
+    /// adopt each lane via EventSimulator::load_state. The default — one
+    /// word-parallel pass replaces 64 O(cells) scalar settles.
+    Batched,
+
+    /// A full EventSimulator::initialize before every record. Retained as
+    /// the differential-testing baseline for the batched fast path.
+    PerRecord,
+};
+
 /// Wall-clock and volume counters of one characterization run, filled when
 /// CharacterizationOptions::stats points at an instance. Only counters of
 /// work that contributed to the result are reported (shards simulated ahead
@@ -47,6 +64,8 @@ struct CharRunStats {
     std::size_t records = 0;      ///< measured transitions kept
     std::size_t shards = 0;       ///< stimulus shards merged into the result
     unsigned threads = 1;         ///< worker threads used
+    std::uint64_t warmup_vectors = 0; ///< pairs-mode warm-up vectors settled
+    std::uint64_t warmup_batches = 0; ///< 64-lane batched warm-up settle passes
 };
 
 /// Progress of a characterization run, reported once per merged shard.
@@ -77,16 +96,22 @@ struct CharacterizationOptions {
     std::optional<StimulusMode> mode;
 
     /// Worker threads for sharded stimulus collection (0 = one per
-    /// hardware thread). Results are bit-identical for every thread
-    /// count, including 1: the stimulus plan is split into fixed-size,
-    /// independently seeded shards and merged in shard order, so the
-    /// thread count only changes how shards are scheduled.
-    unsigned threads = 1;
+    /// hardware thread, the default). Results are bit-identical for every
+    /// thread count, including 1: the stimulus plan is split into
+    /// fixed-size, independently seeded shards and merged in shard order,
+    /// so the thread count only changes how shards are scheduled — which
+    /// is why characterization can default to all cores.
+    unsigned threads = 0;
 
     /// Transitions per stimulus shard (0 = batch). Unlike threads, the
     /// shard size is part of the stimulus plan: changing it changes the
     /// generated stream (and therefore the fitted coefficients).
     std::size_t shard_size = 0;
+
+    /// Pairs-mode warm-up strategy. Like threads — and unlike shard_size —
+    /// this is purely an execution choice: records are bit-identical for
+    /// either value (see WarmupMode).
+    WarmupMode warmup = WarmupMode::Batched;
 
     ProgressFn progress;           ///< per-merged-shard progress callback
     CharRunStats* stats = nullptr; ///< filled with run counters when non-null

@@ -1,10 +1,76 @@
 #include "core/model_library.hpp"
 
+#include <bit>
 #include <fstream>
+#include <string>
 
 #include "util/error.hpp"
 
 namespace hdpm::core {
+
+namespace {
+
+/// Bump when the set of fingerprinted fields changes; every stored model
+/// becomes stale at once, which is exactly the safe behaviour.
+constexpr std::uint64_t kFingerprintVersion = 1;
+
+constexpr std::string_view kOptionsHeaderTag = "options";
+
+std::string fingerprint_header_line(std::uint64_t fingerprint)
+{
+    char hex[17];
+    for (int i = 15; i >= 0; --i) {
+        hex[15 - i] = "0123456789abcdef"[(fingerprint >> (4 * i)) & 0xf];
+    }
+    hex[16] = '\0';
+    std::string line{kOptionsHeaderTag};
+    line += ' ';
+    line += hex;
+    line += '\n';
+    return line;
+}
+
+/// Consume the `options <hex>` header of @p in. Returns true (stream
+/// positioned at the model payload) when a well-formed header equal to
+/// @p fingerprint was read; false for a mismatch or a legacy file with no
+/// header.
+bool consume_matching_header(std::istream& in, std::uint64_t fingerprint)
+{
+    std::string line;
+    if (!std::getline(in, line)) {
+        return false;
+    }
+    return line + '\n' == fingerprint_header_line(fingerprint);
+}
+
+} // namespace
+
+std::uint64_t characterization_fingerprint(const CharacterizationOptions& options,
+                                           const sim::EventSimOptions& sim_options)
+{
+    std::uint64_t hash = 0xcbf2'9ce4'8422'2325ULL; // FNV-1a offset basis
+    const auto mix = [&hash](std::uint64_t value) {
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= (value >> (8 * byte)) & 0xffU;
+            hash *= 0x0000'0100'0000'01b3ULL; // FNV-1a prime
+        }
+    };
+    mix(kFingerprintVersion);
+    // The stimulus plan: everything that shapes the generated stream.
+    mix(options.seed);
+    mix(options.max_transitions);
+    mix(options.min_transitions);
+    mix(options.batch);
+    mix(std::bit_cast<std::uint64_t>(options.tolerance));
+    mix(options.mode ? static_cast<std::uint64_t>(*options.mode) + 1 : 0);
+    mix(options.shard_size);
+    // The reference-simulation physics.
+    mix(sim_options.count_input_charge ? 1 : 0);
+    mix(static_cast<std::uint64_t>(sim_options.inertial_window_ps));
+    // Deliberately excluded (execution-only, results bit-identical):
+    // threads, warmup, scheduler, max_events_per_cycle, progress, stats.
+    return hash;
+}
 
 ModelLibrary::ModelLibrary(std::filesystem::path directory,
                            const gate::TechLibrary& library,
@@ -57,6 +123,7 @@ bool ModelLibrary::contains(dp::ModuleType type, std::span<const int> widths) co
 
 template <typename Model, typename BuildFn>
 Model ModelLibrary::load_or_build(const std::filesystem::path& path,
+                                  const std::uint64_t fingerprint,
                                   BuildFn&& build) const
 {
     const std::string key = path.string();
@@ -65,37 +132,53 @@ Model ModelLibrary::load_or_build(const std::filesystem::path& path,
         std::shared_future<void> flight;
         {
             std::unique_lock<std::mutex> lock{mutex_};
-            // The in-flight check must precede the existence check: a
-            // leader creates the file before it is fully written, and the
-            // flight entry is only erased once the contents are complete.
+            // The in-flight check must precede the file probe: a stale file
+            // may sit on disk while the leader rebuilds it, and the flight
+            // entry is only erased once the replacement is complete (the
+            // leader publishes with an atomic rename, so a probe never sees
+            // a half-written model).
             const auto it = in_flight_.find(key);
             if (it != in_flight_.end()) {
                 flight = it->second;
-            } else if (std::filesystem::exists(path)) {
-                lock.unlock(); // the file is complete: reading needs no lock
-                std::ifstream in{path};
-                if (!in) {
-                    HDPM_FAIL("cannot read model file '", key, "'");
-                }
-                return Model::load(in);
             } else {
-                // No file, no flight: this caller becomes the leader.
+                std::ifstream in{path};
+                if (in && consume_matching_header(in, fingerprint)) {
+                    lock.unlock(); // complete + current: reading needs no lock
+                    return Model::load(in);
+                }
+                // Missing, legacy (no header) or characterized under other
+                // options: this caller becomes the rebuild leader.
                 in_flight_.emplace(key, promise.get_future().share());
                 break;
             }
         }
-        // Wait out the leader's characterization, then re-check the file.
+        // Wait out the leader's characterization, then re-probe the file.
         // get() rethrows a leader failure to every waiter.
         flight.get();
     }
     try {
         Model model = build();
-        std::ofstream out{path};
-        if (!out) {
-            HDPM_FAIL("cannot write model file '", key, "'");
+        // Write to a sibling temp file and publish with an atomic rename,
+        // so no reader — in this process or another sharing the directory —
+        // can ever observe a partially written model.
+        const std::filesystem::path tmp = path.string() + ".tmp";
+        {
+            std::ofstream out{tmp};
+            if (!out) {
+                HDPM_FAIL("cannot write model file '", tmp.string(), "'");
+            }
+            out << fingerprint_header_line(fingerprint);
+            model.save(out);
+            out.flush();
+            if (!out) {
+                HDPM_FAIL("failed writing model file '", tmp.string(), "'");
+            }
         }
-        model.save(out);
-        out.flush();
+        std::error_code ec;
+        std::filesystem::rename(tmp, path, ec);
+        if (ec) {
+            HDPM_FAIL("cannot publish model file '", key, "': ", ec.message());
+        }
         {
             const std::lock_guard<std::mutex> lock{mutex_};
             in_flight_.erase(key);
@@ -118,7 +201,7 @@ HdModel ModelLibrary::get_or_characterize(dp::ModuleType type,
 {
     const std::filesystem::path path = basic_path(type, widths);
     return load_or_build<HdModel>(
-        path, [&] {
+        path, characterization_fingerprint(options, sim_options_), [&] {
             const dp::DatapathModule module = dp::make_module(type, widths);
             const Characterizer characterizer{*library_, sim_options_};
             return characterizer.characterize(module, options);
@@ -131,7 +214,7 @@ EnhancedHdModel ModelLibrary::get_or_characterize_enhanced(
 {
     const std::filesystem::path path = enhanced_path(type, widths, zero_clusters);
     return load_or_build<EnhancedHdModel>(
-        path, [&] {
+        path, characterization_fingerprint(options, sim_options_), [&] {
             const dp::DatapathModule module = dp::make_module(type, widths);
             const Characterizer characterizer{*library_, sim_options_};
             return characterizer.characterize_enhanced(module, zero_clusters, options);

@@ -10,6 +10,17 @@
 
 namespace hdpm::core {
 
+/// FNV-1a fingerprint of every knob that shapes a characterized model's
+/// coefficients: the stimulus plan (seed, budgets, batch, tolerance, mode,
+/// shard size) and the reference-simulation physics (input-charge
+/// accounting, inertial window). Execution-only knobs that are proven
+/// bit-identical — threads, warm-up mode, scheduler kind, the event-budget
+/// safety valve, progress/stats observers — are deliberately excluded, so
+/// re-running with a different thread count or warm-up strategy still hits
+/// the stored model.
+[[nodiscard]] std::uint64_t characterization_fingerprint(
+    const CharacterizationOptions& options, const sim::EventSimOptions& sim_options);
+
 /// A directory-backed store of characterized macro-models.
 ///
 /// Characterization is the expensive step of the flow (it runs reference
@@ -28,6 +39,11 @@ namespace hdpm::core {
 ///
 /// File layout: <directory>/<tech>_<module>_<w1>x<w0>.hdm      (basic)
 ///              <directory>/<tech>_<module>_<w1>x<w0>.z<K>.ehdm (enhanced)
+/// Each file starts with a one-line `options <hex>` header — the
+/// characterization_fingerprint the model was built under. A stored model
+/// is only reused when the requested options hash to the same fingerprint;
+/// a mismatch (or a legacy header-less file) triggers recharacterization,
+/// so stale coefficients can never leak across an options change.
 class ModelLibrary {
 public:
     /// Open (creating if needed) a model library directory.
@@ -68,11 +84,14 @@ private:
                                                       std::span<const int> widths,
                                                       int zero_clusters) const;
 
-    /// Load @p path if it exists, else run @p build (single-flight per
-    /// path) and store its result before returning it.
+    /// Load @p path if it exists and its stored options fingerprint equals
+    /// @p fingerprint, else run @p build (single-flight per path) and store
+    /// its result — prefixed with the fingerprint header — before returning
+    /// it. A legacy file without a header, or one characterized under
+    /// different options, is recharacterized rather than silently reused.
     template <typename Model, typename BuildFn>
     [[nodiscard]] Model load_or_build(const std::filesystem::path& path,
-                                      BuildFn&& build) const;
+                                      std::uint64_t fingerprint, BuildFn&& build) const;
 
     std::filesystem::path directory_;
     const gate::TechLibrary* library_;

@@ -125,6 +125,17 @@ void BatchedEvaluator::settle(std::span<const BitVec> inputs)
     }
 }
 
+void BatchedEvaluator::export_lane(int lane, std::span<std::uint8_t> values) const
+{
+    HDPM_REQUIRE(lane >= 0 && lane < kLanes, "lane ", lane, " outside [0, ", kLanes,
+                 ")");
+    HDPM_REQUIRE(values.size() == lanes_.size(), "netlist '", netlist_->name(),
+                 "' has ", lanes_.size(), " nets, buffer has ", values.size());
+    for (std::size_t net = 0; net < lanes_.size(); ++net) {
+        values[net] = static_cast<std::uint8_t>((lanes_[net] >> lane) & 1U);
+    }
+}
+
 std::vector<BitVec> BatchedEvaluator::eval(std::span<const BitVec> inputs)
 {
     settle(inputs);

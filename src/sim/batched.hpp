@@ -43,6 +43,17 @@ public:
     /// BitVec per input vector, in order.
     std::vector<util::BitVec> eval(std::span<const util::BitVec> inputs);
 
+    /// Settle 1..kLanes input vectors in one word-parallel pass without
+    /// materializing outputs; read the result through lanes() or
+    /// export_lane(). This is the allocation-free entry point the
+    /// characterizer's batched warm-up drives.
+    void settle(std::span<const util::BitVec> inputs);
+
+    /// Scatter lane @p lane of the last settle into one 0/1 byte per net —
+    /// exactly the net-value layout EventSimulator::load_state adopts.
+    /// @p values must hold one byte per net.
+    void export_lane(int lane, std::span<std::uint8_t> values) const;
+
     /// Zero-delay toggle counts of a stimulus stream: element j is the
     /// number of nets whose settled value differs between stream[j] and
     /// stream[j+1] (length N stream → N-1 counts). The stream is processed
@@ -58,10 +69,6 @@ public:
     }
 
 private:
-    /// Load the primary-input lanes and settle all nets; @p count = number
-    /// of active lanes (inactive high lanes are zeroed afterwards).
-    void settle(std::span<const util::BitVec> inputs);
-
     const netlist::Netlist* netlist_;
     std::unique_ptr<const CompiledNetlist> owned_; // null when borrowing
     const CompiledNetlist* compiled_;

@@ -104,14 +104,13 @@ EventSimulator::EventSimulator(const SimContext& context, EventSimOptions option
       netlist_(&context.netlist()),
       options_(options),
       values_(netlist_->num_nets(), 0),
-      scheduled_value_(netlist_->num_nets(), 0),
-      generation_(netlist_->num_nets(), 0),
-      pending_count_(netlist_->num_nets(), 0),
-      pending_time_(netlist_->num_nets(), 0),
+      sched_(netlist_->num_nets()),
       cell_stamp_(netlist_->num_cells(), 0),
       transition_count_(netlist_->num_nets(), 0),
       charge_per_net_(netlist_->num_nets(), 0.0)
 {
+    HDPM_REQUIRE(netlist_->num_nets() < (std::size_t{1} << 31),
+                 "netlist too large for packed wheel events");
     wheel_.configure(context.max_cell_delay_ps());
 }
 
@@ -145,14 +144,37 @@ void EventSimulator::initialize(const BitVec& inputs)
         values_[cn.output(id)] = cn.eval(id, values_.data());
     }
 
-    // Reset every piece of per-cycle scheduler state so repeated
-    // initialize calls start from one identical state: swap-against-empty
-    // instead of a pop loop for the heap, bucket-clearing rewind for the
-    // wheel, and zeroed sequence / generation / stamp counters.
-    scheduled_value_ = values_;
-    std::fill(pending_count_.begin(), pending_count_.end(), 0);
-    std::fill(pending_time_.begin(), pending_time_.end(), 0);
-    std::fill(generation_.begin(), generation_.end(), 0);
+    reset_cycle_state();
+}
+
+void EventSimulator::load_state(const BitVec& inputs,
+                                std::span<const std::uint8_t> net_values)
+{
+    const auto& pis = netlist_->primary_inputs();
+    HDPM_REQUIRE(inputs.width() == static_cast<int>(pis.size()), "netlist '",
+                 netlist_->name(), "' has ", pis.size(), " inputs, pattern has ",
+                 inputs.width(), " bits");
+    HDPM_REQUIRE(net_values.size() == values_.size(), "netlist '", netlist_->name(),
+                 "' has ", values_.size(), " nets, state has ", net_values.size());
+    std::copy(net_values.begin(), net_values.end(), values_.begin());
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+        HDPM_ASSERT(values_[pis[i]] == (inputs.get(static_cast<int>(i)) ? 1 : 0),
+                    "load_state input ", i, " disagrees with the adopted net values");
+    }
+
+    reset_cycle_state();
+}
+
+/// Reset every piece of per-cycle scheduler state so repeated
+/// initialize/load_state calls start from one identical state:
+/// swap-against-empty instead of a pop loop for the heap, bucket-clearing
+/// rewind for the wheel, and zeroed sequence / generation / stamp counters.
+/// Cumulative counters (transition/charge per net, kernel stats) survive.
+void EventSimulator::reset_cycle_state()
+{
+    for (std::size_t net = 0; net < sched_.size(); ++net) {
+        sched_[net] = NetSched{values_[net], 0, 0, 0, 0};
+    }
     std::fill(cell_stamp_.begin(), cell_stamp_.end(), 0);
     stamp_epoch_ = 0;
     seq_counter_ = 0;
@@ -182,30 +204,6 @@ void EventSimulator::toggle_net(NetId net, std::uint8_t value, std::int64_t time
     }
 }
 
-bool EventSimulator::prepare_schedule(NetId net, std::uint8_t value, std::int64_t time)
-{
-    if (pending_count_[net] == 0) {
-        scheduled_value_[net] = values_[net];
-    }
-    if (value == scheduled_value_[net]) {
-        return false; // the net already heads to this value
-    }
-    if (options_.inertial_window_ps > 0 && pending_count_[net] > 0 &&
-        time - pending_time_[net] <= options_.inertial_window_ps) {
-        // Inertial approximation: the new change supersedes pending ones.
-        ++generation_[net];
-        pending_count_[net] = 0;
-        if (value == values_[net]) {
-            scheduled_value_[net] = value;
-            return false; // pulse fully swallowed
-        }
-    }
-    scheduled_value_[net] = value;
-    pending_time_[net] = time;
-    ++pending_count_[net];
-    return true;
-}
-
 CycleResult EventSimulator::apply(const BitVec& inputs)
 {
     HDPM_REQUIRE(initialized_, "EventSimulator::apply before initialize");
@@ -223,10 +221,15 @@ CycleResult EventSimulator::apply_wheel(const BitVec& inputs)
     const auto& pis = netlist_->primary_inputs();
     CycleResult result;
     std::uint64_t processed = 0;
-    ++stamp_epoch_;
     touched_.clear();
 
-    // Apply primary-input changes at t = 0.
+    // Apply primary-input changes at t = 0. Fanout consumers are appended
+    // without per-cell deduplication: a cell touched through two of its
+    // inputs evaluates twice, but the second evaluation computes the same
+    // output and prepare_schedule sees the net already heading there, so
+    // the event stream is unchanged while the common case sheds one stamp
+    // read-modify-write per consumer (measured duplicate rate is a few
+    // percent of visits).
     for (std::size_t i = 0; i < pis.size(); ++i) {
         const NetId net = pis[i];
         const std::uint8_t v = inputs.get(static_cast<int>(i)) ? 1 : 0;
@@ -234,21 +237,18 @@ CycleResult EventSimulator::apply_wheel(const BitVec& inputs)
             continue;
         }
         toggle_net(net, v, 0, options_.count_input_charge, result);
-        for (const CellId consumer : cn.fanout(net)) {
-            if (cell_stamp_[consumer] != stamp_epoch_) {
-                cell_stamp_[consumer] = stamp_epoch_;
-                touched_.push_back(consumer);
-            }
-        }
+        const auto fo = cn.fanout(net);
+        touched_.insert(touched_.end(), fo.begin(), fo.end());
     }
 
     auto evaluate_and_schedule = [&](CellId id, std::int64_t now) {
-        const std::uint8_t out = cn.eval(id, values_.data());
-        const NetId net = cn.output(id);
-        const std::int64_t t = now + context_->cell_delay_ps(id);
-        if (prepare_schedule(net, out, t)) {
-            wheel_.push(t, WheelEvent{net, out, generation_[net]});
-            stats_.max_queue_depth = std::max(stats_.max_queue_depth, wheel_.pending());
+        const SimContext::CellRec& cr = context_->cell_rec(id);
+        const std::uint8_t out = SimContext::eval_rec(cr, values_.data());
+        const NetId net = cr.out;
+        const std::int64_t t = now + cr.delay_ps;
+        NetSched& ns = sched_[net];
+        if (prepare_schedule(ns, values_[net], out, t)) {
+            wheel_.push(t, WheelEvent::make(net, out, ns.generation));
         }
     };
 
@@ -259,29 +259,31 @@ CycleResult EventSimulator::apply_wheel(const BitVec& inputs)
     // Main event loop: drain the wheel one timestamp bucket at a time so
     // each cell evaluates at most once per time step. Bucket order is push
     // order, which is schedule-sequence order — the heap's tie-break.
+    // Queue depth peaks right before an advance (it only grows between
+    // pops), so sampling it here reports the same maximum as checking
+    // after every push.
     while (!wheel_.empty()) {
+        stats_.max_queue_depth = std::max(stats_.max_queue_depth, wheel_.pending());
         const std::int64_t now = wheel_.advance();
         touched_.clear();
-        ++stamp_epoch_;
         for (const WheelEvent& ev : wheel_.bucket()) {
             if (++processed > options_.max_events_per_cycle) {
                 HDPM_FAIL("event budget exceeded in '", netlist_->name(),
                           "' — runaway simulation?");
             }
-            if (ev.generation != generation_[ev.net]) {
+            const NetId net = ev.net();
+            NetSched& ns = sched_[net];
+            if (ev.generation != ns.generation) {
                 continue; // superseded by an inertial cancellation
             }
-            --pending_count_[ev.net];
+            --ns.pending_count;
+            const std::uint8_t v = ev.value();
             // Per-net event times are monotone and scheduled values
             // alternate, so a valid event always toggles its net.
-            HDPM_ASSERT(ev.value != values_[ev.net], "no-op event on net ", ev.net);
-            toggle_net(ev.net, ev.value, now, true, result);
-            for (const CellId consumer : cn.fanout(ev.net)) {
-                if (cell_stamp_[consumer] != stamp_epoch_) {
-                    cell_stamp_[consumer] = stamp_epoch_;
-                    touched_.push_back(consumer);
-                }
-            }
+            HDPM_ASSERT(v != values_[net], "no-op event on net ", net);
+            toggle_net(net, v, now, true, result);
+            const auto fo = cn.fanout(net);
+            touched_.insert(touched_.end(), fo.begin(), fo.end());
         }
         wheel_.pop_bucket();
         for (const CellId id : touched_) {
@@ -331,9 +333,9 @@ CycleResult EventSimulator::apply_heap(const BitVec& inputs)
         const std::uint8_t out =
             gate::gate_eval(cell.kind, {in_vals, ins.size()}) ? 1 : 0;
         const std::int64_t t = now + context_->electrical().cell_delay_ps(id);
-        if (prepare_schedule(cell.output, out, t)) {
-            queue_.push(HeapEvent{t, seq_counter_++, cell.output, out,
-                                  generation_[cell.output]});
+        NetSched& ns = sched_[cell.output];
+        if (prepare_schedule(ns, values_[cell.output], out, t)) {
+            queue_.push(HeapEvent{t, seq_counter_++, cell.output, out, ns.generation});
             stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
         }
     };
@@ -355,10 +357,10 @@ CycleResult EventSimulator::apply_heap(const BitVec& inputs)
                 HDPM_FAIL("event budget exceeded in '", netlist_->name(),
                           "' — runaway simulation?");
             }
-            if (ev.generation != generation_[ev.net]) {
+            if (ev.generation != sched_[ev.net].generation) {
                 continue; // superseded by an inertial cancellation
             }
-            --pending_count_[ev.net];
+            --sched_[ev.net].pending_count;
             // Per-net event times are monotone and scheduled values
             // alternate, so a valid event always toggles its net.
             HDPM_ASSERT(ev.value != values_[ev.net], "no-op event on net ", ev.net);

@@ -104,6 +104,17 @@ public:
     /// kernel stats) are not cleared.
     void initialize(const util::BitVec& inputs);
 
+    /// Adopt an externally settled steady state instead of re-settling:
+    /// @p net_values holds one 0/1 byte per net (the layout
+    /// BatchedEvaluator::export_lane produces) and must be the zero-delay
+    /// fixpoint of @p inputs — for a combinational netlist that fixpoint is
+    /// unique, so the post-call state is exactly the post-initialize(inputs)
+    /// state (same values, same full scheduler/sequence/stamp reset) without
+    /// the O(cells) settle pass. The characterizer's batched pairs-mode
+    /// warm-up is the intended caller.
+    void load_state(const util::BitVec& inputs,
+                    std::span<const std::uint8_t> net_values);
+
     /// Apply the next input vector and simulate until quiescence.
     CycleResult apply(const util::BitVec& inputs);
 
@@ -143,6 +154,19 @@ public:
     void set_tracer(VcdWriter* tracer) noexcept { tracer_ = tracer; }
 
 private:
+    /// Per-net scheduler state, packed so the hot paths (event validation
+    /// and schedule preparation) touch one 16-byte slot instead of four
+    /// parallel arrays. pending_count is bounded by the number of distinct
+    /// pending timestamps, which the wheel horizon caps far below 2^16.
+    struct NetSched {
+        std::uint8_t scheduled_value = 0; ///< value after all pending events
+        std::uint8_t unused = 0;
+        std::uint16_t pending_count = 0; ///< pending valid events on the net
+        std::uint32_t generation = 0;    ///< current valid event generation
+        std::int64_t pending_time = 0;   ///< time of the last scheduled event
+    };
+    static_assert(sizeof(NetSched) == 16);
+
     struct HeapEvent {
         std::int64_t time;
         std::uint64_t seq;
@@ -158,15 +182,31 @@ private:
     };
     using HeapQueue = std::priority_queue<HeapEvent, std::vector<HeapEvent>, HeapLater>;
 
-    /// A pending net change in the timing wheel. No time or sequence field:
-    /// the slot encodes the time, and the bucket's push order is the
-    /// schedule sequence order (the wheel only ever appends), which
-    /// reproduces the heap's (time, seq) tie-break exactly.
+    /// A pending net change in the timing wheel, packed into 8 bytes: bit 31
+    /// of net_val is the scheduled value, the low bits the net (the netlist
+    /// layer never allocates 2^31 nets). No time or sequence field: the slot
+    /// encodes the time, and the bucket's push order is the schedule
+    /// sequence order (the wheel only ever appends), which reproduces the
+    /// heap's (time, seq) tie-break exactly.
     struct WheelEvent {
-        netlist::NetId net;
-        std::uint8_t value;
+        std::uint32_t net_val;
         std::uint32_t generation;
+
+        static WheelEvent make(netlist::NetId net, std::uint8_t value,
+                               std::uint32_t generation) noexcept
+        {
+            return {net | (static_cast<std::uint32_t>(value) << 31), generation};
+        }
+        [[nodiscard]] netlist::NetId net() const noexcept
+        {
+            return net_val & 0x7fff'ffffU;
+        }
+        [[nodiscard]] std::uint8_t value() const noexcept
+        {
+            return static_cast<std::uint8_t>(net_val >> 31);
+        }
     };
+    static_assert(sizeof(WheelEvent) == 8);
 
     /// Calendar queue over slots [0, W) with W = bit_ceil(max delay + 1).
     /// All pending times lie in (now, now + max delay], a window shorter
@@ -205,11 +245,37 @@ private:
 
     CycleResult apply_heap(const util::BitVec& inputs);
     CycleResult apply_wheel(const util::BitVec& inputs);
+    /// The per-cycle scheduler reset shared by initialize and load_state.
+    void reset_cycle_state();
     void toggle_net(netlist::NetId net, std::uint8_t value, std::int64_t time,
                     bool count_charge, CycleResult& result);
     /// Shared inertial-window/cancellation bookkeeping; returns true when
-    /// the caller must enqueue an event for (net, value, time).
-    bool prepare_schedule(netlist::NetId net, std::uint8_t value, std::int64_t time);
+    /// the caller must enqueue an event for (net, value, time). Kept inline
+    /// in the header so both apply kernels fold it into their hot loops.
+    bool prepare_schedule(NetSched& ns, std::uint8_t current, std::uint8_t value,
+                          std::int64_t time)
+    {
+        if (ns.pending_count == 0) {
+            ns.scheduled_value = current;
+        }
+        if (value == ns.scheduled_value) {
+            return false; // the net already heads to this value
+        }
+        if (options_.inertial_window_ps > 0 && ns.pending_count > 0 &&
+            time - ns.pending_time <= options_.inertial_window_ps) {
+            // Inertial approximation: the new change supersedes pending ones.
+            ++ns.generation;
+            ns.pending_count = 0;
+            if (value == current) {
+                ns.scheduled_value = value;
+                return false; // pulse fully swallowed
+            }
+        }
+        ns.scheduled_value = value;
+        ns.pending_time = time;
+        ++ns.pending_count;
+        return true;
+    }
 
     std::shared_ptr<const SimContext> owned_context_; // set by the convenience ctor
     const SimContext* context_;
@@ -217,10 +283,7 @@ private:
     EventSimOptions options_;
 
     std::vector<std::uint8_t> values_;
-    std::vector<std::uint8_t> scheduled_value_; // value after all pending events
-    std::vector<std::uint32_t> generation_;     // current valid generation per net
-    std::vector<std::uint32_t> pending_count_;  // pending valid events per net
-    std::vector<std::int64_t> pending_time_;    // time of last scheduled event
+    std::vector<NetSched> sched_; // per-net scheduler state
 
     // Per-timestamp cell evaluation dedup.
     std::vector<std::uint64_t> cell_stamp_;

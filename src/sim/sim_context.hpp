@@ -60,6 +60,38 @@ public:
         return delay_ps_[cell];
     }
 
+    /// Everything the event kernel needs to evaluate and schedule one cell,
+    /// packed into 24 bytes so an evaluation touches one or two cache lines
+    /// instead of five parallel arrays. Unused input slots point at net 0
+    /// and the truth table is replicated across the unused index bits, so
+    /// evaluation is a fixed three-value gather with no per-arity branch.
+    struct CellRec {
+        netlist::NetId in[3];  ///< input nets (missing pins alias net 0)
+        netlist::NetId out;    ///< driven output net
+        std::int32_t delay_ps; ///< propagation delay
+        std::uint8_t truth8;   ///< truth table expanded to all 8 gather indices
+        std::uint8_t num_inputs;
+        std::uint16_t unused = 0;
+    };
+    static_assert(sizeof(CellRec) == 24);
+
+    /// Packed evaluation record of a cell (event-kernel hot loop).
+    [[nodiscard]] const CellRec& cell_rec(netlist::CellId cell) const
+    {
+        return cell_rec_[cell];
+    }
+
+    /// Evaluate a cell against @p values (one 0/1 byte per net) through the
+    /// packed record: bit-identical to CompiledNetlist::eval.
+    [[nodiscard]] static std::uint8_t eval_rec(const CellRec& cr,
+                                               const std::uint8_t* values)
+    {
+        const std::uint32_t idx = static_cast<std::uint32_t>(values[cr.in[0]]) |
+                                  (static_cast<std::uint32_t>(values[cr.in[1]]) << 1) |
+                                  (static_cast<std::uint32_t>(values[cr.in[2]]) << 2);
+        return (cr.truth8 >> idx) & 1U;
+    }
+
     /// Charge per edge on a net [fC] — unchecked mirror of
     /// electrical().edge_charge_fc.
     [[nodiscard]] double edge_charge_fc(netlist::NetId net) const
@@ -79,6 +111,7 @@ private:
     ElectricalView electrical_;
     CompiledNetlist compiled_;
     std::vector<std::int32_t> delay_ps_;    // per cell
+    std::vector<CellRec> cell_rec_;         // per cell
     std::vector<double> edge_charge_fc_;    // per net
     std::int64_t max_cell_delay_ps_ = 1;
 };

@@ -265,5 +265,135 @@ TEST(Characterize, ModelPredictsRandomStreamAverage)
     EXPECT_NEAR(estimated, ref.mean_charge_fc(), 0.08 * ref.mean_charge_fc());
 }
 
+// ---------------------------------------------------------------------------
+// Execution-knob determinism: warm-up mode, thread count and scheduler kind
+// are pure execution choices — every combination must produce bit-identical
+// record streams and therefore bit-identical fitted coefficients. These are
+// the invariants that let ModelLibrary exclude all three knobs from its
+// options fingerprint and let characterization default to all cores.
+// ---------------------------------------------------------------------------
+
+std::vector<CharacterizationRecord> collect_pairs(const DatapathModule& module,
+                                                  WarmupMode warmup, unsigned threads,
+                                                  sim::SchedulerKind scheduler)
+{
+    sim::EventSimOptions sim_options;
+    sim_options.scheduler = scheduler;
+    const Characterizer characterizer{gate::TechLibrary::generic350(), sim_options};
+
+    CharacterizationOptions options;
+    options.max_transitions = 1200;
+    options.min_transitions = 1200;
+    options.batch = 1200;
+    options.shard_size = 150; // several shards, so the thread count matters
+    options.seed = 23;
+    options.mode = StimulusMode::StratifiedPairs;
+    options.warmup = warmup;
+    options.threads = threads;
+    return characterizer.collect_records(module, options);
+}
+
+void expect_identical_records(const std::vector<CharacterizationRecord>& a,
+                              const std::vector<CharacterizationRecord>& b,
+                              const std::string& label)
+{
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].hd, b[i].hd) << label << " record " << i;
+        ASSERT_EQ(a[i].stable_zeros, b[i].stable_zeros) << label << " record " << i;
+        ASSERT_EQ(a[i].toggle_mask, b[i].toggle_mask) << label << " record " << i;
+        // Exact: both paths must execute the very same charge accumulation.
+        ASSERT_EQ(a[i].charge_fc, b[i].charge_fc) << label << " record " << i;
+    }
+}
+
+TEST(Determinism, WarmupThreadsSchedulerMatrixIsBitIdentical)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+    const auto baseline = collect_pairs(module, WarmupMode::PerRecord, 1,
+                                        sim::SchedulerKind::BinaryHeap);
+    const EnhancedHdModel baseline_model =
+        fit_enhanced_model(module.total_input_bits(), 0, baseline);
+
+    for (const WarmupMode warmup : {WarmupMode::Batched, WarmupMode::PerRecord}) {
+        for (const unsigned threads : {1U, 4U}) {
+            for (const sim::SchedulerKind scheduler :
+                 {sim::SchedulerKind::TimingWheel, sim::SchedulerKind::BinaryHeap}) {
+                const std::string label =
+                    std::string{warmup == WarmupMode::Batched ? "batched" : "per-record"} +
+                    "/" + std::to_string(threads) + "t/" +
+                    (scheduler == sim::SchedulerKind::TimingWheel ? "wheel" : "heap");
+                const auto records = collect_pairs(module, warmup, threads, scheduler);
+                expect_identical_records(baseline, records, label);
+
+                const EnhancedHdModel model =
+                    fit_enhanced_model(module.total_input_bits(), 0, records);
+                ASSERT_EQ(model.num_coefficients(), baseline_model.num_coefficients())
+                    << label;
+                const int m = module.total_input_bits();
+                for (int hd = 1; hd <= m; ++hd) {
+                    for (int z = 0; z <= m - hd; ++z) {
+                        ASSERT_EQ(model.coefficient(hd, z),
+                                  baseline_model.coefficient(hd, z))
+                            << label << " (" << hd << ", " << z << ")";
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Determinism, BatchedWarmupMatchesPerRecordOnEveryModuleFamily)
+{
+    // The unique-fixpoint argument is structural, but each module family
+    // exercises different gate mixes and reconvergence patterns — sweep
+    // them all with a small budget.
+    for (const ModuleType type : dp::all_module_types()) {
+        const DatapathModule module = dp::make_module(type, 3);
+        const auto batched = collect_pairs(module, WarmupMode::Batched, 1,
+                                           sim::SchedulerKind::TimingWheel);
+        const auto per_record = collect_pairs(module, WarmupMode::PerRecord, 1,
+                                              sim::SchedulerKind::TimingWheel);
+        expect_identical_records(batched, per_record,
+                                 dp::module_type_id(type));
+    }
+}
+
+TEST(Determinism, WarmupCountersReflectMode)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+    const Characterizer characterizer;
+
+    CharacterizationOptions options;
+    options.max_transitions = 500;
+    options.min_transitions = 500;
+    options.batch = 500;
+    options.seed = 5;
+    options.mode = StimulusMode::StratifiedPairs;
+    options.threads = 1;
+
+    CharRunStats stats;
+    options.stats = &stats;
+    options.warmup = WarmupMode::Batched;
+    (void)characterizer.collect_records(module, options);
+    EXPECT_EQ(stats.warmup_vectors, 500U);
+    EXPECT_GT(stats.warmup_batches, 0U);
+
+    CharRunStats per_record_stats;
+    options.stats = &per_record_stats;
+    options.warmup = WarmupMode::PerRecord;
+    (void)characterizer.collect_records(module, options);
+    EXPECT_EQ(per_record_stats.warmup_vectors, 500U);
+    EXPECT_EQ(per_record_stats.warmup_batches, 0U);
+
+    // Chain modes never warm up and leave the counters untouched.
+    CharRunStats chain_stats;
+    options.stats = &chain_stats;
+    options.mode = StimulusMode::StratifiedChain;
+    (void)characterizer.collect_records(module, options);
+    EXPECT_EQ(chain_stats.warmup_vectors, 0U);
+    EXPECT_EQ(chain_stats.warmup_batches, 0U);
+}
+
 } // namespace
 } // namespace hdpm::core

@@ -265,6 +265,126 @@ TEST(BatchedEvaluator, RejectsOversizedBatch)
     EXPECT_THROW((void)batched.eval(batch), util::PreconditionError);
 }
 
+/// The packed per-cell eval record against the original gate evaluator:
+/// every cell of every module family, under random net values. eval_rec is
+/// the wheel kernel's hot path; a don't-care expansion bug here would skew
+/// every characterized coefficient.
+TEST(CellRec, EvalRecMatchesGateEval)
+{
+    Rng rng{7110};
+    for (const dp::ModuleType type : dp::all_module_types()) {
+        const dp::DatapathModule module = dp::make_module(type, 5);
+        const netlist::Netlist& nl = module.netlist();
+        const SimContext context{nl, TechLibrary::generic350()};
+
+        std::vector<std::uint8_t> values(nl.num_nets());
+        for (int trial = 0; trial < 64; ++trial) {
+            for (auto& v : values) {
+                v = static_cast<std::uint8_t>(rng.next_u64() & 1U);
+            }
+            for (netlist::CellId id = 0; id < nl.num_cells(); ++id) {
+                const netlist::Cell& cell = nl.cell(id);
+                std::uint8_t in[gate::kMaxGateInputs] = {};
+                const std::span<const NetId> used = cell.input_span();
+                for (std::size_t b = 0; b < used.size(); ++b) {
+                    in[b] = values[used[b]];
+                }
+                const bool expected =
+                    gate::gate_eval(cell.kind, {in, used.size()});
+                EXPECT_EQ(SimContext::eval_rec(context.cell_rec(id), values.data()),
+                          expected ? 1 : 0)
+                    << dp::module_type_id(type) << " cell " << id;
+            }
+        }
+    }
+}
+
+/// load_state(u, fixpoint(u)) must leave the simulator in exactly the
+/// post-initialize(u) state: same subsequent cycles on both schedulers,
+/// whether the simulator is fresh or carries arbitrary history.
+TEST(LoadState, MatchesInitialize)
+{
+    const dp::DatapathModule module =
+        dp::make_module(dp::ModuleType::CsaMultiplier, 5);
+    const int m = module.total_input_bits();
+    const SimContext context{module.netlist(), TechLibrary::generic350()};
+
+    for (const SchedulerKind kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap}) {
+        EventSimOptions options;
+        options.scheduler = kind;
+        EventSimulator reference{context, options};
+        EventSimulator adopted{context, options};
+
+        // Give the adopting simulator history so the test also covers the
+        // characterizer's steady-state usage (load_state after many cycles).
+        Rng history{31};
+        adopted.initialize(BitVec{m, history.next_u64()});
+        for (int i = 0; i < 10; ++i) {
+            (void)adopted.apply(BitVec{m, history.next_u64()});
+        }
+
+        BatchedEvaluator batched{context};
+        std::vector<std::uint8_t> lane_values(module.netlist().num_nets());
+        Rng rng{5012};
+        for (int trial = 0; trial < 40; ++trial) {
+            const BitVec u{m, rng.next_u64()};
+            const BitVec v{m, rng.next_u64()};
+            const BitVec batch[] = {u};
+            batched.settle(batch);
+            batched.export_lane(0, lane_values);
+
+            reference.initialize(u);
+            adopted.load_state(u, lane_values);
+            EXPECT_EQ(adopted.outputs(), reference.outputs()) << "trial " << trial;
+            expect_same_cycle(adopted.apply(v), reference.apply(v), trial);
+            EXPECT_EQ(adopted.outputs(), reference.outputs()) << "trial " << trial;
+        }
+    }
+}
+
+TEST(LoadState, RejectsMismatchedArguments)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 4);
+    const int m = module.total_input_bits();
+    EventSimulator sim{module.netlist(), TechLibrary::generic350()};
+
+    const std::vector<std::uint8_t> right_size(module.netlist().num_nets(), 0);
+    EXPECT_THROW(sim.load_state(BitVec{m - 1, 0}, right_size),
+                 util::PreconditionError);
+    const std::vector<std::uint8_t> wrong_size(module.netlist().num_nets() + 1, 0);
+    EXPECT_THROW(sim.load_state(BitVec{m, 0}, wrong_size), util::PreconditionError);
+}
+
+/// export_lane against the scalar FunctionalEvaluator: the per-net byte
+/// image of every lane must equal the functional settle of that lane's
+/// input vector.
+TEST(BatchedEvaluator, ExportLaneMatchesFunctional)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::ClaAdder, 6);
+    const int m = module.total_input_bits();
+    const SimContext context{module.netlist(), TechLibrary::generic350()};
+    BatchedEvaluator batched{context};
+    FunctionalEvaluator functional{context};
+
+    Rng rng{8088};
+    std::vector<BitVec> batch;
+    for (int j = 0; j < 64; ++j) {
+        batch.emplace_back(m, rng.next_u64());
+    }
+    batched.settle(batch);
+
+    std::vector<std::uint8_t> lane_values(module.netlist().num_nets());
+    for (int j = 0; j < 64; ++j) {
+        batched.export_lane(j, lane_values);
+        (void)functional.eval(batch[static_cast<std::size_t>(j)]);
+        for (NetId net = 0; net < module.netlist().num_nets(); ++net) {
+            ASSERT_EQ(lane_values[net] != 0, functional.value(net))
+                << "lane " << j << " net " << net;
+        }
+    }
+}
+
 TEST(KernelStats, CountersAdvance)
 {
     const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 8);

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -64,17 +66,112 @@ TEST_F(ModelLibraryTest, CharacterizesOnMissThenLoads)
     const HdModel first = library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
     EXPECT_TRUE(library.contains(dp::ModuleType::RippleAdder, w));
 
-    // Second call must load the stored file — even with different options
-    // the coefficients are identical because no characterization runs.
-    CharacterizationOptions different = quick();
-    different.seed = 12345;
+    // Second call with the same options must load the stored file.
     const HdModel second =
-        library.get_or_characterize(dp::ModuleType::RippleAdder, w, different);
+        library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
     ASSERT_EQ(second.input_bits(), first.input_bits());
     for (int i = 1; i <= first.input_bits(); ++i) {
         EXPECT_DOUBLE_EQ(second.coefficient(i), first.coefficient(i));
         EXPECT_EQ(second.sample_count(i), first.sample_count(i));
     }
+}
+
+TEST_F(ModelLibraryTest, ExecutionOnlyKnobsDoNotInvalidateStoredModels)
+{
+    const ModelLibrary library{dir_};
+    const std::array<int, 1> w = {4};
+
+    std::atomic<int> runs{0};
+    CharacterizationOptions options = quick();
+    options.threads = 1;
+    options.warmup = WarmupMode::PerRecord;
+    options.progress = [&](const CharProgress& p) {
+        if (p.shards_merged == 1) {
+            runs.fetch_add(1);
+        }
+    };
+    const HdModel first =
+        library.get_or_characterize(dp::ModuleType::RippleAdder, w, options);
+    EXPECT_EQ(runs.load(), 1);
+
+    // Threads / warm-up mode are execution knobs with bit-identical results,
+    // so they are excluded from the fingerprint: the stored model is reused.
+    options.threads = 4;
+    options.warmup = WarmupMode::Batched;
+    const HdModel second =
+        library.get_or_characterize(dp::ModuleType::RippleAdder, w, options);
+    EXPECT_EQ(runs.load(), 1) << "execution-only knobs must not recharacterize";
+    for (int i = 1; i <= first.input_bits(); ++i) {
+        EXPECT_DOUBLE_EQ(second.coefficient(i), first.coefficient(i));
+    }
+}
+
+TEST_F(ModelLibraryTest, StaleOptionsRecharacterize)
+{
+    const ModelLibrary library{dir_};
+    const std::array<int, 1> w = {4};
+
+    std::atomic<int> runs{0};
+    CharacterizationOptions options = quick();
+    options.progress = [&](const CharProgress& p) {
+        if (p.shards_merged == 1) {
+            runs.fetch_add(1);
+        }
+    };
+    (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, options);
+    EXPECT_EQ(runs.load(), 1);
+
+    // A different seed shapes different coefficients — the stored model is
+    // stale and must be rebuilt, not silently reused.
+    options.seed = 12345;
+    (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, options);
+    EXPECT_EQ(runs.load(), 2) << "changed stimulus options must recharacterize";
+
+    // And the rebuilt file now satisfies the new options without a rerun.
+    (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, options);
+    EXPECT_EQ(runs.load(), 2);
+}
+
+TEST_F(ModelLibraryTest, LegacyFileWithoutFingerprintRecharacterizes)
+{
+    const ModelLibrary library{dir_};
+    const std::array<int, 1> w = {4};
+    (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
+
+    const fs::path path = dir_ / (library.model_key(dp::ModuleType::RippleAdder, w) +
+                                  ".hdm");
+    ASSERT_TRUE(fs::exists(path));
+
+    // Strip the `options <hex>` header, leaving the bare payload a pre-
+    // fingerprint build would have stored.
+    std::string payload;
+    {
+        std::ifstream in{path};
+        std::string header;
+        ASSERT_TRUE(std::getline(in, header));
+        ASSERT_EQ(header.rfind("options ", 0), 0U) << "stored file must carry a header";
+        payload.assign(std::istreambuf_iterator<char>{in},
+                       std::istreambuf_iterator<char>{});
+    }
+    {
+        std::ofstream out{path, std::ios::trunc};
+        out << payload;
+    }
+
+    std::atomic<int> runs{0};
+    CharacterizationOptions options = quick();
+    options.progress = [&](const CharProgress& p) {
+        if (p.shards_merged == 1) {
+            runs.fetch_add(1);
+        }
+    };
+    (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, options);
+    EXPECT_EQ(runs.load(), 1) << "a header-less legacy file must recharacterize";
+
+    std::ifstream in{path};
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header.rfind("options ", 0), 0U) << "rebuild must restore the header";
 }
 
 TEST_F(ModelLibraryTest, EnhancedModelsStoredSeparately)
@@ -113,14 +210,22 @@ TEST_F(ModelLibraryTest, CorruptModelFileReportsCleanError)
     const std::array<int, 1> w = {4};
     (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
 
-    // Truncate the stored file; the next load must fail loudly, not return
-    // a half-initialized model.
+    // Truncate the payload behind a valid fingerprint header; the next load
+    // must fail loudly, not return a half-initialized model. (Keeping the
+    // real header matters: a header-less or mismatched file would simply be
+    // recharacterized.)
     const fs::path path = dir_ / (library.model_key(dp::ModuleType::RippleAdder, w) +
                                   ".hdm");
     ASSERT_TRUE(fs::exists(path));
+    std::string header;
+    {
+        std::ifstream in{path};
+        ASSERT_TRUE(std::getline(in, header));
+        ASSERT_EQ(header.rfind("options ", 0), 0U);
+    }
     {
         std::ofstream out{path, std::ios::trunc};
-        out << "hdmodel 1\nm 8\n1 123.0"; // cut mid-row
+        out << header << "\nhdmodel 1\nm 8\n1 123.0"; // cut mid-row
     }
     EXPECT_THROW(
         (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick()),

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/characterize.hpp"
+#include "dpgen/module.hpp"
+
+// Counting global allocator: every heap allocation in the process bumps one
+// relaxed atomic. The replacements are deliberately minimal — they only
+// exist so the tests below can assert that the pairs-mode characterization
+// loop is allocation-free in steady state (a perf invariant of the batched
+// stimulus pipeline, cheap to regress silently with one stray std::vector).
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+} // namespace
+
+// noinline keeps compilers from pairing the malloc/free internals across
+// call sites and warning about mismatched allocation functions.
+#if defined(__GNUC__)
+#define HDPM_ALLOC_NOINLINE __attribute__((noinline))
+#else
+#define HDPM_ALLOC_NOINLINE
+#endif
+
+HDPM_ALLOC_NOINLINE void* operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) {
+        return p;
+    }
+    throw std::bad_alloc{};
+}
+
+HDPM_ALLOC_NOINLINE void* operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+HDPM_ALLOC_NOINLINE void* operator new(std::size_t size, std::align_val_t align)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t a = static_cast<std::size_t>(align);
+    const std::size_t rounded = (size + a - 1) / a * a;
+    if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) {
+        return p;
+    }
+    throw std::bad_alloc{};
+}
+
+HDPM_ALLOC_NOINLINE void* operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+HDPM_ALLOC_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
+HDPM_ALLOC_NOINLINE void operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+HDPM_ALLOC_NOINLINE void operator delete[](void* p) noexcept { std::free(p); }
+HDPM_ALLOC_NOINLINE void operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+HDPM_ALLOC_NOINLINE void operator delete(void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+HDPM_ALLOC_NOINLINE void operator delete(void* p, std::size_t,
+                                         std::align_val_t) noexcept
+{
+    std::free(p);
+}
+HDPM_ALLOC_NOINLINE void operator delete[](void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+HDPM_ALLOC_NOINLINE void operator delete[](void* p, std::size_t,
+                                           std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace hdpm::core {
+namespace {
+
+/// Allocations of one single-shard, single-thread pairs-mode collection of
+/// @p n records. One shard and threads=1 keep the measurement deterministic;
+/// everything the shard loop touches (stimulus arenas, the batched
+/// evaluator, the event simulator's wheel and scratch) is sized once.
+std::uint64_t allocations_for(const dp::DatapathModule& module, std::size_t n,
+                              WarmupMode warmup)
+{
+    CharacterizationOptions options;
+    options.max_transitions = n;
+    options.min_transitions = n;
+    options.batch = n;
+    options.shard_size = n;
+    options.threads = 1;
+    options.seed = 9;
+    options.mode = StimulusMode::StratifiedPairs;
+    options.warmup = warmup;
+
+    const Characterizer characterizer;
+    const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    const std::vector<CharacterizationRecord> records =
+        characterizer.collect_records(module, options);
+    const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(records.size(), n);
+    return after - before;
+}
+
+class SteadyAllocTest : public ::testing::TestWithParam<WarmupMode> {};
+
+TEST_P(SteadyAllocTest, PairsCollectionDoesNotAllocatePerRecord)
+{
+    const dp::DatapathModule module =
+        dp::make_module(dp::ModuleType::RippleAdder, std::array<int, 1>{4});
+
+    // Warm up lazy one-time state (locale, gtest bookkeeping, allocator
+    // pools) so both measured runs see identical surroundings.
+    (void)allocations_for(module, 256, GetParam());
+
+    const std::uint64_t small = allocations_for(module, 256, GetParam());
+    const std::uint64_t large = allocations_for(module, 1024, GetParam());
+
+    // Setup allocations (context, simulator, arenas, the two result
+    // reserves) are identical for both sizes; per-record allocation would
+    // add at least 768 to the larger run. The slack absorbs only
+    // logarithmic growth of any amortized container.
+    EXPECT_LE(large, small + 64)
+        << "pairs-mode collection must not allocate per record (steady "
+           "state): 256 records cost "
+        << small << " allocations, 1024 cost " << large;
+}
+
+INSTANTIATE_TEST_SUITE_P(WarmupModes, SteadyAllocTest,
+                         ::testing::Values(WarmupMode::Batched,
+                                           WarmupMode::PerRecord),
+                         [](const auto& info) {
+                             return info.param == WarmupMode::Batched
+                                        ? "Batched"
+                                        : "PerRecord";
+                         });
+
+} // namespace
+} // namespace hdpm::core
