@@ -7,15 +7,20 @@
 /// After the microbenchmarks an event-kernel comparison (binary-heap
 /// baseline vs timing-wheel, events/sec and end-to-end characterization;
 /// skip with --no-kernel), a thread-scaling sweep of the sharded
-/// characterization engine (skip with --no-scaling) and a pairs-mode
+/// characterization engine (skip with --no-scaling), a pairs-mode
 /// warm-up comparison (per-record vs batched vs all-core default; skip
-/// with --no-pairs) run and write their sections into BENCH_speed.json.
+/// with --no-pairs) and a checkpoint-journal overhead measurement (skip
+/// with --no-checkpoint) run and write their sections into
+/// BENCH_speed.json.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -483,6 +488,107 @@ std::string run_pairs_bench()
     return json.str();
 }
 
+/// Checkpoint-journal overhead on the 16-bit CSA multiplier in pairs
+/// mode (the default characterization configuration): the same fixed
+/// workload with checkpointing off and with a journal published after
+/// every merged shard. Verifies bit-identical records and that the
+/// journal is retired after a clean finish; returns a JSON fragment
+/// for BENCH_speed.json.
+std::string run_checkpoint_bench()
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 16);
+
+    core::CharacterizationOptions options;
+    options.max_transitions = 6000;
+    options.min_transitions = 6000; // fixed workload: no early convergence stop
+    options.batch = 6000;
+    options.shard_size = 1000;
+    options.seed = 77;
+    options.mode = core::StimulusMode::StratifiedPairs;
+
+    const core::Characterizer characterizer;
+    const std::filesystem::path journal =
+        std::filesystem::temp_directory_path() / "hdpm_bench_ckpt.journal";
+    std::filesystem::remove(journal);
+
+    struct Run {
+        const char* name = "";
+        double wall_ms = 0.0;
+        std::size_t publishes = 0;
+    };
+    constexpr int kReps = 3; // best-of-N to damp scheduler noise
+    std::vector<Run> runs;
+    std::vector<core::CharacterizationRecord> baseline;
+    bool identical = true;
+    bool journal_retired = true;
+
+    std::cout << "\ncheckpoint overhead (csa_multiplier 16x16, pairs mode, "
+              << options.max_transitions << " records, publish every shard):\n";
+    for (const bool checkpointed : {false, true}) {
+        Run run;
+        run.name = checkpointed ? "journal every shard" : "no checkpoint";
+        run.wall_ms = std::numeric_limits<double>::infinity();
+        for (int rep = 0; rep < kReps; ++rep) {
+            options.checkpoint = checkpointed ? journal : std::filesystem::path{};
+            core::CharRunStats stats;
+            options.stats = &stats;
+            const auto start = std::chrono::steady_clock::now();
+            const auto records = characterizer.collect_records(module, options);
+            const double wall_ms = std::chrono::duration<double, std::milli>(
+                                       std::chrono::steady_clock::now() - start)
+                                       .count();
+            run.wall_ms = std::min(run.wall_ms, wall_ms);
+            if (checkpointed) {
+                run.publishes = stats.checkpoints_published;
+                journal_retired = journal_retired && !std::filesystem::exists(journal);
+            }
+            if (baseline.empty()) {
+                baseline = records;
+            } else if (records.size() != baseline.size()) {
+                identical = false;
+            } else {
+                for (std::size_t i = 0; i < records.size(); ++i) {
+                    if (records[i].hd != baseline[i].hd ||
+                        records[i].charge_fc != baseline[i].charge_fc ||
+                        records[i].toggle_mask != baseline[i].toggle_mask) {
+                        identical = false;
+                        break;
+                    }
+                }
+            }
+        }
+        runs.push_back(run);
+    }
+    const double overhead_pct =
+        (runs[1].wall_ms / runs[0].wall_ms - 1.0) * 100.0;
+
+    util::TextTable table;
+    table.set_header({"configuration", "wall [ms]", "publishes"});
+    for (const Run& run : runs) {
+        table.add_row({run.name, util::TextTable::fmt(run.wall_ms, 1),
+                       std::to_string(run.publishes)});
+    }
+    table.print(std::cout);
+    std::cout << "checkpoint overhead: " << util::TextTable::fmt(overhead_pct, 2)
+              << "% (records bit-identical: " << (identical ? "yes" : "NO")
+              << ", journal retired after success: "
+              << (journal_retired ? "yes" : "NO") << ")\n";
+
+    std::ostringstream json;
+    json << "  \"checkpoint_overhead\": {\n"
+         << "    \"module\": \"csa_multiplier\",\n    \"width\": 16,\n"
+         << "    \"records\": " << options.max_transitions << ",\n"
+         << "    \"shard_size\": " << options.shard_size << ",\n"
+         << "    \"checkpoint_every\": " << options.checkpoint_every << ",\n"
+         << "    \"identical\": " << (identical ? "true" : "false") << ",\n"
+         << "    \"journal_retired\": " << (journal_retired ? "true" : "false")
+         << ",\n    \"baseline_wall_ms\": " << runs[0].wall_ms
+         << ",\n    \"checkpointed_wall_ms\": " << runs[1].wall_ms
+         << ",\n    \"publishes\": " << runs[1].publishes
+         << ",\n    \"overhead_pct\": " << overhead_pct << "\n  }";
+    return json.str();
+}
+
 /// Strip @p flag from argv (google-benchmark rejects unknown flags).
 bool take_flag(int& argc, char** argv, const char* flag)
 {
@@ -505,6 +611,7 @@ int main(int argc, char** argv)
     const bool kernel = !take_flag(argc, argv, "--no-kernel");
     const bool scaling = !take_flag(argc, argv, "--no-scaling");
     const bool pairs = !take_flag(argc, argv, "--no-pairs");
+    const bool checkpoint = !take_flag(argc, argv, "--no-checkpoint");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
         return 1;
@@ -521,6 +628,9 @@ int main(int argc, char** argv)
     }
     if (pairs) {
         sections.push_back(run_pairs_bench());
+    }
+    if (checkpoint) {
+        sections.push_back(run_checkpoint_bench());
     }
     if (!sections.empty()) {
         std::ofstream json{"BENCH_speed.json"};

@@ -14,6 +14,11 @@
 ///
 /// Characterized models are cached in the model library directory
 /// (default ./hdpm_models), so repeated estimates are instant.
+///
+/// Exit codes: 0 = success; 1 = runtime failure; 2 = usage error;
+/// 3 = characterization completed but degraded (some stimulus shards
+/// failed and were skipped — the model is usable but has reduced
+/// coverage; rerun with --strict to turn the first failure fatal).
 
 #include <array>
 #include <cstdlib>
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "core/hdpower.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -37,14 +43,19 @@ namespace {
               << "  info <module> <width...>\n"
               << "  characterize <module> <width...> [--models DIR] [--budget N] "
                  "[--enhanced [K]] [--threads N] [--warmup batched|per-record]\n"
+                 "                                   [--checkpoint FILE] [--strict]\n"
               << "  estimate <module> <width...> --data <I..V> [--patterns N] "
                  "[--models DIR] [--verify] [--threads N]\n"
               << "  report <module> <width...> --data <I..V> [--patterns N] [--top K]\n"
               << "  sweep <module> <wmin> <wmax> --data <I..V> [--models DIR] "
                  "[--budget N] [--threads N]\n"
               << "--threads 0 (the default) uses every hardware thread;\n"
-              << "characterization results are bit-identical for any thread count\n"
-              << "and either warm-up mode.\n";
+              << "characterization results are bit-identical for any thread count,\n"
+              << "either warm-up mode, and with or without a checkpoint journal.\n"
+              << "--checkpoint FILE journals completed shards crash-safely so a\n"
+              << "killed run resumes where it stopped; --strict makes the first\n"
+              << "shard failure fatal instead of degrading coverage.\n"
+              << "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 completed degraded\n";
     std::exit(2);
 }
 
@@ -69,6 +80,8 @@ struct Cli {
     std::size_t top_k = 10;
     unsigned threads = 0;
     core::WarmupMode warmup = core::WarmupMode::Batched;
+    std::string checkpoint;
+    bool strict = false;
     bool enhanced = false;
     int zero_clusters = 0;
     bool verify = false;
@@ -122,6 +135,10 @@ Cli parse_module_args(int argc, char** argv, int start)
                           << "' (use batched or per-record)\n";
                 std::exit(2);
             }
+        } else if (flag == "--checkpoint") {
+            cli.checkpoint = next();
+        } else if (flag == "--strict") {
+            cli.strict = true;
         } else if (flag == "--data") {
             cli.data = parse_data_type(next());
             cli.has_data = true;
@@ -147,7 +164,27 @@ core::CharacterizationOptions char_options(const Cli& cli)
     options.min_transitions = cli.budget / 2;
     options.threads = cli.threads;
     options.warmup = cli.warmup;
+    options.checkpoint = cli.checkpoint;
+    options.strict_faults = cli.strict;
     return options;
+}
+
+/// Print any shard failures a (non-strict) run captured; true when the run
+/// completed degraded — the CLI then exits 3 so scripts can tell a clean
+/// model from a reduced-coverage one.
+bool report_shard_failures(const core::CharRunStats& stats)
+{
+    if (stats.shard_failures.empty()) {
+        return false;
+    }
+    std::cerr << "warning: " << stats.shard_failures.size()
+              << " stimulus shard(s) failed and were skipped:\n";
+    for (const auto& failure : stats.shard_failures) {
+        std::cerr << "  shard " << failure.shard << " ["
+                  << util::fault_kind_name(failure.kind) << "]: " << failure.message
+                  << '\n';
+    }
+    return true;
 }
 
 /// Progress ticker on stderr: one carriage-return-updated line (callers
@@ -218,12 +255,14 @@ int cmd_characterize(const Cli& cli)
     options.progress = stderr_progress();
     options.stats = &stats;
 
+    bool degraded = false;
     if (cli.enhanced) {
         const core::EnhancedHdModel model = library.get_or_characterize_enhanced(
             cli.module_type, cli.widths, cli.zero_clusters, options);
         if (stats.records > 0) {
             std::cerr << '\n';
         }
+        degraded = report_shard_failures(stats);
         std::cout << "enhanced model ready: m = " << model.input_bits() << ", "
                   << model.num_coefficients() << " coefficients, average deviation "
                   << 100.0 * model.average_deviation() << "%\n";
@@ -249,24 +288,33 @@ int cmd_characterize(const Cli& cli)
         if (stats.records > 0) {
             std::cerr << '\n';
         }
+        degraded = report_shard_failures(stats);
         std::cout << "basic model ready: m = " << model.input_bits()
                   << ", average deviation " << 100.0 * model.average_deviation() << "%\n";
 
         // A fresh record set for the auditable quality report (the stored
-        // model only keeps the fitted figures).
+        // model only keeps the fitted figures). The report run never
+        // journals: it must not consume or replace the model run's
+        // checkpoint.
         const dp::DatapathModule module = dp::make_module(cli.module_type, cli.widths);
         const core::Characterizer characterizer;
         core::CharacterizationOptions report_options = char_options(cli);
+        report_options.checkpoint.clear();
         core::CharRunStats report_stats;
         report_options.stats = &report_stats;
         const auto records = characterizer.collect_records(module, report_options);
+        degraded = report_shard_failures(report_stats) || degraded;
         core::print_characterization_report(
             std::cout, core::summarize_characterization(module.total_input_bits(),
                                                         records, report_stats));
     }
+    if (stats.shards_resumed > 0) {
+        std::cout << "resumed " << stats.shards_resumed
+                  << " shard(s) from checkpoint journal\n";
+    }
     std::cout << "stored under " << library.directory().string() << '/'
               << library.model_key(cli.module_type, cli.widths) << ".*\n";
-    return 0;
+    return degraded ? 3 : 0;
 }
 
 int cmd_estimate(const Cli& cli)
@@ -419,6 +467,13 @@ int main(int argc, char** argv)
             return cmd_sweep(cli);
         }
         usage(argv[0]);
+    } catch (const util::FaultError& error) {
+        // Structured failures carry the where (module, bit-width, shard)
+        // and — for simulation faults — the exact (u, v) vector pair to
+        // replay; keep that machine-locatable detail on one line.
+        std::cerr << "error [" << util::fault_kind_name(error.kind())
+                  << "]: " << error.context().describe() << '\n';
+        return 1;
     } catch (const std::exception& error) {
         std::cerr << "error: " << error.what() << '\n';
         return 1;

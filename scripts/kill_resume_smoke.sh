@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the checkpointed characterization runtime.
+#
+# Runs an uninterrupted reference characterization, then a checkpointed run
+# that is SIGKILLed as soon as the journal appears on disk, resumes it, and
+# requires the resumed model files to be byte-identical to the reference.
+# Also checks that the journal is retired after the clean finish.
+#
+# Usage: scripts/kill_resume_smoke.sh [BUILD_DIR]   (default: build)
+
+set -u -o pipefail
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/examples/hdpower_cli"
+MODULE="csa_multiplier"
+WIDTH=16
+BUDGET=6000
+
+if [[ ! -x "$CLI" ]]; then
+    echo "error: $CLI not found or not executable (build the examples first)" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+JOURNAL="$WORK/ckpt.journal"
+
+# --enhanced keeps the run on the single pairs-mode collection pass, so the
+# checkpoint journal belongs to exactly one collect_records invocation.
+run_characterize() {
+    local models_dir="$1"
+    shift
+    "$CLI" characterize "$MODULE" "$WIDTH" --enhanced --budget "$BUDGET" \
+        --models "$models_dir" "$@"
+}
+
+echo "== reference run (uninterrupted) =="
+run_characterize "$WORK/ref_models" || exit 1
+
+echo "== checkpointed run, killed mid-flight =="
+interrupted=0
+for attempt in 1 2 3; do
+    rm -rf "$WORK/res_models" "$JOURNAL"
+    # Background the binary itself (not a shell function) so $! is the CLI
+    # process and kill -9 actually hits it.
+    "$CLI" characterize "$MODULE" "$WIDTH" --enhanced --budget "$BUDGET" \
+        --models "$WORK/res_models" --checkpoint "$JOURNAL" &
+    pid=$!
+    # Wait for the first journal publish, then kill hard. If the run is too
+    # fast and finishes first, the journal is retired and we retry.
+    for _ in $(seq 1 2000); do
+        if [[ -f "$JOURNAL" ]] || ! kill -0 "$pid" 2>/dev/null; then
+            break
+        fi
+        sleep 0.005
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid"
+        wait "$pid" 2>/dev/null
+        if [[ -f "$JOURNAL" ]]; then
+            interrupted=1
+            break
+        fi
+        echo "(attempt $attempt: killed before the first publish, retrying)"
+    else
+        wait "$pid" 2>/dev/null
+        echo "(attempt $attempt: run finished before we could kill it, retrying)"
+    fi
+done
+
+if [[ "$interrupted" -ne 1 ]]; then
+    echo "error: could not interrupt a run with a published journal" >&2
+    exit 1
+fi
+echo "journal survives the kill: $(wc -c < "$JOURNAL") bytes"
+
+echo "== resumed run =="
+resume_log="$WORK/resume.log"
+run_characterize "$WORK/res_models" --checkpoint "$JOURNAL" | tee "$resume_log" || exit 1
+
+if ! grep -q "resumed" "$resume_log"; then
+    echo "error: resumed run did not report resuming from the journal" >&2
+    exit 1
+fi
+if [[ -f "$JOURNAL" ]]; then
+    echo "error: journal was not retired after the clean finish" >&2
+    exit 1
+fi
+
+echo "== comparing model files =="
+status=0
+count=0
+for ref in "$WORK"/ref_models/*; do
+    name="$(basename "$ref")"
+    if ! cmp -s "$ref" "$WORK/res_models/$name"; then
+        echo "MISMATCH: $name differs between reference and resumed run" >&2
+        status=1
+    fi
+    count=$((count + 1))
+done
+if [[ "$count" -eq 0 ]]; then
+    echo "error: reference run produced no model files" >&2
+    exit 1
+fi
+
+if [[ "$status" -eq 0 ]]; then
+    echo "OK: $count model file(s) byte-identical after kill + resume"
+fi
+exit "$status"

@@ -4,12 +4,16 @@
 #include <array>
 #include <chrono>
 #include <cmath>
+#include <exception>
 #include <optional>
 #include <utility>
 
+#include "core/checkpoint.hpp"
+#include "core/model_library.hpp"
 #include "sim/batched.hpp"
 #include "sim/sim_context.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -131,6 +135,13 @@ ShardResult run_shard(const sim::SimContext& context, int m, StimulusMode mode,
                       const sim::EventSimOptions& sim_options, std::size_t shard,
                       std::size_t count)
 {
+    if (HDPM_FAULT_FIRE(util::FaultPoint::ShardException)) {
+        util::FaultContext context;
+        context.shard = static_cast<std::int64_t>(shard);
+        context.detail = "injected shard failure";
+        throw util::FaultError{util::FaultKind::ShardFailed, std::move(context)};
+    }
+
     ShardResult out;
     out.records.reserve(count);
 
@@ -278,6 +289,39 @@ ShardResult run_shard(const sim::SimContext& context, int m, StimulusMode mode,
     return out;
 }
 
+/// A run_shard call's outcome: the shard result, or the exception it threw
+/// (captured so a failing shard never takes its wave's siblings down with
+/// it — the merge loop decides whether to rethrow or degrade).
+struct ShardOutcome {
+    std::optional<ShardResult> result;
+    std::exception_ptr error;
+};
+
+/// The checkpoint journal's module identity: type id plus operand widths
+/// (one whitespace-free token, e.g. "csa_multiplier_16x16"), so a journal
+/// can never resume against a different instance that happens to share m.
+std::string checkpoint_module_key(const dp::DatapathModule& module)
+{
+    std::string key = module.netlist().name();
+    for (std::size_t i = 0; i < module.operand_widths().size(); ++i) {
+        key += i == 0 ? '_' : 'x';
+        key += std::to_string(module.operand_widths()[i]);
+    }
+    return key;
+}
+
+/// Set a malformed journal aside as <path>.corrupt (never resume from bad
+/// state, never destroy the evidence); fall back to removal if the rename
+/// itself fails.
+void quarantine_checkpoint(const std::filesystem::path& path)
+{
+    std::error_code ec;
+    std::filesystem::rename(path, path.string() + ".corrupt", ec);
+    if (ec) {
+        std::filesystem::remove(path, ec);
+    }
+}
+
 } // namespace
 
 std::vector<CharacterizationRecord> Characterizer::collect_records(
@@ -286,6 +330,7 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
     const int m = module.total_input_bits();
     HDPM_REQUIRE(m >= 1 && m <= BitVec::kMaxWidth, "module input width out of range");
     HDPM_REQUIRE(options.batch >= 1, "batch must be positive");
+    HDPM_REQUIRE(options.checkpoint_every >= 1, "checkpoint_every must be positive");
 
     const auto start = std::chrono::steady_clock::now();
     const StimulusMode mode = options.mode.value_or(StimulusMode::StratifiedChain);
@@ -320,11 +365,124 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
     std::size_t max_queue_depth = 0;
     bool stop = false;
 
-    // Run shards in waves of pool.size() and merge each wave in shard
-    // order. Convergence is evaluated over the merged stream at batch
-    // boundaries, so the stopping point — like every record before it — is
-    // a pure function of the stimulus plan.
-    for (std::size_t wave_start = 0; wave_start < num_shards && !stop;
+    // Checkpoint/resume setup. The journal is stamped with the same options
+    // fingerprint the model library uses plus the module identity; only a
+    // journal from the identical stimulus plan is resumed — anything else
+    // is a leftover of some other run and is discarded (corrupt journals
+    // are additionally quarantined for inspection).
+    const bool checkpointing = !options.checkpoint.empty();
+    CharCheckpoint journal;
+    std::vector<CheckpointShard> resumed_shards;
+    std::size_t checkpoints_published = 0;
+    bool checkpoint_discarded = false;
+    if (checkpointing) {
+        journal.fingerprint = characterization_fingerprint(options, sim_options_);
+        journal.module_key = checkpoint_module_key(module);
+        journal.input_bits = m;
+        {
+            // A .tmp sibling is the debris of a run killed mid-publish.
+            std::error_code ec;
+            std::filesystem::remove(options.checkpoint.string() + ".tmp", ec);
+        }
+        try {
+            if (auto loaded = load_checkpoint(options.checkpoint)) {
+                if (loaded->fingerprint == journal.fingerprint &&
+                    loaded->module_key == journal.module_key &&
+                    loaded->input_bits == m &&
+                    loaded->shards.size() <= num_shards) {
+                    resumed_shards = std::move(loaded->shards);
+                } else {
+                    checkpoint_discarded = true;
+                }
+            }
+        } catch (const util::FaultError& error) {
+            if (error.kind() != util::FaultKind::CheckpointCorrupt) {
+                throw;
+            }
+            quarantine_checkpoint(options.checkpoint);
+            checkpoint_discarded = true;
+        }
+    }
+
+    std::vector<ShardFailure> shard_failures;
+    std::exception_ptr first_failure;
+
+    // Merge one shard's record block into the result stream, evaluating
+    // convergence at batch boundaries. Replayed journal shards pass through
+    // the identical code path as freshly simulated ones, which is what
+    // makes a resumed run reproduce the uninterrupted record stream — the
+    // stopping point included — bit for bit.
+    const auto merge_block = [&](const std::vector<CharacterizationRecord>& block) {
+        for (const CharacterizationRecord& rec : block) {
+            monitor.add(static_cast<std::size_t>(rec.hd - 1), rec.charge_fc);
+            records.push_back(rec);
+            if (++since_check >= options.batch) {
+                since_check = 0;
+                const double drift = monitor.drift_and_snapshot();
+                if (records.size() >= options.min_transitions &&
+                    drift < options.tolerance) {
+                    stop = true;
+                    break;
+                }
+            }
+        }
+    };
+    const auto report_progress = [&] {
+        if (options.progress) {
+            options.progress(CharProgress{shards_merged, num_shards, records.size(),
+                                          options.max_transitions});
+        }
+    };
+
+    // A propagating shard failure is tagged with its location before any
+    // further handling, so strict aborts and captured degradations both
+    // point at the exact (module, bitwidth, shard) to replay.
+    const auto handle_shard_failure = [&](std::size_t shard,
+                                          std::exception_ptr error) {
+        if (first_failure == nullptr) {
+            first_failure = error;
+        }
+        try {
+            std::rethrow_exception(error);
+        } catch (util::FaultError& fault) {
+            fault.context().shard = static_cast<std::int64_t>(shard);
+            fault.context().bitwidth = m;
+            if (fault.context().component.empty()) {
+                fault.context().component = checkpoint_module_key(module);
+            }
+            if (options.strict_faults) {
+                throw;
+            }
+            shard_failures.push_back(
+                ShardFailure{shard, fault.kind(), fault.what()});
+        } catch (const std::exception& e) {
+            if (options.strict_faults) {
+                throw;
+            }
+            shard_failures.push_back(
+                ShardFailure{shard, util::FaultKind::ShardFailed, e.what()});
+        }
+    };
+
+    // Replay the journaled prefix through the merge loop (no simulation).
+    const std::size_t resumed_count = resumed_shards.size();
+    for (CheckpointShard& shard : resumed_shards) {
+        merge_block(shard.records);
+        journal.shards.push_back(std::move(shard));
+        ++shards_merged;
+        report_progress();
+        if (stop) {
+            break;
+        }
+    }
+    const std::size_t shards_resumed = shards_merged;
+    std::size_t unpublished = 0;
+
+    // Run the remaining shards in waves of pool.size() and merge each wave
+    // in shard order. Convergence is evaluated over the merged stream at
+    // batch boundaries, so the stopping point — like every record before it
+    // — is a pure function of the stimulus plan.
+    for (std::size_t wave_start = resumed_count; wave_start < num_shards && !stop;
          wave_start += pool.size()) {
         const std::size_t wave =
             std::min<std::size_t>(pool.size(), num_shards - wave_start);
@@ -332,38 +490,62 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
             const std::size_t shard = wave_start + i;
             const std::size_t planned =
                 std::min(shard_size, options.max_transitions - shard * shard_size);
-            return run_shard(context, m, mode, options, sim_options_, shard, planned);
+            ShardOutcome outcome;
+            try {
+                outcome.result =
+                    run_shard(context, m, mode, options, sim_options_, shard, planned);
+            } catch (...) {
+                outcome.error = std::current_exception();
+            }
+            return outcome;
         });
 
-        for (auto& result : results) {
-            for (const CharacterizationRecord& rec : result.records) {
-                monitor.add(static_cast<std::size_t>(rec.hd - 1), rec.charge_fc);
-                records.push_back(rec);
-                if (++since_check >= options.batch) {
-                    since_check = 0;
-                    const double drift = monitor.drift_and_snapshot();
-                    if (records.size() >= options.min_transitions &&
-                        drift < options.tolerance) {
-                        stop = true;
-                        break;
-                    }
+        for (std::size_t i = 0; i < results.size() && !stop; ++i) {
+            const std::size_t shard = wave_start + i;
+            ShardOutcome& outcome = results[i];
+            if (outcome.error != nullptr) {
+                handle_shard_failure(shard, outcome.error);
+                // The journal stays a contiguous prefix: a failed shard is
+                // recorded as an empty block (resuming past it reproduces
+                // this degraded run's record stream).
+                if (checkpointing) {
+                    journal.shards.push_back(CheckpointShard{shard, {}});
+                    ++unpublished;
+                }
+            } else {
+                ShardResult& result = *outcome.result;
+                merge_block(result.records);
+                sim_transitions += result.sim_transitions;
+                sim_events += result.kernel.events_processed;
+                warmup_vectors += result.warmup_vectors;
+                warmup_batches += result.warmup_batches;
+                max_queue_depth =
+                    std::max(max_queue_depth, result.kernel.max_queue_depth);
+                ++shards_merged;
+                if (checkpointing) {
+                    journal.shards.push_back(
+                        CheckpointShard{shard, std::move(result.records)});
+                    ++unpublished;
                 }
             }
-            sim_transitions += result.sim_transitions;
-            sim_events += result.kernel.events_processed;
-            warmup_vectors += result.warmup_vectors;
-            warmup_batches += result.warmup_batches;
-            max_queue_depth = std::max(max_queue_depth, result.kernel.max_queue_depth);
-            ++shards_merged;
-            if (options.progress) {
-                options.progress(CharProgress{shards_merged, num_shards,
-                                              records.size(),
-                                              options.max_transitions});
-            }
-            if (stop) {
-                break;
+            report_progress();
+            if (checkpointing && !stop && unpublished >= options.checkpoint_every) {
+                save_checkpoint(options.checkpoint, journal);
+                unpublished = 0;
+                ++checkpoints_published;
             }
         }
+    }
+
+    if (records.empty() && first_failure != nullptr) {
+        // Degraded continuation produced nothing at all — that is not a
+        // result, it is the first failure wearing a disguise.
+        std::rethrow_exception(first_failure);
+    }
+    if (checkpointing) {
+        // The run is complete; the journal has served its purpose.
+        std::error_code ec;
+        std::filesystem::remove(options.checkpoint, ec);
     }
 
     if (options.stats != nullptr) {
@@ -384,6 +566,10 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
         options.stats->threads = pool.size();
         options.stats->warmup_vectors = warmup_vectors;
         options.stats->warmup_batches = warmup_batches;
+        options.stats->shard_failures = std::move(shard_failures);
+        options.stats->shards_resumed = shards_resumed;
+        options.stats->checkpoints_published = checkpoints_published;
+        options.stats->checkpoint_discarded = checkpoint_discarded;
     }
     return records;
 }

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/enhanced_model.hpp"
@@ -10,6 +12,7 @@
 #include "dpgen/module.hpp"
 #include "gatelib/techlib.hpp"
 #include "sim/event_sim.hpp"
+#include "util/fault.hpp"
 
 namespace hdpm::core {
 
@@ -50,10 +53,22 @@ enum class WarmupMode {
     PerRecord,
 };
 
+/// One stimulus-shard failure captured by a non-strict run. The shard
+/// index plus the run's (seed, shard_size) locate the exact stimulus
+/// stream, so a captured failure can be replayed in isolation by re-running
+/// just that shard.
+struct ShardFailure {
+    std::size_t shard = 0; ///< stimulus shard index in the plan
+    util::FaultKind kind = util::FaultKind::ShardFailed;
+    std::string message; ///< the failure's what() text
+};
+
 /// Wall-clock and volume counters of one characterization run, filled when
 /// CharacterizationOptions::stats points at an instance. Only counters of
 /// work that contributed to the result are reported (shards simulated ahead
-/// of a convergence stop and then discarded are not).
+/// of a convergence stop and then discarded are not; shards replayed from a
+/// checkpoint journal were simulated by the interrupted run, so they count
+/// toward records/shards but not toward this run's simulation counters).
 struct CharRunStats {
     double collect_wall_ms = 0.0; ///< record-collection (simulation) wall time
     double fit_wall_ms = 0.0;     ///< coefficient-fitting wall time
@@ -66,6 +81,13 @@ struct CharRunStats {
     unsigned threads = 1;         ///< worker threads used
     std::uint64_t warmup_vectors = 0; ///< pairs-mode warm-up vectors settled
     std::uint64_t warmup_batches = 0; ///< 64-lane batched warm-up settle passes
+
+    /// Shards that failed and were skipped (non-strict runs only; empty
+    /// means the run completed clean).
+    std::vector<ShardFailure> shard_failures;
+    std::size_t shards_resumed = 0; ///< shards replayed from a checkpoint journal
+    std::size_t checkpoints_published = 0; ///< journal publishes this run
+    bool checkpoint_discarded = false; ///< a stale or corrupt journal was set aside
 };
 
 /// Progress of a characterization run, reported once per merged shard.
@@ -113,6 +135,29 @@ struct CharacterizationOptions {
     /// either value (see WarmupMode).
     WarmupMode warmup = WarmupMode::Batched;
 
+    /// Checkpoint journal path (empty = no checkpointing). When set, the
+    /// merged record prefix is published crash-safely (sibling .tmp +
+    /// atomic rename, stamped with the run's options fingerprint and the
+    /// module identity) every checkpoint_every merged shards. A later run
+    /// with the same stimulus plan resumes from the journal and produces
+    /// bit-identical records; the journal is deleted once the run
+    /// completes. A journal from a different plan or module is discarded;
+    /// a corrupt one is quarantined with a ".corrupt" suffix. Like threads
+    /// and warmup, this knob is execution-only: it never changes the
+    /// records and is excluded from the options fingerprint.
+    std::filesystem::path checkpoint;
+
+    /// Merged shards between checkpoint publishes (must be >= 1).
+    std::size_t checkpoint_every = 1;
+
+    /// When true, the first failing shard aborts the whole run (the
+    /// historical behaviour). When false — the default — a shard failure
+    /// is captured in CharRunStats::shard_failures with its fault kind and
+    /// the sibling shards continue, so one poisoned stimulus region
+    /// degrades coverage instead of losing the run. A run in which *no*
+    /// shard succeeds still throws the first failure.
+    bool strict_faults = false;
+
     ProgressFn progress;           ///< per-merged-shard progress callback
     CharRunStats* stats = nullptr; ///< filled with run counters when non-null
 };
@@ -157,6 +202,13 @@ public:
     /// for any options.threads value.
     [[nodiscard]] std::vector<CharacterizationRecord> collect_records(
         const dp::DatapathModule& module, const CharacterizationOptions& options) const;
+
+    /// The reference-simulation physics this characterizer runs under (used
+    /// e.g. to fingerprint checkpoint journals).
+    [[nodiscard]] const sim::EventSimOptions& sim_options() const noexcept
+    {
+        return sim_options_;
+    }
 
 private:
     const gate::TechLibrary* library_;

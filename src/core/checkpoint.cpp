@@ -1,0 +1,192 @@
+#include "core/checkpoint.hpp"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+
+#include "util/fault.hpp"
+
+namespace hdpm::core {
+
+using util::FaultContext;
+using util::FaultError;
+using util::FaultKind;
+using util::FaultPoint;
+
+namespace {
+
+constexpr std::string_view kMagic = "hdpm_checkpoint";
+constexpr int kVersion = 1;
+
+[[noreturn]] void corrupt(const std::filesystem::path& path, std::string detail)
+{
+    FaultContext context;
+    context.component = path.string();
+    context.detail = std::move(detail);
+    throw FaultError{FaultKind::CheckpointCorrupt, std::move(context)};
+}
+
+std::string hex64(std::uint64_t value)
+{
+    char buf[17];
+    for (int i = 15; i >= 0; --i) {
+        buf[15 - i] = "0123456789abcdef"[(value >> (4 * i)) & 0xf];
+    }
+    buf[16] = '\0';
+    return buf;
+}
+
+} // namespace
+
+std::size_t CharCheckpoint::total_records() const
+{
+    std::size_t total = 0;
+    for (const CheckpointShard& shard : shards) {
+        total += shard.records.size();
+    }
+    return total;
+}
+
+void save_checkpoint(const std::filesystem::path& path,
+                     const CharCheckpoint& checkpoint)
+{
+    // Serialize fully in memory first: the journal is then written with a
+    // single stream insert and published with an atomic rename, the same
+    // discipline the model library uses for .hdm files. Charges round-trip
+    // as raw IEEE-754 bit patterns — resume must be bit-identical, and
+    // decimal round trips are one rounding slip away from not being.
+    std::ostringstream os;
+    os << kMagic << ' ' << kVersion << '\n';
+    os << "fingerprint " << hex64(checkpoint.fingerprint) << '\n';
+    os << "module " << checkpoint.module_key << " m " << checkpoint.input_bits << '\n';
+    for (const CheckpointShard& shard : checkpoint.shards) {
+        os << "shard " << shard.index << ' ' << shard.records.size() << '\n';
+        for (const CharacterizationRecord& rec : shard.records) {
+            os << rec.hd << ' ' << rec.stable_zeros << ' '
+               << hex64(std::bit_cast<std::uint64_t>(rec.charge_fc)) << ' '
+               << hex64(rec.toggle_mask) << '\n';
+        }
+    }
+    os << "end\n";
+    std::string payload = os.str();
+    HDPM_FAULT_MUTATE(FaultPoint::CheckpointShortWrite, payload);
+
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    {
+        std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+        if (!out) {
+            FaultContext context;
+            context.component = tmp.string();
+            context.detail = "cannot open checkpoint tmp file for writing";
+            throw FaultError{FaultKind::IoError, std::move(context)};
+        }
+        out << payload;
+        out.flush();
+        if (!out) {
+            FaultContext context;
+            context.component = tmp.string();
+            context.detail = "short write publishing checkpoint";
+            throw FaultError{FaultKind::IoError, std::move(context)};
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        FaultContext context;
+        context.component = path.string();
+        context.detail = "cannot publish checkpoint: " + ec.message();
+        throw FaultError{FaultKind::IoError, std::move(context)};
+    }
+}
+
+std::optional<CharCheckpoint> load_checkpoint(const std::filesystem::path& path)
+{
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+        return std::nullopt;
+    }
+
+    const auto parse_hex64 = [&](const std::string& text,
+                                 const char* what) -> std::uint64_t {
+        if (text.size() != 16) {
+            corrupt(path, std::string{"malformed "} + what);
+        }
+        std::uint64_t value = 0;
+        for (const char c : text) {
+            value <<= 4;
+            if (c >= '0' && c <= '9') {
+                value |= static_cast<std::uint64_t>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                value |= static_cast<std::uint64_t>(c - 'a' + 10);
+            } else {
+                corrupt(path, std::string{"malformed "} + what);
+            }
+        }
+        return value;
+    };
+
+    std::string tag;
+    int version = 0;
+    in >> tag >> version;
+    if (!in || tag != kMagic || version != kVersion) {
+        corrupt(path, "bad magic/version header");
+    }
+
+    CharCheckpoint checkpoint;
+    std::string hex;
+    in >> tag >> hex;
+    if (!in || tag != "fingerprint") {
+        corrupt(path, "missing fingerprint header");
+    }
+    checkpoint.fingerprint = parse_hex64(hex, "fingerprint");
+
+    std::string mtag;
+    in >> tag >> checkpoint.module_key >> mtag >> checkpoint.input_bits;
+    if (!in || tag != "module" || mtag != "m" || checkpoint.input_bits < 1) {
+        corrupt(path, "malformed module header");
+    }
+
+    for (;;) {
+        in >> tag;
+        if (!in) {
+            corrupt(path, "truncated journal (missing 'end')");
+        }
+        if (tag == "end") {
+            break;
+        }
+        if (tag != "shard") {
+            corrupt(path, "unexpected token '" + tag + "'");
+        }
+        CheckpointShard shard;
+        std::size_t count = 0;
+        in >> shard.index >> count;
+        if (!in) {
+            corrupt(path, "malformed shard header");
+        }
+        // Shards are merged — and therefore journaled — strictly in plan
+        // order, so anything else is damage, not a valid journal.
+        if (shard.index != checkpoint.shards.size()) {
+            corrupt(path, "shard indices are not a contiguous prefix");
+        }
+        shard.records.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            CharacterizationRecord rec;
+            std::string charge_hex;
+            std::string mask_hex;
+            in >> rec.hd >> rec.stable_zeros >> charge_hex >> mask_hex;
+            if (!in || rec.hd < 1 || rec.hd > checkpoint.input_bits ||
+                rec.stable_zeros < 0 ||
+                rec.stable_zeros > checkpoint.input_bits - rec.hd) {
+                corrupt(path, "malformed record in shard " +
+                                  std::to_string(shard.index));
+            }
+            rec.charge_fc = std::bit_cast<double>(parse_hex64(charge_hex, "charge"));
+            rec.toggle_mask = parse_hex64(mask_hex, "toggle mask");
+            shard.records.push_back(rec);
+        }
+        checkpoint.shards.push_back(std::move(shard));
+    }
+    return checkpoint;
+}
+
+} // namespace hdpm::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hpp"
+
+namespace hdpm::core {
+
+/// One completed stimulus shard's record block, as stored in a
+/// characterization checkpoint journal.
+struct CheckpointShard {
+    std::size_t index = 0; ///< shard index in the stimulus plan
+    std::vector<CharacterizationRecord> records;
+};
+
+/// A crash-safe characterization checkpoint: the completed prefix of a
+/// run's stimulus plan, stamped with the same options fingerprint the
+/// model library uses (plus the module key), so a journal can never be
+/// resumed against a different module or a changed stimulus plan.
+///
+/// Because shards are independent and merged strictly in shard order, the
+/// journal is always a prefix [0, shards.size()) of the plan: replaying it
+/// through the merge loop and simulating the remaining shards reproduces
+/// the record stream of an uninterrupted run bit-identically (charges are
+/// stored as raw IEEE-754 bit patterns, so the round trip is exact).
+struct CharCheckpoint {
+    std::uint64_t fingerprint = 0; ///< characterization_fingerprint of the run
+    std::string module_key;        ///< module identity (name + widths)
+    int input_bits = 0;            ///< m, a cheap second identity check
+    std::vector<CheckpointShard> shards;
+
+    /// Total records across all stored shards.
+    [[nodiscard]] std::size_t total_records() const;
+};
+
+/// Atomically publish @p checkpoint to @p path (write a sibling .tmp, then
+/// rename), so a reader — or a resumed run — never observes a half-written
+/// journal. Throws FaultError(IoError) when the filesystem refuses.
+void save_checkpoint(const std::filesystem::path& path,
+                     const CharCheckpoint& checkpoint);
+
+/// Load a journal written by save_checkpoint. Returns nullopt when @p path
+/// does not exist; throws FaultError(CheckpointCorrupt) when the file
+/// exists but is malformed (e.g. the short write of a killed run under a
+/// non-atomic filesystem, or bit rot).
+[[nodiscard]] std::optional<CharCheckpoint> load_checkpoint(
+    const std::filesystem::path& path);
+
+} // namespace hdpm::core

@@ -1,11 +1,14 @@
 #include "core/enhanced_model.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace hdpm::core {
 
@@ -224,7 +227,15 @@ EnhancedHdModel EnhancedHdModel::load(std::istream& is)
         if (tag == "fallback") {
             break;
         }
-        const int hd = std::stoi(tag);
+        // Parse the row's hd tag with from_chars, not stoi: a corrupted
+        // token must surface as the structured failure below, not as a
+        // std::invalid_argument that bypasses the quarantine handling.
+        int hd = 0;
+        const auto [ptr, err] =
+            std::from_chars(tag.data(), tag.data() + tag.size(), hd);
+        if (err != std::errc{} || ptr != tag.data() + tag.size()) {
+            HDPM_FAIL("malformed enhanced_hdmodel row tag '", tag, "'");
+        }
         std::size_t c = 0;
         double p = 0.0;
         double eps = 0.0;
@@ -233,6 +244,16 @@ EnhancedHdModel EnhancedHdModel::load(std::istream& is)
         if (!is || hd < 1 || hd > m ||
             c >= coeffs[static_cast<std::size_t>(hd - 1)].size()) {
             HDPM_FAIL("malformed enhanced_hdmodel row");
+        }
+        if (!std::isfinite(p) || !std::isfinite(eps)) {
+            util::FaultContext context;
+            context.component = "enhanced_hdmodel";
+            context.bitwidth = m;
+            context.detail = "non-finite coefficient in row (hd=" +
+                             std::to_string(hd) + ", cluster=" + std::to_string(c) +
+                             ")";
+            throw util::FaultError{util::FaultKind::ModelFileCorrupt,
+                                   std::move(context)};
         }
         coeffs[static_cast<std::size_t>(hd - 1)][c] = p;
         devs[static_cast<std::size_t>(hd - 1)][c] = eps;

@@ -1,9 +1,12 @@
 #include "core/hd_model.hpp"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/interp.hpp"
 
 namespace hdpm::core {
@@ -159,6 +162,16 @@ HdModel HdModel::load(std::istream& is)
         is >> idx >> p >> eps >> n;
         if (!is || idx != i) {
             HDPM_FAIL("malformed hdmodel row ", i);
+        }
+        if (!std::isfinite(p) || !std::isfinite(eps)) {
+            // A syntactically valid row can still carry rot: a NaN/inf
+            // coefficient would silently poison every later estimate.
+            util::FaultContext context;
+            context.component = "hdmodel";
+            context.bitwidth = m;
+            context.detail = "non-finite coefficient in row " + std::to_string(i);
+            throw util::FaultError{util::FaultKind::ModelFileCorrupt,
+                                   std::move(context)};
         }
         coeffs[static_cast<std::size_t>(i - 1)] = p;
         devs[static_cast<std::size_t>(i - 1)] = eps;

@@ -2,9 +2,11 @@
 
 #include <bit>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace hdpm::core {
 
@@ -68,7 +70,8 @@ std::uint64_t characterization_fingerprint(const CharacterizationOptions& option
     mix(sim_options.count_input_charge ? 1 : 0);
     mix(static_cast<std::uint64_t>(sim_options.inertial_window_ps));
     // Deliberately excluded (execution-only, results bit-identical):
-    // threads, warmup, scheduler, max_events_per_cycle, progress, stats.
+    // threads, warmup, scheduler, max_events_per_cycle, progress, stats,
+    // checkpoint/checkpoint_every (resume is bit-identical), strict_faults.
     return hash;
 }
 
@@ -83,6 +86,27 @@ ModelLibrary::ModelLibrary(std::filesystem::path directory,
         HDPM_FAIL("cannot create model library directory '", directory_.string(), "': ",
                   ec.message());
     }
+    // Sweep ".tmp" debris left by runs killed between write and rename. A
+    // .tmp never matched any probe (models are only read under their final
+    // name), so removal is always safe.
+    for (const auto& entry : std::filesystem::directory_iterator{directory_, ec}) {
+        if (entry.path().extension() == ".tmp") {
+            std::error_code remove_ec;
+            if (std::filesystem::remove(entry.path(), remove_ec)) {
+                stale_tmps_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+void ModelLibrary::quarantine(const std::filesystem::path& path) const
+{
+    std::error_code ec;
+    std::filesystem::rename(path, path.string() + ".corrupt", ec);
+    if (ec) {
+        std::filesystem::remove(path, ec);
+    }
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::string ModelLibrary::model_key(dp::ModuleType type,
@@ -144,7 +168,18 @@ Model ModelLibrary::load_or_build(const std::filesystem::path& path,
                 std::ifstream in{path};
                 if (in && consume_matching_header(in, fingerprint)) {
                     lock.unlock(); // complete + current: reading needs no lock
-                    return Model::load(in);
+                    try {
+                        return Model::load(in);
+                    } catch (const util::RuntimeError&) {
+                        // Current fingerprint but unparseable payload:
+                        // truncation or bit rot behind a valid header.
+                        // Quarantine the file and loop back — the probe now
+                        // misses, so some caller becomes the rebuild leader
+                        // and the store heals itself.
+                        in.close();
+                        quarantine(path);
+                        continue;
+                    }
                 }
                 // Missing, legacy (no header) or characterized under other
                 // options: this caller becomes the rebuild leader.
@@ -158,17 +193,24 @@ Model ModelLibrary::load_or_build(const std::filesystem::path& path,
     }
     try {
         Model model = build();
-        // Write to a sibling temp file and publish with an atomic rename,
-        // so no reader — in this process or another sharing the directory —
-        // can ever observe a partially written model.
+        // Serialize to memory, then write a sibling temp file and publish
+        // with an atomic rename, so no reader — in this process or another
+        // sharing the directory — can ever observe a partially written
+        // model. The in-memory payload is also where the fault-injection
+        // hooks corrupt (truncate / bit-flip) a model on its way to disk.
+        std::ostringstream serialized;
+        serialized << fingerprint_header_line(fingerprint);
+        model.save(serialized);
+        std::string payload = serialized.str();
+        HDPM_FAULT_MUTATE(util::FaultPoint::ModelShortWrite, payload);
+        HDPM_FAULT_MUTATE(util::FaultPoint::ModelBitFlip, payload);
         const std::filesystem::path tmp = path.string() + ".tmp";
         {
             std::ofstream out{tmp};
             if (!out) {
                 HDPM_FAIL("cannot write model file '", tmp.string(), "'");
             }
-            out << fingerprint_header_line(fingerprint);
-            model.save(out);
+            out << payload;
             out.flush();
             if (!out) {
                 HDPM_FAIL("failed writing model file '", tmp.string(), "'");
@@ -225,7 +267,7 @@ void ModelLibrary::clear() const
 {
     for (const auto& entry : std::filesystem::directory_iterator{directory_}) {
         const std::string ext = entry.path().extension().string();
-        if (ext == ".hdm" || ext == ".ehdm") {
+        if (ext == ".hdm" || ext == ".ehdm" || ext == ".corrupt") {
             std::filesystem::remove(entry.path());
         }
     }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <filesystem>
 #include <future>
 #include <mutex>
@@ -44,6 +45,14 @@ namespace hdpm::core {
 /// is only reused when the requested options hash to the same fingerprint;
 /// a mismatch (or a legacy header-less file) triggers recharacterization,
 /// so stale coefficients can never leak across an options change.
+///
+/// Degradation: a file whose fingerprint header matches but whose payload
+/// fails to parse (truncation, bit rot, non-finite coefficients) is
+/// quarantined — renamed with a ".corrupt" suffix for inspection — and the
+/// model is recharacterized, so a damaged store degrades to a slower run,
+/// never to a failed or wrong one. Stale ".tmp" debris from killed runs is
+/// swept on open. Both events are counted (models_quarantined /
+/// stale_tmps_removed) rather than silent.
 class ModelLibrary {
 public:
     /// Open (creating if needed) a model library directory.
@@ -77,6 +86,18 @@ public:
         return directory_;
     }
 
+    /// Corrupt model files set aside (".corrupt") by this instance.
+    [[nodiscard]] std::uint64_t models_quarantined() const noexcept
+    {
+        return quarantined_.load(std::memory_order_relaxed);
+    }
+
+    /// Stale ".tmp" files swept when the directory was opened.
+    [[nodiscard]] std::uint64_t stale_tmps_removed() const noexcept
+    {
+        return stale_tmps_.load(std::memory_order_relaxed);
+    }
+
 private:
     [[nodiscard]] std::filesystem::path basic_path(dp::ModuleType type,
                                                    std::span<const int> widths) const;
@@ -93,9 +114,15 @@ private:
     [[nodiscard]] Model load_or_build(const std::filesystem::path& path,
                                       std::uint64_t fingerprint, BuildFn&& build) const;
 
+    /// Set a corrupt model file aside as <path>.corrupt (never reuse bad
+    /// state, never destroy the evidence) and count the quarantine.
+    void quarantine(const std::filesystem::path& path) const;
+
     std::filesystem::path directory_;
     const gate::TechLibrary* library_;
     sim::EventSimOptions sim_options_;
+    mutable std::atomic<std::uint64_t> quarantined_{0};
+    mutable std::atomic<std::uint64_t> stale_tmps_{0};
 
     mutable std::mutex mutex_; ///< guards in_flight_
     /// Single-flight table: one pending characterization per model file.

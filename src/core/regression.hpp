@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <filesystem>
 #include <span>
 #include <vector>
 
@@ -52,6 +54,14 @@ public:
     /// Number of prototypes that contributed to coefficient index @p hd.
     [[nodiscard]] std::size_t samples_for(int hd) const;
 
+    /// True when the least-squares fit of index @p hd was ill-conditioned
+    /// (e.g. a degenerate prototype set) and degraded to the recorded
+    /// ridge-regularized solve.
+    [[nodiscard]] bool used_ridge_fallback(int hd) const;
+
+    /// Number of coefficient indices fitted via the ridge fallback.
+    [[nodiscard]] std::size_t ridge_fallback_count() const noexcept;
+
     /// Regression vector R_i (basis-term order of complexity_basis(type)).
     [[nodiscard]] std::span<const double> regression_vector(int hd) const;
 
@@ -69,6 +79,7 @@ private:
     dp::ModuleType type_{};
     std::vector<std::vector<double>> r_;   ///< per hd-1: basis-sized vector
     std::vector<std::size_t> samples_;     ///< prototypes per coefficient index
+    std::vector<std::uint8_t> ridge_;      ///< per hd-1: ridge fallback used
 };
 
 /// Total primary-input bit count of a module family instance (the m the
@@ -84,9 +95,17 @@ private:
 /// and options.threads, which is forced to 1 inside each characterization —
 /// the parallelism budget is spent across prototypes here, not within one.
 /// The prototype set is bit-identical for every thread count.
+///
+/// When @p journal is non-empty, every completed (module, width) prototype
+/// fit is published crash-safely to that path (stamped with the options
+/// fingerprint and module id); a later call with the same plan resumes the
+/// completed prototypes from the journal and characterizes only the
+/// missing ones, bit-identically. The journal is deleted once the full set
+/// is built; a stale or corrupt journal is discarded (corrupt ones are set
+/// aside with a ".corrupt" suffix).
 [[nodiscard]] std::vector<PrototypeModel> characterize_prototype_set(
     dp::ModuleType type, std::span<const int> widths,
     const Characterizer& characterizer, const CharacterizationOptions& options,
-    unsigned threads = 0);
+    unsigned threads = 0, const std::filesystem::path& journal = {});
 
 } // namespace hdpm::core

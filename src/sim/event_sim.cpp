@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
 #include "sim/vcd.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace hdpm::sim {
 
@@ -211,11 +213,35 @@ CycleResult EventSimulator::apply(const BitVec& inputs)
     HDPM_REQUIRE(inputs.width() == static_cast<int>(pis.size()), "netlist '",
                  netlist_->name(), "' has ", pis.size(), " inputs, pattern has ",
                  inputs.width(), " bits");
-    return options_.scheduler == SchedulerKind::BinaryHeap ? apply_heap(inputs)
-                                                           : apply_wheel(inputs);
+    // Record the cycle's (u, v) vector pair before any net toggles, so a
+    // budget-exceeded fault can report the exact transition to replay.
+    cycle_u_bits_ = 0;
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+        cycle_u_bits_ |= static_cast<std::uint64_t>(values_[pis[i]]) << i;
+    }
+    cycle_v_bits_ = inputs.raw();
+    const std::uint64_t budget = HDPM_FAULT_FIRE(util::FaultPoint::EventBudget)
+                                     ? 0
+                                     : options_.max_events_per_cycle;
+    return options_.scheduler == SchedulerKind::BinaryHeap ? apply_heap(inputs, budget)
+                                                           : apply_wheel(inputs, budget);
 }
 
-CycleResult EventSimulator::apply_wheel(const BitVec& inputs)
+void EventSimulator::fail_event_budget(const std::uint64_t budget) const
+{
+    util::FaultContext context;
+    context.component = netlist_->name();
+    context.bitwidth = static_cast<int>(netlist_->primary_inputs().size());
+    context.vector_u = cycle_u_bits_;
+    context.vector_v = cycle_v_bits_;
+    context.has_vectors = true;
+    context.detail = "event budget of " + std::to_string(budget) +
+                     " exceeded — runaway oscillation? replay the recorded "
+                     "(u, v) pair to reproduce";
+    throw util::FaultError{util::FaultKind::SimBudgetExceeded, std::move(context)};
+}
+
+CycleResult EventSimulator::apply_wheel(const BitVec& inputs, const std::uint64_t budget)
 {
     const CompiledNetlist& cn = context_->compiled();
     const auto& pis = netlist_->primary_inputs();
@@ -267,9 +293,8 @@ CycleResult EventSimulator::apply_wheel(const BitVec& inputs)
         const std::int64_t now = wheel_.advance();
         touched_.clear();
         for (const WheelEvent& ev : wheel_.bucket()) {
-            if (++processed > options_.max_events_per_cycle) {
-                HDPM_FAIL("event budget exceeded in '", netlist_->name(),
-                          "' — runaway simulation?");
+            if (++processed > budget) {
+                fail_event_budget(budget);
             }
             const NetId net = ev.net();
             NetSched& ns = sched_[net];
@@ -299,7 +324,7 @@ CycleResult EventSimulator::apply_wheel(const BitVec& inputs)
     return result;
 }
 
-CycleResult EventSimulator::apply_heap(const BitVec& inputs)
+CycleResult EventSimulator::apply_heap(const BitVec& inputs, const std::uint64_t budget)
 {
     const auto& pis = netlist_->primary_inputs();
     CycleResult result;
@@ -353,9 +378,8 @@ CycleResult EventSimulator::apply_heap(const BitVec& inputs)
         while (!queue_.empty() && queue_.top().time == now) {
             const HeapEvent ev = queue_.top();
             queue_.pop();
-            if (++processed > options_.max_events_per_cycle) {
-                HDPM_FAIL("event budget exceeded in '", netlist_->name(),
-                          "' — runaway simulation?");
+            if (++processed > budget) {
+                fail_event_budget(budget);
             }
             if (ev.generation != sched_[ev.net].generation) {
                 continue; // superseded by an inertial cancellation

@@ -45,7 +45,11 @@ struct EventSimOptions {
     /// glitch-model ablation sweeps this knob.
     std::int64_t inertial_window_ps = 100;
 
-    /// Safety valve against runaway simulations.
+    /// Safety valve against runaway simulations. Exceeding it throws a
+    /// util::FaultError of kind SimBudgetExceeded whose context carries the
+    /// cycle's exact (u, v) input vector pair, so the offending transition
+    /// can be replayed in isolation. The simulator itself stays usable: the
+    /// next initialize()/load_state() performs a full scheduler reset.
     std::uint64_t max_events_per_cycle = 50'000'000;
 
     /// Event-queue implementation (results are identical; see above).
@@ -243,8 +247,10 @@ private:
         std::size_t pending_ = 0;
     };
 
-    CycleResult apply_heap(const util::BitVec& inputs);
-    CycleResult apply_wheel(const util::BitVec& inputs);
+    CycleResult apply_heap(const util::BitVec& inputs, std::uint64_t budget);
+    CycleResult apply_wheel(const util::BitVec& inputs, std::uint64_t budget);
+    /// Throw the structured SimBudgetExceeded diagnostic for this cycle.
+    [[noreturn]] void fail_event_budget(std::uint64_t budget) const;
     /// The per-cycle scheduler reset shared by initialize and load_state.
     void reset_cycle_state();
     void toggle_net(netlist::NetId net, std::uint8_t value, std::int64_t time,
@@ -297,6 +303,13 @@ private:
     KernelStats stats_;
     std::vector<std::uint64_t> transition_count_;
     std::vector<double> charge_per_net_;
+
+    /// The current cycle's input vector pair (u = steady state before
+    /// apply, v = the applied vector), captured so a budget-exceeded fault
+    /// can name the exact transition to replay. Plain integer stores — no
+    /// allocation on the apply hot path.
+    std::uint64_t cycle_u_bits_ = 0;
+    std::uint64_t cycle_v_bits_ = 0;
 
     std::int64_t cycle_start_time_ = 0; ///< global time of the current cycle (for VCD)
     VcdWriter* tracer_ = nullptr;

@@ -1,6 +1,10 @@
 #include "util/linalg.hpp"
 
 #include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/fault.hpp"
 
 namespace hdpm::util {
 
@@ -62,6 +66,37 @@ std::vector<double> solve_linear(Matrix a, std::vector<double> b)
     const std::size_t n = a.rows();
     HDPM_REQUIRE(a.cols() == n && b.size() == n, "solve_linear needs a square system");
 
+    // Validate inputs and establish the problem scale in one pass: the
+    // singularity test below is relative to the largest matrix entry, so a
+    // well-conditioned system in attofarads passes and a rank-deficient one
+    // in kilofarads fails — unlike an absolute epsilon, which gets both
+    // wrong. Non-finite entries (NaN records, overflowed accumulators) are
+    // rejected up front instead of silently poisoning the solution.
+    double scale = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            const double v = a.at(r, c);
+            if (!std::isfinite(v)) {
+                FaultContext context;
+                context.component = "solve_linear";
+                context.detail = "non-finite matrix entry at (" + std::to_string(r) +
+                                 ", " + std::to_string(c) + ")";
+                throw FaultError{FaultKind::RegressionIllConditioned,
+                                 std::move(context)};
+            }
+            scale = std::max(scale, std::abs(v));
+        }
+        if (!std::isfinite(b[r])) {
+            FaultContext context;
+            context.component = "solve_linear";
+            context.detail = "non-finite rhs entry at row " + std::to_string(r);
+            throw FaultError{FaultKind::RegressionIllConditioned, std::move(context)};
+        }
+    }
+    // Relative pivot floor: ~n·ε times the magnitude of the largest entry.
+    const double pivot_floor =
+        scale * static_cast<double>(n) * std::numeric_limits<double>::epsilon();
+
     for (std::size_t col = 0; col < n; ++col) {
         // Partial pivoting.
         std::size_t pivot = col;
@@ -70,8 +105,14 @@ std::vector<double> solve_linear(Matrix a, std::vector<double> b)
                 pivot = r;
             }
         }
-        if (std::abs(a.at(pivot, col)) < 1e-300) {
-            HDPM_FAIL("solve_linear: singular matrix at column ", col);
+        if (std::abs(a.at(pivot, col)) <= pivot_floor) {
+            FaultContext context;
+            context.component = "solve_linear";
+            context.detail = "singular matrix: pivot " +
+                             std::to_string(std::abs(a.at(pivot, col))) +
+                             " at column " + std::to_string(col) +
+                             " below scale-aware floor " + std::to_string(pivot_floor);
+            throw FaultError{FaultKind::RegressionIllConditioned, std::move(context)};
         }
         if (pivot != col) {
             for (std::size_t c = 0; c < n; ++c) {
@@ -102,31 +143,64 @@ std::vector<double> solve_linear(Matrix a, std::vector<double> b)
     return x;
 }
 
-std::vector<double> least_squares(const Matrix& a, std::span<const double> b)
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b,
+                                  LeastSquaresReport* report)
 {
     HDPM_REQUIRE(a.rows() == b.size(), "least_squares: row count vs rhs mismatch");
     HDPM_REQUIRE(a.rows() >= 1 && a.cols() >= 1, "least_squares: empty system");
 
     const std::size_t k = a.cols();
-    // Normal equations: (AᵀA + λI)·x = Aᵀb. λ scales with the trace so the
-    // regularization is unit-independent and negligible for well-posed fits.
+    // Normal equations: AᵀA·x = Aᵀb.
     Matrix ata = a.transposed() * a;
-    double trace = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-        trace += ata.at(i, i);
-    }
-    const double lambda = 1e-12 * (trace > 0.0 ? trace : 1.0);
-    for (std::size_t i = 0; i < k; ++i) {
-        ata.at(i, i) += lambda;
-    }
-
     std::vector<double> atb(k, 0.0);
     for (std::size_t r = 0; r < a.rows(); ++r) {
         for (std::size_t c = 0; c < k; ++c) {
             atb[c] += a.at(r, c) * b[r];
         }
     }
-    return solve_linear(std::move(ata), std::move(atb));
+
+    if (HDPM_FAULT_FIRE(FaultPoint::RegressionRank)) {
+        // Injected rank deficiency: collapse every row of the normal
+        // equations onto the first one, which forces the ridge fallback
+        // below (the outcome fault_injection_test asserts).
+        for (std::size_t r = 1; r < k; ++r) {
+            for (std::size_t c = 0; c < k; ++c) {
+                ata.at(r, c) = ata.at(0, c);
+            }
+            atb[r] = atb[0];
+        }
+    }
+
+    // A well-posed system solves plainly with zero regularization bias.
+    try {
+        std::vector<double> x = solve_linear(ata, atb);
+        if (report != nullptr) {
+            *report = LeastSquaresReport{};
+        }
+        return x;
+    } catch (const FaultError& error) {
+        if (error.kind() != FaultKind::RegressionIllConditioned) {
+            throw;
+        }
+        // Graceful degradation: ill-conditioned (rank-deficient design,
+        // e.g. duplicated prototypes) — retry with a trace-scaled ridge
+        // term, which picks the minimum-norm-flavoured solution instead of
+        // failing the whole fit. The fallback is recorded, never silent.
+        double trace = 0.0;
+        for (std::size_t i = 0; i < k; ++i) {
+            trace += ata.at(i, i);
+        }
+        const double lambda = 1e-10 * (trace > 0.0 ? trace : 1.0);
+        for (std::size_t i = 0; i < k; ++i) {
+            ata.at(i, i) += lambda;
+        }
+        if (report != nullptr) {
+            report->ridge_fallback = true;
+            report->lambda = lambda;
+            report->detail = error.context().detail;
+        }
+        return solve_linear(std::move(ata), std::move(atb));
+    }
 }
 
 double dot(std::span<const double> a, std::span<const double> b)

@@ -64,13 +64,28 @@ private:
 };
 
 /// Solve the square system A·x = b by Gaussian elimination with partial
-/// pivoting. Throws RuntimeError if A is (numerically) singular.
+/// pivoting. Inputs must be finite and A numerically non-singular under a
+/// scale-aware test (a pivot is singular relative to the largest matrix
+/// entry, not against an absolute epsilon); violations throw
+/// FaultError(RegressionIllConditioned) — NaN records fail loudly instead
+/// of propagating NaN coefficients silently.
 [[nodiscard]] std::vector<double> solve_linear(Matrix a, std::vector<double> b);
 
+/// What least_squares did to produce its solution (optional out-param).
+struct LeastSquaresReport {
+    bool ridge_fallback = false; ///< normal equations were ill-conditioned
+    double lambda = 0.0;         ///< ridge strength used (0 for a plain solve)
+    std::string detail;          ///< cause of the fallback, empty otherwise
+};
+
 /// Least-squares solution of the overdetermined system A·x ≈ b via the
-/// normal equations, with a tiny ridge term for numerical robustness when
-/// the design matrix is rank-deficient (e.g. a degenerate prototype set).
-[[nodiscard]] std::vector<double> least_squares(const Matrix& a, std::span<const double> b);
+/// normal equations. A well-posed system is solved exactly (no
+/// regularization bias); if the normal equations are ill-conditioned
+/// (rank-deficient design, e.g. a degenerate prototype set) the solve
+/// degrades to a ridge-regularized system with λ scaled to the trace and
+/// records the fallback in @p report instead of failing.
+[[nodiscard]] std::vector<double> least_squares(const Matrix& a, std::span<const double> b,
+                                                LeastSquaresReport* report = nullptr);
 
 /// Dot product of equal-length vectors.
 [[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);

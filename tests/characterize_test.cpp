@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <string>
+
 #include "core/characterize.hpp"
+#include "core/checkpoint.hpp"
 #include "core/workloads.hpp"
 #include "sim/power.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace hdpm::core {
 namespace {
@@ -393,6 +399,234 @@ TEST(Determinism, WarmupCountersReflectMode)
     (void)characterizer.collect_records(module, options);
     EXPECT_EQ(chain_stats.warmup_vectors, 0U);
     EXPECT_EQ(chain_stats.warmup_batches, 0U);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume: an interrupted run leaves a crash-safe journal, and a
+// later run with the same stimulus plan resumes from it bit-identically —
+// under any execution-knob combination, because the journal (like the
+// stored-model fingerprint) is independent of threads, warm-up and
+// scheduler. A stale or damaged journal is never trusted.
+// ---------------------------------------------------------------------------
+
+/// Exception an aborting progress callback uses to simulate a run killed
+/// after N merged shards (each already-published journal block survives,
+/// exactly as after a SIGKILL).
+struct AbortRun {};
+
+std::vector<CharacterizationRecord> collect_pairs_checkpointed(
+    const DatapathModule& module, WarmupMode warmup, unsigned threads,
+    sim::SchedulerKind scheduler, const std::filesystem::path& checkpoint,
+    CharRunStats* stats, std::size_t abort_after_shards)
+{
+    sim::EventSimOptions sim_options;
+    sim_options.scheduler = scheduler;
+    const Characterizer characterizer{gate::TechLibrary::generic350(), sim_options};
+
+    CharacterizationOptions options;
+    options.max_transitions = 1200;
+    options.min_transitions = 1200;
+    options.batch = 1200;
+    options.shard_size = 150; // the plan of collect_pairs: 8 shards
+    options.seed = 23;
+    options.mode = StimulusMode::StratifiedPairs;
+    options.warmup = warmup;
+    options.threads = threads;
+    options.checkpoint = checkpoint;
+    options.stats = stats;
+    if (abort_after_shards > 0) {
+        options.progress = [abort_after_shards](const CharProgress& p) {
+            if (p.shards_merged >= abort_after_shards) {
+                throw AbortRun{};
+            }
+        };
+    }
+    return characterizer.collect_records(module, options);
+}
+
+TEST(Checkpoint, InterruptedRunResumesBitIdenticallyAcrossExecutionKnobs)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+    // The ground truth: the same plan, uninterrupted and unjournaled.
+    const auto baseline = collect_pairs(module, WarmupMode::PerRecord, 1,
+                                        sim::SchedulerKind::BinaryHeap);
+
+    const std::filesystem::path dir{::testing::TempDir()};
+    int run = 0;
+    for (const WarmupMode warmup : {WarmupMode::Batched, WarmupMode::PerRecord}) {
+        for (const unsigned threads : {1U, 4U}) {
+            for (const sim::SchedulerKind scheduler :
+                 {sim::SchedulerKind::TimingWheel, sim::SchedulerKind::BinaryHeap}) {
+                const std::string label =
+                    std::string{warmup == WarmupMode::Batched ? "batched" : "per-record"} +
+                    "/" + std::to_string(threads) + "t/" +
+                    (scheduler == sim::SchedulerKind::TimingWheel ? "wheel" : "heap");
+                const std::filesystem::path journal =
+                    dir / ("resume_matrix_" + std::to_string(run++) + ".journal");
+
+                // Interrupt under the production combination; the progress
+                // callback fires before the shard's own publish, so the
+                // journal holds the first two shards when the "kill" lands.
+                EXPECT_THROW((void)collect_pairs_checkpointed(
+                                 module, WarmupMode::Batched, 4,
+                                 sim::SchedulerKind::TimingWheel, journal, nullptr, 3),
+                             AbortRun)
+                    << label;
+                ASSERT_TRUE(std::filesystem::exists(journal)) << label;
+
+                // Resume under every combination of execution knobs.
+                CharRunStats stats;
+                const auto records = collect_pairs_checkpointed(
+                    module, warmup, threads, scheduler, journal, &stats, 0);
+                EXPECT_EQ(stats.shards_resumed, 2U) << label;
+                EXPECT_FALSE(stats.checkpoint_discarded) << label;
+                EXPECT_GE(stats.checkpoints_published, 1U) << label;
+                EXPECT_TRUE(stats.shard_failures.empty()) << label;
+                expect_identical_records(baseline, records, label);
+
+                // A completed run retires its journal.
+                EXPECT_FALSE(std::filesystem::exists(journal)) << label;
+            }
+        }
+    }
+}
+
+TEST(Checkpoint, CorruptJournalIsQuarantinedAndRunStartsFresh)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+    const auto baseline = collect_pairs(module, WarmupMode::Batched, 1,
+                                        sim::SchedulerKind::TimingWheel);
+    const std::filesystem::path journal =
+        std::filesystem::path{::testing::TempDir()} / "corrupt_resume.journal";
+
+    EXPECT_THROW((void)collect_pairs_checkpointed(module, WarmupMode::Batched, 1,
+                                                  sim::SchedulerKind::TimingWheel,
+                                                  journal, nullptr, 3),
+                 AbortRun);
+
+    // Chop the journal's tail — the short write of a kill on a filesystem
+    // without atomic rename.
+    const auto size = std::filesystem::file_size(journal);
+    ASSERT_GT(size, 20U);
+    std::filesystem::resize_file(journal, size - 20);
+
+    CharRunStats stats;
+    const auto records = collect_pairs_checkpointed(module, WarmupMode::Batched, 1,
+                                                    sim::SchedulerKind::TimingWheel,
+                                                    journal, &stats, 0);
+    EXPECT_TRUE(stats.checkpoint_discarded);
+    EXPECT_EQ(stats.shards_resumed, 0U);
+    expect_identical_records(baseline, records, "corrupt journal");
+    // The damaged journal was set aside for inspection, not destroyed.
+    EXPECT_TRUE(std::filesystem::exists(journal.string() + ".corrupt"));
+    std::filesystem::remove(journal.string() + ".corrupt");
+}
+
+TEST(Checkpoint, JournalFromAnotherPlanIsDiscarded)
+{
+    // A journal written for one module must never seed another module's
+    // run — the module key and input bits are part of the journal stamp.
+    const DatapathModule four = dp::make_module(ModuleType::RippleAdder, 4);
+    const DatapathModule five = dp::make_module(ModuleType::RippleAdder, 5);
+    const auto baseline = collect_pairs(five, WarmupMode::Batched, 1,
+                                        sim::SchedulerKind::TimingWheel);
+    const std::filesystem::path journal =
+        std::filesystem::path{::testing::TempDir()} / "cross_plan.journal";
+
+    EXPECT_THROW((void)collect_pairs_checkpointed(four, WarmupMode::Batched, 1,
+                                                  sim::SchedulerKind::TimingWheel,
+                                                  journal, nullptr, 3),
+                 AbortRun);
+
+    CharRunStats stats;
+    const auto records = collect_pairs_checkpointed(five, WarmupMode::Batched, 1,
+                                                    sim::SchedulerKind::TimingWheel,
+                                                    journal, &stats, 0);
+    EXPECT_TRUE(stats.checkpoint_discarded);
+    EXPECT_EQ(stats.shards_resumed, 0U);
+    expect_identical_records(baseline, records, "cross-plan journal");
+}
+
+TEST(Checkpoint, JournalRoundTripIsBitExact)
+{
+    CharCheckpoint journal;
+    journal.fingerprint = 0xdeadbeef01234567ULL;
+    journal.module_key = "ripple_adder_W4xW4";
+    journal.input_bits = 8;
+    CheckpointShard shard;
+    shard.index = 0;
+    // Charges that would not survive a sloppy decimal round trip.
+    shard.records.push_back({3, 2, 1.0 / 3.0, 0x55});
+    shard.records.push_back({8, 0, 4.9406564584124654e-324, 0xff}); // denormal
+    shard.records.push_back({1, 7, 123456.78901234567, 0x01});
+    journal.shards.push_back(shard);
+    journal.shards.push_back(CheckpointShard{1, {}}); // a failed shard's block
+    EXPECT_EQ(journal.total_records(), 3U);
+
+    const std::filesystem::path path =
+        std::filesystem::path{::testing::TempDir()} / "roundtrip.journal";
+    save_checkpoint(path, journal);
+    const auto loaded = load_checkpoint(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->fingerprint, journal.fingerprint);
+    EXPECT_EQ(loaded->module_key, journal.module_key);
+    EXPECT_EQ(loaded->input_bits, journal.input_bits);
+    ASSERT_EQ(loaded->shards.size(), 2U);
+    ASSERT_EQ(loaded->shards[0].records.size(), 3U);
+    EXPECT_TRUE(loaded->shards[1].records.empty());
+    for (std::size_t i = 0; i < 3; ++i) {
+        const auto& a = journal.shards[0].records[i];
+        const auto& b = loaded->shards[0].records[i];
+        EXPECT_EQ(a.hd, b.hd) << i;
+        EXPECT_EQ(a.stable_zeros, b.stable_zeros) << i;
+        EXPECT_EQ(a.toggle_mask, b.toggle_mask) << i;
+        EXPECT_EQ(a.charge_fc, b.charge_fc) << i; // exact, incl. the denormal
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, MalformedJournalsThrowCheckpointCorrupt)
+{
+    const std::filesystem::path dir{::testing::TempDir()};
+
+    // Missing file: not an error, just nothing to resume.
+    EXPECT_FALSE(load_checkpoint(dir / "does_not_exist.journal").has_value());
+
+    const auto expect_corrupt = [&](const std::string& name,
+                                    const std::string& content) {
+        const std::filesystem::path path = dir / name;
+        std::ofstream{path} << content;
+        try {
+            (void)load_checkpoint(path);
+            FAIL() << name << " accepted";
+        } catch (const util::FaultError& fault) {
+            EXPECT_EQ(fault.kind(), util::FaultKind::CheckpointCorrupt) << name;
+        }
+        std::filesystem::remove(path);
+    };
+
+    expect_corrupt("bad_magic.journal", "hdpm_model 1\n");
+    expect_corrupt("truncated.journal",
+                   "hdpm_checkpoint 1\n"
+                   "fingerprint 00000000000000aa\n"
+                   "module adder_W4xW4 m 8\n"
+                   "shard 0 2\n"
+                   "3 2 3fd5555555555555 0000000000000055\n");
+    // Shard indices must form a contiguous prefix of the plan.
+    expect_corrupt("gap.journal",
+                   "hdpm_checkpoint 1\n"
+                   "fingerprint 00000000000000aa\n"
+                   "module adder_W4xW4 m 8\n"
+                   "shard 1 0\n"
+                   "end\n");
+    // Out-of-range records are damage even when the syntax parses.
+    expect_corrupt("bad_record.journal",
+                   "hdpm_checkpoint 1\n"
+                   "fingerprint 00000000000000aa\n"
+                   "module adder_W4xW4 m 8\n"
+                   "shard 0 1\n"
+                   "9 0 3fd5555555555555 0000000000000055\n"
+                   "end\n");
 }
 
 } // namespace

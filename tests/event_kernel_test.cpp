@@ -14,6 +14,7 @@
 #include "sim/functional.hpp"
 #include "sim/sim_context.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace hdpm::sim {
@@ -397,6 +398,92 @@ TEST(KernelStats, CountersAdvance)
     }
     EXPECT_GT(sim.kernel_stats().events_processed, 0U);
     EXPECT_GT(sim.kernel_stats().max_queue_depth, 0U);
+}
+
+// ---------------------------------------------------------------------------
+// Event-budget safety valve: exceeding max_events_per_cycle must throw a
+// structured diagnostic that names the exact (u, v) pair, the diagnostic
+// must replay, and the simulator must stay usable afterwards — on both
+// scheduler kinds.
+// ---------------------------------------------------------------------------
+
+TEST(EventBudget, StructuredDiagnosticReplaysOnBothSchedulers)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 4);
+    const int m = module.total_input_bits();
+    const SimContext context{module.netlist(), TechLibrary::generic350()};
+    const BitVec u{m, 0};
+    const BitVec heavy{m, (1ULL << m) - 1}; // full flip: the busiest cycle
+    const BitVec light{m, 1};               // single-bit flip
+
+    for (const SchedulerKind kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap}) {
+        EventSimOptions free_options;
+        free_options.scheduler = kind;
+
+        // Measure both cycles' event counts on an unconstrained simulator,
+        // then pick a budget between them so the heavy pair reliably
+        // exceeds it and the light pair reliably fits.
+        EventSimulator probe{context, free_options};
+        probe.initialize(u);
+        const std::uint64_t before = probe.kernel_stats().events_processed;
+        (void)probe.apply(heavy);
+        const std::uint64_t heavy_events =
+            probe.kernel_stats().events_processed - before;
+        probe.initialize(u);
+        const std::uint64_t mid = probe.kernel_stats().events_processed;
+        (void)probe.apply(light);
+        const std::uint64_t light_events =
+            probe.kernel_stats().events_processed - mid;
+        ASSERT_LT(light_events, heavy_events);
+
+        EventSimOptions tight = free_options;
+        tight.max_events_per_cycle = heavy_events - 1;
+        EventSimulator sim{context, tight};
+        sim.initialize(u);
+        try {
+            (void)sim.apply(heavy);
+            FAIL() << "budget not enforced";
+        } catch (const util::FaultError& fault) {
+            EXPECT_EQ(fault.kind(), util::FaultKind::SimBudgetExceeded);
+            const util::FaultContext& where = fault.context();
+            EXPECT_EQ(where.component, module.netlist().name());
+            EXPECT_EQ(where.bitwidth, m);
+            ASSERT_TRUE(where.has_vectors);
+            EXPECT_EQ(where.vector_u, u.raw());
+            EXPECT_EQ(where.vector_v, heavy.raw());
+
+            // The recorded pair replays the fault on a fresh simulator.
+            EventSimulator replay{context, tight};
+            replay.initialize(BitVec{m, where.vector_u});
+            EXPECT_THROW((void)replay.apply(BitVec{m, where.vector_v}),
+                         util::FaultError);
+        }
+
+        // The failed simulator recovers with a full reset: after
+        // initialize() it matches a fresh instance cycle for cycle.
+        EventSimulator fresh{context, tight};
+        sim.initialize(u);
+        fresh.initialize(u);
+        expect_same_cycle(sim.apply(light), fresh.apply(light), 0);
+        EXPECT_EQ(sim.outputs(), fresh.outputs());
+    }
+}
+
+TEST(EventBudget, ZeroHammingDistanceCycleAlwaysFits)
+{
+    // A no-toggle apply processes no events, so it fits any budget — the
+    // smallest cycle a recovered simulator can run.
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 4);
+    const int m = module.total_input_bits();
+    EventSimOptions options;
+    options.max_events_per_cycle = 1;
+    EventSimulator sim{module.netlist(), TechLibrary::generic350(), options};
+    const BitVec u{m, 0x5a};
+    sim.initialize(u);
+    const CycleResult r = sim.apply(u);
+    EXPECT_EQ(r.transitions, 0U);
+    EXPECT_EQ(r.charge_fc, 0.0);
 }
 
 } // namespace

@@ -1,0 +1,384 @@
+// End-to-end tests of every fault-injection point and its degradation
+// path: corrupted model publishes are quarantined and rebuilt, failing
+// stimulus shards are captured (or abort the run under --strict), a forced
+// event-budget fault surfaces the replayable (u, v) diagnostic, a
+// rank-collapsed regression records its ridge fallback, and a corrupted
+// checkpoint journal is set aside instead of resumed.
+//
+// The injection hooks are compiled out of Release builds; every test that
+// needs them skips itself there. The injector API itself (determinism,
+// countdown semantics) is always available and always tested.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hpp"
+#include "core/model_library.hpp"
+#include "core/regression.hpp"
+#include "dpgen/module.hpp"
+#include "gatelib/techlib.hpp"
+#include "util/fault.hpp"
+
+namespace hdpm::core {
+namespace {
+
+using dp::DatapathModule;
+using dp::ModuleType;
+using util::FaultInjector;
+using util::FaultKind;
+using util::FaultPoint;
+using util::ScopedFaultInjector;
+
+#if defined(HDPM_FAULT_INJECTION) && HDPM_FAULT_INJECTION
+constexpr bool kHooksCompiled = true;
+#else
+constexpr bool kHooksCompiled = false;
+#endif
+
+#define SKIP_WITHOUT_HOOKS()                                                             \
+    if (!kHooksCompiled) {                                                               \
+        GTEST_SKIP() << "fault-injection hooks compiled out (Release build)";            \
+    }
+
+/// A fresh, empty model-library directory under the test temp dir.
+std::filesystem::path fresh_dir(const std::string& name)
+{
+    const std::filesystem::path dir = std::filesystem::path{::testing::TempDir()} / name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/// A small, fast stimulus plan: 4 shards of 100 records on a 4-bit-input
+/// adder, convergence disabled (one batch check at the very end).
+CharacterizationOptions small_plan()
+{
+    CharacterizationOptions options;
+    options.max_transitions = 400;
+    options.min_transitions = 400;
+    options.batch = 400;
+    options.shard_size = 100;
+    options.seed = 9;
+    options.threads = 1;
+    return options;
+}
+
+std::size_t corrupt_files_in(const std::filesystem::path& dir)
+{
+    std::size_t count = 0;
+    for (const auto& entry : std::filesystem::directory_iterator{dir}) {
+        if (entry.path().extension() == ".corrupt") {
+            ++count;
+        }
+    }
+    return count;
+}
+
+void expect_same_model(const HdModel& a, const HdModel& b, const char* label)
+{
+    ASSERT_EQ(a.input_bits(), b.input_bits()) << label;
+    for (int hd = 1; hd <= a.input_bits(); ++hd) {
+        ASSERT_EQ(a.coefficient(hd), b.coefficient(hd)) << label << " hd " << hd;
+        ASSERT_EQ(a.deviation(hd), b.deviation(hd)) << label << " hd " << hd;
+    }
+}
+
+// ------------------------------------------------------------- injector
+
+TEST(FaultInjector, CountdownFiresExactlyOnce)
+{
+    FaultInjector injector{1};
+    injector.arm(FaultPoint::ShardException, 3);
+    EXPECT_FALSE(injector.fire(FaultPoint::ShardException)); // 1st pass
+    EXPECT_FALSE(injector.fire(FaultPoint::ShardException)); // 2nd pass
+    EXPECT_TRUE(injector.fire(FaultPoint::ShardException));  // 3rd: fires
+    EXPECT_FALSE(injector.fire(FaultPoint::ShardException)); // disarmed
+    EXPECT_EQ(injector.fired_count(FaultPoint::ShardException), 1U);
+    // Other points are untouched.
+    EXPECT_FALSE(injector.fire(FaultPoint::EventBudget));
+    EXPECT_EQ(injector.fired_count(FaultPoint::EventBudget), 0U);
+}
+
+TEST(FaultInjector, PayloadCorruptionIsDeterministicAndSparesHeader)
+{
+    const std::string original = "header line\nbody line one\nbody line two\nend\n";
+    for (const FaultPoint point :
+         {FaultPoint::ModelShortWrite, FaultPoint::ModelBitFlip}) {
+        std::string a = original;
+        std::string b = original;
+        FaultInjector first{42};
+        first.arm(point);
+        first.mutate_payload(point, a);
+        FaultInjector second{42};
+        second.arm(point);
+        second.mutate_payload(point, b);
+        EXPECT_NE(a, original); // it did corrupt
+        EXPECT_EQ(a, b);        // ... the same way for the same seed
+        // The header line is never touched: the damage models a payload
+        // corrupted behind an intact fingerprint header.
+        EXPECT_EQ(a.substr(0, a.find('\n')), "header line");
+    }
+}
+
+TEST(FaultInjector, UnarmedMutateIsANoOp)
+{
+    FaultInjector injector{7};
+    std::string payload = "header\nbody\n";
+    injector.mutate_payload(FaultPoint::ModelShortWrite, payload);
+    EXPECT_EQ(payload, "header\nbody\n");
+}
+
+// ------------------------------------------------- model store corruption
+
+TEST(FaultInjection, ShortModelWriteIsQuarantinedAndRebuilt)
+{
+    SKIP_WITHOUT_HOOKS();
+    const std::filesystem::path dir = fresh_dir("inj_short_write");
+    const std::array<int, 1> widths = {2};
+    const CharacterizationOptions options = small_plan();
+
+    FaultInjector injector{11};
+    ScopedFaultInjector scope{injector};
+    injector.arm(FaultPoint::ModelShortWrite);
+
+    const ModelLibrary library{dir};
+    const HdModel built =
+        library.get_or_characterize(ModuleType::RippleAdder, widths, options);
+    EXPECT_EQ(injector.fired_count(FaultPoint::ModelShortWrite), 1U);
+
+    // The published file is truncated behind its valid header; the next
+    // open must quarantine it and recharacterize bit-identically.
+    const ModelLibrary reopened{dir};
+    const HdModel rebuilt =
+        reopened.get_or_characterize(ModuleType::RippleAdder, widths, options);
+    EXPECT_EQ(reopened.models_quarantined(), 1U);
+    EXPECT_EQ(corrupt_files_in(dir), 1U);
+    expect_same_model(built, rebuilt, "short write");
+
+    // The rebuilt file is healthy: a third open loads it straight.
+    const ModelLibrary healthy{dir};
+    expect_same_model(
+        built, healthy.get_or_characterize(ModuleType::RippleAdder, widths, options),
+        "reload");
+    EXPECT_EQ(healthy.models_quarantined(), 0U);
+}
+
+TEST(FaultInjection, ModelBitFlipIsQuarantinedAndRebuilt)
+{
+    SKIP_WITHOUT_HOOKS();
+    const std::filesystem::path dir = fresh_dir("inj_bit_flip");
+    const std::array<int, 1> widths = {2};
+    const CharacterizationOptions options = small_plan();
+
+    FaultInjector injector{13};
+    ScopedFaultInjector scope{injector};
+    injector.arm(FaultPoint::ModelBitFlip);
+
+    const ModelLibrary library{dir};
+    const HdModel built =
+        library.get_or_characterize(ModuleType::RippleAdder, widths, options);
+    EXPECT_EQ(injector.fired_count(FaultPoint::ModelBitFlip), 1U);
+
+    const ModelLibrary reopened{dir};
+    const HdModel rebuilt =
+        reopened.get_or_characterize(ModuleType::RippleAdder, widths, options);
+    EXPECT_EQ(reopened.models_quarantined(), 1U);
+    EXPECT_EQ(corrupt_files_in(dir), 1U);
+    expect_same_model(built, rebuilt, "bit flip");
+}
+
+// --------------------------------------------------- shard fault isolation
+
+TEST(FaultInjection, ShardFailureIsCapturedAndSiblingsContinue)
+{
+    SKIP_WITHOUT_HOOKS();
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 2);
+    const Characterizer characterizer;
+    const CharacterizationOptions plan = small_plan();
+
+    // Ground truth without injection.
+    const auto baseline = characterizer.collect_records(module, plan);
+    ASSERT_EQ(baseline.size(), 400U);
+
+    FaultInjector injector{17};
+    ScopedFaultInjector scope{injector};
+    injector.arm(FaultPoint::ShardException);
+
+    CharacterizationOptions options = plan;
+    CharRunStats stats;
+    options.stats = &stats;
+    const auto records = characterizer.collect_records(module, options);
+    EXPECT_EQ(injector.fired_count(FaultPoint::ShardException), 1U);
+
+    // One shard (100 records) is missing, everything else survived.
+    EXPECT_EQ(records.size(), baseline.size() - 100);
+    ASSERT_EQ(stats.shard_failures.size(), 1U);
+    EXPECT_EQ(stats.shard_failures[0].shard, 0U);
+    EXPECT_EQ(stats.shard_failures[0].kind, FaultKind::ShardFailed);
+    EXPECT_FALSE(stats.shard_failures[0].message.empty());
+
+    // The degraded record set still fits a usable model.
+    const HdModel model = fit_basic_model(module.total_input_bits(), records);
+    EXPECT_GT(model.coefficient(1), 0.0);
+}
+
+TEST(FaultInjection, StrictModeAbortsOnFirstShardFailureWithLocation)
+{
+    SKIP_WITHOUT_HOOKS();
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 2);
+    const Characterizer characterizer;
+
+    FaultInjector injector{19};
+    ScopedFaultInjector scope{injector};
+    injector.arm(FaultPoint::ShardException);
+
+    CharacterizationOptions options = small_plan();
+    options.strict_faults = true;
+    try {
+        (void)characterizer.collect_records(module, options);
+        FAIL() << "strict run did not abort";
+    } catch (const util::FaultError& fault) {
+        EXPECT_EQ(fault.kind(), FaultKind::ShardFailed);
+        // The fault boundary enriched the context with its location.
+        EXPECT_EQ(fault.context().shard, 0);
+        EXPECT_EQ(fault.context().bitwidth, module.total_input_bits());
+        EXPECT_FALSE(fault.context().component.empty());
+    }
+}
+
+TEST(FaultInjection, AllShardsFailingThrowsEvenWhenNotStrict)
+{
+    SKIP_WITHOUT_HOOKS();
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 2);
+    const Characterizer characterizer;
+
+    CharacterizationOptions options = small_plan();
+    options.max_transitions = 100; // a single shard...
+    options.min_transitions = 100;
+
+    FaultInjector injector{23};
+    ScopedFaultInjector scope{injector};
+    injector.arm(FaultPoint::ShardException); // ... which fails
+
+    // Zero records is not a degraded result, it is a failed run.
+    EXPECT_THROW((void)characterizer.collect_records(module, options),
+                 util::FaultError);
+}
+
+// ------------------------------------------------------------ event budget
+
+TEST(FaultInjection, ForcedEventBudgetFaultCarriesReplayableVectors)
+{
+    SKIP_WITHOUT_HOOKS();
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 2);
+    const Characterizer characterizer;
+
+    FaultInjector injector{29};
+    ScopedFaultInjector scope{injector};
+    injector.arm(FaultPoint::EventBudget);
+
+    CharacterizationOptions options = small_plan();
+    CharRunStats stats;
+    options.stats = &stats;
+    const auto records = characterizer.collect_records(module, options);
+    EXPECT_EQ(injector.fired_count(FaultPoint::EventBudget), 1U);
+
+    ASSERT_EQ(stats.shard_failures.size(), 1U);
+    EXPECT_EQ(stats.shard_failures[0].kind, FaultKind::SimBudgetExceeded);
+    // The captured message names the exact input pair to replay.
+    EXPECT_NE(stats.shard_failures[0].message.find("u=0x"), std::string::npos)
+        << stats.shard_failures[0].message;
+    EXPECT_FALSE(records.empty());
+}
+
+// ------------------------------------------------------- regression rank
+
+TEST(FaultInjection, RankCollapsedRegressionRecordsRidgeFallback)
+{
+    SKIP_WITHOUT_HOOKS();
+    const Characterizer characterizer;
+    const CharacterizationOptions plan = small_plan();
+    std::vector<PrototypeModel> prototypes;
+    for (const int width : {2, 3, 4}) {
+        PrototypeModel proto;
+        proto.operand_widths = {width};
+        proto.model = characterizer.characterize(
+            dp::make_module(ModuleType::RippleAdder, width), plan);
+        prototypes.push_back(std::move(proto));
+    }
+
+    // Without injection the prototype set is well-posed: no fallback.
+    const ParameterizableModel clean =
+        ParameterizableModel::fit(ModuleType::RippleAdder, prototypes, 1);
+    EXPECT_EQ(clean.ridge_fallback_count(), 0U);
+
+    FaultInjector injector{31};
+    ScopedFaultInjector scope{injector};
+    injector.arm(FaultPoint::RegressionRank);
+    const ParameterizableModel degraded =
+        ParameterizableModel::fit(ModuleType::RippleAdder, prototypes, 1);
+    EXPECT_EQ(injector.fired_count(FaultPoint::RegressionRank), 1U);
+    EXPECT_EQ(degraded.ridge_fallback_count(), 1U);
+
+    // The ridge solve still yields finite, usable coefficients.
+    for (int hd = 1; hd <= degraded.max_fitted_hd(); ++hd) {
+        const std::array<int, 1> w = {3};
+        EXPECT_GE(degraded.coefficient(hd, w), 0.0) << "hd " << hd;
+    }
+}
+
+// -------------------------------------------------- checkpoint corruption
+
+TEST(FaultInjection, CorruptedCheckpointPublishIsQuarantinedOnResume)
+{
+    SKIP_WITHOUT_HOOKS();
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 2);
+    const Characterizer characterizer;
+    const std::filesystem::path journal =
+        std::filesystem::path{::testing::TempDir()} / "injected_short.journal";
+    std::filesystem::remove(journal);
+
+    const auto baseline = characterizer.collect_records(module, small_plan());
+
+    struct AbortRun {};
+    {
+        FaultInjector injector{37};
+        ScopedFaultInjector scope{injector};
+        // The second journal publish is truncated; the "kill" lands right
+        // after it, so the on-disk journal is the corrupted version.
+        injector.arm(FaultPoint::CheckpointShortWrite, 2);
+        CharacterizationOptions options = small_plan();
+        options.checkpoint = journal;
+        options.progress = [](const CharProgress& p) {
+            if (p.shards_merged >= 3) {
+                throw AbortRun{};
+            }
+        };
+        EXPECT_THROW((void)characterizer.collect_records(module, options), AbortRun);
+        EXPECT_EQ(injector.fired_count(FaultPoint::CheckpointShortWrite), 1U);
+    }
+    ASSERT_TRUE(std::filesystem::exists(journal));
+
+    // Resume: the damaged journal must be set aside, not trusted, and the
+    // fresh run must still match the uninterrupted baseline exactly.
+    CharacterizationOptions options = small_plan();
+    options.checkpoint = journal;
+    CharRunStats stats;
+    options.stats = &stats;
+    const auto records = characterizer.collect_records(module, options);
+    EXPECT_TRUE(stats.checkpoint_discarded);
+    EXPECT_EQ(stats.shards_resumed, 0U);
+    ASSERT_EQ(records.size(), baseline.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        ASSERT_EQ(records[i].charge_fc, baseline[i].charge_fc) << "record " << i;
+        ASSERT_EQ(records[i].toggle_mask, baseline[i].toggle_mask) << "record " << i;
+    }
+    EXPECT_TRUE(std::filesystem::exists(journal.string() + ".corrupt"));
+    std::filesystem::remove(journal.string() + ".corrupt");
+}
+
+} // namespace
+} // namespace hdpm::core

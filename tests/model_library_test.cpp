@@ -204,16 +204,16 @@ TEST_F(ModelLibraryTest, TechnologyNamespacesModels)
     EXPECT_LT(m180.coefficient(4), m350.coefficient(4));
 }
 
-TEST_F(ModelLibraryTest, CorruptModelFileReportsCleanError)
+TEST_F(ModelLibraryTest, CorruptModelFileIsQuarantinedAndRebuilt)
 {
     const ModelLibrary library{dir_};
     const std::array<int, 1> w = {4};
-    (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
+    const HdModel original =
+        library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
 
-    // Truncate the payload behind a valid fingerprint header; the next load
-    // must fail loudly, not return a half-initialized model. (Keeping the
+    // Truncate the payload behind a valid fingerprint header. (Keeping the
     // real header matters: a header-less or mismatched file would simply be
-    // recharacterized.)
+    // recharacterized without touching the quarantine path.)
     const fs::path path = dir_ / (library.model_key(dp::ModuleType::RippleAdder, w) +
                                   ".hdm");
     ASSERT_TRUE(fs::exists(path));
@@ -227,9 +227,30 @@ TEST_F(ModelLibraryTest, CorruptModelFileReportsCleanError)
         std::ofstream out{path, std::ios::trunc};
         out << header << "\nhdmodel 1\nm 8\n1 123.0"; // cut mid-row
     }
-    EXPECT_THROW(
-        (void)library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick()),
-        util::RuntimeError);
+
+    // The corrupt file must be set aside (not reused, not destroyed) and
+    // the model recharacterized — same coefficients, deterministic seed.
+    const HdModel rebuilt =
+        library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
+    EXPECT_EQ(library.models_quarantined(), 1U);
+    EXPECT_TRUE(fs::exists(path.string() + ".corrupt"))
+        << "the corrupt payload must be preserved for inspection";
+    ASSERT_TRUE(fs::exists(path)) << "a fresh model must be published";
+    for (int i = 1; i <= original.input_bits(); ++i) {
+        EXPECT_EQ(rebuilt.coefficient(i), original.coefficient(i));
+    }
+
+    // A NaN coefficient behind a valid header is rot too — same quarantine.
+    {
+        std::ofstream out{path, std::ios::trunc};
+        out << header << "\nhdmodel 1\nm 1\n1 nan 0.0 10\nend\n";
+    }
+    const HdModel renormalized =
+        library.get_or_characterize(dp::ModuleType::RippleAdder, w, quick());
+    EXPECT_EQ(library.models_quarantined(), 2U);
+    for (int i = 1; i <= original.input_bits(); ++i) {
+        EXPECT_EQ(renormalized.coefficient(i), original.coefficient(i));
+    }
 }
 
 TEST_F(ModelLibraryTest, ConcurrentMissesCharacterizeExactlyOnce)

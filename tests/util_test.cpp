@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <random>
 #include <sstream>
 
@@ -11,6 +12,7 @@
 #include "util/bitvec.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/interp.hpp"
 #include "util/linalg.hpp"
 #include "util/rng.hpp"
@@ -284,6 +286,46 @@ TEST(Linalg, SingularThrows)
     EXPECT_THROW((void)solve_linear(a, {1.0, 2.0}), RuntimeError);
 }
 
+TEST(Linalg, SingularThrowsStructuredFault)
+{
+    const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+    try {
+        (void)solve_linear(a, {1.0, 2.0});
+        FAIL() << "singular system accepted";
+    } catch (const FaultError& fault) {
+        EXPECT_EQ(fault.kind(), FaultKind::RegressionIllConditioned);
+    }
+}
+
+TEST(Linalg, ScaleAwarePivotAcceptsTinySystems)
+{
+    // A perfectly conditioned system scaled down to 1e-12 must still solve:
+    // the pivot test is relative to the matrix magnitude, not an absolute
+    // epsilon that would reject any small-valued regression outright.
+    const Matrix a{{1e-12, 0.0}, {0.0, 1e-12}};
+    const auto x = solve_linear(a, {2e-12, -3e-12});
+    EXPECT_NEAR(x[0], 2.0, 1e-9);
+    EXPECT_NEAR(x[1], -3.0, 1e-9);
+
+    // ... and scaled up, a relatively tiny pivot is still singular.
+    const Matrix b{{1e12, 2e12}, {2e12, 4e12}};
+    EXPECT_THROW((void)solve_linear(b, {1e12, 2e12}), FaultError);
+}
+
+TEST(Linalg, NonFiniteInputThrowsInsteadOfPropagatingNaN)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    try {
+        (void)solve_linear(Matrix{{1.0, 0.0}, {0.0, nan}}, {1.0, 2.0});
+        FAIL() << "NaN matrix accepted";
+    } catch (const FaultError& fault) {
+        EXPECT_EQ(fault.kind(), FaultKind::RegressionIllConditioned);
+    }
+    EXPECT_THROW((void)solve_linear(Matrix{{1.0, 0.0}, {0.0, 1.0}}, {1.0, inf}),
+                 FaultError);
+}
+
 TEST(Linalg, LeastSquaresExactFit)
 {
     // y = 3x + 2 sampled at x = 1..4.
@@ -308,6 +350,32 @@ TEST(Linalg, LeastSquaresOverdeterminedResidual)
     const auto r = least_squares(a, b);
     EXPECT_NEAR(r[0], 0.5, 1e-9);
     EXPECT_NEAR(r[1], 1.0 / 6.0, 1e-9);
+}
+
+TEST(Linalg, LeastSquaresRidgeFallbackOnRankDeficiency)
+{
+    // Two identical columns make the normal equations singular: the solve
+    // must degrade to the recorded ridge fallback instead of failing, and
+    // the (consistent) data must still be reproduced.
+    const Matrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+    const std::vector<double> b{2.0, 4.0, 6.0};
+    LeastSquaresReport report;
+    const auto x = least_squares(a, b, &report);
+    EXPECT_TRUE(report.ridge_fallback);
+    EXPECT_GT(report.lambda, 0.0);
+    EXPECT_FALSE(report.detail.empty());
+    const auto fit = a.multiply(x);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        EXPECT_NEAR(fit[i], b[i], 1e-3) << "row " << i;
+    }
+
+    // A well-posed system keeps the exact, unregularized solve.
+    const Matrix well{{0.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}};
+    const std::vector<double> rhs{0.0, 1.0, 1.0};
+    LeastSquaresReport clean;
+    (void)least_squares(well, rhs, &clean);
+    EXPECT_FALSE(clean.ridge_fallback);
+    EXPECT_EQ(clean.lambda, 0.0);
 }
 
 TEST(Linalg, MatrixMultiply)
