@@ -9,14 +9,17 @@
 /// skip with --no-kernel), a thread-scaling sweep of the sharded
 /// characterization engine (skip with --no-scaling), a pairs-mode
 /// warm-up comparison (per-record vs batched vs all-core default; skip
-/// with --no-pairs) and a checkpoint-journal overhead measurement (skip
-/// with --no-checkpoint) run and write their sections into
+/// with --no-pairs), a checkpoint-journal overhead measurement (skip
+/// with --no-checkpoint) and an estimation serving-throughput comparison
+/// (scalar vs packed vs packed+threads on a 1M-sample 16-bit stream;
+/// skip with --no-estimation) run and write their sections into
 /// BENCH_speed.json.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -516,7 +519,7 @@ std::string run_checkpoint_bench()
         double wall_ms = 0.0;
         std::size_t publishes = 0;
     };
-    constexpr int kReps = 3; // best-of-N to damp scheduler noise
+    constexpr int kReps = 5; // best-of-N to damp scheduler noise
     std::vector<Run> runs;
     std::vector<core::CharacterizationRecord> baseline;
     bool identical = true;
@@ -589,6 +592,139 @@ std::string run_checkpoint_bench()
     return json.str();
 }
 
+/// Estimation serving throughput on the 1M-sample 16-bit input stream of
+/// an 8x8 CSA multiplier (two 8-bit music operands): the pre-PR scalar
+/// serving path (per-query encode_module_stream materialization +
+/// estimate_average), the same scalar evaluation on prebuilt patterns,
+/// per-query packed trace construction, the packed histogram kernel
+/// single-threaded and on all cores (serving the trace built once), and
+/// the EstimationEngine's cached-histogram repeat-query path. Verifies
+/// the packed and scalar estimates agree and returns a JSON fragment for
+/// BENCH_speed.json.
+std::string run_estimation_bench()
+{
+    const int width = 16;
+    const std::size_t n = 1'000'000;
+    // The paper's serving scenario: a two-operand datapath component fed
+    // recorded streams. The pre-PR path re-encoded the concatenated
+    // BitVec stream on every query; the packed trace is built once and
+    // reused across queries.
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 8);
+    const auto operands =
+        core::make_operand_streams(module, streams::DataType::Music, n, 2024);
+
+    // Synthetic m=16 model with deterministic coefficients: the serving
+    // cost is classification, not characterization, so a fitted model
+    // would only slow the bench down without changing the measurement.
+    std::vector<double> coefficients(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+        coefficients[static_cast<std::size_t>(i)] = 10.0 + 3.0 * i;
+    }
+    const core::HdModel model{width, std::move(coefficients)};
+
+    const streams::PackedTrace trace =
+        streams::PackedTrace::from_operands(operands, module.operand_widths());
+    const auto prebuilt = core::encode_module_stream(module, operands);
+    const double cycles = static_cast<double>(n - 1);
+
+    struct Run {
+        const char* name = "";
+        double wall_ms = 0.0; ///< per evaluation, best of kReps
+        double cycles_per_sec = 0.0;
+        double estimate = 0.0;
+    };
+    constexpr int kReps = 5; // best-of-N to damp scheduler noise
+
+    const auto measure = [&](const char* name, int evals, auto&& fn) {
+        Run run;
+        run.name = name;
+        run.wall_ms = std::numeric_limits<double>::infinity();
+        for (int rep = 0; rep < kReps; ++rep) {
+            const auto start = std::chrono::steady_clock::now();
+            for (int e = 0; e < evals; ++e) {
+                run.estimate = fn();
+                benchmark::DoNotOptimize(run.estimate);
+            }
+            const double wall_ms = std::chrono::duration<double, std::milli>(
+                                       std::chrono::steady_clock::now() - start)
+                                       .count() /
+                                   evals;
+            run.wall_ms = std::min(run.wall_ms, wall_ms);
+        }
+        run.cycles_per_sec = cycles / (run.wall_ms / 1000.0);
+        return run;
+    };
+
+    std::vector<Run> runs;
+    runs.push_back(measure("scalar serving (encode_module_stream + estimate_average)", 1, [&] {
+        const auto patterns = core::encode_module_stream(module, operands);
+        return model.estimate_average(patterns);
+    }));
+    runs.push_back(measure("scalar, prebuilt patterns", 2,
+                           [&] { return model.estimate_average(prebuilt); }));
+    runs.push_back(measure("packed, trace rebuilt per query", 2, [&] {
+        const auto fresh =
+            streams::PackedTrace::from_operands(operands, module.operand_widths());
+        return model.estimate_trace(fresh, streams::KernelOptions{.threads = 1});
+    }));
+    runs.push_back(measure("packed histogram, 1 thread", 10, [&] {
+        return model.estimate_trace(trace,
+                                    streams::KernelOptions{.threads = 1});
+    }));
+    runs.push_back(measure("packed histogram, all cores", 10, [&] {
+        return model.estimate_trace(
+            trace, streams::KernelOptions{.threads = 0,
+                                          .chunk = std::size_t{1} << 15});
+    }));
+    core::EstimationEngine engine;
+    (void)engine.estimate(model, trace); // warm the histogram cache
+    runs.push_back(measure("packed + engine cache (repeat queries)", 20,
+                           [&] { return engine.estimate(model, trace); }));
+
+    // The packed histograms are bit-identical to the scalar path, so the
+    // estimates may differ only by FP summation order.
+    bool agree = true;
+    for (const Run& run : runs) {
+        agree = agree && std::abs(run.estimate - runs[0].estimate) <=
+                             1e-9 * std::abs(runs[0].estimate);
+    }
+    const double speedup_1t = runs[3].cycles_per_sec / runs[0].cycles_per_sec;
+
+    std::cout << "\nestimation serving throughput (m=16 Hd-model, " << n
+              << "-sample 16-bit module stream, 8x8 csa_multiplier operands):\n";
+    util::TextTable table;
+    table.set_header({"configuration", "wall/query [ms]", "Mcycles/s", "speedup"});
+    for (const Run& run : runs) {
+        table.add_row({run.name, util::TextTable::fmt(run.wall_ms, 2),
+                       util::TextTable::fmt(run.cycles_per_sec / 1e6, 1),
+                       util::TextTable::fmt(
+                           run.cycles_per_sec / runs.front().cycles_per_sec, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "packed/scalar estimates agree: " << (agree ? "yes" : "NO — BUG")
+              << "\npacked single-thread vs scalar serving: "
+              << util::TextTable::fmt(speedup_1t, 1) << "x\n";
+
+    std::ostringstream json;
+    json << "  \"estimation_throughput\": {\n"
+         << "    \"samples\": " << n << ",\n    \"width\": " << width << ",\n"
+         << "    \"operand_widths\": [8, 8],\n"
+         << "    \"model_m\": " << width << ",\n"
+         << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
+         << ",\n    \"estimates_agree\": " << (agree ? "true" : "false")
+         << ",\n    \"packed_1t_vs_scalar_speedup\": " << speedup_1t
+         << ",\n    \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        json << (i == 0 ? "" : ",") << "\n      {\"config\": \"" << runs[i].name
+             << "\", \"wall_ms_per_query\": " << runs[i].wall_ms
+             << ", \"cycles_per_sec\": " << runs[i].cycles_per_sec
+             << ", \"speedup\": "
+             << runs[i].cycles_per_sec / runs.front().cycles_per_sec << "}";
+    }
+    json << "\n    ]\n  }";
+    return json.str();
+}
+
 /// Strip @p flag from argv (google-benchmark rejects unknown flags).
 bool take_flag(int& argc, char** argv, const char* flag)
 {
@@ -612,6 +748,7 @@ int main(int argc, char** argv)
     const bool scaling = !take_flag(argc, argv, "--no-scaling");
     const bool pairs = !take_flag(argc, argv, "--no-pairs");
     const bool checkpoint = !take_flag(argc, argv, "--no-checkpoint");
+    const bool estimation = !take_flag(argc, argv, "--no-estimation");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
         return 1;
@@ -631,6 +768,9 @@ int main(int argc, char** argv)
     }
     if (checkpoint) {
         sections.push_back(run_checkpoint_bench());
+    }
+    if (estimation) {
+        sections.push_back(run_estimation_bench());
     }
     if (!sections.empty()) {
         std::ofstream json{"BENCH_speed.json"};

@@ -7,6 +7,8 @@
 ///                                                [--enhanced [K]]
 ///   hdpower_cli estimate <module> <width...> --data <I|II|III|IV|V>
 ///                        [--patterns N] [--models DIR] [--verify]
+///                        [--stream FILE]... [--kernel scalar|packed]
+///                        [--threads N] [--enhanced [K]]
 ///   hdpower_cli report <module> <width...> --data <type> [--patterns N]
 ///                        [--top K]
 ///   hdpower_cli sweep <module> <wmin> <wmax> --data <type>
@@ -46,6 +48,8 @@ namespace {
                  "                                   [--checkpoint FILE] [--strict]\n"
               << "  estimate <module> <width...> --data <I..V> [--patterns N] "
                  "[--models DIR] [--verify] [--threads N]\n"
+                 "                               [--stream FILE]... "
+                 "[--kernel scalar|packed] [--enhanced [K]]\n"
               << "  report <module> <width...> --data <I..V> [--patterns N] [--top K]\n"
               << "  sweep <module> <wmin> <wmax> --data <I..V> [--models DIR] "
                  "[--budget N] [--threads N]\n"
@@ -87,6 +91,8 @@ struct Cli {
     bool verify = false;
     bool has_data = false;
     streams::DataType data{};
+    std::vector<std::string> stream_files; ///< one CSV per operand
+    streams::EstimationKernel kernel = streams::EstimationKernel::Packed;
 };
 
 Cli parse_module_args(int argc, char** argv, int start)
@@ -142,6 +148,19 @@ Cli parse_module_args(int argc, char** argv, int start)
         } else if (flag == "--data") {
             cli.data = parse_data_type(next());
             cli.has_data = true;
+        } else if (flag == "--stream") {
+            cli.stream_files.push_back(next());
+        } else if (flag == "--kernel") {
+            const std::string kernel = next();
+            if (kernel == "scalar") {
+                cli.kernel = streams::EstimationKernel::Scalar;
+            } else if (kernel == "packed") {
+                cli.kernel = streams::EstimationKernel::Packed;
+            } else {
+                std::cerr << "unknown kernel '" << kernel
+                          << "' (use scalar or packed)\n";
+                std::exit(2);
+            }
         } else if (flag == "--verify") {
             cli.verify = true;
         } else if (flag == "--enhanced") {
@@ -319,24 +338,67 @@ int cmd_characterize(const Cli& cli)
 
 int cmd_estimate(const Cli& cli)
 {
-    if (!cli.has_data) {
-        std::cerr << "estimate requires --data\n";
+    if (!cli.has_data && cli.stream_files.empty()) {
+        std::cerr << "estimate requires --data or --stream\n";
         return 2;
     }
     const core::ModelLibrary library{cli.models_dir};
-    const core::HdModel model =
-        library.get_or_characterize(cli.module_type, cli.widths, char_options(cli));
     const dp::DatapathModule module = dp::make_module(cli.module_type, cli.widths);
 
-    const auto patterns =
-        core::make_module_stream(module, cli.data, cli.patterns, 2026);
-    const double estimate = model.estimate_average(patterns);
-    std::cout << module.display_name() << ", data type "
-              << streams::data_type_label(cli.data) << " (" << cli.patterns
+    // Pack the operand streams once; every evaluation below reuses the
+    // trace without re-materializing per-sample patterns.
+    std::vector<std::vector<std::int64_t>> operands;
+    std::string source;
+    if (!cli.stream_files.empty()) {
+        if (cli.stream_files.size() != module.operand_widths().size()) {
+            std::cerr << "module expects " << module.operand_widths().size()
+                      << " operand stream(s), got " << cli.stream_files.size() << '\n';
+            return 2;
+        }
+        for (const std::string& path : cli.stream_files) {
+            operands.push_back(streams::load_stream(path));
+            source += source.empty() ? path : (", " + path);
+        }
+    } else {
+        operands = core::make_operand_streams(module, cli.data, cli.patterns, 2026);
+        source = "data type " + std::string{streams::data_type_label(cli.data)};
+    }
+    const streams::PackedTrace trace =
+        streams::PackedTrace::from_operands(operands, module.operand_widths());
+    if (trace.out_of_range() > 0) {
+        std::cerr << "warning: " << trace.out_of_range() << " of " << trace.size()
+                  << " sample(s) exceeded their operand's two's-complement range "
+                     "and were truncated to the operand width\n";
+    }
+
+    streams::KernelOptions kernel_options;
+    kernel_options.kernel = cli.kernel;
+    kernel_options.threads = cli.threads;
+    core::EstimationEngine engine{kernel_options};
+
+    double estimate = 0.0;
+    if (cli.enhanced) {
+        const core::EnhancedHdModel model = library.get_or_characterize_enhanced(
+            cli.module_type, cli.widths, cli.zero_clusters, char_options(cli));
+        estimate = engine.estimate(model, trace);
+    } else {
+        const core::HdModel model =
+            library.get_or_characterize(cli.module_type, cli.widths, char_options(cli));
+        estimate = engine.estimate(model, trace);
+    }
+
+    std::cout << module.display_name() << ", " << source << " (" << trace.size()
               << " patterns):\n";
     std::cout << "  macro-model estimate: " << estimate << " fC/cycle\n";
+    const core::EstimateRunStats& stats = engine.stats();
+    std::cout << "  served " << stats.cycles << " cycles in "
+              << util::TextTable::fmt(stats.seconds * 1e3, 2) << " ms ("
+              << util::TextTable::fmt(stats.cycles_per_second() / 1e6, 1)
+              << " M cycles/s, " << streams::kernel_name(cli.kernel) << " kernel, "
+              << stats.histograms_built << " histogram(s) built)\n";
 
     if (cli.verify) {
+        const auto patterns = trace.to_patterns();
         sim::PowerSimulator reference{module.netlist(), gate::TechLibrary::generic350()};
         const double simulated = reference.run(patterns).mean_charge_fc();
         std::cout << "  reference simulation: " << simulated << " fC/cycle\n";

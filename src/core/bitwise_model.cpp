@@ -73,11 +73,15 @@ std::vector<double> BitwiseLinearModel::estimate_cycles(
     std::span<const BitVec> patterns) const
 {
     HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns");
-    std::vector<double> q;
-    q.reserve(patterns.size() - 1);
+    // Width checks hoisted out of the per-cycle loop (same message, first
+    // offending index first).
     for (std::size_t j = 1; j < patterns.size(); ++j) {
         HDPM_REQUIRE(patterns[j].width() == input_bits(), "pattern width ",
                      patterns[j].width(), " vs model m=", input_bits());
+    }
+    std::vector<double> q;
+    q.reserve(patterns.size() - 1);
+    for (std::size_t j = 1; j < patterns.size(); ++j) {
         q.push_back(estimate_cycle((patterns[j - 1] ^ patterns[j]).raw()));
     }
     return q;
@@ -91,6 +95,19 @@ double BitwiseLinearModel::estimate_average(std::span<const BitVec> patterns) co
         total += v;
     }
     return total / static_cast<double>(q.size());
+}
+
+double BitwiseLinearModel::estimate_trace(const streams::PackedTrace& trace) const
+{
+    HDPM_REQUIRE(trace.width() == input_bits(), "trace width ", trace.width(),
+                 " vs model m=", input_bits());
+    HDPM_REQUIRE(trace.size() >= 2, "need at least two patterns");
+    const std::span<const std::uint64_t> words = trace.words();
+    double total = 0.0;
+    for (std::size_t j = 1; j < words.size(); ++j) {
+        total += estimate_cycle(words[j] ^ words[j - 1]);
+    }
+    return total / static_cast<double>(words.size() - 1);
 }
 
 void BitwiseLinearModel::save(std::ostream& os) const

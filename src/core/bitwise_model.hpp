@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/characterize.hpp"
+#include "streams/packed_trace.hpp"
 #include "util/bitvec.hpp"
 
 namespace hdpm::core {
@@ -54,6 +55,13 @@ public:
 
     /// Average charge per cycle for a pattern stream.
     [[nodiscard]] double estimate_average(std::span<const util::BitVec> patterns) const;
+
+    /// Average charge per cycle for a packed trace: a single word loop over
+    /// XORed samples, no BitVec materialization. Unlike the Hd models this
+    /// cannot reduce to a histogram dot product — estimate_cycle() clamps at
+    /// 0 and special-cases an all-zero toggle mask, both nonlinear in the
+    /// per-bit toggle counts — so the packed path evaluates per transition.
+    [[nodiscard]] double estimate_trace(const streams::PackedTrace& trace) const;
 
     /// --- Serialization ----------------------------------------------
     void save(std::ostream& os) const;

@@ -125,11 +125,15 @@ std::vector<double> EnhancedHdModel::estimate_cycles(
     std::span<const BitVec> patterns) const
 {
     HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns");
-    std::vector<double> q;
-    q.reserve(patterns.size() - 1);
+    // Width checks hoisted out of the classification loop (same message,
+    // first offending index first).
     for (std::size_t j = 1; j < patterns.size(); ++j) {
         HDPM_REQUIRE(patterns[j].width() == input_bits_, "pattern width ",
                      patterns[j].width(), " vs model m=", input_bits_);
+    }
+    std::vector<double> q;
+    q.reserve(patterns.size() - 1);
+    for (std::size_t j = 1; j < patterns.size(); ++j) {
         const int hd = BitVec::hamming_distance(patterns[j - 1], patterns[j]);
         const int zeros = BitVec::stable_zeros(patterns[j - 1], patterns[j]);
         q.push_back(estimate_cycle(hd, zeros));
@@ -166,6 +170,37 @@ double EnhancedHdModel::estimate_from_distribution(
         q += p * coefficient(i, zeros);
     }
     return q;
+}
+
+double EnhancedHdModel::estimate_from_histogram(
+    const streams::HdClassHistogram& histogram) const
+{
+    HDPM_REQUIRE(histogram.width == input_bits_, "histogram width ", histogram.width,
+                 " vs model m=", input_bits_);
+    HDPM_REQUIRE(histogram.pairs > 0, "empty histogram");
+    const auto stride = static_cast<std::size_t>(input_bits_) + 1;
+    HDPM_REQUIRE(histogram.counts.size() == stride * stride,
+                 "histogram must have (m+1)² entries, got ", histogram.counts.size());
+    double total = 0.0;
+    for (int hd = 1; hd <= input_bits_; ++hd) {
+        for (int zeros = 0; zeros <= input_bits_ - hd; ++zeros) {
+            const std::uint64_t n =
+                histogram.counts[static_cast<std::size_t>(hd) * stride +
+                                 static_cast<std::size_t>(zeros)];
+            if (n != 0) {
+                total += static_cast<double>(n) * coefficient(hd, zeros);
+            }
+        }
+    }
+    return total / static_cast<double>(histogram.pairs);
+}
+
+double EnhancedHdModel::estimate_trace(const streams::PackedTrace& trace,
+                                       const streams::KernelOptions& options) const
+{
+    HDPM_REQUIRE(trace.width() == input_bits_, "trace width ", trace.width(),
+                 " vs model m=", input_bits_);
+    return estimate_from_histogram(streams::hd_class_histogram(trace, options));
 }
 
 void EnhancedHdModel::save(std::ostream& os) const

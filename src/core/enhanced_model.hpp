@@ -85,6 +85,18 @@ public:
         std::span<const double> hd_distribution,
         std::span<const double> expected_zeros) const;
 
+    /// Average charge per cycle from an integer (Hd, stable-zero) class
+    /// histogram: Σ count(i,z)·p_{i,z} / pairs. Exact class resolution —
+    /// no expected-zeros collapse — and integer-exact classification.
+    [[nodiscard]] double estimate_from_histogram(
+        const streams::HdClassHistogram& histogram) const;
+
+    /// Average charge per cycle for a packed trace via the word-parallel
+    /// (Hd, stable-zero) classification kernels. Agrees with
+    /// estimate_average on the expanded patterns up to FP summation order.
+    [[nodiscard]] double estimate_trace(const streams::PackedTrace& trace,
+                                        const streams::KernelOptions& options = {}) const;
+
     /// --- Serialization ----------------------------------------------
 
     void save(std::ostream& os) const;

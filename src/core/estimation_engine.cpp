@@ -1,0 +1,132 @@
+#include "core/estimation_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace hdpm::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+EstimationEngine::EstimationEngine(streams::KernelOptions options,
+                                   std::size_t cache_capacity)
+    : options_(options), cache_capacity_(std::max<std::size_t>(cache_capacity, 1))
+{
+}
+
+EstimationEngine::CacheEntry& EstimationEngine::entry_for(
+    const streams::PackedTrace& trace)
+{
+    const std::uint64_t key = trace.id();
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        // Refresh LRU position.
+        lru_.remove(key);
+        lru_.push_front(key);
+        return it->second;
+    }
+    if (cache_.size() >= cache_capacity_) {
+        const std::uint64_t victim = lru_.back();
+        lru_.pop_back();
+        cache_.erase(victim);
+    }
+    lru_.push_front(key);
+    return cache_[key];
+}
+
+const streams::HdHistogram& EstimationEngine::hd_histogram(
+    const streams::PackedTrace& trace)
+{
+    CacheEntry& entry = entry_for(trace);
+    if (!entry.hd) {
+        entry.hd = streams::hd_histogram(trace, options_);
+        ++stats_.histograms_built;
+    } else {
+        ++stats_.cache_hits;
+    }
+    return *entry.hd;
+}
+
+const streams::HdClassHistogram& EstimationEngine::hd_class_histogram(
+    const streams::PackedTrace& trace)
+{
+    CacheEntry& entry = entry_for(trace);
+    if (!entry.classes) {
+        entry.classes = streams::hd_class_histogram(trace, options_);
+        ++stats_.histograms_built;
+    } else {
+        ++stats_.cache_hits;
+    }
+    return *entry.classes;
+}
+
+double EstimationEngine::estimate(const HdModel& model,
+                                  const streams::PackedTrace& trace)
+{
+    HDPM_REQUIRE(trace.width() == model.input_bits(), "trace width ", trace.width(),
+                 " vs model m=", model.input_bits());
+    const auto start = Clock::now();
+    const double q = model.estimate_from_histogram(hd_histogram(trace));
+    stats_.seconds += elapsed_seconds(start);
+    ++stats_.models;
+    stats_.cycles += trace.cycles();
+    return q;
+}
+
+double EstimationEngine::estimate(const EnhancedHdModel& model,
+                                  const streams::PackedTrace& trace)
+{
+    HDPM_REQUIRE(trace.width() == model.input_bits(), "trace width ", trace.width(),
+                 " vs model m=", model.input_bits());
+    const auto start = Clock::now();
+    const double q = model.estimate_from_histogram(hd_class_histogram(trace));
+    stats_.seconds += elapsed_seconds(start);
+    ++stats_.models;
+    stats_.cycles += trace.cycles();
+    return q;
+}
+
+double EstimationEngine::estimate(const BitwiseLinearModel& model,
+                                  const streams::PackedTrace& trace)
+{
+    const auto start = Clock::now();
+    const double q = model.estimate_trace(trace);
+    stats_.seconds += elapsed_seconds(start);
+    ++stats_.models;
+    stats_.cycles += trace.cycles();
+    return q;
+}
+
+std::vector<double> EstimationEngine::estimate_batch(std::span<const AnyModel> models,
+                                                     const streams::PackedTrace& trace)
+{
+    std::vector<double> results;
+    results.reserve(models.size());
+    for (const AnyModel& model : models) {
+        results.push_back(std::visit(
+            [&](const auto* m) {
+                HDPM_REQUIRE(m != nullptr, "null model in batch");
+                return estimate(*m, trace);
+            },
+            model));
+    }
+    return results;
+}
+
+void EstimationEngine::clear_cache()
+{
+    cache_.clear();
+    lru_.clear();
+}
+
+} // namespace hdpm::core

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/bitwise_model.hpp"
+#include "core/enhanced_model.hpp"
+#include "core/hd_model.hpp"
+#include "streams/kernels.hpp"
+#include "streams/packed_trace.hpp"
+
+namespace hdpm::core {
+
+/// Throughput counters of an engine's estimate calls since the last
+/// reset_stats(). Cycles are counted per (model, trace) evaluation, so
+/// evaluating 3 models against a 1M-cycle trace reports 3M cycles even
+/// when the classification histogram was computed only once.
+struct EstimateRunStats {
+    std::size_t models = 0;          ///< (model, trace) evaluations served
+    std::size_t cycles = 0;          ///< transitions evaluated across them
+    std::size_t histograms_built = 0;///< classification passes actually run
+    std::size_t cache_hits = 0;      ///< evaluations served from the cache
+    double seconds = 0.0;            ///< wall time inside estimate calls
+
+    /// Serving throughput in estimated cycles per second (0 if no time
+    /// was measured).
+    [[nodiscard]] double cycles_per_second() const noexcept
+    {
+        return seconds > 0.0 ? static_cast<double>(cycles) / seconds : 0.0;
+    }
+};
+
+/// A model reference an EstimationEngine can evaluate. Non-owning.
+using AnyModel =
+    std::variant<const HdModel*, const EnhancedHdModel*, const BitwiseLinearModel*>;
+
+/// Batched trace-evaluation engine: evaluates models against packed traces,
+/// computing each trace's classification histogram once and caching it per
+/// (trace identity, histogram kind) so that serving many models — or the
+/// same model repeatedly — against one trace pays for classification once.
+///
+/// The kernels run with the engine's KernelOptions (packed/scalar, thread
+/// count, chunking); results are bit-identical across those knobs, so the
+/// cache never needs to key on them. The engine itself is not thread-safe:
+/// one engine per serving thread (the kernels parallelize internally).
+class EstimationEngine {
+public:
+    explicit EstimationEngine(streams::KernelOptions options = {},
+                              std::size_t cache_capacity = 8);
+
+    [[nodiscard]] const streams::KernelOptions& options() const noexcept
+    {
+        return options_;
+    }
+
+    /// Replace the kernel options. The histogram cache stays valid (all
+    /// kernel configurations produce identical integer histograms).
+    void set_options(const streams::KernelOptions& options) noexcept
+    {
+        options_ = options;
+    }
+
+    /// Average charge per cycle of @p trace under each model kind. The Hd
+    /// and enhanced models are served from cached histograms; the bitwise
+    /// model evaluates per transition (its clamp is nonlinear — see
+    /// BitwiseLinearModel::estimate_trace) and bypasses the cache.
+    [[nodiscard]] double estimate(const HdModel& model,
+                                  const streams::PackedTrace& trace);
+    [[nodiscard]] double estimate(const EnhancedHdModel& model,
+                                  const streams::PackedTrace& trace);
+    [[nodiscard]] double estimate(const BitwiseLinearModel& model,
+                                  const streams::PackedTrace& trace);
+
+    /// Evaluate a batch of models against one trace; returns one average
+    /// per model, in order.
+    [[nodiscard]] std::vector<double> estimate_batch(std::span<const AnyModel> models,
+                                                     const streams::PackedTrace& trace);
+
+    /// The trace's Hd histogram, computed on first use and cached.
+    [[nodiscard]] const streams::HdHistogram& hd_histogram(
+        const streams::PackedTrace& trace);
+
+    /// The trace's (Hd, stable-zero) class histogram, cached likewise.
+    [[nodiscard]] const streams::HdClassHistogram& hd_class_histogram(
+        const streams::PackedTrace& trace);
+
+    [[nodiscard]] const EstimateRunStats& stats() const noexcept { return stats_; }
+    void reset_stats() noexcept { stats_ = {}; }
+
+    /// Drop all cached histograms.
+    void clear_cache();
+
+private:
+    struct CacheEntry {
+        std::optional<streams::HdHistogram> hd;
+        std::optional<streams::HdClassHistogram> classes;
+    };
+
+    CacheEntry& entry_for(const streams::PackedTrace& trace);
+
+    streams::KernelOptions options_;
+    std::size_t cache_capacity_;
+    std::unordered_map<std::uint64_t, CacheEntry> cache_;
+    std::list<std::uint64_t> lru_; ///< most recently used first
+    EstimateRunStats stats_;
+};
+
+} // namespace hdpm::core

@@ -79,11 +79,16 @@ double HdModel::estimate_cycle(int hd) const
 std::vector<double> HdModel::estimate_cycles(std::span<const BitVec> patterns) const
 {
     HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns");
-    std::vector<double> q;
-    q.reserve(patterns.size() - 1);
+    // Validate widths once up front; the classification loop then runs
+    // check-free. The first offending pattern reports the same message the
+    // old in-loop check produced.
     for (std::size_t j = 1; j < patterns.size(); ++j) {
         HDPM_REQUIRE(patterns[j].width() == input_bits_, "pattern width ",
                      patterns[j].width(), " vs model m=", input_bits_);
+    }
+    std::vector<double> q;
+    q.reserve(patterns.size() - 1);
+    for (std::size_t j = 1; j < patterns.size(); ++j) {
         const int hd = BitVec::hamming_distance(patterns[j - 1], patterns[j]);
         q.push_back(estimate_cycle(hd));
     }
@@ -110,6 +115,31 @@ double HdModel::estimate_from_distribution(std::span<const double> hd_distributi
         q += hd_distribution[static_cast<std::size_t>(i)] * coefficient(i);
     }
     return q;
+}
+
+double HdModel::estimate_from_histogram(const streams::HdHistogram& histogram) const
+{
+    HDPM_REQUIRE(histogram.width == input_bits_, "histogram width ", histogram.width,
+                 " vs model m=", input_bits_);
+    HDPM_REQUIRE(histogram.pairs > 0, "empty histogram");
+    HDPM_REQUIRE(histogram.counts.size() == static_cast<std::size_t>(input_bits_) + 1,
+                 "histogram must have m+1 bins, got ", histogram.counts.size());
+    double total = 0.0;
+    for (int i = 1; i <= input_bits_; ++i) {
+        const std::uint64_t n = histogram.counts[static_cast<std::size_t>(i)];
+        if (n != 0) {
+            total += static_cast<double>(n) * coefficients_[static_cast<std::size_t>(i - 1)];
+        }
+    }
+    return total / static_cast<double>(histogram.pairs);
+}
+
+double HdModel::estimate_trace(const streams::PackedTrace& trace,
+                               const streams::KernelOptions& options) const
+{
+    HDPM_REQUIRE(trace.width() == input_bits_, "trace width ", trace.width(),
+                 " vs model m=", input_bits_);
+    return estimate_from_histogram(streams::hd_histogram(trace, options));
 }
 
 double HdModel::estimate_from_average_hd(double hd_avg) const

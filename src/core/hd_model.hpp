@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "streams/kernels.hpp"
 #include "util/bitvec.hpp"
 
 namespace hdpm::core {
@@ -67,6 +68,18 @@ public:
     /// p(Hd = i), i = 0..m (section 6.2/6.3: Σ p(Hd=i)·p_i).
     [[nodiscard]] double estimate_from_distribution(
         std::span<const double> hd_distribution) const;
+
+    /// Average charge per cycle from an integer Hd histogram:
+    /// Σ counts[i]·p_i / pairs. The histogram form keeps classification
+    /// integer-exact; only this final dot product is floating point.
+    [[nodiscard]] double estimate_from_histogram(
+        const streams::HdHistogram& histogram) const;
+
+    /// Average charge per cycle for a packed trace: classify transitions
+    /// with the word-parallel kernels (histogram), then reduce. Agrees with
+    /// estimate_average on the expanded patterns up to FP summation order.
+    [[nodiscard]] double estimate_trace(const streams::PackedTrace& trace,
+                                        const streams::KernelOptions& options = {}) const;
 
     /// Average charge per cycle from only the average Hamming distance,
     /// linearly interpolating between coefficients (section 6.2). This is

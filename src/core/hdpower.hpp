@@ -18,6 +18,7 @@
 #include "core/characterize.hpp"
 #include "core/enhanced_model.hpp"
 #include "core/error_metrics.hpp"
+#include "core/estimation_engine.hpp"
 #include "core/estimator.hpp"
 #include "core/hd_model.hpp"
 #include "core/model_library.hpp"
@@ -42,5 +43,7 @@
 #include "stats/propagation.hpp"
 #include "streams/bitstats.hpp"
 #include "streams/io.hpp"
+#include "streams/kernels.hpp"
+#include "streams/packed_trace.hpp"
 #include "streams/stream.hpp"
 #include "streams/wordstats.hpp"

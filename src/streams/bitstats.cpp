@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "streams/kernels.hpp"
 #include "util/error.hpp"
 
 namespace hdpm::streams {
@@ -22,24 +23,16 @@ BitStats measure_bit_stats(std::span<const BitVec> patterns)
     HDPM_REQUIRE(patterns.size() >= 2, "need at least two patterns");
     const int m = patterns.front().width();
 
-    std::vector<std::uint64_t> ones(static_cast<std::size_t>(m), 0);
-    std::vector<std::uint64_t> toggles(static_cast<std::size_t>(m), 0);
+    // Width check and word gather in one pass; the per-bit counting itself
+    // runs word-parallel (CSA vertical counters) instead of `.get(i)` loops.
+    std::vector<std::uint64_t> words;
+    words.reserve(patterns.size());
     for (std::size_t j = 0; j < patterns.size(); ++j) {
         HDPM_REQUIRE(patterns[j].width() == m, "pattern width mismatch at index ", j);
-        for (int i = 0; i < m; ++i) {
-            if (patterns[j].get(i)) {
-                ++ones[static_cast<std::size_t>(i)];
-            }
-        }
-        if (j > 0) {
-            const BitVec diff = patterns[j] ^ patterns[j - 1];
-            for (int i = 0; i < m; ++i) {
-                if (diff.get(i)) {
-                    ++toggles[static_cast<std::size_t>(i)];
-                }
-            }
-        }
+        words.push_back(patterns[j].raw());
     }
+    const PackedBitCounts counts =
+        count_bits_words(words, m, EstimationKernel::Packed);
 
     BitStats stats;
     stats.pattern_count = patterns.size();
@@ -49,9 +42,9 @@ BitStats measure_bit_stats(std::span<const BitVec> patterns)
     const double pairs = static_cast<double>(patterns.size() - 1);
     for (int i = 0; i < m; ++i) {
         stats.signal_prob[static_cast<std::size_t>(i)] =
-            static_cast<double>(ones[static_cast<std::size_t>(i)]) / n;
+            static_cast<double>(counts.ones[static_cast<std::size_t>(i)]) / n;
         stats.transition_prob[static_cast<std::size_t>(i)] =
-            static_cast<double>(toggles[static_cast<std::size_t>(i)]) / pairs;
+            static_cast<double>(counts.toggles[static_cast<std::size_t>(i)]) / pairs;
     }
     return stats;
 }
@@ -100,18 +93,28 @@ std::vector<BitVec> to_patterns(std::span<const std::int64_t> values, int width)
 }
 
 std::vector<BitVec> to_patterns(std::span<const std::int64_t> values, int width,
-                                NumberFormat format)
+                                NumberFormat format, std::size_t* clamped)
 {
+    if (clamped != nullptr) {
+        *clamped = 0;
+    }
     if (format == NumberFormat::TwosComplement) {
         return to_patterns(values, width);
     }
     HDPM_REQUIRE(width >= 2, "sign-magnitude needs at least two bits");
-    const std::int64_t max_mag = (std::int64_t{1} << (width - 1)) - 1;
+    const std::uint64_t max_mag = (std::uint64_t{1} << (width - 1)) - 1;
     std::vector<BitVec> patterns;
     patterns.reserve(values.size());
     for (const std::int64_t v : values) {
-        const std::int64_t mag = std::min(v < 0 ? -v : v, max_mag);
-        BitVec pattern{width, static_cast<std::uint64_t>(mag)};
+        // Magnitude in unsigned arithmetic: negating INT64_MIN as int64_t
+        // would overflow, but its magnitude is representable as uint64_t.
+        const std::uint64_t abs_v = v < 0 ? ~static_cast<std::uint64_t>(v) + 1
+                                          : static_cast<std::uint64_t>(v);
+        const std::uint64_t mag = std::min(abs_v, max_mag);
+        if (mag != abs_v && clamped != nullptr) {
+            ++*clamped;
+        }
+        BitVec pattern{width, mag};
         pattern.set(width - 1, v < 0);
         patterns.push_back(pattern);
     }

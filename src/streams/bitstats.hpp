@@ -55,9 +55,12 @@ enum class NumberFormat {
 
 /// Encode an integer stream in the given number format. Sign-magnitude
 /// packs |value| into bits 0..width-2 (clamped to the representable
-/// maximum) and the sign into the MSB.
+/// maximum) and the sign into the MSB. When @p clamped is non-null it
+/// receives the number of samples whose magnitude was saturated to the
+/// representable maximum, so callers can surface silent truncation.
 [[nodiscard]] std::vector<util::BitVec> to_patterns(std::span<const std::int64_t> values,
-                                                    int width, NumberFormat format);
+                                                    int width, NumberFormat format,
+                                                    std::size_t* clamped = nullptr);
 
 /// Decode a single pattern of the given format back to its integer value.
 [[nodiscard]] std::int64_t decode_pattern(const util::BitVec& pattern,

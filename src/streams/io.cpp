@@ -1,31 +1,129 @@
 #include "streams/io.hpp"
 
+#include <charconv>
 #include <cmath>
+#include <fstream>
+#include <string_view>
 
-#include "util/csv.hpp"
 #include "util/error.hpp"
 
 namespace hdpm::streams {
 
+namespace {
+
+/// Strip a trailing '\r' so CRLF files parse like LF files.
+std::string_view trim_cr(std::string_view line) noexcept
+{
+    if (!line.empty() && line.back() == '\r') {
+        line.remove_suffix(1);
+    }
+    return line;
+}
+
+/// Parse one cell: integer fast path, double fallback (rounded) so streams
+/// exported with fractional formatting still load. Returns false if the
+/// cell is not fully numeric.
+bool parse_cell(std::string_view cell, std::int64_t& out) noexcept
+{
+    const char* begin = cell.data();
+    const char* end = begin + cell.size();
+    std::int64_t iv = 0;
+    auto [p, ec] = std::from_chars(begin, end, iv);
+    if (ec == std::errc{} && p == end) {
+        out = iv;
+        return true;
+    }
+    double dv = 0.0;
+    auto [pd, ecd] = std::from_chars(begin, end, dv);
+    if (ecd == std::errc{} && pd == end && std::isfinite(dv)) {
+        out = static_cast<std::int64_t>(std::llround(dv));
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
 void save_stream(const std::string& path, std::span<const std::int64_t> values,
                  const std::string& column_name)
 {
-    std::vector<std::vector<double>> rows;
-    rows.reserve(values.size());
-    for (const std::int64_t v : values) {
-        rows.push_back({static_cast<double>(v)});
+    std::ofstream out{path, std::ios::binary};
+    if (!out) {
+        HDPM_FAIL("cannot open '", path, "' for writing");
     }
-    util::write_csv(path, {column_name}, rows);
+    // Buffer whole lines and write integers directly — no per-value double
+    // round trip, no stream formatting per sample.
+    std::string buffer;
+    buffer.reserve(values.size() * 8 + column_name.size() + 1);
+    buffer.append(column_name);
+    buffer.push_back('\n');
+    char digits[24];
+    for (const std::int64_t v : values) {
+        auto [p, ec] = std::to_chars(digits, digits + sizeof(digits), v);
+        (void)ec;
+        buffer.append(digits, p);
+        buffer.push_back('\n');
+    }
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    if (!out) {
+        HDPM_FAIL("write to '", path, "' failed");
+    }
 }
 
 std::vector<std::int64_t> load_stream(const std::string& path)
 {
-    const util::CsvTable table = util::read_csv(path);
-    HDPM_REQUIRE(table.header.size() == 1, "'", path, "' must have exactly one column");
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+        HDPM_FAIL("cannot open '", path, "' for reading");
+    }
+    std::string text;
+    in.seekg(0, std::ios::end);
+    const auto size = in.tellg();
+    if (size > 0) {
+        text.resize(static_cast<std::size_t>(size));
+        in.seekg(0);
+        in.read(text.data(), size);
+    }
+    if (!in || text.empty()) {
+        HDPM_FAIL("'", path, "' is empty");
+    }
+
+    std::string_view rest{text};
+    const auto next_line = [&rest]() {
+        const std::size_t nl = rest.find('\n');
+        std::string_view line;
+        if (nl == std::string_view::npos) {
+            line = rest;
+            rest = {};
+        } else {
+            line = rest.substr(0, nl);
+            rest.remove_prefix(nl + 1);
+        }
+        return trim_cr(line);
+    };
+
+    const std::string_view header = next_line();
+    HDPM_REQUIRE(header.find(',') == std::string_view::npos, "'", path,
+                 "' must have exactly one column");
+
     std::vector<std::int64_t> values;
-    values.reserve(table.rows.size());
-    for (const auto& row : table.rows) {
-        values.push_back(static_cast<std::int64_t>(std::llround(row[0])));
+    // Estimate capacity from the payload size (≥ 2 bytes per "v\n" line).
+    values.reserve(rest.size() / 2 + 1);
+    std::size_t row = 0;
+    while (!rest.empty()) {
+        const std::string_view line = next_line();
+        if (line.empty()) {
+            continue;
+        }
+        ++row;
+        if (line.find(',') != std::string_view::npos) {
+            HDPM_FAIL("'", path, "': row ", row, " has more than one column");
+        }
+        std::int64_t v = 0;
+        if (!parse_cell(line, v)) {
+            HDPM_FAIL("'", path, "': non-numeric cell '", std::string{line}, "'");
+        }
+        values.push_back(v);
     }
     return values;
 }

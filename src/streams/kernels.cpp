@@ -1,0 +1,328 @@
+#include "streams/kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/bitslice.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace hdpm::streams {
+
+using util::BitVec;
+
+namespace {
+
+/// Range convention shared by all kernels: a chunk [begin, end) over the
+/// sample index space owns the per-sample statistics of words begin..end−1
+/// and the transitions (j−1, j) for j in [max(begin,1), end). Adjacent
+/// chunks therefore overlap by one *read* (the predecessor word) but never
+/// by a counted event, so per-chunk integer histograms merged in chunk
+/// order reproduce the single-pass counts bit-for-bit.
+
+HdHistogram hd_histogram_range(std::span<const std::uint64_t> words, std::size_t begin,
+                               std::size_t end, int width, EstimationKernel kernel)
+{
+    HdHistogram h;
+    h.width = width;
+    const std::size_t first = std::max<std::size_t>(begin, 1);
+    h.pairs = end - first;
+    const auto bins = static_cast<std::size_t>(width) + 1;
+    h.counts.assign(bins, 0);
+    if (first >= end) {
+        return h;
+    }
+
+    if (kernel == EstimationKernel::Scalar) {
+        // Baseline: one BitVec pair per transition, as estimate_cycles and
+        // extract_hd_distribution have always classified.
+        for (std::size_t j = first; j < end; ++j) {
+            const int hd =
+                BitVec::hamming_distance(BitVec{width, words[j - 1]},
+                                         BitVec{width, words[j]});
+            ++h.counts[static_cast<std::size_t>(hd)];
+        }
+        return h;
+    }
+
+    // Packed: popcount over word XORs. Adjacent transitions are paired and
+    // counted with ONE increment into a bins×bins table — halving the
+    // read-modify-write traffic that dominates a histogram loop — and two
+    // tables are interleaved so consecutive equal pair-indices don't
+    // serialize on one counter's store-to-load dependency. The fold at the
+    // end credits each (r, c) cell to bin r and bin c; all counts stay
+    // integers, so the result is identical to incrementing per transition.
+    std::vector<std::uint64_t> pairs2(bins * bins * 2, 0);
+    std::uint64_t* t0 = pairs2.data();
+    std::uint64_t* t1 = t0 + bins * bins;
+    const std::uint64_t* w = words.data();
+    std::size_t j = first;
+    for (; j + 8 <= end; j += 8) {
+        const auto a = static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]));
+        const auto b = static_cast<std::size_t>(std::popcount(w[j + 1] ^ w[j]));
+        const auto c = static_cast<std::size_t>(std::popcount(w[j + 2] ^ w[j + 1]));
+        const auto d = static_cast<std::size_t>(std::popcount(w[j + 3] ^ w[j + 2]));
+        const auto e = static_cast<std::size_t>(std::popcount(w[j + 4] ^ w[j + 3]));
+        const auto f = static_cast<std::size_t>(std::popcount(w[j + 5] ^ w[j + 4]));
+        const auto g = static_cast<std::size_t>(std::popcount(w[j + 6] ^ w[j + 5]));
+        const auto i = static_cast<std::size_t>(std::popcount(w[j + 7] ^ w[j + 6]));
+        ++t0[a * bins + b];
+        ++t1[c * bins + d];
+        ++t0[e * bins + f];
+        ++t1[g * bins + i];
+    }
+    for (; j < end; ++j) {
+        ++h.counts[static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]))];
+    }
+    for (std::size_t r = 0; r < bins; ++r) {
+        for (std::size_t c = 0; c < bins; ++c) {
+            const std::uint64_t cnt = t0[r * bins + c] + t1[r * bins + c];
+            h.counts[r] += cnt;
+            h.counts[c] += cnt;
+        }
+    }
+    return h;
+}
+
+HdClassHistogram hd_class_histogram_range(std::span<const std::uint64_t> words,
+                                          std::size_t begin, std::size_t end, int width,
+                                          EstimationKernel kernel)
+{
+    HdClassHistogram h;
+    h.width = width;
+    const std::size_t first = std::max<std::size_t>(begin, 1);
+    h.pairs = end - first;
+    const auto stride = static_cast<std::size_t>(width) + 1;
+    h.counts.assign(stride * stride, 0);
+    if (first >= end) {
+        return h;
+    }
+
+    if (kernel == EstimationKernel::Scalar) {
+        for (std::size_t j = first; j < end; ++j) {
+            const BitVec u{width, words[j - 1]};
+            const BitVec v{width, words[j]};
+            const auto hd = static_cast<std::size_t>(BitVec::hamming_distance(u, v));
+            const auto zeros = static_cast<std::size_t>(BitVec::stable_zeros(u, v));
+            ++h.counts[hd * stride + zeros];
+        }
+        return h;
+    }
+
+    const std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+    std::vector<std::uint64_t> sub(stride * stride * 2, 0);
+    std::uint64_t* s0 = sub.data();
+    std::uint64_t* s1 = s0 + stride * stride;
+    const std::uint64_t* w = words.data();
+    std::size_t j = first;
+    for (; j + 2 <= end; j += 2) {
+        const auto hd0 = static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]));
+        const auto z0 = static_cast<std::size_t>(std::popcount(~(w[j] | w[j - 1]) & mask));
+        ++s0[hd0 * stride + z0];
+        const auto hd1 = static_cast<std::size_t>(std::popcount(w[j + 1] ^ w[j]));
+        const auto z1 =
+            static_cast<std::size_t>(std::popcount(~(w[j + 1] | w[j]) & mask));
+        ++s1[hd1 * stride + z1];
+    }
+    for (; j < end; ++j) {
+        const auto hd = static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]));
+        const auto z = static_cast<std::size_t>(std::popcount(~(w[j] | w[j - 1]) & mask));
+        ++s0[hd * stride + z];
+    }
+    for (std::size_t i = 0; i < stride * stride; ++i) {
+        h.counts[i] = s0[i] + s1[i];
+    }
+    return h;
+}
+
+PackedBitCounts count_bits_range(std::span<const std::uint64_t> words, std::size_t begin,
+                                 std::size_t end, int width, EstimationKernel kernel)
+{
+    PackedBitCounts c;
+    c.width = width;
+    c.samples = end - begin;
+    const auto m = static_cast<std::size_t>(width);
+    c.ones.assign(m, 0);
+    c.toggles.assign(m, 0);
+    const std::size_t first = std::max<std::size_t>(begin, 1);
+
+    if (kernel == EstimationKernel::Scalar) {
+        // Baseline: the original per-bit `.get(i)` walk of measure_bit_stats.
+        for (std::size_t j = begin; j < end; ++j) {
+            const BitVec pattern{width, words[j]};
+            for (int i = 0; i < width; ++i) {
+                if (pattern.get(i)) {
+                    ++c.ones[static_cast<std::size_t>(i)];
+                }
+            }
+        }
+        for (std::size_t j = first; j < end; ++j) {
+            const BitVec diff = BitVec{width, words[j]} ^ BitVec{width, words[j - 1]};
+            for (int i = 0; i < width; ++i) {
+                if (diff.get(i)) {
+                    ++c.toggles[static_cast<std::size_t>(i)];
+                }
+            }
+        }
+        return c;
+    }
+
+    // Packed: two CSA vertical counters accumulate the per-position tallies
+    // with O(1) word-level ops per sample instead of a width-long bit loop.
+    util::VerticalCounter ones;
+    util::VerticalCounter toggles;
+    for (std::size_t j = begin; j < end; ++j) {
+        ones.add(words[j]);
+    }
+    for (std::size_t j = first; j < end; ++j) {
+        toggles.add(words[j] ^ words[j - 1]);
+    }
+    const auto one_totals = ones.totals();
+    const auto toggle_totals = toggles.totals();
+    for (std::size_t i = 0; i < m; ++i) {
+        c.ones[i] = one_totals[i];
+        c.toggles[i] = toggle_totals[i];
+    }
+    return c;
+}
+
+/// Split [0, n) into deterministic sample chunks, run @p fn per chunk on
+/// the pool, and fold the per-chunk results in chunk order with @p merge.
+/// The chunk layout depends only on (n, options.chunk) — never on the
+/// thread count — and all counts are integers, so the merged result is
+/// bit-identical for any `threads`.
+template <typename Result, typename RangeFn, typename MergeFn>
+Result run_chunked(const PackedTrace& trace, const KernelOptions& options,
+                   const RangeFn& fn, const MergeFn& merge)
+{
+    HDPM_REQUIRE(trace.size() >= 2, "need at least two samples");
+    const std::size_t n = trace.size();
+    const std::size_t chunk = std::max<std::size_t>(options.chunk, 2);
+    if (options.threads == 1 || n <= chunk) {
+        return fn(0, n);
+    }
+    const std::size_t chunks = (n + chunk - 1) / chunk;
+    const util::ThreadPool pool{options.threads};
+    std::vector<Result> parts = pool.parallel_map(chunks, [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(begin + chunk, n);
+        return fn(begin, end);
+    });
+    Result total = std::move(parts.front());
+    for (std::size_t c = 1; c < parts.size(); ++c) {
+        merge(total, parts[c]);
+    }
+    return total;
+}
+
+} // namespace
+
+std::string kernel_name(EstimationKernel kernel)
+{
+    return kernel == EstimationKernel::Scalar ? "scalar" : "packed";
+}
+
+double HdHistogram::average_hd() const noexcept
+{
+    if (pairs == 0) {
+        return 0.0;
+    }
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        total += static_cast<std::uint64_t>(i) * counts[i];
+    }
+    return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+std::vector<double> HdHistogram::to_distribution() const
+{
+    HDPM_REQUIRE(pairs > 0, "empty histogram");
+    std::vector<double> dist(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        dist[i] = static_cast<double>(counts[i]) / static_cast<double>(pairs);
+    }
+    return dist;
+}
+
+std::uint64_t HdClassHistogram::count(int hd, int zeros) const
+{
+    HDPM_REQUIRE(hd >= 0 && hd <= width, "Hd ", hd, " outside [0, ", width, "]");
+    HDPM_REQUIRE(zeros >= 0 && zeros <= width - hd, "zeros ", zeros, " outside [0, ",
+                 width - hd, "] for Hd ", hd);
+    const auto stride = static_cast<std::size_t>(width) + 1;
+    return counts[static_cast<std::size_t>(hd) * stride + static_cast<std::size_t>(zeros)];
+}
+
+HdHistogram hd_histogram_words(std::span<const std::uint64_t> words, int width,
+                               EstimationKernel kernel)
+{
+    HDPM_REQUIRE(words.size() >= 2, "need at least two samples");
+    return hd_histogram_range(words, 0, words.size(), width, kernel);
+}
+
+HdClassHistogram hd_class_histogram_words(std::span<const std::uint64_t> words,
+                                          int width, EstimationKernel kernel)
+{
+    HDPM_REQUIRE(words.size() >= 2, "need at least two samples");
+    return hd_class_histogram_range(words, 0, words.size(), width, kernel);
+}
+
+PackedBitCounts count_bits_words(std::span<const std::uint64_t> words, int width,
+                                 EstimationKernel kernel)
+{
+    HDPM_REQUIRE(words.size() >= 2, "need at least two samples");
+    return count_bits_range(words, 0, words.size(), width, kernel);
+}
+
+HdHistogram hd_histogram(const PackedTrace& trace, const KernelOptions& options)
+{
+    return run_chunked<HdHistogram>(
+        trace, options,
+        [&](std::size_t begin, std::size_t end) {
+            return hd_histogram_range(trace.words(), begin, end, trace.width(),
+                                      options.kernel);
+        },
+        [](HdHistogram& total, const HdHistogram& part) {
+            total.pairs += part.pairs;
+            for (std::size_t i = 0; i < total.counts.size(); ++i) {
+                total.counts[i] += part.counts[i];
+            }
+        });
+}
+
+HdClassHistogram hd_class_histogram(const PackedTrace& trace,
+                                    const KernelOptions& options)
+{
+    return run_chunked<HdClassHistogram>(
+        trace, options,
+        [&](std::size_t begin, std::size_t end) {
+            return hd_class_histogram_range(trace.words(), begin, end, trace.width(),
+                                            options.kernel);
+        },
+        [](HdClassHistogram& total, const HdClassHistogram& part) {
+            total.pairs += part.pairs;
+            for (std::size_t i = 0; i < total.counts.size(); ++i) {
+                total.counts[i] += part.counts[i];
+            }
+        });
+}
+
+PackedBitCounts count_bits(const PackedTrace& trace, const KernelOptions& options)
+{
+    return run_chunked<PackedBitCounts>(
+        trace, options,
+        [&](std::size_t begin, std::size_t end) {
+            return count_bits_range(trace.words(), begin, end, trace.width(),
+                                    options.kernel);
+        },
+        [](PackedBitCounts& total, const PackedBitCounts& part) {
+            total.samples += part.samples;
+            for (std::size_t i = 0; i < total.ones.size(); ++i) {
+                total.ones[i] += part.ones[i];
+                total.toggles[i] += part.toggles[i];
+            }
+        });
+}
+
+} // namespace hdpm::streams

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "streams/packed_trace.hpp"
+
+namespace hdpm::streams {
+
+/// Which implementation the stream-classification kernels use.
+///
+/// Packed is the production path: whole samples processed as uint64 words
+/// (popcount, bit-sliced vertical counters). Scalar is the original
+/// bit-by-bit / BitVec-per-pair code, retained as the differential
+/// baseline — both produce bit-identical integer counts by construction,
+/// and the property tests in tests/estimation_test.cpp hold them to that.
+enum class EstimationKernel {
+    Scalar, ///< per-pair BitVec ops, per-bit `.get(i)` loops (baseline)
+    Packed, ///< word-parallel popcount / vertical-counter kernels
+};
+
+[[nodiscard]] std::string kernel_name(EstimationKernel kernel);
+
+/// Knobs shared by the classification kernels.
+struct KernelOptions {
+    EstimationKernel kernel = EstimationKernel::Packed;
+
+    /// Worker threads for chunked classification; 0 = all hardware
+    /// threads, 1 = run inline on the calling thread.
+    unsigned threads = 1;
+
+    /// Transitions per chunk when threading. Chunk boundaries overlap by
+    /// one sample (pair j needs words j−1 and j) and per-chunk integer
+    /// histograms are merged in chunk order, so counts are bit-identical
+    /// for any thread count and chunk size.
+    std::size_t chunk = std::size_t{1} << 16;
+};
+
+/// Integer Hamming-distance histogram of consecutive samples:
+/// counts[i] = |{j : Hd(w[j−1], w[j]) = i}|, i = 0..width.
+struct HdHistogram {
+    int width = 0;
+    std::size_t pairs = 0;
+    std::vector<std::uint64_t> counts;
+
+    /// Σ i·counts[i] / pairs — the empirical average Hamming distance.
+    [[nodiscard]] double average_hd() const noexcept;
+
+    /// Normalized p(Hd = i) distribution (sums to 1).
+    [[nodiscard]] std::vector<double> to_distribution() const;
+};
+
+/// Integer (Hd, stable-zero) class histogram — the enhanced model's event
+/// classes E_{i,z}: count(hd, zeros) pairs with Hamming distance hd and
+/// zeros bit positions that are 0 in both samples (zeros ∈ [0, width−hd]).
+struct HdClassHistogram {
+    int width = 0;
+    std::size_t pairs = 0;
+    /// Flattened [hd][zeros] table, stride width+1.
+    std::vector<std::uint64_t> counts;
+
+    [[nodiscard]] std::uint64_t count(int hd, int zeros) const;
+};
+
+/// Integer per-bit activity counts: ones[i] = cycles bit i is 1 over all
+/// samples; toggles[i] = consecutive-sample pairs in which bit i flips.
+struct PackedBitCounts {
+    int width = 0;
+    std::size_t samples = 0;
+    std::vector<std::uint64_t> ones;
+    std::vector<std::uint64_t> toggles;
+};
+
+/// Hd histogram of a packed trace (needs ≥ 2 samples).
+[[nodiscard]] HdHistogram hd_histogram(const PackedTrace& trace,
+                                       const KernelOptions& options = {});
+
+/// (Hd, stable-zero) class histogram of a packed trace (needs ≥ 2 samples).
+[[nodiscard]] HdClassHistogram hd_class_histogram(const PackedTrace& trace,
+                                                  const KernelOptions& options = {});
+
+/// Per-bit ones/toggle counts of a packed trace (needs ≥ 2 samples).
+[[nodiscard]] PackedBitCounts count_bits(const PackedTrace& trace,
+                                         const KernelOptions& options = {});
+
+/// Single-threaded word-span kernels (words must be masked to @p width).
+/// These are the building blocks the PackedTrace overloads chunk over;
+/// exposed for callers that already hold raw words.
+[[nodiscard]] HdHistogram hd_histogram_words(std::span<const std::uint64_t> words,
+                                             int width,
+                                             EstimationKernel kernel =
+                                                 EstimationKernel::Packed);
+[[nodiscard]] HdClassHistogram hd_class_histogram_words(
+    std::span<const std::uint64_t> words, int width,
+    EstimationKernel kernel = EstimationKernel::Packed);
+[[nodiscard]] PackedBitCounts count_bits_words(std::span<const std::uint64_t> words,
+                                               int width,
+                                               EstimationKernel kernel =
+                                                   EstimationKernel::Packed);
+
+} // namespace hdpm::streams

@@ -1,0 +1,129 @@
+#include "streams/packed_trace.hpp"
+
+#include <atomic>
+
+#include "streams/io.hpp"
+#include "util/error.hpp"
+
+namespace hdpm::streams {
+
+namespace {
+
+constexpr std::uint64_t width_mask(int width) noexcept
+{
+    return width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+}
+
+} // namespace
+
+std::uint64_t PackedTrace::next_id() noexcept
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+PackedTrace PackedTrace::from_values(std::span<const std::int64_t> values, int width)
+{
+    HDPM_REQUIRE(width >= 1 && width <= util::BitVec::kMaxWidth, "trace width ", width,
+                 " out of range [1, 64]");
+    PackedTrace trace;
+    trace.width_ = width;
+    trace.operand_widths_ = {width};
+    trace.id_ = next_id();
+    trace.words_.reserve(values.size());
+    const std::uint64_t mask = width_mask(width);
+    for (const std::int64_t v : values) {
+        const auto bits = static_cast<std::uint64_t>(v) & mask;
+        // A sample is in range iff masking preserves its value: sign-extend
+        // the masked pattern back and compare (matches BitVec semantics,
+        // which silently mask — here the truncation is counted).
+        const std::int64_t back =
+            width >= 64 ? static_cast<std::int64_t>(bits)
+                        : (static_cast<std::int64_t>(bits << (64 - width)) >>
+                           (64 - width));
+        if (back != v) {
+            ++trace.out_of_range_;
+        }
+        trace.words_.push_back(bits);
+    }
+    return trace;
+}
+
+PackedTrace PackedTrace::from_operands(
+    std::span<const std::vector<std::int64_t>> operands, std::span<const int> widths)
+{
+    HDPM_REQUIRE(!operands.empty(), "no operand streams");
+    HDPM_REQUIRE(operands.size() == widths.size(), "got ", operands.size(),
+                 " operand streams but ", widths.size(), " widths");
+    int total = 0;
+    for (const int w : widths) {
+        HDPM_REQUIRE(w >= 1, "operand width ", w, " out of range");
+        total += w;
+    }
+    HDPM_REQUIRE(total <= util::BitVec::kMaxWidth, "operand widths sum to ", total,
+                 " > 64");
+    const std::size_t n = operands.front().size();
+    for (std::size_t op = 1; op < operands.size(); ++op) {
+        HDPM_REQUIRE(operands[op].size() == n,
+                     "operand streams must have equal length");
+    }
+
+    PackedTrace trace;
+    trace.width_ = total;
+    trace.operand_widths_.assign(widths.begin(), widths.end());
+    trace.id_ = next_id();
+    trace.words_.assign(n, 0);
+    int shift = 0;
+    for (std::size_t op = 0; op < operands.size(); ++op) {
+        const int w = widths[op];
+        const std::uint64_t mask = width_mask(w);
+        const std::int64_t* src = operands[op].data();
+        for (std::size_t j = 0; j < n; ++j) {
+            const auto bits = static_cast<std::uint64_t>(src[j]) & mask;
+            const std::int64_t back =
+                w >= 64 ? static_cast<std::int64_t>(bits)
+                        : (static_cast<std::int64_t>(bits << (64 - w)) >> (64 - w));
+            if (back != src[j]) {
+                ++trace.out_of_range_;
+            }
+            trace.words_[j] |= bits << shift;
+        }
+        shift += w;
+    }
+    return trace;
+}
+
+PackedTrace PackedTrace::from_patterns(std::span<const util::BitVec> patterns)
+{
+    HDPM_REQUIRE(!patterns.empty(), "no patterns");
+    const int m = patterns.front().width();
+    HDPM_REQUIRE(m >= 1, "zero-width patterns");
+    PackedTrace trace;
+    trace.width_ = m;
+    trace.operand_widths_ = {m};
+    trace.id_ = next_id();
+    trace.words_.reserve(patterns.size());
+    for (std::size_t j = 0; j < patterns.size(); ++j) {
+        HDPM_REQUIRE(patterns[j].width() == m, "pattern width mismatch at index ", j);
+        trace.words_.push_back(patterns[j].raw());
+    }
+    return trace;
+}
+
+PackedTrace PackedTrace::from_csv(const std::string& path, int width)
+{
+    const std::vector<std::int64_t> values = load_stream(path);
+    return from_values(values, width);
+}
+
+std::vector<util::BitVec> PackedTrace::to_patterns() const
+{
+    std::vector<util::BitVec> patterns;
+    patterns.reserve(words_.size());
+    for (const std::uint64_t w : words_) {
+        patterns.emplace_back(width_, w);
+    }
+    return patterns;
+}
+
+} // namespace hdpm::streams

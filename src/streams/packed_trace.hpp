@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace hdpm::streams {
+
+/// A pattern stream packed for word-parallel estimation: one `uint64_t`
+/// word per ≤64-bit sample, stored contiguously, built once and reused
+/// across estimation queries.
+///
+/// This is the serving-side counterpart of `std::vector<BitVec>`: the same
+/// bit layout (operand 0 in the low bits, each operand two's complement,
+/// LSB-first — see DatapathModule::encode), but without one width field per
+/// sample and without re-materializing patterns per query. The multi-operand
+/// constructor concatenates operand value streams directly with shifts, so
+/// no intermediate BitVec is ever created.
+///
+/// Values are encoded by masking to the operand width (exactly like
+/// `BitVec{width, bits}` and `to_patterns`); samples whose value does not
+/// survive the masking round trip are counted in out_of_range() so callers
+/// can surface silent truncation instead of absorbing it.
+class PackedTrace {
+public:
+    PackedTrace() = default;
+
+    /// Pack a single @p width-bit operand stream (two's complement).
+    [[nodiscard]] static PackedTrace from_values(std::span<const std::int64_t> values,
+                                                 int width);
+
+    /// Pack multiple operand streams into concatenated module-input words.
+    /// All streams must have equal length; operand widths must sum to ≤ 64.
+    [[nodiscard]] static PackedTrace from_operands(
+        std::span<const std::vector<std::int64_t>> operands,
+        std::span<const int> widths);
+
+    /// Pack an existing BitVec pattern stream (all widths must match).
+    [[nodiscard]] static PackedTrace from_patterns(
+        std::span<const util::BitVec> patterns);
+
+    /// Load a single-operand trace from a CSV file via load_stream().
+    [[nodiscard]] static PackedTrace from_csv(const std::string& path, int width);
+
+    /// Concatenated sample width in bits (the model's m).
+    [[nodiscard]] int width() const noexcept { return width_; }
+
+    /// Number of samples (words).
+    [[nodiscard]] std::size_t size() const noexcept { return words_.size(); }
+
+    /// Number of consecutive-sample transitions (0 if fewer than 2 samples).
+    [[nodiscard]] std::size_t cycles() const noexcept
+    {
+        return words_.empty() ? 0 : words_.size() - 1;
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return words_.empty(); }
+
+    /// The packed words; bits above width() are zero in every word.
+    [[nodiscard]] std::span<const std::uint64_t> words() const noexcept
+    {
+        return words_;
+    }
+
+    /// Widths of the concatenated operands (one entry per operand).
+    [[nodiscard]] std::span<const int> operand_widths() const noexcept
+    {
+        return operand_widths_;
+    }
+
+    /// Samples whose value exceeded its operand's two's-complement range
+    /// and was truncated by the width mask during packing.
+    [[nodiscard]] std::size_t out_of_range() const noexcept { return out_of_range_; }
+
+    /// Identity for caching derived artifacts (histograms): unique per
+    /// constructed trace, shared by copies. A PackedTrace is immutable
+    /// after construction, so equal ids imply equal contents.
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+    /// Expand back to BitVec patterns (for the scalar baseline and the
+    /// reference simulator, which consume per-sample vectors).
+    [[nodiscard]] std::vector<util::BitVec> to_patterns() const;
+
+private:
+    [[nodiscard]] static std::uint64_t next_id() noexcept;
+
+    std::vector<std::uint64_t> words_;
+    std::vector<int> operand_widths_;
+    int width_ = 0;
+    std::size_t out_of_range_ = 0;
+    std::uint64_t id_ = 0;
+};
+
+} // namespace hdpm::streams

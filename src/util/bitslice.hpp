@@ -1,0 +1,69 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+
+namespace hdpm::util {
+
+/// Carry-save-adder vertical counter: counts, for each of 64 bit positions,
+/// how many of the words fed to add() had that bit set — the bit-sliced
+/// (Harley–Seal style) replacement for a per-bit `.get(i)` loop.
+///
+/// Instead of testing width bits per word, the counter keeps kDepth
+/// "bit planes": plane k holds bit k of a per-position tally, so adding a
+/// word is a ripple-carry add across the planes (a handful of AND/XOR ops,
+/// independent of width). Every 2^kDepth − 1 words the planes are flushed
+/// into 64-bit per-position totals, which amortizes to O(1) work per word.
+/// All arithmetic is integer-exact: totals are bit-identical to the naive
+/// per-bit loop for any add/flush interleaving.
+class VerticalCounter {
+public:
+    /// Plane count: flush is forced every 2^kDepth − 1 added words.
+    static constexpr int kDepth = 6;
+
+    /// Accumulate one word (bit i of @p word increments position i).
+    void add(std::uint64_t word) noexcept
+    {
+        std::uint64_t carry = word;
+        for (int k = 0; k < kDepth && carry != 0; ++k) {
+            const std::uint64_t t = planes_[static_cast<std::size_t>(k)] & carry;
+            planes_[static_cast<std::size_t>(k)] ^= carry;
+            carry = t;
+        }
+        if (++pending_ == (1 << kDepth) - 1) {
+            flush();
+        }
+    }
+
+    /// Drain the planes into the per-position totals. Called automatically
+    /// when the planes would overflow; call once more before totals().
+    void flush() noexcept
+    {
+        for (int k = 0; k < kDepth; ++k) {
+            std::uint64_t plane = planes_[static_cast<std::size_t>(k)];
+            planes_[static_cast<std::size_t>(k)] = 0;
+            while (plane != 0) {
+                const int i = std::countr_zero(plane);
+                plane &= plane - 1;
+                totals_[static_cast<std::size_t>(i)] += std::uint64_t{1} << k;
+            }
+        }
+        pending_ = 0;
+    }
+
+    /// Per-position totals of every word added so far (flushes first).
+    [[nodiscard]] std::span<const std::uint64_t, 64> totals() noexcept
+    {
+        flush();
+        return totals_;
+    }
+
+private:
+    std::array<std::uint64_t, kDepth> planes_{};
+    std::array<std::uint64_t, 64> totals_{};
+    int pending_ = 0;
+};
+
+} // namespace hdpm::util

@@ -1,0 +1,524 @@
+/// Tests of the word-parallel estimation serving path: PackedTrace packing,
+/// the packed vs scalar kernel equivalence (property-swept over widths,
+/// operand splits, stream shapes, thread counts and chunk sizes — the
+/// kernels must agree bit-for-bit), histogram-based model evaluation
+/// against the per-cycle reference, the batched EstimationEngine's
+/// histogram cache, and the hardened stream I/O.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bitwise_model.hpp"
+#include "core/enhanced_model.hpp"
+#include "core/estimation_engine.hpp"
+#include "core/hd_model.hpp"
+#include "streams/bitstats.hpp"
+#include "streams/io.hpp"
+#include "streams/kernels.hpp"
+#include "streams/packed_trace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace hdpm;
+using streams::EstimationKernel;
+using streams::KernelOptions;
+using streams::PackedTrace;
+
+namespace {
+
+std::int64_t sign_extend(std::uint64_t bits, int width)
+{
+    if (width >= 64) {
+        return static_cast<std::int64_t>(bits);
+    }
+    return static_cast<std::int64_t>(bits << (64 - width)) >> (64 - width);
+}
+
+/// Random masked words; generate_stream() caps at width 32, so wide
+/// property sweeps draw raw Rng words instead.
+std::vector<std::uint64_t> random_words(int width, std::size_t n, std::uint64_t seed)
+{
+    util::Rng rng{seed};
+    const std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+    std::vector<std::uint64_t> words(n);
+    for (auto& w : words) {
+        w = rng.next_u64() & mask;
+    }
+    return words;
+}
+
+/// Correlated words: a masked random walk with small steps, giving low
+/// Hamming distances and many stable zeros (the regime the enhanced
+/// model's class table actually exercises).
+std::vector<std::uint64_t> correlated_words(int width, std::size_t n,
+                                            std::uint64_t seed)
+{
+    util::Rng rng{seed};
+    const std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+    std::vector<std::uint64_t> words(n);
+    std::uint64_t state = 0;
+    for (auto& w : words) {
+        state = (state + rng.uniform_int(std::uint64_t{7})) & mask;
+        w = state;
+    }
+    return words;
+}
+
+PackedTrace trace_from_words(const std::vector<std::uint64_t>& words, int width)
+{
+    std::vector<std::int64_t> values;
+    values.reserve(words.size());
+    for (const std::uint64_t w : words) {
+        values.push_back(sign_extend(w, width));
+    }
+    return PackedTrace::from_values(values, width);
+}
+
+core::HdModel make_hd_model(int m, std::uint64_t seed)
+{
+    util::Rng rng{seed};
+    std::vector<double> coefficients(static_cast<std::size_t>(m));
+    for (auto& p : coefficients) {
+        p = rng.uniform(1.0, 100.0);
+    }
+    return core::HdModel{m, std::move(coefficients)};
+}
+
+core::EnhancedHdModel make_enhanced_model(int m, std::uint64_t seed)
+{
+    util::Rng rng{seed};
+    std::vector<std::vector<double>> coefficients;
+    std::vector<std::vector<double>> deviations;
+    std::vector<std::vector<std::size_t>> samples;
+    for (int hd = 1; hd <= m; ++hd) {
+        const auto levels = static_cast<std::size_t>(m - hd + 1);
+        std::vector<double> row(levels);
+        for (auto& p : row) {
+            p = rng.uniform(1.0, 100.0);
+        }
+        coefficients.push_back(std::move(row));
+        deviations.emplace_back(levels, 0.0);
+        samples.emplace_back(levels, 1); // all classes populated
+    }
+    return core::EnhancedHdModel{m, 0, std::move(coefficients), std::move(deviations),
+                                 std::move(samples), make_hd_model(m, seed ^ 0xabcd)};
+}
+
+} // namespace
+
+// --- PackedTrace construction ------------------------------------------
+
+TEST(PackedTrace, FromValuesMatchesToPatterns)
+{
+    util::Rng rng{11};
+    std::vector<std::int64_t> values;
+    for (int i = 0; i < 500; ++i) {
+        values.push_back(rng.uniform_int(std::int64_t{-40000}, std::int64_t{40000}));
+    }
+    const PackedTrace trace = PackedTrace::from_values(values, 16);
+    const auto patterns = streams::to_patterns(values, 16);
+    ASSERT_EQ(trace.size(), patterns.size());
+    for (std::size_t j = 0; j < patterns.size(); ++j) {
+        EXPECT_EQ(trace.words()[j], patterns[j].raw()) << j;
+    }
+}
+
+TEST(PackedTrace, FromOperandsConcatenatesLikeBitVec)
+{
+    const std::vector<std::vector<std::int64_t>> operands{{3, -1, 7}, {-4, 2, 0}};
+    const std::vector<int> widths{5, 7};
+    const PackedTrace trace = PackedTrace::from_operands(operands, widths);
+    EXPECT_EQ(trace.width(), 12);
+    ASSERT_EQ(trace.size(), 3U);
+    for (std::size_t j = 0; j < 3; ++j) {
+        const std::uint64_t lo = static_cast<std::uint64_t>(operands[0][j]) & 0x1FU;
+        const std::uint64_t hi = static_cast<std::uint64_t>(operands[1][j]) & 0x7FU;
+        EXPECT_EQ(trace.words()[j], lo | (hi << 5)) << j;
+    }
+    EXPECT_EQ(trace.out_of_range(), 0U);
+}
+
+TEST(PackedTrace, CountsOutOfRangeSamples)
+{
+    // Width 4 two's complement holds [-8, 7]: 8 and -9 truncate.
+    const std::vector<std::int64_t> values{7, -8, 8, -9, 0};
+    const PackedTrace trace = PackedTrace::from_values(values, 4);
+    EXPECT_EQ(trace.out_of_range(), 2U);
+    // INT64_MIN must pack without overflow.
+    const std::vector<std::int64_t> extreme{std::numeric_limits<std::int64_t>::min(),
+                                            std::numeric_limits<std::int64_t>::max()};
+    const PackedTrace wide = PackedTrace::from_values(extreme, 64);
+    EXPECT_EQ(wide.out_of_range(), 0U);
+    const PackedTrace narrow = PackedTrace::from_values(extreme, 8);
+    EXPECT_EQ(narrow.out_of_range(), 2U);
+}
+
+TEST(PackedTrace, RoundTripsThroughPatterns)
+{
+    const auto words = random_words(13, 64, 21);
+    const PackedTrace trace = trace_from_words(words, 13);
+    const auto patterns = trace.to_patterns();
+    const PackedTrace back = PackedTrace::from_patterns(patterns);
+    EXPECT_EQ(back.width(), trace.width());
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t j = 0; j < words.size(); ++j) {
+        EXPECT_EQ(back.words()[j], words[j]) << j;
+    }
+}
+
+TEST(PackedTrace, RejectsMixedWidthsAndBadOperands)
+{
+    const std::vector<util::BitVec> mixed{util::BitVec{4, 1}, util::BitVec{5, 1}};
+    EXPECT_THROW((void)PackedTrace::from_patterns(mixed), util::PreconditionError);
+    const std::vector<std::vector<std::int64_t>> ragged{{1, 2}, {3}};
+    const std::vector<int> widths{4, 4};
+    EXPECT_THROW((void)PackedTrace::from_operands(ragged, widths),
+                 util::PreconditionError);
+    const std::vector<std::vector<std::int64_t>> wide{{1}, {2}};
+    const std::vector<int> too_wide{40, 40};
+    EXPECT_THROW((void)PackedTrace::from_operands(wide, too_wide),
+                 util::PreconditionError);
+}
+
+// --- Packed vs scalar kernel equivalence -------------------------------
+
+TEST(Kernels, PackedMatchesScalarAcrossWidths)
+{
+    // Full width sweep 1..64 with two stream shapes; 257 samples leaves a
+    // non-multiple-of-4 tail for the unrolled loops.
+    for (int width = 1; width <= 64; ++width) {
+        for (const bool correlated : {false, true}) {
+            const auto words =
+                correlated
+                    ? correlated_words(width, 257, 1000 + static_cast<unsigned>(width))
+                    : random_words(width, 257, 2000 + static_cast<unsigned>(width));
+            const auto hd_s =
+                streams::hd_histogram_words(words, width, EstimationKernel::Scalar);
+            const auto hd_p =
+                streams::hd_histogram_words(words, width, EstimationKernel::Packed);
+            EXPECT_EQ(hd_s.counts, hd_p.counts) << "width " << width;
+            EXPECT_EQ(hd_s.pairs, hd_p.pairs);
+
+            const auto cls_s = streams::hd_class_histogram_words(
+                words, width, EstimationKernel::Scalar);
+            const auto cls_p = streams::hd_class_histogram_words(
+                words, width, EstimationKernel::Packed);
+            EXPECT_EQ(cls_s.counts, cls_p.counts) << "width " << width;
+
+            const auto bits_s =
+                streams::count_bits_words(words, width, EstimationKernel::Scalar);
+            const auto bits_p =
+                streams::count_bits_words(words, width, EstimationKernel::Packed);
+            EXPECT_EQ(bits_s.ones, bits_p.ones) << "width " << width;
+            EXPECT_EQ(bits_s.toggles, bits_p.toggles) << "width " << width;
+        }
+    }
+}
+
+TEST(Kernels, MultiOperandSplitMatchesScalar)
+{
+    // Multi-operand traces classify over the concatenated width; the
+    // packed kernels must agree with the scalar path on the whole word.
+    util::Rng rng{77};
+    const std::vector<std::vector<int>> splits{{8, 8}, {3, 5, 7}, {1, 1, 1, 1},
+                                               {32, 31}};
+    for (const auto& widths : splits) {
+        std::vector<std::vector<std::int64_t>> operands;
+        for (const int w : widths) {
+            std::vector<std::int64_t> values(301);
+            for (auto& v : values) {
+                v = sign_extend(rng.next_u64(), w);
+            }
+            operands.push_back(std::move(values));
+        }
+        const PackedTrace trace = PackedTrace::from_operands(operands, widths);
+        const auto scalar = streams::hd_class_histogram(
+            trace, KernelOptions{.kernel = EstimationKernel::Scalar});
+        const auto packed = streams::hd_class_histogram(
+            trace, KernelOptions{.kernel = EstimationKernel::Packed});
+        EXPECT_EQ(scalar.counts, packed.counts);
+    }
+}
+
+TEST(Kernels, ThreadAndChunkInvariance)
+{
+    // Same integer histogram for every (threads, chunk, kernel) combination
+    // — chunk boundaries overlap one sample and merge in chunk order.
+    const int width = 16;
+    const auto words = correlated_words(width, 50000, 99);
+    const PackedTrace trace = trace_from_words(words, width);
+    const auto reference =
+        streams::hd_class_histogram(trace, KernelOptions{.threads = 1});
+    const auto hd_reference = streams::hd_histogram(trace, KernelOptions{.threads = 1});
+    const auto bit_reference = streams::count_bits(trace, KernelOptions{.threads = 1});
+
+    for (const unsigned threads : {0U, 2U, 3U, 8U}) {
+        for (const std::size_t chunk : {std::size_t{64}, std::size_t{997},
+                                        std::size_t{1} << 16}) {
+            for (const auto kernel :
+                 {EstimationKernel::Packed, EstimationKernel::Scalar}) {
+                const KernelOptions options{
+                    .kernel = kernel, .threads = threads, .chunk = chunk};
+                EXPECT_EQ(streams::hd_class_histogram(trace, options).counts,
+                          reference.counts)
+                    << threads << " threads, chunk " << chunk;
+                EXPECT_EQ(streams::hd_histogram(trace, options).counts,
+                          hd_reference.counts)
+                    << threads << " threads, chunk " << chunk;
+                const auto bits = streams::count_bits(trace, options);
+                EXPECT_EQ(bits.ones, bit_reference.ones);
+                EXPECT_EQ(bits.toggles, bit_reference.toggles);
+            }
+        }
+    }
+}
+
+TEST(Kernels, HistogramMatchesBitstatsHelpers)
+{
+    // The packed histogram agrees with the pre-existing scalar helpers on
+    // the expanded pattern stream.
+    const auto words = random_words(12, 400, 5);
+    const PackedTrace trace = trace_from_words(words, 12);
+    const auto patterns = trace.to_patterns();
+
+    const auto histogram = streams::hd_histogram(trace);
+    const auto dist = streams::extract_hd_distribution(patterns);
+    const auto packed_dist = histogram.to_distribution();
+    ASSERT_EQ(packed_dist.size(), dist.size());
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+        EXPECT_DOUBLE_EQ(packed_dist[i], dist[i]) << i;
+    }
+    EXPECT_DOUBLE_EQ(histogram.average_hd(), streams::extract_average_hd(patterns));
+
+    const streams::BitStats stats = streams::measure_bit_stats(patterns);
+    const auto counts = streams::count_bits(trace);
+    for (int i = 0; i < 12; ++i) {
+        EXPECT_DOUBLE_EQ(stats.signal_prob[static_cast<std::size_t>(i)],
+                         static_cast<double>(counts.ones[static_cast<std::size_t>(i)]) /
+                             static_cast<double>(trace.size()));
+        EXPECT_DOUBLE_EQ(
+            stats.transition_prob[static_cast<std::size_t>(i)],
+            static_cast<double>(counts.toggles[static_cast<std::size_t>(i)]) /
+                static_cast<double>(trace.cycles()));
+    }
+}
+
+// --- Histogram-based model evaluation ----------------------------------
+
+TEST(EstimateTrace, HdModelMatchesEstimateAverage)
+{
+    // Histogram evaluation reassociates the FP sum; allow a relative
+    // tolerance (documented in docs/estimation.md) instead of exact equality.
+    for (const int m : {4, 16, 33}) {
+        const core::HdModel model = make_hd_model(m, 42);
+        const auto words = random_words(m, 3000, 7 + static_cast<unsigned>(m));
+        const PackedTrace trace = trace_from_words(words, m);
+        const double packed = model.estimate_trace(trace);
+        const double reference = model.estimate_average(trace.to_patterns());
+        EXPECT_NEAR(packed, reference, 1e-9 * std::abs(reference)) << "m=" << m;
+    }
+}
+
+TEST(EstimateTrace, EnhancedModelMatchesEstimateAverage)
+{
+    for (const int m : {4, 12}) {
+        const core::EnhancedHdModel model = make_enhanced_model(m, 3);
+        for (const bool correlated : {false, true}) {
+            const auto words = correlated
+                                   ? correlated_words(m, 2000, 31)
+                                   : random_words(m, 2000, 17);
+            const PackedTrace trace = trace_from_words(words, m);
+            const double packed = model.estimate_trace(trace);
+            const double reference = model.estimate_average(trace.to_patterns());
+            EXPECT_NEAR(packed, reference, 1e-9 * std::abs(reference)) << "m=" << m;
+        }
+    }
+}
+
+TEST(EstimateTrace, BitwiseModelMatchesEstimateAverage)
+{
+    // Same evaluation order as the scalar path — exactly equal, including
+    // the max(0, ·) clamp and the zero-mask special case.
+    util::Rng rng{8};
+    std::vector<double> weights(10);
+    for (auto& w : weights) {
+        w = rng.uniform(-5.0, 5.0); // negative weights exercise the clamp
+    }
+    const core::BitwiseLinearModel model{1.0, std::move(weights)};
+    const auto words = correlated_words(10, 1500, 63); // repeats hit mask == 0
+    const PackedTrace trace = trace_from_words(words, 10);
+    EXPECT_DOUBLE_EQ(model.estimate_trace(trace),
+                     model.estimate_average(trace.to_patterns()));
+}
+
+TEST(EstimateTrace, WidthMismatchThrows)
+{
+    const core::HdModel model = make_hd_model(8, 1);
+    const auto words = random_words(9, 16, 2);
+    const PackedTrace trace = trace_from_words(words, 9);
+    EXPECT_THROW((void)model.estimate_trace(trace), util::PreconditionError);
+    const core::EnhancedHdModel enhanced = make_enhanced_model(8, 1);
+    EXPECT_THROW((void)enhanced.estimate_trace(trace), util::PreconditionError);
+    const core::BitwiseLinearModel bitwise{0.0, std::vector<double>(8, 1.0)};
+    EXPECT_THROW((void)bitwise.estimate_trace(trace), util::PreconditionError);
+}
+
+// --- EstimationEngine ---------------------------------------------------
+
+TEST(EstimationEngine, CachesHistogramsAcrossModels)
+{
+    core::EstimationEngine engine;
+    const auto words = random_words(16, 4000, 4);
+    const PackedTrace trace = trace_from_words(words, 16);
+
+    const core::HdModel a = make_hd_model(16, 1);
+    const core::HdModel b = make_hd_model(16, 2);
+    const double qa = engine.estimate(a, trace);
+    const double qb = engine.estimate(b, trace);
+    EXPECT_EQ(engine.stats().histograms_built, 1U);
+    EXPECT_EQ(engine.stats().cache_hits, 1U);
+    EXPECT_EQ(engine.stats().models, 2U);
+    EXPECT_EQ(engine.stats().cycles, 2 * trace.cycles());
+    EXPECT_NEAR(qa, a.estimate_trace(trace), 1e-12 * std::abs(qa));
+    EXPECT_NEAR(qb, b.estimate_trace(trace), 1e-12 * std::abs(qb));
+
+    // The enhanced model needs the class histogram — one more build, and a
+    // repeat evaluation hits the cache.
+    const core::EnhancedHdModel enhanced = make_enhanced_model(16, 5);
+    (void)engine.estimate(enhanced, trace);
+    EXPECT_EQ(engine.stats().histograms_built, 2U);
+    (void)engine.estimate(enhanced, trace);
+    EXPECT_EQ(engine.stats().cache_hits, 2U);
+}
+
+TEST(EstimationEngine, BatchEvaluatesAllModelKinds)
+{
+    core::EstimationEngine engine;
+    const auto words = correlated_words(12, 2500, 6);
+    const PackedTrace trace = trace_from_words(words, 12);
+
+    const core::HdModel hd = make_hd_model(12, 10);
+    const core::EnhancedHdModel enhanced = make_enhanced_model(12, 11);
+    const core::BitwiseLinearModel bitwise{0.5, std::vector<double>(12, 2.0)};
+    const std::vector<core::AnyModel> models{&hd, &enhanced, &bitwise};
+    const std::vector<double> results = engine.estimate_batch(models, trace);
+    ASSERT_EQ(results.size(), 3U);
+    EXPECT_NEAR(results[0], hd.estimate_trace(trace), 1e-12 * results[0]);
+    EXPECT_NEAR(results[1], enhanced.estimate_trace(trace), 1e-12 * results[1]);
+    EXPECT_DOUBLE_EQ(results[2], bitwise.estimate_trace(trace));
+    EXPECT_EQ(engine.stats().models, 3U);
+    EXPECT_GT(engine.stats().cycles_per_second(), 0.0);
+}
+
+TEST(EstimationEngine, EvictsLeastRecentlyUsedTrace)
+{
+    core::EstimationEngine engine{KernelOptions{}, 2};
+    const core::HdModel model = make_hd_model(8, 9);
+    std::vector<PackedTrace> traces;
+    for (unsigned t = 0; t < 3; ++t) {
+        traces.push_back(trace_from_words(random_words(8, 300, 50 + t), 8));
+    }
+    (void)engine.estimate(model, traces[0]);
+    (void)engine.estimate(model, traces[1]);
+    (void)engine.estimate(model, traces[2]); // evicts traces[0]
+    EXPECT_EQ(engine.stats().histograms_built, 3U);
+    (void)engine.estimate(model, traces[0]); // rebuilt, not cached
+    EXPECT_EQ(engine.stats().histograms_built, 4U);
+    (void)engine.estimate(model, traces[0]);
+    EXPECT_EQ(engine.stats().cache_hits, 1U);
+}
+
+// --- Sign-magnitude clamp surfacing ------------------------------------
+
+TEST(NumberFormat, SignMagnitudeReportsClampedSamples)
+{
+    // Width 8 sign-magnitude holds magnitudes up to 127.
+    const std::vector<std::int64_t> values{127, -127, 128, -200, 0};
+    std::size_t clamped = 0;
+    const auto patterns = streams::to_patterns(
+        values, 8, streams::NumberFormat::SignMagnitude, &clamped);
+    EXPECT_EQ(clamped, 2U);
+    EXPECT_EQ(streams::decode_pattern(patterns[2], streams::NumberFormat::SignMagnitude),
+              127);
+    EXPECT_EQ(streams::decode_pattern(patterns[3], streams::NumberFormat::SignMagnitude),
+              -127);
+
+    // Two's complement never clamps (values are masked, not saturated).
+    std::size_t tc_clamped = 99;
+    (void)streams::to_patterns(values, 8, streams::NumberFormat::TwosComplement,
+                               &tc_clamped);
+    EXPECT_EQ(tc_clamped, 0U);
+
+    // INT64_MIN's magnitude must not overflow during encoding.
+    const std::vector<std::int64_t> extreme{std::numeric_limits<std::int64_t>::min()};
+    std::size_t extreme_clamped = 0;
+    const auto p = streams::to_patterns(extreme, 8, streams::NumberFormat::SignMagnitude,
+                                        &extreme_clamped);
+    EXPECT_EQ(extreme_clamped, 1U);
+    EXPECT_EQ(streams::decode_pattern(p[0], streams::NumberFormat::SignMagnitude), -127);
+}
+
+// --- Stream I/O hardening ----------------------------------------------
+
+namespace {
+
+std::string temp_path(const std::string& name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void write_file(const std::string& path, const std::string& text)
+{
+    std::ofstream out{path, std::ios::binary};
+    out << text;
+}
+
+} // namespace
+
+TEST(StreamIo, LoadRejectsMalformedRows)
+{
+    const std::string path = temp_path("hdpm_estimation_io_bad.csv");
+    write_file(path, "value\n1\nnot_a_number\n3\n");
+    EXPECT_THROW((void)streams::load_stream(path), util::RuntimeError);
+    write_file(path, "value\n1\n2,3\n");
+    EXPECT_THROW((void)streams::load_stream(path), util::RuntimeError);
+    write_file(path, "value\n1\nnan\n");
+    EXPECT_THROW((void)streams::load_stream(path), util::RuntimeError);
+    write_file(path, "");
+    EXPECT_THROW((void)streams::load_stream(path), util::RuntimeError);
+    std::remove(path.c_str());
+    EXPECT_THROW((void)streams::load_stream(path), util::RuntimeError);
+}
+
+TEST(StreamIo, LoadAcceptsCrlfAndFloatCells)
+{
+    const std::string path = temp_path("hdpm_estimation_io_crlf.csv");
+    write_file(path, "value\r\n1\r\n-2\r\n3.6\r\n");
+    const auto values = streams::load_stream(path);
+    EXPECT_EQ(values, (std::vector<std::int64_t>{1, -2, 4}));
+    std::remove(path.c_str());
+}
+
+TEST(StreamIo, MillionLineRoundTrip)
+{
+    util::Rng rng{123};
+    std::vector<std::int64_t> original(1'000'000);
+    for (auto& v : original) {
+        v = rng.uniform_int(std::int64_t{-2'000'000'000}, std::int64_t{2'000'000'000});
+    }
+    const std::string path = temp_path("hdpm_estimation_io_1m.csv");
+    streams::save_stream(path, original);
+    const auto loaded = streams::load_stream(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded, original);
+}
