@@ -11,9 +11,10 @@
 /// warm-up comparison (per-record vs batched vs all-core default; skip
 /// with --no-pairs), a checkpoint-journal overhead measurement (skip
 /// with --no-checkpoint) and an estimation serving-throughput comparison
-/// (scalar vs packed vs packed+threads on a 1M-sample 16-bit stream;
-/// skip with --no-estimation) run and write their sections into
-/// BENCH_speed.json.
+/// (scalar vs packed vs packed+threads on a 1M-sample 16-bit stream,
+/// plus a 16/64/128/256-bit width sweep across the scalar kernel and
+/// the packed kernel's SIMD tiers; skip both with --no-estimation) run
+/// and write their sections into BENCH_speed.json.
 
 #include <benchmark/benchmark.h>
 
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "core/hdpower.hpp"
+#include "util/cpu.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -725,6 +727,122 @@ std::string run_estimation_bench()
     return json.str();
 }
 
+/// Serving-throughput sweep across trace widths and kernel tiers: for
+/// module streams of 16 / 64 / 128 / 256 total input bits (1 to 4 words
+/// per sample), the scalar baseline kernel, the packed kernel pinned to
+/// its scalar tier, and the packed kernel under runtime SIMD dispatch,
+/// all single-threaded on the same 1M-sample random stream. Verifies the
+/// estimates are bit-identical across the grid and returns a JSON
+/// fragment for BENCH_speed.json.
+std::string run_width_sweep()
+{
+    struct Case {
+        int width = 0;
+        std::vector<int> operand_widths;
+    };
+    const Case cases[] = {
+        {16, {16}},
+        {64, {32, 32}},
+        {128, {64, 64}},
+        {256, {64, 64, 64, 64}},
+    };
+
+    struct Config {
+        const char* name = "";
+        streams::KernelOptions options;
+    };
+    const Config configs[] = {
+        {"scalar kernel",
+         {.kernel = streams::EstimationKernel::Scalar, .threads = 1}},
+        {"packed, simd=scalar",
+         {.kernel = streams::EstimationKernel::Packed,
+          .threads = 1,
+          .simd = util::cpu::SimdLevel::Scalar}},
+        {"packed, simd=auto",
+         {.kernel = streams::EstimationKernel::Packed, .threads = 1}},
+    };
+
+    const std::size_t n = 1'000'000;
+    constexpr int kReps = 3; // best-of-N to damp scheduler noise
+    const double cycles = static_cast<double>(n - 1);
+    bool agree = true;
+
+    std::cout << "\nserving throughput vs trace width (1M-sample random "
+                 "streams, single thread, dispatch tier "
+              << util::cpu::level_name(util::cpu::active()) << "):\n";
+    util::TextTable table;
+    table.set_header({"width", "words", "configuration", "wall [ms]",
+                      "Mcycles/s", "vs scalar kernel"});
+
+    std::ostringstream json;
+    json << "  \"estimation_width_sweep\": {\n"
+         << "    \"samples\": " << n << ",\n"
+         << "    \"dispatch_tier\": \""
+         << util::cpu::level_name(util::cpu::active()) << "\",\n"
+         << "    \"cases\": [";
+
+    for (std::size_t c = 0; c < std::size(cases); ++c) {
+        const Case& cs = cases[c];
+        std::vector<std::vector<std::int64_t>> operands;
+        for (std::size_t op = 0; op < cs.operand_widths.size(); ++op) {
+            operands.push_back(streams::generate_stream(
+                streams::DataType::Random, cs.operand_widths[op], n,
+                1000 + 13 * op));
+        }
+        const streams::PackedTrace trace =
+            streams::PackedTrace::from_operands(operands, cs.operand_widths);
+
+        std::vector<double> coefficients(static_cast<std::size_t>(cs.width));
+        for (int i = 0; i < cs.width; ++i) {
+            coefficients[static_cast<std::size_t>(i)] = 10.0 + 3.0 * i;
+        }
+        const core::HdModel model{cs.width, std::move(coefficients)};
+
+        json << (c == 0 ? "" : ",") << "\n      {\"width\": " << cs.width
+             << ", \"words_per_sample\": " << trace.words_per_sample()
+             << ", \"runs\": [";
+        double scalar_cps = 0.0;
+        double estimate0 = 0.0;
+        for (std::size_t k = 0; k < std::size(configs); ++k) {
+            double wall_ms = std::numeric_limits<double>::infinity();
+            double estimate = 0.0;
+            for (int rep = 0; rep < kReps; ++rep) {
+                const auto start = std::chrono::steady_clock::now();
+                estimate = model.estimate_trace(trace, configs[k].options);
+                benchmark::DoNotOptimize(estimate);
+                wall_ms = std::min(
+                    wall_ms, std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count());
+            }
+            const double cps = cycles / (wall_ms / 1000.0);
+            if (k == 0) {
+                scalar_cps = cps;
+                estimate0 = estimate;
+            }
+            agree = agree && estimate == estimate0;
+            table.add_row({std::to_string(cs.width),
+                           std::to_string(trace.words_per_sample()),
+                           configs[k].name, util::TextTable::fmt(wall_ms, 2),
+                           util::TextTable::fmt(cps / 1e6, 1),
+                           util::TextTable::fmt(cps / scalar_cps, 1)});
+            json << (k == 0 ? "" : ",") << "\n        {\"config\": \""
+                 << configs[k].name << "\", \"wall_ms\": " << wall_ms
+                 << ", \"cycles_per_sec\": " << cps
+                 << ", \"speedup_vs_scalar_kernel\": " << cps / scalar_cps
+                 << "}";
+        }
+        json << "\n      ]}";
+    }
+    table.print(std::cout);
+    std::cout << "estimates bit-identical across the width/kernel grid: "
+              << (agree ? "yes" : "NO — KERNEL BUG") << '\n';
+
+    json << "\n    ],\n    \"estimates_identical\": "
+         << (agree ? "true" : "false") << "\n  }";
+    return json.str();
+}
+
 /// Strip @p flag from argv (google-benchmark rejects unknown flags).
 bool take_flag(int& argc, char** argv, const char* flag)
 {
@@ -771,6 +889,7 @@ int main(int argc, char** argv)
     }
     if (estimation) {
         sections.push_back(run_estimation_bench());
+        sections.push_back(run_width_sweep());
     }
     if (!sections.empty()) {
         std::ofstream json{"BENCH_speed.json"};

@@ -22,9 +22,11 @@
 /// failed and were skipped — the model is usable but has reduced
 /// coverage; rerun with --strict to turn the first failure fatal).
 
+#include <algorithm>
 #include <array>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,7 @@ namespace {
                  "[--models DIR] [--verify] [--threads N]\n"
                  "                               [--stream FILE]... "
                  "[--kernel scalar|packed] [--enhanced [K]]\n"
+                 "                               [--simd scalar|avx2|avx512|auto]\n"
               << "  report <module> <width...> --data <I..V> [--patterns N] [--top K]\n"
               << "  sweep <module> <wmin> <wmax> --data <I..V> [--models DIR] "
                  "[--budget N] [--threads N]\n"
@@ -59,6 +62,10 @@ namespace {
               << "--checkpoint FILE journals completed shards crash-safely so a\n"
               << "killed run resumes where it stopped; --strict makes the first\n"
               << "shard failure fatal instead of degrading coverage.\n"
+              << "--simd pins the packed kernel's instruction tier (default auto =\n"
+              << "widest the host supports); every tier is bit-identical.\n"
+              << "modules wider than 64 input bits are served via the section-5\n"
+              << "parameterizable family (characterized at small prototype widths).\n"
               << "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 completed degraded\n";
     std::exit(2);
 }
@@ -93,6 +100,7 @@ struct Cli {
     streams::DataType data{};
     std::vector<std::string> stream_files; ///< one CSV per operand
     streams::EstimationKernel kernel = streams::EstimationKernel::Packed;
+    std::optional<util::cpu::SimdLevel> simd; ///< nullopt = runtime auto
 };
 
 Cli parse_module_args(int argc, char** argv, int start)
@@ -159,6 +167,15 @@ Cli parse_module_args(int argc, char** argv, int start)
             } else {
                 std::cerr << "unknown kernel '" << kernel
                           << "' (use scalar or packed)\n";
+                std::exit(2);
+            }
+        } else if (flag == "--simd") {
+            const std::string tier = next();
+            bool ok = false;
+            cli.simd = util::cpu::parse_level(tier, &ok);
+            if (!ok) {
+                std::cerr << "unknown SIMD tier '" << tier
+                          << "' (use scalar, avx2, avx512, or auto)\n";
                 std::exit(2);
             }
         } else if (flag == "--verify") {
@@ -366,35 +383,106 @@ int cmd_estimate(const Cli& cli)
     const streams::PackedTrace trace =
         streams::PackedTrace::from_operands(operands, module.operand_widths());
     if (trace.out_of_range() > 0) {
-        std::cerr << "warning: " << trace.out_of_range() << " of " << trace.size()
-                  << " sample(s) exceeded their operand's two's-complement range "
-                     "and were truncated to the operand width\n";
+        std::cerr << "warning: " << trace.out_of_range()
+                  << " operand value(s) across " << trace.size()
+                  << " pattern(s) exceeded their operand's two's-complement "
+                     "range and were truncated to the operand width\n";
+        const auto per_operand = trace.out_of_range_by_operand();
+        for (std::size_t op = 0; op < per_operand.size(); ++op) {
+            if (per_operand[op] == 0) {
+                continue;
+            }
+            std::cerr << "  operand " << op << " ("
+                      << (op < cli.stream_files.size() ? cli.stream_files[op]
+                                                       : "generated")
+                      << ", " << trace.operand_widths()[op] << " bits): "
+                      << per_operand[op] << " truncated sample(s)\n";
+        }
+    }
+
+    const bool wide = module.total_input_bits() > util::BitVec::kMaxWidth;
+    if (wide && cli.enhanced) {
+        std::cerr << "modules wider than " << util::BitVec::kMaxWidth
+                  << " input bits have no enhanced-model family; rerun without "
+                     "--enhanced\n";
+        return 2;
+    }
+    if (wide && cli.verify) {
+        std::cerr << "--verify replays the trace through the reference gate-level "
+                     "simulator, which is limited to "
+                  << util::BitVec::kMaxWidth
+                  << " input bits; rerun without --verify\n";
+        return 2;
     }
 
     streams::KernelOptions kernel_options;
     kernel_options.kernel = cli.kernel;
     kernel_options.threads = cli.threads;
+    kernel_options.simd = cli.simd;
     core::EstimationEngine engine{kernel_options};
 
     double estimate = 0.0;
+    std::string model_desc;
     if (cli.enhanced) {
         const core::EnhancedHdModel model = library.get_or_characterize_enhanced(
             cli.module_type, cli.widths, cli.zero_clusters, char_options(cli));
         estimate = engine.estimate(model, trace);
+        model_desc = "enhanced model";
+    } else if (wide) {
+        // Too wide to simulate directly (the characterizer's pattern
+        // encoding is 64-bit-bounded): characterize small square
+        // prototypes of the same family and fit the section-5
+        // parameterizable regression, then instantiate the model at the
+        // requested widths. Coefficient indices beyond the largest
+        // prototype extrapolate (clamped to the highest fitted index).
+        const std::vector<int> proto_scales{4, 6, 8};
+        const util::ThreadPool pool{cli.threads};
+        core::CharacterizationOptions proto_options = char_options(cli);
+        proto_options.threads = 1; // parallelism is spent across prototypes
+        const std::vector<core::PrototypeModel> prototypes =
+            pool.parallel_map(proto_scales.size(), [&](std::size_t i) {
+                const std::vector<int> proto_widths(cli.widths.size(),
+                                                    proto_scales[i]);
+                core::PrototypeModel proto;
+                proto.operand_widths = proto_widths;
+                proto.model = library.get_or_characterize(cli.module_type,
+                                                          proto_widths,
+                                                          proto_options);
+                return proto;
+            });
+        const core::ParameterizableModel family =
+            core::ParameterizableModel::fit(cli.module_type, prototypes,
+                                            cli.threads);
+        const core::HdModel model = family.model_for(cli.widths);
+        estimate = engine.estimate(model, trace);
+        model_desc = "parameterizable family (prototype widths 4, 6, 8; Hd > " +
+                     std::to_string(family.max_fitted_hd()) + " clamped)";
     } else {
         const core::HdModel model =
             library.get_or_characterize(cli.module_type, cli.widths, char_options(cli));
         estimate = engine.estimate(model, trace);
+        model_desc = "basic Hd model";
     }
 
     std::cout << module.display_name() << ", " << source << " (" << trace.size()
-              << " patterns):\n";
+              << " patterns, " << trace.width() << " bits in "
+              << trace.words_per_sample() << " word(s)/sample):\n";
+    std::cout << "  model:                " << model_desc << '\n';
     std::cout << "  macro-model estimate: " << estimate << " fC/cycle\n";
     const core::EstimateRunStats& stats = engine.stats();
+    std::string kernel_desc = streams::kernel_name(cli.kernel);
+    if (cli.kernel == streams::EstimationKernel::Packed) {
+        // Report the tier that actually ran: requests above the host's
+        // capability are clamped by the dispatch layer.
+        const auto requested = cli.simd.has_value() ? *cli.simd : util::cpu::active();
+        kernel_desc += '/';
+        kernel_desc += util::cpu::level_name(
+            std::min(requested, util::cpu::max_supported()));
+    }
     std::cout << "  served " << stats.cycles << " cycles in "
               << util::TextTable::fmt(stats.seconds * 1e3, 2) << " ms ("
               << util::TextTable::fmt(stats.cycles_per_second() / 1e6, 1)
-              << " M cycles/s, " << streams::kernel_name(cli.kernel) << " kernel, "
+              << " M cycles/s, " << kernel_desc << " kernel, "
               << stats.histograms_built << " histogram(s) built)\n";
 
     if (cli.verify) {

@@ -103,11 +103,42 @@ double BitwiseLinearModel::estimate_trace(const streams::PackedTrace& trace) con
                  " vs model m=", input_bits());
     HDPM_REQUIRE(trace.size() >= 2, "need at least two patterns");
     const std::span<const std::uint64_t> words = trace.words();
+    const std::size_t stride = trace.words_per_sample();
     double total = 0.0;
-    for (std::size_t j = 1; j < words.size(); ++j) {
-        total += estimate_cycle(words[j] ^ words[j - 1]);
+    if (stride == 1) {
+        for (std::size_t j = 1; j < words.size(); ++j) {
+            total += estimate_cycle(words[j] ^ words[j - 1]);
+        }
+        return total / static_cast<double>(words.size() - 1);
     }
-    return total / static_cast<double>(words.size() - 1);
+    // Multi-word walk: same event convention and same summation order as
+    // estimate_cycle (intercept first, then weights in ascending global
+    // bit order), so the stride-1 path and this one agree to the last ulp
+    // on equal toggle sets. Bits above width() are zero in every sample,
+    // so no per-bit range guard is needed.
+    for (std::size_t j = 1; j < trace.size(); ++j) {
+        const std::uint64_t* prev = words.data() + (j - 1) * stride;
+        const std::uint64_t* cur = prev + stride;
+        std::uint64_t any = 0;
+        for (std::size_t k = 0; k < stride; ++k) {
+            any |= prev[k] ^ cur[k];
+        }
+        if (any == 0) {
+            continue; // no event, no charge (matches estimate_cycle)
+        }
+        double q = intercept_;
+        for (std::size_t k = 0; k < stride; ++k) {
+            std::uint64_t mask = prev[k] ^ cur[k];
+            const std::size_t base = k * 64;
+            while (mask != 0) {
+                const int bit = std::countr_zero(mask);
+                mask &= mask - 1;
+                q += weights_[base + static_cast<std::size_t>(bit)];
+            }
+        }
+        total += q > 0.0 ? q : 0.0;
+    }
+    return total / static_cast<double>(trace.size() - 1);
 }
 
 void BitwiseLinearModel::save(std::ostream& os) const

@@ -19,15 +19,28 @@ double elapsed_seconds(Clock::time_point start)
 } // namespace
 
 EstimationEngine::EstimationEngine(streams::KernelOptions options,
-                                   std::size_t cache_capacity)
-    : options_(options), cache_capacity_(std::max<std::size_t>(cache_capacity, 1))
+                                   std::size_t cache_capacity,
+                                   std::size_t cache_bytes)
+    : options_(options), cache_capacity_(std::max<std::size_t>(cache_capacity, 1)),
+      cache_bytes_(cache_bytes)
 {
+}
+
+streams::KernelOptions EstimationEngine::options_for(
+    const streams::PackedTrace& trace) const noexcept
+{
+    streams::KernelOptions opts = options_;
+    // Keep the words-per-chunk (and thus per-task cost) roughly constant
+    // across strides. Chunk layout only affects work division, never the
+    // counts, so this is purely a scheduling choice.
+    opts.chunk = std::max<std::size_t>(options_.chunk / trace.words_per_sample(), 2);
+    return opts;
 }
 
 EstimationEngine::CacheEntry& EstimationEngine::entry_for(
     const streams::PackedTrace& trace)
 {
-    const std::uint64_t key = trace.id();
+    const CacheKey key{trace.id(), trace.width()};
     auto it = cache_.find(key);
     if (it != cache_.end()) {
         // Refresh LRU position.
@@ -35,13 +48,30 @@ EstimationEngine::CacheEntry& EstimationEngine::entry_for(
         lru_.push_front(key);
         return it->second;
     }
-    if (cache_.size() >= cache_capacity_) {
-        const std::uint64_t victim = lru_.back();
-        lru_.pop_back();
-        cache_.erase(victim);
-    }
     lru_.push_front(key);
-    return cache_[key];
+    CacheEntry& entry = cache_[key];
+    evict_to_budget();
+    return entry;
+}
+
+void EstimationEngine::evict_to_budget()
+{
+    while (cache_.size() > 1 &&
+           (cache_.size() > cache_capacity_ || bytes_used_ > cache_bytes_)) {
+        const CacheKey victim = lru_.back();
+        lru_.pop_back();
+        const auto it = cache_.find(victim);
+        if (it != cache_.end()) {
+            const CacheEntry& entry = it->second;
+            if (entry.hd) {
+                bytes_used_ -= entry.hd->counts.size() * sizeof(std::uint64_t);
+            }
+            if (entry.classes) {
+                bytes_used_ -= entry.classes->counts.size() * sizeof(std::uint64_t);
+            }
+            cache_.erase(it);
+        }
+    }
 }
 
 const streams::HdHistogram& EstimationEngine::hd_histogram(
@@ -49,8 +79,10 @@ const streams::HdHistogram& EstimationEngine::hd_histogram(
 {
     CacheEntry& entry = entry_for(trace);
     if (!entry.hd) {
-        entry.hd = streams::hd_histogram(trace, options_);
+        entry.hd = streams::hd_histogram(trace, options_for(trace));
+        bytes_used_ += entry.hd->counts.size() * sizeof(std::uint64_t);
         ++stats_.histograms_built;
+        evict_to_budget();
     } else {
         ++stats_.cache_hits;
     }
@@ -62,8 +94,10 @@ const streams::HdClassHistogram& EstimationEngine::hd_class_histogram(
 {
     CacheEntry& entry = entry_for(trace);
     if (!entry.classes) {
-        entry.classes = streams::hd_class_histogram(trace, options_);
+        entry.classes = streams::hd_class_histogram(trace, options_for(trace));
+        bytes_used_ += entry.classes->counts.size() * sizeof(std::uint64_t);
         ++stats_.histograms_built;
+        evict_to_budget();
     } else {
         ++stats_.cache_hits;
     }
@@ -127,6 +161,7 @@ void EstimationEngine::clear_cache()
 {
     cache_.clear();
     lru_.clear();
+    bytes_used_ = 0;
 }
 
 } // namespace hdpm::core

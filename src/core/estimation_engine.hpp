@@ -41,17 +41,25 @@ using AnyModel =
 
 /// Batched trace-evaluation engine: evaluates models against packed traces,
 /// computing each trace's classification histogram once and caching it per
-/// (trace identity, histogram kind) so that serving many models — or the
-/// same model repeatedly — against one trace pays for classification once.
+/// (trace identity, trace geometry, histogram kind) so that serving many
+/// models — or the same model repeatedly — against one trace pays for
+/// classification once.
 ///
 /// The kernels run with the engine's KernelOptions (packed/scalar, thread
-/// count, chunking); results are bit-identical across those knobs, so the
-/// cache never needs to key on them. The engine itself is not thread-safe:
-/// one engine per serving thread (the kernels parallelize internally).
+/// count, chunking, SIMD tier); results are bit-identical across those
+/// knobs, so the cache never needs to key on them. It does key on the
+/// trace's width alongside its id — width fixes both the bin count and the
+/// words-per-sample stride, so two traces that ever shared an id but not a
+/// geometry can never alias an entry. Eviction is LRU and byte-aware: an
+/// Hd entry holds (width+1) bins but a class entry holds (width+1)² — wide
+/// traces are charged accordingly against cache_bytes. The engine itself
+/// is not thread-safe: one engine per serving thread (the kernels
+/// parallelize internally).
 class EstimationEngine {
 public:
     explicit EstimationEngine(streams::KernelOptions options = {},
-                              std::size_t cache_capacity = 8);
+                              std::size_t cache_capacity = 8,
+                              std::size_t cache_bytes = std::size_t{64} << 20);
 
     [[nodiscard]] const streams::KernelOptions& options() const noexcept
     {
@@ -92,10 +100,37 @@ public:
     [[nodiscard]] const EstimateRunStats& stats() const noexcept { return stats_; }
     void reset_stats() noexcept { stats_ = {}; }
 
+    /// Bytes of histogram bins currently held by the cache.
+    [[nodiscard]] std::size_t cache_bytes_used() const noexcept { return bytes_used_; }
+
     /// Drop all cached histograms.
     void clear_cache();
 
 private:
+    /// Cache identity: the trace id plus its width. The width pins the
+    /// histogram geometry (bin count and words-per-sample), so an id that
+    /// is ever reused across different trace shapes cannot serve a stale
+    /// histogram of the wrong size.
+    struct CacheKey {
+        std::uint64_t id = 0;
+        int width = 0;
+
+        friend bool operator==(const CacheKey&, const CacheKey&) = default;
+    };
+
+    struct CacheKeyHash {
+        [[nodiscard]] std::size_t operator()(const CacheKey& key) const noexcept
+        {
+            // splitmix-style mix of the two fields.
+            std::uint64_t x =
+                key.id ^ (static_cast<std::uint64_t>(key.width) * 0x9e3779b97f4a7c15ULL);
+            x ^= x >> 30;
+            x *= 0xbf58476d1ce4e5b9ULL;
+            x ^= x >> 27;
+            return static_cast<std::size_t>(x);
+        }
+    };
+
     struct CacheEntry {
         std::optional<streams::HdHistogram> hd;
         std::optional<streams::HdClassHistogram> classes;
@@ -103,10 +138,22 @@ private:
 
     CacheEntry& entry_for(const streams::PackedTrace& trace);
 
+    /// Kernel options with the chunk size rescaled so a chunk covers
+    /// roughly the same number of *words* regardless of the trace's
+    /// stride (wide samples get proportionally fewer samples per chunk).
+    [[nodiscard]] streams::KernelOptions options_for(
+        const streams::PackedTrace& trace) const noexcept;
+
+    /// Evict LRU entries until both the entry and byte budgets hold,
+    /// keeping at least the most recently used entry.
+    void evict_to_budget();
+
     streams::KernelOptions options_;
     std::size_t cache_capacity_;
-    std::unordered_map<std::uint64_t, CacheEntry> cache_;
-    std::list<std::uint64_t> lru_; ///< most recently used first
+    std::size_t cache_bytes_;
+    std::size_t bytes_used_ = 0;
+    std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+    std::list<CacheKey> lru_; ///< most recently used first
     EstimateRunStats stats_;
 };
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <bit>
 
-#include "util/bitslice.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -13,15 +12,31 @@ using util::BitVec;
 
 namespace {
 
+/// Words per sample for a given total width (the PackedTrace stride).
+constexpr std::size_t stride_for(int width) noexcept
+{
+    return (static_cast<std::size_t>(width) + 63) / 64;
+}
+
+/// Transitions per dispatch block: sized so the per-word popcount buffers
+/// stay within a few KB (L1-resident) regardless of stride.
+constexpr std::size_t kBlockWords = 4096;
+
+constexpr std::size_t block_transitions(std::size_t stride) noexcept
+{
+    return std::max<std::size_t>(kBlockWords / stride, 1);
+}
+
 /// Range convention shared by all kernels: a chunk [begin, end) over the
-/// sample index space owns the per-sample statistics of words begin..end−1
-/// and the transitions (j−1, j) for j in [max(begin,1), end). Adjacent
-/// chunks therefore overlap by one *read* (the predecessor word) but never
-/// by a counted event, so per-chunk integer histograms merged in chunk
-/// order reproduce the single-pass counts bit-for-bit.
+/// sample index space owns the per-sample statistics of samples
+/// begin..end−1 and the transitions (j−1, j) for j in [max(begin,1), end).
+/// Adjacent chunks therefore overlap by one *read* (the predecessor
+/// sample) but never by a counted event, so per-chunk integer histograms
+/// merged in chunk order reproduce the single-pass counts bit-for-bit.
 
 HdHistogram hd_histogram_range(std::span<const std::uint64_t> words, std::size_t begin,
-                               std::size_t end, int width, EstimationKernel kernel)
+                               std::size_t end, int width, EstimationKernel kernel,
+                               util::cpu::SimdLevel level)
 {
     HdHistogram h;
     h.width = width;
@@ -32,53 +47,121 @@ HdHistogram hd_histogram_range(std::span<const std::uint64_t> words, std::size_t
     if (first >= end) {
         return h;
     }
+    const std::size_t stride = stride_for(width);
+    const std::uint64_t* w = words.data();
 
     if (kernel == EstimationKernel::Scalar) {
-        // Baseline: one BitVec pair per transition, as estimate_cycles and
-        // extract_hd_distribution have always classified.
-        for (std::size_t j = first; j < end; ++j) {
-            const int hd =
-                BitVec::hamming_distance(BitVec{width, words[j - 1]},
-                                         BitVec{width, words[j]});
-            ++h.counts[static_cast<std::size_t>(hd)];
+        if (stride == 1) {
+            // Baseline: one BitVec pair per transition, as estimate_cycles
+            // and extract_hd_distribution have always classified.
+            for (std::size_t j = first; j < end; ++j) {
+                const int hd =
+                    BitVec::hamming_distance(BitVec{width, words[j - 1]},
+                                             BitVec{width, words[j]});
+                ++h.counts[static_cast<std::size_t>(hd)];
+            }
+        } else {
+            // Wide baseline: a per-bit walk with no popcounts at all, the
+            // most naive (and most independent) classification possible.
+            for (std::size_t j = first; j < end; ++j) {
+                const std::uint64_t* prev = w + (j - 1) * stride;
+                const std::uint64_t* cur = w + j * stride;
+                std::size_t hd = 0;
+                for (int i = 0; i < width; ++i) {
+                    hd += ((prev[i / 64] ^ cur[i / 64]) >> (i % 64)) & 1U;
+                }
+                ++h.counts[hd];
+            }
         }
         return h;
     }
 
-    // Packed: popcount over word XORs. Adjacent transitions are paired and
-    // counted with ONE increment into a bins×bins table — halving the
-    // read-modify-write traffic that dominates a histogram loop — and two
-    // tables are interleaved so consecutive equal pair-indices don't
-    // serialize on one counter's store-to-load dependency. The fold at the
-    // end credits each (r, c) cell to bin r and bin c; all counts stay
-    // integers, so the result is identical to incrementing per transition.
-    std::vector<std::uint64_t> pairs2(bins * bins * 2, 0);
-    std::uint64_t* t0 = pairs2.data();
-    std::uint64_t* t1 = t0 + bins * bins;
-    const std::uint64_t* w = words.data();
-    std::size_t j = first;
-    for (; j + 8 <= end; j += 8) {
-        const auto a = static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]));
-        const auto b = static_cast<std::size_t>(std::popcount(w[j + 1] ^ w[j]));
-        const auto c = static_cast<std::size_t>(std::popcount(w[j + 2] ^ w[j + 1]));
-        const auto d = static_cast<std::size_t>(std::popcount(w[j + 3] ^ w[j + 2]));
-        const auto e = static_cast<std::size_t>(std::popcount(w[j + 4] ^ w[j + 3]));
-        const auto f = static_cast<std::size_t>(std::popcount(w[j + 5] ^ w[j + 4]));
-        const auto g = static_cast<std::size_t>(std::popcount(w[j + 6] ^ w[j + 5]));
-        const auto i = static_cast<std::size_t>(std::popcount(w[j + 7] ^ w[j + 6]));
-        ++t0[a * bins + b];
-        ++t1[c * bins + d];
-        ++t0[e * bins + f];
-        ++t1[g * bins + i];
+    if (stride == 1 && level == util::cpu::SimdLevel::Scalar) {
+        // Single-word fast path: popcount over word XORs. Adjacent
+        // transitions are paired and counted with ONE increment into a
+        // bins×bins table — halving the read-modify-write traffic that
+        // dominates a histogram loop — and two tables are interleaved so
+        // consecutive equal pair-indices don't serialize on one counter's
+        // store-to-load dependency. The fold at the end credits each
+        // (r, c) cell to bin r and bin c; all counts stay integers, so the
+        // result is identical to incrementing per transition.
+        std::vector<std::uint64_t> pairs2(bins * bins * 2, 0);
+        std::uint64_t* t0 = pairs2.data();
+        std::uint64_t* t1 = t0 + bins * bins;
+        std::size_t j = first;
+        for (; j + 8 <= end; j += 8) {
+            const auto a = static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]));
+            const auto b = static_cast<std::size_t>(std::popcount(w[j + 1] ^ w[j]));
+            const auto c = static_cast<std::size_t>(std::popcount(w[j + 2] ^ w[j + 1]));
+            const auto d = static_cast<std::size_t>(std::popcount(w[j + 3] ^ w[j + 2]));
+            const auto e = static_cast<std::size_t>(std::popcount(w[j + 4] ^ w[j + 3]));
+            const auto f = static_cast<std::size_t>(std::popcount(w[j + 5] ^ w[j + 4]));
+            const auto g = static_cast<std::size_t>(std::popcount(w[j + 6] ^ w[j + 5]));
+            const auto i = static_cast<std::size_t>(std::popcount(w[j + 7] ^ w[j + 6]));
+            ++t0[a * bins + b];
+            ++t1[c * bins + d];
+            ++t0[e * bins + f];
+            ++t1[g * bins + i];
+        }
+        for (; j < end; ++j) {
+            ++h.counts[static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]))];
+        }
+        for (std::size_t r = 0; r < bins; ++r) {
+            for (std::size_t c = 0; c < bins; ++c) {
+                const std::uint64_t cnt = t0[r * bins + c] + t1[r * bins + c];
+                h.counts[r] += cnt;
+                h.counts[c] += cnt;
+            }
+        }
+        return h;
     }
-    for (; j < end; ++j) {
-        ++h.counts[static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]))];
+
+    // Width-generic dispatched path: block the transition range so the
+    // per-word popcount buffer stays L1-resident, let the selected SIMD
+    // tier fill it, and bin on the way out. Eight interleaved sub-tables
+    // keep the binning loop's read-modify-writes independent — a run of
+    // equal distances (the common case on correlated streams) would
+    // otherwise serialize on one counter's store-to-load forwarding; the
+    // fold keeps everything integer-exact.
+    const util::cpu::Kernels& prim = util::cpu::kernels(level);
+    const std::size_t block = block_transitions(stride);
+    std::vector<std::uint8_t> buf(block * stride);
+    std::vector<std::uint64_t> sub(bins * 8, 0);
+    std::size_t t = first;
+    while (t < end) {
+        const std::size_t cnt = std::min(block, end - t);
+        prim.xor_popcnt(w + (t - 1) * stride, w + t * stride, cnt * stride,
+                        buf.data());
+        if (stride == 1) {
+            std::size_t i = 0;
+            for (; i + 8 <= cnt; i += 8) {
+                ++sub[static_cast<std::size_t>(buf[i]) * 8];
+                ++sub[static_cast<std::size_t>(buf[i + 1]) * 8 + 1];
+                ++sub[static_cast<std::size_t>(buf[i + 2]) * 8 + 2];
+                ++sub[static_cast<std::size_t>(buf[i + 3]) * 8 + 3];
+                ++sub[static_cast<std::size_t>(buf[i + 4]) * 8 + 4];
+                ++sub[static_cast<std::size_t>(buf[i + 5]) * 8 + 5];
+                ++sub[static_cast<std::size_t>(buf[i + 6]) * 8 + 6];
+                ++sub[static_cast<std::size_t>(buf[i + 7]) * 8 + 7];
+            }
+            for (; i < cnt; ++i) {
+                ++sub[static_cast<std::size_t>(buf[i]) * 8];
+            }
+        } else {
+            for (std::size_t i = 0; i < cnt; ++i) {
+                const std::uint8_t* p = buf.data() + i * stride;
+                std::size_t hd = 0;
+                for (std::size_t k = 0; k < stride; ++k) {
+                    hd += p[k];
+                }
+                ++sub[hd * 8 + (i & 7)];
+            }
+        }
+        t += cnt;
     }
-    for (std::size_t r = 0; r < bins; ++r) {
-        for (std::size_t c = 0; c < bins; ++c) {
-            const std::uint64_t cnt = t0[r * bins + c] + t1[r * bins + c];
-            h.counts[r] += cnt;
-            h.counts[c] += cnt;
+    for (std::size_t i = 0; i < bins; ++i) {
+        for (std::size_t k = 0; k < 8; ++k) {
+            h.counts[i] += sub[i * 8 + k];
         }
     }
     return h;
@@ -86,58 +169,112 @@ HdHistogram hd_histogram_range(std::span<const std::uint64_t> words, std::size_t
 
 HdClassHistogram hd_class_histogram_range(std::span<const std::uint64_t> words,
                                           std::size_t begin, std::size_t end, int width,
-                                          EstimationKernel kernel)
+                                          EstimationKernel kernel,
+                                          util::cpu::SimdLevel level)
 {
     HdClassHistogram h;
     h.width = width;
     const std::size_t first = std::max<std::size_t>(begin, 1);
     h.pairs = end - first;
-    const auto stride = static_cast<std::size_t>(width) + 1;
-    h.counts.assign(stride * stride, 0);
+    const auto table = static_cast<std::size_t>(width) + 1;
+    h.counts.assign(table * table, 0);
     if (first >= end) {
         return h;
     }
+    const std::size_t stride = stride_for(width);
+    const std::uint64_t* w = words.data();
 
     if (kernel == EstimationKernel::Scalar) {
-        for (std::size_t j = first; j < end; ++j) {
-            const BitVec u{width, words[j - 1]};
-            const BitVec v{width, words[j]};
-            const auto hd = static_cast<std::size_t>(BitVec::hamming_distance(u, v));
-            const auto zeros = static_cast<std::size_t>(BitVec::stable_zeros(u, v));
-            ++h.counts[hd * stride + zeros];
+        if (stride == 1) {
+            for (std::size_t j = first; j < end; ++j) {
+                const BitVec u{width, words[j - 1]};
+                const BitVec v{width, words[j]};
+                const auto hd =
+                    static_cast<std::size_t>(BitVec::hamming_distance(u, v));
+                const auto zeros = static_cast<std::size_t>(BitVec::stable_zeros(u, v));
+                ++h.counts[hd * table + zeros];
+            }
+        } else {
+            for (std::size_t j = first; j < end; ++j) {
+                const std::uint64_t* prev = w + (j - 1) * stride;
+                const std::uint64_t* cur = w + j * stride;
+                std::size_t hd = 0;
+                std::size_t zeros = 0;
+                for (int i = 0; i < width; ++i) {
+                    const std::uint64_t p = (prev[i / 64] >> (i % 64)) & 1U;
+                    const std::uint64_t c = (cur[i / 64] >> (i % 64)) & 1U;
+                    hd += p ^ c;
+                    zeros += (p | c) ^ 1U;
+                }
+                ++h.counts[hd * table + zeros];
+            }
         }
         return h;
     }
 
-    const std::uint64_t mask =
-        width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
-    std::vector<std::uint64_t> sub(stride * stride * 2, 0);
-    std::uint64_t* s0 = sub.data();
-    std::uint64_t* s1 = s0 + stride * stride;
-    const std::uint64_t* w = words.data();
-    std::size_t j = first;
-    for (; j + 2 <= end; j += 2) {
-        const auto hd0 = static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]));
-        const auto z0 = static_cast<std::size_t>(std::popcount(~(w[j] | w[j - 1]) & mask));
-        ++s0[hd0 * stride + z0];
-        const auto hd1 = static_cast<std::size_t>(std::popcount(w[j + 1] ^ w[j]));
-        const auto z1 =
-            static_cast<std::size_t>(std::popcount(~(w[j + 1] | w[j]) & mask));
-        ++s1[hd1 * stride + z1];
+    if (stride == 1 && level == util::cpu::SimdLevel::Scalar) {
+        // Single-word fast path: two interleaved sub-tables (see the Hd
+        // kernel) folded at the end.
+        const std::uint64_t mask =
+            width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+        std::vector<std::uint64_t> sub(table * table * 2, 0);
+        std::uint64_t* s0 = sub.data();
+        std::uint64_t* s1 = s0 + table * table;
+        std::size_t j = first;
+        for (; j + 2 <= end; j += 2) {
+            const auto hd0 = static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]));
+            const auto z0 =
+                static_cast<std::size_t>(std::popcount(~(w[j] | w[j - 1]) & mask));
+            ++s0[hd0 * table + z0];
+            const auto hd1 = static_cast<std::size_t>(std::popcount(w[j + 1] ^ w[j]));
+            const auto z1 =
+                static_cast<std::size_t>(std::popcount(~(w[j + 1] | w[j]) & mask));
+            ++s1[hd1 * table + z1];
+        }
+        for (; j < end; ++j) {
+            const auto hd = static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]));
+            const auto z =
+                static_cast<std::size_t>(std::popcount(~(w[j] | w[j - 1]) & mask));
+            ++s0[hd * table + z];
+        }
+        for (std::size_t i = 0; i < table * table; ++i) {
+            h.counts[i] = s0[i] + s1[i];
+        }
+        return h;
     }
-    for (; j < end; ++j) {
-        const auto hd = static_cast<std::size_t>(std::popcount(w[j] ^ w[j - 1]));
-        const auto z = static_cast<std::size_t>(std::popcount(~(w[j] | w[j - 1]) & mask));
-        ++s0[hd * stride + z];
-    }
-    for (std::size_t i = 0; i < stride * stride; ++i) {
-        h.counts[i] = s0[i] + s1[i];
+
+    // Width-generic dispatched path. The NOR popcounts are taken over full
+    // 64-bit words; the bits above width in each sample's top word are
+    // zero in both operands, so they inflate every transition's raw stable
+    // zero count by the same constant slack = stride·64 − width, which is
+    // subtracted instead of masking inside the primitives.
+    const util::cpu::Kernels& prim = util::cpu::kernels(level);
+    const std::size_t slack = stride * 64 - static_cast<std::size_t>(width);
+    const std::size_t block = block_transitions(stride);
+    std::vector<std::uint8_t> buf_x(block * stride);
+    std::vector<std::uint8_t> buf_z(block * stride);
+    std::size_t t = first;
+    while (t < end) {
+        const std::size_t cnt = std::min(block, end - t);
+        prim.xor_nor_popcnt(w + (t - 1) * stride, w + t * stride, cnt * stride,
+                            buf_x.data(), buf_z.data());
+        for (std::size_t i = 0; i < cnt; ++i) {
+            std::size_t hd = 0;
+            std::size_t zraw = 0;
+            for (std::size_t k = 0; k < stride; ++k) {
+                hd += buf_x[i * stride + k];
+                zraw += buf_z[i * stride + k];
+            }
+            ++h.counts[hd * table + (zraw - slack)];
+        }
+        t += cnt;
     }
     return h;
 }
 
 PackedBitCounts count_bits_range(std::span<const std::uint64_t> words, std::size_t begin,
-                                 std::size_t end, int width, EstimationKernel kernel)
+                                 std::size_t end, int width, EstimationKernel kernel,
+                                 util::cpu::SimdLevel level)
 {
     PackedBitCounts c;
     c.width = width;
@@ -146,21 +283,26 @@ PackedBitCounts count_bits_range(std::span<const std::uint64_t> words, std::size
     c.ones.assign(m, 0);
     c.toggles.assign(m, 0);
     const std::size_t first = std::max<std::size_t>(begin, 1);
+    const std::size_t stride = stride_for(width);
+    const std::uint64_t* w = words.data();
 
     if (kernel == EstimationKernel::Scalar) {
-        // Baseline: the original per-bit `.get(i)` walk of measure_bit_stats.
+        // Baseline: the original per-bit walk of measure_bit_stats (a
+        // BitVec `.get(i)` loop for single-word samples, the same shift
+        // walk for wider ones).
         for (std::size_t j = begin; j < end; ++j) {
-            const BitVec pattern{width, words[j]};
+            const std::uint64_t* s = w + j * stride;
             for (int i = 0; i < width; ++i) {
-                if (pattern.get(i)) {
+                if ((s[i / 64] >> (i % 64)) & 1U) {
                     ++c.ones[static_cast<std::size_t>(i)];
                 }
             }
         }
         for (std::size_t j = first; j < end; ++j) {
-            const BitVec diff = BitVec{width, words[j]} ^ BitVec{width, words[j - 1]};
+            const std::uint64_t* prev = w + (j - 1) * stride;
+            const std::uint64_t* cur = w + j * stride;
             for (int i = 0; i < width; ++i) {
-                if (diff.get(i)) {
+                if (((prev[i / 64] ^ cur[i / 64]) >> (i % 64)) & 1U) {
                     ++c.toggles[static_cast<std::size_t>(i)];
                 }
             }
@@ -168,18 +310,18 @@ PackedBitCounts count_bits_range(std::span<const std::uint64_t> words, std::size
         return c;
     }
 
-    // Packed: two CSA vertical counters accumulate the per-position tallies
-    // with O(1) word-level ops per sample instead of a width-long bit loop.
-    util::VerticalCounter ones;
-    util::VerticalCounter toggles;
-    for (std::size_t j = begin; j < end; ++j) {
-        ones.add(words[j]);
+    // Packed: CSA vertical counters (scalar or Harley–Seal AVX2 via the
+    // dispatch table) accumulate per-position tallies with O(1) word-level
+    // ops per sample instead of a width-long bit loop. Totals are laid out
+    // word-major (k·64 + bit), which is exactly the global bit order.
+    const util::cpu::Kernels& prim = util::cpu::kernels(level);
+    std::vector<std::uint64_t> one_totals(stride * 64, 0);
+    std::vector<std::uint64_t> toggle_totals(stride * 64, 0);
+    prim.positional_ones(w + begin * stride, end - begin, stride, one_totals.data());
+    if (first < end) {
+        prim.positional_toggles(w + (first - 1) * stride, w + first * stride,
+                                end - first, stride, toggle_totals.data());
     }
-    for (std::size_t j = first; j < end; ++j) {
-        toggles.add(words[j] ^ words[j - 1]);
-    }
-    const auto one_totals = ones.totals();
-    const auto toggle_totals = toggles.totals();
     for (std::size_t i = 0; i < m; ++i) {
         c.ones[i] = one_totals[i];
         c.toggles[i] = toggle_totals[i];
@@ -190,8 +332,8 @@ PackedBitCounts count_bits_range(std::span<const std::uint64_t> words, std::size
 /// Split [0, n) into deterministic sample chunks, run @p fn per chunk on
 /// the pool, and fold the per-chunk results in chunk order with @p merge.
 /// The chunk layout depends only on (n, options.chunk) — never on the
-/// thread count — and all counts are integers, so the merged result is
-/// bit-identical for any `threads`.
+/// thread count or SIMD tier — and all counts are integers, so the merged
+/// result is bit-identical for any `threads`.
 template <typename Result, typename RangeFn, typename MergeFn>
 Result run_chunked(const PackedTrace& trace, const KernelOptions& options,
                    const RangeFn& fn, const MergeFn& merge)
@@ -214,6 +356,14 @@ Result run_chunked(const PackedTrace& trace, const KernelOptions& options,
         merge(total, parts[c]);
     }
     return total;
+}
+
+/// Resolve the per-call SIMD choice once, so every chunk of one
+/// classification uses the same tier even if util::cpu::force() runs
+/// concurrently.
+util::cpu::SimdLevel resolve_level(const std::optional<util::cpu::SimdLevel>& simd)
+{
+    return simd.has_value() ? *simd : util::cpu::active();
 }
 
 } // namespace
@@ -255,33 +405,49 @@ std::uint64_t HdClassHistogram::count(int hd, int zeros) const
 }
 
 HdHistogram hd_histogram_words(std::span<const std::uint64_t> words, int width,
-                               EstimationKernel kernel)
+                               EstimationKernel kernel,
+                               std::optional<util::cpu::SimdLevel> simd)
 {
-    HDPM_REQUIRE(words.size() >= 2, "need at least two samples");
-    return hd_histogram_range(words, 0, words.size(), width, kernel);
+    const std::size_t stride = stride_for(width);
+    HDPM_REQUIRE(words.size() % stride == 0, "word count ", words.size(),
+                 " is not a multiple of the ", stride, "-word sample stride");
+    const std::size_t n = words.size() / stride;
+    HDPM_REQUIRE(n >= 2, "need at least two samples");
+    return hd_histogram_range(words, 0, n, width, kernel, resolve_level(simd));
 }
 
 HdClassHistogram hd_class_histogram_words(std::span<const std::uint64_t> words,
-                                          int width, EstimationKernel kernel)
+                                          int width, EstimationKernel kernel,
+                                          std::optional<util::cpu::SimdLevel> simd)
 {
-    HDPM_REQUIRE(words.size() >= 2, "need at least two samples");
-    return hd_class_histogram_range(words, 0, words.size(), width, kernel);
+    const std::size_t stride = stride_for(width);
+    HDPM_REQUIRE(words.size() % stride == 0, "word count ", words.size(),
+                 " is not a multiple of the ", stride, "-word sample stride");
+    const std::size_t n = words.size() / stride;
+    HDPM_REQUIRE(n >= 2, "need at least two samples");
+    return hd_class_histogram_range(words, 0, n, width, kernel, resolve_level(simd));
 }
 
 PackedBitCounts count_bits_words(std::span<const std::uint64_t> words, int width,
-                                 EstimationKernel kernel)
+                                 EstimationKernel kernel,
+                                 std::optional<util::cpu::SimdLevel> simd)
 {
-    HDPM_REQUIRE(words.size() >= 2, "need at least two samples");
-    return count_bits_range(words, 0, words.size(), width, kernel);
+    const std::size_t stride = stride_for(width);
+    HDPM_REQUIRE(words.size() % stride == 0, "word count ", words.size(),
+                 " is not a multiple of the ", stride, "-word sample stride");
+    const std::size_t n = words.size() / stride;
+    HDPM_REQUIRE(n >= 2, "need at least two samples");
+    return count_bits_range(words, 0, n, width, kernel, resolve_level(simd));
 }
 
 HdHistogram hd_histogram(const PackedTrace& trace, const KernelOptions& options)
 {
+    const util::cpu::SimdLevel level = resolve_level(options.simd);
     return run_chunked<HdHistogram>(
         trace, options,
         [&](std::size_t begin, std::size_t end) {
             return hd_histogram_range(trace.words(), begin, end, trace.width(),
-                                      options.kernel);
+                                      options.kernel, level);
         },
         [](HdHistogram& total, const HdHistogram& part) {
             total.pairs += part.pairs;
@@ -294,11 +460,12 @@ HdHistogram hd_histogram(const PackedTrace& trace, const KernelOptions& options)
 HdClassHistogram hd_class_histogram(const PackedTrace& trace,
                                     const KernelOptions& options)
 {
+    const util::cpu::SimdLevel level = resolve_level(options.simd);
     return run_chunked<HdClassHistogram>(
         trace, options,
         [&](std::size_t begin, std::size_t end) {
             return hd_class_histogram_range(trace.words(), begin, end, trace.width(),
-                                            options.kernel);
+                                            options.kernel, level);
         },
         [](HdClassHistogram& total, const HdClassHistogram& part) {
             total.pairs += part.pairs;
@@ -310,11 +477,12 @@ HdClassHistogram hd_class_histogram(const PackedTrace& trace,
 
 PackedBitCounts count_bits(const PackedTrace& trace, const KernelOptions& options)
 {
+    const util::cpu::SimdLevel level = resolve_level(options.simd);
     return run_chunked<PackedBitCounts>(
         trace, options,
         [&](std::size_t begin, std::size_t end) {
             return count_bits_range(trace.words(), begin, end, trace.width(),
-                                    options.kernel);
+                                    options.kernel, level);
         },
         [](PackedBitCounts& total, const PackedBitCounts& part) {
             total.samples += part.samples;

@@ -1,20 +1,24 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "streams/packed_trace.hpp"
+#include "util/cpu.hpp"
 
 namespace hdpm::streams {
 
 /// Which implementation the stream-classification kernels use.
 ///
 /// Packed is the production path: whole samples processed as uint64 words
-/// (popcount, bit-sliced vertical counters). Scalar is the original
+/// (popcount, bit-sliced vertical counters), dispatching to the widest
+/// SIMD tier the host supports (see util::cpu). Scalar is the original
 /// bit-by-bit / BitVec-per-pair code, retained as the differential
-/// baseline — both produce bit-identical integer counts by construction,
-/// and the property tests in tests/estimation_test.cpp hold them to that.
+/// baseline — all paths produce bit-identical integer counts by
+/// construction, for every width, thread count, chunk size, and SIMD
+/// level, and the property tests in tests/ hold them to that.
 enum class EstimationKernel {
     Scalar, ///< per-pair BitVec ops, per-bit `.get(i)` loops (baseline)
     Packed, ///< word-parallel popcount / vertical-counter kernels
@@ -31,10 +35,16 @@ struct KernelOptions {
     unsigned threads = 1;
 
     /// Transitions per chunk when threading. Chunk boundaries overlap by
-    /// one sample (pair j needs words j−1 and j) and per-chunk integer
+    /// one sample (pair j needs samples j−1 and j) and per-chunk integer
     /// histograms are merged in chunk order, so counts are bit-identical
     /// for any thread count and chunk size.
     std::size_t chunk = std::size_t{1} << 16;
+
+    /// SIMD tier for the packed kernel; nullopt defers to
+    /// util::cpu::active() (runtime detection, the HDPM_SIMD environment
+    /// variable, or util::cpu::force()). Requests above the host's
+    /// capability are clamped. Has no effect on the scalar kernel.
+    std::optional<util::cpu::SimdLevel> simd{};
 };
 
 /// Integer Hamming-distance histogram of consecutive samples:
@@ -84,19 +94,22 @@ struct PackedBitCounts {
 [[nodiscard]] PackedBitCounts count_bits(const PackedTrace& trace,
                                          const KernelOptions& options = {});
 
-/// Single-threaded word-span kernels (words must be masked to @p width).
-/// These are the building blocks the PackedTrace overloads chunk over;
-/// exposed for callers that already hold raw words.
-[[nodiscard]] HdHistogram hd_histogram_words(std::span<const std::uint64_t> words,
-                                             int width,
-                                             EstimationKernel kernel =
-                                                 EstimationKernel::Packed);
+/// Single-threaded word-span kernels. @p words is sample-major with
+/// ceil(width/64) words per sample (the PackedTrace layout), masked to
+/// @p width; words.size() must be a multiple of that stride. These are the
+/// building blocks the PackedTrace overloads chunk over; exposed for
+/// callers that already hold raw words.
+[[nodiscard]] HdHistogram hd_histogram_words(
+    std::span<const std::uint64_t> words, int width,
+    EstimationKernel kernel = EstimationKernel::Packed,
+    std::optional<util::cpu::SimdLevel> simd = {});
 [[nodiscard]] HdClassHistogram hd_class_histogram_words(
     std::span<const std::uint64_t> words, int width,
-    EstimationKernel kernel = EstimationKernel::Packed);
-[[nodiscard]] PackedBitCounts count_bits_words(std::span<const std::uint64_t> words,
-                                               int width,
-                                               EstimationKernel kernel =
-                                                   EstimationKernel::Packed);
+    EstimationKernel kernel = EstimationKernel::Packed,
+    std::optional<util::cpu::SimdLevel> simd = {});
+[[nodiscard]] PackedBitCounts count_bits_words(
+    std::span<const std::uint64_t> words, int width,
+    EstimationKernel kernel = EstimationKernel::Packed,
+    std::optional<util::cpu::SimdLevel> simd = {});
 
 } // namespace hdpm::streams

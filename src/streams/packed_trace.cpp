@@ -14,6 +14,11 @@ constexpr std::uint64_t width_mask(int width) noexcept
     return width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
 }
 
+constexpr std::size_t words_for(int width) noexcept
+{
+    return (static_cast<std::size_t>(width) + 63) / 64;
+}
+
 } // namespace
 
 std::uint64_t PackedTrace::next_id() noexcept
@@ -24,28 +29,51 @@ std::uint64_t PackedTrace::next_id() noexcept
 
 PackedTrace PackedTrace::from_values(std::span<const std::int64_t> values, int width)
 {
-    HDPM_REQUIRE(width >= 1 && width <= util::BitVec::kMaxWidth, "trace width ", width,
-                 " out of range [1, 64]");
+    HDPM_REQUIRE(width >= 1 && width <= kMaxWidth, "trace width ", width,
+                 " out of range [1, ", kMaxWidth, "]");
     PackedTrace trace;
     trace.width_ = width;
     trace.operand_widths_ = {width};
+    trace.out_of_range_by_operand_ = {0};
     trace.id_ = next_id();
-    trace.words_.reserve(values.size());
-    const std::uint64_t mask = width_mask(width);
-    for (const std::int64_t v : values) {
-        const auto bits = static_cast<std::uint64_t>(v) & mask;
-        // A sample is in range iff masking preserves its value: sign-extend
-        // the masked pattern back and compare (matches BitVec semantics,
-        // which silently mask — here the truncation is counted).
-        const std::int64_t back =
-            width >= 64 ? static_cast<std::int64_t>(bits)
-                        : (static_cast<std::int64_t>(bits << (64 - width)) >>
-                           (64 - width));
-        if (back != v) {
-            ++trace.out_of_range_;
+    trace.words_per_sample_ = words_for(width);
+    trace.samples_ = values.size();
+    const std::size_t stride = trace.words_per_sample_;
+    trace.words_.assign(values.size() * stride, 0);
+
+    // Top-word mask: bits of the last word that are inside the width.
+    const int top_bits = width - static_cast<int>(stride - 1) * 64;
+    const std::uint64_t top_mask = width_mask(top_bits);
+    const std::uint64_t mask = width_mask(width < 64 ? width : 64);
+    for (std::size_t j = 0; j < values.size(); ++j) {
+        const std::int64_t v = values[j];
+        std::uint64_t* sample = trace.words_.data() + j * stride;
+        if (stride == 1) {
+            const std::uint64_t bits = static_cast<std::uint64_t>(v) & mask;
+            // A sample is in range iff masking preserves its value:
+            // sign-extend the masked pattern back and compare (matches
+            // BitVec semantics, which silently mask — here the truncation
+            // is counted).
+            const std::int64_t back =
+                width >= 64 ? static_cast<std::int64_t>(bits)
+                            : (static_cast<std::int64_t>(bits << (64 - width)) >>
+                               (64 - width));
+            if (back != v) {
+                ++trace.out_of_range_by_operand_[0];
+            }
+            sample[0] = bits;
+        } else {
+            // width > 64: every int64 value is representable; the value
+            // occupies the low word and sign-extends across the rest.
+            sample[0] = static_cast<std::uint64_t>(v);
+            const std::uint64_t ext = v < 0 ? ~std::uint64_t{0} : 0;
+            for (std::size_t k = 1; k + 1 < stride; ++k) {
+                sample[k] = ext;
+            }
+            sample[stride - 1] = ext & top_mask;
         }
-        trace.words_.push_back(bits);
     }
+    trace.out_of_range_ = trace.out_of_range_by_operand_[0];
     return trace;
 }
 
@@ -57,11 +85,11 @@ PackedTrace PackedTrace::from_operands(
                  " operand streams but ", widths.size(), " widths");
     int total = 0;
     for (const int w : widths) {
-        HDPM_REQUIRE(w >= 1, "operand width ", w, " out of range");
+        HDPM_REQUIRE(w >= 1 && w <= 64, "operand width ", w, " out of range [1, 64]");
         total += w;
     }
-    HDPM_REQUIRE(total <= util::BitVec::kMaxWidth, "operand widths sum to ", total,
-                 " > 64");
+    HDPM_REQUIRE(total <= kMaxWidth, "operand widths sum to ", total, " > ",
+                 kMaxWidth);
     const std::size_t n = operands.front().size();
     for (std::size_t op = 1; op < operands.size(); ++op) {
         HDPM_REQUIRE(operands[op].size() == n,
@@ -71,24 +99,40 @@ PackedTrace PackedTrace::from_operands(
     PackedTrace trace;
     trace.width_ = total;
     trace.operand_widths_.assign(widths.begin(), widths.end());
+    trace.out_of_range_by_operand_.assign(widths.size(), 0);
     trace.id_ = next_id();
-    trace.words_.assign(n, 0);
-    int shift = 0;
+    trace.words_per_sample_ = words_for(total);
+    trace.samples_ = n;
+    const std::size_t stride = trace.words_per_sample_;
+    trace.words_.assign(n * stride, 0);
+    int bit_offset = 0;
     for (std::size_t op = 0; op < operands.size(); ++op) {
         const int w = widths[op];
         const std::uint64_t mask = width_mask(w);
+        const std::size_t word = static_cast<std::size_t>(bit_offset) / 64;
+        const int shift = bit_offset % 64;
+        const bool straddles = shift + w > 64;
         const std::int64_t* src = operands[op].data();
+        std::size_t truncated = 0;
         for (std::size_t j = 0; j < n; ++j) {
             const auto bits = static_cast<std::uint64_t>(src[j]) & mask;
             const std::int64_t back =
                 w >= 64 ? static_cast<std::int64_t>(bits)
                         : (static_cast<std::int64_t>(bits << (64 - w)) >> (64 - w));
             if (back != src[j]) {
-                ++trace.out_of_range_;
+                ++truncated;
             }
-            trace.words_[j] |= bits << shift;
+            std::uint64_t* sample = trace.words_.data() + j * stride;
+            sample[word] |= bits << shift;
+            if (straddles) {
+                // shift ≥ 1 whenever w ≤ 64 bits straddle, so 64 − shift
+                // is a valid shift count.
+                sample[word + 1] |= bits >> (64 - shift);
+            }
         }
-        shift += w;
+        trace.out_of_range_by_operand_[op] = truncated;
+        trace.out_of_range_ += truncated;
+        bit_offset += w;
     }
     return trace;
 }
@@ -101,7 +145,10 @@ PackedTrace PackedTrace::from_patterns(std::span<const util::BitVec> patterns)
     PackedTrace trace;
     trace.width_ = m;
     trace.operand_widths_ = {m};
+    trace.out_of_range_by_operand_ = {0};
     trace.id_ = next_id();
+    trace.words_per_sample_ = 1;
+    trace.samples_ = patterns.size();
     trace.words_.reserve(patterns.size());
     for (std::size_t j = 0; j < patterns.size(); ++j) {
         HDPM_REQUIRE(patterns[j].width() == m, "pattern width mismatch at index ", j);
@@ -118,10 +165,12 @@ PackedTrace PackedTrace::from_csv(const std::string& path, int width)
 
 std::vector<util::BitVec> PackedTrace::to_patterns() const
 {
+    HDPM_REQUIRE(width_ <= util::BitVec::kMaxWidth, "trace width ", width_,
+                 " exceeds BitVec::kMaxWidth; wide traces cannot be expanded");
     std::vector<util::BitVec> patterns;
-    patterns.reserve(words_.size());
-    for (const std::uint64_t w : words_) {
-        patterns.emplace_back(width_, w);
+    patterns.reserve(samples_);
+    for (std::size_t j = 0; j < samples_; ++j) {
+        patterns.emplace_back(width_, words_[j]);
     }
     return patterns;
 }

@@ -9,31 +9,43 @@
 
 namespace hdpm::streams {
 
-/// A pattern stream packed for word-parallel estimation: one `uint64_t`
-/// word per ≤64-bit sample, stored contiguously, built once and reused
-/// across estimation queries.
+struct PackedTraceTestAccess;
+
+/// A pattern stream packed for word-parallel estimation: each sample is
+/// `words_per_sample()` contiguous `uint64_t` words (one for total widths
+/// up to 64, more for wider modules), stored sample-major, built once and
+/// reused across estimation queries.
 ///
 /// This is the serving-side counterpart of `std::vector<BitVec>`: the same
 /// bit layout (operand 0 in the low bits, each operand two's complement,
 /// LSB-first — see DatapathModule::encode), but without one width field per
-/// sample and without re-materializing patterns per query. The multi-operand
-/// constructor concatenates operand value streams directly with shifts, so
-/// no intermediate BitVec is ever created.
+/// sample and without re-materializing patterns per query. Global bit i of
+/// sample j lives in word `j*words_per_sample() + i/64`, bit `i%64`; bits
+/// above width() in a sample's top word are always zero. The multi-operand
+/// constructor concatenates operand value streams directly with shifts
+/// (splitting values that straddle a word boundary), so no intermediate
+/// BitVec is ever created.
 ///
 /// Values are encoded by masking to the operand width (exactly like
 /// `BitVec{width, bits}` and `to_patterns`); samples whose value does not
-/// survive the masking round trip are counted in out_of_range() so callers
-/// can surface silent truncation instead of absorbing it.
+/// survive the masking round trip are counted per operand in
+/// out_of_range_by_operand() — and in aggregate in out_of_range() — so
+/// callers can surface *which* stream silently truncated.
 class PackedTrace {
 public:
+    /// Sanity cap on the total concatenated width (64 words per sample).
+    static constexpr int kMaxWidth = 4096;
+
     PackedTrace() = default;
 
-    /// Pack a single @p width-bit operand stream (two's complement).
+    /// Pack a single @p width-bit operand stream (two's complement; values
+    /// are sign-extended across words when width > 64).
     [[nodiscard]] static PackedTrace from_values(std::span<const std::int64_t> values,
                                                  int width);
 
     /// Pack multiple operand streams into concatenated module-input words.
-    /// All streams must have equal length; operand widths must sum to ≤ 64.
+    /// All streams must have equal length; each operand width must be in
+    /// [1, 64] and the widths may sum to any total up to kMaxWidth.
     [[nodiscard]] static PackedTrace from_operands(
         std::span<const std::vector<std::int64_t>> operands,
         std::span<const int> widths);
@@ -48,21 +60,37 @@ public:
     /// Concatenated sample width in bits (the model's m).
     [[nodiscard]] int width() const noexcept { return width_; }
 
-    /// Number of samples (words).
-    [[nodiscard]] std::size_t size() const noexcept { return words_.size(); }
+    /// Words each sample occupies: ceil(width / 64), ≥ 1 for non-empty
+    /// traces. The stride between consecutive samples in words().
+    [[nodiscard]] std::size_t words_per_sample() const noexcept
+    {
+        return words_per_sample_;
+    }
+
+    /// Number of samples.
+    [[nodiscard]] std::size_t size() const noexcept { return samples_; }
 
     /// Number of consecutive-sample transitions (0 if fewer than 2 samples).
     [[nodiscard]] std::size_t cycles() const noexcept
     {
-        return words_.empty() ? 0 : words_.size() - 1;
+        return samples_ == 0 ? 0 : samples_ - 1;
     }
 
-    [[nodiscard]] bool empty() const noexcept { return words_.empty(); }
+    [[nodiscard]] bool empty() const noexcept { return samples_ == 0; }
 
-    /// The packed words; bits above width() are zero in every word.
+    /// The packed words, sample-major: sample j is words()[j*stride ..
+    /// j*stride+stride) with stride = words_per_sample(). Bits above
+    /// width() in each sample's top word are zero.
     [[nodiscard]] std::span<const std::uint64_t> words() const noexcept
     {
         return words_;
+    }
+
+    /// The words of sample @p j.
+    [[nodiscard]] std::span<const std::uint64_t> sample(std::size_t j) const noexcept
+    {
+        return std::span<const std::uint64_t>{words_}.subspan(j * words_per_sample_,
+                                                              words_per_sample_);
     }
 
     /// Widths of the concatenated operands (one entry per operand).
@@ -72,8 +100,14 @@ public:
     }
 
     /// Samples whose value exceeded its operand's two's-complement range
-    /// and was truncated by the width mask during packing.
+    /// and was truncated by the width mask during packing (all operands).
     [[nodiscard]] std::size_t out_of_range() const noexcept { return out_of_range_; }
+
+    /// Per-operand truncation counts, parallel to operand_widths().
+    [[nodiscard]] std::span<const std::size_t> out_of_range_by_operand() const noexcept
+    {
+        return out_of_range_by_operand_;
+    }
 
     /// Identity for caching derived artifacts (histograms): unique per
     /// constructed trace, shared by copies. A PackedTrace is immutable
@@ -81,17 +115,34 @@ public:
     [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
 
     /// Expand back to BitVec patterns (for the scalar baseline and the
-    /// reference simulator, which consume per-sample vectors).
+    /// reference simulator, which consume per-sample vectors). Only
+    /// available for traces up to BitVec::kMaxWidth bits.
     [[nodiscard]] std::vector<util::BitVec> to_patterns() const;
 
 private:
+    friend struct PackedTraceTestAccess;
+
     [[nodiscard]] static std::uint64_t next_id() noexcept;
 
     std::vector<std::uint64_t> words_;
     std::vector<int> operand_widths_;
+    std::vector<std::size_t> out_of_range_by_operand_;
     int width_ = 0;
+    std::size_t words_per_sample_ = 1;
+    std::size_t samples_ = 0;
     std::size_t out_of_range_ = 0;
     std::uint64_t id_ = 0;
+};
+
+/// Test-only backdoor: lets regression tests forge trace identities (e.g.
+/// to prove a cache keyed on id alone would alias distinct geometries).
+/// Not for production use — forged ids break the "equal ids imply equal
+/// contents" caching contract on purpose.
+struct PackedTraceTestAccess {
+    static void set_id(PackedTrace& trace, std::uint64_t id) noexcept
+    {
+        trace.id_ = id;
+    }
 };
 
 } // namespace hdpm::streams

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "util/error.hpp"
@@ -20,17 +21,25 @@ constexpr std::array<DataType, 5> kAllTypes = {
 
 /// Quantize a normalized sample s (nominally in [-1, 1]) to a signed
 /// width-bit integer with clamping — the "linear quantization" of the
-/// paper's music/speech signals.
+/// paper's music/speech signals. Clamps are compared in double before the
+/// cast so the full 64-bit width (whose limits are not exactly
+/// representable) stays defined; results for widths ≤ 33 are identical to
+/// integer-exact full-scale arithmetic.
 std::int64_t quantize(double s, int width)
 {
-    const double full_scale = static_cast<double>((std::int64_t{1} << (width - 1)) - 1);
-    const double lo = -full_scale - 1.0;
-    double v = std::round(s * full_scale);
-    if (v < lo) {
-        v = lo;
+    const std::int64_t max_v =
+        width >= 64 ? std::numeric_limits<std::int64_t>::max()
+                    : (std::int64_t{1} << (width - 1)) - 1;
+    const std::int64_t min_v = width >= 64
+                                   ? std::numeric_limits<std::int64_t>::min()
+                                   : -(std::int64_t{1} << (width - 1));
+    const double full_scale = std::ldexp(1.0, width - 1) - 1.0;
+    const double v = std::round(s * full_scale);
+    if (v <= static_cast<double>(min_v)) {
+        return min_v;
     }
-    if (v > full_scale) {
-        v = full_scale;
+    if (v >= static_cast<double>(max_v)) {
+        return max_v;
     }
     return static_cast<std::int64_t>(v);
 }
@@ -39,6 +48,14 @@ std::vector<std::int64_t> gen_random(int width, std::size_t n, Rng& rng)
 {
     std::vector<std::int64_t> out;
     out.reserve(n);
+    if (width >= 64) {
+        // Full-range draw: [lo, hi] spans 2^64 values, which the bounded
+        // sampler cannot express.
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(static_cast<std::int64_t>(rng.next_u64()));
+        }
+        return out;
+    }
     const std::int64_t lo = -(std::int64_t{1} << (width - 1));
     const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
     for (std::size_t i = 0; i < n; ++i) {
@@ -180,7 +197,7 @@ std::string data_type_name(DataType type)
 std::vector<std::int64_t> generate_stream(DataType type, int width, std::size_t n,
                                           std::uint64_t seed)
 {
-    HDPM_REQUIRE(width >= 2 && width <= 32, "stream width ", width, " out of range");
+    HDPM_REQUIRE(width >= 2 && width <= 64, "stream width ", width, " out of range");
     Rng rng{seed ^ (static_cast<std::uint64_t>(type) * 0x9e3779b97f4a7c15ULL)};
     switch (type) {
     case DataType::Random:

@@ -1,0 +1,402 @@
+#include "util/cpu.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "util/bitslice.hpp"
+
+// Runtime dispatch is implemented with per-function target attributes, so
+// the translation unit builds with the portable baseline flags and only the
+// annotated functions use wider instructions — they are never executed
+// unless the cpuid probe says the host supports them.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HDPM_X86_DISPATCH 1
+#include <immintrin.h>
+#else
+#define HDPM_X86_DISPATCH 0
+#endif
+
+namespace hdpm::util::cpu {
+
+namespace {
+
+// ------------------------------------------------------------- scalar tier
+
+void xor_popcnt_scalar(const std::uint64_t* a, const std::uint64_t* b, std::size_t n,
+                       std::uint8_t* out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(std::popcount(a[i] ^ b[i]));
+    }
+}
+
+void xor_nor_popcnt_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n, std::uint8_t* out_x, std::uint8_t* out_z)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out_x[i] = static_cast<std::uint8_t>(std::popcount(a[i] ^ b[i]));
+        out_z[i] = static_cast<std::uint8_t>(std::popcount(~(a[i] | b[i])));
+    }
+}
+
+/// One CSA vertical counter per word position; a single pass over the
+/// sample-major words keeps every counter's working set in cache.
+void positional_accumulate_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                                  std::size_t flat, std::size_t stride,
+                                  std::uint64_t* totals)
+{
+    std::vector<VerticalCounter> counters(stride);
+    for (std::size_t f = 0; f < flat; ++f) {
+        counters[f % stride].add(b != nullptr ? a[f] ^ b[f] : a[f]);
+    }
+    for (std::size_t k = 0; k < stride; ++k) {
+        const auto t = counters[k].totals();
+        for (std::size_t bit = 0; bit < 64; ++bit) {
+            totals[k * 64 + bit] += t[bit];
+        }
+    }
+}
+
+void positional_ones_scalar(const std::uint64_t* words, std::size_t samples,
+                            std::size_t stride, std::uint64_t* totals)
+{
+    positional_accumulate_scalar(words, nullptr, samples * stride, stride, totals);
+}
+
+void positional_toggles_scalar(const std::uint64_t* prev, const std::uint64_t* cur,
+                               std::size_t transitions, std::size_t stride,
+                               std::uint64_t* totals)
+{
+    positional_accumulate_scalar(prev, cur, transitions * stride, stride, totals);
+}
+
+#if HDPM_X86_DISPATCH
+
+// --------------------------------------------------------------- AVX2 tier
+
+/// Mula's nibble-LUT popcount: vpshufb maps each nibble to its bit count,
+/// vpsadbw sums the per-byte counts into one count per 64-bit lane.
+__attribute__((target("avx2"))) void xor_popcnt_avx2(const std::uint64_t* a,
+                                                     const std::uint64_t* b,
+                                                     std::size_t n, std::uint8_t* out)
+{
+    const __m256i lut =
+        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1,
+                         2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i x = _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+        const __m256i nib =
+            _mm256_add_epi8(_mm256_shuffle_epi8(lut, _mm256_and_si256(x, low)),
+                            _mm256_shuffle_epi8(
+                                lut, _mm256_and_si256(_mm256_srli_epi16(x, 4), low)));
+        const __m256i sums = _mm256_sad_epu8(nib, _mm256_setzero_si256());
+        out[i + 0] = static_cast<std::uint8_t>(_mm256_extract_epi64(sums, 0));
+        out[i + 1] = static_cast<std::uint8_t>(_mm256_extract_epi64(sums, 1));
+        out[i + 2] = static_cast<std::uint8_t>(_mm256_extract_epi64(sums, 2));
+        out[i + 3] = static_cast<std::uint8_t>(_mm256_extract_epi64(sums, 3));
+    }
+    for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(std::popcount(a[i] ^ b[i]));
+    }
+}
+
+__attribute__((target("avx2"))) void xor_nor_popcnt_avx2(const std::uint64_t* a,
+                                                         const std::uint64_t* b,
+                                                         std::size_t n,
+                                                         std::uint8_t* out_x,
+                                                         std::uint8_t* out_z)
+{
+    const __m256i lut =
+        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1,
+                         2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        const __m256i x = _mm256_xor_si256(va, vb);
+        const __m256i z = _mm256_xor_si256(_mm256_or_si256(va, vb), ones);
+        const __m256i nx =
+            _mm256_add_epi8(_mm256_shuffle_epi8(lut, _mm256_and_si256(x, low)),
+                            _mm256_shuffle_epi8(
+                                lut, _mm256_and_si256(_mm256_srli_epi16(x, 4), low)));
+        const __m256i nz =
+            _mm256_add_epi8(_mm256_shuffle_epi8(lut, _mm256_and_si256(z, low)),
+                            _mm256_shuffle_epi8(
+                                lut, _mm256_and_si256(_mm256_srli_epi16(z, 4), low)));
+        const __m256i sx = _mm256_sad_epu8(nx, _mm256_setzero_si256());
+        const __m256i sz = _mm256_sad_epu8(nz, _mm256_setzero_si256());
+        out_x[i + 0] = static_cast<std::uint8_t>(_mm256_extract_epi64(sx, 0));
+        out_x[i + 1] = static_cast<std::uint8_t>(_mm256_extract_epi64(sx, 1));
+        out_x[i + 2] = static_cast<std::uint8_t>(_mm256_extract_epi64(sx, 2));
+        out_x[i + 3] = static_cast<std::uint8_t>(_mm256_extract_epi64(sx, 3));
+        out_z[i + 0] = static_cast<std::uint8_t>(_mm256_extract_epi64(sz, 0));
+        out_z[i + 1] = static_cast<std::uint8_t>(_mm256_extract_epi64(sz, 1));
+        out_z[i + 2] = static_cast<std::uint8_t>(_mm256_extract_epi64(sz, 2));
+        out_z[i + 3] = static_cast<std::uint8_t>(_mm256_extract_epi64(sz, 3));
+    }
+    for (; i < n; ++i) {
+        out_x[i] = static_cast<std::uint8_t>(std::popcount(a[i] ^ b[i]));
+        out_z[i] = static_cast<std::uint8_t>(std::popcount(~(a[i] | b[i])));
+    }
+}
+
+/// Drain 256-bit CSA planes into per-lane per-bit totals and zero them.
+__attribute__((target("avx2"))) void flush_planes_avx2(__m256i planes[6],
+                                                       std::uint64_t lane_totals[4][64])
+{
+    for (int k = 0; k < 6; ++k) {
+        alignas(32) std::uint64_t tmp[4];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), planes[k]);
+        planes[k] = _mm256_setzero_si256();
+        for (int lane = 0; lane < 4; ++lane) {
+            std::uint64_t plane = tmp[lane];
+            while (plane != 0) {
+                const int bit = std::countr_zero(plane);
+                plane &= plane - 1;
+                lane_totals[lane][bit] += std::uint64_t{1} << k;
+            }
+        }
+    }
+}
+
+/// Harley–Seal vertical counter over 4 words at a time: the 256-bit planes
+/// hold four independent 64-position tallies, one per lane. Because the
+/// kernels only use this when stride divides 4, lane L always sees word
+/// position L % stride, so the lane totals fold cleanly into per-position
+/// totals at the end.
+__attribute__((target("avx2"))) void positional_accumulate_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t flat,
+    std::size_t stride, std::uint64_t* totals)
+{
+    __m256i planes[6];
+    for (auto& p : planes) {
+        p = _mm256_setzero_si256();
+    }
+    std::uint64_t lane_totals[4][64] = {};
+    int pending = 0;
+    std::size_t f = 0;
+    for (; f + 4 <= flat; f += 4) {
+        __m256i w = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + f));
+        if (b != nullptr) {
+            w = _mm256_xor_si256(
+                w, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + f)));
+        }
+        __m256i carry = w;
+        for (int k = 0; k < 6; ++k) {
+            const __m256i t = _mm256_and_si256(planes[k], carry);
+            planes[k] = _mm256_xor_si256(planes[k], carry);
+            carry = t;
+        }
+        if (++pending == 63) {
+            flush_planes_avx2(planes, lane_totals);
+            pending = 0;
+        }
+    }
+    flush_planes_avx2(planes, lane_totals);
+    for (int lane = 0; lane < 4; ++lane) {
+        const std::size_t k = static_cast<std::size_t>(lane) % stride;
+        for (std::size_t bit = 0; bit < 64; ++bit) {
+            totals[k * 64 + bit] += lane_totals[lane][bit];
+        }
+    }
+    // Tail words (< 4) go straight into the per-position totals.
+    for (; f < flat; ++f) {
+        std::uint64_t w = b != nullptr ? a[f] ^ b[f] : a[f];
+        const std::size_t k = f % stride;
+        while (w != 0) {
+            const int bit = std::countr_zero(w);
+            w &= w - 1;
+            totals[k * 64 + bit] += 1;
+        }
+    }
+}
+
+void positional_ones_avx2(const std::uint64_t* words, std::size_t samples,
+                          std::size_t stride, std::uint64_t* totals)
+{
+    if (4 % stride != 0) {
+        positional_ones_scalar(words, samples, stride, totals);
+        return;
+    }
+    positional_accumulate_avx2(words, nullptr, samples * stride, stride, totals);
+}
+
+void positional_toggles_avx2(const std::uint64_t* prev, const std::uint64_t* cur,
+                             std::size_t transitions, std::size_t stride,
+                             std::uint64_t* totals)
+{
+    if (4 % stride != 0) {
+        positional_toggles_scalar(prev, cur, transitions, stride, totals);
+        return;
+    }
+    positional_accumulate_avx2(prev, cur, transitions * stride, stride, totals);
+}
+
+// ------------------------------------------------------------- AVX512 tier
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) void xor_popcnt_avx512(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n, std::uint8_t* out)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + i),
+                                           _mm512_loadu_si512(b + i));
+        _mm512_mask_cvtepi64_storeu_epi8(out + i, 0xff, _mm512_popcnt_epi64(x));
+    }
+    for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(std::popcount(a[i] ^ b[i]));
+    }
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) void xor_nor_popcnt_avx512(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n, std::uint8_t* out_x,
+    std::uint8_t* out_z)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i va = _mm512_loadu_si512(a + i);
+        const __m512i vb = _mm512_loadu_si512(b + i);
+        const __m512i x = _mm512_xor_si512(va, vb);
+        // Truth table 0x03 is ~(A | B) for any third operand.
+        const __m512i z = _mm512_ternarylogic_epi64(va, vb, vb, 0x03);
+        _mm512_mask_cvtepi64_storeu_epi8(out_x + i, 0xff, _mm512_popcnt_epi64(x));
+        _mm512_mask_cvtepi64_storeu_epi8(out_z + i, 0xff, _mm512_popcnt_epi64(z));
+    }
+    for (; i < n; ++i) {
+        out_x[i] = static_cast<std::uint8_t>(std::popcount(a[i] ^ b[i]));
+        out_z[i] = static_cast<std::uint8_t>(std::popcount(~(a[i] | b[i])));
+    }
+}
+
+#endif // HDPM_X86_DISPATCH
+
+SimdLevel probe_max() noexcept
+{
+#if HDPM_X86_DISPATCH
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512vpopcntdq")) {
+        return SimdLevel::Avx512;
+    }
+    if (__builtin_cpu_supports("avx2")) {
+        return SimdLevel::Avx2;
+    }
+#endif
+    return SimdLevel::Scalar;
+}
+
+SimdLevel clamp_to_host(SimdLevel level) noexcept
+{
+    const SimdLevel max = max_supported();
+    return static_cast<int>(level) > static_cast<int>(max) ? max : level;
+}
+
+/// Forced dispatch level as int, or -1 when no override is set.
+std::atomic<int> g_forced{-1};
+
+} // namespace
+
+const char* level_name(SimdLevel level) noexcept
+{
+    switch (level) {
+    case SimdLevel::Avx512:
+        return "avx512";
+    case SimdLevel::Avx2:
+        return "avx2";
+    default:
+        return "scalar";
+    }
+}
+
+std::optional<SimdLevel> parse_level(std::string_view name, bool* ok) noexcept
+{
+    if (ok != nullptr) {
+        *ok = true;
+    }
+    if (name == "scalar") {
+        return SimdLevel::Scalar;
+    }
+    if (name == "avx2") {
+        return SimdLevel::Avx2;
+    }
+    if (name == "avx512") {
+        return SimdLevel::Avx512;
+    }
+    if (name == "auto") {
+        return std::nullopt;
+    }
+    if (ok != nullptr) {
+        *ok = false;
+    }
+    return std::nullopt;
+}
+
+SimdLevel max_supported() noexcept
+{
+    static const SimdLevel max = probe_max();
+    return max;
+}
+
+SimdLevel active() noexcept
+{
+    const int forced = g_forced.load(std::memory_order_relaxed);
+    if (forced >= 0) {
+        return clamp_to_host(static_cast<SimdLevel>(forced));
+    }
+    static const SimdLevel env_level = [] {
+        if (const char* env = std::getenv("HDPM_SIMD")) {
+            bool ok = false;
+            const std::optional<SimdLevel> parsed = parse_level(env, &ok);
+            if (ok && parsed.has_value()) {
+                return clamp_to_host(*parsed);
+            }
+        }
+        return max_supported();
+    }();
+    return env_level;
+}
+
+void force(std::optional<SimdLevel> level) noexcept
+{
+    g_forced.store(level.has_value()
+                       ? static_cast<int>(clamp_to_host(*level))
+                       : -1,
+                   std::memory_order_relaxed);
+}
+
+const Kernels& kernels(SimdLevel level) noexcept
+{
+    static const Kernels scalar_table{xor_popcnt_scalar, xor_nor_popcnt_scalar,
+                                      positional_ones_scalar,
+                                      positional_toggles_scalar};
+#if HDPM_X86_DISPATCH
+    static const Kernels avx2_table{xor_popcnt_avx2, xor_nor_popcnt_avx2,
+                                    positional_ones_avx2, positional_toggles_avx2};
+    // Positional counting has no VPOPCNTDQ form here; the 512-bit tier
+    // reuses the Harley–Seal AVX2 counters alongside its wider popcounts.
+    static const Kernels avx512_table{xor_popcnt_avx512, xor_nor_popcnt_avx512,
+                                      positional_ones_avx2, positional_toggles_avx2};
+    switch (clamp_to_host(level)) {
+    case SimdLevel::Avx512:
+        return avx512_table;
+    case SimdLevel::Avx2:
+        return avx2_table;
+    default:
+        return scalar_table;
+    }
+#else
+    (void)level;
+    return scalar_table;
+#endif
+}
+
+} // namespace hdpm::util::cpu

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hdpm::util::cpu {
+
+/// Instruction-set tiers the packed kernels can dispatch to. Levels are
+/// ordered: a higher level implies the lower ones are also usable.
+///
+/// Every tier computes the *same integer counts* — the scalar functions are
+/// the differential baseline, and the wider tiers are only ever selected
+/// when the host supports them, so the choice can never change a result,
+/// only its speed.
+enum class SimdLevel {
+    Scalar = 0, ///< portable C++ (std::popcount / VerticalCounter)
+    Avx2 = 1,   ///< 256-bit: Mula nibble-LUT popcount, Harley–Seal counters
+    Avx512 = 2, ///< 512-bit: VPOPCNTDQ per-qword popcount
+};
+
+/// Human-readable name ("scalar", "avx2", "avx512").
+[[nodiscard]] const char* level_name(SimdLevel level) noexcept;
+
+/// Parse a level name ("scalar"/"avx2"/"avx512"); nullopt if unrecognized.
+/// "auto" parses to nullopt with @p ok set true — callers treat it as
+/// "clear any override".
+[[nodiscard]] std::optional<SimdLevel> parse_level(std::string_view name,
+                                                   bool* ok = nullptr) noexcept;
+
+/// Highest level the host CPU supports (probed once, cached).
+[[nodiscard]] SimdLevel max_supported() noexcept;
+
+/// The level the dispatched kernels currently use: the forced override if
+/// one is set (clamped to max_supported()), else the HDPM_SIMD environment
+/// variable (read once at first call), else max_supported().
+[[nodiscard]] SimdLevel active() noexcept;
+
+/// Force the dispatch level (clamped to max_supported()). Thread-safe;
+/// pass nullopt to drop the override and return to env/auto selection.
+void force(std::optional<SimdLevel> level) noexcept;
+
+/// Word-level counting primitives behind the runtime dispatch. All
+/// functions operate on flat arrays of 64-bit words; "popcnt" outputs are
+/// per-word bit counts (≤ 64, so they fit a uint8_t).
+///
+/// The kernels in streams/kernels.cpp call these through kernels(level);
+/// every implementation of a slot is integer-exact and bit-identical to
+/// the Scalar one by construction.
+struct Kernels {
+    /// out[i] = popcount(a[i] ^ b[i]) for i < n.
+    void (*xor_popcnt)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n,
+                       std::uint8_t* out);
+
+    /// out_x[i] = popcount(a[i] ^ b[i]) and out_z[i] = popcount(~(a[i] | b[i]))
+    /// in one pass (the (Hd, stable-zero) classifier needs both).
+    void (*xor_nor_popcnt)(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n, std::uint8_t* out_x, std::uint8_t* out_z);
+
+    /// Positional ones: for sample-major words (sample j occupies
+    /// words[j*stride .. j*stride+stride)), accumulate
+    /// totals[k*64 + b] += |{j : bit b of words[j*stride + k] set}|.
+    /// @p totals must hold stride*64 entries.
+    void (*positional_ones)(const std::uint64_t* words, std::size_t samples,
+                            std::size_t stride, std::uint64_t* totals);
+
+    /// Positional toggles: same accumulation over prev[i] ^ cur[i], where
+    /// @p prev / @p cur each hold transitions*stride words (in practice
+    /// prev = cur − stride into the same buffer).
+    void (*positional_toggles)(const std::uint64_t* prev, const std::uint64_t* cur,
+                               std::size_t transitions, std::size_t stride,
+                               std::uint64_t* totals);
+};
+
+/// Dispatch table for @p level, clamped to max_supported(). The returned
+/// reference is to a static table and stays valid forever.
+[[nodiscard]] const Kernels& kernels(SimdLevel level) noexcept;
+
+/// Shorthand for kernels(active()).
+[[nodiscard]] inline const Kernels& kernels() noexcept { return kernels(active()); }
+
+} // namespace hdpm::util::cpu

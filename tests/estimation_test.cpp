@@ -183,9 +183,15 @@ TEST(PackedTrace, RejectsMixedWidthsAndBadOperands)
     const std::vector<int> widths{4, 4};
     EXPECT_THROW((void)PackedTrace::from_operands(ragged, widths),
                  util::PreconditionError);
+    // Widths summing past 64 are legal now (multi-word samples); what is
+    // still rejected is a single operand wider than an int64 value.
     const std::vector<std::vector<std::int64_t>> wide{{1}, {2}};
-    const std::vector<int> too_wide{40, 40};
-    EXPECT_THROW((void)PackedTrace::from_operands(wide, too_wide),
+    const std::vector<int> two_words{40, 40};
+    const PackedTrace packed = PackedTrace::from_operands(wide, two_words);
+    EXPECT_EQ(packed.width(), 80);
+    EXPECT_EQ(packed.words_per_sample(), 2U);
+    const std::vector<int> operand_too_wide{65, 4};
+    EXPECT_THROW((void)PackedTrace::from_operands(wide, operand_too_wide),
                  util::PreconditionError);
 }
 
@@ -435,6 +441,161 @@ TEST(EstimationEngine, EvictsLeastRecentlyUsedTrace)
     EXPECT_EQ(engine.stats().histograms_built, 4U);
     (void)engine.estimate(model, traces[0]);
     EXPECT_EQ(engine.stats().cache_hits, 1U);
+}
+
+// --- Multi-word (>64-bit) traces ----------------------------------------
+
+TEST(PackedTrace, MultiWordOperandsStraddleWordBoundaries)
+{
+    // 40 + 40: operand 1 occupies bits 40..79, straddling the word break.
+    const std::vector<std::vector<std::int64_t>> operands{{-1, 5}, {-2, 3}};
+    const std::vector<int> widths{40, 40};
+    const PackedTrace trace = PackedTrace::from_operands(operands, widths);
+    ASSERT_EQ(trace.words_per_sample(), 2U);
+    for (std::size_t j = 0; j < 2; ++j) {
+        const std::uint64_t lo =
+            static_cast<std::uint64_t>(operands[0][j]) & ((1ULL << 40) - 1);
+        const std::uint64_t hi =
+            static_cast<std::uint64_t>(operands[1][j]) & ((1ULL << 40) - 1);
+        const auto sample = trace.sample(j);
+        EXPECT_EQ(sample[0], lo | (hi << 40)) << j;
+        EXPECT_EQ(sample[1], hi >> 24) << j;
+    }
+    // Bits above the 80-bit width stay zero in the top word.
+    EXPECT_EQ(trace.sample(0)[1] >> 16, 0U);
+}
+
+TEST(PackedTrace, CountsOutOfRangePerOperand)
+{
+    // Operand 0 (width 4, range [-8, 7]) truncates twice; operand 1
+    // (width 8) once; operand 2 (width 60) never.
+    const std::vector<std::vector<std::int64_t>> operands{
+        {7, 8, -9}, {127, 200, -1}, {1, 2, 3}};
+    const std::vector<int> widths{4, 8, 60};
+    const PackedTrace trace = PackedTrace::from_operands(operands, widths);
+    const auto per_operand = trace.out_of_range_by_operand();
+    ASSERT_EQ(per_operand.size(), 3U);
+    EXPECT_EQ(per_operand[0], 2U);
+    EXPECT_EQ(per_operand[1], 1U);
+    EXPECT_EQ(per_operand[2], 0U);
+    EXPECT_EQ(trace.out_of_range(), 3U);
+}
+
+TEST(EstimateTrace, ModelsServeMultiWordTraces)
+{
+    // A 100-bit trace (3 operands, middle one straddling the word break):
+    // every model kind must evaluate it, and the packed kernels must agree
+    // with the scalar baseline exactly (identical integer histograms are
+    // folded in the same FP order).
+    const int m = 100;
+    util::Rng rng{2029};
+    const std::vector<int> widths{30, 40, 30};
+    std::vector<std::vector<std::int64_t>> operands;
+    for (const int w : widths) {
+        std::vector<std::int64_t> values(600);
+        for (auto& v : values) {
+            v = sign_extend(rng.next_u64(), w);
+        }
+        operands.push_back(std::move(values));
+    }
+    const PackedTrace trace = PackedTrace::from_operands(operands, widths);
+    ASSERT_EQ(trace.width(), m);
+    ASSERT_EQ(trace.words_per_sample(), 2U);
+
+    const KernelOptions scalar{.kernel = EstimationKernel::Scalar};
+    const core::HdModel hd = make_hd_model(m, 12);
+    EXPECT_DOUBLE_EQ(hd.estimate_trace(trace), hd.estimate_trace(trace, scalar));
+    const core::EnhancedHdModel enhanced = make_enhanced_model(m, 13);
+    EXPECT_DOUBLE_EQ(enhanced.estimate_trace(trace),
+                     enhanced.estimate_trace(trace, scalar));
+
+    // The bitwise model's multi-word walk vs a per-bit reference.
+    std::vector<double> weights(static_cast<std::size_t>(m));
+    for (auto& w : weights) {
+        w = rng.uniform(-2.0, 5.0);
+    }
+    const core::BitwiseLinearModel bitwise{1.5, weights};
+    double expected = 0.0;
+    for (std::size_t j = 1; j < trace.size(); ++j) {
+        const auto prev = trace.sample(j - 1);
+        const auto cur = trace.sample(j);
+        bool any = false;
+        double q = 1.5;
+        for (int i = 0; i < m; ++i) {
+            if (((prev[static_cast<std::size_t>(i) / 64] ^
+                  cur[static_cast<std::size_t>(i) / 64]) >>
+                 (static_cast<std::size_t>(i) % 64)) &
+                1U) {
+                any = true;
+                q += weights[static_cast<std::size_t>(i)];
+            }
+        }
+        if (any) {
+            expected += q > 0.0 ? q : 0.0;
+        }
+    }
+    expected /= static_cast<double>(trace.size() - 1);
+    EXPECT_DOUBLE_EQ(bitwise.estimate_trace(trace), expected);
+}
+
+// --- Engine cache keying and budget -------------------------------------
+
+TEST(EstimationEngine, CacheKeyDistinguishesGeometriesSharingAnId)
+{
+    // Regression: a cache keyed on trace id alone would serve an 8-bit
+    // trace's 9-bin histogram to a 16-bit model after an id collision.
+    // Forge the collision and check both geometries evaluate correctly.
+    core::EstimationEngine engine;
+    PackedTrace narrow = trace_from_words(random_words(8, 400, 91), 8);
+    PackedTrace wide = trace_from_words(random_words(16, 400, 92), 16);
+    streams::PackedTraceTestAccess::set_id(wide, narrow.id());
+
+    const core::HdModel narrow_model = make_hd_model(8, 21);
+    const core::HdModel wide_model = make_hd_model(16, 22);
+    const double narrow_q = engine.estimate(narrow_model, narrow);
+    const double wide_q = engine.estimate(wide_model, wide);
+    EXPECT_EQ(engine.stats().histograms_built, 2U); // distinct entries
+    EXPECT_NEAR(narrow_q, narrow_model.estimate_trace(narrow),
+                1e-12 * std::abs(narrow_q));
+    EXPECT_NEAR(wide_q, wide_model.estimate_trace(wide), 1e-12 * std::abs(wide_q));
+    // Both survive in the cache: repeats hit.
+    (void)engine.estimate(narrow_model, narrow);
+    (void)engine.estimate(wide_model, wide);
+    EXPECT_EQ(engine.stats().cache_hits, 2U);
+}
+
+TEST(EstimationEngine, ByteBudgetEvictsWideHistograms)
+{
+    // A 128-bit class histogram holds 129² bins (~133 KB). With a 150 KB
+    // byte budget and a generous entry capacity, the second wide trace
+    // must evict the first even though the entry count stays tiny.
+    constexpr std::size_t kBudget = 150 * 1024;
+    core::EstimationEngine engine{KernelOptions{}, 8, kBudget};
+    const core::EnhancedHdModel model = make_enhanced_model(128, 33);
+
+    std::vector<PackedTrace> traces;
+    for (unsigned t = 0; t < 2; ++t) {
+        std::vector<std::vector<std::int64_t>> operands;
+        util::Rng rng{700 + t};
+        for (int op = 0; op < 2; ++op) {
+            std::vector<std::int64_t> values(64);
+            for (auto& v : values) {
+                v = static_cast<std::int64_t>(rng.next_u64());
+            }
+            operands.push_back(std::move(values));
+        }
+        traces.push_back(
+            PackedTrace::from_operands(operands, std::vector<int>{64, 64}));
+    }
+
+    (void)engine.estimate(model, traces[0]);
+    EXPECT_LE(engine.cache_bytes_used(), kBudget);
+    (void)engine.estimate(model, traces[1]); // evicts traces[0]'s entry
+    EXPECT_LE(engine.cache_bytes_used(), kBudget);
+    EXPECT_EQ(engine.stats().histograms_built, 2U);
+    (void)engine.estimate(model, traces[0]); // rebuilt, not a hit
+    EXPECT_EQ(engine.stats().histograms_built, 3U);
+    EXPECT_EQ(engine.stats().cache_hits, 0U);
 }
 
 // --- Sign-magnitude clamp surfacing ------------------------------------

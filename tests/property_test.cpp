@@ -1,11 +1,15 @@
 /// Cross-cutting randomized properties: a small netlist fuzzer checks that
 /// every pipeline stage (validation, serialization, optimization, event
 /// simulation) preserves functional behaviour on arbitrary gate graphs,
-/// not just on the structured datapath generators.
+/// not just on the structured datapath generators; a classification-kernel
+/// fuzzer holds the packed kernels to their bit-identical guarantee against
+/// the scalar baseline across widths 1..256, SIMD tiers, thread counts and
+/// chunk sizes.
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "core/characterize.hpp"
 #include "core/hd_model.hpp"
@@ -14,6 +18,9 @@
 #include "netlist/transform.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/functional.hpp"
+#include "streams/kernels.hpp"
+#include "streams/packed_trace.hpp"
+#include "util/cpu.hpp"
 #include "util/rng.hpp"
 
 namespace hdpm {
@@ -249,6 +256,126 @@ TEST_P(ModelProperties, SaveLoadIsIdentityOnRandomModels)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperties, ::testing::Range(0, 8));
+
+// -------------------------------------------------------------- kernels
+
+/// Decompose @p width into random operand widths (each 1..64) and build a
+/// trace of @p n random samples — operands routinely straddle word
+/// boundaries, which is the layout case the multi-word kernels must get
+/// right.
+streams::PackedTrace random_trace(int width, std::size_t n, Rng& rng)
+{
+    std::vector<int> operand_widths;
+    int remaining = width;
+    while (remaining > 0) {
+        const int w =
+            1 + static_cast<int>(rng.uniform_int(
+                    static_cast<std::uint64_t>(std::min(remaining, 64))));
+        operand_widths.push_back(w);
+        remaining -= w;
+    }
+    std::vector<std::vector<std::int64_t>> operands(operand_widths.size());
+    for (auto& stream : operands) {
+        stream.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            stream.push_back(static_cast<std::int64_t>(rng.next_u64()));
+        }
+    }
+    return streams::PackedTrace::from_operands(operands, operand_widths);
+}
+
+class KernelProperties : public ::testing::TestWithParam<int> {};
+
+/// Every (kernel, SIMD tier, thread count, chunk size) configuration must
+/// produce integer counts identical to the single-threaded scalar
+/// baseline, for widths from a single bit to multiple words. This is the
+/// guarantee that lets the estimation engine cache histograms without
+/// keying on kernel options.
+TEST_P(KernelProperties, AllConfigurationsBitIdentical)
+{
+    Rng rng{static_cast<std::uint64_t>(GetParam()) * 2654435761 + 17};
+    const int widths[] = {1,
+                          2,
+                          63,
+                          64,
+                          65,
+                          128,
+                          191,
+                          1 + static_cast<int>(rng.uniform_int(std::uint64_t{256}))};
+    const std::size_t n = 201; // odd, so chunk boundaries land mid-stream
+
+    using util::cpu::SimdLevel;
+    for (const int width : widths) {
+        const streams::PackedTrace trace = random_trace(width, n, rng);
+
+        streams::KernelOptions baseline;
+        baseline.kernel = streams::EstimationKernel::Scalar;
+        baseline.threads = 1;
+        const auto hd_ref = streams::hd_histogram(trace, baseline);
+        const auto class_ref = streams::hd_class_histogram(trace, baseline);
+        const auto bits_ref = streams::count_bits(trace, baseline);
+
+        for (const SimdLevel simd :
+             {SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512}) {
+            for (const unsigned threads : {1U, 3U}) {
+                for (const std::size_t chunk : {std::size_t{2}, std::size_t{7},
+                                                std::size_t{64}}) {
+                    streams::KernelOptions options;
+                    options.kernel = streams::EstimationKernel::Packed;
+                    options.simd = simd; // clamped to the host's capability
+                    options.threads = threads;
+                    options.chunk = chunk;
+                    const auto hd = streams::hd_histogram(trace, options);
+                    const auto classes = streams::hd_class_histogram(trace, options);
+                    const auto bits = streams::count_bits(trace, options);
+                    const std::string config =
+                        "width=" + std::to_string(width) +
+                        " simd=" + util::cpu::level_name(simd) +
+                        " threads=" + std::to_string(threads) +
+                        " chunk=" + std::to_string(chunk);
+                    ASSERT_EQ(hd.counts, hd_ref.counts) << config;
+                    ASSERT_EQ(classes.counts, class_ref.counts) << config;
+                    ASSERT_EQ(bits.ones, bits_ref.ones) << config;
+                    ASSERT_EQ(bits.toggles, bits_ref.toggles) << config;
+                }
+            }
+        }
+    }
+}
+
+/// Hd conservation: Σ hd·counts[hd] over the histogram equals the total
+/// per-bit toggle count, and the class histogram marginalizes to the Hd
+/// histogram — all three kernels must tell one consistent story.
+TEST_P(KernelProperties, HistogramsAndBitCountsAgree)
+{
+    Rng rng{static_cast<std::uint64_t>(GetParam()) * 7529 + 29};
+    const int width = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{256}));
+    const streams::PackedTrace trace = random_trace(width, 300, rng);
+
+    const auto hd = streams::hd_histogram(trace);
+    const auto classes = streams::hd_class_histogram(trace);
+    const auto bits = streams::count_bits(trace);
+
+    std::uint64_t hd_total = 0;
+    for (std::size_t i = 0; i < hd.counts.size(); ++i) {
+        hd_total += static_cast<std::uint64_t>(i) * hd.counts[i];
+    }
+    std::uint64_t toggle_total = 0;
+    for (const std::uint64_t t : bits.toggles) {
+        toggle_total += t;
+    }
+    EXPECT_EQ(hd_total, toggle_total);
+
+    for (int d = 0; d <= width; ++d) {
+        std::uint64_t row = 0;
+        for (int z = 0; z <= width - d; ++z) {
+            row += classes.count(d, z);
+        }
+        ASSERT_EQ(row, hd.counts[static_cast<std::size_t>(d)]) << "hd " << d;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelProperties, ::testing::Range(0, 6));
 
 TEST(CharacterizationProperty, ChainAndPairsAgree)
 {

@@ -123,8 +123,30 @@ TEST(Stream, WidthRangeChecked)
 {
     EXPECT_THROW((void)generate_stream(DataType::Random, 1, 10, 0),
                  util::PreconditionError);
-    EXPECT_THROW((void)generate_stream(DataType::Random, 33, 10, 0),
+    EXPECT_THROW((void)generate_stream(DataType::Random, 65, 10, 0),
                  util::PreconditionError);
+}
+
+TEST(Stream, FullWordWidthGenerates)
+{
+    // Widths up to a full 64-bit word are legal (the widest operand a
+    // module can expose, e.g. a mac accumulator) and must stay free of
+    // shift/cast overflow at the extremes.
+    for (const DataType type : all_data_types()) {
+        for (const int width : {33, 63, 64}) {
+            const auto values = generate_stream(type, width, 256, 7);
+            ASSERT_EQ(values.size(), 256U) << data_type_name(type) << " " << width;
+            if (width == 64) {
+                continue; // every int64 value is in range
+            }
+            const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+            const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+            for (const std::int64_t v : values) {
+                ASSERT_GE(v, lo) << data_type_name(type) << " " << width;
+                ASSERT_LE(v, hi) << data_type_name(type) << " " << width;
+            }
+        }
+    }
 }
 
 // ------------------------------------------------------------- wordstats

@@ -10,6 +10,7 @@
 
 #include "util/accumulators.hpp"
 #include "util/bitvec.hpp"
+#include "util/cpu.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -641,6 +642,97 @@ TEST(Csv, RoundTrip)
 TEST(Csv, MissingFileThrows)
 {
     EXPECT_THROW((void)read_csv("/nonexistent/path.csv"), RuntimeError);
+}
+
+// ------------------------------------------------------------------ cpu
+
+TEST(Cpu, ParseLevelRoundTripsNames)
+{
+    bool ok = false;
+    EXPECT_EQ(cpu::parse_level("scalar", &ok), cpu::SimdLevel::Scalar);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(cpu::parse_level("avx2", &ok), cpu::SimdLevel::Avx2);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(cpu::parse_level("avx512", &ok), cpu::SimdLevel::Avx512);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(cpu::parse_level("auto", &ok), std::nullopt);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(cpu::parse_level("sse9", &ok), std::nullopt);
+    EXPECT_FALSE(ok);
+    for (const cpu::SimdLevel level :
+         {cpu::SimdLevel::Scalar, cpu::SimdLevel::Avx2, cpu::SimdLevel::Avx512}) {
+        EXPECT_EQ(cpu::parse_level(cpu::level_name(level)), level);
+    }
+}
+
+TEST(Cpu, ForceOverridesActiveAndClampsToHost)
+{
+    // The ambient level honours HDPM_SIMD, so capture it rather than
+    // assuming max_supported() (CI legs run with the override set).
+    const cpu::SimdLevel ambient = cpu::active();
+    cpu::force(cpu::SimdLevel::Scalar);
+    EXPECT_EQ(cpu::active(), cpu::SimdLevel::Scalar);
+    // Forcing above the host's capability clamps rather than faulting.
+    cpu::force(cpu::SimdLevel::Avx512);
+    EXPECT_LE(static_cast<int>(cpu::active()),
+              static_cast<int>(cpu::max_supported()));
+    cpu::force(std::nullopt); // back to auto detection
+    EXPECT_EQ(cpu::active(), ambient);
+}
+
+TEST(Cpu, PrimitivesMatchScalarBaseline)
+{
+    // Every dispatchable tier's primitives must agree exactly with the
+    // scalar implementations — unsupported tiers clamp to supported ones,
+    // so requesting Avx512 is always safe.
+    Rng rng{314};
+    const std::size_t n = 1027; // odd tail for the vector loops
+    std::vector<std::uint64_t> a(n);
+    std::vector<std::uint64_t> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.next_u64();
+        b[i] = rng.next_u64();
+    }
+    const cpu::Kernels& scalar = cpu::kernels(cpu::SimdLevel::Scalar);
+
+    std::vector<std::uint8_t> x_ref(n);
+    std::vector<std::uint8_t> z_ref(n);
+    scalar.xor_popcnt(a.data(), b.data(), n, x_ref.data());
+    scalar.xor_nor_popcnt(a.data(), b.data(), n, x_ref.data(), z_ref.data());
+
+    for (const cpu::SimdLevel level : {cpu::SimdLevel::Avx2, cpu::SimdLevel::Avx512}) {
+        const cpu::Kernels& prim = cpu::kernels(level);
+        std::vector<std::uint8_t> x(n, 0xEE);
+        std::vector<std::uint8_t> z(n, 0xEE);
+        prim.xor_popcnt(a.data(), b.data(), n, x.data());
+        EXPECT_EQ(x, x_ref) << cpu::level_name(level);
+        prim.xor_nor_popcnt(a.data(), b.data(), n, x.data(), z.data());
+        EXPECT_EQ(x, x_ref) << cpu::level_name(level);
+        EXPECT_EQ(z, z_ref) << cpu::level_name(level);
+    }
+
+    for (const std::size_t stride : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                     std::size_t{4}}) {
+        const std::size_t samples = n / stride;
+        std::vector<std::uint64_t> ones_ref(stride * 64, 0);
+        std::vector<std::uint64_t> toggles_ref(stride * 64, 0);
+        scalar.positional_ones(a.data(), samples, stride, ones_ref.data());
+        scalar.positional_toggles(a.data(), b.data(), samples - 1, stride,
+                                  toggles_ref.data());
+        for (const cpu::SimdLevel level :
+             {cpu::SimdLevel::Avx2, cpu::SimdLevel::Avx512}) {
+            const cpu::Kernels& prim = cpu::kernels(level);
+            std::vector<std::uint64_t> ones(stride * 64, 0);
+            std::vector<std::uint64_t> toggles(stride * 64, 0);
+            prim.positional_ones(a.data(), samples, stride, ones.data());
+            prim.positional_toggles(a.data(), b.data(), samples - 1, stride,
+                                    toggles.data());
+            EXPECT_EQ(ones, ones_ref)
+                << cpu::level_name(level) << " stride " << stride;
+            EXPECT_EQ(toggles, toggles_ref)
+                << cpu::level_name(level) << " stride " << stride;
+        }
+    }
 }
 
 } // namespace
