@@ -9,7 +9,10 @@
 /// skip with --no-kernel), a thread-scaling sweep of the sharded
 /// characterization engine (skip with --no-scaling), a pairs-mode
 /// warm-up comparison (per-record vs batched vs all-core default; skip
-/// with --no-pairs), a checkpoint-journal overhead measurement (skip
+/// with --no-pairs), a characterization-backend comparison (exact event
+/// kernel vs word-parallel power emulation, with and without glitch
+/// calibration; skip with --no-char-backend), a checkpoint-journal
+/// overhead measurement (skip
 /// with --no-checkpoint) and an estimation serving-throughput comparison
 /// (scalar vs packed vs packed+threads on a 1M-sample 16-bit stream,
 /// plus a 16/64/128/256-bit width sweep across the scalar kernel and
@@ -493,6 +496,151 @@ std::string run_pairs_bench()
     return json.str();
 }
 
+/// Characterization-backend comparison on the 16-bit CSA multiplier in
+/// pairs mode: the exact event kernel against the word-parallel
+/// power-emulation backend, uncalibrated and with the default glitch
+/// calibration, single-threaded and on all cores. Reports pairs/sec, the
+/// speedup over the event kernel, and the emulated mean cycle charge's
+/// relative error against the event reference; verifies the emulation
+/// records are bit-identical across thread counts on the way. Returns a
+/// JSON fragment for BENCH_speed.json.
+std::string run_char_backend()
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 16);
+
+    core::CharacterizationOptions options;
+    // A larger budget than the warm-up bench: the calibration is a fixed
+    // event-kernel cost (512 pairs), so the backend's speedup grows with
+    // the number of pairs it is amortized over.
+    options.max_transitions = 12000;
+    options.min_transitions = 12000; // fixed workload: no early convergence stop
+    options.batch = 12000;
+    options.shard_size = 1000;
+    options.seed = 77;
+    options.mode = core::StimulusMode::StratifiedPairs;
+
+    struct Config {
+        const char* name = "";
+        core::CharBackend backend = core::CharBackend::EventKernel;
+        std::size_t calibration = 0;
+        unsigned threads = 1;
+    };
+    const Config configs[] = {
+        {"event kernel, 1 thread", core::CharBackend::EventKernel, 0, 1},
+        {"emulation, uncalibrated, 1 thread", core::CharBackend::PowerEmulation, 0, 1},
+        {"emulation, calibrated (512), 1 thread", core::CharBackend::PowerEmulation,
+         512, 1},
+        {"emulation, calibrated (512), all cores", core::CharBackend::PowerEmulation,
+         512, 0},
+    };
+
+    struct Run {
+        const Config* config = nullptr;
+        double wall_ms = 0.0;
+        double pairs_per_sec = 0.0;
+        double mean_charge_fc = 0.0;
+        double rel_error = 0.0;
+        core::CharRunStats stats;
+    };
+    const core::Characterizer characterizer;
+    std::vector<Run> runs;
+    std::vector<core::CharacterizationRecord> calibrated_1t;
+    bool deterministic = true;
+
+    std::cout << "\ncharacterization backend comparison (csa_multiplier 16x16, "
+              << options.max_transitions << " pairs, shard size "
+              << options.shard_size << "):\n";
+    for (const Config& config : configs) {
+        options.backend = config.backend;
+        options.calibration_pairs = config.calibration;
+        options.threads = config.threads;
+        Run run;
+        run.config = &config;
+        options.stats = &run.stats;
+        const auto start = std::chrono::steady_clock::now();
+        const auto records = characterizer.collect_records(module, options);
+        run.wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        run.pairs_per_sec =
+            static_cast<double>(records.size()) / (run.wall_ms / 1000.0);
+        for (const auto& rec : records) {
+            run.mean_charge_fc += rec.charge_fc;
+        }
+        run.mean_charge_fc /= static_cast<double>(records.size());
+        if (config.backend == core::CharBackend::PowerEmulation &&
+            config.calibration > 0) {
+            if (calibrated_1t.empty()) {
+                calibrated_1t = records;
+            } else if (records.size() != calibrated_1t.size()) {
+                deterministic = false;
+            } else {
+                for (std::size_t i = 0; i < records.size(); ++i) {
+                    if (records[i].hd != calibrated_1t[i].hd ||
+                        records[i].stable_zeros != calibrated_1t[i].stable_zeros ||
+                        records[i].charge_fc != calibrated_1t[i].charge_fc ||
+                        records[i].toggle_mask != calibrated_1t[i].toggle_mask) {
+                        deterministic = false;
+                        break;
+                    }
+                }
+            }
+        }
+        runs.push_back(run);
+    }
+    for (Run& run : runs) {
+        run.rel_error = (run.mean_charge_fc - runs.front().mean_charge_fc) /
+                        runs.front().mean_charge_fc;
+    }
+    const double speedup_1t = runs[2].pairs_per_sec / runs[0].pairs_per_sec;
+
+    util::TextTable table;
+    table.set_header({"configuration", "threads", "wall [ms]", "pairs/s",
+                      "speedup", "mean [fC]", "rel err [%]"});
+    for (const Run& run : runs) {
+        table.add_row({run.config->name, std::to_string(run.stats.threads),
+                       util::TextTable::fmt(run.wall_ms, 1),
+                       util::TextTable::fmt(run.pairs_per_sec, 0),
+                       util::TextTable::fmt(
+                           run.pairs_per_sec / runs.front().pairs_per_sec, 1),
+                       util::TextTable::fmt(run.mean_charge_fc, 1),
+                       util::TextTable::fmt(100.0 * run.rel_error, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "emulation (calibrated, 1 thread) vs event kernel: "
+              << util::TextTable::fmt(speedup_1t, 1)
+              << "x pairs/s\nemulation records bit-identical across thread "
+                 "counts: "
+              << (deterministic ? "yes" : "NO — DETERMINISM BUG") << '\n';
+
+    std::ostringstream json;
+    json << "  \"char_backend\": {\n"
+         << "    \"module\": \"csa_multiplier\",\n    \"width\": 16,\n"
+         << "    \"pairs\": " << options.max_transitions << ",\n"
+         << "    \"shard_size\": " << options.shard_size << ",\n"
+         << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
+         << ",\n    \"deterministic\": " << (deterministic ? "true" : "false")
+         << ",\n    \"calibrated_1t_speedup\": " << speedup_1t
+         << ",\n    \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Run& run = runs[i];
+        json << (i == 0 ? "" : ",") << "\n      {\"config\": \"" << run.config->name
+             << "\", \"backend\": \""
+             << core::char_backend_name(run.config->backend)
+             << "\", \"calibration_pairs\": " << run.config->calibration
+             << ", \"threads\": " << run.stats.threads
+             << ", \"wall_ms\": " << run.wall_ms
+             << ", \"pairs_per_sec\": " << run.pairs_per_sec
+             << ", \"speedup\": " << run.pairs_per_sec / runs.front().pairs_per_sec
+             << ", \"mean_charge_fc\": " << run.mean_charge_fc
+             << ", \"rel_error\": " << run.rel_error
+             << ", \"emulation_passes\": " << run.stats.emulation_passes
+             << ", \"calibration_scale\": " << run.stats.calibration_scale << "}";
+    }
+    json << "\n    ]\n  }";
+    return json.str();
+}
+
 /// Checkpoint-journal overhead on the 16-bit CSA multiplier in pairs
 /// mode (the default characterization configuration): the same fixed
 /// workload with checkpointing off and with a journal published after
@@ -865,6 +1013,7 @@ int main(int argc, char** argv)
     const bool kernel = !take_flag(argc, argv, "--no-kernel");
     const bool scaling = !take_flag(argc, argv, "--no-scaling");
     const bool pairs = !take_flag(argc, argv, "--no-pairs");
+    const bool char_backend = !take_flag(argc, argv, "--no-char-backend");
     const bool checkpoint = !take_flag(argc, argv, "--no-checkpoint");
     const bool estimation = !take_flag(argc, argv, "--no-estimation");
     benchmark::Initialize(&argc, argv);
@@ -883,6 +1032,9 @@ int main(int argc, char** argv)
     }
     if (pairs) {
         sections.push_back(run_pairs_bench());
+    }
+    if (char_backend) {
+        sections.push_back(run_char_backend());
     }
     if (checkpoint) {
         sections.push_back(run_checkpoint_bench());

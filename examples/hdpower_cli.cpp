@@ -47,7 +47,8 @@ namespace {
               << "  info <module> <width...>\n"
               << "  characterize <module> <width...> [--models DIR] [--budget N] "
                  "[--enhanced [K]] [--threads N] [--warmup batched|per-record]\n"
-                 "                                   [--checkpoint FILE] [--strict]\n"
+                 "                                   [--checkpoint FILE] [--strict] "
+                 "[--backend event|emulation] [--calibration N]\n"
               << "  estimate <module> <width...> --data <I..V> [--patterns N] "
                  "[--models DIR] [--verify] [--threads N]\n"
                  "                               [--stream FILE]... "
@@ -64,6 +65,10 @@ namespace {
               << "shard failure fatal instead of degrading coverage.\n"
               << "--simd pins the packed kernel's instruction tier (default auto =\n"
               << "widest the host supports); every tier is bit-identical.\n"
+              << "--backend emulation scores stimulus word-parallel (64 pairs per\n"
+              << "pass) with a glitch correction calibrated on --calibration N\n"
+              << "event-kernel pairs (default 512); --backend event (the default)\n"
+              << "runs the exact event kernel for every pair.\n"
               << "modules wider than 64 input bits are served via the section-5\n"
               << "parameterizable family (characterized at small prototype widths).\n"
               << "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 completed degraded\n";
@@ -91,6 +96,8 @@ struct Cli {
     std::size_t top_k = 10;
     unsigned threads = 0;
     core::WarmupMode warmup = core::WarmupMode::Batched;
+    core::CharBackend backend = core::CharBackend::EventKernel;
+    std::size_t calibration = 512;
     std::string checkpoint;
     bool strict = false;
     bool enhanced = false;
@@ -149,6 +156,19 @@ Cli parse_module_args(int argc, char** argv, int start)
                           << "' (use batched or per-record)\n";
                 std::exit(2);
             }
+        } else if (flag == "--backend") {
+            const std::string backend = next();
+            if (backend == "event") {
+                cli.backend = core::CharBackend::EventKernel;
+            } else if (backend == "emulation") {
+                cli.backend = core::CharBackend::PowerEmulation;
+            } else {
+                std::cerr << "unknown backend '" << backend
+                          << "' (use event or emulation)\n";
+                std::exit(2);
+            }
+        } else if (flag == "--calibration") {
+            cli.calibration = std::stoul(next());
         } else if (flag == "--checkpoint") {
             cli.checkpoint = next();
         } else if (flag == "--strict") {
@@ -200,6 +220,8 @@ core::CharacterizationOptions char_options(const Cli& cli)
     options.min_transitions = cli.budget / 2;
     options.threads = cli.threads;
     options.warmup = cli.warmup;
+    options.backend = cli.backend;
+    options.calibration_pairs = cli.calibration;
     options.checkpoint = cli.checkpoint;
     options.strict_faults = cli.strict;
     return options;
@@ -317,6 +339,15 @@ int cmd_characterize(const Cli& cli)
                 std::cout << "warm-up: " << stats.warmup_vectors
                           << " vectors settled per record\n";
             }
+            std::cout << "backend: " << core::char_backend_name(stats.backend);
+            if (stats.backend == core::CharBackend::PowerEmulation) {
+                std::cout << " (" << stats.emulated_pairs << " emulated pairs in "
+                          << stats.emulation_passes << " settle passes, "
+                          << stats.calibration_pairs
+                          << " event-kernel calibration pairs, residual scale "
+                          << util::TextTable::fmt(stats.calibration_scale, 4) << ")";
+            }
+            std::cout << '\n';
         }
     } else {
         const core::HdModel model =

@@ -115,6 +115,13 @@ void print_characterization_report(std::ostream& os,
                 os << "settled per record";
             }
         }
+        os << "\nbackend: " << char_backend_name(report.run.backend);
+        if (report.run.backend == CharBackend::PowerEmulation) {
+            os << ", " << report.run.emulated_pairs << " emulated pairs in "
+               << report.run.emulation_passes << " settle passes, calibrated on "
+               << report.run.calibration_pairs << " event-kernel pairs (residual scale "
+               << util::TextTable::fmt(report.run.calibration_scale, 4) << ")";
+        }
         os << '\n';
     }
 

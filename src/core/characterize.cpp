@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <exception>
@@ -14,6 +15,7 @@
 #include "sim/sim_context.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/linalg.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -107,6 +109,11 @@ private:
 
 } // namespace
 
+const char* char_backend_name(CharBackend backend) noexcept
+{
+    return backend == CharBackend::PowerEmulation ? "power-emulation" : "event-kernel";
+}
+
 Characterizer::Characterizer(const gate::TechLibrary& library,
                              sim::EventSimOptions sim_options)
     : library_(&library), sim_options_(sim_options)
@@ -118,10 +125,106 @@ namespace {
 /// Result of one independently simulated stimulus shard.
 struct ShardResult {
     std::vector<CharacterizationRecord> records;
-    std::uint64_t sim_transitions = 0; ///< net toggles incl. glitches
+    std::uint64_t sim_transitions = 0; ///< net toggles (event: incl. glitches)
     std::uint64_t warmup_vectors = 0;  ///< pairs-mode warm-up vectors settled
     std::uint64_t warmup_batches = 0;  ///< 64-lane batched settle passes
+    std::uint64_t emulation_passes = 0; ///< 64-lane zero-delay settle passes
     sim::KernelStats kernel;           ///< scheduler counters of the shard's simulator
+};
+
+/// One shard's deterministic stimulus stream, factored out of the shard
+/// runners so the event kernel, the power-emulation backend, and the
+/// glitch-calibration pass all draw *identical* (u, v) sequences for a
+/// given (seed, shard): same Rng seeding, same consumption order, same
+/// stratification cycles.
+class StimulusStream {
+public:
+    StimulusStream(int m, StimulusMode mode, std::uint64_t seed, std::uint64_t shard)
+        : m_(m), mode_(mode), rng_(seed ^ util::splitmix64(shard))
+    {
+        hd_cycle_.resize(static_cast<std::size_t>(m));
+        for (int i = 0; i < m; ++i) {
+            hd_cycle_[static_cast<std::size_t>(i)] = i + 1;
+        }
+        rng_.shuffle(hd_cycle_);
+        if (mode == StimulusMode::StratifiedPairs) {
+            for (int hd = 1; hd <= m; ++hd) {
+                for (int z = 0; z <= m - hd; ++z) {
+                    class_cycle_.emplace_back(hd, z);
+                }
+            }
+            rng_.shuffle(class_cycle_);
+        }
+        current_ = random_vector(m, rng_);
+        stable_.reserve(static_cast<std::size_t>(m));
+    }
+
+    /// Chain modes: the current chain head (the start vector before the
+    /// first chain_next() call).
+    [[nodiscard]] const BitVec& current() const noexcept { return current_; }
+
+    /// Pairs mode: generate the next stratified (u, v) pair — u with the
+    /// prescribed stable-zero layout, v = u ^ mask — and return its
+    /// (hd, stable-zeros) class.
+    std::pair<int, int> next_pair(BitVec& u, BitVec& v)
+    {
+        const std::pair<int, int> cls = class_cycle_[class_cursor_];
+        class_cursor_ = (class_cursor_ + 1) % class_cycle_.size();
+        const auto [hd, zeros] = cls;
+        const BitVec mask = random_mask(m_, hd, rng_, scratch_);
+        u = BitVec{m_};
+        // Positions outside the mask: exactly `zeros` of them are 0.
+        stable_.clear();
+        for (int i = 0; i < m_; ++i) {
+            if (!mask.get(i)) {
+                stable_.push_back(i);
+            }
+        }
+        rng_.shuffle(stable_);
+        for (std::size_t s = 0; s < stable_.size(); ++s) {
+            u.set(stable_[s], s >= static_cast<std::size_t>(zeros));
+        }
+        for (int i = 0; i < m_; ++i) {
+            if (mask.get(i)) {
+                u.set(i, rng_.bernoulli(0.5));
+            }
+        }
+        v = u ^ mask;
+        return cls;
+    }
+
+    /// Chain modes: advance the chain by one vector and return it (the
+    /// previous head is current() before the call). The head advances even
+    /// when the step has Hd = 0 — callers skip such steps, exactly as the
+    /// original chain loop did.
+    BitVec chain_next()
+    {
+        BitVec next{m_};
+        if (mode_ == StimulusMode::RandomChain) {
+            next = random_vector(m_, rng_);
+        } else {
+            const int hd = hd_cycle_[hd_cursor_];
+            hd_cursor_ = (hd_cursor_ + 1) % hd_cycle_.size();
+            if (hd_cursor_ == 0) {
+                rng_.shuffle(hd_cycle_);
+            }
+            next = current_ ^ random_mask(m_, hd, rng_, scratch_);
+        }
+        current_ = next;
+        return next;
+    }
+
+private:
+    int m_;
+    StimulusMode mode_;
+    Rng rng_;
+    std::vector<int> scratch_; // random_mask position pool
+    std::vector<int> stable_;  // stable-position pool, reused per pair
+    std::vector<int> hd_cycle_;
+    std::size_t hd_cursor_ = 0;
+    std::vector<std::pair<int, int>> class_cycle_; // (hd, zeros), pairs mode
+    std::size_t class_cursor_ = 0;
+    BitVec current_;
 };
 
 /// Simulate exactly @p count transitions of shard @p shard. Each shard is a
@@ -145,33 +248,10 @@ ShardResult run_shard(const sim::SimContext& context, int m, StimulusMode mode,
     ShardResult out;
     out.records.reserve(count);
 
-    Rng rng{options.seed ^ util::splitmix64(shard)};
-    std::vector<int> scratch;
+    StimulusStream stimulus{m, mode, options.seed, shard};
     sim::EventSimulator simulator{context, sim_options};
-
-    // Stratification state.
-    std::vector<int> hd_cycle(static_cast<std::size_t>(m));
-    for (int i = 0; i < m; ++i) {
-        hd_cycle[static_cast<std::size_t>(i)] = i + 1;
-    }
-    rng.shuffle(hd_cycle);
-    std::size_t hd_cursor = 0;
-
-    // (hd, zeros) enumeration for StratifiedPairs.
-    std::vector<std::pair<int, int>> class_cycle;
-    if (mode == StimulusMode::StratifiedPairs) {
-        for (int hd = 1; hd <= m; ++hd) {
-            for (int z = 0; z <= m - hd; ++z) {
-                class_cycle.emplace_back(hd, z);
-            }
-        }
-        rng.shuffle(class_cycle);
-    }
-    std::size_t class_cursor = 0;
-
-    BitVec current = random_vector(m, rng);
     if (mode != StimulusMode::StratifiedPairs) {
-        simulator.initialize(current);
+        simulator.initialize(stimulus.current());
     }
 
     if (mode == StimulusMode::StratifiedPairs) {
@@ -197,38 +277,12 @@ ShardResult run_shard(const sim::SimContext& context, int m, StimulusMode mode,
         std::array<BitVec, kLanes> u_block;
         std::array<BitVec, kLanes> v_block;
         std::array<std::pair<int, int>, kLanes> cls_block; // (hd, zeros)
-        std::vector<int> stable; // stable-position pool, reused per pair
-        stable.reserve(static_cast<std::size_t>(m));
 
         while (out.records.size() < count) {
             const std::size_t block =
                 std::min<std::size_t>(kLanes, count - out.records.size());
             for (std::size_t j = 0; j < block; ++j) {
-                const auto [hd, zeros] = class_cycle[class_cursor];
-                class_cursor = (class_cursor + 1) % class_cycle.size();
-
-                // Build u with the prescribed stable-zero layout, v = u ^ mask.
-                const BitVec mask = random_mask(m, hd, rng, scratch);
-                BitVec u{m};
-                // Positions outside the mask: exactly `zeros` of them are 0.
-                stable.clear();
-                for (int i = 0; i < m; ++i) {
-                    if (!mask.get(i)) {
-                        stable.push_back(i);
-                    }
-                }
-                rng.shuffle(stable);
-                for (std::size_t s = 0; s < stable.size(); ++s) {
-                    u.set(stable[s], s >= static_cast<std::size_t>(zeros));
-                }
-                for (int i = 0; i < m; ++i) {
-                    if (mask.get(i)) {
-                        u.set(i, rng.bernoulli(0.5));
-                    }
-                }
-                u_block[j] = u;
-                v_block[j] = u ^ mask;
-                cls_block[j] = {hd, zeros};
+                cls_block[j] = stimulus.next_pair(u_block[j], v_block[j]);
             }
 
             if (batched) {
@@ -260,32 +314,319 @@ ShardResult run_shard(const sim::SimContext& context, int m, StimulusMode mode,
 
     while (out.records.size() < count) {
         CharacterizationRecord rec;
-        BitVec next{m};
-        if (mode == StimulusMode::RandomChain) {
-            next = random_vector(m, rng);
-        } else {
-            const int hd = hd_cycle[hd_cursor];
-            hd_cursor = (hd_cursor + 1) % hd_cycle.size();
-            if (hd_cursor == 0) {
-                rng.shuffle(hd_cycle);
-            }
-            next = current ^ random_mask(m, hd, rng, scratch);
-        }
-        const int hd = BitVec::hamming_distance(current, next);
+        const BitVec previous = stimulus.current();
+        const BitVec next = stimulus.chain_next();
+        const int hd = BitVec::hamming_distance(previous, next);
         if (hd == 0) {
-            current = next;
             continue; // Hd = 0 transitions carry no class information
         }
         const sim::CycleResult cycle = simulator.apply(next);
         rec.hd = hd;
-        rec.stable_zeros = BitVec::stable_zeros(current, next);
+        rec.stable_zeros = BitVec::stable_zeros(previous, next);
         rec.charge_fc = cycle.charge_fc;
-        rec.toggle_mask = (current ^ next).raw();
+        rec.toggle_mask = (previous ^ next).raw();
         out.sim_transitions += cycle.transitions;
-        current = next;
         out.records.push_back(rec);
     }
     out.kernel = simulator.kernel_stats();
+    return out;
+}
+
+/// Power-emulation shard: the *exact* stimulus stream run_shard would draw
+/// for the same (seed, shard), scored word-parallel instead of event by
+/// event. Pair charges are toggle-weighted sums of @p weights (per-net
+/// per-toggle charge with the calibrated glitch correction already folded
+/// in): 64 pairs per settle_pairs call in pairs mode, 63 transitions per
+/// settle pass in chain modes. No event simulator is constructed at all —
+/// this is the backend's whole speed argument.
+ShardResult run_shard_emulation(const sim::SimContext& context, int m,
+                                StimulusMode mode,
+                                const CharacterizationOptions& options,
+                                std::span<const double> weights, std::size_t shard,
+                                std::size_t count)
+{
+    if (HDPM_FAULT_FIRE(util::FaultPoint::ShardException)) {
+        util::FaultContext fault_context;
+        fault_context.shard = static_cast<std::int64_t>(shard);
+        fault_context.detail = "injected shard failure";
+        throw util::FaultError{util::FaultKind::ShardFailed, std::move(fault_context)};
+    }
+
+    ShardResult out;
+    out.records.reserve(count);
+    StimulusStream stimulus{m, mode, options.seed, shard};
+    sim::BatchedEvaluator evaluator{context};
+
+    if (mode == StimulusMode::StratifiedPairs) {
+        constexpr std::size_t kLanes =
+            static_cast<std::size_t>(sim::BatchedEvaluator::kLanes);
+        std::array<BitVec, kLanes> u_block;
+        std::array<BitVec, kLanes> v_block;
+        std::array<std::pair<int, int>, kLanes> cls_block; // (hd, zeros)
+        std::array<double, kLanes> charges;
+
+        while (out.records.size() < count) {
+            const std::size_t block =
+                std::min<std::size_t>(kLanes, count - out.records.size());
+            for (std::size_t j = 0; j < block; ++j) {
+                cls_block[j] = stimulus.next_pair(u_block[j], v_block[j]);
+            }
+            evaluator.settle_pairs({u_block.data(), block}, {v_block.data(), block});
+            out.emulation_passes += 2; // one settle per pair side
+            evaluator.weighted_pair_charges(weights, {charges.data(), block});
+            for (const std::uint8_t toggles : evaluator.toggle_counts_per_net()) {
+                out.sim_transitions += toggles;
+            }
+            for (std::size_t j = 0; j < block; ++j) {
+                CharacterizationRecord rec;
+                rec.hd = cls_block[j].first;
+                rec.stable_zeros = cls_block[j].second;
+                rec.charge_fc = charges[j];
+                rec.toggle_mask = (u_block[j] ^ v_block[j]).raw();
+                out.records.push_back(rec);
+            }
+        }
+        return out;
+    }
+
+    // Chain modes: materialize the shard's chain with Hd = 0 steps dropped
+    // — identical endpoints settle identically, so removing the duplicate
+    // vector leaves every kept adjacent pair (and its zero-delay charge)
+    // unchanged — then score it with the windowed weighted counter.
+    std::vector<BitVec> chain;
+    chain.reserve(count + 1);
+    std::vector<std::pair<int, int>> cls; // (hd, zeros) per kept transition
+    cls.reserve(count);
+    chain.push_back(stimulus.current());
+    while (cls.size() < count) {
+        const BitVec previous = chain.back();
+        const BitVec next = stimulus.chain_next();
+        const int hd = BitVec::hamming_distance(previous, next);
+        if (hd == 0) {
+            continue;
+        }
+        cls.emplace_back(hd, BitVec::stable_zeros(previous, next));
+        chain.push_back(next);
+    }
+
+    std::vector<std::uint64_t> toggles;
+    const std::vector<double> charges =
+        evaluator.count_weighted_toggles(chain, weights, &toggles);
+    const std::size_t window_pairs =
+        static_cast<std::size_t>(sim::BatchedEvaluator::kLanes) - 1;
+    out.emulation_passes += (chain.size() - 2) / window_pairs + 1;
+    for (std::size_t i = 0; i < cls.size(); ++i) {
+        CharacterizationRecord rec;
+        rec.hd = cls[i].first;
+        rec.stable_zeros = cls[i].second;
+        rec.charge_fc = charges[i];
+        rec.toggle_mask = (chain[i] ^ chain[i + 1]).raw();
+        out.sim_transitions += toggles[i];
+        out.records.push_back(rec);
+    }
+    return out;
+}
+
+/// Calibration shard ids live in their own half of the 64-bit shard space,
+/// so `seed ^ splitmix64(id)` can never collide with a measurement shard's
+/// stimulus stream.
+constexpr std::uint64_t kCalibrationShardBase = std::uint64_t{1} << 63;
+
+/// Per-net base charge per toggle under the event kernel's accounting:
+/// cell outputs always draw their edge charge, primary inputs only when
+/// the physics counts input charge, and nets nothing drives never toggle.
+std::vector<double> base_charge_weights(const sim::SimContext& context,
+                                        const sim::EventSimOptions& sim_options)
+{
+    const std::size_t nets = context.netlist().num_nets();
+    std::vector<double> weights(nets, 0.0);
+    for (netlist::NetId net = 0; net < nets; ++net) {
+        if (context.is_cell_output(net)) {
+            weights[net] = context.edge_charge_fc(net);
+        }
+    }
+    if (sim_options.count_input_charge) {
+        for (const netlist::NetId pi : context.netlist().primary_inputs()) {
+            weights[pi] = context.edge_charge_fc(pi);
+        }
+    }
+    return weights;
+}
+
+/// One calibration shard's aggregates: the same stimulus stream driven
+/// through *both* engines.
+struct CalibrationShard {
+    std::vector<std::uint64_t> event_toggles; ///< per net, timed applies only
+    std::vector<std::uint64_t> zero_toggles;  ///< per net, zero-delay settles
+    double event_charge_fc = 0.0;             ///< event-kernel charge, summed
+    std::uint64_t pairs = 0;                  ///< transitions simulated
+};
+
+CalibrationShard run_calibration_shard(const sim::SimContext& context, int m,
+                                       StimulusMode mode,
+                                       const CharacterizationOptions& options,
+                                       const sim::EventSimOptions& sim_options,
+                                       std::uint64_t shard_id, std::size_t count)
+{
+    CalibrationShard out;
+    const std::size_t nets = context.netlist().num_nets();
+    out.zero_toggles.assign(nets, 0);
+
+    StimulusStream stimulus{m, mode, options.seed, shard_id};
+    sim::EventSimulator simulator{context, sim_options};
+    sim::BatchedEvaluator evaluator{context};
+    constexpr std::size_t kLanes =
+        static_cast<std::size_t>(sim::BatchedEvaluator::kLanes);
+
+    if (mode == StimulusMode::StratifiedPairs) {
+        std::array<BitVec, kLanes> u_block;
+        std::array<BitVec, kLanes> v_block;
+        while (out.pairs < count) {
+            const std::size_t block = std::min<std::size_t>(kLanes, count - out.pairs);
+            for (std::size_t j = 0; j < block; ++j) {
+                (void)stimulus.next_pair(u_block[j], v_block[j]);
+            }
+            evaluator.settle_pairs({u_block.data(), block}, {v_block.data(), block});
+            const auto counts = evaluator.toggle_counts_per_net();
+            for (std::size_t net = 0; net < nets; ++net) {
+                out.zero_toggles[net] += counts[net];
+            }
+            for (std::size_t j = 0; j < block; ++j) {
+                simulator.initialize(u_block[j]);
+                out.event_charge_fc += simulator.apply(v_block[j]).charge_fc;
+            }
+            out.pairs += block;
+        }
+    } else {
+        std::vector<BitVec> chain;
+        chain.reserve(count + 1);
+        chain.push_back(stimulus.current());
+        while (chain.size() < count + 1) {
+            const BitVec previous = chain.back();
+            const BitVec next = stimulus.chain_next();
+            if (BitVec::hamming_distance(previous, next) == 0) {
+                continue;
+            }
+            chain.push_back(next);
+        }
+        simulator.initialize(chain.front());
+        for (std::size_t i = 1; i < chain.size(); ++i) {
+            out.event_charge_fc += simulator.apply(chain[i]).charge_fc;
+        }
+        // Zero-delay per-net toggles over the same chain, in overlapping
+        // 64-vector windows (count_toggles' boundary contract).
+        std::size_t base = 0;
+        while (base + 1 < chain.size()) {
+            const std::size_t len = std::min<std::size_t>(kLanes, chain.size() - base);
+            evaluator.settle({chain.data() + base, len});
+            const std::size_t window_pairs = len - 1;
+            const std::uint64_t pair_mask =
+                window_pairs >= 64 ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << window_pairs) - 1;
+            const auto words = evaluator.lane_words();
+            for (std::size_t net = 0; net < nets; ++net) {
+                out.zero_toggles[net] += static_cast<std::uint64_t>(
+                    std::popcount((words[net] ^ (words[net] >> 1)) & pair_mask));
+            }
+            base += window_pairs;
+        }
+        out.pairs = chain.size() - 1;
+    }
+
+    // The event kernel's per-net toggle totals: initialize()/load_state()
+    // settle silently, so the cumulative counters cover exactly the timed
+    // applies above.
+    const std::vector<std::uint64_t>& cumulative = simulator.cumulative_transitions();
+    out.event_toggles.assign(cumulative.begin(), cumulative.end());
+    return out;
+}
+
+/// The emulation backend's calibrated weight vector plus its counters.
+struct CalibrationResult {
+    std::vector<double> weights; ///< per-net per-toggle charge, corrected
+    std::uint64_t event_pairs = 0; ///< event-kernel transitions simulated
+    double scale = 1.0;            ///< fitted residual glitch scale
+};
+
+/// Fit the glitch correction: per-cell-output toggle-ratio factors (event
+/// toggles / zero-delay toggles — glitches multiply a net's toggle count
+/// but never its per-toggle charge) folded into the base weights, then one
+/// residual scale fitted with util::least_squares over per-shard
+/// (corrected emulated total, event total) rows to absorb charge on nets
+/// the zero-delay settles never toggled. Calibration shards reuse the
+/// sharded seed scheme with ids offset by kCalibrationShardBase and are
+/// merged in shard order, so the fit — like the records — is a pure
+/// function of the stimulus plan, bit-identical for any thread count.
+CalibrationResult calibrate_emulation(const sim::SimContext& context, int m,
+                                      StimulusMode mode,
+                                      const CharacterizationOptions& options,
+                                      const sim::EventSimOptions& sim_options,
+                                      const util::ThreadPool& pool)
+{
+    CalibrationResult out;
+    out.weights = base_charge_weights(context, sim_options);
+    if (options.calibration_pairs == 0) {
+        return out;
+    }
+
+    const std::size_t shard_size =
+        options.shard_size != 0 ? options.shard_size : options.batch;
+    const std::size_t num_shards =
+        (options.calibration_pairs + shard_size - 1) / shard_size;
+    const auto shards = pool.parallel_map(num_shards, [&](std::size_t i) {
+        const std::size_t planned =
+            std::min(shard_size, options.calibration_pairs - i * shard_size);
+        return run_calibration_shard(context, m, mode, options, sim_options,
+                                     kCalibrationShardBase + i, planned);
+    });
+
+    const std::size_t nets = context.netlist().num_nets();
+    std::vector<std::uint64_t> event_toggles(nets, 0);
+    std::vector<std::uint64_t> zero_toggles(nets, 0);
+    for (const CalibrationShard& shard : shards) {
+        for (std::size_t net = 0; net < nets; ++net) {
+            event_toggles[net] += shard.event_toggles[net];
+            zero_toggles[net] += shard.zero_toggles[net];
+        }
+        out.event_pairs += shard.pairs;
+    }
+
+    // Per-cell factors on the nets the calibration set exercised. Primary
+    // inputs never glitch (their ratio is exactly 1 by construction), and
+    // a cell output the zero-delay settles never toggled contributes no
+    // emulated charge for a factor to scale — the residual fit below
+    // absorbs its glitch-only charge.
+    for (netlist::NetId net = 0; net < nets; ++net) {
+        if (context.is_cell_output(net) && zero_toggles[net] > 0) {
+            out.weights[net] *= static_cast<double>(event_toggles[net]) /
+                                static_cast<double>(zero_toggles[net]);
+        }
+    }
+
+    // Residual scale: least squares through the origin, one row per
+    // calibration shard.
+    util::Matrix a{shards.size(), 1};
+    std::vector<double> b(shards.size(), 0.0);
+    double corrected_total = 0.0;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        double corrected = 0.0;
+        for (std::size_t net = 0; net < nets; ++net) {
+            corrected +=
+                out.weights[net] * static_cast<double>(shards[s].zero_toggles[net]);
+        }
+        a.at(s, 0) = corrected;
+        b[s] = shards[s].event_charge_fc;
+        corrected_total += corrected;
+    }
+    if (corrected_total > 0.0) {
+        const std::vector<double> fit = util::least_squares(a, b);
+        if (std::isfinite(fit[0]) && fit[0] > 0.0) {
+            out.scale = fit[0];
+        }
+    }
+    for (double& w : out.weights) {
+        w *= out.scale;
+    }
     return out;
 }
 
@@ -348,6 +689,19 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
 
     const util::ThreadPool pool{options.threads};
 
+    // Power-emulation backend: calibrate the per-net weight vector up front
+    // by running a small deterministic subsample through the event kernel.
+    // Calibration is a pure function of the stimulus plan (its shard ids
+    // reuse the sharded seed scheme, offset into their own half of the id
+    // space), so a resumed run recomputes the identical weights — nothing
+    // about it needs journaling.
+    const bool emulation = options.backend == CharBackend::PowerEmulation;
+    CalibrationResult calibration;
+    if (emulation) {
+        calibration =
+            calibrate_emulation(context, m, mode, options, sim_options_, pool);
+    }
+
     // Class geometry for convergence monitoring: basic classes suffice for
     // chain modes; pairs mode monitors (hd, zeros) jointly via basic bins
     // as well (a conservative criterion).
@@ -362,6 +716,8 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
     std::uint64_t sim_events = 0;
     std::uint64_t warmup_vectors = 0;
     std::uint64_t warmup_batches = 0;
+    std::uint64_t emulated_pairs = 0;
+    std::uint64_t emulation_passes = 0;
     std::size_t max_queue_depth = 0;
     bool stop = false;
 
@@ -493,7 +849,11 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
             ShardOutcome outcome;
             try {
                 outcome.result =
-                    run_shard(context, m, mode, options, sim_options_, shard, planned);
+                    emulation ? run_shard_emulation(context, m, mode, options,
+                                                    calibration.weights, shard,
+                                                    planned)
+                              : run_shard(context, m, mode, options, sim_options_,
+                                          shard, planned);
             } catch (...) {
                 outcome.error = std::current_exception();
             }
@@ -519,6 +879,10 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
                 sim_events += result.kernel.events_processed;
                 warmup_vectors += result.warmup_vectors;
                 warmup_batches += result.warmup_batches;
+                emulation_passes += result.emulation_passes;
+                if (emulation) {
+                    emulated_pairs += result.records.size();
+                }
                 max_queue_depth =
                     std::max(max_queue_depth, result.kernel.max_queue_depth);
                 ++shards_merged;
@@ -570,6 +934,11 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
         options.stats->shards_resumed = shards_resumed;
         options.stats->checkpoints_published = checkpoints_published;
         options.stats->checkpoint_discarded = checkpoint_discarded;
+        options.stats->backend = options.backend;
+        options.stats->emulated_pairs = emulated_pairs;
+        options.stats->emulation_passes = emulation_passes;
+        options.stats->calibration_pairs = calibration.event_pairs;
+        options.stats->calibration_scale = calibration.scale;
     }
     return records;
 }

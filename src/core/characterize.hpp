@@ -36,6 +36,29 @@ enum class StimulusMode {
     StratifiedPairs,
 };
 
+/// Which reference engine produces record charges.
+enum class CharBackend {
+    /// The timed event kernel: full glitch activity under inertial
+    /// filtering. Exact — the reference physics and the differential
+    /// oracle for every other backend.
+    EventKernel,
+
+    /// 64-lane word-parallel power emulation: each block of up to 64
+    /// stimulus pairs settles zero-delay in sim::BatchedEvaluator, and the
+    /// pair charge is the toggle-weighted sum of per-net edge charges. A
+    /// zero-delay settle sees no glitches, so a calibration phase runs a
+    /// small deterministic event-kernel subsample (same sharded seed
+    /// scheme, disjoint shard ids) and fits per-cell glitch-correction
+    /// factors plus a residual least-squares scale into the weights.
+    /// Approximate but an order of magnitude faster — the screening /
+    /// regression-volume path; see docs/simulator.md for the accuracy
+    /// contract.
+    PowerEmulation,
+};
+
+/// Human-readable backend name ("event-kernel" / "power-emulation").
+[[nodiscard]] const char* char_backend_name(CharBackend backend) noexcept;
+
 /// How StratifiedPairs records establish their pre-transition steady state
 /// (the warm-up settle of u before the timed apply of v). Both modes
 /// produce bit-identical records: a combinational netlist has a unique
@@ -82,6 +105,14 @@ struct CharRunStats {
     std::uint64_t warmup_vectors = 0; ///< pairs-mode warm-up vectors settled
     std::uint64_t warmup_batches = 0; ///< 64-lane batched warm-up settle passes
 
+    /// Backend that produced the records, plus its emulated-vs-event pass
+    /// counters (all zero / EventKernel for a pure event-kernel run).
+    CharBackend backend = CharBackend::EventKernel;
+    std::uint64_t emulated_pairs = 0;   ///< records scored word-parallel this run
+    std::uint64_t emulation_passes = 0; ///< 64-lane zero-delay settle passes
+    std::uint64_t calibration_pairs = 0; ///< event-kernel pairs run for calibration
+    double calibration_scale = 1.0; ///< fitted residual glitch scale (1 = none)
+
     /// Shards that failed and were skipped (non-strict runs only; empty
     /// means the run completed clean).
     std::vector<ShardFailure> shard_failures;
@@ -116,6 +147,22 @@ struct CharacterizationOptions {
     /// StratifiedPairs for the enhanced model. An explicitly set mode is
     /// always respected.
     std::optional<StimulusMode> mode;
+
+    /// Reference engine for record charges. Unlike threads/warmup — and
+    /// like shard_size — the backend is part of the measurement plan:
+    /// emulated charges approximate the event kernel's, so the choice is
+    /// fingerprinted into stored models and checkpoint journals.
+    CharBackend backend = CharBackend::EventKernel;
+
+    /// PowerEmulation only: event-kernel transitions simulated for the
+    /// glitch-correction calibration fit (0 disables correction — raw
+    /// zero-delay charge, which underestimates glitch-heavy modules).
+    /// Part of the measurement plan, fingerprinted. Calibration shards are
+    /// seeded `seed ^ splitmix64(kCalibrationShardBase + i)` with ids
+    /// disjoint from measurement shards, merged in shard order — so the
+    /// fitted correction, like the records, is bit-identical for any
+    /// thread count and recomputed identically on a checkpoint resume.
+    std::size_t calibration_pairs = 512;
 
     /// Worker threads for sharded stimulus collection (0 = one per
     /// hardware thread, the default). Results are bit-identical for every
@@ -166,7 +213,7 @@ struct CharacterizationOptions {
 struct CharacterizationRecord {
     int hd = 0;          ///< Hamming distance of the input transition
     int stable_zeros = 0; ///< stable-zero bit count of the transition
-    double charge_fc = 0.0; ///< reference cycle charge from the event simulator
+    double charge_fc = 0.0; ///< reference cycle charge from the selected backend
     std::uint64_t toggle_mask = 0; ///< which input bits switched (u XOR v)
 };
 

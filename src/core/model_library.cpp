@@ -14,7 +14,7 @@ namespace {
 
 /// Bump when the set of fingerprinted fields changes; every stored model
 /// becomes stale at once, which is exactly the safe behaviour.
-constexpr std::uint64_t kFingerprintVersion = 1;
+constexpr std::uint64_t kFingerprintVersion = 2;
 
 constexpr std::string_view kOptionsHeaderTag = "options";
 
@@ -66,6 +66,13 @@ std::uint64_t characterization_fingerprint(const CharacterizationOptions& option
     mix(std::bit_cast<std::uint64_t>(options.tolerance));
     mix(options.mode ? static_cast<std::uint64_t>(*options.mode) + 1 : 0);
     mix(options.shard_size);
+    // The scoring backend and its calibration budget: emulated records are
+    // a different measurement of the same stimulus plan, so two runs that
+    // differ only in backend (or in how many event-kernel pairs calibrated
+    // the emulation weights) must never share a stored model or resume each
+    // other's checkpoints.
+    mix(static_cast<std::uint64_t>(options.backend));
+    mix(options.calibration_pairs);
     // The reference-simulation physics.
     mix(sim_options.count_input_charge ? 1 : 0);
     mix(static_cast<std::uint64_t>(sim_options.inertial_window_ps));

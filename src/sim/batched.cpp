@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "sim/sim_context.hpp"
+#include "util/cpu.hpp"
 #include "util/error.hpp"
 
 namespace hdpm::sim {
@@ -152,9 +153,9 @@ std::vector<BitVec> BatchedEvaluator::eval(std::span<const BitVec> inputs)
     return out;
 }
 
-std::vector<std::uint64_t> BatchedEvaluator::toggle_counts(std::span<const BitVec> stream)
+std::vector<std::uint64_t> BatchedEvaluator::count_toggles(std::span<const BitVec> stream)
 {
-    HDPM_REQUIRE(!stream.empty(), "toggle_counts needs at least one vector");
+    HDPM_REQUIRE(!stream.empty(), "count_toggles needs at least one vector");
     std::vector<std::uint64_t> counts(stream.size() - 1, 0);
     std::size_t base = 0;
     while (base + 1 < stream.size()) {
@@ -175,6 +176,85 @@ std::vector<std::uint64_t> BatchedEvaluator::toggle_counts(std::span<const BitVe
         base += pairs; // overlap one vector so every adjacent pair is covered
     }
     return counts;
+}
+
+std::vector<double> BatchedEvaluator::count_weighted_toggles(
+    std::span<const BitVec> stream, std::span<const double> weights,
+    std::vector<std::uint64_t>* counts)
+{
+    HDPM_REQUIRE(!stream.empty(), "count_weighted_toggles needs at least one vector");
+    HDPM_REQUIRE(weights.size() == lanes_.size(), "netlist '", netlist_->name(),
+                 "' has ", lanes_.size(), " nets, weights has ", weights.size());
+    std::vector<double> charges(stream.size() - 1, 0.0);
+    if (counts != nullptr) {
+        counts->assign(stream.size() - 1, 0);
+    }
+    std::size_t base = 0;
+    while (base + 1 < stream.size()) {
+        const std::size_t len =
+            std::min<std::size_t>(kLanes, stream.size() - base);
+        settle(stream.subspan(base, len));
+        const std::size_t pairs = len - 1;
+        const std::uint64_t pair_mask =
+            pairs >= 64 ? kAllLanes : (std::uint64_t{1} << pairs) - 1;
+        for (std::size_t net = 0; net < lanes_.size(); ++net) {
+            const std::uint64_t word = lanes_[net];
+            std::uint64_t diff = (word ^ (word >> 1)) & pair_mask;
+            if (diff == 0) {
+                continue;
+            }
+            const double w = weights[net];
+            while (diff != 0) {
+                const std::size_t j =
+                    base + static_cast<std::size_t>(std::countr_zero(diff));
+                charges[j] += w;
+                if (counts != nullptr) {
+                    (*counts)[j] += 1;
+                }
+                diff &= diff - 1;
+            }
+        }
+        base += pairs;
+    }
+    return charges;
+}
+
+void BatchedEvaluator::settle_pairs(std::span<const BitVec> us,
+                                    std::span<const BitVec> vs)
+{
+    HDPM_REQUIRE(us.size() == vs.size(), "pair batch sides disagree: ", us.size(),
+                 " u-vectors vs ", vs.size(), " v-vectors");
+    settle(us);
+    saved_.assign(lanes_.begin(), lanes_.end());
+    settle(vs);
+    pair_diff_.resize(lanes_.size());
+    pair_popcnt_.resize(lanes_.size());
+    for (std::size_t net = 0; net < lanes_.size(); ++net) {
+        pair_diff_[net] = saved_[net] ^ lanes_[net];
+    }
+    // Per-net popcounts through the runtime-dispatched SIMD kernels —
+    // this is the dominant counting step of the emulation backend.
+    util::cpu::kernels().xor_popcnt(saved_.data(), lanes_.data(), lanes_.size(),
+                                    pair_popcnt_.data());
+}
+
+void BatchedEvaluator::weighted_pair_charges(std::span<const double> weights,
+                                             std::span<double> out) const
+{
+    HDPM_REQUIRE(weights.size() == pair_diff_.size(), "netlist '", netlist_->name(),
+                 "' has ", pair_diff_.size(), " nets, weights has ", weights.size());
+    std::fill(out.begin(), out.end(), 0.0);
+    for (std::size_t net = 0; net < pair_diff_.size(); ++net) {
+        std::uint64_t diff = pair_diff_[net];
+        if (diff == 0) {
+            continue;
+        }
+        const double w = weights[net];
+        while (diff != 0) {
+            out[static_cast<std::size_t>(std::countr_zero(diff))] += w;
+            diff &= diff - 1;
+        }
+    }
 }
 
 } // namespace hdpm::sim

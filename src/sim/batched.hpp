@@ -56,10 +56,62 @@ public:
 
     /// Zero-delay toggle counts of a stimulus stream: element j is the
     /// number of nets whose settled value differs between stream[j] and
-    /// stream[j+1] (length N stream → N-1 counts). The stream is processed
-    /// in kLanes-vector windows with one vector of overlap, so arbitrary
-    /// lengths cost ~N/63 settle passes.
-    std::vector<std::uint64_t> toggle_counts(std::span<const util::BitVec> stream);
+    /// stream[j+1].
+    ///
+    /// Window-overlap boundary contract: a stream of N vectors yields
+    /// exactly N-1 counts — one per *adjacent pair*, never one per vector.
+    /// The stream is processed in kLanes-vector windows that each re-settle
+    /// the last vector of the previous window (one vector of overlap), so a
+    /// window of L vectors contributes L-1 counts and the boundary pair
+    /// (window i's last vector, window i+1's first) is counted exactly
+    /// once. Arbitrary lengths therefore cost ceil((N-1)/(kLanes-1)) settle
+    /// passes. A single-vector stream has no pairs and returns no counts.
+    std::vector<std::uint64_t> count_toggles(std::span<const util::BitVec> stream);
+
+    /// Charge-weighted variant of count_toggles: element j is the sum of
+    /// @p weights[net] over every net whose settled value differs between
+    /// stream[j] and stream[j+1] — i.e. the zero-delay cycle charge of the
+    /// transition when weights holds per-net per-toggle charge. Same
+    /// window-overlap contract (N vectors → N-1 sums). Per transition the
+    /// weights accumulate in ascending net order, so the floating-point
+    /// result is deterministic. When @p counts is non-null it receives the
+    /// unweighted toggle counts of the same pass (one settle sweep serves
+    /// both). @p weights must hold one entry per net.
+    std::vector<double> count_weighted_toggles(std::span<const util::BitVec> stream,
+                                               std::span<const double> weights,
+                                               std::vector<std::uint64_t>* counts = nullptr);
+
+    /// Settle @p us and @p vs (equal sizes, 1..kLanes vectors each) in two
+    /// word-parallel passes and derive the per-net pair-toggle words:
+    /// bit j of toggle_words()[net] is set iff the net's settled value
+    /// differs between us[j] and vs[j]. Also fills toggle_counts_per_net()
+    /// with popcount(toggle word) per net through the runtime-dispatched
+    /// util::cpu kernels. This is the power-emulation backend's inner loop:
+    /// one call scores up to 64 independent (u, v) stimulus pairs.
+    void settle_pairs(std::span<const util::BitVec> us,
+                      std::span<const util::BitVec> vs);
+
+    /// Per-net pair-toggle words of the last settle_pairs (lanes at or
+    /// above the batch size are zero).
+    [[nodiscard]] std::span<const std::uint64_t> toggle_words() const noexcept
+    {
+        return pair_diff_;
+    }
+
+    /// Per-net zero-delay toggle counts of the last settle_pairs
+    /// (popcount of each toggle word, ≤ 64 so a byte each).
+    [[nodiscard]] std::span<const std::uint8_t> toggle_counts_per_net() const noexcept
+    {
+        return pair_popcnt_;
+    }
+
+    /// Per-lane weighted toggle sums of the last settle_pairs:
+    /// out[j] = Σ_net weights[net] · (bit j of the net's toggle word) —
+    /// the zero-delay cycle charge of pair j when weights holds per-net
+    /// per-toggle charge. Weights accumulate in ascending net order
+    /// (deterministic floating point). @p out must cover the batch size.
+    void weighted_pair_charges(std::span<const double> weights,
+                               std::span<double> out) const;
 
     /// Lane word of a net after the last eval(): bit j is the net's value
     /// under input vector j (bits at or above the batch size are zero).
@@ -68,11 +120,20 @@ public:
         return lanes_.at(net);
     }
 
+    /// All lane words of the last settle, indexed by net.
+    [[nodiscard]] std::span<const std::uint64_t> lane_words() const noexcept
+    {
+        return lanes_;
+    }
+
 private:
     const netlist::Netlist* netlist_;
     std::unique_ptr<const CompiledNetlist> owned_; // null when borrowing
     const CompiledNetlist* compiled_;
     std::vector<std::uint64_t> lanes_;
+    std::vector<std::uint64_t> saved_;      // u-side lanes of settle_pairs
+    std::vector<std::uint64_t> pair_diff_;  // saved_ ^ lanes_ after settle_pairs
+    std::vector<std::uint8_t> pair_popcnt_; // popcount(pair_diff_) per net
 };
 
 } // namespace hdpm::sim

@@ -48,6 +48,11 @@ CompiledNetlist::CompiledNetlist(const netlist::Netlist& netlist)
     for (NetId net = 0; net < num_nets_; ++net) {
         fanout_cell_.insert(fanout_cell_.end(), fanout[net].begin(), fanout[net].end());
     }
+
+    cell_output_.assign(num_nets_, 0);
+    for (const NetId net : out_net_) {
+        cell_output_[net] = 1;
+    }
 }
 
 } // namespace hdpm::sim

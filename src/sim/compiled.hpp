@@ -61,6 +61,21 @@ public:
     /// Packed truth table of cell @p c (see gate::gate_truth_table).
     [[nodiscard]] std::uint8_t truth(netlist::CellId c) const { return truth_[c]; }
 
+    /// True when some cell drives @p net (false for primary inputs and
+    /// floating nets). The power-emulation backend uses this to separate
+    /// cell-output charge — which glitch correction applies to — from
+    /// primary-input charge, which never glitches.
+    [[nodiscard]] bool is_cell_output(netlist::NetId net) const
+    {
+        return cell_output_[net] != 0;
+    }
+
+    /// Per-net cell-output flags (one 0/1 byte per net).
+    [[nodiscard]] std::span<const std::uint8_t> cell_output_mask() const noexcept
+    {
+        return cell_output_;
+    }
+
     /// Evaluate cell @p c against @p values (one 0/1 byte per net).
     [[nodiscard]] std::uint8_t eval(netlist::CellId c,
                                     const std::uint8_t* values) const
@@ -84,6 +99,7 @@ private:
     std::vector<std::uint8_t> truth_;        // per cell
     std::vector<std::uint32_t> fanout_offset_; // num_nets + 1
     std::vector<netlist::CellId> fanout_cell_; // flat consumers
+    std::vector<std::uint8_t> cell_output_;    // per net: 1 if a cell drives it
 };
 
 } // namespace hdpm::sim

@@ -99,6 +99,19 @@ public:
         return edge_charge_fc_[net];
     }
 
+    /// The whole flat per-net edge-charge array [fC] — the power-emulation
+    /// backend builds its per-toggle weight vector from this.
+    [[nodiscard]] std::span<const double> edge_charges_fc() const noexcept
+    {
+        return edge_charge_fc_;
+    }
+
+    /// True when some cell drives @p net (see CompiledNetlist).
+    [[nodiscard]] bool is_cell_output(netlist::NetId net) const
+    {
+        return compiled_.is_cell_output(net);
+    }
+
     /// Largest per-cell delay [ps]; bounds the timing-wheel horizon (every
     /// scheduled event lies at most this far ahead of the current time).
     [[nodiscard]] std::int64_t max_cell_delay_ps() const noexcept

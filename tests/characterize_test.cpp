@@ -585,6 +585,206 @@ TEST(Checkpoint, JournalRoundTripIsBitExact)
     std::filesystem::remove(path);
 }
 
+// ---------------------------------------------------------------------------
+// Power-emulation backend: the same stimulus plan scored word-parallel.
+// Records must be bit-identical across every execution knob (the stream and
+// the weighted dot products are pure functions of the plan), resume from a
+// checkpoint bit-identically, and — once the glitch correction is calibrated
+// — land the mean charge within the documented tolerance of the event kernel
+// on every module family.
+// ---------------------------------------------------------------------------
+
+std::vector<CharacterizationRecord> collect_emulated(
+    const DatapathModule& module, StimulusMode mode, unsigned threads,
+    std::size_t calibration, CharRunStats* stats = nullptr,
+    const std::filesystem::path& checkpoint = {}, std::size_t abort_after_shards = 0)
+{
+    const Characterizer characterizer;
+    CharacterizationOptions options;
+    options.max_transitions = 1200;
+    options.min_transitions = 1200;
+    options.batch = 1200;
+    options.shard_size = 150;
+    options.seed = 23;
+    options.mode = mode;
+    options.threads = threads;
+    options.backend = CharBackend::PowerEmulation;
+    options.calibration_pairs = calibration;
+    options.stats = stats;
+    options.checkpoint = checkpoint;
+    if (abort_after_shards > 0) {
+        options.progress = [abort_after_shards](const CharProgress& p) {
+            if (p.shards_merged >= abort_after_shards) {
+                throw AbortRun{};
+            }
+        };
+    }
+    return characterizer.collect_records(module, options);
+}
+
+TEST(Emulation, ThreadCountMatrixIsBitIdentical)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+    for (const StimulusMode mode :
+         {StimulusMode::StratifiedPairs, StimulusMode::StratifiedChain,
+          StimulusMode::RandomChain}) {
+        const auto baseline = collect_emulated(module, mode, 1, 256);
+        const EnhancedHdModel baseline_model =
+            fit_enhanced_model(module.total_input_bits(), 0, baseline);
+        for (const unsigned threads : {2U, 4U, 8U}) {
+            const std::string label = std::to_string(static_cast<int>(mode)) +
+                                      "/" + std::to_string(threads) + "t";
+            const auto records = collect_emulated(module, mode, threads, 256);
+            expect_identical_records(baseline, records, label);
+            // The calibrated weights feed every record, so coefficient
+            // equality also proves the calibration fit is thread-invariant.
+            const EnhancedHdModel model =
+                fit_enhanced_model(module.total_input_bits(), 0, records);
+            const int m = module.total_input_bits();
+            for (int hd = 1; hd <= m; ++hd) {
+                for (int z = 0; z <= m - hd; ++z) {
+                    ASSERT_EQ(model.coefficient(hd, z),
+                              baseline_model.coefficient(hd, z))
+                        << label << " (" << hd << ", " << z << ")";
+                }
+            }
+        }
+    }
+}
+
+TEST(Emulation, ResumeFromCheckpointIsBitIdentical)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+    const auto baseline =
+        collect_emulated(module, StimulusMode::StratifiedPairs, 1, 256);
+    const std::filesystem::path journal =
+        std::filesystem::path{::testing::TempDir()} / "emulation_resume.journal";
+
+    EXPECT_THROW((void)collect_emulated(module, StimulusMode::StratifiedPairs, 4,
+                                        256, nullptr, journal, 3),
+                 AbortRun);
+    ASSERT_TRUE(std::filesystem::exists(journal));
+
+    // The resumed run recomputes the calibration (it is a pure function of
+    // the plan, never journaled) and must reproduce the uninterrupted
+    // stream bit for bit.
+    CharRunStats stats;
+    const auto records = collect_emulated(module, StimulusMode::StratifiedPairs, 1,
+                                          256, &stats, journal, 0);
+    EXPECT_EQ(stats.shards_resumed, 2U);
+    EXPECT_FALSE(stats.checkpoint_discarded);
+    expect_identical_records(baseline, records, "emulation resume");
+    EXPECT_FALSE(std::filesystem::exists(journal));
+}
+
+TEST(Emulation, StatsCountersReflectBackend)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
+
+    CharRunStats stats;
+    const auto records =
+        collect_emulated(module, StimulusMode::StratifiedPairs, 1, 256, &stats);
+    EXPECT_EQ(stats.backend, CharBackend::PowerEmulation);
+    EXPECT_EQ(stats.emulated_pairs, records.size());
+    EXPECT_GT(stats.emulation_passes, 0U);
+    // Emulation runs no event kernel outside calibration.
+    EXPECT_EQ(stats.sim_events, 0U);
+    EXPECT_EQ(stats.calibration_pairs, 256U);
+    EXPECT_GT(stats.calibration_scale, 0.0);
+
+    CharRunStats event_stats;
+    CharacterizationOptions options;
+    options.max_transitions = 500;
+    options.min_transitions = 500;
+    options.batch = 500;
+    options.seed = 5;
+    options.mode = StimulusMode::StratifiedPairs;
+    options.threads = 1;
+    options.stats = &event_stats;
+    const Characterizer characterizer;
+    (void)characterizer.collect_records(module, options);
+    EXPECT_EQ(event_stats.backend, CharBackend::EventKernel);
+    EXPECT_EQ(event_stats.emulated_pairs, 0U);
+    EXPECT_EQ(event_stats.emulation_passes, 0U);
+    EXPECT_EQ(event_stats.calibration_pairs, 0U);
+    EXPECT_GT(event_stats.sim_events, 0U);
+}
+
+TEST(Emulation, CalibratedChargeWithinToleranceOnEveryModuleFamily)
+{
+    // The accuracy regression behind docs/simulator.md's contract: with the
+    // default-sized calibration, the emulated mean cycle charge stays
+    // within 10% of the event kernel's on every dpgen module family.
+    for (const ModuleType type : dp::all_module_types()) {
+        const DatapathModule module = dp::make_module(type, 3);
+        const Characterizer characterizer;
+
+        CharacterizationOptions options;
+        options.max_transitions = 2000;
+        options.min_transitions = 2000;
+        options.batch = 2000;
+        options.shard_size = 500;
+        options.seed = 29;
+        options.mode = StimulusMode::StratifiedPairs;
+        options.threads = 1;
+        const auto event_records = characterizer.collect_records(module, options);
+
+        options.backend = CharBackend::PowerEmulation;
+        options.calibration_pairs = 512;
+        const auto emulated_records = characterizer.collect_records(module, options);
+
+        ASSERT_EQ(event_records.size(), emulated_records.size())
+            << dp::module_type_id(type);
+        double event_mean = 0.0;
+        double emulated_mean = 0.0;
+        for (std::size_t i = 0; i < event_records.size(); ++i) {
+            // Both backends walk the identical stimulus stream.
+            ASSERT_EQ(event_records[i].toggle_mask, emulated_records[i].toggle_mask)
+                << dp::module_type_id(type) << " record " << i;
+            event_mean += event_records[i].charge_fc;
+            emulated_mean += emulated_records[i].charge_fc;
+        }
+        event_mean /= static_cast<double>(event_records.size());
+        emulated_mean /= static_cast<double>(emulated_records.size());
+        ASSERT_GT(event_mean, 0.0) << dp::module_type_id(type);
+        EXPECT_NEAR(emulated_mean, event_mean, 0.10 * event_mean)
+            << dp::module_type_id(type);
+    }
+}
+
+TEST(Emulation, ChainModesMatchEventStreamClasses)
+{
+    // Chain-mode emulation drops Hd = 0 duplicates from the stream instead
+    // of replaying them; the (hd, zeros) class sequence must still match
+    // the event backend's records exactly.
+    const DatapathModule module = dp::make_module(ModuleType::CsaMultiplier, 3);
+    const Characterizer characterizer;
+    for (const StimulusMode mode :
+         {StimulusMode::StratifiedChain, StimulusMode::RandomChain}) {
+        CharacterizationOptions options;
+        options.max_transitions = 1000;
+        options.min_transitions = 1000;
+        options.batch = 1000;
+        options.seed = 31;
+        options.mode = mode;
+        options.threads = 1;
+        const auto event_records = characterizer.collect_records(module, options);
+
+        options.backend = CharBackend::PowerEmulation;
+        options.calibration_pairs = 256;
+        const auto emulated_records = characterizer.collect_records(module, options);
+
+        ASSERT_EQ(event_records.size(), emulated_records.size());
+        for (std::size_t i = 0; i < event_records.size(); ++i) {
+            ASSERT_EQ(event_records[i].hd, emulated_records[i].hd) << i;
+            ASSERT_EQ(event_records[i].stable_zeros, emulated_records[i].stable_zeros)
+                << i;
+            ASSERT_EQ(event_records[i].toggle_mask, emulated_records[i].toggle_mask)
+                << i;
+        }
+    }
+}
+
 TEST(Checkpoint, MalformedJournalsThrowCheckpointCorrupt)
 {
     const std::filesystem::path dir{::testing::TempDir()};

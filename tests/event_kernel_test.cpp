@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 
 #include "dpgen/module.hpp"
 #include "gatelib/gate.hpp"
@@ -244,7 +245,7 @@ TEST(BatchedEvaluator, ToggleCountsMatchFunctionalDiff)
     for (int i = 0; i < 200; ++i) { // > 3 lane windows, exercises the overlap
         stream.emplace_back(m, rng.next_u64());
     }
-    const std::vector<std::uint64_t> counts = batched.toggle_counts(stream);
+    const std::vector<std::uint64_t> counts = batched.count_toggles(stream);
     ASSERT_EQ(counts.size(), stream.size() - 1);
     for (std::size_t j = 0; j + 1 < stream.size(); ++j) {
         (void)before.eval(stream[j]);
@@ -254,6 +255,141 @@ TEST(BatchedEvaluator, ToggleCountsMatchFunctionalDiff)
             expected += before.value(net) != after.value(net) ? 1 : 0;
         }
         EXPECT_EQ(counts[j], expected) << "transition " << j;
+    }
+}
+
+/// The window-overlap boundary contract: N vectors yield exactly N-1
+/// counts for every N around the 64-lane window edges, and the boundary
+/// pair between two windows is counted exactly once (cross-checked against
+/// a per-pair functional diff, which cannot double count).
+TEST(BatchedEvaluator, CountTogglesWindowBoundary)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 6);
+    const int m = module.total_input_bits();
+    BatchedEvaluator batched{module.netlist()};
+    FunctionalEvaluator before{module.netlist()};
+    FunctionalEvaluator after{module.netlist()};
+
+    Rng rng{909};
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{63},
+                                std::size_t{64}, std::size_t{65}, std::size_t{127},
+                                std::size_t{128}, std::size_t{129}}) {
+        std::vector<BitVec> stream;
+        for (std::size_t i = 0; i < n; ++i) {
+            stream.emplace_back(m, rng.next_u64());
+        }
+        const std::vector<std::uint64_t> counts = batched.count_toggles(stream);
+        ASSERT_EQ(counts.size(), n - 1) << "stream of " << n << " vectors";
+        for (std::size_t j = 0; j + 1 < n; ++j) {
+            (void)before.eval(stream[j]);
+            (void)after.eval(stream[j + 1]);
+            std::uint64_t expected = 0;
+            for (NetId net = 0; net < module.netlist().num_nets(); ++net) {
+                expected += before.value(net) != after.value(net) ? 1 : 0;
+            }
+            ASSERT_EQ(counts[j], expected) << n << " vectors, transition " << j;
+        }
+    }
+}
+
+/// The charge-weighted variant against per-vector functional sums: each
+/// transition's weighted total must equal the sum of weights over exactly
+/// the nets whose settled value changed, and the piggy-backed unweighted
+/// counts must match count_toggles.
+TEST(BatchedEvaluator, WeightedTogglesMatchFunctionalSums)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 4);
+    const int m = module.total_input_bits();
+    const SimContext context{module.netlist(), TechLibrary::generic350()};
+    BatchedEvaluator batched{context};
+    FunctionalEvaluator before{context};
+    FunctionalEvaluator after{context};
+
+    const std::size_t nets = module.netlist().num_nets();
+    std::vector<double> weights(nets, 0.0);
+    Rng wrng{11};
+    for (double& w : weights) {
+        w = 0.25 + static_cast<double>(wrng.next_u64() % 1000) / 100.0;
+    }
+
+    Rng rng{404};
+    std::vector<BitVec> stream;
+    for (int i = 0; i < 150; ++i) { // crosses two window boundaries
+        stream.emplace_back(m, rng.next_u64());
+    }
+    std::vector<std::uint64_t> counts;
+    const std::vector<double> charges =
+        batched.count_weighted_toggles(stream, weights, &counts);
+    ASSERT_EQ(charges.size(), stream.size() - 1);
+    ASSERT_EQ(counts, batched.count_toggles(stream));
+    for (std::size_t j = 0; j + 1 < stream.size(); ++j) {
+        (void)before.eval(stream[j]);
+        (void)after.eval(stream[j + 1]);
+        double expected = 0.0;
+        for (NetId net = 0; net < nets; ++net) {
+            if (before.value(net) != after.value(net)) {
+                expected += weights[net];
+            }
+        }
+        EXPECT_DOUBLE_EQ(charges[j], expected) << "transition " << j;
+    }
+}
+
+/// settle_pairs against the functional evaluator: toggle words, per-net
+/// popcounts, and weighted per-pair charges must all agree with a
+/// pair-by-pair diff of settled values.
+TEST(BatchedEvaluator, SettlePairsMatchesFunctionalDiff)
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::ClaAdder, 6);
+    const int m = module.total_input_bits();
+    const SimContext context{module.netlist(), TechLibrary::generic350()};
+    BatchedEvaluator batched{context};
+    FunctionalEvaluator u_eval{context};
+    FunctionalEvaluator v_eval{context};
+
+    const std::size_t nets = module.netlist().num_nets();
+    std::vector<double> weights(nets, 0.0);
+    Rng wrng{23};
+    for (double& w : weights) {
+        w = static_cast<double>(wrng.next_u64() % 500) / 50.0;
+    }
+
+    Rng rng{606};
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{17}, std::size_t{64}}) {
+        std::vector<BitVec> us;
+        std::vector<BitVec> vs;
+        for (std::size_t j = 0; j < batch; ++j) {
+            us.emplace_back(m, rng.next_u64());
+            vs.emplace_back(m, rng.next_u64());
+        }
+        batched.settle_pairs(us, vs);
+        const auto words = batched.toggle_words();
+        const auto popcnts = batched.toggle_counts_per_net();
+        std::vector<double> charges(batch, 0.0);
+        batched.weighted_pair_charges(weights, charges);
+
+        std::vector<double> expected_charge(batch, 0.0);
+        std::vector<std::uint64_t> expected_words(nets, 0);
+        for (std::size_t j = 0; j < batch; ++j) {
+            (void)u_eval.eval(us[j]);
+            (void)v_eval.eval(vs[j]);
+            for (NetId net = 0; net < nets; ++net) {
+                if (u_eval.value(net) != v_eval.value(net)) {
+                    expected_words[net] |= std::uint64_t{1} << j;
+                    expected_charge[j] += weights[net];
+                }
+            }
+        }
+        for (NetId net = 0; net < nets; ++net) {
+            ASSERT_EQ(words[net], expected_words[net])
+                << "batch " << batch << " net " << net;
+            ASSERT_EQ(popcnts[net], std::popcount(expected_words[net]))
+                << "batch " << batch << " net " << net;
+        }
+        for (std::size_t j = 0; j < batch; ++j) {
+            ASSERT_DOUBLE_EQ(charges[j], expected_charge[j])
+                << "batch " << batch << " pair " << j;
+        }
     }
 }
 
