@@ -16,8 +16,11 @@
 /// with --no-checkpoint) and an estimation serving-throughput comparison
 /// (scalar vs packed vs packed+threads on a 1M-sample 16-bit stream,
 /// plus a 16/64/128/256-bit width sweep across the scalar kernel and
-/// the packed kernel's SIMD tiers; skip both with --no-estimation) run
-/// and write their sections into BENCH_speed.json.
+/// the packed kernel's SIMD tiers; skip both with --no-estimation) and a
+/// serving load harness (an in-process hdpowerd Server driven to a
+/// million pipelined queries over concurrent Unix-socket connections,
+/// with p50/p99/p999 latency and a one-shot-CLI-path baseline; skip with
+/// --no-serving) run and write their sections into BENCH_speed.json.
 
 #include <benchmark/benchmark.h>
 
@@ -36,6 +39,8 @@
 #include <vector>
 
 #include "core/hdpower.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "util/cpu.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -991,6 +996,264 @@ std::string run_width_sweep()
     return json.str();
 }
 
+/// The hdpowerd serving load harness: start an in-process serve::Server
+/// on a Unix socket, drive it to a million estimate queries over
+/// concurrent pipelined connections, and report qps plus p50/p99/p999
+/// per-request latency. A one-shot baseline (trace rebuild + library
+/// load + fresh engine per query — the cold CLI path) anchors the
+/// cached-serving speedup, and a burst against a freshly registered
+/// trace shows the single-flight histogram coalescing: every connection
+/// asks for the same cold histogram at once, exactly one build runs.
+/// Returns a JSON fragment for BENCH_speed.json.
+std::string run_serving_bench()
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "hdpm_bench_serving";
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir);
+
+    serve::ServerOptions options;
+    options.unix_path = (dir / "bench.sock").string();
+    options.models_dir = (dir / "models").string();
+    options.workers =
+        std::max(2u, std::min(4u, std::thread::hardware_concurrency()));
+    options.char_options.max_transitions = 4000;
+    options.char_options.min_transitions = 2000;
+    serve::Server server{options};
+    server.start();
+
+    const std::size_t total_queries = 1'000'000;
+    const std::size_t connections = 4;
+    constexpr std::size_t kWindow = 512; // bounded pipelining (see docs/serving.md)
+    const std::size_t trace_samples = 4096;
+
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::RippleAdder, 8);
+    const auto operands =
+        core::make_operand_streams(module, streams::DataType::Music, trace_samples, 2026);
+    const streams::PackedTrace trace =
+        streams::PackedTrace::from_operands(operands, module.operand_widths());
+
+    serve::EstimateRequest request;
+    request.module_type = static_cast<std::uint8_t>(dp::ModuleType::RippleAdder);
+    request.widths = {8};
+    request.kind = serve::ModelKind::Basic;
+
+    // Warm up: register the shared trace and run one query so the model is
+    // characterized and stored before anything is timed.
+    serve::ServeClient warm = serve::ServeClient::connect_unix(options.unix_path);
+    request.trace_id = warm.register_trace(trace);
+    const serve::EstimateReply warm_reply = warm.estimate(request);
+
+    // Bit-identity anchor: the daemon must reproduce the direct
+    // EstimationEngine estimate exactly (integer histograms are invariant
+    // across kernels, so this is ==, not a tolerance).
+    const core::ModelLibrary library{options.models_dir};
+    const core::HdModel model =
+        library.get_or_characterize(module.type(), request.widths, options.char_options);
+    core::EstimationEngine direct_engine;
+    const double direct_estimate = direct_engine.estimate(model, trace);
+    const bool bit_identical = warm_reply.estimate_fc == direct_estimate;
+
+    // One-shot baseline: what each query costs without the daemon — rebuild
+    // the packed trace, load the model from the on-disk library, classify
+    // with a fresh engine (no histogram cache). This is the cold
+    // hdpower_cli path the serving criterion compares against.
+    const int one_shot_queries = 50;
+    const auto one_shot_start = std::chrono::steady_clock::now();
+    for (int q = 0; q < one_shot_queries; ++q) {
+        const streams::PackedTrace fresh =
+            streams::PackedTrace::from_operands(operands, module.operand_widths());
+        const core::HdModel loaded = library.get_or_characterize(
+            module.type(), request.widths, options.char_options);
+        core::EstimationEngine engine;
+        const double estimate = engine.estimate(loaded, fresh);
+        benchmark::DoNotOptimize(estimate);
+    }
+    const double one_shot_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - one_shot_start)
+            .count();
+    const double one_shot_qps = one_shot_queries / one_shot_seconds;
+
+    // Load phase: `connections` client threads, each pipelining its share
+    // of the million queries in bounded windows. Per-request latency is
+    // measured from the window's flush to that reply's read — i.e. what a
+    // caller actually waits under pipelined load, queueing included.
+    const serve::ServerStatsReply before = server.stats_snapshot();
+    std::vector<std::vector<double>> latencies_us(connections);
+    std::vector<std::string> failures(connections);
+    std::vector<std::thread> clients;
+    const auto load_start = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < connections; ++c) {
+        clients.emplace_back([&, c] {
+            try {
+                std::size_t share = total_queries / connections;
+                if (c == 0) {
+                    share += total_queries % connections;
+                }
+                latencies_us[c].reserve(share);
+                serve::ServeClient client =
+                    serve::ServeClient::connect_unix(options.unix_path);
+                std::size_t remaining = share;
+                while (remaining > 0) {
+                    const std::size_t burst = std::min(kWindow, remaining);
+                    for (std::size_t r = 0; r < burst; ++r) {
+                        client.enqueue_estimate(request);
+                    }
+                    client.flush();
+                    const auto flushed = std::chrono::steady_clock::now();
+                    for (std::size_t r = 0; r < burst; ++r) {
+                        (void)client.read_estimate_reply();
+                        latencies_us[c].push_back(
+                            std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - flushed)
+                                .count());
+                    }
+                    remaining -= burst;
+                }
+            } catch (const std::exception& error) {
+                failures[c] = error.what();
+            }
+        });
+    }
+    for (std::thread& thread : clients) {
+        thread.join();
+    }
+    const double load_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - load_start)
+            .count();
+    std::string failure;
+    for (const std::string& f : failures) {
+        if (!f.empty()) {
+            failure = f;
+        }
+    }
+    const serve::ServerStatsReply after = server.stats_snapshot();
+
+    std::vector<double> all_latencies;
+    all_latencies.reserve(total_queries);
+    for (const auto& per_conn : latencies_us) {
+        all_latencies.insert(all_latencies.end(), per_conn.begin(), per_conn.end());
+    }
+    std::sort(all_latencies.begin(), all_latencies.end());
+    const auto percentile = [&](double p) {
+        if (all_latencies.empty()) {
+            return 0.0;
+        }
+        const auto idx = static_cast<std::size_t>(
+            p * static_cast<double>(all_latencies.size() - 1));
+        return all_latencies[idx];
+    };
+    const double p50_us = percentile(0.50);
+    const double p99_us = percentile(0.99);
+    const double p999_us = percentile(0.999);
+    const double served_qps = static_cast<double>(all_latencies.size()) / load_seconds;
+    const std::uint64_t load_estimates = after.estimates - before.estimates;
+    const std::uint64_t load_built = after.histograms_built - before.histograms_built;
+    const bool built_lt_models = load_built < load_estimates;
+    const double cached_speedup = served_qps / one_shot_qps;
+
+    // Coalescing burst: every connection fires one window at a freshly
+    // registered trace at the same time. Single-flight means the cold
+    // histogram is built exactly once; the racers coalesce onto it.
+    const auto fresh_operands =
+        core::make_operand_streams(module, streams::DataType::Music, trace_samples, 99);
+    const streams::PackedTrace fresh_trace =
+        streams::PackedTrace::from_operands(fresh_operands, module.operand_widths());
+    serve::EstimateRequest fresh_request = request;
+    fresh_request.trace_id = warm.register_trace(fresh_trace);
+    const serve::ServerStatsReply co_before = server.stats_snapshot();
+    const std::size_t co_burst = 64;
+    std::vector<std::thread> racers;
+    for (std::size_t c = 0; c < connections; ++c) {
+        racers.emplace_back([&] {
+            try {
+                serve::ServeClient client =
+                    serve::ServeClient::connect_unix(options.unix_path);
+                for (std::size_t r = 0; r < co_burst; ++r) {
+                    client.enqueue_estimate(fresh_request);
+                }
+                client.flush();
+                for (std::size_t r = 0; r < co_burst; ++r) {
+                    (void)client.read_estimate_reply();
+                }
+            } catch (const std::exception&) {
+            }
+        });
+    }
+    for (std::thread& thread : racers) {
+        thread.join();
+    }
+    const serve::ServerStatsReply co_after = server.stats_snapshot();
+    const std::uint64_t co_estimates = co_after.estimates - co_before.estimates;
+    const std::uint64_t co_built = co_after.histograms_built - co_before.histograms_built;
+    const std::uint64_t co_coalesced =
+        co_after.histogram_coalesced - co_before.histogram_coalesced;
+
+    const auto drain_start = std::chrono::steady_clock::now();
+    server.drain();
+    const double drain_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - drain_start)
+            .count();
+
+    std::cout << "\nhdpowerd serving load (" << all_latencies.size() << " queries, "
+              << connections << " connections x " << kWindow << "-query windows, "
+              << options.workers << " workers, 8+8-bit ripple_adder, "
+              << trace_samples << "-sample trace):\n";
+    util::TextTable table;
+    table.set_header({"path", "qps", "speedup"});
+    table.add_row({"one-shot (trace rebuild + library load + fresh engine)",
+                   util::TextTable::fmt(one_shot_qps, 0), "1.0"});
+    table.add_row({"hdpowerd cached serving",
+                   util::TextTable::fmt(served_qps, 0),
+                   util::TextTable::fmt(cached_speedup, 1)});
+    table.print(std::cout);
+    std::cout << "latency p50 " << util::TextTable::fmt(p50_us, 0) << " us, p99 "
+              << util::TextTable::fmt(p99_us, 0) << " us, p99.9 "
+              << util::TextTable::fmt(p999_us, 0) << " us\n"
+              << "histograms built " << load_built << " vs " << load_estimates
+              << " models served (" << (built_lt_models ? "coalesced" : "NO REUSE — BUG")
+              << "), daemon vs direct engine bit-identical: "
+              << (bit_identical ? "yes" : "NO — BUG") << '\n'
+              << "cold-trace burst: " << co_estimates << " estimates, " << co_built
+              << " histogram build(s), " << co_coalesced << " coalesced waiter(s)\n"
+              << "drain: " << util::TextTable::fmt(drain_seconds * 1e3, 1) << " ms\n";
+    if (!failure.empty()) {
+        std::cout << "client failure: " << failure << '\n';
+    }
+
+    fs::remove_all(dir, ec);
+
+    std::ostringstream json;
+    json << "  \"serving\": {\n"
+         << "    \"queries\": " << all_latencies.size() << ",\n"
+         << "    \"connections\": " << connections << ",\n"
+         << "    \"workers\": " << options.workers << ",\n"
+         << "    \"window\": " << kWindow << ",\n"
+         << "    \"trace_samples\": " << trace_samples << ",\n"
+         << "    \"wall_seconds\": " << load_seconds << ",\n"
+         << "    \"qps\": " << served_qps << ",\n"
+         << "    \"p50_us\": " << p50_us << ",\n"
+         << "    \"p99_us\": " << p99_us << ",\n"
+         << "    \"p999_us\": " << p999_us << ",\n"
+         << "    \"estimates\": " << load_estimates << ",\n"
+         << "    \"histograms_built\": " << load_built << ",\n"
+         << "    \"histogram_cache_hits\": "
+         << after.histogram_cache_hits - before.histogram_cache_hits << ",\n"
+         << "    \"histograms_built_lt_models\": " << (built_lt_models ? "true" : "false")
+         << ",\n"
+         << "    \"one_shot_qps\": " << one_shot_qps << ",\n"
+         << "    \"cached_vs_one_shot_speedup\": " << cached_speedup << ",\n"
+         << "    \"bit_identical_to_direct_engine\": " << (bit_identical ? "true" : "false")
+         << ",\n"
+         << "    \"client_failures\": " << (failure.empty() ? "0" : "1") << ",\n"
+         << "    \"coalesce_burst\": {\"estimates\": " << co_estimates
+         << ", \"histograms_built\": " << co_built << ", \"coalesced\": " << co_coalesced
+         << "},\n"
+         << "    \"drain_seconds\": " << drain_seconds << "\n  }";
+    return json.str();
+}
+
 /// Strip @p flag from argv (google-benchmark rejects unknown flags).
 bool take_flag(int& argc, char** argv, const char* flag)
 {
@@ -1016,6 +1279,7 @@ int main(int argc, char** argv)
     const bool char_backend = !take_flag(argc, argv, "--no-char-backend");
     const bool checkpoint = !take_flag(argc, argv, "--no-checkpoint");
     const bool estimation = !take_flag(argc, argv, "--no-estimation");
+    const bool serving = !take_flag(argc, argv, "--no-serving");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
         return 1;
@@ -1042,6 +1306,9 @@ int main(int argc, char** argv)
     if (estimation) {
         sections.push_back(run_estimation_bench());
         sections.push_back(run_width_sweep());
+    }
+    if (serving) {
+        sections.push_back(run_serving_bench());
     }
     if (!sections.empty()) {
         std::ofstream json{"BENCH_speed.json"};

@@ -53,7 +53,8 @@ namespace {
                  "[--models DIR] [--verify] [--threads N]\n"
                  "                               [--stream FILE]... "
                  "[--kernel scalar|packed] [--enhanced [K]]\n"
-                 "                               [--simd scalar|avx2|avx512|auto]\n"
+                 "                               [--simd scalar|avx2|avx512|auto] "
+                 "[--repeat N]\n"
               << "  report <module> <width...> --data <I..V> [--patterns N] [--top K]\n"
               << "  sweep <module> <wmin> <wmax> --data <I..V> [--models DIR] "
                  "[--budget N] [--threads N]\n"
@@ -108,6 +109,7 @@ struct Cli {
     std::vector<std::string> stream_files; ///< one CSV per operand
     streams::EstimationKernel kernel = streams::EstimationKernel::Packed;
     std::optional<util::cpu::SimdLevel> simd; ///< nullopt = runtime auto
+    std::size_t repeat = 1; ///< estimate: serve the query N times
 };
 
 Cli parse_module_args(int argc, char** argv, int start)
@@ -198,6 +200,8 @@ Cli parse_module_args(int argc, char** argv, int start)
                           << "' (use scalar, avx2, avx512, or auto)\n";
                 std::exit(2);
             }
+        } else if (flag == "--repeat") {
+            cli.repeat = std::max<std::size_t>(1, std::stoul(next()));
         } else if (flag == "--verify") {
             cli.verify = true;
         } else if (flag == "--enhanced") {
@@ -457,7 +461,9 @@ int cmd_estimate(const Cli& cli)
     if (cli.enhanced) {
         const core::EnhancedHdModel model = library.get_or_characterize_enhanced(
             cli.module_type, cli.widths, cli.zero_clusters, char_options(cli));
-        estimate = engine.estimate(model, trace);
+        for (std::size_t r = 0; r < cli.repeat; ++r) {
+            estimate = engine.estimate(model, trace);
+        }
         model_desc = "enhanced model";
     } else if (wide) {
         // Too wide to simulate directly (the characterizer's pattern
@@ -485,13 +491,17 @@ int cmd_estimate(const Cli& cli)
             core::ParameterizableModel::fit(cli.module_type, prototypes,
                                             cli.threads);
         const core::HdModel model = family.model_for(cli.widths);
-        estimate = engine.estimate(model, trace);
+        for (std::size_t r = 0; r < cli.repeat; ++r) {
+            estimate = engine.estimate(model, trace);
+        }
         model_desc = "parameterizable family (prototype widths 4, 6, 8; Hd > " +
                      std::to_string(family.max_fitted_hd()) + " clamped)";
     } else {
         const core::HdModel model =
             library.get_or_characterize(cli.module_type, cli.widths, char_options(cli));
-        estimate = engine.estimate(model, trace);
+        for (std::size_t r = 0; r < cli.repeat; ++r) {
+            estimate = engine.estimate(model, trace);
+        }
         model_desc = "basic Hd model";
     }
 
@@ -515,6 +525,20 @@ int cmd_estimate(const Cli& cli)
               << util::TextTable::fmt(stats.cycles_per_second() / 1e6, 1)
               << " M cycles/s, " << kernel_desc << " kernel, "
               << stats.histograms_built << " histogram(s) built)\n";
+    if (cli.repeat > 1) {
+        // Repeated queries exercise the engine's histogram cache: the first
+        // evaluation classifies the trace, every later one reuses the
+        // cached histogram (the serving daemon's hot path, measurable here
+        // without a daemon).
+        const double hit_rate = stats.models > 0
+                                    ? static_cast<double>(stats.cache_hits) /
+                                          static_cast<double>(stats.models)
+                                    : 0.0;
+        std::cout << "  repeat: " << cli.repeat
+                  << " evaluations, histogram cache hit-rate "
+                  << util::TextTable::fmt(100.0 * hit_rate, 1) << "% ("
+                  << stats.cache_hits << '/' << stats.models << ")\n";
+    }
 
     if (cli.verify) {
         const auto patterns = trace.to_patterns();

@@ -1,0 +1,222 @@
+/// hdpowerd_client — command-line client for the hdpowerd daemon.
+///
+///   hdpowerd_client --socket PATH ping
+///   hdpowerd_client --socket PATH estimate <module> <width...> --data <I..V>
+///                   [--patterns N] [--repeat N] [--enhanced [K]] [--seed S]
+///   hdpowerd_client --socket PATH stats
+///   hdpowerd_client --socket PATH hold [--seconds S]
+///
+/// `estimate` generates the operand streams locally (same generator as
+/// hdpower_cli), registers the packed trace with the daemon once, then
+/// queries it --repeat times over one pipelined connection; the estimate is
+/// printed with 17 significant digits so restart bit-identity can be
+/// asserted by string comparison. `hold` opens a connection and parks on it
+/// (occupying a serving worker) — the overload smoke test uses it to fill
+/// the worker pool. --tcp PORT connects to 127.0.0.1 instead of a socket
+/// path.
+///
+/// Exit codes: 0 ok; 1 runtime/connection failure; 2 usage;
+/// 4 the daemon shed the request with a structured Overloaded response.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hdpower.hpp"
+#include "serve/client.hpp"
+
+using namespace hdpm;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " (--socket PATH | --tcp PORT) <ping|estimate|stats|hold> "
+                 "[args]\n"
+              << "  estimate <module> <width...> --data <I..V> [--patterns N] "
+                 "[--repeat N] [--enhanced [K]] [--seed S]\n"
+              << "  hold [--seconds S]\n"
+              << "exit codes: 0 ok, 1 failure, 2 usage, 4 overloaded (shed)\n";
+    std::exit(2);
+}
+
+streams::DataType parse_data_type(const std::string& label)
+{
+    for (const streams::DataType type : streams::all_data_types()) {
+        if (label == streams::data_type_label(type) ||
+            label == streams::data_type_name(type)) {
+            return type;
+        }
+    }
+    std::cerr << "unknown data type '" << label << "'\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string socket_path;
+    std::uint16_t tcp_port = 0;
+    int i = 1;
+    while (i < argc && argv[i][0] == '-') {
+        const std::string flag = argv[i];
+        if (flag == "--socket" && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else if (flag == "--tcp" && i + 1 < argc) {
+            tcp_port = static_cast<std::uint16_t>(std::stoul(argv[++i]));
+        } else {
+            usage(argv[0]);
+        }
+        ++i;
+    }
+    if (i >= argc || (socket_path.empty() && tcp_port == 0)) {
+        usage(argv[0]);
+    }
+    const std::string command = argv[i++];
+
+    try {
+        serve::ServeClient client = socket_path.empty()
+                                        ? serve::ServeClient::connect_tcp(tcp_port)
+                                        : serve::ServeClient::connect_unix(socket_path);
+
+        if (command == "ping") {
+            client.ping();
+            std::cout << "pong\n";
+            return 0;
+        }
+
+        if (command == "stats") {
+            const serve::ServerStatsReply stats = client.stats();
+            std::cout << "connections_accepted " << stats.connections_accepted << '\n'
+                      << "connections_shed " << stats.connections_shed << '\n'
+                      << "requests " << stats.requests << '\n'
+                      << "estimates " << stats.estimates << '\n'
+                      << "errors " << stats.errors << '\n'
+                      << "histograms_built " << stats.histograms_built << '\n'
+                      << "histogram_cache_hits " << stats.histogram_cache_hits << '\n'
+                      << "histogram_coalesced " << stats.histogram_coalesced << '\n'
+                      << "model_cache_hits " << stats.model_cache_hits << '\n'
+                      << "model_cache_misses " << stats.model_cache_misses << '\n'
+                      << "traces_registered " << stats.traces_registered << '\n'
+                      << "trace_bytes " << stats.trace_bytes << '\n'
+                      << "serve_seconds " << stats.serve_seconds << '\n';
+            return 0;
+        }
+
+        if (command == "hold") {
+            double seconds = 30.0;
+            for (; i < argc; ++i) {
+                if (std::string{argv[i]} == "--seconds" && i + 1 < argc) {
+                    seconds = std::stod(argv[++i]);
+                }
+            }
+            client.ping(); // prove the connection is being served
+            std::cout << "holding\n" << std::flush;
+            std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+            return 0;
+        }
+
+        if (command != "estimate" || i >= argc) {
+            usage(argv[0]);
+        }
+
+        // estimate <module> <width...> [flags]
+        const dp::ModuleType type = dp::module_type_from_id(argv[i++]);
+        std::vector<int> widths;
+        while (i < argc && argv[i][0] != '-') {
+            widths.push_back(std::stoi(argv[i++]));
+        }
+        std::size_t patterns = 2000;
+        std::size_t repeat = 1;
+        bool enhanced = false;
+        int zero_clusters = 0;
+        std::uint64_t seed = 2026;
+        bool has_data = false;
+        streams::DataType data{};
+        for (; i < argc; ++i) {
+            const std::string flag = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    std::cerr << "missing value for " << flag << '\n';
+                    std::exit(2);
+                }
+                return argv[++i];
+            };
+            if (flag == "--data") {
+                data = parse_data_type(next());
+                has_data = true;
+            } else if (flag == "--patterns") {
+                patterns = std::stoul(next());
+            } else if (flag == "--repeat") {
+                repeat = std::max<std::size_t>(1, std::stoul(next()));
+            } else if (flag == "--seed") {
+                seed = std::stoull(next());
+            } else if (flag == "--enhanced") {
+                enhanced = true;
+                if (i + 1 < argc && argv[i + 1][0] != '-') {
+                    zero_clusters = std::stoi(argv[++i]);
+                }
+            } else {
+                usage(argv[0]);
+            }
+        }
+        if (widths.empty() || !has_data) {
+            usage(argv[0]);
+        }
+
+        const dp::DatapathModule module = dp::make_module(type, widths);
+        const auto operands =
+            core::make_operand_streams(module, data, patterns, seed);
+        const streams::PackedTrace trace =
+            streams::PackedTrace::from_operands(operands, module.operand_widths());
+        const std::uint64_t trace_id = client.register_trace(trace);
+
+        serve::EstimateRequest request;
+        request.trace_id = trace_id;
+        request.module_type = static_cast<std::uint8_t>(type);
+        request.widths = widths;
+        request.kind = enhanced ? serve::ModelKind::Enhanced : serve::ModelKind::Basic;
+        request.zero_clusters = zero_clusters;
+
+        // Pipeline the repeats in bounded windows: batch a window of
+        // requests into one write, then read that window's in-order
+        // replies. Unbounded pipelining would deadlock both blocking
+        // peers once the socket buffers fill in each direction.
+        constexpr std::size_t kWindow = 512;
+        serve::EstimateReply reply;
+        std::size_t cached = 0;
+        std::size_t remaining = repeat;
+        while (remaining > 0) {
+            const std::size_t burst = std::min(kWindow, remaining);
+            for (std::size_t r = 0; r < burst; ++r) {
+                client.enqueue_estimate(request);
+            }
+            client.flush();
+            for (std::size_t r = 0; r < burst; ++r) {
+                reply = client.read_estimate_reply();
+                if (reply.source == serve::HistogramSource::Cached) {
+                    ++cached;
+                }
+            }
+            remaining -= burst;
+        }
+        std::printf("estimate %.17g fC/cycle (%llu cycles)\n", reply.estimate_fc,
+                    static_cast<unsigned long long>(reply.cycles));
+        if (repeat > 1) {
+            std::printf("repeat %zu, served cached %zu/%zu\n", repeat, cached, repeat);
+        }
+        return 0;
+    } catch (const serve::ServerError& error) {
+        std::cerr << "server error: " << error.what() << '\n';
+        return error.overloaded() ? 4 : 1;
+    } catch (const std::exception& error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return 1;
+    }
+}

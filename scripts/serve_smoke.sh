@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# Serving smoke test for the hdpowerd daemon.
+#
+# Exercises the daemon lifecycle end to end with real processes:
+#   1. bounded load burst over a pipelined connection, asserting the
+#      shared histogram cache actually serves repeats (non-zero hits);
+#   2. clean SIGTERM drain (exit 0 and a served-summary line);
+#   3. restart on the same model library serving a bit-identical estimate
+#      (compared as the CLI's %.17g string);
+#   4. load shedding with --workers 1 --queue 0: a held connection makes
+#      the next client get a structured Overloaded response (exit 4),
+#      never a hang or a silent drop;
+#   5. kill -9 mid-load: the client fails fast with a connection error
+#      (exit 1, not a timeout), and a restarted daemon — stale socket
+#      file and all — serves the same bit-identical estimate.
+#
+# Usage: scripts/serve_smoke.sh [BUILD_DIR]   (default: build)
+
+set -u -o pipefail
+
+BUILD_DIR="${1:-build}"
+DAEMON="$BUILD_DIR/examples/hdpowerd"
+CLIENT="$BUILD_DIR/examples/hdpowerd_client"
+
+for bin in "$DAEMON" "$CLIENT"; do
+    if [[ ! -x "$bin" ]]; then
+        echo "error: $bin not found or not executable (build the examples first)" >&2
+        exit 1
+    fi
+done
+
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+HOLD_PID=""
+cleanup() {
+    [[ -n "$DAEMON_PID" ]] && kill -9 "$DAEMON_PID" 2>/dev/null
+    [[ -n "$HOLD_PID" ]] && kill -9 "$HOLD_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/hdpowerd.sock"
+MODELS="$WORK/models"
+ESTIMATE_ARGS=(estimate ripple_adder 8 --data II --patterns 2000)
+
+start_daemon() {
+    local log="$1"
+    shift
+    "$DAEMON" --socket "$SOCK" --models "$MODELS" --budget 4000 "$@" \
+        >"$log" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 2000); do
+        if grep -q "listening on" "$log" 2>/dev/null; then
+            return 0
+        fi
+        if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+            echo "error: daemon exited before listening:" >&2
+            cat "$log" >&2
+            return 1
+        fi
+        sleep 0.005
+    done
+    echo "error: daemon never reported listening" >&2
+    return 1
+}
+
+stop_daemon() {
+    kill -TERM "$DAEMON_PID"
+    wait "$DAEMON_PID"
+    local status=$?
+    DAEMON_PID=""
+    return "$status"
+}
+
+echo "== bounded load burst + cache-hit check =="
+start_daemon "$WORK/daemon1.log" --workers 2 || exit 1
+burst_out="$("$CLIENT" --socket "$SOCK" "${ESTIMATE_ARGS[@]}" --repeat 50000)" || {
+    echo "error: load burst failed" >&2
+    exit 1
+}
+echo "$burst_out"
+reference="$(grep '^estimate ' <<<"$burst_out")"
+cached="$(sed -n 's/^repeat .*served cached \([0-9]*\)\/.*/\1/p' <<<"$burst_out")"
+if [[ -z "$cached" || "$cached" -eq 0 ]]; then
+    echo "error: repeated queries were not served from the histogram cache" >&2
+    exit 1
+fi
+
+echo "== clean SIGTERM drain =="
+if ! stop_daemon; then
+    echo "error: daemon did not exit 0 on SIGTERM" >&2
+    cat "$WORK/daemon1.log" >&2
+    exit 1
+fi
+if ! grep -q "^served " "$WORK/daemon1.log"; then
+    echo "error: drained daemon printed no served summary" >&2
+    cat "$WORK/daemon1.log" >&2
+    exit 1
+fi
+
+echo "== restart serves a bit-identical estimate =="
+start_daemon "$WORK/daemon2.log" --workers 2 || exit 1
+restart_estimate="$("$CLIENT" --socket "$SOCK" "${ESTIMATE_ARGS[@]}" | grep '^estimate ')" || exit 1
+if [[ "$restart_estimate" != "$reference" ]]; then
+    echo "error: restarted daemon's estimate differs:" >&2
+    echo "  before: $reference" >&2
+    echo "  after:  $restart_estimate" >&2
+    exit 1
+fi
+stop_daemon || exit 1
+
+echo "== overload shed (--workers 1 --queue 0) =="
+start_daemon "$WORK/daemon3.log" --workers 1 --queue 0 || exit 1
+"$CLIENT" --socket "$SOCK" hold --seconds 30 >"$WORK/hold.log" 2>&1 &
+HOLD_PID=$!
+disown "$HOLD_PID" # silence job control when we kill -9 it later
+for _ in $(seq 1 2000); do
+    grep -q "holding" "$WORK/hold.log" 2>/dev/null && break
+    sleep 0.005
+done
+if ! grep -q "holding" "$WORK/hold.log"; then
+    echo "error: hold client never occupied the worker" >&2
+    exit 1
+fi
+"$CLIENT" --socket "$SOCK" ping >"$WORK/shed.log" 2>&1
+shed_status=$?
+if [[ "$shed_status" -ne 4 ]]; then
+    echo "error: expected a structured Overloaded shed (exit 4), got $shed_status:" >&2
+    cat "$WORK/shed.log" >&2
+    exit 1
+fi
+kill -9 "$HOLD_PID" 2>/dev/null
+wait "$HOLD_PID" 2>/dev/null
+HOLD_PID=""
+stop_daemon || exit 1
+if ! grep -q "1 shed" "$WORK/daemon3.log"; then
+    echo "error: daemon summary did not count the shed connection" >&2
+    cat "$WORK/daemon3.log" >&2
+    exit 1
+fi
+
+echo "== kill -9 mid-load: clients error out, never hang =="
+start_daemon "$WORK/daemon4.log" --workers 2 || exit 1
+timeout 60 "$CLIENT" --socket "$SOCK" "${ESTIMATE_ARGS[@]}" --repeat 5000000 \
+    >"$WORK/killed.log" 2>&1 &
+client_pid=$!
+sleep 0.5
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=""
+wait "$client_pid"
+client_status=$?
+if [[ "$client_status" -eq 124 ]]; then
+    echo "error: client hung after the daemon was SIGKILLed" >&2
+    exit 1
+fi
+if [[ "$client_status" -eq 0 ]]; then
+    echo "error: client reported success against a SIGKILLed daemon" >&2
+    exit 1
+fi
+echo "client failed fast with exit $client_status: $(tail -1 "$WORK/killed.log")"
+
+echo "== restart over the stale socket, still bit-identical =="
+start_daemon "$WORK/daemon5.log" --workers 2 || exit 1
+recovered="$("$CLIENT" --socket "$SOCK" "${ESTIMATE_ARGS[@]}" | grep '^estimate ')" || exit 1
+if [[ "$recovered" != "$reference" ]]; then
+    echo "error: post-kill restart estimate differs:" >&2
+    echo "  before: $reference" >&2
+    echo "  after:  $recovered" >&2
+    exit 1
+fi
+stop_daemon || exit 1
+
+echo "OK: burst+cache, drain, shed, kill -9, and restart bit-identity all pass"

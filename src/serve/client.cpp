@@ -1,0 +1,250 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace hdpm::serve {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what)
+{
+    util::FaultContext context;
+    context.component = "serve::ServeClient";
+    context.detail = what + ": " + std::strerror(errno);
+    throw util::FaultError{util::FaultKind::IoError, std::move(context)};
+}
+
+void apply_timeout(int fd, double seconds)
+{
+    if (seconds <= 0.0) {
+        return;
+    }
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+} // namespace
+
+ServeClient ServeClient::connect_unix(const std::string& path, double timeout_seconds)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        io_fail("socket(AF_UNIX)");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    HDPM_REQUIRE(path.size() < sizeof(addr.sun_path),
+                 "unix socket path too long: ", path);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        io_fail("connect " + path);
+    }
+    apply_timeout(fd, timeout_seconds);
+    return ServeClient{fd};
+}
+
+ServeClient ServeClient::connect_tcp(std::uint16_t port, double timeout_seconds)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        io_fail("socket(AF_INET)");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        io_fail("connect 127.0.0.1:" + std::to_string(port));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    apply_timeout(fd, timeout_seconds);
+    return ServeClient{fd};
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), out_(std::move(other.out_))
+{
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0) {
+            ::close(fd_);
+        }
+        fd_ = std::exchange(other.fd_, -1);
+        out_ = std::move(other.out_);
+    }
+    return *this;
+}
+
+std::vector<std::uint8_t> ServeClient::read_ok_payload()
+{
+    std::optional<std::vector<std::uint8_t>> frame = read_frame(fd_);
+    if (!frame.has_value()) {
+        io_fail("server closed the connection");
+    }
+    WireReader reader{*frame};
+    const std::uint8_t status = reader.u8();
+    if (status != static_cast<std::uint8_t>(StatusCode::Ok)) {
+        throw ServerError{status, reader.str()};
+    }
+    // Return the payload after the status byte.
+    return std::vector<std::uint8_t>(frame->begin() + 1, frame->end());
+}
+
+std::vector<std::uint8_t> ServeClient::round_trip(
+    const std::vector<std::uint8_t>& payload)
+{
+    try {
+        write_frame(fd_, payload);
+    } catch (const util::FaultError&) {
+        // The server may have shed or faulted this connection and closed
+        // it before our write landed (EPIPE) — its parting status frame
+        // is still sitting in the receive buffer. Surface that structured
+        // error instead of the bare send failure when one is pending.
+        try {
+            (void)read_ok_payload();
+        } catch (const ServerError&) {
+            throw;
+        } catch (...) {
+            // fall through to rethrow the send failure
+        }
+        throw;
+    }
+    return read_ok_payload();
+}
+
+void ServeClient::ping()
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MessageType::Ping));
+    (void)round_trip(writer.bytes());
+}
+
+std::uint64_t ServeClient::register_trace(const streams::PackedTrace& trace)
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MessageType::RegisterTrace));
+    writer.u32(static_cast<std::uint32_t>(trace.operand_widths().size()));
+    for (const int width : trace.operand_widths()) {
+        writer.i32(width);
+    }
+    writer.u64(trace.size());
+    writer.words(trace.words());
+    const std::vector<std::uint8_t> payload = round_trip(writer.bytes());
+    WireReader reader{payload};
+    const std::uint64_t id = reader.u64();
+    reader.expect_end();
+    return id;
+}
+
+std::uint64_t ServeClient::open_trace_file(const std::string& path)
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MessageType::OpenTraceFile));
+    writer.str(path);
+    const std::vector<std::uint8_t> payload = round_trip(writer.bytes());
+    WireReader reader{payload};
+    const std::uint64_t id = reader.u64();
+    reader.expect_end();
+    return id;
+}
+
+EstimateReply ServeClient::estimate(const EstimateRequest& request)
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MessageType::Estimate));
+    encode_estimate_request(writer, request);
+    const std::vector<std::uint8_t> payload = round_trip(writer.bytes());
+    WireReader reader{payload};
+    EstimateReply reply = decode_estimate_reply(reader);
+    reader.expect_end();
+    return reply;
+}
+
+ServerStatsReply ServeClient::stats()
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MessageType::Stats));
+    const std::vector<std::uint8_t> payload = round_trip(writer.bytes());
+    WireReader reader{payload};
+    ServerStatsReply reply = decode_server_stats(reader);
+    reader.expect_end();
+    return reply;
+}
+
+bool ServeClient::close_trace(std::uint64_t trace_id)
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MessageType::CloseTrace));
+    writer.u64(trace_id);
+    const std::vector<std::uint8_t> payload = round_trip(writer.bytes());
+    WireReader reader{payload};
+    const bool found = reader.u8() != 0;
+    reader.expect_end();
+    return found;
+}
+
+void ServeClient::enqueue_estimate(const EstimateRequest& request)
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MessageType::Estimate));
+    encode_estimate_request(writer, request);
+    append_frame(out_, writer.bytes());
+}
+
+void ServeClient::enqueue_ping()
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MessageType::Ping));
+    append_frame(out_, writer.bytes());
+}
+
+void ServeClient::flush()
+{
+    if (!out_.empty()) {
+        send_all(fd_, out_);
+    }
+}
+
+EstimateReply ServeClient::read_estimate_reply()
+{
+    const std::vector<std::uint8_t> payload = read_ok_payload();
+    WireReader reader{payload};
+    EstimateReply reply = decode_estimate_reply(reader);
+    reader.expect_end();
+    return reply;
+}
+
+void ServeClient::read_ping_reply()
+{
+    (void)read_ok_payload();
+}
+
+} // namespace hdpm::serve

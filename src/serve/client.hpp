@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "streams/packed_trace.hpp"
+
+namespace hdpm::serve {
+
+/// A server error response surfaced to client code: the wire status byte
+/// (see StatusCode / fault_status) plus the server's diagnostic.
+class ServerError : public util::RuntimeError {
+public:
+    ServerError(std::uint8_t status, const std::string& message)
+        : util::RuntimeError(status_name(status) + ": " + message), status_(status)
+    {
+    }
+
+    [[nodiscard]] std::uint8_t status() const noexcept { return status_; }
+    [[nodiscard]] bool overloaded() const noexcept
+    {
+        return status_ == static_cast<std::uint8_t>(StatusCode::Overloaded);
+    }
+
+private:
+    std::uint8_t status_;
+};
+
+/// Blocking hdpowerd client on one connection. Request methods
+/// (ping/estimate/...) are strict request-response; the enqueue_*/flush/
+/// read_* half exposes the same messages in pipelined form — queue many
+/// frames, send them in one write, then read the in-order responses — which
+/// is how the load harness reaches millions of queries per second.
+///
+/// Not thread-safe: one ServeClient per connection per thread.
+class ServeClient {
+public:
+    /// Connect to a Unix-domain socket path.
+    [[nodiscard]] static ServeClient connect_unix(const std::string& path,
+                                                  double timeout_seconds = 30.0);
+
+    /// Connect to 127.0.0.1:port.
+    [[nodiscard]] static ServeClient connect_tcp(std::uint16_t port,
+                                                 double timeout_seconds = 30.0);
+
+    ~ServeClient();
+    ServeClient(ServeClient&& other) noexcept;
+    ServeClient& operator=(ServeClient&& other) noexcept;
+    ServeClient(const ServeClient&) = delete;
+    ServeClient& operator=(const ServeClient&) = delete;
+
+    // --- strict request/response -------------------------------------------
+
+    void ping();
+
+    /// Ship @p trace inline; returns the server-side trace id.
+    std::uint64_t register_trace(const streams::PackedTrace& trace);
+
+    /// Ask the server to mmap a trace file (server-side path).
+    std::uint64_t open_trace_file(const std::string& path);
+
+    [[nodiscard]] EstimateReply estimate(const EstimateRequest& request);
+
+    [[nodiscard]] ServerStatsReply stats();
+
+    /// Returns true if the id was registered.
+    bool close_trace(std::uint64_t trace_id);
+
+    // --- pipelined form -----------------------------------------------------
+
+    /// Queue an Estimate frame without sending (pair with flush +
+    /// read_estimate_reply, one reply per queued frame, in order).
+    void enqueue_estimate(const EstimateRequest& request);
+    void enqueue_ping();
+
+    /// Send every queued frame in one batched write.
+    void flush();
+
+    [[nodiscard]] EstimateReply read_estimate_reply();
+    void read_ping_reply();
+
+    /// Queued-but-unsent bytes (for harness pacing).
+    [[nodiscard]] std::size_t pending_bytes() const noexcept { return out_.size(); }
+
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+
+private:
+    explicit ServeClient(int fd) : fd_(fd) {}
+
+    /// Send one frame and read one response payload.
+    [[nodiscard]] std::vector<std::uint8_t> round_trip(
+        const std::vector<std::uint8_t>& payload);
+
+    /// Read one response payload; throws ServerError on a non-Ok status
+    /// and FaultError{IoError} if the server closed the connection.
+    [[nodiscard]] std::vector<std::uint8_t> read_ok_payload();
+
+    int fd_ = -1;
+    std::vector<std::uint8_t> out_; ///< queued frames (pipelined form)
+};
+
+} // namespace hdpm::serve

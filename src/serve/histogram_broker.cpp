@@ -1,0 +1,143 @@
+#include "serve/histogram_broker.hpp"
+
+#include <algorithm>
+
+namespace hdpm::serve {
+
+HistogramBroker::HistogramBroker(std::size_t cache_entries, std::size_t cache_bytes)
+    : cache_entries_(std::max<std::size_t>(cache_entries, 1)),
+      cache_bytes_(cache_bytes)
+{
+}
+
+std::size_t HistogramBroker::cache_bytes_used() const
+{
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return bytes_used_;
+}
+
+void HistogramBroker::evict_to_budget_locked()
+{
+    // Only ready entries live in lru_ (leaders append on completion), so
+    // eviction can never detach waiters from an in-flight build. Keep at
+    // least the most recently used ready entry.
+    while (lru_.size() > 1 &&
+           (lru_.size() > cache_entries_ || bytes_used_ > cache_bytes_)) {
+        const Key victim = lru_.back();
+        lru_.pop_back();
+        const auto it = entries_.find(victim);
+        if (it != entries_.end()) {
+            bytes_used_ -= it->second.get().bytes;
+            entries_.erase(it);
+        }
+    }
+}
+
+template <typename Histogram, typename BuildFn>
+std::shared_ptr<const Histogram> HistogramBroker::acquire(const Key& key,
+                                                          BuildFn&& build,
+                                                          BrokerOutcome* outcome)
+{
+    std::shared_future<Stored> flight;
+    std::promise<Stored> promise;
+    bool leader = false;
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            flight = it->second;
+            const bool ready = flight.wait_for(std::chrono::seconds{0}) ==
+                               std::future_status::ready;
+            if (ready) {
+                lru_.remove(key);
+                lru_.push_front(key);
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                if (outcome != nullptr) {
+                    *outcome = BrokerOutcome::Hit;
+                }
+            } else {
+                coalesced_.fetch_add(1, std::memory_order_relaxed);
+                if (outcome != nullptr) {
+                    *outcome = BrokerOutcome::Coalesced;
+                }
+            }
+        } else {
+            leader = true;
+            flight = promise.get_future().share();
+            entries_.emplace(key, flight);
+        }
+    }
+
+    if (!leader) {
+        const Stored stored = flight.get(); // rethrows a leader failure
+        return std::static_pointer_cast<const Histogram>(stored.histogram);
+    }
+
+    try {
+        auto histogram = std::make_shared<const Histogram>(build());
+        Stored stored;
+        stored.bytes = histogram->counts.size() * sizeof(std::uint64_t);
+        stored.histogram = histogram;
+        built_.fetch_add(1, std::memory_order_relaxed);
+        if (outcome != nullptr) {
+            *outcome = BrokerOutcome::Built;
+        }
+        {
+            // Publish readiness and LRU membership atomically: finders
+            // check readiness under this mutex, so they can never observe
+            // a ready entry that is not yet in lru_ (which would let them
+            // push a duplicate LRU key).
+            const std::lock_guard<std::mutex> lock{mutex_};
+            promise.set_value(stored);
+            bytes_used_ += stored.bytes;
+            lru_.push_front(key);
+            evict_to_budget_locked();
+        }
+        return histogram;
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            entries_.erase(key);
+        }
+        throw;
+    }
+}
+
+std::shared_ptr<const streams::HdHistogram> HistogramBroker::hd(
+    const streams::PackedTrace& trace, const streams::KernelOptions& options,
+    BrokerOutcome* outcome)
+{
+    const Key key{trace.id(), trace.width(), Kind::Hd};
+    return acquire<streams::HdHistogram>(
+        key, [&] { return streams::hd_histogram(trace, options); }, outcome);
+}
+
+std::shared_ptr<const streams::HdClassHistogram> HistogramBroker::hd_class(
+    const streams::PackedTrace& trace, const streams::KernelOptions& options,
+    BrokerOutcome* outcome)
+{
+    const Key key{trace.id(), trace.width(), Kind::Classes};
+    return acquire<streams::HdClassHistogram>(
+        key, [&] { return streams::hd_class_histogram(trace, options); }, outcome);
+}
+
+void HistogramBroker::invalidate(std::uint64_t trace_id)
+{
+    const std::lock_guard<std::mutex> lock{mutex_};
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        const bool ready = it->second.wait_for(std::chrono::seconds{0}) ==
+                           std::future_status::ready;
+        // An in-flight build of a just-closed trace finishes on the
+        // leader's borrowed shared_ptr; its entry is left to age out.
+        if (it->first.id == trace_id && ready) {
+            bytes_used_ -= it->second.get().bytes;
+            lru_.remove(it->first);
+            it = entries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace hdpm::serve

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "streams/kernels.hpp"
+#include "streams/packed_trace.hpp"
+
+namespace hdpm::serve {
+
+/// How a histogram request was satisfied (mirrored into EstimateReply).
+enum class BrokerOutcome : std::uint8_t {
+    Hit = 0,       ///< served from the shared cache
+    Built = 1,     ///< this caller ran the classification pass
+    Coalesced = 2, ///< waited on a concurrent caller's pass
+};
+
+/// The serving fleet's request batcher and shared histogram cache.
+///
+/// Classification — one pass over a potentially million-sample trace — is
+/// the dominant cost of a cold estimate; everything after it is a dot
+/// product. When many queries against the same trace arrive concurrently
+/// (the common fan-out shape: N models scored on one recorded stream),
+/// the broker coalesces them with single-flight semantics: the first
+/// caller becomes the leader and runs the kernel pass, every concurrent
+/// caller of the same (trace id, width, kind) blocks on the leader's
+/// shared_future and is handed the identical histogram. `built()` counts
+/// kernel passes actually run; under batched same-trace load it stays far
+/// below the number of estimates served.
+///
+/// The cache behind the flights is LRU with a byte budget shared across
+/// both histogram kinds, like EstimationEngine's per-thread cache but
+/// process-wide and thread-safe. In-flight entries are never evicted.
+/// Histograms are integer counts, bit-identical for every kernel
+/// configuration, so entries never key on the KernelOptions used to build
+/// them.
+class HistogramBroker {
+public:
+    explicit HistogramBroker(std::size_t cache_entries = 64,
+                             std::size_t cache_bytes = std::size_t{256} << 20);
+
+    /// The Hd histogram of @p trace, building at most once concurrently.
+    /// @p outcome (optional) reports how this call was served.
+    [[nodiscard]] std::shared_ptr<const streams::HdHistogram> hd(
+        const streams::PackedTrace& trace, const streams::KernelOptions& options,
+        BrokerOutcome* outcome = nullptr);
+
+    /// The (Hd, stable-zero) class histogram, likewise.
+    [[nodiscard]] std::shared_ptr<const streams::HdClassHistogram> hd_class(
+        const streams::PackedTrace& trace, const streams::KernelOptions& options,
+        BrokerOutcome* outcome = nullptr);
+
+    /// Drop every cached histogram of @p trace_id (e.g. on CloseTrace).
+    void invalidate(std::uint64_t trace_id);
+
+    [[nodiscard]] std::uint64_t built() const noexcept
+    {
+        return built_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t hits() const noexcept
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t coalesced() const noexcept
+    {
+        return coalesced_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::size_t cache_bytes_used() const;
+
+private:
+    /// One histogram flavor; Kind disambiguates the cache key.
+    enum class Kind : std::uint8_t { Hd = 0, Classes = 1 };
+
+    struct Key {
+        std::uint64_t id = 0;
+        int width = 0;
+        Kind kind = Kind::Hd;
+
+        friend bool operator==(const Key&, const Key&) = default;
+    };
+
+    struct KeyHash {
+        [[nodiscard]] std::size_t operator()(const Key& key) const noexcept
+        {
+            std::uint64_t x = key.id ^
+                              (static_cast<std::uint64_t>(key.width) * 2 +
+                               static_cast<std::uint64_t>(key.kind)) *
+                                  0x9e3779b97f4a7c15ULL;
+            x ^= x >> 30;
+            x *= 0xbf58476d1ce4e5b9ULL;
+            x ^= x >> 27;
+            return static_cast<std::size_t>(x);
+        }
+    };
+
+    /// A type-erased ready histogram plus its byte charge.
+    struct Stored {
+        std::shared_ptr<const void> histogram;
+        std::size_t bytes = 0;
+    };
+
+    template <typename Histogram, typename BuildFn>
+    std::shared_ptr<const Histogram> acquire(const Key& key, BuildFn&& build,
+                                             BrokerOutcome* outcome);
+
+    void evict_to_budget_locked();
+
+    mutable std::mutex mutex_;
+    std::size_t cache_entries_;
+    std::size_t cache_bytes_;
+    std::size_t bytes_used_ = 0;
+    std::unordered_map<Key, std::shared_future<Stored>, KeyHash> entries_;
+    std::list<Key> lru_; ///< most recently used first; ready entries only
+    std::atomic<std::uint64_t> built_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
+};
+
+} // namespace hdpm::serve

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/model_library.hpp"
+
+namespace hdpm::serve {
+
+/// A model the cache serves: either family, immutable once loaded.
+using ServedModel = std::variant<core::HdModel, core::EnhancedHdModel>;
+
+/// Sharded, capacity-bounded front over a core::ModelLibrary.
+///
+/// The library already resolves cold misses with single-flight
+/// characterize-on-miss semantics, but it parses a model file on *every*
+/// lookup; this cache keeps the deserialized models hot in memory. It is
+/// sharded by key hash so a cold lookup — which may run a multi-second
+/// characterization under the library's flight — only ever holds its own
+/// shard's lock, and even that only for the map insert: concurrent
+/// requests for *other* models on the same shard proceed, and concurrent
+/// requests for the *same* model block on the leader's shared_future
+/// rather than re-characterizing (single-flight at this layer too).
+///
+/// Eviction is LRU per shard with a per-shard entry capacity; in-flight
+/// entries are never evicted. A leader failure propagates to every waiter
+/// of that flight and the key is released for retry.
+class ShardedModelCache {
+public:
+    ShardedModelCache(const core::ModelLibrary& library,
+                      core::CharacterizationOptions char_options,
+                      std::size_t shards = 8, std::size_t capacity_per_shard = 64);
+
+    /// The model for (type, widths, kind), loading or characterizing on
+    /// miss. @p zero_clusters selects the enhanced variant when
+    /// @p enhanced is true.
+    [[nodiscard]] std::shared_ptr<const ServedModel> get(
+        dp::ModuleType type, std::span<const int> widths, bool enhanced,
+        int zero_clusters);
+
+    [[nodiscard]] std::uint64_t hits() const noexcept
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t misses() const noexcept
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t evictions() const noexcept
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+    /// Shard index a key hashes to (exposed for tests).
+    [[nodiscard]] std::size_t shard_for(const std::string& key) const noexcept;
+
+private:
+    struct Shard {
+        std::mutex mutex;
+        std::unordered_map<std::string,
+                           std::shared_future<std::shared_ptr<const ServedModel>>>
+            entries;
+        std::list<std::string> lru; ///< most recently used first
+    };
+
+    const core::ModelLibrary* library_;
+    core::CharacterizationOptions char_options_;
+    std::size_t capacity_per_shard_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace hdpm::serve

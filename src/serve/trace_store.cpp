@@ -1,0 +1,76 @@
+#include "serve/trace_store.hpp"
+
+namespace hdpm::serve {
+
+std::uint64_t TraceStore::register_trace(streams::PackedTrace trace)
+{
+    Entry entry;
+    entry.bytes = trace.words().size() * sizeof(std::uint64_t);
+    auto shared = std::make_shared<const streams::PackedTrace>(std::move(trace));
+    const std::uint64_t id = shared->id();
+    entry.trace = std::move(shared);
+
+    const std::lock_guard<std::mutex> lock{mutex_};
+    bytes_ += entry.bytes;
+    ++registered_;
+    traces_[id] = std::move(entry);
+    return id;
+}
+
+std::uint64_t TraceStore::open_file(const std::filesystem::path& path)
+{
+    auto mapping = std::make_shared<streams::MappedTrace>(path);
+    Entry entry;
+    entry.bytes = mapping->mapped_bytes();
+    // The view is copied into the shared entry; it stays valid because the
+    // mapping rides along in the same entry.
+    entry.trace = std::shared_ptr<const streams::PackedTrace>(
+        mapping, &mapping->trace());
+    entry.mapping = mapping;
+    const std::uint64_t id = entry.trace->id();
+
+    const std::lock_guard<std::mutex> lock{mutex_};
+    bytes_ += entry.bytes;
+    ++registered_;
+    traces_[id] = std::move(entry);
+    return id;
+}
+
+std::shared_ptr<const streams::PackedTrace> TraceStore::get(std::uint64_t id) const
+{
+    const std::lock_guard<std::mutex> lock{mutex_};
+    const auto it = traces_.find(id);
+    return it == traces_.end() ? nullptr : it->second.trace;
+}
+
+bool TraceStore::close(std::uint64_t id)
+{
+    const std::lock_guard<std::mutex> lock{mutex_};
+    const auto it = traces_.find(id);
+    if (it == traces_.end()) {
+        return false;
+    }
+    bytes_ -= it->second.bytes;
+    traces_.erase(it);
+    return true;
+}
+
+std::size_t TraceStore::count() const
+{
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return traces_.size();
+}
+
+std::uint64_t TraceStore::bytes() const
+{
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return bytes_;
+}
+
+std::uint64_t TraceStore::registered() const
+{
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return registered_;
+}
+
+} // namespace hdpm::serve

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "streams/packed_trace.hpp"
+#include "streams/trace_file.hpp"
+
+namespace hdpm::serve {
+
+/// Registry of the traces a server currently holds, keyed by the trace id
+/// clients reference in Estimate requests. Two ingestion paths:
+///
+///  - register_trace: an owning PackedTrace (wire-transferred samples,
+///    paid for once at registration);
+///  - open_file: an mmap'd trace file — the store keeps the MappedTrace
+///    alive next to its zero-copy view, so repeated queries against a
+///    million-sample recording never copy the words.
+///
+/// Entries are shared_ptr'd: a request holds its trace alive for the
+/// duration of an estimate even if a concurrent CloseTrace drops it from
+/// the registry, so eviction can never invalidate an in-flight kernel.
+/// Thread-safe.
+class TraceStore {
+public:
+    /// Adopt @p trace; returns its id (the PackedTrace identity, which the
+    /// histogram cache also keys on).
+    std::uint64_t register_trace(streams::PackedTrace trace);
+
+    /// Map @p path and register the view; returns the new trace id.
+    /// Throws FaultError{IoError/ModelFileCorrupt} as MappedTrace does.
+    std::uint64_t open_file(const std::filesystem::path& path);
+
+    /// The trace for @p id, or nullptr if unknown/closed.
+    [[nodiscard]] std::shared_ptr<const streams::PackedTrace> get(
+        std::uint64_t id) const;
+
+    /// Drop @p id; true if it was present.
+    bool close(std::uint64_t id);
+
+    [[nodiscard]] std::size_t count() const;
+
+    /// Total payload bytes held (owned words + mapped file bytes).
+    [[nodiscard]] std::uint64_t bytes() const;
+
+    /// Traces ever registered (monotonic counter, for stats).
+    [[nodiscard]] std::uint64_t registered() const;
+
+private:
+    struct Entry {
+        std::shared_ptr<const streams::PackedTrace> trace;
+        std::shared_ptr<streams::MappedTrace> mapping; ///< null for owned
+        std::uint64_t bytes = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, Entry> traces_;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t registered_ = 0;
+};
+
+} // namespace hdpm::serve

@@ -163,14 +163,94 @@ PackedTrace PackedTrace::from_csv(const std::string& path, int width)
     return from_values(values, width);
 }
 
+namespace {
+
+/// Shared geometry validation of the adopt/view constructors: checks the
+/// operand widths and that @p words holds exactly samples × stride words.
+/// Returns (total width, stride).
+std::pair<int, std::size_t> check_packed_geometry(std::size_t words,
+                                                  std::span<const int> operand_widths,
+                                                  std::size_t samples)
+{
+    HDPM_REQUIRE(!operand_widths.empty(), "no operand widths");
+    int total = 0;
+    for (const int w : operand_widths) {
+        HDPM_REQUIRE(w >= 1 && w <= 64, "operand width ", w, " out of range [1, 64]");
+        total += w;
+    }
+    HDPM_REQUIRE(total <= PackedTrace::kMaxWidth, "operand widths sum to ", total,
+                 " > ", PackedTrace::kMaxWidth);
+    const std::size_t stride = words_for(total);
+    HDPM_REQUIRE(words == samples * stride, "packed word count ", words,
+                 " does not match ", samples, " samples of ", stride, " word(s)");
+    return {total, stride};
+}
+
+/// Mask of the bits inside the width in a sample's top word.
+constexpr std::uint64_t top_word_mask(int width, std::size_t stride) noexcept
+{
+    return width_mask(width - static_cast<int>(stride - 1) * 64);
+}
+
+} // namespace
+
+PackedTrace PackedTrace::from_packed_words(std::vector<std::uint64_t> words,
+                                           std::span<const int> operand_widths,
+                                           std::size_t samples)
+{
+    const auto [total, stride] =
+        check_packed_geometry(words.size(), operand_widths, samples);
+    // Defensive masking: the kernels assume bits above the width are zero.
+    const std::uint64_t top_mask = top_word_mask(total, stride);
+    for (std::size_t j = 0; j < samples; ++j) {
+        words[j * stride + stride - 1] &= top_mask;
+    }
+    PackedTrace trace;
+    trace.width_ = total;
+    trace.operand_widths_.assign(operand_widths.begin(), operand_widths.end());
+    trace.out_of_range_by_operand_.assign(operand_widths.size(), 0);
+    trace.id_ = next_id();
+    trace.words_per_sample_ = stride;
+    trace.samples_ = samples;
+    trace.words_ = std::move(words);
+    return trace;
+}
+
+PackedTrace PackedTrace::view_over(std::span<const std::uint64_t> words,
+                                   std::span<const int> operand_widths,
+                                   std::size_t samples)
+{
+    const auto [total, stride] =
+        check_packed_geometry(words.size(), operand_widths, samples);
+    // The backing store may be an unwritable mapping, so instead of masking
+    // we require the invariant to already hold: a stray bit above the width
+    // means the file is corrupt (or not a trace file at all).
+    const std::uint64_t top_mask = top_word_mask(total, stride);
+    for (std::size_t j = 0; j < samples; ++j) {
+        HDPM_REQUIRE((words[j * stride + stride - 1] & ~top_mask) == 0,
+                     "sample ", j, " has bits above the trace width ", total,
+                     " — corrupt packed storage");
+    }
+    PackedTrace trace;
+    trace.width_ = total;
+    trace.view_ = words;
+    trace.operand_widths_.assign(operand_widths.begin(), operand_widths.end());
+    trace.out_of_range_by_operand_.assign(operand_widths.size(), 0);
+    trace.id_ = next_id();
+    trace.words_per_sample_ = stride;
+    trace.samples_ = samples;
+    return trace;
+}
+
 std::vector<util::BitVec> PackedTrace::to_patterns() const
 {
     HDPM_REQUIRE(width_ <= util::BitVec::kMaxWidth, "trace width ", width_,
                  " exceeds BitVec::kMaxWidth; wide traces cannot be expanded");
     std::vector<util::BitVec> patterns;
     patterns.reserve(samples_);
+    const std::span<const std::uint64_t> storage = words();
     for (std::size_t j = 0; j < samples_; ++j) {
-        patterns.emplace_back(width_, words_[j]);
+        patterns.emplace_back(width_, storage[j]);
     }
     return patterns;
 }

@@ -57,6 +57,27 @@ public:
     /// Load a single-operand trace from a CSV file via load_stream().
     [[nodiscard]] static PackedTrace from_csv(const std::string& path, int width);
 
+    /// Adopt already-packed sample words (the words()/sample() layout:
+    /// sample-major, ceil(width/64) words per sample). Bits above the
+    /// total width in each sample's top word are masked off defensively,
+    /// so the kernels' masked-top-word invariant always holds. This is the
+    /// ingestion path for wire-transferred traces, where the client packed
+    /// the samples itself.
+    [[nodiscard]] static PackedTrace from_packed_words(
+        std::vector<std::uint64_t> words, std::span<const int> operand_widths,
+        std::size_t samples);
+
+    /// Non-owning view over externally stored packed words (e.g. a
+    /// read-only file mapping): the trace moves no bytes, it just points at
+    /// @p words. The storage must outlive the view and every copy of it —
+    /// see MappedTrace, which bundles the mapping with its view. Because
+    /// the backing store is immutable and possibly unwritable, bits above
+    /// the total width must already be zero in every sample's top word;
+    /// a sample violating that is rejected (corrupt file, not a bug).
+    [[nodiscard]] static PackedTrace view_over(std::span<const std::uint64_t> words,
+                                              std::span<const int> operand_widths,
+                                              std::size_t samples);
+
     /// Concatenated sample width in bits (the model's m).
     [[nodiscard]] int width() const noexcept { return width_; }
 
@@ -80,18 +101,22 @@ public:
 
     /// The packed words, sample-major: sample j is words()[j*stride ..
     /// j*stride+stride) with stride = words_per_sample(). Bits above
-    /// width() in each sample's top word are zero.
+    /// width() in each sample's top word are zero. For a view_over trace
+    /// this spans the external storage; otherwise the owned buffer.
     [[nodiscard]] std::span<const std::uint64_t> words() const noexcept
     {
-        return words_;
+        return view_.data() != nullptr ? view_
+                                       : std::span<const std::uint64_t>{words_};
     }
 
     /// The words of sample @p j.
     [[nodiscard]] std::span<const std::uint64_t> sample(std::size_t j) const noexcept
     {
-        return std::span<const std::uint64_t>{words_}.subspan(j * words_per_sample_,
-                                                              words_per_sample_);
+        return words().subspan(j * words_per_sample_, words_per_sample_);
     }
+
+    /// True when this trace is a non-owning view over external storage.
+    [[nodiscard]] bool is_view() const noexcept { return view_.data() != nullptr; }
 
     /// Widths of the concatenated operands (one entry per operand).
     [[nodiscard]] std::span<const int> operand_widths() const noexcept
@@ -125,6 +150,7 @@ private:
     [[nodiscard]] static std::uint64_t next_id() noexcept;
 
     std::vector<std::uint64_t> words_;
+    std::span<const std::uint64_t> view_{}; ///< non-owning storage (view_over)
     std::vector<int> operand_widths_;
     std::vector<std::size_t> out_of_range_by_operand_;
     int width_ = 0;

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+
+#include "streams/packed_trace.hpp"
+
+namespace hdpm::streams {
+
+/// Binary recorded-trace file format (".hdt"): a fixed little-endian
+/// header followed by the raw PackedTrace word array, 8-byte aligned so a
+/// read-only mapping of the file can be served directly as a PackedTrace
+/// view — repeated queries against a million-sample trace move no bytes.
+///
+/// Layout (all integers little-endian):
+///   bytes 0..7    magic "HDPMTRC\n"
+///   bytes 8..11   format version (1)
+///   bytes 12..15  operand count P
+///   bytes 16..23  sample count N
+///   bytes 24..    P × int32 operand widths
+///   ...pad to the next multiple of 8 bytes...
+///   then          N × ceil(total_width/64) × uint64 packed words
+///
+/// Words are written masked (bits above the total width are zero), and the
+/// loader re-validates that invariant, so a trace that maps cleanly is
+/// safe to feed to the word-parallel kernels unchanged.
+
+/// Serialized byte offset of the word array for @p operand_count operands.
+[[nodiscard]] std::size_t trace_file_words_offset(std::size_t operand_count) noexcept;
+
+/// Write @p trace to @p path atomically (tmp + rename). Throws
+/// util::FaultError{IoError} on failure.
+void write_trace_file(const std::filesystem::path& path, const PackedTrace& trace);
+
+/// A read-only memory mapping of a trace file, bundled with the
+/// PackedTrace view pointing into it. Zero-copy: estimation kernels read
+/// the mapped pages directly, so the OS page cache is the only copy of a
+/// large recorded trace no matter how many queries reference it.
+///
+/// Movable, not copyable; the view (and every copy of the view handed
+/// out) is valid only while this object lives. Throws
+/// util::FaultError{IoError} for open/map failures and
+/// util::FaultError{ModelFileCorrupt} for a malformed header or word
+/// array.
+class MappedTrace {
+public:
+    explicit MappedTrace(const std::filesystem::path& path);
+    ~MappedTrace();
+
+    MappedTrace(MappedTrace&& other) noexcept;
+    MappedTrace& operator=(MappedTrace&& other) noexcept;
+    MappedTrace(const MappedTrace&) = delete;
+    MappedTrace& operator=(const MappedTrace&) = delete;
+
+    /// The zero-copy view. Each MappedTrace construction mints a fresh
+    /// trace id, so a re-opened file is (correctly) a new cache identity.
+    [[nodiscard]] const PackedTrace& trace() const noexcept { return trace_; }
+
+    /// Size of the mapping in bytes.
+    [[nodiscard]] std::size_t mapped_bytes() const noexcept { return size_; }
+
+private:
+    void unmap() noexcept;
+
+    void* base_ = nullptr;
+    std::size_t size_ = 0;
+    PackedTrace trace_;
+};
+
+} // namespace hdpm::streams

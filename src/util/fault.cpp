@@ -21,6 +21,10 @@ const char* fault_kind_name(FaultKind kind) noexcept
         return "CheckpointCorrupt";
     case FaultKind::IoError:
         return "IoError";
+    case FaultKind::Overloaded:
+        return "Overloaded";
+    case FaultKind::ProtocolError:
+        return "ProtocolError";
     }
     return "UnknownFault";
 }

@@ -38,6 +38,17 @@ enum class FaultKind : std::uint8_t {
 
     /// A filesystem operation (publish, rename, remove) failed.
     IoError,
+
+    /// A serving-side bounded queue was full and the request was shed
+    /// rather than queued unboundedly. Clients should back off and retry;
+    /// the daemon reports this as a structured response, never by hanging
+    /// or silently dropping the connection.
+    Overloaded,
+
+    /// A wire message violated the serving protocol (bad magic, truncated
+    /// frame, out-of-range field). The offending connection is closed
+    /// after the error response; other connections are unaffected.
+    ProtocolError,
 };
 
 /// Stable short name of a fault kind (for logs, reports and tests).

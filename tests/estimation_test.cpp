@@ -598,6 +598,74 @@ TEST(EstimationEngine, ByteBudgetEvictsWideHistograms)
     EXPECT_EQ(engine.stats().cache_hits, 0U);
 }
 
+TEST(EstimationEngine, EntryExactlyAtByteBudgetIsRetained)
+{
+    // A width-7 Hd histogram holds 8 uint64 bins = 64 bytes. With
+    // cache_bytes == 64 the entry lands exactly on the budget — "over
+    // budget" is strictly greater-than, so it must be kept and served.
+    constexpr std::size_t kBudget = 8 * sizeof(std::uint64_t);
+    core::EstimationEngine engine{KernelOptions{}, 8, kBudget};
+    const core::HdModel model = make_hd_model(7, 41);
+    const PackedTrace trace = trace_from_words(random_words(7, 200, 77), 7);
+
+    (void)engine.estimate(model, trace);
+    EXPECT_EQ(engine.cache_bytes_used(), kBudget);
+    (void)engine.estimate(model, trace);
+    EXPECT_EQ(engine.stats().histograms_built, 1U);
+    EXPECT_EQ(engine.stats().cache_hits, 1U);
+}
+
+TEST(EstimationEngine, SingleEntryLargerThanBudgetStillServes)
+{
+    // An entry bigger than the whole byte budget may not thrash: the
+    // most-recently-used entry is always kept (eviction never empties the
+    // cache), so repeats hit even though the budget is formally blown.
+    constexpr std::size_t kBudget = 8; // smaller than any histogram
+    core::EstimationEngine engine{KernelOptions{}, 8, kBudget};
+    const core::HdModel model = make_hd_model(16, 42);
+    const PackedTrace a = trace_from_words(random_words(16, 300, 81), 16);
+    const PackedTrace b = trace_from_words(random_words(16, 300, 82), 16);
+
+    (void)engine.estimate(model, a);
+    EXPECT_GT(engine.cache_bytes_used(), kBudget);
+    (void)engine.estimate(model, a);
+    EXPECT_EQ(engine.stats().cache_hits, 1U);
+    EXPECT_EQ(engine.stats().histograms_built, 1U);
+
+    // A second oversized trace evicts the first (budget pressure) but is
+    // itself retained as the sole survivor.
+    (void)engine.estimate(model, b);
+    EXPECT_EQ(engine.stats().histograms_built, 2U);
+    (void)engine.estimate(model, b);
+    EXPECT_EQ(engine.stats().cache_hits, 2U);
+    (void)engine.estimate(model, a); // rebuilt — it was evicted
+    EXPECT_EQ(engine.stats().histograms_built, 3U);
+}
+
+TEST(EstimationEngine, CacheSurvivesSetOptionsChanges)
+{
+    // Kernel options are not part of the cache key (all configurations
+    // produce identical integer histograms), so switching kernels between
+    // queries must keep hitting — and keep returning the exact value.
+    core::EstimationEngine engine{KernelOptions{.threads = 1}};
+    const core::HdModel model = make_hd_model(12, 43);
+    const PackedTrace trace = trace_from_words(correlated_words(12, 2000, 83), 12);
+
+    const double first = engine.estimate(model, trace);
+    EXPECT_EQ(engine.stats().histograms_built, 1U);
+
+    engine.set_options(KernelOptions{.kernel = EstimationKernel::Scalar, .threads = 2});
+    const double second = engine.estimate(model, trace);
+    engine.set_options(KernelOptions{.threads = 0, .chunk = std::size_t{1} << 12});
+    const double third = engine.estimate(model, trace);
+
+    EXPECT_EQ(engine.stats().histograms_built, 1U); // never rebuilt
+    EXPECT_EQ(engine.stats().cache_hits, 2U);
+    EXPECT_EQ(engine.stats().models, 3U);
+    EXPECT_EQ(second, first); // same histogram object — bit-identical
+    EXPECT_EQ(third, first);
+}
+
 // --- Sign-magnitude clamp surfacing ------------------------------------
 
 TEST(NumberFormat, SignMagnitudeReportsClampedSamples)
