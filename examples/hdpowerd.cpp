@@ -57,6 +57,8 @@ extern "C" void handle_shutdown_signal(int)
         << "  --hist-bytes N       shared histogram cache byte budget\n"
         << "  --shards N           model cache shards (default 8)\n"
         << "  --models-per-shard N model cache entries per shard (default 64)\n"
+        << "  --drain-timeout MS   drain grace before blocked writers are cut "
+           "(default 5000)\n"
         << "SIGTERM/SIGINT drain cleanly: accepted requests are answered, then "
            "the daemon exits 0.\n";
     std::exit(2);
@@ -103,6 +105,8 @@ int main(int argc, char** argv)
             options.model_shards = std::stoul(next());
         } else if (flag == "--models-per-shard") {
             options.model_cache_per_shard = std::stoul(next());
+        } else if (flag == "--drain-timeout") {
+            options.drain_timeout_ms = std::stoul(next());
         } else {
             std::cerr << "unknown flag '" << flag << "'\n";
             usage(argv[0]);

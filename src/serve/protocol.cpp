@@ -237,6 +237,14 @@ void encode_estimate_request(WireWriter& w, const EstimateRequest& request)
     w.u8(request.module_type);
     w.u8(static_cast<std::uint8_t>(request.kind));
     w.i32(request.zero_clusters);
+    // The count travels as one byte; reject out-of-range requests here
+    // instead of silently truncating (256 would even wrap to 0, which the
+    // decoder rejects on the far side with a confusing error).
+    if (request.widths.empty() || request.widths.size() > 255) {
+        protocol_fault("estimate request has " +
+                       std::to_string(request.widths.size()) +
+                       " operand widths; the wire format allows 1..255");
+    }
     w.u8(static_cast<std::uint8_t>(request.widths.size()));
     for (const int width : request.widths) {
         w.i32(width);

@@ -231,7 +231,9 @@ void Server::worker_loop(core::EstimationEngine& engine)
         {
             const std::lock_guard<std::mutex> lock{active_mutex_};
             active_fds_.insert(fd);
-            if (draining_.load()) {
+            if (force_cut_.load()) {
+                ::shutdown(fd, SHUT_RDWR); // drain deadline already passed
+            } else if (draining_.load()) {
                 ::shutdown(fd, SHUT_RD); // joined after the drain cut — unblock
             }
         }
@@ -277,8 +279,12 @@ void Server::serve_connection(int fd, core::EstimationEngine& engine)
         // is what lets clients pipeline blindly.
         bool close_after_flush = false;
         while (in.size() - parsed >= 4) {
+            // Little-endian prefix, decoded byte-by-byte exactly like
+            // read_frame — correct regardless of host byte order.
             std::uint32_t length = 0;
-            std::memcpy(&length, in.data() + parsed, 4);
+            for (int b = 3; b >= 0; --b) {
+                length = (length << 8) | in[parsed + static_cast<std::size_t>(b)];
+            }
             if (length > options_.max_frame) {
                 append_frame(out, encode_error(
                                       static_cast<std::uint8_t>(StatusCode::BadRequest),
@@ -336,6 +342,12 @@ std::vector<std::uint8_t> Server::handle_request(std::span<const std::uint8_t> p
         }
         case MessageType::RegisterTrace: {
             const std::uint32_t operands = reader.u32();
+            // Each width occupies 4 payload bytes; bound the count against
+            // the bytes actually present before reserving, so a tiny hostile
+            // frame can't force a multi-gigabyte transient allocation.
+            HDPM_REQUIRE(operands <= reader.remaining() / 4,
+                         "operand count ", operands,
+                         " exceeds the widths present in the payload");
             std::vector<int> widths;
             widths.reserve(operands);
             for (std::uint32_t i = 0; i < operands; ++i) {
@@ -532,6 +544,35 @@ void Server::drain()
         }
     }
     queue_cv_.notify_all();
+
+    // 3. Deadline: SHUT_RD does not wake a worker blocked in send() to a
+    //    peer that stopped reading, so a single slow/dead client could
+    //    otherwise stall the drain forever. Give in-flight connections
+    //    drain_timeout_ms to finish, then cut their write sides too —
+    //    blocked sends fail with EPIPE and the workers exit.
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+    while (Clock::now() < deadline) {
+        bool idle = false;
+        {
+            const std::scoped_lock lock{queue_mutex_, active_mutex_};
+            idle = pending_.empty() && active_fds_.empty();
+        }
+        if (idle) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    }
+    force_cut_.store(true); // workers fully cut any fd picked up from here on
+    {
+        const std::scoped_lock lock{queue_mutex_, active_mutex_};
+        for (const int fd : active_fds_) {
+            ::shutdown(fd, SHUT_RDWR);
+        }
+        for (const int fd : pending_) {
+            ::shutdown(fd, SHUT_RDWR);
+        }
+    }
     join_all();
 }
 

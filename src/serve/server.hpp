@@ -61,6 +61,14 @@ struct ServerOptions {
 
     /// Largest accepted request frame.
     std::uint32_t max_frame = kDefaultMaxFrame;
+
+    /// drain() grace period. shutdown(SHUT_RD) unblocks workers stuck in
+    /// recv(), but a worker blocked in send() to a peer that stopped
+    /// reading is not woken by a read-side cut; after this deadline drain()
+    /// cuts the write sides too (SHUT_RDWR) so blocked sends fail and the
+    /// drain is guaranteed to complete instead of hanging on one dead
+    /// client.
+    std::size_t drain_timeout_ms = 5000;
 };
 
 /// Live counters of a running server (all monotonic; timing on
@@ -163,6 +171,7 @@ private:
     std::vector<std::unique_ptr<core::EstimationEngine>> engines_;
     std::atomic<bool> running_{false};
     std::atomic<bool> draining_{false};
+    std::atomic<bool> force_cut_{false}; ///< drain deadline passed: SHUT_RDWR
 };
 
 } // namespace hdpm::serve

@@ -181,8 +181,13 @@ std::pair<int, std::size_t> check_packed_geometry(std::size_t words,
     HDPM_REQUIRE(total <= PackedTrace::kMaxWidth, "operand widths sum to ", total,
                  " > ", PackedTrace::kMaxWidth);
     const std::size_t stride = words_for(total);
-    HDPM_REQUIRE(words == samples * stride, "packed word count ", words,
-                 " does not match ", samples, " samples of ", stride, " word(s)");
+    // Divide instead of multiplying: `samples` can be an untrusted value
+    // from a wire frame or a file header, and `samples * stride` wrapping
+    // around SIZE_MAX must not let a huge sample count match a tiny word
+    // buffer (the masking/validation loops below would then run off the end).
+    HDPM_REQUIRE(words % stride == 0 && samples == words / stride,
+                 "packed word count ", words, " does not match ", samples,
+                 " samples of ", stride, " word(s)");
     return {total, stride};
 }
 

@@ -195,6 +195,29 @@ TEST(PackedTrace, RejectsMixedWidthsAndBadOperands)
                  util::PreconditionError);
 }
 
+TEST(PackedTrace, RejectsOverflowingSampleCounts)
+{
+    // `samples` can come straight off the wire or a file header; a count
+    // chosen so samples * stride wraps around SIZE_MAX to the real word
+    // count must be rejected, not accepted as matching geometry (the
+    // masking loop would then write far past the buffer).
+    const std::vector<int> widths{64, 64}; // stride 2
+    const std::vector<std::uint64_t> words(4, 0); // genuinely 2 samples
+    const std::size_t wrapping =
+        std::numeric_limits<std::size_t>::max() / 2 + 3; // * 2 wraps to 4
+    EXPECT_THROW((void)PackedTrace::from_packed_words(words, widths, wrapping),
+                 util::PreconditionError);
+    EXPECT_THROW((void)PackedTrace::view_over(words, widths, wrapping),
+                 util::PreconditionError);
+    // A word count that is not a whole number of samples never matches.
+    const std::vector<std::uint64_t> odd(3, 0);
+    EXPECT_THROW((void)PackedTrace::from_packed_words(odd, widths, 1),
+                 util::PreconditionError);
+    // The exact geometry still passes.
+    const PackedTrace ok = PackedTrace::from_packed_words(words, widths, 2);
+    EXPECT_EQ(ok.size(), 2U);
+}
+
 // --- Packed vs scalar kernel equivalence -------------------------------
 
 TEST(Kernels, PackedMatchesScalarAcrossWidths)

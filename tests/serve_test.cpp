@@ -218,6 +218,89 @@ TEST(Serve, MalformedFrameGetsProtocolFaultThenClose)
     server.drain();
 }
 
+TEST(Serve, HostileRegisterTraceIsRejectedStructurally)
+{
+    const serve::ServerOptions options = quick_options("hostile.sock");
+    serve::Server server{options};
+    server.start();
+
+    serve::ServeClient client = serve::ServeClient::connect_unix(options.unix_path);
+
+    // A sample count chosen so samples * words_per_sample wraps around
+    // SIZE_MAX to the word count actually shipped (4): the server must
+    // answer BadRequest, not scribble past the 4-word buffer.
+    serve::WireWriter wrap;
+    wrap.u8(static_cast<std::uint8_t>(serve::MessageType::RegisterTrace));
+    wrap.u32(2);
+    wrap.i32(64);
+    wrap.i32(64);
+    wrap.u64((std::uint64_t{1} << 63) + 2); // * stride 2 == 4 mod 2^64
+    const std::vector<std::uint64_t> four_words(4, 0);
+    wrap.words(four_words);
+    serve::write_frame(client.fd(), wrap.bytes());
+    auto reply = serve::read_frame(client.fd());
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ((*reply)[0], static_cast<std::uint8_t>(serve::StatusCode::BadRequest));
+
+    // An operand count far beyond the payload (a 5-byte frame claiming
+    // 2^32-1 widths) is rejected before any allocation is attempted.
+    serve::WireWriter flood;
+    flood.u8(static_cast<std::uint8_t>(serve::MessageType::RegisterTrace));
+    flood.u32(0xFFFFFFFF);
+    serve::write_frame(client.fd(), flood.bytes());
+    reply = serve::read_frame(client.fd());
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ((*reply)[0], static_cast<std::uint8_t>(serve::StatusCode::BadRequest));
+
+    // Both rejections were answers; the connection is still usable.
+    client.ping();
+
+    // Client side: a request whose width count does not fit the one-byte
+    // wire field fails loudly at encode time instead of truncating.
+    serve::EstimateRequest oversized = adder_request(1);
+    oversized.widths.assign(300, 8);
+    serve::WireWriter writer;
+    EXPECT_THROW(serve::encode_estimate_request(writer, oversized),
+                 util::FaultError);
+    server.drain();
+}
+
+TEST(Serve, DrainDeadlineCutsWorkersBlockedInSend)
+{
+    serve::ServerOptions options = quick_options("draincut.sock");
+    options.workers = 1;
+    options.drain_timeout_ms = 200;
+    serve::Server server{options};
+    server.start();
+
+    const streams::PackedTrace trace = make_trace(17);
+    serve::ServeClient client = serve::ServeClient::connect_unix(options.unix_path);
+    serve::WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(serve::MessageType::Estimate));
+    serve::encode_estimate_request(writer, adder_request(client.register_trace(trace)));
+    std::vector<std::uint8_t> frame;
+    serve::append_frame(frame, writer.bytes());
+
+    // Blast pipelined estimate requests and never read a response: both
+    // socket buffers fill and the worker blocks in send(), which a
+    // read-side-only shutdown cannot unblock. The drain deadline must cut
+    // the write side and complete instead of hanging on this one client.
+    std::thread blaster{[&client, frame] {
+        for (int i = 0; i < 50000; ++i) {
+            if (::send(client.fd(), frame.data(), frame.size(), MSG_NOSIGNAL) < 0) {
+                return; // the drain cut us off — expected
+            }
+        }
+    }};
+    std::this_thread::sleep_for(std::chrono::milliseconds{100}); // let it wedge
+
+    const auto start = std::chrono::steady_clock::now();
+    server.drain();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds{30});
+    blaster.join();
+}
+
 TEST(Serve, OverloadShedsWithStructuredError)
 {
     serve::ServerOptions options = quick_options("overload.sock");
