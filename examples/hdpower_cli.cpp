@@ -48,7 +48,7 @@ namespace {
               << "  characterize <module> <width...> [--models DIR] [--budget N] "
                  "[--enhanced [K]] [--threads N] [--warmup batched|per-record]\n"
                  "                                   [--checkpoint FILE] [--strict] "
-                 "[--backend event|emulation] [--calibration N]\n"
+                 "[--backend event|emulation] [--calibration N] [--shard-size N]\n"
               << "  estimate <module> <width...> --data <I..V> [--patterns N] "
                  "[--models DIR] [--verify] [--threads N]\n"
                  "                               [--stream FILE]... "
@@ -99,6 +99,7 @@ struct Cli {
     core::WarmupMode warmup = core::WarmupMode::Batched;
     core::CharBackend backend = core::CharBackend::EventKernel;
     std::size_t calibration = 512;
+    std::size_t shard_size = 0; ///< 0 = batch (part of the stimulus plan)
     std::string checkpoint;
     bool strict = false;
     bool enhanced = false;
@@ -171,6 +172,8 @@ Cli parse_module_args(int argc, char** argv, int start)
             }
         } else if (flag == "--calibration") {
             cli.calibration = std::stoul(next());
+        } else if (flag == "--shard-size") {
+            cli.shard_size = std::stoul(next());
         } else if (flag == "--checkpoint") {
             cli.checkpoint = next();
         } else if (flag == "--strict") {
@@ -226,6 +229,7 @@ core::CharacterizationOptions char_options(const Cli& cli)
     options.warmup = cli.warmup;
     options.backend = cli.backend;
     options.calibration_pairs = cli.calibration;
+    options.shard_size = cli.shard_size;
     options.checkpoint = cli.checkpoint;
     options.strict_faults = cli.strict;
     return options;

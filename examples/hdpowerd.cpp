@@ -59,6 +59,8 @@ extern "C" void handle_shutdown_signal(int)
         << "  --models-per-shard N model cache entries per shard (default 64)\n"
         << "  --drain-timeout MS   drain grace before blocked writers are cut "
            "(default 5000)\n"
+        << "  --idle-timeout MS    close connections idle (no complete request) "
+           "this long; 0 = never (default)\n"
         << "SIGTERM/SIGINT drain cleanly: accepted requests are answered, then "
            "the daemon exits 0.\n";
     std::exit(2);
@@ -107,6 +109,8 @@ int main(int argc, char** argv)
             options.model_cache_per_shard = std::stoul(next());
         } else if (flag == "--drain-timeout") {
             options.drain_timeout_ms = std::stoul(next());
+        } else if (flag == "--idle-timeout") {
+            options.idle_timeout_ms = std::stoul(next());
         } else {
             std::cerr << "unknown flag '" << flag << "'\n";
             usage(argv[0]);
@@ -149,7 +153,8 @@ int main(int argc, char** argv)
                   << stats.connections_accepted << " connections ("
                   << stats.histograms_built << " histograms built, "
                   << stats.histogram_cache_hits << " cache hits, "
-                  << stats.connections_shed << " shed)\n";
+                  << stats.connections_shed << " shed, "
+                  << stats.connections_idle_closed << " idle-closed)\n";
         return 0;
     } catch (const std::exception& error) {
         std::cerr << "error: " << error.what() << '\n';

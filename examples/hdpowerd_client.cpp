@@ -15,8 +15,15 @@
 /// the worker pool. --tcp PORT connects to 127.0.0.1 instead of a socket
 /// path.
 ///
+/// --timeout-ms bounds the connect and every request round-trip;
+/// --retries N retries a refused or timed-out connect up to N extra times
+/// with jittered exponential backoff (the daemon may still be coming up, or
+/// restarting). Exhausting the retries is a distinct exit code so restart
+/// scripts can tell "daemon never came back" from an ordinary failure.
+///
 /// Exit codes: 0 ok; 1 runtime/connection failure; 2 usage;
-/// 4 the daemon shed the request with a structured Overloaded response.
+/// 4 the daemon shed the request with a structured Overloaded response;
+/// 5 connect retries exhausted.
 
 #include <algorithm>
 #include <chrono>
@@ -36,12 +43,13 @@ namespace {
 [[noreturn]] void usage(const char* argv0)
 {
     std::cerr << "usage: " << argv0
-              << " (--socket PATH | --tcp PORT) <ping|estimate|stats|hold> "
-                 "[args]\n"
+              << " (--socket PATH | --tcp PORT) [--retries N] [--timeout-ms MS] "
+                 "<ping|estimate|stats|hold> [args]\n"
               << "  estimate <module> <width...> --data <I..V> [--patterns N] "
                  "[--repeat N] [--enhanced [K]] [--seed S]\n"
               << "  hold [--seconds S]\n"
-              << "exit codes: 0 ok, 1 failure, 2 usage, 4 overloaded (shed)\n";
+              << "exit codes: 0 ok, 1 failure, 2 usage, 4 overloaded (shed), "
+                 "5 connect retries exhausted\n";
     std::exit(2);
 }
 
@@ -63,6 +71,8 @@ int main(int argc, char** argv)
 {
     std::string socket_path;
     std::uint16_t tcp_port = 0;
+    serve::RetryPolicy retry;
+    double timeout_seconds = 30.0;
     int i = 1;
     while (i < argc && argv[i][0] == '-') {
         const std::string flag = argv[i];
@@ -70,6 +80,10 @@ int main(int argc, char** argv)
             socket_path = argv[++i];
         } else if (flag == "--tcp" && i + 1 < argc) {
             tcp_port = static_cast<std::uint16_t>(std::stoul(argv[++i]));
+        } else if (flag == "--retries" && i + 1 < argc) {
+            retry.max_attempts = 1 + static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (flag == "--timeout-ms" && i + 1 < argc) {
+            timeout_seconds = std::stod(argv[++i]) / 1000.0;
         } else {
             usage(argv[0]);
         }
@@ -81,9 +95,12 @@ int main(int argc, char** argv)
     const std::string command = argv[i++];
 
     try {
-        serve::ServeClient client = socket_path.empty()
-                                        ? serve::ServeClient::connect_tcp(tcp_port)
-                                        : serve::ServeClient::connect_unix(socket_path);
+        serve::ServeClient client =
+            socket_path.empty()
+                ? serve::ServeClient::connect_tcp_retry(tcp_port, retry,
+                                                        timeout_seconds)
+                : serve::ServeClient::connect_unix_retry(socket_path, retry,
+                                                         timeout_seconds);
 
         if (command == "ping") {
             client.ping();
@@ -95,6 +112,8 @@ int main(int argc, char** argv)
             const serve::ServerStatsReply stats = client.stats();
             std::cout << "connections_accepted " << stats.connections_accepted << '\n'
                       << "connections_shed " << stats.connections_shed << '\n'
+                      << "connections_idle_closed " << stats.connections_idle_closed
+                      << '\n'
                       << "requests " << stats.requests << '\n'
                       << "estimates " << stats.estimates << '\n'
                       << "errors " << stats.errors << '\n'
@@ -215,6 +234,9 @@ int main(int argc, char** argv)
     } catch (const serve::ServerError& error) {
         std::cerr << "server error: " << error.what() << '\n';
         return error.overloaded() ? 4 : 1;
+    } catch (const util::FaultError& error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return error.kind() == util::FaultKind::RetriesExhausted ? 5 : 1;
     } catch (const std::exception& error) {
         std::cerr << "error: " << error.what() << '\n';
         return 1;

@@ -638,19 +638,6 @@ struct ShardOutcome {
     std::exception_ptr error;
 };
 
-/// The checkpoint journal's module identity: type id plus operand widths
-/// (one whitespace-free token, e.g. "csa_multiplier_16x16"), so a journal
-/// can never resume against a different instance that happens to share m.
-std::string checkpoint_module_key(const dp::DatapathModule& module)
-{
-    std::string key = module.netlist().name();
-    for (std::size_t i = 0; i < module.operand_widths().size(); ++i) {
-        key += i == 0 ? '_' : 'x';
-        key += std::to_string(module.operand_widths()[i]);
-    }
-    return key;
-}
-
 /// Set a malformed journal aside as <path>.corrupt (never resume from bad
 /// state, never destroy the evidence); fall back to removal if the rename
 /// itself fails.
@@ -664,6 +651,184 @@ void quarantine_checkpoint(const std::filesystem::path& path)
 }
 
 } // namespace
+
+// The checkpoint/fleet journal's module identity: type id plus operand
+// widths (one whitespace-free token, e.g. "csa_multiplier_16x16"), so a
+// journal can never resume against a different instance that shares m.
+std::string module_journal_key(const dp::DatapathModule& module)
+{
+    std::string key = module.netlist().name();
+    for (std::size_t i = 0; i < module.operand_widths().size(); ++i) {
+        key += i == 0 ? '_' : 'x';
+        key += std::to_string(module.operand_widths()[i]);
+    }
+    return key;
+}
+
+// ---------------------------------------------------------------------------
+// ShardRunner / ShardMerger — the distribution-facing faces of the sharded
+// plan. ShardRunner reuses the exact per-shard simulation entry points the
+// in-process thread pool schedules (run_shard / run_shard_emulation), and
+// ShardMerger is the merge-and-convergence loop collect_records itself runs
+// on, so "merge worker-journaled blocks in shard order" and "run everything
+// in one process" are the same computation by construction.
+// ---------------------------------------------------------------------------
+
+struct ShardRunner::Impl {
+    Impl(const dp::DatapathModule& module, CharacterizationOptions opts,
+         const gate::TechLibrary& library, sim::EventSimOptions sim_opts)
+        : options(std::move(opts)), sim_options(sim_opts),
+          context(module.netlist(), library), m(module.total_input_bits()),
+          mode(options.mode.value_or(StimulusMode::StratifiedChain)),
+          shard_size(options.shard_size != 0 ? options.shard_size : options.batch),
+          num_shards((options.max_transitions + shard_size - 1) / shard_size),
+          fingerprint(characterization_fingerprint(options, sim_options)),
+          module_key(module_journal_key(module))
+    {
+        HDPM_REQUIRE(m >= 1 && m <= BitVec::kMaxWidth,
+                     "module input width out of range");
+        HDPM_REQUIRE(options.batch >= 1, "batch must be positive");
+        if (options.backend == CharBackend::PowerEmulation) {
+            // Calibration is a pure function of the stimulus plan, so every
+            // process that runs shards of this plan computes the identical
+            // weight vector.
+            const util::ThreadPool pool{options.threads};
+            calibration =
+                calibrate_emulation(context, m, mode, options, sim_options, pool);
+        }
+    }
+
+    CharacterizationOptions options;
+    sim::EventSimOptions sim_options;
+    sim::SimContext context;
+    int m;
+    StimulusMode mode;
+    std::size_t shard_size;
+    std::size_t num_shards;
+    std::uint64_t fingerprint;
+    std::string module_key;
+    CalibrationResult calibration;
+};
+
+ShardRunner::ShardRunner(const dp::DatapathModule& module,
+                         CharacterizationOptions options,
+                         const gate::TechLibrary& library,
+                         sim::EventSimOptions sim_options)
+    : impl_(std::make_unique<Impl>(module, std::move(options), library, sim_options))
+{
+}
+
+ShardRunner::~ShardRunner() = default;
+
+std::size_t ShardRunner::num_shards() const noexcept
+{
+    return impl_->num_shards;
+}
+
+std::size_t ShardRunner::shard_size() const noexcept
+{
+    return impl_->shard_size;
+}
+
+int ShardRunner::input_bits() const noexcept
+{
+    return impl_->m;
+}
+
+std::uint64_t ShardRunner::fingerprint() const noexcept
+{
+    return impl_->fingerprint;
+}
+
+const std::string& ShardRunner::module_key() const noexcept
+{
+    return impl_->module_key;
+}
+
+std::vector<CharacterizationRecord> ShardRunner::run(std::size_t shard) const
+{
+    HDPM_REQUIRE(shard < impl_->num_shards, "shard index outside the plan");
+    const std::size_t planned = std::min(
+        impl_->shard_size, impl_->options.max_transitions - shard * impl_->shard_size);
+    ShardResult result =
+        impl_->options.backend == CharBackend::PowerEmulation
+            ? run_shard_emulation(impl_->context, impl_->m, impl_->mode,
+                                  impl_->options, impl_->calibration.weights, shard,
+                                  planned)
+            : run_shard(impl_->context, impl_->m, impl_->mode, impl_->options,
+                        impl_->sim_options, shard, planned);
+    return std::move(result.records);
+}
+
+struct ShardMerger::Impl {
+    Impl(int input_bits, const CharacterizationOptions& options)
+        : monitor(static_cast<std::size_t>(input_bits)), batch(options.batch),
+          min_transitions(options.min_transitions), tolerance(options.tolerance)
+    {
+        HDPM_REQUIRE(input_bits >= 1, "bad input width");
+        HDPM_REQUIRE(batch >= 1, "batch must be positive");
+        records.reserve(std::min(options.max_transitions, std::size_t{1} << 20));
+    }
+
+    ConvergenceMonitor monitor;
+    std::size_t batch;
+    std::size_t min_transitions;
+    double tolerance;
+    std::vector<CharacterizationRecord> records;
+    std::size_t since_check = 0;
+    std::size_t shards_merged = 0;
+    bool stop = false;
+};
+
+ShardMerger::ShardMerger(int input_bits, const CharacterizationOptions& options)
+    : impl_(std::make_unique<Impl>(input_bits, options))
+{
+}
+
+ShardMerger::~ShardMerger() = default;
+
+bool ShardMerger::merge(std::span<const CharacterizationRecord> block)
+{
+    Impl& impl = *impl_;
+    if (impl.stop) {
+        return false; // converged: later blocks are discarded, never merged
+    }
+    for (const CharacterizationRecord& rec : block) {
+        impl.monitor.add(static_cast<std::size_t>(rec.hd - 1), rec.charge_fc);
+        impl.records.push_back(rec);
+        if (++impl.since_check >= impl.batch) {
+            impl.since_check = 0;
+            const double drift = impl.monitor.drift_and_snapshot();
+            if (impl.records.size() >= impl.min_transitions &&
+                drift < impl.tolerance) {
+                impl.stop = true; // stopping mid-block is part of the contract
+                break;
+            }
+        }
+    }
+    ++impl.shards_merged;
+    return !impl.stop;
+}
+
+bool ShardMerger::converged() const noexcept
+{
+    return impl_->stop;
+}
+
+std::size_t ShardMerger::shards_merged() const noexcept
+{
+    return impl_->shards_merged;
+}
+
+const std::vector<CharacterizationRecord>& ShardMerger::records() const noexcept
+{
+    return impl_->records;
+}
+
+std::vector<CharacterizationRecord> ShardMerger::take_records()
+{
+    return std::move(impl_->records);
+}
 
 std::vector<CharacterizationRecord> Characterizer::collect_records(
     const dp::DatapathModule& module, const CharacterizationOptions& options) const
@@ -702,15 +867,11 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
             calibrate_emulation(context, m, mode, options, sim_options_, pool);
     }
 
-    // Class geometry for convergence monitoring: basic classes suffice for
-    // chain modes; pairs mode monitors (hd, zeros) jointly via basic bins
-    // as well (a conservative criterion).
-    ConvergenceMonitor monitor{static_cast<std::size_t>(m)};
+    // The merge-and-convergence loop, shared with the fleet coordinator:
+    // basic Hd classes suffice for chain modes; pairs mode monitors
+    // (hd, zeros) jointly via basic bins as well (a conservative criterion).
+    ShardMerger merger{m, options};
 
-    std::vector<CharacterizationRecord> records;
-    records.reserve(std::min(options.max_transitions, std::size_t{1} << 20));
-
-    std::size_t since_check = 0;
     std::size_t shards_merged = 0;
     std::uint64_t sim_transitions = 0;
     std::uint64_t sim_events = 0;
@@ -719,7 +880,6 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
     std::uint64_t emulated_pairs = 0;
     std::uint64_t emulation_passes = 0;
     std::size_t max_queue_depth = 0;
-    bool stop = false;
 
     // Checkpoint/resume setup. The journal is stamped with the same options
     // fingerprint the model library uses plus the module identity; only a
@@ -731,21 +891,24 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
     std::vector<CheckpointShard> resumed_shards;
     std::size_t checkpoints_published = 0;
     bool checkpoint_discarded = false;
+    bool checkpoint_salvaged = false;
     if (checkpointing) {
         journal.fingerprint = characterization_fingerprint(options, sim_options_);
-        journal.module_key = checkpoint_module_key(module);
+        journal.module_key = module_journal_key(module);
         journal.input_bits = m;
         {
             // A .tmp sibling is the debris of a run killed mid-publish.
             std::error_code ec;
             std::filesystem::remove(options.checkpoint.string() + ".tmp", ec);
         }
+        const auto matches_plan = [&](const CharCheckpoint& loaded) {
+            return loaded.fingerprint == journal.fingerprint &&
+                   loaded.module_key == journal.module_key &&
+                   loaded.input_bits == m && loaded.shards.size() <= num_shards;
+        };
         try {
             if (auto loaded = load_checkpoint(options.checkpoint)) {
-                if (loaded->fingerprint == journal.fingerprint &&
-                    loaded->module_key == journal.module_key &&
-                    loaded->input_bits == m &&
-                    loaded->shards.size() <= num_shards) {
+                if (matches_plan(*loaded)) {
                     resumed_shards = std::move(loaded->shards);
                 } else {
                     checkpoint_discarded = true;
@@ -755,37 +918,28 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
             if (error.kind() != util::FaultKind::CheckpointCorrupt) {
                 throw;
             }
+            // Tolerant second read: a torn tail (the short write of a killed
+            // run) still holds every shard block that published whole. Keep
+            // that prefix — it re-merges bit-identically — and set the
+            // damaged file aside as evidence; the tail is re-simulated.
+            CheckpointSalvage salvage = salvage_checkpoint(options.checkpoint);
             quarantine_checkpoint(options.checkpoint);
             checkpoint_discarded = true;
+            if (salvage.checkpoint.has_value() && matches_plan(*salvage.checkpoint) &&
+                !salvage.checkpoint->shards.empty()) {
+                resumed_shards = std::move(salvage.checkpoint->shards);
+                checkpoint_salvaged = true;
+            }
         }
     }
 
     std::vector<ShardFailure> shard_failures;
     std::exception_ptr first_failure;
 
-    // Merge one shard's record block into the result stream, evaluating
-    // convergence at batch boundaries. Replayed journal shards pass through
-    // the identical code path as freshly simulated ones, which is what
-    // makes a resumed run reproduce the uninterrupted record stream — the
-    // stopping point included — bit for bit.
-    const auto merge_block = [&](const std::vector<CharacterizationRecord>& block) {
-        for (const CharacterizationRecord& rec : block) {
-            monitor.add(static_cast<std::size_t>(rec.hd - 1), rec.charge_fc);
-            records.push_back(rec);
-            if (++since_check >= options.batch) {
-                since_check = 0;
-                const double drift = monitor.drift_and_snapshot();
-                if (records.size() >= options.min_transitions &&
-                    drift < options.tolerance) {
-                    stop = true;
-                    break;
-                }
-            }
-        }
-    };
     const auto report_progress = [&] {
         if (options.progress) {
-            options.progress(CharProgress{shards_merged, num_shards, records.size(),
+            options.progress(CharProgress{shards_merged, num_shards,
+                                          merger.records().size(),
                                           options.max_transitions});
         }
     };
@@ -804,7 +958,7 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
             fault.context().shard = static_cast<std::int64_t>(shard);
             fault.context().bitwidth = m;
             if (fault.context().component.empty()) {
-                fault.context().component = checkpoint_module_key(module);
+                fault.context().component = module_journal_key(module);
             }
             if (options.strict_faults) {
                 throw;
@@ -821,13 +975,17 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
     };
 
     // Replay the journaled prefix through the merge loop (no simulation).
+    // Replayed shards pass through the identical ShardMerger path as
+    // freshly simulated ones, which is what makes a resumed run reproduce
+    // the uninterrupted record stream — the stopping point included — bit
+    // for bit.
     const std::size_t resumed_count = resumed_shards.size();
     for (CheckpointShard& shard : resumed_shards) {
-        merge_block(shard.records);
+        merger.merge(shard.records);
         journal.shards.push_back(std::move(shard));
         ++shards_merged;
         report_progress();
-        if (stop) {
+        if (merger.converged()) {
             break;
         }
     }
@@ -838,8 +996,8 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
     // in shard order. Convergence is evaluated over the merged stream at
     // batch boundaries, so the stopping point — like every record before it
     // — is a pure function of the stimulus plan.
-    for (std::size_t wave_start = resumed_count; wave_start < num_shards && !stop;
-         wave_start += pool.size()) {
+    for (std::size_t wave_start = resumed_count;
+         wave_start < num_shards && !merger.converged(); wave_start += pool.size()) {
         const std::size_t wave =
             std::min<std::size_t>(pool.size(), num_shards - wave_start);
         auto results = pool.parallel_map(wave, [&](std::size_t i) {
@@ -860,7 +1018,7 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
             return outcome;
         });
 
-        for (std::size_t i = 0; i < results.size() && !stop; ++i) {
+        for (std::size_t i = 0; i < results.size() && !merger.converged(); ++i) {
             const std::size_t shard = wave_start + i;
             ShardOutcome& outcome = results[i];
             if (outcome.error != nullptr) {
@@ -874,7 +1032,7 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
                 }
             } else {
                 ShardResult& result = *outcome.result;
-                merge_block(result.records);
+                merger.merge(result.records);
                 sim_transitions += result.sim_transitions;
                 sim_events += result.kernel.events_processed;
                 warmup_vectors += result.warmup_vectors;
@@ -893,7 +1051,8 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
                 }
             }
             report_progress();
-            if (checkpointing && !stop && unpublished >= options.checkpoint_every) {
+            if (checkpointing && !merger.converged() &&
+                unpublished >= options.checkpoint_every) {
                 save_checkpoint(options.checkpoint, journal);
                 unpublished = 0;
                 ++checkpoints_published;
@@ -901,6 +1060,7 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
         }
     }
 
+    std::vector<CharacterizationRecord> records = merger.take_records();
     if (records.empty() && first_failure != nullptr) {
         // Degraded continuation produced nothing at all — that is not a
         // result, it is the first failure wearing a disguise.
@@ -934,6 +1094,7 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
         options.stats->shards_resumed = shards_resumed;
         options.stats->checkpoints_published = checkpoints_published;
         options.stats->checkpoint_discarded = checkpoint_discarded;
+        options.stats->checkpoint_salvaged = checkpoint_salvaged;
         options.stats->backend = options.backend;
         options.stats->emulated_pairs = emulated_pairs;
         options.stats->emulation_passes = emulation_passes;

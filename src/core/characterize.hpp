@@ -3,7 +3,9 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -119,6 +121,9 @@ struct CharRunStats {
     std::size_t shards_resumed = 0; ///< shards replayed from a checkpoint journal
     std::size_t checkpoints_published = 0; ///< journal publishes this run
     bool checkpoint_discarded = false; ///< a stale or corrupt journal was set aside
+    /// A damaged journal's surviving whole-shard prefix was resumed (the
+    /// torn tail was quarantined as .corrupt and re-simulated).
+    bool checkpoint_salvaged = false;
 };
 
 /// Progress of a characterization run, reported once per merged shard.
@@ -261,6 +266,79 @@ private:
     const gate::TechLibrary* library_;
     sim::EventSimOptions sim_options_;
 };
+
+/// Runs single stimulus shards of a characterization plan — the unit of
+/// distribution. A ShardRunner owns everything a shard simulation needs
+/// (the compiled SimContext, the options, and — for the power-emulation
+/// backend — the calibrated weight vector, computed once at construction)
+/// so shard @p i of the plan can be simulated in any process, on any host,
+/// and produce the identical record block: the stream is seeded
+/// `seed ^ splitmix64(i)` and nothing about it depends on which shards ran
+/// before or elsewhere. This is exactly the per-shard work
+/// Characterizer::collect_records schedules onto its thread pool, exposed
+/// so a fleet worker can run a leased shard range out-of-process.
+class ShardRunner {
+public:
+    /// @p module (its netlist) and @p library must outlive the runner, as
+    /// for every simulator built on SimContext.
+    ShardRunner(const dp::DatapathModule& module, CharacterizationOptions options,
+                const gate::TechLibrary& library = gate::TechLibrary::generic350(),
+                sim::EventSimOptions sim_options = {});
+    ~ShardRunner();
+    ShardRunner(const ShardRunner&) = delete;
+    ShardRunner& operator=(const ShardRunner&) = delete;
+
+    /// Shard geometry of the plan (identical to collect_records').
+    [[nodiscard]] std::size_t num_shards() const noexcept;
+    [[nodiscard]] std::size_t shard_size() const noexcept;
+    [[nodiscard]] int input_bits() const noexcept;
+
+    /// The plan's options fingerprint (characterization_fingerprint) and
+    /// the module's checkpoint-journal identity key.
+    [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+    [[nodiscard]] const std::string& module_key() const noexcept;
+
+    /// Simulate shard @p shard of the plan and return its record block.
+    /// Throws the shard's failure (FaultError etc.) — the caller owns the
+    /// degrade/abort decision.
+    [[nodiscard]] std::vector<CharacterizationRecord> run(std::size_t shard) const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Replays collect_records' merge-and-convergence loop over shard record
+/// blocks delivered strictly in plan order. The merged stream — including
+/// the exact record the run stops at — is a pure function of the blocks,
+/// so a coordinator merging journaled blocks from any number of worker
+/// processes reproduces a single-process run bit for bit. Blocks merged
+/// after convergence are ignored, exactly as collect_records discards
+/// shards simulated ahead of a stop.
+class ShardMerger {
+public:
+    ShardMerger(int input_bits, const CharacterizationOptions& options);
+    ~ShardMerger();
+    ShardMerger(const ShardMerger&) = delete;
+    ShardMerger& operator=(const ShardMerger&) = delete;
+
+    /// Merge the next shard's record block (plan order). Returns false once
+    /// the run has converged (further blocks are ignored).
+    bool merge(std::span<const CharacterizationRecord> block);
+
+    [[nodiscard]] bool converged() const noexcept;
+    [[nodiscard]] std::size_t shards_merged() const noexcept;
+    [[nodiscard]] const std::vector<CharacterizationRecord>& records() const noexcept;
+    [[nodiscard]] std::vector<CharacterizationRecord> take_records();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// The checkpoint/fleet journal identity key of a module: netlist name plus
+/// operand widths as one whitespace-free token (e.g. "csa_multiplier_16x16").
+[[nodiscard]] std::string module_journal_key(const dp::DatapathModule& module);
 
 /// Build a basic HdModel from raw records (mean + deviation per class).
 [[nodiscard]] HdModel fit_basic_model(int input_bits,

@@ -99,19 +99,41 @@ void save_checkpoint(const std::filesystem::path& path,
     }
 }
 
-std::optional<CharCheckpoint> load_checkpoint(const std::filesystem::path& path)
+namespace {
+
+/// Shared parser for the strict and the tolerant loaders. Damage raises
+/// CheckpointCorrupt in strict mode; in tolerant mode it stops the parse at
+/// the last fully valid shard block (anything behind a tear is untrusted)
+/// and reports what was wrong via @p damage_detail.
+std::optional<CharCheckpoint> parse_checkpoint(const std::filesystem::path& path,
+                                               std::size_t first_shard, bool strict,
+                                               bool& damaged,
+                                               std::string& damage_detail)
 {
+    damaged = false;
+    damage_detail.clear();
     std::ifstream in{path, std::ios::binary};
     if (!in) {
         return std::nullopt;
     }
 
-    const auto parse_hex64 = [&](const std::string& text,
-                                 const char* what) -> std::uint64_t {
-        if (text.size() != 16) {
-            corrupt(path, std::string{"malformed "} + what);
+    // In tolerant mode a damage site keeps whatever parsed whole so far
+    // (possibly nothing: then the header itself is unusable and the caller
+    // starts fresh).
+    const auto fail = [&](std::string detail) {
+        if (strict) {
+            corrupt(path, std::move(detail));
         }
-        std::uint64_t value = 0;
+        damaged = true;
+        damage_detail = std::move(detail);
+    };
+
+    const auto parse_hex64 = [&](const std::string& text, const char* what,
+                                 std::uint64_t& value) -> bool {
+        if (text.size() != 16) {
+            return false;
+        }
+        value = 0;
         for (const char c : text) {
             value <<= 4;
             if (c >= '0' && c <= '9') {
@@ -119,74 +141,112 @@ std::optional<CharCheckpoint> load_checkpoint(const std::filesystem::path& path)
             } else if (c >= 'a' && c <= 'f') {
                 value |= static_cast<std::uint64_t>(c - 'a' + 10);
             } else {
-                corrupt(path, std::string{"malformed "} + what);
+                return false;
             }
         }
-        return value;
+        (void)what;
+        return true;
     };
 
     std::string tag;
     int version = 0;
     in >> tag >> version;
     if (!in || tag != kMagic || version != kVersion) {
-        corrupt(path, "bad magic/version header");
+        fail("bad magic/version header");
+        return std::nullopt;
     }
 
     CharCheckpoint checkpoint;
     std::string hex;
     in >> tag >> hex;
-    if (!in || tag != "fingerprint") {
-        corrupt(path, "missing fingerprint header");
+    if (!in || tag != "fingerprint" ||
+        !parse_hex64(hex, "fingerprint", checkpoint.fingerprint)) {
+        fail("missing or malformed fingerprint header");
+        return std::nullopt;
     }
-    checkpoint.fingerprint = parse_hex64(hex, "fingerprint");
 
     std::string mtag;
     in >> tag >> checkpoint.module_key >> mtag >> checkpoint.input_bits;
     if (!in || tag != "module" || mtag != "m" || checkpoint.input_bits < 1) {
-        corrupt(path, "malformed module header");
+        fail("malformed module header");
+        return std::nullopt;
     }
 
     for (;;) {
         in >> tag;
         if (!in) {
-            corrupt(path, "truncated journal (missing 'end')");
+            fail("truncated journal (missing 'end')");
+            return checkpoint;
         }
         if (tag == "end") {
             break;
         }
         if (tag != "shard") {
-            corrupt(path, "unexpected token '" + tag + "'");
+            fail("unexpected token '" + tag + "'");
+            return checkpoint;
         }
         CheckpointShard shard;
         std::size_t count = 0;
         in >> shard.index >> count;
         if (!in) {
-            corrupt(path, "malformed shard header");
+            fail("malformed shard header");
+            return checkpoint;
         }
         // Shards are merged — and therefore journaled — strictly in plan
         // order, so anything else is damage, not a valid journal.
-        if (shard.index != checkpoint.shards.size()) {
-            corrupt(path, "shard indices are not a contiguous prefix");
+        if (shard.index != first_shard + checkpoint.shards.size()) {
+            fail("shard indices are not a contiguous prefix");
+            return checkpoint;
         }
         shard.records.reserve(count);
+        bool shard_ok = true;
         for (std::size_t i = 0; i < count; ++i) {
             CharacterizationRecord rec;
             std::string charge_hex;
             std::string mask_hex;
+            std::uint64_t charge_bits = 0;
             in >> rec.hd >> rec.stable_zeros >> charge_hex >> mask_hex;
             if (!in || rec.hd < 1 || rec.hd > checkpoint.input_bits ||
                 rec.stable_zeros < 0 ||
-                rec.stable_zeros > checkpoint.input_bits - rec.hd) {
-                corrupt(path, "malformed record in shard " +
-                                  std::to_string(shard.index));
+                rec.stable_zeros > checkpoint.input_bits - rec.hd ||
+                !parse_hex64(charge_hex, "charge", charge_bits) ||
+                !parse_hex64(mask_hex, "toggle mask", rec.toggle_mask)) {
+                fail("malformed record in shard " + std::to_string(shard.index));
+                shard_ok = false;
+                break;
             }
-            rec.charge_fc = std::bit_cast<double>(parse_hex64(charge_hex, "charge"));
-            rec.toggle_mask = parse_hex64(mask_hex, "toggle mask");
+            rec.charge_fc = std::bit_cast<double>(charge_bits);
             shard.records.push_back(rec);
+        }
+        if (!shard_ok) {
+            // A torn record invalidates its whole shard block: keep only
+            // the shards that parsed whole.
+            return checkpoint;
         }
         checkpoint.shards.push_back(std::move(shard));
     }
     return checkpoint;
+}
+
+} // namespace
+
+std::optional<CharCheckpoint> load_checkpoint(const std::filesystem::path& path,
+                                              std::size_t first_shard)
+{
+    bool damaged = false;
+    std::string detail;
+    return parse_checkpoint(path, first_shard, /*strict=*/true, damaged, detail);
+}
+
+CheckpointSalvage salvage_checkpoint(const std::filesystem::path& path,
+                                     std::size_t first_shard)
+{
+    CheckpointSalvage salvage;
+    bool damaged = false;
+    salvage.checkpoint =
+        parse_checkpoint(path, first_shard, /*strict=*/false, damaged, salvage.detail);
+    salvage.clean = !damaged;
+    return salvage;
 }
 
 } // namespace hdpm::core

@@ -47,7 +47,34 @@ void save_checkpoint(const std::filesystem::path& path,
 /// does not exist; throws FaultError(CheckpointCorrupt) when the file
 /// exists but is malformed (e.g. the short write of a killed run under a
 /// non-atomic filesystem, or bit rot).
+///
+/// @p first_shard is the plan index the journal's shard block sequence must
+/// start at: 0 for a whole-run checkpoint, the range start for a fleet
+/// worker's per-range journal. Blocks must be contiguous from there.
 [[nodiscard]] std::optional<CharCheckpoint> load_checkpoint(
-    const std::filesystem::path& path);
+    const std::filesystem::path& path, std::size_t first_shard = 0);
+
+/// Outcome of a tolerant journal read (see salvage_checkpoint).
+struct CheckpointSalvage {
+    /// The longest valid prefix of the journal's shard blocks; nullopt when
+    /// the file does not exist or its identity header is unusable.
+    std::optional<CharCheckpoint> checkpoint;
+    /// False when any damage was found (a torn tail was dropped, or the
+    /// header was unreadable). The caller should quarantine the file as
+    /// evidence before republishing over it.
+    bool clean = true;
+    /// What was wrong, when !clean.
+    std::string detail;
+};
+
+/// Tolerantly load a journal: where load_checkpoint throws on the torn tail
+/// a killed writer leaves behind, this drops the damaged suffix and returns
+/// every shard block that parsed whole, so a resume can keep the surviving
+/// work instead of recharacterizing from scratch. Damage mid-shard drops
+/// that whole shard (its record block is not trusted once torn). Never
+/// throws CheckpointCorrupt; filesystem-level open failures read as
+/// "no checkpoint".
+[[nodiscard]] CheckpointSalvage salvage_checkpoint(
+    const std::filesystem::path& path, std::size_t first_shard = 0);
 
 } // namespace hdpm::core

@@ -270,6 +270,25 @@ EnhancedHdModel ModelLibrary::get_or_characterize_enhanced(
         });
 }
 
+void ModelLibrary::store_basic(dp::ModuleType type, std::span<const int> widths,
+                               const CharacterizationOptions& options,
+                               const HdModel& model) const
+{
+    (void)load_or_build<HdModel>(basic_path(type, widths),
+                                 characterization_fingerprint(options, sim_options_),
+                                 [&] { return model; });
+}
+
+void ModelLibrary::store_enhanced(dp::ModuleType type, std::span<const int> widths,
+                                  int zero_clusters,
+                                  const CharacterizationOptions& options,
+                                  const EnhancedHdModel& model) const
+{
+    (void)load_or_build<EnhancedHdModel>(
+        enhanced_path(type, widths, zero_clusters),
+        characterization_fingerprint(options, sim_options_), [&] { return model; });
+}
+
 void ModelLibrary::clear() const
 {
     for (const auto& entry : std::filesystem::directory_iterator{directory_}) {

@@ -78,6 +78,19 @@ public:
         dp::ModuleType type, std::span<const int> widths, int zero_clusters = 0,
         const CharacterizationOptions& options = {}) const;
 
+    /// Publish a model fitted elsewhere (e.g. by the fleet coordinator from
+    /// merged worker journals) under the exact key, fingerprint header, and
+    /// atomic tmp+rename discipline get_or_characterize uses. The stored
+    /// file is byte-identical to what a single-process characterization
+    /// under @p options would have written from the same records. A current
+    /// stored model for the key is kept (first-published-wins — safe
+    /// because characterization is deterministic).
+    void store_basic(dp::ModuleType type, std::span<const int> widths,
+                     const CharacterizationOptions& options, const HdModel& model) const;
+    void store_enhanced(dp::ModuleType type, std::span<const int> widths,
+                        int zero_clusters, const CharacterizationOptions& options,
+                        const EnhancedHdModel& model) const;
+
     /// Remove every stored model (e.g. after a technology change).
     void clear() const;
 

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "core/characterize.hpp"
+
+namespace hdpm::fleet {
+
+/// Filesystem primitives of the fleet coordination protocol. Everything in
+/// a fleet run lives in one shared directory (local or network filesystem):
+///
+///   plan.fleet            the coordinator's published stimulus plan
+///   range_<S>.lease       a worker's claim on shards [S, S+count)
+///   range_<S>.done        the range's completed record blocks (journal)
+///
+/// Claims are `open(O_CREAT|O_EXCL)` — the filesystem's atomic test-and-set
+/// — heartbeats refresh the lease file's mtime, and results are published
+/// first-wins with `link()` (a second publisher of the same range gets
+/// EEXIST, which is safe to discard because shards are deterministic: both
+/// payloads are byte-identical). The plan and every journal publish go
+/// through a sibling tmp + atomic rename, so no reader ever observes a
+/// half-written file.
+
+/// Coordination file names inside the fleet directory.
+inline constexpr const char* kPlanFileName = "plan.fleet";
+[[nodiscard]] std::string lease_name(std::size_t range_start);
+[[nodiscard]] std::string done_name(std::size_t range_start);
+
+/// Payload of a lease file: who holds the range, and a claim token so a
+/// worker can tell its own lease from a successor's after an expiry.
+struct LeaseInfo {
+    std::string worker;      ///< claiming worker's id (diagnostics)
+    std::uint64_t token = 0; ///< ownership token, checked on heartbeat
+    std::size_t start = 0;   ///< first shard of the leased range
+    std::size_t count = 0;   ///< shards in the range
+};
+
+/// The coordinator's published plan: the full identity of the stimulus
+/// plan (the same fingerprint the checkpoint journal and model library
+/// use), so a worker started with mismatched options refuses loudly
+/// instead of contributing foreign records.
+struct FleetPlan {
+    std::uint64_t fingerprint = 0; ///< characterization_fingerprint
+    std::string module_key;        ///< module identity (name + widths)
+    int input_bits = 0;            ///< m
+    std::size_t num_shards = 0;    ///< shards in the plan
+    std::size_t shard_size = 0;    ///< transitions per shard
+    std::size_t lease_shards = 0;  ///< shards per leased range
+    bool enhanced = false;         ///< fit the enhanced (Hd, zeros) model
+    int zero_clusters = 0;         ///< enhanced-model cluster count
+};
+
+/// The effective characterization options a fleet plan runs under. The
+/// single-process entry points resolve an unset stimulus mode at different
+/// layers (Characterizer::characterize_enhanced pins StratifiedPairs before
+/// collect_records; the basic path leaves the mode unset and lets the shard
+/// loop default to StratifiedChain), and the resolution is fingerprinted —
+/// so coordinator and workers must resolve identically or their
+/// fingerprints diverge. This is that one shared resolution.
+[[nodiscard]] core::CharacterizationOptions resolve_plan_options(
+    core::CharacterizationOptions options, bool enhanced);
+
+/// Number of leased ranges in a plan (ceil division).
+[[nodiscard]] std::size_t num_ranges(const FleetPlan& plan) noexcept;
+
+/// Shards in the range starting at @p start (the last range may be short).
+[[nodiscard]] std::size_t range_count(const FleetPlan& plan,
+                                      std::size_t start) noexcept;
+
+/// Atomically publish @p plan as <dir>/plan.fleet (tmp + rename). Throws
+/// FaultError{IoError} when the filesystem refuses.
+void write_plan(const std::filesystem::path& dir, const FleetPlan& plan);
+
+/// Load a published plan. Returns nullopt when none is published yet;
+/// throws FaultError{ProtocolError} when the file exists but is malformed
+/// (the publish is atomic, so damage means corruption, not a race).
+[[nodiscard]] std::optional<FleetPlan> read_plan(const std::filesystem::path& dir);
+
+/// Claim @p path with O_CREAT|O_EXCL and write @p info. Returns false when
+/// the lease is already held (EEXIST); throws FaultError{IoError} on any
+/// other failure. The LeaseCorrupt fault-injection point corrupts the
+/// payload on its way to disk (behind an intact header line).
+[[nodiscard]] bool claim_lease(const std::filesystem::path& path,
+                               const LeaseInfo& info);
+
+/// Outcome of reading a lease file.
+enum class LeaseRead {
+    Missing, ///< no lease file
+    Corrupt, ///< present but unparseable (torn write or bit rot)
+    Ok,      ///< parsed
+};
+
+[[nodiscard]] LeaseRead read_lease(const std::filesystem::path& path, LeaseInfo& out);
+
+/// Refresh the lease's heartbeat (set its mtime to now). Returns false when
+/// the lease file is gone — the holder's cue that its lease expired and was
+/// re-leased; it must abandon the range without publishing. The
+/// HeartbeatSkew fault-injection point writes a far-future mtime instead,
+/// modelling a worker whose clock jumped.
+[[nodiscard]] bool heartbeat_lease(const std::filesystem::path& path);
+
+/// Milliseconds since the file's last heartbeat (mtime). Negative when the
+/// mtime is in the future (clock skew — the caller should clamp and count).
+/// nullopt when the file is gone.
+[[nodiscard]] std::optional<double> file_age_ms(const std::filesystem::path& path);
+
+/// Set a damaged coordination file aside as <path>.corrupt (keep the
+/// evidence, free the name). Falls back to removal when the rename fails;
+/// returns false when the file was already gone.
+bool quarantine_file(const std::filesystem::path& path);
+
+/// Publish @p tmp at @p final first-wins: link() the finished payload to
+/// the final name and unlink the tmp. Returns true when this call won the
+/// name, false when a sibling published first (EEXIST — the duplicate is
+/// discarded). Throws FaultError{IoError} on any other failure.
+[[nodiscard]] bool publish_first_wins(const std::filesystem::path& tmp,
+                                      const std::filesystem::path& final_path);
+
+} // namespace hdpm::fleet

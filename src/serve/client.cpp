@@ -1,15 +1,20 @@
 #include "serve/client.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "util/error.hpp"
@@ -38,7 +43,111 @@ void apply_timeout(int fd, double seconds)
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
+/// connect() bounded by a deadline: the socket goes non-blocking for the
+/// connect itself, poll() waits for writability, SO_ERROR yields the real
+/// outcome, and blocking mode is restored before returning. A plain
+/// blocking connect can hang for minutes (kernel SYN retries) against a
+/// dead peer; a serving client needs its failure within its own deadline.
+/// seconds <= 0 degenerates to the blocking call. Closes @p fd and throws
+/// on failure.
+void connect_or_fail(int fd, const sockaddr* addr, socklen_t len,
+                     const std::string& where, double seconds)
+{
+    if (seconds <= 0.0) {
+        if (::connect(fd, addr, len) != 0) {
+            ::close(fd);
+            io_fail("connect " + where);
+        }
+        return;
+    }
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, addr, len) != 0) {
+        if (errno != EINPROGRESS && errno != EAGAIN) {
+            ::close(fd);
+            io_fail("connect " + where);
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        const int timeout_ms =
+            static_cast<int>(std::min(seconds * 1000.0, 2.0e9 /* < INT_MAX */));
+        int ready = 0;
+        do {
+            ready = ::poll(&pfd, 1, timeout_ms);
+        } while (ready < 0 && errno == EINTR);
+        if (ready == 0) {
+            ::close(fd);
+            errno = ETIMEDOUT;
+            io_fail("connect " + where);
+        }
+        if (ready < 0) {
+            ::close(fd);
+            io_fail("poll(connect " + where + ")");
+        }
+        int soerr = 0;
+        socklen_t soerr_len = sizeof(soerr);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len);
+        if (soerr != 0) {
+            ::close(fd);
+            errno = soerr;
+            io_fail("connect " + where);
+        }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+}
+
+/// Run @p attempt_connect under @p policy, sleeping the jittered backoff
+/// between tries; throws FaultError{RetriesExhausted} when the budget is
+/// spent, with the attempt count and last failure in the detail.
+template <typename Fn>
+ServeClient retry_connect(const RetryPolicy& policy, const std::string& where,
+                          Fn&& attempt_connect)
+{
+    const unsigned attempts = std::max(1U, policy.max_attempts);
+    double waited_ms = 0.0;
+    unsigned made = 0;
+    std::string last_error = "no attempt made";
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        try {
+            ++made;
+            return attempt_connect();
+        } catch (const util::FaultError& error) {
+            if (error.kind() != util::FaultKind::IoError) {
+                throw; // not a connectivity failure — don't mask it
+            }
+            last_error = error.context().detail;
+        }
+        if (attempt == attempts) {
+            break;
+        }
+        const double delay = policy.delay_ms(attempt);
+        if (waited_ms + delay > policy.budget_ms) {
+            break; // time budget spent before the attempt budget
+        }
+        waited_ms += delay;
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>{delay});
+    }
+    util::FaultContext context;
+    context.component = "serve::ServeClient";
+    context.detail = "connect " + where + " failed after " + std::to_string(made) +
+                     " attempt(s): " + last_error;
+    throw util::FaultError{util::FaultKind::RetriesExhausted, std::move(context)};
+}
+
 } // namespace
+
+double RetryPolicy::delay_ms(unsigned attempt) const noexcept
+{
+    const double uncapped =
+        base_delay_ms * std::pow(2.0, static_cast<double>(attempt - 1));
+    const double capped = std::min(uncapped, max_delay_ms);
+    // splitmix64 over (seed, attempt): deterministic per-client jitter.
+    std::uint64_t z = jitter_seed + 0x9e3779b97f4a7c15ULL * (attempt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;
+    return capped * (0.5 + 0.5 * unit);
+}
 
 ServeClient ServeClient::connect_unix(const std::string& path, double timeout_seconds)
 {
@@ -51,10 +160,8 @@ ServeClient ServeClient::connect_unix(const std::string& path, double timeout_se
     HDPM_REQUIRE(path.size() < sizeof(addr.sun_path),
                  "unix socket path too long: ", path);
     std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-        ::close(fd);
-        io_fail("connect " + path);
-    }
+    connect_or_fail(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr), path,
+                    timeout_seconds);
     apply_timeout(fd, timeout_seconds);
     return ServeClient{fd};
 }
@@ -69,14 +176,28 @@ ServeClient ServeClient::connect_tcp(std::uint16_t port, double timeout_seconds)
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-        ::close(fd);
-        io_fail("connect 127.0.0.1:" + std::to_string(port));
-    }
+    connect_or_fail(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+                    "127.0.0.1:" + std::to_string(port), timeout_seconds);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     apply_timeout(fd, timeout_seconds);
     return ServeClient{fd};
+}
+
+ServeClient ServeClient::connect_unix_retry(const std::string& path,
+                                            const RetryPolicy& policy,
+                                            double timeout_seconds)
+{
+    return retry_connect(policy, path,
+                         [&] { return connect_unix(path, timeout_seconds); });
+}
+
+ServeClient ServeClient::connect_tcp_retry(std::uint16_t port,
+                                           const RetryPolicy& policy,
+                                           double timeout_seconds)
+{
+    return retry_connect(policy, "127.0.0.1:" + std::to_string(port),
+                         [&] { return connect_tcp(port, timeout_seconds); });
 }
 
 ServeClient::~ServeClient()

@@ -29,6 +29,25 @@ private:
     std::uint8_t status_;
 };
 
+/// Bounded exponential-backoff schedule for reconnect loops. The wait
+/// before retry k (1-based) is base_delay_ms * 2^(k-1), capped at
+/// max_delay_ms, scaled by a deterministic jitter in [0.5, 1.0] derived
+/// from (jitter_seed, k) — so a fleet of clients with distinct seeds
+/// spreads its retries instead of stampeding, and a test with a fixed
+/// seed sees the exact same schedule every run. The loop stops after
+/// max_attempts tries or once the waits would exceed budget_ms in total,
+/// whichever comes first.
+struct RetryPolicy {
+    unsigned max_attempts = 1;   ///< total connection attempts (1 = no retry)
+    double base_delay_ms = 50.0; ///< backoff before the first retry
+    double max_delay_ms = 2000.0; ///< per-wait cap
+    double budget_ms = 15000.0;   ///< total wait budget across all retries
+    std::uint64_t jitter_seed = 1;
+
+    /// The jittered wait (ms) before 1-based retry @p attempt.
+    [[nodiscard]] double delay_ms(unsigned attempt) const noexcept;
+};
+
 /// Blocking hdpowerd client on one connection. Request methods
 /// (ping/estimate/...) are strict request-response; the enqueue_*/flush/
 /// read_* half exposes the same messages in pipelined form — queue many
@@ -38,13 +57,29 @@ private:
 /// Not thread-safe: one ServeClient per connection per thread.
 class ServeClient {
 public:
-    /// Connect to a Unix-domain socket path.
+    /// Connect to a Unix-domain socket path. @p timeout_seconds bounds the
+    /// connect itself (non-blocking connect + poll) as well as every later
+    /// send/recv on the connection; <= 0 disables both deadlines.
     [[nodiscard]] static ServeClient connect_unix(const std::string& path,
                                                   double timeout_seconds = 30.0);
 
-    /// Connect to 127.0.0.1:port.
+    /// Connect to 127.0.0.1:port (same deadline semantics as connect_unix).
     [[nodiscard]] static ServeClient connect_tcp(std::uint16_t port,
                                                  double timeout_seconds = 30.0);
+
+    /// connect_unix under a RetryPolicy: refused/timed-out connects are
+    /// retried with jittered exponential backoff. Throws
+    /// FaultError{RetriesExhausted} — detail carries the attempt count and
+    /// the last failure — once the policy's attempt or time budget is
+    /// spent.
+    [[nodiscard]] static ServeClient connect_unix_retry(
+        const std::string& path, const RetryPolicy& policy,
+        double timeout_seconds = 30.0);
+
+    /// connect_tcp under a RetryPolicy (see connect_unix_retry).
+    [[nodiscard]] static ServeClient connect_tcp_retry(
+        std::uint16_t port, const RetryPolicy& policy,
+        double timeout_seconds = 30.0);
 
     ~ServeClient();
     ServeClient(ServeClient&& other) noexcept;

@@ -303,6 +303,7 @@ void encode_server_stats(WireWriter& w, const ServerStatsReply& stats)
     // The caller writes the leading status byte (symmetric with decode).
     w.u64(stats.connections_accepted);
     w.u64(stats.connections_shed);
+    w.u64(stats.connections_idle_closed);
     w.u64(stats.requests);
     w.u64(stats.estimates);
     w.u64(stats.errors);
@@ -322,6 +323,7 @@ ServerStatsReply decode_server_stats(WireReader& r)
     ServerStatsReply stats;
     stats.connections_accepted = r.u64();
     stats.connections_shed = r.u64();
+    stats.connections_idle_closed = r.u64();
     stats.requests = r.u64();
     stats.estimates = r.u64();
     stats.errors = r.u64();

@@ -104,6 +104,7 @@ struct EstimateReply {
 struct ServerStatsReply {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_shed = 0;
+    std::uint64_t connections_idle_closed = 0;
     std::uint64_t requests = 0;
     std::uint64_t estimates = 0;
     std::uint64_t errors = 0;

@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -257,8 +258,40 @@ void Server::serve_connection(int fd, core::EstimationEngine& engine)
     std::vector<std::uint8_t> out;
     std::size_t parsed = 0; // bytes of `in` already consumed
     std::array<std::uint8_t, 64 * 1024> chunk;
+    Clock::time_point last_frame = Clock::now();
 
     while (true) {
+        if (options_.idle_timeout_ms > 0) {
+            // Idle deadline, measured since the last complete frame: a
+            // slow-loris peer dripping single bytes keeps recv() lively but
+            // never completes a request, so waiting for mere readability
+            // would pin this worker forever. Wait only for the remaining
+            // idle budget, then give the connection back.
+            const auto idle_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                     Clock::now() - last_frame)
+                                     .count();
+            const long long remaining =
+                static_cast<long long>(options_.idle_timeout_ms) - idle_ms;
+            if (remaining <= 0) {
+                counters_.connections_idle_closed.fetch_add(1,
+                                                            std::memory_order_relaxed);
+                break;
+            }
+            pollfd pfd{fd, POLLIN, 0};
+            const int ready = ::poll(
+                &pfd, 1, static_cast<int>(std::min<long long>(remaining, 1 << 30)));
+            if (ready < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                break;
+            }
+            if (ready == 0) {
+                counters_.connections_idle_closed.fetch_add(1,
+                                                            std::memory_order_relaxed);
+                break;
+            }
+        }
         const ssize_t got = ::recv(fd, chunk.data(), chunk.size(), 0);
         if (got < 0) {
             if (errno == EINTR) {
@@ -300,6 +333,7 @@ void Server::serve_connection(int fd, core::EstimationEngine& engine)
             const std::span<const std::uint8_t> payload{in.data() + parsed + 4, length};
             append_frame(out, handle_request(payload, engine));
             parsed += 4 + std::size_t{length};
+            last_frame = Clock::now();
             if (out.size() >= kFlushBytes) {
                 send_all(fd, out);
             }
@@ -495,6 +529,7 @@ ServerStatsReply Server::stats_snapshot() const
     ServerStatsReply stats;
     stats.connections_accepted = counters_.connections_accepted.load();
     stats.connections_shed = counters_.connections_shed.load();
+    stats.connections_idle_closed = counters_.connections_idle_closed.load();
     stats.requests = counters_.requests.load();
     stats.estimates = counters_.estimates.load();
     stats.errors = counters_.errors.load();

@@ -62,6 +62,13 @@ struct ServerOptions {
     /// Largest accepted request frame.
     std::uint32_t max_frame = kDefaultMaxFrame;
 
+    /// Idle-connection deadline, measured since the last *complete* frame
+    /// (not the last byte, so a slow-loris drip of one byte per second
+    /// cannot hold a worker forever). A connection that goes this long
+    /// without completing a request is closed and counted in
+    /// connections_idle_closed. 0 disables the deadline.
+    std::size_t idle_timeout_ms = 0;
+
     /// drain() grace period. shutdown(SHUT_RD) unblocks workers stuck in
     /// recv(), but a worker blocked in send() to a peer that stopped
     /// reading is not woken by a read-side cut; after this deadline drain()
@@ -77,6 +84,7 @@ struct ServerOptions {
 struct ServerCounters {
     std::atomic<std::uint64_t> connections_accepted{0};
     std::atomic<std::uint64_t> connections_shed{0};
+    std::atomic<std::uint64_t> connections_idle_closed{0};
     std::atomic<std::uint64_t> requests{0};
     std::atomic<std::uint64_t> estimates{0};
     std::atomic<std::uint64_t> errors{0};

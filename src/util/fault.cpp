@@ -25,6 +25,12 @@ const char* fault_kind_name(FaultKind kind) noexcept
         return "Overloaded";
     case FaultKind::ProtocolError:
         return "ProtocolError";
+    case FaultKind::LeaseExpired:
+        return "LeaseExpired";
+    case FaultKind::WorkerLost:
+        return "WorkerLost";
+    case FaultKind::RetriesExhausted:
+        return "RetriesExhausted";
     }
     return "UnknownFault";
 }

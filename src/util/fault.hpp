@@ -49,6 +49,25 @@ enum class FaultKind : std::uint8_t {
     /// frame, out-of-range field). The offending connection is closed
     /// after the error response; other connections are unaffected.
     ProtocolError,
+
+    /// A fleet worker's lease on a shard range expired (its heartbeat went
+    /// stale past the TTL) and the range was handed to another worker. A
+    /// worker observing its own lease gone must abandon the range without
+    /// publishing; the context carries the range so the abandonment is
+    /// replayable.
+    LeaseExpired,
+
+    /// The fleet coordinator observed a worker die (lease expired with no
+    /// published result, or a corrupt lease file left behind by a kill).
+    /// Informational on the coordinator side: the range is re-leased and
+    /// the run continues; strict runs can escalate.
+    WorkerLost,
+
+    /// A bounded retry loop (e.g. a client reconnect with exponential
+    /// backoff) exhausted its attempt or time budget without succeeding.
+    /// The context's detail records the attempts made and the last
+    /// underlying failure.
+    RetriesExhausted,
 };
 
 /// Stable short name of a fault kind (for logs, reports and tests).
@@ -104,9 +123,11 @@ enum class FaultPoint : std::uint8_t {
     EventBudget,          ///< force the event budget to zero for one apply
     RegressionRank,       ///< degrade normal equations to rank one
     CheckpointShortWrite, ///< truncate a checkpoint journal before publish
+    LeaseCorrupt,         ///< corrupt a fleet lease payload before publish
+    HeartbeatSkew,        ///< backdate a heartbeat as if the clock jumped
 };
 
-inline constexpr std::size_t kNumFaultPoints = 6;
+inline constexpr std::size_t kNumFaultPoints = 8;
 
 /// A deterministic, seeded fault injector for end-to-end testing of every
 /// degradation path. Each point is armed with a countdown: the N-th time

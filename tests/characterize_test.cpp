@@ -491,7 +491,7 @@ TEST(Checkpoint, InterruptedRunResumesBitIdenticallyAcrossExecutionKnobs)
     }
 }
 
-TEST(Checkpoint, CorruptJournalIsQuarantinedAndRunStartsFresh)
+TEST(Checkpoint, CorruptJournalIsQuarantinedAndItsWholePrefixSalvaged)
 {
     const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 4);
     const auto baseline = collect_pairs(module, WarmupMode::Batched, 1,
@@ -503,9 +503,12 @@ TEST(Checkpoint, CorruptJournalIsQuarantinedAndRunStartsFresh)
                                                   sim::SchedulerKind::TimingWheel,
                                                   journal, nullptr, 3),
                  AbortRun);
+    const std::size_t published = load_checkpoint(journal)->shards.size();
+    ASSERT_GE(published, 1U);
 
     // Chop the journal's tail — the short write of a kill on a filesystem
-    // without atomic rename.
+    // without atomic rename. The damage lands in the last shard block;
+    // every earlier block is still whole.
     const auto size = std::filesystem::file_size(journal);
     ASSERT_GT(size, 20U);
     std::filesystem::resize_file(journal, size - 20);
@@ -514,8 +517,12 @@ TEST(Checkpoint, CorruptJournalIsQuarantinedAndRunStartsFresh)
     const auto records = collect_pairs_checkpointed(module, WarmupMode::Batched, 1,
                                                     sim::SchedulerKind::TimingWheel,
                                                     journal, &stats, 0);
+    // The damaged file itself is never trusted again, but the whole-shard
+    // prefix inside it is salvaged and resumed; only the torn tail is
+    // re-simulated.
     EXPECT_TRUE(stats.checkpoint_discarded);
-    EXPECT_EQ(stats.shards_resumed, 0U);
+    EXPECT_EQ(stats.checkpoint_salvaged, published > 1);
+    EXPECT_EQ(stats.shards_resumed, published - 1);
     expect_identical_records(baseline, records, "corrupt journal");
     // The damaged journal was set aside for inspection, not destroyed.
     EXPECT_TRUE(std::filesystem::exists(journal.string() + ".corrupt"));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/characterize.hpp"
+#include "core/checkpoint.hpp"
 #include "core/model_library.hpp"
 #include "core/regression.hpp"
 #include "dpgen/module.hpp"
@@ -362,15 +363,81 @@ TEST(FaultInjection, CorruptedCheckpointPublishIsQuarantinedOnResume)
     }
     ASSERT_TRUE(std::filesystem::exists(journal));
 
-    // Resume: the damaged journal must be set aside, not trusted, and the
-    // fresh run must still match the uninterrupted baseline exactly.
+    // Resume: the damaged journal must be set aside as evidence, its
+    // surviving whole-shard prefix (if any) salvaged rather than discarded
+    // wholesale, and the run must still match the uninterrupted baseline
+    // exactly. The journal held 2 shards when the truncation hit, so at
+    // most 1 whole shard can have survived the damage.
     CharacterizationOptions options = small_plan();
     options.checkpoint = journal;
     CharRunStats stats;
     options.stats = &stats;
     const auto records = characterizer.collect_records(module, options);
     EXPECT_TRUE(stats.checkpoint_discarded);
-    EXPECT_EQ(stats.shards_resumed, 0U);
+    EXPECT_LT(stats.shards_resumed, 2U);
+    EXPECT_EQ(stats.checkpoint_salvaged, stats.shards_resumed > 0);
+    ASSERT_EQ(records.size(), baseline.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        ASSERT_EQ(records[i].charge_fc, baseline[i].charge_fc) << "record " << i;
+        ASSERT_EQ(records[i].toggle_mask, baseline[i].toggle_mask) << "record " << i;
+    }
+    EXPECT_TRUE(std::filesystem::exists(journal.string() + ".corrupt"));
+    std::filesystem::remove(journal.string() + ".corrupt");
+}
+
+// No injection hooks needed: the torn tail is made by hand, so this runs
+// (and stays deterministic) in every build type.
+TEST(FaultInjection, TornCheckpointTailIsSalvagedToWholeShardPrefix)
+{
+    const DatapathModule module = dp::make_module(ModuleType::RippleAdder, 2);
+    const Characterizer characterizer;
+    const std::filesystem::path journal =
+        std::filesystem::path{::testing::TempDir()} / "torn_tail.journal";
+    std::filesystem::remove(journal);
+
+    const auto baseline = characterizer.collect_records(module, small_plan());
+
+    // Leave a healthy multi-shard journal behind by aborting mid-run.
+    struct AbortRun {};
+    {
+        CharacterizationOptions options = small_plan();
+        options.checkpoint = journal;
+        options.progress = [](const CharProgress& p) {
+            if (p.shards_merged >= 3) {
+                throw AbortRun{};
+            }
+        };
+        EXPECT_THROW((void)characterizer.collect_records(module, options), AbortRun);
+    }
+    ASSERT_TRUE(std::filesystem::exists(journal));
+    const auto whole = load_checkpoint(journal);
+    ASSERT_TRUE(whole.has_value());
+    const std::size_t published = whole->shards.size();
+    ASSERT_GE(published, 2U);
+
+    // Tear the tail the way a kill mid-write on a non-atomic filesystem
+    // would: the last few bytes vanish, damaging the final shard block.
+    const std::uintmax_t size = std::filesystem::file_size(journal);
+    ASSERT_GT(size, 10U);
+    std::filesystem::resize_file(journal, size - 10);
+
+    // The tolerant reader keeps exactly the whole-shard prefix.
+    const CheckpointSalvage salvage = salvage_checkpoint(journal);
+    EXPECT_FALSE(salvage.clean);
+    ASSERT_TRUE(salvage.checkpoint.has_value());
+    EXPECT_EQ(salvage.checkpoint->shards.size(), published - 1);
+
+    // Resume: the surviving shards are replayed, only the torn tail is
+    // re-simulated, the damaged file is quarantined, and the records are
+    // bit-identical to the uninterrupted baseline.
+    CharacterizationOptions options = small_plan();
+    options.checkpoint = journal;
+    CharRunStats stats;
+    options.stats = &stats;
+    const auto records = characterizer.collect_records(module, options);
+    EXPECT_TRUE(stats.checkpoint_discarded);
+    EXPECT_TRUE(stats.checkpoint_salvaged);
+    EXPECT_EQ(stats.shards_resumed, published - 1);
     ASSERT_EQ(records.size(), baseline.size());
     for (std::size_t i = 0; i < records.size(); ++i) {
         ASSERT_EQ(records[i].charge_fc, baseline[i].charge_fc) << "record " << i;

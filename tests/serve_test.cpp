@@ -6,6 +6,7 @@
 /// characterize-on-miss across concurrent connections, and the clean
 /// SIGTERM-style drain.
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -473,4 +474,131 @@ TEST(Serve, DrainAnswersAcceptedWorkThenCloses)
     serve::ServeClient again = serve::ServeClient::connect_unix(options.unix_path);
     again.ping();
     second.drain();
+}
+
+TEST(Serve, RetryPolicyBackoffIsBoundedAndDeterministic)
+{
+    serve::RetryPolicy policy;
+    policy.base_delay_ms = 50.0;
+    policy.max_delay_ms = 400.0;
+    policy.jitter_seed = 11;
+
+    serve::RetryPolicy same = policy;
+    double previous_cap = 0.0;
+    for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+        const double cap =
+            std::min(policy.max_delay_ms, 50.0 * static_cast<double>(1U << (attempt - 1)));
+        const double delay = policy.delay_ms(attempt);
+        EXPECT_GE(delay, 0.5 * cap) << "attempt " << attempt;
+        EXPECT_LE(delay, cap) << "attempt " << attempt;
+        EXPECT_GE(cap, previous_cap); // schedule never shrinks
+        previous_cap = cap;
+        // Same (seed, attempt) -> the exact same jittered wait.
+        EXPECT_EQ(delay, same.delay_ms(attempt)) << "attempt " << attempt;
+    }
+    // A different seed spreads its retries differently (no stampede).
+    serve::RetryPolicy other = policy;
+    other.jitter_seed = 12;
+    EXPECT_NE(policy.delay_ms(1), other.delay_ms(1));
+}
+
+TEST(Serve, ConnectRetryExhaustsWithAStructuredFault)
+{
+    // Nothing listens on this path: every attempt is refused, the backoff
+    // runs its bounded course, and the caller gets a typed
+    // RetriesExhausted with the attempt count — not a hang, not a bare
+    // errno string.
+    serve::RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.base_delay_ms = 5.0;
+    policy.max_delay_ms = 10.0;
+    policy.jitter_seed = 7;
+    const std::string path = (test_dir() / "nobody_home.sock").string();
+    try {
+        (void)serve::ServeClient::connect_unix_retry(path, policy, 1.0);
+        FAIL() << "connect to a dead path must exhaust its retries";
+    } catch (const util::FaultError& error) {
+        EXPECT_EQ(error.kind(), util::FaultKind::RetriesExhausted);
+        EXPECT_NE(error.context().detail.find("3 attempt(s)"), std::string::npos)
+            << error.context().detail;
+    }
+}
+
+TEST(Serve, ConnectRetryRidesOutADaemonStillComingUp)
+{
+    serve::ServerOptions options = quick_options("late_start.sock");
+    serve::Server server{options};
+    std::thread starter{[&server] {
+        std::this_thread::sleep_for(std::chrono::milliseconds{150});
+        server.start();
+    }};
+
+    // The client arrives before the listener exists; the retry loop must
+    // absorb the refused connects until the daemon is up.
+    serve::RetryPolicy policy;
+    policy.max_attempts = 100;
+    policy.base_delay_ms = 20.0;
+    policy.max_delay_ms = 40.0;
+    policy.jitter_seed = 3;
+    serve::ServeClient client =
+        serve::ServeClient::connect_unix_retry(options.unix_path, policy, 5.0);
+    client.ping();
+    starter.join();
+    server.drain();
+}
+
+TEST(Serve, IdleConnectionIsClosedByTheDeadline)
+{
+    serve::ServerOptions options = quick_options("idle.sock");
+    options.idle_timeout_ms = 150;
+    serve::Server server{options};
+    server.start();
+
+    serve::ServeClient idle = serve::ServeClient::connect_unix(options.unix_path);
+    idle.ping(); // a completed request arms the idle clock afresh
+
+    // The server must cut the connection on its own once no further
+    // complete request arrives within the deadline.
+    const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds{5};
+    while (server.counters().connections_idle_closed.load() == 0 &&
+           std::chrono::steady_clock::now() < give_up) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    }
+    EXPECT_EQ(server.counters().connections_idle_closed.load(), 1U);
+    EXPECT_THROW(idle.ping(), util::FaultError);
+
+    // The deadline sheds only idle connections: a fresh client is served,
+    // and the stats reply carries the idle-close count on the wire.
+    serve::ServeClient fresh = serve::ServeClient::connect_unix(options.unix_path);
+    const serve::ServerStatsReply stats = fresh.stats();
+    EXPECT_GE(stats.connections_idle_closed, 1U);
+    server.drain();
+}
+
+TEST(Serve, SlowLorisPartialFrameIsCutByIdleDeadline)
+{
+    serve::ServerOptions options = quick_options("loris.sock");
+    options.idle_timeout_ms = 150;
+    serve::Server server{options};
+    server.start();
+
+    // Drip bytes of a never-completed frame, faster than the deadline: the
+    // clock runs from the last complete request, so steady traffic that
+    // never finishes a frame must not hold the worker.
+    serve::ServeClient loris = serve::ServeClient::connect_unix(options.unix_path);
+    const std::uint8_t prefix[4] = {0x40, 0, 0, 0}; // honest 64-byte frame claim
+    ASSERT_EQ(::send(loris.fd(), prefix, sizeof prefix, MSG_NOSIGNAL), 4);
+    const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds{5};
+    const std::uint8_t drip = 0; // payload arrives one byte per 20 ms
+    while (server.counters().connections_idle_closed.load() == 0 &&
+           std::chrono::steady_clock::now() < give_up) {
+        (void)::send(loris.fd(), &drip, 1, MSG_NOSIGNAL);
+        std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    }
+    EXPECT_EQ(server.counters().connections_idle_closed.load(), 1U);
+
+    // The server stays healthy for well-behaved clients.
+    serve::ServeClient fresh = serve::ServeClient::connect_unix(options.unix_path);
+    fresh.ping();
+    server.drain();
 }
