@@ -646,6 +646,138 @@ std::string run_char_backend()
     return json.str();
 }
 
+/// Multi-corner amortization on the 16-bit CSA multiplier: K = 8 operating
+/// corners characterized as 8 independent single-corner runs versus one
+/// collect_records_corners sweep, per backend. The event kernel simulates
+/// only the reference corner exactly and scores the rest through calibrated
+/// transfer weights — the tentpole claim is ≥ 5× end-to-end amortization.
+/// The emulation backend's per-corner sweep blocks must additionally be
+/// bit-identical to the independent runs (verified record by record).
+/// Returns a JSON fragment for BENCH_speed.json.
+std::string run_multi_corner()
+{
+    const dp::DatapathModule module = dp::make_module(dp::ModuleType::CsaMultiplier, 16);
+
+    std::vector<gate::Corner> corners;
+    for (const double vdd : {3.3, 3.0, 2.7, 2.5}) {
+        for (const double temp : {25.0, 85.0}) {
+            corners.push_back({vdd, temp, gate::LoadClass::Nominal});
+        }
+    }
+
+    core::CharacterizationOptions base;
+    base.max_transitions = 10000;
+    base.min_transitions = 10000; // fixed workload: no early convergence stop
+    base.batch = 10000;
+    base.shard_size = 1000;
+    base.seed = 77;
+    base.mode = core::StimulusMode::StratifiedPairs;
+    base.calibration_pairs = 256;
+    base.threads = 1; // amortization is about work done, not parallelism
+
+    struct BackendRun {
+        core::CharBackend backend = core::CharBackend::EventKernel;
+        double independent_ms = 0.0;
+        double sweep_ms = 0.0;
+        double amortization = 0.0;
+        bool bit_identical = true; ///< checked for emulation only
+    };
+    const core::Characterizer characterizer;
+    std::vector<BackendRun> backends;
+
+    std::cout << "\nmulti-corner amortization (csa_multiplier 16x16, "
+              << corners.size() << " corners, " << base.max_transitions
+              << " pairs each, 1 thread):\n";
+    for (const core::CharBackend backend :
+         {core::CharBackend::EventKernel, core::CharBackend::PowerEmulation}) {
+        BackendRun run;
+        run.backend = backend;
+
+        std::vector<std::vector<core::CharacterizationRecord>> independent;
+        {
+            const auto start = std::chrono::steady_clock::now();
+            for (const gate::Corner& corner : corners) {
+                core::CharacterizationOptions options = base;
+                options.backend = backend;
+                options.corner = corner;
+                independent.push_back(characterizer.collect_records(module, options));
+            }
+            run.independent_ms = std::chrono::duration<double, std::milli>(
+                                     std::chrono::steady_clock::now() - start)
+                                     .count();
+        }
+
+        std::vector<std::vector<core::CharacterizationRecord>> sweep;
+        {
+            core::CharacterizationOptions options = base;
+            options.backend = backend;
+            options.corners = corners;
+            const auto start = std::chrono::steady_clock::now();
+            sweep = characterizer.collect_records_corners(module, options);
+            run.sweep_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+        }
+        run.amortization = run.independent_ms / run.sweep_ms;
+
+        if (backend == core::CharBackend::PowerEmulation) {
+            for (std::size_t k = 0; k < corners.size() && run.bit_identical; ++k) {
+                if (sweep[k].size() != independent[k].size()) {
+                    run.bit_identical = false;
+                    break;
+                }
+                for (std::size_t i = 0; i < sweep[k].size(); ++i) {
+                    const auto& a = independent[k][i];
+                    const auto& b = sweep[k][i];
+                    if (a.hd != b.hd || a.stable_zeros != b.stable_zeros ||
+                        a.toggle_mask != b.toggle_mask ||
+                        a.charge_fc != b.charge_fc) {
+                        run.bit_identical = false;
+                        break;
+                    }
+                }
+            }
+        }
+        backends.push_back(run);
+    }
+
+    util::TextTable table;
+    table.set_header({"backend", "8 independent [ms]", "1 sweep [ms]",
+                      "amortization", "emulation bit-identical"});
+    for (const BackendRun& run : backends) {
+        table.add_row({core::char_backend_name(run.backend),
+                       util::TextTable::fmt(run.independent_ms, 1),
+                       util::TextTable::fmt(run.sweep_ms, 1),
+                       util::TextTable::fmt(run.amortization, 1) + "x",
+                       run.backend == core::CharBackend::PowerEmulation
+                           ? (run.bit_identical ? "yes" : "NO — DETERMINISM BUG")
+                           : "n/a (corner 0 exact)"});
+    }
+    table.print(std::cout);
+    std::cout << "event-kernel 8-corner sweep amortization: "
+              << util::TextTable::fmt(backends[0].amortization, 1)
+              << "x (target >= 5x)\n";
+
+    std::ostringstream json;
+    json << "  \"multi_corner\": {\n"
+         << "    \"module\": \"csa_multiplier\",\n    \"width\": 16,\n"
+         << "    \"corners\": " << corners.size()
+         << ",\n    \"pairs\": " << base.max_transitions
+         << ",\n    \"calibration_pairs\": " << base.calibration_pairs
+         << ",\n    \"emulation_bit_identical\": "
+         << (backends[1].bit_identical ? "true" : "false") << ",\n    \"runs\": [";
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+        const BackendRun& run = backends[i];
+        json << (i == 0 ? "" : ",") << "\n      {\"backend\": \""
+             << core::char_backend_name(run.backend)
+             << "\", \"independent_wall_ms\": " << run.independent_ms
+             << ", \"sweep_wall_ms\": " << run.sweep_ms
+             << ", \"amortization\": " << run.amortization << "}";
+    }
+    json << "\n    ]\n  }";
+    return json.str();
+}
+
 /// Checkpoint-journal overhead on the 16-bit CSA multiplier in pairs
 /// mode (the default characterization configuration): the same fixed
 /// workload with checkpointing off and with a journal published after
@@ -1277,6 +1409,7 @@ int main(int argc, char** argv)
     const bool scaling = !take_flag(argc, argv, "--no-scaling");
     const bool pairs = !take_flag(argc, argv, "--no-pairs");
     const bool char_backend = !take_flag(argc, argv, "--no-char-backend");
+    const bool multi_corner = !take_flag(argc, argv, "--no-multi-corner");
     const bool checkpoint = !take_flag(argc, argv, "--no-checkpoint");
     const bool estimation = !take_flag(argc, argv, "--no-estimation");
     const bool serving = !take_flag(argc, argv, "--no-serving");
@@ -1299,6 +1432,9 @@ int main(int argc, char** argv)
     }
     if (char_backend) {
         sections.push_back(run_char_backend());
+    }
+    if (multi_corner) {
+        sections.push_back(run_multi_corner());
     }
     if (checkpoint) {
         sections.push_back(run_checkpoint_bench());

@@ -49,12 +49,14 @@ namespace {
                  "[--enhanced [K]] [--threads N] [--warmup batched|per-record]\n"
                  "                                   [--checkpoint FILE] [--strict] "
                  "[--backend event|emulation] [--calibration N] [--shard-size N]\n"
+                 "                                   [--corner VDD:TEMP[:LOAD]] "
+                 "[--corners SPEC,SPEC,...]\n"
               << "  estimate <module> <width...> --data <I..V> [--patterns N] "
                  "[--models DIR] [--verify] [--threads N]\n"
                  "                               [--stream FILE]... "
                  "[--kernel scalar|packed] [--enhanced [K]]\n"
                  "                               [--simd scalar|avx2|avx512|auto] "
-                 "[--repeat N]\n"
+                 "[--repeat N] [--corner VDD:TEMP[:LOAD]]\n"
               << "  report <module> <width...> --data <I..V> [--patterns N] [--top K]\n"
               << "  sweep <module> <wmin> <wmax> --data <I..V> [--models DIR] "
                  "[--budget N] [--threads N]\n"
@@ -70,6 +72,10 @@ namespace {
               << "pass) with a glitch correction calibrated on --calibration N\n"
               << "event-kernel pairs (default 512); --backend event (the default)\n"
               << "runs the exact event kernel for every pair.\n"
+              << "--corner VDD:TEMP[:LOAD] characterizes/estimates at a derived\n"
+              << "operating corner (volts, deg C, light|nominal|heavy wire load);\n"
+              << "--corners SPEC,SPEC,... characterizes every listed corner in one\n"
+              << "amortized stimulus sweep (see docs/corners.md).\n"
               << "modules wider than 64 input bits are served via the section-5\n"
               << "parameterizable family (characterized at small prototype widths).\n"
               << "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 completed degraded\n";
@@ -111,7 +117,33 @@ struct Cli {
     streams::EstimationKernel kernel = streams::EstimationKernel::Packed;
     std::optional<util::cpu::SimdLevel> simd; ///< nullopt = runtime auto
     std::size_t repeat = 1; ///< estimate: serve the query N times
+    std::optional<gate::Corner> corner;  ///< single operating corner
+    std::vector<gate::Corner> corners;   ///< multi-corner sweep list
 };
+
+/// Parse a comma-separated corner list ("3.3:25,2.5:85:heavy,...").
+std::vector<gate::Corner> parse_corner_list(const std::string& spec)
+{
+    std::vector<gate::Corner> corners;
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        const std::size_t comma = spec.find(',', begin);
+        const std::string item = spec.substr(
+            begin, comma == std::string::npos ? std::string::npos : comma - begin);
+        if (!item.empty()) {
+            corners.push_back(gate::parse_corner(item));
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        begin = comma + 1;
+    }
+    if (corners.empty()) {
+        std::cerr << "--corners needs at least one VDD:TEMP[:LOAD] spec\n";
+        std::exit(2);
+    }
+    return corners;
+}
 
 Cli parse_module_args(int argc, char** argv, int start)
 {
@@ -207,6 +239,10 @@ Cli parse_module_args(int argc, char** argv, int start)
             cli.repeat = std::max<std::size_t>(1, std::stoul(next()));
         } else if (flag == "--verify") {
             cli.verify = true;
+        } else if (flag == "--corner") {
+            cli.corner = gate::parse_corner(next());
+        } else if (flag == "--corners") {
+            cli.corners = parse_corner_list(next());
         } else if (flag == "--enhanced") {
             cli.enhanced = true;
             if (i + 1 < argc && argv[i + 1][0] != '-') {
@@ -232,6 +268,7 @@ core::CharacterizationOptions char_options(const Cli& cli)
     options.shard_size = cli.shard_size;
     options.checkpoint = cli.checkpoint;
     options.strict_faults = cli.strict;
+    options.corner = cli.corner;
     return options;
 }
 
@@ -313,8 +350,121 @@ int cmd_info(const Cli& cli)
     return 0;
 }
 
+/// Multi-corner characterize: one amortized stimulus sweep fitting a model
+/// per corner, then a (Vdd, temp) coefficient surface when the corner set
+/// supports one.
+int cmd_characterize_corners(const Cli& cli)
+{
+    const core::ModelLibrary library{cli.models_dir};
+    core::CharRunStats stats;
+    core::CharacterizationOptions options = char_options(cli);
+    options.corner.reset();
+    options.corners = cli.corners;
+    options.progress = stderr_progress();
+    options.stats = &stats;
+
+    const dp::DatapathModule module = dp::make_module(cli.module_type, cli.widths);
+    const core::Characterizer characterizer;
+
+    // Store policy: the emulation backend's per-corner sweep blocks are
+    // bit-identical to independent single-corner runs, so every corner may
+    // be published under its exact single-corner fingerprint. The event
+    // backend simulates only corner 0 exactly — corners k > 0 are scored
+    // through calibrated transfer weights (an approximation) and must NOT
+    // alias the exact fingerprint a later single-corner run would use.
+    const bool store_all = options.backend == core::CharBackend::PowerEmulation;
+
+    std::vector<core::HdModel> basic;
+    std::vector<core::EnhancedHdModel> enhanced;
+    if (cli.enhanced) {
+        enhanced = characterizer.characterize_corners_enhanced(module,
+                                                               cli.zero_clusters,
+                                                               options);
+    } else {
+        basic = characterizer.characterize_corners(module, options);
+    }
+    if (stats.records > 0) {
+        std::cerr << '\n';
+    }
+    const bool degraded = report_shard_failures(stats);
+
+    util::TextTable table;
+    table.set_header({"corner", "key", "avg deviation", "stored"});
+    table.set_alignment({util::Align::Left, util::Align::Left});
+    for (std::size_t k = 0; k < cli.corners.size(); ++k) {
+        const gate::Corner& corner = cli.corners[k];
+        const bool store = store_all || k == 0;
+        core::CharacterizationOptions store_options = char_options(cli);
+        store_options.corner = corner;
+        const double deviation = cli.enhanced ? enhanced[k].average_deviation()
+                                              : basic[k].average_deviation();
+        if (store) {
+            if (cli.enhanced) {
+                library.store_enhanced(cli.module_type, cli.widths,
+                                       cli.zero_clusters, store_options,
+                                       enhanced[k]);
+            } else {
+                library.store_basic(cli.module_type, cli.widths, store_options,
+                                    basic[k]);
+            }
+        }
+        table.add_row({util::TextTable::fmt(corner.vdd_v, 2) + " V, " +
+                           util::TextTable::fmt(corner.temp_c, 1) + " C, " +
+                           gate::load_class_name(corner.load_class),
+                       corner.key(), util::TextTable::fmt(100.0 * deviation, 2) + "%",
+                       store ? "yes" : "no (transfer approximation)"});
+    }
+    std::cout << (cli.enhanced ? "enhanced" : "basic") << " models ready for "
+              << cli.corners.size() << " corner(s) from one stimulus sweep\n";
+    table.print(std::cout);
+
+    if (stats.records > 0) {
+        std::cout << "collected " << stats.records << " transitions per corner ("
+                  << util::TextTable::fmt(stats.events_per_sec / 1e6, 2)
+                  << " M events/s) in "
+                  << util::TextTable::fmt(stats.collect_wall_ms, 1) << " ms on "
+                  << stats.threads << " thread(s), " << stats.shards << " shards\n";
+        std::cout << "backend: " << core::char_backend_name(stats.backend);
+        if (stats.backend == core::CharBackend::PowerEmulation) {
+            std::cout << " (" << stats.emulated_pairs << " emulated pair scores, "
+                      << stats.calibration_pairs << " calibration pairs)";
+        } else if (stats.corner_calibration_pairs > 0) {
+            std::cout << " (" << stats.corner_calibration_pairs
+                      << " transfer-calibration pairs)";
+        }
+        std::cout << '\n';
+    }
+    if (stats.shards_resumed > 0) {
+        std::cout << "resumed " << stats.shards_resumed
+                  << " shard(s) from checkpoint journal(s)\n";
+    }
+
+    // A coefficient surface needs a uniform load class and at least two
+    // corners to regress against; skip silently otherwise (the per-corner
+    // models above are the primary product).
+    if (!cli.enhanced && cli.corners.size() >= 2) {
+        const bool uniform_load = std::all_of(
+            cli.corners.begin(), cli.corners.end(), [&](const gate::Corner& c) {
+                return c.load_class == cli.corners.front().load_class;
+            });
+        if (uniform_load) {
+            const core::CornerSurfaceModel surface =
+                core::CornerSurfaceModel::fit(cli.corners, basic);
+            std::cout << "corner surface: " << surface.basis_terms()
+                      << " basis term(s) over " << surface.corners_fitted()
+                      << " corner(s), max fit residual "
+                      << util::TextTable::fmt(100.0 * surface.max_fit_residual(), 2)
+                      << "%\n";
+        }
+    }
+    return degraded ? 3 : 0;
+}
+
 int cmd_characterize(const Cli& cli)
 {
+    if (!cli.corners.empty()) {
+        return cmd_characterize_corners(cli);
+    }
     const core::ModelLibrary library{cli.models_dir};
     core::CharRunStats stats;
     core::CharacterizationOptions options = char_options(cli);
@@ -388,7 +538,8 @@ int cmd_characterize(const Cli& cli)
                   << " shard(s) from checkpoint journal\n";
     }
     std::cout << "stored under " << library.directory().string() << '/'
-              << library.model_key(cli.module_type, cli.widths) << ".*\n";
+              << library.model_key(cli.module_type, cli.widths, cli.corner)
+              << ".*\n";
     return degraded ? 3 : 0;
 }
 
@@ -546,7 +697,14 @@ int cmd_estimate(const Cli& cli)
 
     if (cli.verify) {
         const auto patterns = trace.to_patterns();
-        sim::PowerSimulator reference{module.netlist(), gate::TechLibrary::generic350()};
+        // Verify against the same physics the model was characterized
+        // under: a --corner estimate replays through the corner-derived
+        // library, not the base technology.
+        const gate::TechLibrary reference_library =
+            cli.corner.has_value()
+                ? gate::TechLibrary::generic350().at(*cli.corner)
+                : gate::TechLibrary::generic350();
+        sim::PowerSimulator reference{module.netlist(), reference_library};
         const double simulated = reference.run(patterns).mean_charge_fc();
         std::cout << "  reference simulation: " << simulated << " fC/cycle\n";
         std::cout << "  average error:        "

@@ -29,6 +29,7 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,7 +47,8 @@ namespace {
               << " (--socket PATH | --tcp PORT) [--retries N] [--timeout-ms MS] "
                  "<ping|estimate|stats|hold> [args]\n"
               << "  estimate <module> <width...> --data <I..V> [--patterns N] "
-                 "[--repeat N] [--enhanced [K]] [--seed S]\n"
+                 "[--repeat N] [--enhanced [K]] [--seed S] "
+                 "[--corner VDD:TEMP[:LOAD]]\n"
               << "  hold [--seconds S]\n"
               << "exit codes: 0 ok, 1 failure, 2 usage, 4 overloaded (shed), "
                  "5 connect retries exhausted\n";
@@ -158,6 +160,7 @@ int main(int argc, char** argv)
         std::uint64_t seed = 2026;
         bool has_data = false;
         streams::DataType data{};
+        std::optional<gate::Corner> corner;
         for (; i < argc; ++i) {
             const std::string flag = argv[i];
             auto next = [&]() -> std::string {
@@ -181,6 +184,8 @@ int main(int argc, char** argv)
                 if (i + 1 < argc && argv[i + 1][0] != '-') {
                     zero_clusters = std::stoi(argv[++i]);
                 }
+            } else if (flag == "--corner") {
+                corner = gate::parse_corner(next());
             } else {
                 usage(argv[0]);
             }
@@ -202,6 +207,7 @@ int main(int argc, char** argv)
         request.widths = widths;
         request.kind = enhanced ? serve::ModelKind::Enhanced : serve::ModelKind::Basic;
         request.zero_clusters = zero_clusters;
+        request.corner = corner;
 
         // Pipeline the repeats in bounded windows: batch a window of
         // requests into one write, then read that window's in-order

@@ -236,7 +236,7 @@ private:
 ShardResult run_shard(const sim::SimContext& context, int m, StimulusMode mode,
                       const CharacterizationOptions& options,
                       const sim::EventSimOptions& sim_options, std::size_t shard,
-                      std::size_t count)
+                      std::size_t count, const std::function<void()>& tick = {})
 {
     if (HDPM_FAULT_FIRE(util::FaultPoint::ShardException)) {
         util::FaultContext context;
@@ -279,6 +279,9 @@ ShardResult run_shard(const sim::SimContext& context, int m, StimulusMode mode,
         std::array<std::pair<int, int>, kLanes> cls_block; // (hd, zeros)
 
         while (out.records.size() < count) {
+            if (tick) {
+                tick(); // mid-shard heartbeat hook, once per 64-pair batch
+            }
             const std::size_t block =
                 std::min<std::size_t>(kLanes, count - out.records.size());
             for (std::size_t j = 0; j < block; ++j) {
@@ -313,6 +316,9 @@ ShardResult run_shard(const sim::SimContext& context, int m, StimulusMode mode,
     }
 
     while (out.records.size() < count) {
+        if (tick && out.records.size() % 64 == 0) {
+            tick(); // mid-shard heartbeat hook, every 64 chain transitions
+        }
         CharacterizationRecord rec;
         const BitVec previous = stimulus.current();
         const BitVec next = stimulus.chain_next();
@@ -343,7 +349,8 @@ ShardResult run_shard_emulation(const sim::SimContext& context, int m,
                                 StimulusMode mode,
                                 const CharacterizationOptions& options,
                                 std::span<const double> weights, std::size_t shard,
-                                std::size_t count)
+                                std::size_t count,
+                                const std::function<void()>& tick = {})
 {
     if (HDPM_FAULT_FIRE(util::FaultPoint::ShardException)) {
         util::FaultContext fault_context;
@@ -366,6 +373,9 @@ ShardResult run_shard_emulation(const sim::SimContext& context, int m,
         std::array<double, kLanes> charges;
 
         while (out.records.size() < count) {
+            if (tick) {
+                tick(); // mid-shard heartbeat hook, once per 64-pair batch
+            }
             const std::size_t block =
                 std::min<std::size_t>(kLanes, count - out.records.size());
             for (std::size_t j = 0; j < block; ++j) {
@@ -399,6 +409,9 @@ ShardResult run_shard_emulation(const sim::SimContext& context, int m,
     cls.reserve(count);
     chain.push_back(stimulus.current());
     while (cls.size() < count) {
+        if (tick && cls.size() % 64 == 0) {
+            tick();
+        }
         const BitVec previous = chain.back();
         const BitVec next = stimulus.chain_next();
         const int hd = BitVec::hamming_distance(previous, next);
@@ -407,6 +420,9 @@ ShardResult run_shard_emulation(const sim::SimContext& context, int m,
         }
         cls.emplace_back(hd, BitVec::stable_zeros(previous, next));
         chain.push_back(next);
+    }
+    if (tick) {
+        tick();
     }
 
     std::vector<std::uint64_t> toggles;
@@ -630,6 +646,400 @@ CalibrationResult calibrate_emulation(const sim::SimContext& context, int m,
     return out;
 }
 
+// ---------------------------------------------------------------------------
+// Multi-corner single-sweep machinery (docs/corners.md). The amortization
+// argument: per-net toggle activity is (exactly, for zero-delay settles;
+// nearly, for the event kernel under uniform delay scaling) invariant
+// across operating corners, so one stimulus sweep can score K corners by
+// dotting shared toggle vectors against K per-corner charge tables.
+// ---------------------------------------------------------------------------
+
+/// One shard of a multi-corner sweep: K index-aligned record blocks.
+struct MultiShardResult {
+    std::vector<std::vector<CharacterizationRecord>> blocks; // per corner
+    std::uint64_t sim_transitions = 0;
+    std::uint64_t warmup_vectors = 0;
+    std::uint64_t warmup_batches = 0;
+    std::uint64_t emulation_passes = 0;
+    sim::KernelStats kernel;
+};
+
+/// Event-kernel multi-corner shard: corner 0 is simulated exactly — the
+/// same stimulus, warm-up, and event simulation run_shard performs, so its
+/// block is bit-identical to a single-corner run — while per-cycle toggle
+/// tracking feeds the remaining corners' charges as dot products against
+/// @p transfer_weights (element k-1 scores corner k). The accumulation
+/// iterates the cycle's toggled nets in first-toggle order, a
+/// deterministic function of the simulation, so every corner's block is
+/// bit-identical for any thread count.
+MultiShardResult run_shard_event_multi(const sim::SimContext& context, int m,
+                                       StimulusMode mode,
+                                       const CharacterizationOptions& options,
+                                       const sim::EventSimOptions& sim_options,
+                                       std::span<const std::vector<double>> transfer_weights,
+                                       std::size_t shard, std::size_t count)
+{
+    if (HDPM_FAULT_FIRE(util::FaultPoint::ShardException)) {
+        util::FaultContext fault_context;
+        fault_context.shard = static_cast<std::int64_t>(shard);
+        fault_context.detail = "injected shard failure";
+        throw util::FaultError{util::FaultKind::ShardFailed, std::move(fault_context)};
+    }
+
+    const std::size_t corners = transfer_weights.size() + 1;
+    MultiShardResult out;
+    out.blocks.resize(corners);
+    for (auto& block : out.blocks) {
+        block.reserve(count);
+    }
+
+    StimulusStream stimulus{m, mode, options.seed, shard};
+    sim::EventSimulator simulator{context, sim_options};
+    simulator.set_cycle_toggle_tracking(true);
+
+    const auto push_records = [&](int hd, int zeros, std::uint64_t mask,
+                                  const sim::CycleResult& cycle) {
+        CharacterizationRecord rec;
+        rec.hd = hd;
+        rec.stable_zeros = zeros;
+        rec.charge_fc = cycle.charge_fc;
+        rec.toggle_mask = mask;
+        out.blocks[0].push_back(rec);
+        for (std::size_t k = 1; k < corners; ++k) {
+            const std::vector<double>& weights = transfer_weights[k - 1];
+            double charge = 0.0;
+            for (const netlist::NetId net : simulator.cycle_toggled_nets()) {
+                charge += weights[net] *
+                          static_cast<double>(simulator.cycle_toggle_count(net));
+            }
+            rec.charge_fc = charge;
+            out.blocks[k].push_back(rec);
+        }
+        out.sim_transitions += cycle.transitions;
+    };
+
+    if (mode == StimulusMode::StratifiedPairs) {
+        // Mirrors run_shard's batched warm-up exactly (same RNG consumption,
+        // same load_state adoption) so corner 0 stays bit-identical.
+        constexpr std::size_t kLanes =
+            static_cast<std::size_t>(sim::BatchedEvaluator::kLanes);
+        const bool batched = options.warmup == WarmupMode::Batched;
+        std::optional<sim::BatchedEvaluator> evaluator;
+        std::vector<std::uint8_t> lane_values;
+        if (batched) {
+            evaluator.emplace(context);
+            lane_values.resize(context.netlist().num_nets());
+        }
+        std::array<BitVec, kLanes> u_block;
+        std::array<BitVec, kLanes> v_block;
+        std::array<std::pair<int, int>, kLanes> cls_block;
+
+        while (out.blocks[0].size() < count) {
+            const std::size_t block =
+                std::min<std::size_t>(kLanes, count - out.blocks[0].size());
+            for (std::size_t j = 0; j < block; ++j) {
+                cls_block[j] = stimulus.next_pair(u_block[j], v_block[j]);
+            }
+            if (batched) {
+                evaluator->settle({u_block.data(), block});
+                ++out.warmup_batches;
+            }
+            out.warmup_vectors += block;
+            for (std::size_t j = 0; j < block; ++j) {
+                if (batched) {
+                    evaluator->export_lane(static_cast<int>(j), lane_values);
+                    simulator.load_state(u_block[j], lane_values);
+                } else {
+                    simulator.initialize(u_block[j]);
+                }
+                const sim::CycleResult cycle = simulator.apply(v_block[j]);
+                push_records(cls_block[j].first, cls_block[j].second,
+                             (u_block[j] ^ v_block[j]).raw(), cycle);
+            }
+        }
+        out.kernel = simulator.kernel_stats();
+        return out;
+    }
+
+    simulator.initialize(stimulus.current());
+    while (out.blocks[0].size() < count) {
+        const BitVec previous = stimulus.current();
+        const BitVec next = stimulus.chain_next();
+        const int hd = BitVec::hamming_distance(previous, next);
+        if (hd == 0) {
+            continue;
+        }
+        const sim::CycleResult cycle = simulator.apply(next);
+        push_records(hd, BitVec::stable_zeros(previous, next),
+                     (previous ^ next).raw(), cycle);
+    }
+    out.kernel = simulator.kernel_stats();
+    return out;
+}
+
+/// Power-emulation multi-corner shard: settle the stimulus once, score K
+/// corners with K weighted dot products over the shared toggle words.
+/// weight_sets[k] is corner k's independently calibrated weight vector, and
+/// each corner's charges come from the same weighted_pair_charges /
+/// count_weighted_toggles accumulation a single-corner run performs — so
+/// every corner's block is bit-identical to an independent
+/// run_shard_emulation at that corner.
+MultiShardResult run_shard_emulation_multi(const sim::SimContext& context, int m,
+                                           StimulusMode mode,
+                                           const CharacterizationOptions& options,
+                                           std::span<const std::vector<double>> weight_sets,
+                                           std::size_t shard, std::size_t count)
+{
+    if (HDPM_FAULT_FIRE(util::FaultPoint::ShardException)) {
+        util::FaultContext fault_context;
+        fault_context.shard = static_cast<std::int64_t>(shard);
+        fault_context.detail = "injected shard failure";
+        throw util::FaultError{util::FaultKind::ShardFailed, std::move(fault_context)};
+    }
+
+    const std::size_t corners = weight_sets.size();
+    MultiShardResult out;
+    out.blocks.resize(corners);
+    for (auto& block : out.blocks) {
+        block.reserve(count);
+    }
+    StimulusStream stimulus{m, mode, options.seed, shard};
+    sim::BatchedEvaluator evaluator{context};
+
+    if (mode == StimulusMode::StratifiedPairs) {
+        constexpr std::size_t kLanes =
+            static_cast<std::size_t>(sim::BatchedEvaluator::kLanes);
+        std::array<BitVec, kLanes> u_block;
+        std::array<BitVec, kLanes> v_block;
+        std::array<std::pair<int, int>, kLanes> cls_block;
+        std::vector<std::array<double, kLanes>> charges(corners);
+
+        while (out.blocks[0].size() < count) {
+            const std::size_t block =
+                std::min<std::size_t>(kLanes, count - out.blocks[0].size());
+            for (std::size_t j = 0; j < block; ++j) {
+                cls_block[j] = stimulus.next_pair(u_block[j], v_block[j]);
+            }
+            evaluator.settle_pairs({u_block.data(), block}, {v_block.data(), block});
+            out.emulation_passes += 2;
+            for (std::size_t k = 0; k < corners; ++k) {
+                evaluator.weighted_pair_charges(weight_sets[k],
+                                                {charges[k].data(), block});
+            }
+            for (const std::uint8_t toggles : evaluator.toggle_counts_per_net()) {
+                out.sim_transitions += toggles;
+            }
+            for (std::size_t j = 0; j < block; ++j) {
+                CharacterizationRecord rec;
+                rec.hd = cls_block[j].first;
+                rec.stable_zeros = cls_block[j].second;
+                rec.toggle_mask = (u_block[j] ^ v_block[j]).raw();
+                for (std::size_t k = 0; k < corners; ++k) {
+                    rec.charge_fc = charges[k][j];
+                    out.blocks[k].push_back(rec);
+                }
+            }
+        }
+        return out;
+    }
+
+    std::vector<BitVec> chain;
+    chain.reserve(count + 1);
+    std::vector<std::pair<int, int>> cls;
+    cls.reserve(count);
+    chain.push_back(stimulus.current());
+    while (cls.size() < count) {
+        const BitVec previous = chain.back();
+        const BitVec next = stimulus.chain_next();
+        const int hd = BitVec::hamming_distance(previous, next);
+        if (hd == 0) {
+            continue;
+        }
+        cls.emplace_back(hd, BitVec::stable_zeros(previous, next));
+        chain.push_back(next);
+    }
+
+    std::vector<std::span<const double>> weight_spans;
+    weight_spans.reserve(corners);
+    for (const std::vector<double>& w : weight_sets) {
+        weight_spans.emplace_back(w);
+    }
+    std::vector<std::vector<double>> charges(corners);
+    std::vector<std::uint64_t> toggles;
+    evaluator.count_weighted_toggles_multi(chain, weight_spans, charges, &toggles);
+    const std::size_t window_pairs =
+        static_cast<std::size_t>(sim::BatchedEvaluator::kLanes) - 1;
+    out.emulation_passes += (chain.size() - 2) / window_pairs + 1;
+    for (std::size_t i = 0; i < cls.size(); ++i) {
+        CharacterizationRecord rec;
+        rec.hd = cls[i].first;
+        rec.stable_zeros = cls[i].second;
+        rec.toggle_mask = (chain[i] ^ chain[i + 1]).raw();
+        for (std::size_t k = 0; k < corners; ++k) {
+            rec.charge_fc = charges[k][i];
+            out.blocks[k].push_back(rec);
+        }
+        out.sim_transitions += toggles[i];
+    }
+    return out;
+}
+
+/// One corner-transfer calibration shard: the same stimulus subsample
+/// driven through the event kernel at *every* corner. Corner 0's per-net
+/// toggle totals are the transfer reference; each other corner contributes
+/// its own toggle totals (for per-net glitch-ratio factors) and its total
+/// event charge (for the residual scale fit).
+struct CornerTransferShard {
+    std::vector<std::uint64_t> ref_toggles;                 ///< per net, corner 0
+    std::vector<std::vector<std::uint64_t>> corner_toggles; ///< [k-1][net]
+    std::vector<double> corner_charge;                      ///< [k-1], summed
+    std::uint64_t pairs = 0;                                ///< transitions per corner
+};
+
+CornerTransferShard run_corner_transfer_shard(
+    std::span<const sim::SimContext* const> contexts, int m, StimulusMode mode,
+    const CharacterizationOptions& options, const sim::EventSimOptions& sim_options,
+    std::uint64_t shard_id, std::size_t count)
+{
+    const std::size_t corners = contexts.size();
+    CornerTransferShard out;
+    out.corner_toggles.resize(corners - 1);
+    out.corner_charge.assign(corners - 1, 0.0);
+
+    for (std::size_t c = 0; c < corners; ++c) {
+        // A fresh stream per corner: identical (seed, shard) → identical
+        // stimulus, so every corner sees the same transitions.
+        StimulusStream stimulus{m, mode, options.seed, shard_id};
+        sim::EventSimulator simulator{*contexts[c], sim_options};
+        double charge = 0.0;
+        std::uint64_t pairs = 0;
+        if (mode == StimulusMode::StratifiedPairs) {
+            BitVec u;
+            BitVec v;
+            while (pairs < count) {
+                (void)stimulus.next_pair(u, v);
+                simulator.initialize(u);
+                charge += simulator.apply(v).charge_fc;
+                ++pairs;
+            }
+        } else {
+            simulator.initialize(stimulus.current());
+            while (pairs < count) {
+                const BitVec previous = stimulus.current();
+                const BitVec next = stimulus.chain_next();
+                if (BitVec::hamming_distance(previous, next) == 0) {
+                    continue;
+                }
+                charge += simulator.apply(next).charge_fc;
+                ++pairs;
+            }
+        }
+        const std::vector<std::uint64_t>& toggles = simulator.cumulative_transitions();
+        if (c == 0) {
+            out.ref_toggles = toggles;
+            out.pairs = pairs;
+        } else {
+            out.corner_toggles[c - 1] = toggles;
+            out.corner_charge[c - 1] = charge;
+        }
+    }
+    return out;
+}
+
+/// Per-corner transfer weights of an event-kernel multi-corner sweep.
+struct CornerTransferResult {
+    std::vector<std::vector<double>> weights; ///< [k-1][net], corrected + scaled
+    std::vector<double> scales;               ///< fitted residual scale per corner
+    std::uint64_t event_pairs = 0; ///< event transitions simulated (all corners)
+};
+
+/// Fit the corner-transfer correction, mirroring calibrate_emulation: per
+/// cell-output toggle-ratio factors (corner-k event toggles / corner-0
+/// event toggles — uniform delay scaling preserves event order up to
+/// integer-ps rounding and the fixed inertial window, so these ratios sit
+/// near 1) folded into corner k's base edge-charge weights, then one
+/// residual scale per corner fitted with util::least_squares over
+/// per-shard (transferred charge, corner-k event charge) rows. Calibration
+/// shards reuse the kCalibrationShardBase id scheme and merge in shard
+/// order — the fit is a pure function of the stimulus plan and corner
+/// list, bit-identical for any thread count.
+CornerTransferResult calibrate_corner_transfer(
+    std::span<const sim::SimContext* const> contexts, int m, StimulusMode mode,
+    const CharacterizationOptions& options, const sim::EventSimOptions& sim_options,
+    const util::ThreadPool& pool)
+{
+    const std::size_t corners = contexts.size();
+    CornerTransferResult out;
+    out.weights.resize(corners - 1);
+    out.scales.assign(corners - 1, 1.0);
+    for (std::size_t k = 1; k < corners; ++k) {
+        out.weights[k - 1] = base_charge_weights(*contexts[k], sim_options);
+    }
+    if (options.calibration_pairs == 0 || corners == 1) {
+        return out;
+    }
+
+    const std::size_t shard_size =
+        options.shard_size != 0 ? options.shard_size : options.batch;
+    const std::size_t num_shards =
+        (options.calibration_pairs + shard_size - 1) / shard_size;
+    const auto shards = pool.parallel_map(num_shards, [&](std::size_t i) {
+        const std::size_t planned =
+            std::min(shard_size, options.calibration_pairs - i * shard_size);
+        return run_corner_transfer_shard(contexts, m, mode, options, sim_options,
+                                         kCalibrationShardBase + i, planned);
+    });
+
+    const std::size_t nets = contexts[0]->netlist().num_nets();
+    std::vector<std::uint64_t> ref_toggles(nets, 0);
+    for (const CornerTransferShard& shard : shards) {
+        for (std::size_t net = 0; net < nets; ++net) {
+            ref_toggles[net] += shard.ref_toggles[net];
+        }
+        out.event_pairs += shard.pairs * corners;
+    }
+
+    for (std::size_t k = 1; k < corners; ++k) {
+        std::vector<double>& weights = out.weights[k - 1];
+        std::vector<std::uint64_t> corner_toggles(nets, 0);
+        for (const CornerTransferShard& shard : shards) {
+            for (std::size_t net = 0; net < nets; ++net) {
+                corner_toggles[net] += shard.corner_toggles[k - 1][net];
+            }
+        }
+        for (netlist::NetId net = 0; net < nets; ++net) {
+            if (contexts[0]->is_cell_output(net) && ref_toggles[net] > 0) {
+                weights[net] *= static_cast<double>(corner_toggles[net]) /
+                                static_cast<double>(ref_toggles[net]);
+            }
+        }
+        // Residual scale through the origin, one row per calibration shard.
+        util::Matrix a{shards.size(), 1};
+        std::vector<double> b(shards.size(), 0.0);
+        double transferred_total = 0.0;
+        for (std::size_t s = 0; s < shards.size(); ++s) {
+            double transferred = 0.0;
+            for (std::size_t net = 0; net < nets; ++net) {
+                transferred += weights[net] *
+                               static_cast<double>(shards[s].ref_toggles[net]);
+            }
+            a.at(s, 0) = transferred;
+            b[s] = shards[s].corner_charge[k - 1];
+            transferred_total += transferred;
+        }
+        if (transferred_total > 0.0) {
+            const std::vector<double> fit = util::least_squares(a, b);
+            if (std::isfinite(fit[0]) && fit[0] > 0.0) {
+                out.scales[k - 1] = fit[0];
+            }
+        }
+        for (double& w : weights) {
+            w *= out.scales[k - 1];
+        }
+    }
+    return out;
+}
+
 /// A run_shard call's outcome: the shard result, or the exception it threw
 /// (captured so a failing shard never takes its wave's siblings down with
 /// it — the merge loop decides whether to rethrow or degrade).
@@ -678,7 +1088,13 @@ struct ShardRunner::Impl {
     Impl(const dp::DatapathModule& module, CharacterizationOptions opts,
          const gate::TechLibrary& library, sim::EventSimOptions sim_opts)
         : options(std::move(opts)), sim_options(sim_opts),
-          context(module.netlist(), library), m(module.total_input_bits()),
+          corner_library(options.corner.has_value()
+                             ? std::optional<gate::TechLibrary>(
+                                   library.at(*options.corner))
+                             : std::nullopt),
+          context(module.netlist(),
+                  corner_library.has_value() ? *corner_library : library),
+          m(module.total_input_bits()),
           mode(options.mode.value_or(StimulusMode::StratifiedChain)),
           shard_size(options.shard_size != 0 ? options.shard_size : options.batch),
           num_shards((options.max_transitions + shard_size - 1) / shard_size),
@@ -688,6 +1104,9 @@ struct ShardRunner::Impl {
         HDPM_REQUIRE(m >= 1 && m <= BitVec::kMaxWidth,
                      "module input width out of range");
         HDPM_REQUIRE(options.batch >= 1, "batch must be positive");
+        HDPM_REQUIRE(options.corners.empty(),
+                     "ShardRunner plans are single-corner; sweeps use "
+                     "collect_records_corners");
         if (options.backend == CharBackend::PowerEmulation) {
             // Calibration is a pure function of the stimulus plan, so every
             // process that runs shards of this plan computes the identical
@@ -700,6 +1119,7 @@ struct ShardRunner::Impl {
 
     CharacterizationOptions options;
     sim::EventSimOptions sim_options;
+    std::optional<gate::TechLibrary> corner_library; // set iff options.corner
     sim::SimContext context;
     int m;
     StimulusMode mode;
@@ -745,7 +1165,8 @@ const std::string& ShardRunner::module_key() const noexcept
     return impl_->module_key;
 }
 
-std::vector<CharacterizationRecord> ShardRunner::run(std::size_t shard) const
+std::vector<CharacterizationRecord> ShardRunner::run(std::size_t shard,
+                                                     const TickFn& tick) const
 {
     HDPM_REQUIRE(shard < impl_->num_shards, "shard index outside the plan");
     const std::size_t planned = std::min(
@@ -754,9 +1175,9 @@ std::vector<CharacterizationRecord> ShardRunner::run(std::size_t shard) const
         impl_->options.backend == CharBackend::PowerEmulation
             ? run_shard_emulation(impl_->context, impl_->m, impl_->mode,
                                   impl_->options, impl_->calibration.weights, shard,
-                                  planned)
+                                  planned, tick)
             : run_shard(impl_->context, impl_->m, impl_->mode, impl_->options,
-                        impl_->sim_options, shard, planned);
+                        impl_->sim_options, shard, planned, tick);
     return std::move(result.records);
 }
 
@@ -837,13 +1258,23 @@ std::vector<CharacterizationRecord> Characterizer::collect_records(
     HDPM_REQUIRE(m >= 1 && m <= BitVec::kMaxWidth, "module input width out of range");
     HDPM_REQUIRE(options.batch >= 1, "batch must be positive");
     HDPM_REQUIRE(options.checkpoint_every >= 1, "checkpoint_every must be positive");
+    HDPM_REQUIRE(options.corners.empty(),
+                 "multi-corner sweeps go through collect_records_corners");
 
     const auto start = std::chrono::steady_clock::now();
     const StimulusMode mode = options.mode.value_or(StimulusMode::StratifiedChain);
 
     // One immutable context (electrical view, fanout CSR, topo order) shared
-    // read-only by every shard's private EventSimulator.
-    const sim::SimContext context{module.netlist(), *library_};
+    // read-only by every shard's private EventSimulator. A corner-qualified
+    // run derives the scaled library first; SimContext consumes the library
+    // during construction, so the derived temporary may die right after.
+    std::optional<sim::SimContext> owned_context;
+    if (options.corner.has_value()) {
+        owned_context.emplace(module.netlist(), library_->at(*options.corner));
+    } else {
+        owned_context.emplace(module.netlist(), *library_);
+    }
+    const sim::SimContext& context = *owned_context;
 
     // Fixed shard geometry: the stimulus plan depends on (seed, shard_size,
     // max_transitions) only — never on the thread count.
@@ -1229,6 +1660,408 @@ EnhancedHdModel Characterizer::characterize_enhanced(
     const auto records = collect_records(module, options);
     return timed_fit(options, [&] {
         return fit_enhanced_model(module.total_input_bits(), zero_clusters, records);
+    });
+}
+
+namespace {
+
+/// Journal fingerprint of corner @p k of a sweep. Every corner journals
+/// under its own single-corner fingerprint, so an emulation sweep
+/// journal is interchangeable with the matching single-corner run's (the
+/// record streams are bit-identical by construction). Event-kernel
+/// corners k > 0 are transfer approximations whose values depend on the
+/// whole corner list, so their fingerprints additionally fold the list —
+/// a sweep journal can never be resumed by an exact single-corner run,
+/// nor by a sweep over a different corner set.
+std::uint64_t sweep_corner_fingerprint(const CharacterizationOptions& options,
+                                       const sim::EventSimOptions& sim_options,
+                                       std::size_t k)
+{
+    CharacterizationOptions corner_options = options;
+    corner_options.corner = options.corners[k];
+    corner_options.corners.clear();
+    std::uint64_t fp = characterization_fingerprint(corner_options, sim_options);
+    if (options.backend == CharBackend::EventKernel && k > 0) {
+        for (const gate::Corner& corner : options.corners) {
+            fp = util::splitmix64(fp ^ std::bit_cast<std::uint64_t>(corner.vdd_v));
+            fp = util::splitmix64(fp ^ std::bit_cast<std::uint64_t>(corner.temp_c));
+            fp = util::splitmix64(fp ^
+                                  static_cast<std::uint64_t>(corner.load_class));
+        }
+    }
+    return fp;
+}
+
+/// A multi-corner shard's outcome, mirroring ShardOutcome.
+struct MultiShardOutcome {
+    std::optional<MultiShardResult> result;
+    std::exception_ptr error;
+};
+
+} // namespace
+
+std::vector<std::vector<CharacterizationRecord>> Characterizer::collect_records_corners(
+    const dp::DatapathModule& module, const CharacterizationOptions& options) const
+{
+    const std::size_t corners = options.corners.size();
+    HDPM_REQUIRE(corners >= 1, "corner sweep needs at least one corner");
+    HDPM_REQUIRE(!options.corner.has_value(),
+                 "options.corner and options.corners are mutually exclusive");
+    const int m = module.total_input_bits();
+    HDPM_REQUIRE(m >= 1 && m <= BitVec::kMaxWidth, "module input width out of range");
+    HDPM_REQUIRE(options.batch >= 1, "batch must be positive");
+    HDPM_REQUIRE(options.checkpoint_every >= 1, "checkpoint_every must be positive");
+
+    const auto start = std::chrono::steady_clock::now();
+    const StimulusMode mode = options.mode.value_or(StimulusMode::StratifiedChain);
+
+    // K derived libraries and electrical contexts, index-aligned with
+    // options.corners. The libraries must outlive nothing: SimContext
+    // consumes them during construction, but keeping the vector makes the
+    // derivation cost explicit and the contexts' provenance obvious.
+    std::vector<gate::TechLibrary> libraries;
+    libraries.reserve(corners);
+    for (const gate::Corner& corner : options.corners) {
+        libraries.push_back(library_->at(corner));
+    }
+    std::vector<std::unique_ptr<sim::SimContext>> contexts;
+    contexts.reserve(corners);
+    for (const gate::TechLibrary& library : libraries) {
+        contexts.push_back(
+            std::make_unique<sim::SimContext>(module.netlist(), library));
+    }
+    std::vector<const sim::SimContext*> context_ptrs;
+    context_ptrs.reserve(corners);
+    for (const auto& context : contexts) {
+        context_ptrs.push_back(context.get());
+    }
+
+    const std::size_t shard_size =
+        options.shard_size != 0 ? options.shard_size : options.batch;
+    const std::size_t num_shards =
+        (options.max_transitions + shard_size - 1) / shard_size;
+    const util::ThreadPool pool{options.threads};
+    const bool emulation = options.backend == CharBackend::PowerEmulation;
+
+    // Per-corner scoring weights. Emulation: each corner keeps its own
+    // glitch calibration at its own derived context — the calibration
+    // stimulus is corner-independent, so each weight vector is exactly
+    // what an independent single-corner run would compute. Event kernel:
+    // corner 0 needs no weights (it is simulated exactly); corners k > 0
+    // get transfer weights calibrated across all corners at once.
+    std::vector<std::vector<double>> weight_sets;
+    std::uint64_t emulation_calibration_pairs = 0;
+    double calibration_scale = 1.0;
+    CornerTransferResult transfer;
+    if (emulation) {
+        weight_sets.reserve(corners);
+        for (std::size_t k = 0; k < corners; ++k) {
+            CalibrationResult cal = calibrate_emulation(*context_ptrs[k], m, mode,
+                                                        options, sim_options_, pool);
+            emulation_calibration_pairs += cal.event_pairs;
+            if (k == 0) {
+                calibration_scale = cal.scale;
+            }
+            weight_sets.push_back(std::move(cal.weights));
+        }
+    } else if (corners > 1) {
+        transfer = calibrate_corner_transfer(context_ptrs, m, mode, options,
+                                             sim_options_, pool);
+    }
+
+    // One merger per corner, each running the identical merge-and-convergence
+    // loop its independent single-corner run would — so each corner's
+    // stopping point (and record stream) matches that run exactly. The
+    // sweep stops simulating only once every corner has converged; blocks
+    // merged into an already-converged merger are discarded, exactly as
+    // collect_records discards shards simulated ahead of a stop.
+    std::vector<std::unique_ptr<ShardMerger>> mergers;
+    mergers.reserve(corners);
+    for (std::size_t k = 0; k < corners; ++k) {
+        mergers.push_back(std::make_unique<ShardMerger>(m, options));
+    }
+    const auto all_converged = [&] {
+        for (const auto& merger : mergers) {
+            if (!merger->converged()) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    std::size_t shards_merged = 0;
+    std::uint64_t sim_transitions = 0;
+    std::uint64_t sim_events = 0;
+    std::uint64_t warmup_vectors = 0;
+    std::uint64_t warmup_batches = 0;
+    std::uint64_t emulated_pairs = 0;
+    std::uint64_t emulation_passes = 0;
+    std::size_t max_queue_depth = 0;
+
+    // Per-corner checkpoint journals at <checkpoint>.c<k>, published in
+    // lockstep at the same shard boundaries. A crash between the K file
+    // publishes leaves journals of different lengths; resume takes the
+    // minimum valid prefix over all corners and re-simulates the rest, so
+    // lockstep is self-healing rather than load-bearing.
+    const bool checkpointing = !options.checkpoint.empty();
+    std::vector<CharCheckpoint> journals(corners);
+    std::vector<std::filesystem::path> journal_paths(corners);
+    std::vector<std::vector<CheckpointShard>> resumed(corners);
+    std::size_t checkpoints_published = 0;
+    bool checkpoint_discarded = false;
+    bool checkpoint_salvaged = false;
+    std::size_t resume_len = 0;
+    if (checkpointing) {
+        resume_len = num_shards; // min over corners below
+        for (std::size_t k = 0; k < corners; ++k) {
+            journal_paths[k] =
+                options.checkpoint.string() + ".c" + std::to_string(k);
+            journals[k].fingerprint =
+                sweep_corner_fingerprint(options, sim_options_, k);
+            journals[k].module_key = module_journal_key(module);
+            journals[k].input_bits = m;
+            {
+                std::error_code ec;
+                std::filesystem::remove(journal_paths[k].string() + ".tmp", ec);
+            }
+            const auto matches_plan = [&](const CharCheckpoint& loaded) {
+                return loaded.fingerprint == journals[k].fingerprint &&
+                       loaded.module_key == journals[k].module_key &&
+                       loaded.input_bits == m && loaded.shards.size() <= num_shards;
+            };
+            try {
+                if (auto loaded = load_checkpoint(journal_paths[k])) {
+                    if (matches_plan(*loaded)) {
+                        resumed[k] = std::move(loaded->shards);
+                    } else {
+                        checkpoint_discarded = true;
+                    }
+                }
+            } catch (const util::FaultError& error) {
+                if (error.kind() != util::FaultKind::CheckpointCorrupt) {
+                    throw;
+                }
+                CheckpointSalvage salvage = salvage_checkpoint(journal_paths[k]);
+                quarantine_checkpoint(journal_paths[k]);
+                checkpoint_discarded = true;
+                if (salvage.checkpoint.has_value() &&
+                    matches_plan(*salvage.checkpoint) &&
+                    !salvage.checkpoint->shards.empty()) {
+                    resumed[k] = std::move(salvage.checkpoint->shards);
+                    checkpoint_salvaged = true;
+                }
+            }
+            resume_len = std::min(resume_len, resumed[k].size());
+        }
+        for (std::size_t k = 0; k < corners; ++k) {
+            resumed[k].resize(resume_len);
+        }
+    }
+
+    std::vector<ShardFailure> shard_failures;
+    std::exception_ptr first_failure;
+
+    const auto report_progress = [&] {
+        if (options.progress) {
+            options.progress(CharProgress{shards_merged, num_shards,
+                                          mergers[0]->records().size(),
+                                          options.max_transitions});
+        }
+    };
+
+    const auto handle_shard_failure = [&](std::size_t shard,
+                                          std::exception_ptr error) {
+        if (first_failure == nullptr) {
+            first_failure = error;
+        }
+        try {
+            std::rethrow_exception(error);
+        } catch (util::FaultError& fault) {
+            fault.context().shard = static_cast<std::int64_t>(shard);
+            fault.context().bitwidth = m;
+            if (fault.context().component.empty()) {
+                fault.context().component = module_journal_key(module);
+            }
+            if (options.strict_faults) {
+                throw;
+            }
+            shard_failures.push_back(
+                ShardFailure{shard, fault.kind(), fault.what()});
+        } catch (const std::exception& e) {
+            if (options.strict_faults) {
+                throw;
+            }
+            shard_failures.push_back(
+                ShardFailure{shard, util::FaultKind::ShardFailed, e.what()});
+        }
+    };
+
+    // Replay the common journaled prefix through all K merge loops.
+    for (std::size_t r = 0; r < resume_len && !all_converged(); ++r) {
+        for (std::size_t k = 0; k < corners; ++k) {
+            mergers[k]->merge(resumed[k][r].records);
+            journals[k].shards.push_back(std::move(resumed[k][r]));
+        }
+        ++shards_merged;
+        report_progress();
+    }
+    const std::size_t shards_resumed = shards_merged;
+    std::size_t unpublished = 0;
+
+    for (std::size_t wave_start = resume_len;
+         wave_start < num_shards && !all_converged(); wave_start += pool.size()) {
+        const std::size_t wave =
+            std::min<std::size_t>(pool.size(), num_shards - wave_start);
+        auto results = pool.parallel_map(wave, [&](std::size_t i) {
+            const std::size_t shard = wave_start + i;
+            const std::size_t planned =
+                std::min(shard_size, options.max_transitions - shard * shard_size);
+            MultiShardOutcome outcome;
+            try {
+                outcome.result =
+                    emulation
+                        ? run_shard_emulation_multi(*context_ptrs[0], m, mode,
+                                                    options, weight_sets, shard,
+                                                    planned)
+                        : run_shard_event_multi(*context_ptrs[0], m, mode, options,
+                                                sim_options_, transfer.weights,
+                                                shard, planned);
+            } catch (...) {
+                outcome.error = std::current_exception();
+            }
+            return outcome;
+        });
+
+        for (std::size_t i = 0; i < results.size() && !all_converged(); ++i) {
+            const std::size_t shard = wave_start + i;
+            MultiShardOutcome& outcome = results[i];
+            if (outcome.error != nullptr) {
+                handle_shard_failure(shard, outcome.error);
+                if (checkpointing) {
+                    for (std::size_t k = 0; k < corners; ++k) {
+                        journals[k].shards.push_back(CheckpointShard{shard, {}});
+                    }
+                    ++unpublished;
+                }
+            } else {
+                MultiShardResult& result = *outcome.result;
+                for (std::size_t k = 0; k < corners; ++k) {
+                    mergers[k]->merge(result.blocks[k]);
+                }
+                sim_transitions += result.sim_transitions;
+                sim_events += result.kernel.events_processed;
+                warmup_vectors += result.warmup_vectors;
+                warmup_batches += result.warmup_batches;
+                emulation_passes += result.emulation_passes;
+                if (emulation) {
+                    emulated_pairs += result.blocks[0].size() * corners;
+                }
+                max_queue_depth =
+                    std::max(max_queue_depth, result.kernel.max_queue_depth);
+                ++shards_merged;
+                if (checkpointing) {
+                    for (std::size_t k = 0; k < corners; ++k) {
+                        journals[k].shards.push_back(
+                            CheckpointShard{shard, std::move(result.blocks[k])});
+                    }
+                    ++unpublished;
+                }
+            }
+            report_progress();
+            if (checkpointing && !all_converged() &&
+                unpublished >= options.checkpoint_every) {
+                for (std::size_t k = 0; k < corners; ++k) {
+                    save_checkpoint(journal_paths[k], journals[k]);
+                }
+                unpublished = 0;
+                ++checkpoints_published;
+            }
+        }
+    }
+
+    std::vector<std::vector<CharacterizationRecord>> records;
+    records.reserve(corners);
+    bool any_records = false;
+    for (std::size_t k = 0; k < corners; ++k) {
+        records.push_back(mergers[k]->take_records());
+        any_records = any_records || !records.back().empty();
+    }
+    if (!any_records && first_failure != nullptr) {
+        std::rethrow_exception(first_failure);
+    }
+    if (checkpointing) {
+        for (std::size_t k = 0; k < corners; ++k) {
+            std::error_code ec;
+            std::filesystem::remove(journal_paths[k], ec);
+        }
+    }
+
+    if (options.stats != nullptr) {
+        options.stats->collect_wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        options.stats->sim_transitions = sim_transitions;
+        options.stats->sim_events = sim_events;
+        options.stats->events_per_sec =
+            options.stats->collect_wall_ms > 0.0
+                ? static_cast<double>(sim_events) /
+                      (options.stats->collect_wall_ms / 1000.0)
+                : 0.0;
+        options.stats->max_queue_depth = max_queue_depth;
+        options.stats->records = records[0].size();
+        options.stats->shards = shards_merged;
+        options.stats->threads = pool.size();
+        options.stats->warmup_vectors = warmup_vectors;
+        options.stats->warmup_batches = warmup_batches;
+        options.stats->shard_failures = std::move(shard_failures);
+        options.stats->shards_resumed = shards_resumed;
+        options.stats->checkpoints_published = checkpoints_published;
+        options.stats->checkpoint_discarded = checkpoint_discarded;
+        options.stats->checkpoint_salvaged = checkpoint_salvaged;
+        options.stats->backend = options.backend;
+        options.stats->emulated_pairs = emulated_pairs;
+        options.stats->emulation_passes = emulation_passes;
+        options.stats->calibration_pairs = emulation_calibration_pairs;
+        options.stats->calibration_scale = calibration_scale;
+        options.stats->corners = corners;
+        options.stats->corner_calibration_pairs = transfer.event_pairs;
+    }
+    return records;
+}
+
+std::vector<HdModel> Characterizer::characterize_corners(
+    const dp::DatapathModule& module, const CharacterizationOptions& options) const
+{
+    const auto blocks = collect_records_corners(module, options);
+    return timed_fit(options, [&] {
+        std::vector<HdModel> models;
+        models.reserve(blocks.size());
+        for (const auto& records : blocks) {
+            models.push_back(fit_basic_model(module.total_input_bits(), records));
+        }
+        return models;
+    });
+}
+
+std::vector<EnhancedHdModel> Characterizer::characterize_corners_enhanced(
+    const dp::DatapathModule& module, int zero_clusters,
+    CharacterizationOptions options) const
+{
+    // Same default as characterize_enhanced: only an unset mode falls back
+    // to StratifiedPairs.
+    if (!options.mode.has_value()) {
+        options.mode = StimulusMode::StratifiedPairs;
+    }
+    const auto blocks = collect_records_corners(module, options);
+    return timed_fit(options, [&] {
+        std::vector<EnhancedHdModel> models;
+        models.reserve(blocks.size());
+        for (const auto& records : blocks) {
+            models.push_back(fit_enhanced_model(module.total_input_bits(),
+                                                zero_clusters, records));
+        }
+        return models;
     });
 }
 

@@ -115,6 +115,13 @@ struct CharRunStats {
     std::uint64_t calibration_pairs = 0; ///< event-kernel pairs run for calibration
     double calibration_scale = 1.0; ///< fitted residual glitch scale (1 = none)
 
+    /// Corners scored by a multi-corner sweep (0 = single-corner run), and
+    /// the event-kernel transitions spent on the per-corner transfer
+    /// calibration (event backend sweeps only; the emulation backend's
+    /// per-corner glitch calibrations report through calibration_pairs).
+    std::size_t corners = 0;
+    std::uint64_t corner_calibration_pairs = 0;
+
     /// Shards that failed and were skipped (non-strict runs only; empty
     /// means the run completed clean).
     std::vector<ShardFailure> shard_failures;
@@ -202,6 +209,20 @@ struct CharacterizationOptions {
     /// Merged shards between checkpoint publishes (must be >= 1).
     std::size_t checkpoint_every = 1;
 
+    /// Operating corner the reference library is derived at
+    /// (gate::TechLibrary::at) before any simulation. Unset = the
+    /// library's native corner — bit-identical to pre-corner behaviour.
+    /// Like the backend, the corner is part of the measurement plan:
+    /// fingerprinted into stored models and checkpoint journals.
+    std::optional<gate::Corner> corner;
+
+    /// Multi-corner sweep list consumed by the *_corners entry points: one
+    /// stimulus sweep scores every listed corner from shared per-net
+    /// toggle activity (docs/corners.md), returning result vectors
+    /// index-aligned with this list. Ignored by the single-corner entry
+    /// points; mutually exclusive with `corner`.
+    std::vector<gate::Corner> corners;
+
     /// When true, the first failing shard aborts the whole run (the
     /// historical behaviour). When false — the default — a shard failure
     /// is captured in CharRunStats::shard_failures with its fault kind and
@@ -255,6 +276,42 @@ public:
     [[nodiscard]] std::vector<CharacterizationRecord> collect_records(
         const dp::DatapathModule& module, const CharacterizationOptions& options) const;
 
+    /// Multi-corner single-sweep record collection — the amortization path
+    /// (docs/corners.md). Runs the stimulus sweep *once* and scores every
+    /// corner in options.corners from shared per-net toggle activity:
+    ///
+    ///  - PowerEmulation: zero-delay toggles are exactly corner-invariant,
+    ///    so each shard settles once and K weighted dot products score the
+    ///    K corners. Each corner keeps its own event-kernel glitch
+    ///    calibration (run at that corner's derived library), so every
+    ///    corner's records are bit-identical to an independent
+    ///    single-corner run at that corner.
+    ///  - EventKernel: corners[0] is simulated exactly (bit-identical to a
+    ///    single-corner run at corners[0]); the remaining corners are
+    ///    scored from its per-cycle toggle vectors through per-corner
+    ///    transfer weights calibrated on a deterministic event-kernel
+    ///    subsample at each corner (approximate, within the calibrated
+    ///    tolerance).
+    ///
+    /// Element k of the result aligns with options.corners[k]. Convergence
+    /// is tracked per corner (a corner's record stream stops exactly where
+    /// its independent run would); the sweep runs until every corner has
+    /// converged or the budget is exhausted. Checkpointing appends ".c<k>"
+    /// per corner to options.checkpoint; resume is bit-identical.
+    [[nodiscard]] std::vector<std::vector<CharacterizationRecord>>
+    collect_records_corners(const dp::DatapathModule& module,
+                            const CharacterizationOptions& options) const;
+
+    /// Fit one basic model per corner from a single sweep (see
+    /// collect_records_corners).
+    [[nodiscard]] std::vector<HdModel> characterize_corners(
+        const dp::DatapathModule& module, const CharacterizationOptions& options) const;
+
+    /// Fit one enhanced model per corner from a single sweep.
+    [[nodiscard]] std::vector<EnhancedHdModel> characterize_corners_enhanced(
+        const dp::DatapathModule& module, int zero_clusters,
+        CharacterizationOptions options) const;
+
     /// The reference-simulation physics this characterizer runs under (used
     /// e.g. to fingerprint checkpoint journals).
     [[nodiscard]] const sim::EventSimOptions& sim_options() const noexcept
@@ -298,10 +355,19 @@ public:
     [[nodiscard]] std::uint64_t fingerprint() const noexcept;
     [[nodiscard]] const std::string& module_key() const noexcept;
 
+    /// Mid-shard progress callback: invoked between stimulus batches
+    /// *inside* a shard (roughly every 64 simulated transitions), so a
+    /// fleet worker can heartbeat its lease while a large shard is still
+    /// simulating — which is what lets the lease TTL shrink below one
+    /// shard's wall time.
+    using TickFn = std::function<void()>;
+
     /// Simulate shard @p shard of the plan and return its record block.
     /// Throws the shard's failure (FaultError etc.) — the caller owns the
-    /// degrade/abort decision.
-    [[nodiscard]] std::vector<CharacterizationRecord> run(std::size_t shard) const;
+    /// degrade/abort decision. @p tick, when set, is invoked between
+    /// batches inside the shard (see TickFn); it must not throw.
+    [[nodiscard]] std::vector<CharacterizationRecord> run(
+        std::size_t shard, const TickFn& tick = {}) const;
 
 private:
     struct Impl;

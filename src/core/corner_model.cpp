@@ -1,0 +1,117 @@
+#include "core/corner_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/linalg.hpp"
+
+namespace hdpm::core {
+
+namespace {
+
+/// The full surface basis evaluated at one corner coordinate.
+std::vector<double> basis_row(double vdd, double temp, std::size_t terms)
+{
+    std::vector<double> row{1.0, vdd, vdd * vdd, temp, vdd * temp};
+    row.resize(terms);
+    return row;
+}
+
+} // namespace
+
+CornerSurfaceModel CornerSurfaceModel::fit(std::span<const gate::Corner> corners,
+                                           std::span<const HdModel> models)
+{
+    HDPM_REQUIRE(!corners.empty(), "corner surface needs at least one corner");
+    HDPM_REQUIRE(corners.size() == models.size(),
+                 "corners and models must be index-aligned");
+    CornerSurfaceModel surface;
+    surface.input_bits_ = models[0].input_bits();
+    surface.load_class_ = corners[0].load_class;
+    surface.corners_ = corners.size();
+    for (std::size_t c = 1; c < corners.size(); ++c) {
+        HDPM_REQUIRE(models[c].input_bits() == surface.input_bits_,
+                     "corner models disagree on input width");
+        HDPM_REQUIRE(corners[c].load_class == surface.load_class_,
+                     "corner surface needs a uniform load class; fit one "
+                     "surface per load class");
+    }
+
+    // Shrink the basis to the sample count: an overdetermined system is
+    // fine, an underdetermined one would hand least_squares a singular
+    // normal matrix. Term order {1, v, v², t, v·t} drops the subtlest
+    // terms first.
+    const std::size_t terms = std::min<std::size_t>(5, corners.size());
+
+    const auto m = static_cast<std::size_t>(surface.input_bits_);
+    surface.coefficients_.resize(m);
+    surface.deviation_.assign(m, 0.0);
+    surface.sample_count_.assign(m, 0);
+
+    util::Matrix a{corners.size(), terms};
+    for (std::size_t c = 0; c < corners.size(); ++c) {
+        const std::vector<double> row =
+            basis_row(corners[c].vdd_v, corners[c].temp_c, terms);
+        for (std::size_t t = 0; t < terms; ++t) {
+            a.at(c, t) = row[t];
+        }
+    }
+
+    std::vector<double> b(corners.size(), 0.0);
+    for (int hd = 1; hd <= surface.input_bits_; ++hd) {
+        const auto row = static_cast<std::size_t>(hd - 1);
+        std::size_t populated = 0;
+        for (std::size_t c = 0; c < corners.size(); ++c) {
+            b[c] = models[c].coefficient(hd);
+            surface.deviation_[row] += models[c].deviation(hd);
+            surface.sample_count_[row] += models[c].sample_count(hd);
+            if (models[c].sample_count(hd) > 0) {
+                ++populated;
+            }
+        }
+        surface.deviation_[row] /= static_cast<double>(corners.size());
+        if (populated == 0) {
+            // An unpopulated class carries no signal at any corner; a flat
+            // zero surface keeps model_at's output aligned with the fitted
+            // models' own zeros.
+            surface.coefficients_[row].assign(terms, 0.0);
+            continue;
+        }
+        surface.coefficients_[row] = util::least_squares(a, b);
+        surface.coefficients_[row].resize(terms, 0.0);
+        for (std::size_t c = 0; c < corners.size(); ++c) {
+            double predicted = 0.0;
+            const std::vector<double> basis =
+                basis_row(corners[c].vdd_v, corners[c].temp_c, terms);
+            for (std::size_t t = 0; t < terms; ++t) {
+                predicted += surface.coefficients_[row][t] * basis[t];
+            }
+            if (b[c] > 0.0) {
+                surface.max_residual_ = std::max(
+                    surface.max_residual_, std::abs(predicted - b[c]) / b[c]);
+            }
+        }
+    }
+    return surface;
+}
+
+HdModel CornerSurfaceModel::model_at(double vdd_v, double temp_c) const
+{
+    HDPM_REQUIRE(input_bits_ >= 1, "corner surface was never fitted");
+    const auto m = static_cast<std::size_t>(input_bits_);
+    std::vector<double> p(m, 0.0);
+    const std::vector<double> basis = basis_row(vdd_v, temp_c, basis_terms());
+    for (std::size_t row = 0; row < m; ++row) {
+        double value = 0.0;
+        for (std::size_t t = 0; t < coefficients_[row].size(); ++t) {
+            value += coefficients_[row][t] * basis[t];
+        }
+        // Physics floor: charge is non-negative; a slightly negative
+        // extrapolation (possible at the basis edge) clamps to zero.
+        p[row] = std::max(0.0, value);
+    }
+    return HdModel{input_bits_, std::move(p), deviation_, sample_count_};
+}
+
+} // namespace hdpm::core

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/hd_model.hpp"
+#include "gatelib/techlib.hpp"
+
+namespace hdpm::core {
+
+/// A per-Hd-class coefficient surface over the (Vdd, temperature) plane.
+///
+/// A multi-corner sweep fits one HdModel per characterized corner; this
+/// model regresses each coefficient p_i against the corner coordinates so
+/// intermediate corners — a Vdd or temperature that was never simulated —
+/// can be served by interpolation instead of a fresh characterization.
+/// The regression basis is {1, v, v², t, v·t} (charge scales ~quadratically
+/// in Vdd and linearly in temperature under the alpha-power derating
+/// physics of gate::TechLibrary::at), shrunk adaptively when fewer corners
+/// were characterized than the basis has terms.
+///
+/// All fitted corners must share one load class: wire-load scaling is a
+/// discrete axis, not an interpolatable coordinate — fit one surface per
+/// load class instead.
+class CornerSurfaceModel {
+public:
+    /// Fit the surface from index-aligned corners and fitted models (e.g.
+    /// Characterizer::characterize_corners output). Requires at least one
+    /// corner, equal input widths, and a uniform load class.
+    [[nodiscard]] static CornerSurfaceModel fit(std::span<const gate::Corner> corners,
+                                                std::span<const HdModel> models);
+
+    /// The interpolated basic model at (vdd_v, temp_c). Deviations and
+    /// sample counts are not interpolated (they are measurement properties
+    /// of the fitted corners, not physics): the returned model carries the
+    /// per-class mean deviation and summed sample count of the fit set.
+    [[nodiscard]] HdModel model_at(double vdd_v, double temp_c) const;
+
+    [[nodiscard]] int input_bits() const noexcept { return input_bits_; }
+    [[nodiscard]] gate::LoadClass load_class() const noexcept { return load_class_; }
+    [[nodiscard]] std::size_t corners_fitted() const noexcept { return corners_; }
+    /// Basis terms actually used ({1} ⊆ basis ⊆ {1, v, v², t, v·t}).
+    [[nodiscard]] std::size_t basis_terms() const noexcept
+    {
+        return coefficients_.empty() ? 0 : coefficients_.front().size();
+    }
+
+    /// Max relative residual of the fit over the fitted corners and
+    /// populated classes — how faithfully the surface reproduces its own
+    /// training corners (0 for an exactly determined fit).
+    [[nodiscard]] double max_fit_residual() const noexcept { return max_residual_; }
+
+private:
+    int input_bits_ = 0;
+    gate::LoadClass load_class_ = gate::LoadClass::Nominal;
+    std::size_t corners_ = 0;
+    double max_residual_ = 0.0;
+    /// coefficients_[hd-1] = basis weights of class hd's surface.
+    std::vector<std::vector<double>> coefficients_;
+    std::vector<double> deviation_;          ///< per class, mean over corners
+    std::vector<std::size_t> sample_count_;  ///< per class, summed over corners
+};
+
+} // namespace hdpm::core

@@ -14,7 +14,8 @@ namespace {
 
 /// Bump when the set of fingerprinted fields changes; every stored model
 /// becomes stale at once, which is exactly the safe behaviour.
-constexpr std::uint64_t kFingerprintVersion = 2;
+/// v3: operating corner (vdd, temperature, load class) joined the plan.
+constexpr std::uint64_t kFingerprintVersion = 3;
 
 constexpr std::string_view kOptionsHeaderTag = "options";
 
@@ -76,9 +77,22 @@ std::uint64_t characterization_fingerprint(const CharacterizationOptions& option
     // The reference-simulation physics.
     mix(sim_options.count_input_charge ? 1 : 0);
     mix(static_cast<std::uint64_t>(sim_options.inertial_window_ps));
+    // The operating corner: a derived library scales every charge in the
+    // measurement, so corner-qualified models and journals must never mix
+    // with native-corner ones (or with each other across corners).
+    mix(options.corner.has_value() ? 1 : 0);
+    if (options.corner.has_value()) {
+        mix(std::bit_cast<std::uint64_t>(options.corner->vdd_v));
+        mix(std::bit_cast<std::uint64_t>(options.corner->temp_c));
+        mix(static_cast<std::uint64_t>(options.corner->load_class));
+    }
     // Deliberately excluded (execution-only, results bit-identical):
     // threads, warmup, scheduler, max_events_per_cycle, progress, stats,
     // checkpoint/checkpoint_every (resume is bit-identical), strict_faults.
+    // Also excluded: options.corners — a sweep journals and stores each
+    // corner under its own single-corner fingerprint (see
+    // sweep_corner_fingerprint in characterize.cpp for the event-kernel
+    // poisoning that keeps approximate sweep journals apart).
     return hash;
 }
 
@@ -116,8 +130,8 @@ void ModelLibrary::quarantine(const std::filesystem::path& path) const
     quarantined_.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::string ModelLibrary::model_key(dp::ModuleType type,
-                                    std::span<const int> widths) const
+std::string ModelLibrary::model_key(dp::ModuleType type, std::span<const int> widths,
+                                    const std::optional<gate::Corner>& corner) const
 {
     std::string key = library_->name();
     key += '_';
@@ -130,26 +144,31 @@ std::string ModelLibrary::model_key(dp::ModuleType type,
         }
         key += std::to_string(expanded[i]);
     }
+    if (corner.has_value()) {
+        key += '@';
+        key += corner->key();
+    }
     return key;
 }
 
-std::filesystem::path ModelLibrary::basic_path(dp::ModuleType type,
-                                               std::span<const int> widths) const
+std::filesystem::path ModelLibrary::basic_path(
+    dp::ModuleType type, std::span<const int> widths,
+    const std::optional<gate::Corner>& corner) const
 {
-    return directory_ / (model_key(type, widths) + ".hdm");
+    return directory_ / (model_key(type, widths, corner) + ".hdm");
 }
 
-std::filesystem::path ModelLibrary::enhanced_path(dp::ModuleType type,
-                                                  std::span<const int> widths,
-                                                  int zero_clusters) const
+std::filesystem::path ModelLibrary::enhanced_path(
+    dp::ModuleType type, std::span<const int> widths, int zero_clusters,
+    const std::optional<gate::Corner>& corner) const
 {
-    return directory_ /
-           (model_key(type, widths) + ".z" + std::to_string(zero_clusters) + ".ehdm");
+    return directory_ / (model_key(type, widths, corner) + ".z" +
+                         std::to_string(zero_clusters) + ".ehdm");
 }
 
 bool ModelLibrary::contains(dp::ModuleType type, std::span<const int> widths) const
 {
-    return std::filesystem::exists(basic_path(type, widths));
+    return std::filesystem::exists(basic_path(type, widths, std::nullopt));
 }
 
 template <typename Model, typename BuildFn>
@@ -248,7 +267,7 @@ HdModel ModelLibrary::get_or_characterize(dp::ModuleType type,
                                           std::span<const int> widths,
                                           const CharacterizationOptions& options) const
 {
-    const std::filesystem::path path = basic_path(type, widths);
+    const std::filesystem::path path = basic_path(type, widths, options.corner);
     return load_or_build<HdModel>(
         path, characterization_fingerprint(options, sim_options_), [&] {
             const dp::DatapathModule module = dp::make_module(type, widths);
@@ -261,7 +280,8 @@ EnhancedHdModel ModelLibrary::get_or_characterize_enhanced(
     dp::ModuleType type, std::span<const int> widths, int zero_clusters,
     const CharacterizationOptions& options) const
 {
-    const std::filesystem::path path = enhanced_path(type, widths, zero_clusters);
+    const std::filesystem::path path =
+        enhanced_path(type, widths, zero_clusters, options.corner);
     return load_or_build<EnhancedHdModel>(
         path, characterization_fingerprint(options, sim_options_), [&] {
             const dp::DatapathModule module = dp::make_module(type, widths);
@@ -274,7 +294,7 @@ void ModelLibrary::store_basic(dp::ModuleType type, std::span<const int> widths,
                                const CharacterizationOptions& options,
                                const HdModel& model) const
 {
-    (void)load_or_build<HdModel>(basic_path(type, widths),
+    (void)load_or_build<HdModel>(basic_path(type, widths, options.corner),
                                  characterization_fingerprint(options, sim_options_),
                                  [&] { return model; });
 }
@@ -285,7 +305,7 @@ void ModelLibrary::store_enhanced(dp::ModuleType type, std::span<const int> widt
                                   const EnhancedHdModel& model) const
 {
     (void)load_or_build<EnhancedHdModel>(
-        enhanced_path(type, widths, zero_clusters),
+        enhanced_path(type, widths, zero_clusters, options.corner),
         characterization_fingerprint(options, sim_options_), [&] { return model; });
 }
 

@@ -60,9 +60,13 @@ public:
                           const gate::TechLibrary& library = gate::TechLibrary::generic350(),
                           sim::EventSimOptions sim_options = {});
 
-    /// The deterministic file-name key of a model.
-    [[nodiscard]] std::string model_key(dp::ModuleType type,
-                                        std::span<const int> widths) const;
+    /// The deterministic file-name key of a model. A corner-qualified model
+    /// (options.corner set) appends the corner's canonical key — e.g.
+    /// "generic350_csa_multiplier_16x16@v3300t250n" — so two corners of the
+    /// same instance can never alias each other's stored files.
+    [[nodiscard]] std::string model_key(
+        dp::ModuleType type, std::span<const int> widths,
+        const std::optional<gate::Corner>& corner = std::nullopt) const;
 
     /// True if a basic model for the instance is stored.
     [[nodiscard]] bool contains(dp::ModuleType type, std::span<const int> widths) const;
@@ -112,11 +116,12 @@ public:
     }
 
 private:
-    [[nodiscard]] std::filesystem::path basic_path(dp::ModuleType type,
-                                                   std::span<const int> widths) const;
-    [[nodiscard]] std::filesystem::path enhanced_path(dp::ModuleType type,
-                                                      std::span<const int> widths,
-                                                      int zero_clusters) const;
+    [[nodiscard]] std::filesystem::path basic_path(
+        dp::ModuleType type, std::span<const int> widths,
+        const std::optional<gate::Corner>& corner) const;
+    [[nodiscard]] std::filesystem::path enhanced_path(
+        dp::ModuleType type, std::span<const int> widths, int zero_clusters,
+        const std::optional<gate::Corner>& corner) const;
 
     /// Load @p path if it exists and its stored options fingerprint equals
     /// @p fingerprint, else run @p build (single-flight per path) and store

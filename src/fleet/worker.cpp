@@ -167,10 +167,34 @@ WorkerStats FleetWorker::run()
             journal.input_bits = plan->input_bits;
             bool lost = false;
             bool failed = false;
+
+            // Mid-shard heartbeat tick: invoked by the runner between
+            // stimulus batches. Throttled to heartbeat_interval_ms so a
+            // fast shard doesn't hammer the lease file; a detected loss
+            // (expired + re-leased under us) stops further ticks and the
+            // range is abandoned once the in-flight shard returns — ticks
+            // must not throw, so the shard itself is never interrupted.
+            auto last_beat = Clock::now();
+            bool lost_mid_shard = false;
+            const core::ShardRunner::TickFn tick = [&]() {
+                if (lost_mid_shard ||
+                    elapsed_ms(last_beat) < options_.heartbeat_interval_ms) {
+                    return;
+                }
+                last_beat = Clock::now();
+                LeaseInfo current;
+                if (read_lease(lease_path, current) != LeaseRead::Ok ||
+                    current.token != mine.token || !heartbeat_lease(lease_path)) {
+                    lost_mid_shard = true;
+                    return;
+                }
+                ++stats.mid_shard_heartbeats;
+            };
+
             for (std::size_t shard = start; shard < start + mine.count; ++shard) {
                 try {
                     std::vector<core::CharacterizationRecord> block =
-                        runner.run(shard);
+                        runner.run(shard, tick);
                     ++stats.shards_run;
                     journal.shards.push_back({shard, std::move(block)});
                 } catch (...) {
@@ -185,6 +209,11 @@ WorkerStats FleetWorker::run()
                         first_failure = std::current_exception();
                     }
                     failed = true;
+                    break;
+                }
+                if (lost_mid_shard) {
+                    lost = true;
+                    ++stats.ranges_abandoned;
                     break;
                 }
                 LeaseInfo current;

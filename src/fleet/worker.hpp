@@ -33,6 +33,12 @@ struct WorkerOptions {
 
     double poll_ms = 50.0;        ///< claim-scan cadence
     double plan_wait_ms = 30000.0; ///< how long to wait for plan.fleet
+
+    /// Minimum gap between mid-shard lease heartbeats. The worker also
+    /// heartbeats between shards; the mid-shard ticks are what let the
+    /// lease TTL shrink below one shard's wall time (a large shard no
+    /// longer looks dead while it is still simulating).
+    double heartbeat_interval_ms = 500.0;
 };
 
 /// Counters of one worker run.
@@ -42,7 +48,8 @@ struct WorkerStats {
     std::size_t ranges_failed = 0;      ///< ranges abandoned to a shard failure
     std::size_t duplicate_publishes = 0; ///< lost a first-wins publish race
     std::size_t shards_run = 0;         ///< shards simulated (incl. abandoned)
-    std::size_t heartbeats = 0;         ///< successful lease heartbeats
+    std::size_t heartbeats = 0;         ///< successful between-shard heartbeats
+    std::size_t mid_shard_heartbeats = 0; ///< successful heartbeats inside a shard
 };
 
 /// A fleet worker: claims open ranges with O_EXCL leases, simulates the

@@ -2,10 +2,66 @@
 
 #include <array>
 #include <string>
+#include <string_view>
 
 #include "gatelib/gate.hpp"
 
 namespace hdpm::gate {
+
+/// Wire-load class of an operating corner: a coarse knob for the
+/// interconnect environment (placement density, routing congestion) that
+/// scales the per-net wire capacitance without touching cell data.
+enum class LoadClass : std::uint8_t {
+    Light = 0,   ///< sparse placement, short wires (0.6× wire caps)
+    Nominal = 1, ///< the library's native wire model (1.0×)
+    Heavy = 2,   ///< congested routing, long wires (1.6× wire caps)
+};
+
+/// Human-readable load-class name ("light" / "nominal" / "heavy").
+[[nodiscard]] const char* load_class_name(LoadClass load) noexcept;
+
+/// Wire-capacitance multiplier of a load class.
+[[nodiscard]] double load_class_wire_scale(LoadClass load) noexcept;
+
+/// One operating corner of a technology library: supply voltage, junction
+/// temperature, and wire-load class. TechLibrary::at derives a complete
+/// scaled library for a corner (alpha-power Vdd scaling of delay, CV²
+/// scaling of internal energy, linear temperature derating — see
+/// docs/corners.md for the laws and constants).
+///
+/// The *identity corner* — native Vdd (or vdd_v = 0), 25 °C, Nominal —
+/// derives a library whose every number is bit-identical to the base
+/// library (all scale factors are exactly 1.0 in IEEE arithmetic), so
+/// corner-aware code paths cost nothing when no corner is requested.
+struct Corner {
+    double vdd_v = 0.0;   ///< supply [V]; 0 = the library's native supply
+    double temp_c = 25.0; ///< junction temperature [°C]
+    LoadClass load_class = LoadClass::Nominal;
+
+    /// Whitespace-free identity token, e.g. "v3300t250n" (supply in mV,
+    /// temperature in deci-°C, load-class letter). Used in derived library
+    /// names, model keys, file names, and checkpoint fingerprints; corners
+    /// that round to the same token are the same corner for caching.
+    [[nodiscard]] std::string key() const;
+
+    friend bool operator==(const Corner&, const Corner&) = default;
+};
+
+/// Parse a corner spec "vdd:temp[:load]" — e.g. "0.9:85", "1.62:125:heavy",
+/// "3.3:25:l". Load accepts light/nominal/heavy or their first letters;
+/// omitted = nominal. Throws on malformed input.
+[[nodiscard]] Corner parse_corner(std::string_view spec);
+
+/// Exact per-field multipliers TechLibrary::derived applies to every cell:
+/// one multiplication per field, so a scaling of 1.0 is bit-preserving and
+/// a hand-written scaled library (the historical generic180 constants) is
+/// reproduced exactly.
+struct CellScaling {
+    double cap_scale = 1.0;    ///< input and output pin capacitance
+    double energy_scale = 1.0; ///< internal energy per transition
+    double delay_scale = 1.0;  ///< intrinsic (unloaded) delay
+    double slope_scale = 1.0;  ///< delay-vs-load slope
+};
 
 /// Electrical characterization data of one cell kind.
 ///
@@ -56,11 +112,38 @@ public:
         return cells_[static_cast<std::size_t>(kind)];
     }
 
+    /// A derived library: every cell field multiplied by the matching
+    /// CellScaling factor (exactly one multiplication per field), with the
+    /// given supply and wire capacitances adopted verbatim. This is the
+    /// single mechanism behind both hand-named process variants
+    /// (generic180) and operating-corner derivation (at()).
+    [[nodiscard]] TechLibrary derived(std::string name, double vdd_v,
+                                      double wire_cap_base_ff,
+                                      double wire_cap_per_fanout_ff,
+                                      const CellScaling& scaling) const;
+
+    /// The library scaled to an operating corner: internal energies scale
+    /// as (V/V₀)² with a linear temperature derating, delays follow the
+    /// alpha-power law V/(V−Vth)^α relative to the native supply with their
+    /// own linear temperature derating, wire capacitances scale with the
+    /// load class, and the derived library's vdd() is the corner supply (so
+    /// the ½·C·Vdd edge-charge term scales without further bookkeeping).
+    /// The identity corner derives a bit-identical library (see Corner).
+    /// The derived name is "<name>@<corner.key()>".
+    [[nodiscard]] TechLibrary at(const Corner& corner) const;
+
+    /// The internal-energy multiplier at() applies for @p corner.
+    [[nodiscard]] double corner_energy_scale(const Corner& corner) const;
+
+    /// The delay multiplier at() applies for @p corner.
+    [[nodiscard]] double corner_delay_scale(const Corner& corner) const;
+
     /// The default generic 350 nm-class library (Vdd = 3.3 V).
     [[nodiscard]] static const TechLibrary& generic350();
 
     /// A scaled 180 nm-class variant (Vdd = 1.8 V) used to check that model
-    /// conclusions are technology-independent.
+    /// conclusions are technology-independent. Generated from generic350()
+    /// through derived() — the constants live in one place.
     [[nodiscard]] static const TechLibrary& generic180();
 
 private:

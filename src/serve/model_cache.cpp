@@ -39,12 +39,17 @@ std::size_t ShardedModelCache::shard_for(const std::string& key) const noexcept
     return key_hash(key) % shards_.size();
 }
 
-std::shared_ptr<const ServedModel> ShardedModelCache::get(dp::ModuleType type,
-                                                          std::span<const int> widths,
-                                                          bool enhanced,
-                                                          int zero_clusters)
+std::shared_ptr<const ServedModel> ShardedModelCache::get(
+    dp::ModuleType type, std::span<const int> widths, bool enhanced,
+    int zero_clusters, const std::optional<gate::Corner>& corner)
 {
-    std::string key = library_->model_key(type, widths);
+    // The request corner overrides the configured default; either way the
+    // effective corner lands in both the cache key and the
+    // characterization options, so corner-qualified entries can never
+    // alias the native-corner model (or each other).
+    const std::optional<gate::Corner>& effective =
+        corner.has_value() ? corner : char_options_.corner;
+    std::string key = library_->model_key(type, widths, effective);
     if (enhanced) {
         key += ".z" + std::to_string(zero_clusters);
     }
@@ -91,14 +96,16 @@ std::shared_ptr<const ServedModel> ShardedModelCache::get(dp::ModuleType type,
 
     misses_.fetch_add(1, std::memory_order_relaxed);
     try {
+        core::CharacterizationOptions options = char_options_;
+        options.corner = effective;
         std::shared_ptr<const ServedModel> model;
         if (enhanced) {
             model = std::make_shared<const ServedModel>(
                 library_->get_or_characterize_enhanced(type, widths, zero_clusters,
-                                                       char_options_));
+                                                       options));
         } else {
             model = std::make_shared<const ServedModel>(
-                library_->get_or_characterize(type, widths, char_options_));
+                library_->get_or_characterize(type, widths, options));
         }
         promise.set_value(model);
         return model;

@@ -38,12 +38,16 @@ public:
                       core::CharacterizationOptions char_options,
                       std::size_t shards = 8, std::size_t capacity_per_shard = 64);
 
-    /// The model for (type, widths, kind), loading or characterizing on
-    /// miss. @p zero_clusters selects the enhanced variant when
-    /// @p enhanced is true.
+    /// The model for (type, widths, kind, corner), loading or
+    /// characterizing on miss. @p zero_clusters selects the enhanced
+    /// variant when @p enhanced is true. @p corner, when set, overrides the
+    /// cache's configured characterization corner for this entry; the
+    /// corner is part of the cache key (via ModelLibrary::model_key), so
+    /// two corners of the same module can never alias one cached model.
     [[nodiscard]] std::shared_ptr<const ServedModel> get(
         dp::ModuleType type, std::span<const int> widths, bool enhanced,
-        int zero_clusters);
+        int zero_clusters,
+        const std::optional<gate::Corner>& corner = std::nullopt);
 
     [[nodiscard]] std::uint64_t hits() const noexcept
     {

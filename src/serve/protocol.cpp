@@ -249,6 +249,15 @@ void encode_estimate_request(WireWriter& w, const EstimateRequest& request)
     for (const int width : request.widths) {
         w.i32(width);
     }
+    // Trailing-optional corner block: pre-corner decoders never see it
+    // (they stop at the widths), and pre-corner encoders simply end the
+    // frame here — the decoder treats an exhausted payload as "no corner".
+    if (request.corner.has_value()) {
+        w.u8(1);
+        w.f64(request.corner->vdd_v);
+        w.f64(request.corner->temp_c);
+        w.u8(static_cast<std::uint8_t>(request.corner->load_class));
+    }
 }
 
 EstimateRequest decode_estimate_request(WireReader& r)
@@ -270,6 +279,23 @@ EstimateRequest decode_estimate_request(WireReader& r)
     request.widths.resize(n);
     for (std::uint8_t i = 0; i < n; ++i) {
         request.widths[i] = r.i32();
+    }
+    if (r.remaining() > 0) {
+        const std::uint8_t has_corner = r.u8();
+        if (has_corner > 1) {
+            protocol_fault("bad corner flag " + std::to_string(has_corner));
+        }
+        if (has_corner == 1) {
+            gate::Corner corner;
+            corner.vdd_v = r.f64();
+            corner.temp_c = r.f64();
+            const std::uint8_t load = r.u8();
+            if (load > static_cast<std::uint8_t>(gate::LoadClass::Heavy)) {
+                protocol_fault("unknown load class " + std::to_string(load));
+            }
+            corner.load_class = static_cast<gate::LoadClass>(load);
+            request.corner = corner;
+        }
     }
     return request;
 }

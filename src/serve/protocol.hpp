@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "gatelib/techlib.hpp"
 #include "util/fault.hpp"
 
 namespace hdpm::serve {
@@ -67,13 +68,18 @@ enum class ModelKind : std::uint8_t {
     Enhanced = 1, ///< EnhancedHdModel with `zero_clusters` clusters
 };
 
-/// Body of an Estimate request.
+/// Body of an Estimate request. The corner block is trailing-optional on
+/// the wire: a frame may simply end after the widths (the encoding every
+/// pre-corner client emits), in which case the server evaluates at its
+/// configured default corner. When present it is has_corner(u8=1) +
+/// vdd(f64) + temp(f64) + load_class(u8).
 struct EstimateRequest {
     std::uint64_t trace_id = 0;
     std::uint8_t module_type = 0; ///< dp::ModuleType underlying value
     std::vector<int> widths;
     ModelKind kind = ModelKind::Basic;
     int zero_clusters = 0;
+    std::optional<gate::Corner> corner; ///< operating corner (absent = default)
 };
 
 /// Body of an Ok Estimate response: the estimate plus a slice of the

@@ -81,6 +81,21 @@ public:
                                                std::span<const double> weights,
                                                std::vector<std::uint64_t>* counts = nullptr);
 
+    /// Multi-weight-set variant of count_weighted_toggles — the multi-
+    /// corner chain scorer: one settle sweep over the stream scores every
+    /// weight set at once. charges[k] is resized to N-1 and receives the
+    /// stream scored against weight_sets[k]; per transition and per set the
+    /// weights accumulate in ascending net order, exactly as a single-set
+    /// count_weighted_toggles call would, so charges[k] is bit-identical
+    /// to count_weighted_toggles(stream, weight_sets[k]) while the settle
+    /// work is paid once instead of K times. When @p counts is non-null it
+    /// receives the unweighted toggle counts (weight-set independent).
+    void count_weighted_toggles_multi(
+        std::span<const util::BitVec> stream,
+        std::span<const std::span<const double>> weight_sets,
+        std::span<std::vector<double>> charges,
+        std::vector<std::uint64_t>* counts = nullptr);
+
     /// Settle @p us and @p vs (equal sizes, 1..kLanes vectors each) in two
     /// word-parallel passes and derive the per-net pair-toggle words:
     /// bit j of toggle_words()[net] is set iff the net's settled value

@@ -184,9 +184,30 @@ void EventSimulator::reset_cycle_state()
     wheel_.reset();
 
     initialized_ = true;
+    if (track_cycle_toggles_) {
+        clear_cycle_toggles();
+    }
     if (tracer_ != nullptr) {
         tracer_->dump_all(cycle_start_time_, values_);
     }
+}
+
+void EventSimulator::set_cycle_toggle_tracking(bool enabled)
+{
+    track_cycle_toggles_ = enabled;
+    if (enabled) {
+        cycle_toggle_count_.assign(netlist_->num_nets(), 0);
+        cycle_dirty_.clear();
+        cycle_dirty_.reserve(netlist_->num_nets());
+    }
+}
+
+void EventSimulator::clear_cycle_toggles()
+{
+    for (const NetId net : cycle_dirty_) {
+        cycle_toggle_count_[net] = 0;
+    }
+    cycle_dirty_.clear();
 }
 
 void EventSimulator::toggle_net(NetId net, std::uint8_t value, std::int64_t time,
@@ -194,6 +215,11 @@ void EventSimulator::toggle_net(NetId net, std::uint8_t value, std::int64_t time
 {
     values_[net] = value;
     ++transition_count_[net];
+    if (track_cycle_toggles_) {
+        if (cycle_toggle_count_[net]++ == 0) {
+            cycle_dirty_.push_back(net);
+        }
+    }
     ++result.transitions;
     result.settle_time_ps = std::max(result.settle_time_ps, time);
     if (count_charge) {
@@ -209,6 +235,9 @@ void EventSimulator::toggle_net(NetId net, std::uint8_t value, std::int64_t time
 CycleResult EventSimulator::apply(const BitVec& inputs)
 {
     HDPM_REQUIRE(initialized_, "EventSimulator::apply before initialize");
+    if (track_cycle_toggles_) {
+        clear_cycle_toggles();
+    }
     const auto& pis = netlist_->primary_inputs();
     HDPM_REQUIRE(inputs.width() == static_cast<int>(pis.size()), "netlist '",
                  netlist_->name(), "' has ", pis.size(), " inputs, pattern has ",

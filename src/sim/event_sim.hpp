@@ -143,6 +143,30 @@ public:
         return transition_count_;
     }
 
+    /// Opt-in per-cycle toggle tracking — the multi-corner sweep's data
+    /// source: when enabled, every apply() records which nets toggled this
+    /// cycle and how often, readable until the next apply() / initialize()
+    /// / load_state(). Off by default: the hot loop then pays one
+    /// predictable branch, and when enabled the per-cycle clear touches
+    /// only the nets that actually toggled (allocation-free after the
+    /// first enable).
+    void set_cycle_toggle_tracking(bool enabled);
+
+    /// Nets toggled by the last apply(), in first-toggle order (a
+    /// deterministic function of the simulation — the multi-corner charge
+    /// accumulation order). Empty unless tracking is enabled.
+    [[nodiscard]] std::span<const netlist::NetId> cycle_toggled_nets() const noexcept
+    {
+        return cycle_dirty_;
+    }
+
+    /// Toggle count of @p net in the last apply() (0 when untoggled;
+    /// meaningless unless tracking is enabled).
+    [[nodiscard]] std::uint32_t cycle_toggle_count(netlist::NetId net) const
+    {
+        return cycle_toggle_count_[net];
+    }
+
     /// Total charge drawn per net since construction [fC] (power hot-spot
     /// reports; see sim/report.hpp).
     [[nodiscard]] const std::vector<double>& cumulative_charge_per_net() const noexcept
@@ -303,6 +327,12 @@ private:
     KernelStats stats_;
     std::vector<std::uint64_t> transition_count_;
     std::vector<double> charge_per_net_;
+
+    /// Per-cycle toggle tracking (see set_cycle_toggle_tracking).
+    void clear_cycle_toggles();
+    bool track_cycle_toggles_ = false;
+    std::vector<std::uint32_t> cycle_toggle_count_; // per net, last apply only
+    std::vector<netlist::NetId> cycle_dirty_;       // nets toggled, first-toggle order
 
     /// The current cycle's input vector pair (u = steady state before
     /// apply, v = the applied vector), captured so a budget-exceeded fault

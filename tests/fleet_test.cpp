@@ -496,6 +496,69 @@ TEST(FleetTest, PrePublishedRangeIsMergedNotRedone)
     EXPECT_EQ(read_file(models / name), ref_bytes);
 }
 
+TEST(FleetTest, MidShardHeartbeatsKeepALeaseAliveUnderAShortTtl)
+{
+    // One range of one big shard whose wall time exceeds the lease TTL
+    // several times over. Without mid-shard heartbeats the coordinator
+    // would expire the lease while the worker is still simulating its
+    // first (and only) shard; the in-shard ticks keep the lease fresh,
+    // so the fleet completes with zero expiries, zero abandoned ranges,
+    // and a byte-identical model.
+    CharacterizationOptions options;
+    options.max_transitions = 12000;
+    options.min_transitions = 12000;
+    options.batch = 12000;
+    options.shard_size = 12000;
+    options.seed = 9;
+    options.threads = 1;
+    const ModuleType module_type = ModuleType::CsaMultiplier;
+    const std::vector<int> widths = {8, 8};
+
+    const auto ref_dir = fresh_dir("midbeat_ref");
+    const core::ModelLibrary ref_library{ref_dir};
+    (void)ref_library.get_or_characterize(module_type, widths, options);
+    const std::string name = ref_library.model_key(module_type, widths) + ".hdm";
+    const std::string ref_bytes = read_file(ref_dir / name);
+
+    const auto fleet_dir = fresh_dir("midbeat_fleet");
+    const auto models = fresh_dir("midbeat_models");
+    FleetOptions fo;
+    fo.fleet_dir = fleet_dir;
+    fo.models_dir = models;
+    fo.module_type = module_type;
+    fo.widths = widths;
+    fo.char_options = options;
+    fo.lease_shards = 1;
+    fo.lease_ttl_ms = 80.0; // several times shorter than one shard
+    fo.poll_ms = 5.0;
+    fo.idle_timeout_ms = 30000.0;
+
+    WorkerOptions wo;
+    wo.fleet_dir = fleet_dir;
+    wo.module_type = module_type;
+    wo.widths = widths;
+    wo.char_options = options;
+    wo.worker_id = "midbeat-worker";
+    wo.poll_ms = 5.0;
+    wo.heartbeat_interval_ms = 10.0;
+
+    WorkerStats worker_stats;
+    std::thread worker_thread{[&] {
+        FleetWorker worker{wo};
+        worker_stats = worker.run();
+    }};
+    FleetCoordinator coordinator{fo};
+    const FleetStats stats = coordinator.run();
+    worker_thread.join();
+
+    EXPECT_GT(worker_stats.mid_shard_heartbeats, 0U);
+    EXPECT_EQ(worker_stats.ranges_abandoned, 0U);
+    EXPECT_EQ(worker_stats.ranges_completed, 1U);
+    EXPECT_EQ(stats.leases_expired, 0U);
+    EXPECT_EQ(stats.ranges_done, 1U);
+    EXPECT_EQ(read_file(models / name), ref_bytes);
+}
+
 TEST(FleetTest, WorkerRefusesAMismatchedPlan)
 {
     const auto options = small_plan();

@@ -154,5 +154,104 @@ TEST(TechLibrary, Generic180IsScaledDown)
     }
 }
 
+TEST(TechLibrary, DerivedGeneric180ReproducesTheHistoricalLiteralsExactly)
+{
+    // generic180 used to be a hand-written table: every generic350 cell
+    // field multiplied once by a per-field constant. The derived() refactor
+    // must reproduce those numbers bit for bit — one multiplication per
+    // field, same constants — or every historical generic180 result (and
+    // fingerprinted model file) would silently shift.
+    const TechLibrary& base = TechLibrary::generic350();
+    const TechLibrary& lib = TechLibrary::generic180();
+    EXPECT_EQ(lib.name(), "generic180");
+    EXPECT_EQ(lib.vdd(), 1.8);
+    EXPECT_EQ(lib.wire_cap_base_ff(), 1.0);
+    EXPECT_EQ(lib.wire_cap_per_fanout_ff(), 0.8);
+    for (int k = 0; k < kNumGateKinds; ++k) {
+        const auto kind = static_cast<GateKind>(k);
+        const GateElectrical& b = base.spec(kind);
+        const GateElectrical& e = lib.spec(kind);
+        // Exact (==, not near) by design: the historical table was built
+        // with these same single multiplications.
+        EXPECT_EQ(e.input_cap_ff, b.input_cap_ff * 0.45) << gate_name(kind);
+        EXPECT_EQ(e.output_cap_ff, b.output_cap_ff * 0.45) << gate_name(kind);
+        EXPECT_EQ(e.internal_energy_fj, b.internal_energy_fj * 0.20)
+            << gate_name(kind);
+        EXPECT_EQ(e.intrinsic_delay_ps, b.intrinsic_delay_ps * 0.40)
+            << gate_name(kind);
+        EXPECT_EQ(e.delay_per_ff_ps, b.delay_per_ff_ps * 0.90) << gate_name(kind);
+    }
+}
+
+TEST(Corner, IdentityCornerDerivesABitIdenticalLibrary)
+{
+    const TechLibrary& base = TechLibrary::generic350();
+    // Native supply spelled explicitly and as the 0-sentinel: both are the
+    // identity corner — every scale factor must be exactly 1.0 so the
+    // derived numbers are the base numbers, bit for bit.
+    for (const Corner corner : {Corner{3.3, 25.0, LoadClass::Nominal},
+                                Corner{0.0, 25.0, LoadClass::Nominal}}) {
+        EXPECT_EQ(base.corner_energy_scale(corner), 1.0);
+        EXPECT_EQ(base.corner_delay_scale(corner), 1.0);
+        const TechLibrary lib = base.at(corner);
+        EXPECT_EQ(lib.vdd(), base.vdd());
+        EXPECT_EQ(lib.wire_cap_base_ff(), base.wire_cap_base_ff());
+        EXPECT_EQ(lib.wire_cap_per_fanout_ff(), base.wire_cap_per_fanout_ff());
+        for (int k = 0; k < kNumGateKinds; ++k) {
+            const auto kind = static_cast<GateKind>(k);
+            const GateElectrical& b = base.spec(kind);
+            const GateElectrical& e = lib.spec(kind);
+            EXPECT_EQ(e.input_cap_ff, b.input_cap_ff) << gate_name(kind);
+            EXPECT_EQ(e.output_cap_ff, b.output_cap_ff) << gate_name(kind);
+            EXPECT_EQ(e.internal_energy_fj, b.internal_energy_fj) << gate_name(kind);
+            EXPECT_EQ(e.intrinsic_delay_ps, b.intrinsic_delay_ps) << gate_name(kind);
+            EXPECT_EQ(e.delay_per_ff_ps, b.delay_per_ff_ps) << gate_name(kind);
+        }
+    }
+}
+
+TEST(Corner, ScalingLawsAreMonotoneInTheRightDirections)
+{
+    const TechLibrary& lib = TechLibrary::generic350();
+    // Energy: quadratic in supply, rising with temperature.
+    EXPECT_LT(lib.corner_energy_scale({2.5, 25.0, LoadClass::Nominal}), 1.0);
+    EXPECT_GT(lib.corner_energy_scale({5.0, 25.0, LoadClass::Nominal}), 1.0);
+    EXPECT_GT(lib.corner_energy_scale({3.3, 125.0, LoadClass::Nominal}),
+              lib.corner_energy_scale({3.3, 25.0, LoadClass::Nominal}));
+    // Delay: lower supply is slower (alpha-power), hotter is slower.
+    EXPECT_GT(lib.corner_delay_scale({2.5, 25.0, LoadClass::Nominal}), 1.0);
+    EXPECT_LT(lib.corner_delay_scale({5.0, 25.0, LoadClass::Nominal}), 1.0);
+    EXPECT_GT(lib.corner_delay_scale({3.3, 125.0, LoadClass::Nominal}),
+              lib.corner_delay_scale({3.3, 25.0, LoadClass::Nominal}));
+    // Load class scales only wire capacitance.
+    const TechLibrary heavy = lib.at({3.3, 25.0, LoadClass::Heavy});
+    EXPECT_EQ(heavy.wire_cap_base_ff(), lib.wire_cap_base_ff() * 1.6);
+    EXPECT_EQ(heavy.wire_cap_per_fanout_ff(), lib.wire_cap_per_fanout_ff() * 1.6);
+    EXPECT_EQ(heavy.spec(GateKind::Nand2).input_cap_ff,
+              lib.spec(GateKind::Nand2).input_cap_ff);
+    // A supply at/below the modeled threshold must refuse, not emit NaN.
+    EXPECT_THROW((void)lib.corner_delay_scale({0.5, 25.0, LoadClass::Nominal}),
+                 util::PreconditionError);
+}
+
+TEST(Corner, KeyAndParseRoundTrip)
+{
+    EXPECT_EQ((Corner{3.3, 25.0, LoadClass::Nominal}).key(), "v3300t250n");
+    EXPECT_EQ((Corner{1.62, 125.0, LoadClass::Heavy}).key(), "v1620t1250h");
+    EXPECT_EQ((Corner{0.9, -40.0, LoadClass::Light}).key(), "v900t-400l");
+
+    const Corner parsed = parse_corner("1.62:125:heavy");
+    EXPECT_EQ(parsed.vdd_v, 1.62);
+    EXPECT_EQ(parsed.temp_c, 125.0);
+    EXPECT_EQ(parsed.load_class, LoadClass::Heavy);
+    EXPECT_EQ(parse_corner("3.3:25").load_class, LoadClass::Nominal);
+    EXPECT_EQ(parse_corner("0.9:85:l").load_class, LoadClass::Light);
+
+    EXPECT_THROW((void)parse_corner("3.3"), util::RuntimeError);
+    EXPECT_THROW((void)parse_corner("volts:25"), util::RuntimeError);
+    EXPECT_THROW((void)parse_corner("3.3:25:medium"), util::RuntimeError);
+    EXPECT_THROW((void)parse_corner("99:25"), util::PreconditionError);
+}
+
 } // namespace
 } // namespace hdpm::gate

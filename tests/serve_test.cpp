@@ -435,6 +435,53 @@ TEST(Serve, ModelCacheCharacterizesOnMissOnce)
     server.drain();
 }
 
+TEST(Serve, CornerRequestsDoNotAliasInTheModelCache)
+{
+    // Regression: before corners entered the cache key, a request at
+    // 2.5 V / 85 °C and one at the native corner both resolved to the same
+    // cached model — the first requester's corner silently won for
+    // everyone. Distinct corners must characterize (and serve) distinct
+    // models, and the corner-scaled estimate must differ measurably from
+    // the native one for the same trace.
+    serve::ServerOptions options = quick_options("corner.sock");
+    options.models_dir = (test_dir() / "models_corner").string();
+    serve::Server server{options};
+    server.start();
+
+    const streams::PackedTrace trace = make_trace(77);
+    serve::ServeClient client = serve::ServeClient::connect_unix(options.unix_path);
+    serve::EstimateRequest request = adder_request(client.register_trace(trace));
+
+    const serve::EstimateReply native = client.estimate(request);
+    request.corner = gate::Corner{2.5, 85.0, gate::LoadClass::Nominal};
+    const serve::EstimateReply scaled = client.estimate(request);
+    // Same corner again: a cache hit, not a third characterization.
+    const serve::EstimateReply scaled_again = client.estimate(request);
+
+    const serve::ServerStatsReply stats = server.stats_snapshot();
+    EXPECT_EQ(stats.model_cache_misses, 2U);
+    EXPECT_GE(stats.model_cache_hits, 1U);
+    EXPECT_EQ(scaled_again.estimate_fc, scaled.estimate_fc);
+    // Charge ~scales linearly in supply (energy is quadratic, but the
+    // estimate is fC/cycle): the 2.5 V model must land clearly below the
+    // native 3.3 V one — aliasing would make them equal.
+    EXPECT_LT(scaled.estimate_fc, 0.9 * native.estimate_fc);
+    EXPECT_GT(scaled.estimate_fc, 0.4 * native.estimate_fc);
+
+    // A wire-format corner outside the validated envelope is a structured
+    // BadRequest, not a crash or a silent clamp.
+    request.corner = gate::Corner{25.0, 25.0, gate::LoadClass::Nominal};
+    try {
+        (void)client.estimate(request);
+        FAIL() << "out-of-range corner was accepted";
+    } catch (const serve::ServerError&) {
+        // expected — and the connection stays usable:
+        request.corner.reset();
+        EXPECT_EQ(client.estimate(request).estimate_fc, native.estimate_fc);
+    }
+    server.drain();
+}
+
 TEST(Serve, DrainAnswersAcceptedWorkThenCloses)
 {
     const serve::ServerOptions options = quick_options("drain.sock");
